@@ -1,0 +1,470 @@
+//! A B-tree on the parallel disk model — the Section 1.2 incumbent.
+//!
+//! "This associative retrieval is implemented in most commercial systems
+//! through variations of B-trees. ... one follows pointers down a tree
+//! with branching factor B ... in most settings it takes 3 disk accesses
+//! before the contents of the block is available." And from the
+//! introduction: "the query time of a B-tree in the parallel disk model
+//! is Θ(log_{BD} n), which means that no asymptotic speedup is achieved
+//! compared to the one disk case unless the number of disks is very
+//! large."
+//!
+//! Nodes are stripes (`B·D` words, fanout `Θ(BD)`), so a lookup costs
+//! exactly the tree height in parallel I/Os — the quantity the SEC12
+//! experiment pits against the dictionary's 1–2 I/Os.
+
+use pdm::{DiskArray, OpCost, PdmConfig, StripedView, Word};
+
+/// Errors from the B-tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BTreeError {
+    /// Key already present.
+    Duplicate(u64),
+    /// Payload width mismatch.
+    PayloadWidth {
+        /// Expected words.
+        expected: usize,
+        /// Supplied words.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BTreeError::Duplicate(k) => write!(f, "key {k} already present"),
+            BTreeError::PayloadWidth { expected, got } => {
+                write!(f, "payload width mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {}
+
+const TYPE_LEAF: Word = 1;
+const TYPE_INTERNAL: Word = 0;
+
+/// Node stripe layout:
+/// `[type, count, …]` with
+/// * leaf: `count` entries of `(key, payload…)`,
+/// * internal: `count` child pointers followed by `count-1` separator
+///   keys (child `i` holds keys `< sep[i]`).
+#[derive(Debug)]
+pub struct PdmBTree {
+    disks: DiskArray,
+    payload_words: usize,
+    root: usize,
+    next_stripe: usize,
+    len: usize,
+    height: usize,
+    leaf_cap: usize,
+    internal_cap: usize,
+}
+
+impl PdmBTree {
+    /// Create an empty tree on `d` disks with `block_words`-word blocks,
+    /// storing `payload_words` words per key.
+    ///
+    /// # Panics
+    /// Panics if the stripe cannot hold at least 4 leaf entries.
+    #[must_use]
+    pub fn new(payload_words: usize, disks: usize, block_words: usize) -> Self {
+        let cfg = PdmConfig::new(disks, block_words);
+        let sw = cfg.stripe_words();
+        let leaf_cap = (sw - 2) / (1 + payload_words);
+        // children (cap) + separators (cap - 1) ≤ sw - 2.
+        let internal_cap = (sw - 1) / 2;
+        assert!(
+            leaf_cap >= 4,
+            "stripe of {sw} words too small for a B-tree node"
+        );
+        let mut arr = DiskArray::new(cfg, 1);
+        // Root starts as an empty leaf at stripe 0.
+        let mut node = vec![0; sw];
+        node[0] = TYPE_LEAF;
+        StripedView::new(&mut arr).write_stripe(0, &node);
+        PdmBTree {
+            disks: arr,
+            payload_words,
+            root: 0,
+            next_stripe: 1,
+            len: 0,
+            height: 1,
+            leaf_cap,
+            internal_cap,
+        }
+    }
+
+    /// Live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (levels of nodes; = parallel I/Os per lookup).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The owned disk array (I/O accounting).
+    #[must_use]
+    pub fn disks(&self) -> &DiskArray {
+        &self.disks
+    }
+
+    fn alloc_node(&mut self) -> usize {
+        let s = self.next_stripe;
+        self.next_stripe += 1;
+        StripedView::new(&mut self.disks).ensure_stripes(self.next_stripe);
+        s
+    }
+
+    fn read(&mut self, stripe: usize) -> Vec<Word> {
+        StripedView::new(&mut self.disks).read_stripe(stripe)
+    }
+
+    fn write(&mut self, stripe: usize, node: &[Word]) {
+        StripedView::new(&mut self.disks).write_stripe(stripe, node);
+    }
+
+    // --- node accessors ---------------------------------------------------
+
+    fn is_leaf(node: &[Word]) -> bool {
+        node[0] == TYPE_LEAF
+    }
+
+    fn count(node: &[Word]) -> usize {
+        node[1] as usize
+    }
+
+    fn leaf_entry_words(&self) -> usize {
+        1 + self.payload_words
+    }
+
+    fn leaf_key(&self, node: &[Word], i: usize) -> u64 {
+        node[2 + i * self.leaf_entry_words()]
+    }
+
+    fn leaf_payload(&self, node: &[Word], i: usize) -> Vec<Word> {
+        let off = 2 + i * self.leaf_entry_words() + 1;
+        node[off..off + self.payload_words].to_vec()
+    }
+
+    fn child(node: &[Word], i: usize) -> usize {
+        node[2 + i] as usize
+    }
+
+    fn separator(&self, node: &[Word], i: usize) -> u64 {
+        node[2 + self.internal_cap + i]
+    }
+
+    /// Index of the child to descend into for `key`.
+    fn child_index(&self, node: &[Word], key: u64) -> usize {
+        let c = Self::count(node);
+        let mut i = 0;
+        while i + 1 < c && key >= self.separator(node, i) {
+            i += 1;
+        }
+        i
+    }
+
+    // --- operations -------------------------------------------------------
+
+    /// Lookup: walks from root to leaf, `height` parallel I/Os.
+    pub fn lookup(&mut self, key: u64) -> (Option<Vec<Word>>, OpCost) {
+        let scope = self.disks.begin_op();
+        let mut stripe = self.root;
+        loop {
+            let node = self.read(stripe);
+            if Self::is_leaf(&node) {
+                let c = Self::count(&node);
+                for i in 0..c {
+                    if self.leaf_key(&node, i) == key {
+                        return (Some(self.leaf_payload(&node, i)), self.disks.end_op(scope));
+                    }
+                }
+                return (None, self.disks.end_op(scope));
+            }
+            stripe = Self::child(&node, self.child_index(&node, key));
+        }
+    }
+
+    /// Insert with proactive splitting on the way down.
+    pub fn insert(&mut self, key: u64, payload: &[Word]) -> Result<OpCost, BTreeError> {
+        if payload.len() != self.payload_words {
+            return Err(BTreeError::PayloadWidth {
+                expected: self.payload_words,
+                got: payload.len(),
+            });
+        }
+        let scope = self.disks.begin_op();
+
+        // Split a full root first (the only way the tree grows taller).
+        let root_node = self.read(self.root);
+        if self.is_full(&root_node) {
+            let (right, sep) = self.split(self.root, root_node);
+            let new_root = self.alloc_node();
+            let sw = self.disks.config().stripe_words();
+            let mut node = vec![0; sw];
+            node[0] = TYPE_INTERNAL;
+            node[1] = 2;
+            node[2] = self.root as Word;
+            node[3] = right as Word;
+            node[2 + self.internal_cap] = sep;
+            self.write(new_root, &node);
+            self.root = new_root;
+            self.height += 1;
+        }
+
+        let mut stripe = self.root;
+        loop {
+            let node = self.read(stripe);
+            if Self::is_leaf(&node) {
+                let mut node = node;
+                let c = Self::count(&node);
+                for i in 0..c {
+                    if self.leaf_key(&node, i) == key {
+                        return Err(BTreeError::Duplicate(key));
+                    }
+                }
+                // Insert sorted.
+                let mut pos = 0;
+                while pos < c && self.leaf_key(&node, pos) < key {
+                    pos += 1;
+                }
+                let ew = self.leaf_entry_words();
+                let start = 2 + pos * ew;
+                node.copy_within(start..2 + c * ew, start + ew);
+                node[start] = key;
+                node[start + 1..start + ew].copy_from_slice(payload);
+                node[1] += 1;
+                self.write(stripe, &node);
+                self.len += 1;
+                return Ok(self.disks.end_op(scope));
+            }
+            // Internal: proactively split the target child if full.
+            let mut ci = self.child_index(&node, key);
+            let child_stripe = Self::child(&node, ci);
+            let child_node = self.read(child_stripe);
+            if self.is_full(&child_node) {
+                let (right, sep) = self.split(child_stripe, child_node);
+                // Insert (sep, right) into this node at position ci.
+                let mut node = node;
+                let c = Self::count(&node);
+                // Shift children after ci.
+                for i in (ci + 1..c).rev() {
+                    node[2 + i + 1] = node[2 + i];
+                }
+                node[2 + ci + 1] = right as Word;
+                // Shift separators at/after ci.
+                for i in (ci..c.saturating_sub(1)).rev() {
+                    node[2 + self.internal_cap + i + 1] = node[2 + self.internal_cap + i];
+                }
+                node[2 + self.internal_cap + ci] = sep;
+                node[1] += 1;
+                self.write(stripe, &node);
+                if key >= sep {
+                    ci += 1;
+                }
+                stripe = Self::child(&node, ci);
+            } else {
+                stripe = child_stripe;
+            }
+        }
+    }
+
+    fn is_full(&self, node: &[Word]) -> bool {
+        let c = Self::count(node);
+        if Self::is_leaf(node) {
+            c >= self.leaf_cap
+        } else {
+            c >= self.internal_cap
+        }
+    }
+
+    /// Split a full node; returns (right sibling stripe, separator key).
+    fn split(&mut self, stripe: usize, mut node: Vec<Word>) -> (usize, u64) {
+        let right_stripe = self.alloc_node();
+        let sw = self.disks.config().stripe_words();
+        let mut right = vec![0; sw];
+        let c = Self::count(&node);
+        let half = c / 2;
+        if Self::is_leaf(&node) {
+            right[0] = TYPE_LEAF;
+            let ew = self.leaf_entry_words();
+            let sep = self.leaf_key(&node, half);
+            right[1] = (c - half) as Word;
+            right[2..2 + (c - half) * ew].copy_from_slice(&node[2 + half * ew..2 + c * ew]);
+            node[1] = half as Word;
+            // Zero the vacated tail for hygiene.
+            for w in &mut node[2 + half * ew..2 + c * ew] {
+                *w = 0;
+            }
+            self.write(stripe, &node);
+            self.write(right_stripe, &right);
+            (right_stripe, sep)
+        } else {
+            right[0] = TYPE_INTERNAL;
+            // children: [0, half) stay; [half, c) move. Separator between
+            // them is sep[half-1].
+            let sep = self.separator(&node, half - 1);
+            let moved = c - half;
+            right[1] = moved as Word;
+            for i in 0..moved {
+                right[2 + i] = node[2 + half + i];
+            }
+            for i in 0..moved.saturating_sub(1) {
+                right[2 + self.internal_cap + i] = node[2 + self.internal_cap + half + i];
+            }
+            node[1] = half as Word;
+            self.write(stripe, &node);
+            self.write(right_stripe, &right);
+            (right_stripe, sep)
+        }
+    }
+
+    /// Delete: removes the entry from its leaf (no rebalancing — deletion
+    /// never increases the height, which is all the experiments measure).
+    pub fn delete(&mut self, key: u64) -> (bool, OpCost) {
+        let scope = self.disks.begin_op();
+        let mut stripe = self.root;
+        loop {
+            let node = self.read(stripe);
+            if Self::is_leaf(&node) {
+                let mut node = node;
+                let c = Self::count(&node);
+                for i in 0..c {
+                    if self.leaf_key(&node, i) == key {
+                        let ew = self.leaf_entry_words();
+                        node.copy_within(2 + (i + 1) * ew..2 + c * ew, 2 + i * ew);
+                        node[1] -= 1;
+                        for w in &mut node[2 + (c - 1) * ew..2 + c * ew] {
+                            *w = 0;
+                        }
+                        self.write(stripe, &node);
+                        self.len -= 1;
+                        return (true, self.disks.end_op(scope));
+                    }
+                }
+                return (false, self.disks.end_op(scope));
+            }
+            stripe = Self::child(&node, self.child_index(&node, key));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> PdmBTree {
+        // Tiny stripes so the tree actually grows tall: D = 2, B = 8 ->
+        // 16-word stripes, leaf_cap = 7 with payload 1.
+        PdmBTree::new(1, 2, 8)
+    }
+
+    #[test]
+    fn roundtrip_sequential() {
+        let mut t = tree();
+        for k in 0..500u64 {
+            t.insert(k, &[k * 2]).unwrap();
+        }
+        assert_eq!(t.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(t.lookup(k).0, Some(vec![k * 2]), "key {k}");
+        }
+        assert_eq!(t.lookup(1000).0, None);
+    }
+
+    #[test]
+    fn roundtrip_random_order() {
+        let mut t = tree();
+        let keys: Vec<u64> = (0..400u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) >> 16)
+            .collect();
+        for &k in &keys {
+            t.insert(k, &[k]).unwrap();
+        }
+        for &k in &keys {
+            assert_eq!(t.lookup(k).0, Some(vec![k]), "key {k}");
+        }
+    }
+
+    #[test]
+    fn lookup_cost_equals_height() {
+        let mut t = tree();
+        for k in 0..1000u64 {
+            t.insert(k, &[0]).unwrap();
+        }
+        assert!(t.height() >= 3, "tree should be tall at this size");
+        let (_, cost) = t.lookup(123);
+        assert_eq!(cost.parallel_ios, t.height() as u64);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = tree();
+        let mut heights = Vec::new();
+        for k in 0..2000u64 {
+            t.insert(k, &[0]).unwrap();
+            if k == 10 || k == 100 || k == 1999 {
+                heights.push(t.height());
+            }
+        }
+        assert!(heights.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*heights.last().unwrap() <= 8, "height blew up: {heights:?}");
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut t = tree();
+        t.insert(7, &[1]).unwrap();
+        assert!(matches!(t.insert(7, &[1]), Err(BTreeError::Duplicate(7))));
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut t = tree();
+        for k in 0..100u64 {
+            t.insert(k, &[k]).unwrap();
+        }
+        for k in (0..100u64).step_by(2) {
+            let (was, _) = t.delete(k);
+            assert!(was, "key {k}");
+        }
+        for k in 0..100u64 {
+            assert_eq!(t.lookup(k).0.is_some(), k % 2 == 1, "key {k}");
+        }
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn payload_width_enforced() {
+        let mut t = tree();
+        assert!(matches!(
+            t.insert(1, &[1, 2]),
+            Err(BTreeError::PayloadWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_stripes_keep_tree_short() {
+        // Realistic geometry: D = 16, B = 64 -> fanout ~512: height 2 for
+        // 10k keys (the "3 disk accesses" regime of Section 1.2).
+        let mut t = PdmBTree::new(1, 16, 64);
+        for k in 0..10_000u64 {
+            t.insert(k, &[0]).unwrap();
+        }
+        assert!(t.height() <= 3);
+        let (_, cost) = t.lookup(9999);
+        assert!(cost.parallel_ios >= 2, "taller than a hash table's 1 I/O");
+    }
+}

@@ -1,0 +1,137 @@
+//! `k`-wise independent polynomial hashing over the Mersenne prime
+//! `p = 2^61 - 1`.
+//!
+//! The paper's randomized comparators assume "O(log n)-wise independent
+//! hash functions, for which a large range of hashing algorithms can be
+//! shown to work well" — the textbook realization is a degree-`(k-1)`
+//! polynomial with uniformly random coefficients evaluated by Horner's
+//! rule modulo a Mersenne prime (fast reduction, description of `k` words
+//! fits in internal memory).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The Mersenne prime `2^61 - 1`.
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+fn mulmod(a: u64, b: u64) -> u64 {
+    let prod = u128::from(a) * u128::from(b);
+    let lo = (prod & u128::from(MERSENNE_P)) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut s = lo + hi;
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+fn addmod(a: u64, b: u64) -> u64 {
+    let mut s = a + b;
+    if s >= MERSENNE_P {
+        s -= MERSENNE_P;
+    }
+    s
+}
+
+/// A sample from the `k`-wise independent polynomial family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyHash {
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Draw a degree-`(k-1)` polynomial with seed `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "independence parameter must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeffs = (0..k).map(|_| rng.random_range(0..MERSENNE_P)).collect();
+        PolyHash { coeffs }
+    }
+
+    /// Independence parameter `k`.
+    #[must_use]
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate the polynomial at `x` (result in `[0, p)`).
+    #[must_use]
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_P;
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = addmod(mulmod(acc, x), c);
+        }
+        acc
+    }
+
+    /// Hash into `[0, m)`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn bucket(&self, x: u64, m: usize) -> usize {
+        assert!(m > 0);
+        (self.eval(x) % m as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h1 = PolyHash::new(8, 42);
+        let h2 = PolyHash::new(8, 42);
+        for x in 0..100 {
+            assert_eq!(h1.eval(x), h2.eval(x));
+        }
+        let h3 = PolyHash::new(8, 43);
+        assert!((0..100).any(|x| h1.eval(x) != h3.eval(x)));
+    }
+
+    #[test]
+    fn values_in_range() {
+        let h = PolyHash::new(4, 7);
+        for x in [0u64, 1, MERSENNE_P, u64::MAX] {
+            assert!(h.eval(x) < MERSENNE_P);
+            assert!(h.bucket(x, 17) < 17);
+        }
+    }
+
+    #[test]
+    fn degree_one_is_constant() {
+        let h = PolyHash::new(1, 5);
+        assert_eq!(h.eval(3), h.eval(9));
+    }
+
+    #[test]
+    fn buckets_roughly_uniform() {
+        let h = PolyHash::new(16, 99);
+        let m = 32;
+        let mut counts = vec![0usize; m];
+        for x in 0..3200u64 {
+            counts[h.bucket(x, m)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 40 && c < 200, "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn mulmod_matches_u128_reference() {
+        for (a, b) in [
+            (3u64, 5u64),
+            (MERSENNE_P - 1, MERSENNE_P - 1),
+            (1 << 60, 12345),
+        ] {
+            let want = ((u128::from(a) * u128::from(b)) % u128::from(MERSENNE_P)) as u64;
+            assert_eq!(mulmod(a, b), want);
+        }
+    }
+}

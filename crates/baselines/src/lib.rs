@@ -1,0 +1,49 @@
+//! # `baselines` — randomized dictionaries and a B-tree on the PDM
+//!
+//! The comparison structures of the paper's Figure 1 and Section 1.2,
+//! implemented on the same simulated parallel disk model so the FIG1
+//! experiment can reproduce the table's shape:
+//!
+//! * [`hashfam`] — `k`-wise independent polynomial hash functions over
+//!   the Mersenne prime `2^61 - 1` (the paper's "O(log n)-wise independent
+//!   hash functions" whose description fits in internal memory).
+//! * [`striped_table::StripedHashTable`] — "having D parallel disks can be
+//!   exploited by striping ... a linear space hash table has no
+//!   overflowing blocks with high probability": 1-I/O lookups w.h.p.,
+//!   2-I/O updates w.h.p., bandwidth `O(BD/log n)`.
+//! * [`cuckoo::CuckooDict`] — cuckoo hashing (Pagh–Rodler): worst-case
+//!   1 parallel I/O lookups at bandwidth `BD/2`, but only *amortized
+//!   expected* constant insertions — with the occasional rehash stall the
+//!   paper's determinism avoids.
+//! * [`dghp::DghpDict`] — a two-level chained structure in the spirit of
+//!   Dietzfelbinger–Gil–Matias–Pippenger ("\[7\]"): `O(1)` I/Os with high
+//!   probability, linear worst case.
+//! * [`folklore::FolkloreDict`] — the "folklore trick": a primary
+//!   one-slot-per-bucket table holding collision-free keys (bandwidth
+//!   `Θ(BD)`) with collided keys demoted to a secondary structure; average
+//!   `1 + ɛ` lookups, `2 + ɛ` updates w.h.p.
+//! * [`btree::PdmBTree`] — the Section 1.2 incumbent: a B-tree with
+//!   `Θ(BD)` fanout whose lookups walk `Θ(log_{BD} n)` levels ("it takes
+//!   3 disk accesses before the contents of the block is available").
+//!
+//! All structures own their simulated [`pdm::DiskArray`] and report exact
+//! parallel-I/O costs per operation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod slots;
+
+pub mod btree;
+pub mod cuckoo;
+pub mod dghp;
+pub mod folklore;
+pub mod hashfam;
+pub mod striped_table;
+
+pub use btree::PdmBTree;
+pub use cuckoo::CuckooDict;
+pub use dghp::DghpDict;
+pub use folklore::FolkloreDict;
+pub use hashfam::PolyHash;
+pub use striped_table::StripedHashTable;

@@ -1,0 +1,99 @@
+//! Shared slot codec for the baseline hash tables: fixed-width slots of
+//! `[flags, key, payload…]` within a word buffer. Mirrors the layout used
+//! by the deterministic structures so space comparisons are apples to
+//! apples.
+
+use pdm::Word;
+
+pub(crate) const FLAG_LIVE: Word = 0b01;
+pub(crate) const FLAG_TOMBSTONE: Word = 0b11;
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Slots {
+    pub payload_words: usize,
+}
+
+impl Slots {
+    pub(crate) fn new(payload_words: usize) -> Self {
+        Slots { payload_words }
+    }
+
+    pub(crate) fn slot_words(&self) -> usize {
+        2 + self.payload_words
+    }
+
+    pub(crate) fn capacity(&self, words: usize) -> usize {
+        words / self.slot_words()
+    }
+
+    pub(crate) fn find(&self, buf: &[Word], key: u64) -> Option<Vec<Word>> {
+        let w = self.slot_words();
+        (0..self.capacity(buf.len())).find_map(|i| {
+            let s = &buf[i * w..(i + 1) * w];
+            (s[0] == FLAG_LIVE && s[1] == key).then(|| s[2..].to_vec())
+        })
+    }
+
+    pub(crate) fn live_count(&self, buf: &[Word]) -> usize {
+        let w = self.slot_words();
+        (0..self.capacity(buf.len()))
+            .filter(|&i| buf[i * w] == FLAG_LIVE)
+            .count()
+    }
+
+    pub(crate) fn insert(&self, buf: &mut [Word], key: u64, payload: &[Word]) -> bool {
+        debug_assert_eq!(payload.len(), self.payload_words);
+        let w = self.slot_words();
+        for i in 0..self.capacity(buf.len()) {
+            if buf[i * w] != FLAG_LIVE {
+                buf[i * w] = FLAG_LIVE;
+                buf[i * w + 1] = key;
+                buf[i * w + 2..(i + 1) * w].copy_from_slice(payload);
+                return true;
+            }
+        }
+        false
+    }
+
+    pub(crate) fn delete(&self, buf: &mut [Word], key: u64) -> bool {
+        let w = self.slot_words();
+        for i in 0..self.capacity(buf.len()) {
+            if buf[i * w] == FLAG_LIVE && buf[i * w + 1] == key {
+                buf[i * w] = FLAG_TOMBSTONE;
+                return true;
+            }
+        }
+        false
+    }
+
+    pub(crate) fn live_entries(&self, buf: &[Word]) -> Vec<(u64, Vec<Word>)> {
+        let w = self.slot_words();
+        (0..self.capacity(buf.len()))
+            .filter_map(|i| {
+                let s = &buf[i * w..(i + 1) * w];
+                (s[0] == FLAG_LIVE).then(|| (s[1], s[2..].to_vec()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_tombstone() {
+        let s = Slots::new(1);
+        let mut buf = vec![0; 9];
+        assert!(s.insert(&mut buf, 5, &[50]));
+        assert!(s.insert(&mut buf, 6, &[60]));
+        assert!(s.insert(&mut buf, 7, &[70]));
+        assert!(!s.insert(&mut buf, 8, &[80]));
+        assert_eq!(s.find(&buf, 6), Some(vec![60]));
+        assert!(s.delete(&mut buf, 6));
+        assert_eq!(s.find(&buf, 6), None);
+        assert_eq!(s.live_count(&buf), 2);
+        assert!(s.insert(&mut buf, 8, &[80]));
+        assert_eq!(s.live_entries(&buf).len(), 3);
+    }
+}

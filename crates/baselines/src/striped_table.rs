@@ -1,0 +1,258 @@
+//! Hashing with striping: the paper's first randomized comparator.
+//!
+//! "Having D parallel disks can be exploited by striping, i.e.,
+//! considering the disks as a single disk with block size BD. If BD is at
+//! least logarithmic in the number of keys, a linear space hash table
+//! (with a suitable constant) has no overflowing blocks with high
+//! probability. This is true even if we store associated information of
+//! size O(BD/log n) along with each key."
+//!
+//! One bucket = one stripe (`B·D` words). Lookup hashes to a stripe and
+//! reads it: **1 parallel I/O w.h.p.** (always, unless the bucket
+//! overflowed — overflow keys chain into the following stripes, which is
+//! where the with-high-probability qualifier bites). Insertion is the
+//! read-modify-write: **2 parallel I/Os w.h.p.**
+
+use crate::hashfam::PolyHash;
+use crate::slots::Slots;
+use pdm::{DiskArray, OpCost, PdmConfig, StripedView, Word};
+
+/// Errors from the striped table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Table is completely full along a probe chain.
+    Full,
+    /// The key is already present.
+    Duplicate(u64),
+    /// Payload width mismatch.
+    PayloadWidth {
+        /// Expected words.
+        expected: usize,
+        /// Supplied words.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::Full => write!(f, "hash table full"),
+            TableError::Duplicate(k) => write!(f, "key {k} already present"),
+            TableError::PayloadWidth { expected, got } => {
+                write!(f, "payload width mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A linear-space hash table over striped superblocks.
+#[derive(Debug)]
+pub struct StripedHashTable {
+    disks: DiskArray,
+    hash: PolyHash,
+    slots: Slots,
+    stripes: usize,
+    len: usize,
+    capacity: usize,
+}
+
+impl StripedHashTable {
+    /// Create a table for `capacity` keys with `payload_words` words of
+    /// satellite data each, on `d` disks with `block_words`-word blocks.
+    ///
+    /// Sized at load factor ≤ 1/2 per stripe so overflows are w.h.p.
+    /// absent when `B·D = Ω(log n)`.
+    #[must_use]
+    pub fn new(
+        capacity: usize,
+        payload_words: usize,
+        disks: usize,
+        block_words: usize,
+        seed: u64,
+    ) -> Self {
+        let cfg = PdmConfig::new(disks, block_words);
+        let slots = Slots::new(payload_words);
+        let per_stripe = slots.capacity(cfg.stripe_words()).max(1);
+        let stripes = (2 * capacity.max(1)).div_ceil(per_stripe).max(2);
+        let mut arr = DiskArray::new(cfg, stripes);
+        StripedView::new(&mut arr).ensure_stripes(stripes);
+        // Independence Θ(log n), as the paper assumes.
+        let k = (usize::BITS - capacity.max(2).leading_zeros()) as usize + 2;
+        StripedHashTable {
+            disks: arr,
+            hash: PolyHash::new(k, seed),
+            slots,
+            stripes,
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The owned disk array (I/O accounting).
+    #[must_use]
+    pub fn disks(&self) -> &DiskArray {
+        &self.disks
+    }
+
+    /// Space in words.
+    #[must_use]
+    pub fn space_words(&self) -> usize {
+        self.stripes * self.disks.config().stripe_words()
+    }
+
+    /// Lookup: reads the home stripe; walks the (w.h.p. empty) overflow
+    /// chain only when the home stripe is full and lacks the key.
+    pub fn lookup(&mut self, key: u64) -> (Option<Vec<Word>>, OpCost) {
+        let scope = self.disks.begin_op();
+        let home = self.hash.bucket(key, self.stripes);
+        let sw = self.disks.config().stripe_words();
+        for probe in 0..self.stripes {
+            let s = (home + probe) % self.stripes;
+            let buf = StripedView::new(&mut self.disks).read_stripe(s);
+            if let Some(p) = self.slots.find(&buf, key) {
+                return (Some(p), self.disks.end_op(scope));
+            }
+            if self.slots.live_count(&buf) < self.slots.capacity(sw) {
+                // A non-full stripe terminates the overflow chain.
+                break;
+            }
+        }
+        (None, self.disks.end_op(scope))
+    }
+
+    /// Insert: read home stripe, place, write back. Overflow chains into
+    /// following stripes (w.h.p. never needed at this load factor).
+    pub fn insert(&mut self, key: u64, payload: &[Word]) -> Result<OpCost, TableError> {
+        if payload.len() != self.slots.payload_words {
+            return Err(TableError::PayloadWidth {
+                expected: self.slots.payload_words,
+                got: payload.len(),
+            });
+        }
+        if self.len >= self.capacity.max(1) * 2 {
+            // Hard stop far beyond the design load: the table was sized
+            // for `capacity` keys at load 1/2.
+            return Err(TableError::Full);
+        }
+        let scope = self.disks.begin_op();
+        let home = self.hash.bucket(key, self.stripes);
+        for probe in 0..self.stripes {
+            let s = (home + probe) % self.stripes;
+            let mut buf = StripedView::new(&mut self.disks).read_stripe(s);
+            if self.slots.find(&buf, key).is_some() {
+                return Err(TableError::Duplicate(key));
+            }
+            if self.slots.insert(&mut buf, key, payload) {
+                StripedView::new(&mut self.disks).write_stripe(s, &buf);
+                self.len += 1;
+                return Ok(self.disks.end_op(scope));
+            }
+        }
+        Err(TableError::Full)
+    }
+
+    /// Delete (tombstone). Returns whether the key was present.
+    pub fn delete(&mut self, key: u64) -> (bool, OpCost) {
+        let scope = self.disks.begin_op();
+        let home = self.hash.bucket(key, self.stripes);
+        let sw = self.disks.config().stripe_words();
+        for probe in 0..self.stripes {
+            let s = (home + probe) % self.stripes;
+            let mut buf = StripedView::new(&mut self.disks).read_stripe(s);
+            if self.slots.delete(&mut buf, key) {
+                StripedView::new(&mut self.disks).write_stripe(s, &buf);
+                self.len -= 1;
+                return (true, self.disks.end_op(scope));
+            }
+            if self.slots.live_count(&buf) < self.slots.capacity(sw) {
+                break;
+            }
+        }
+        (false, self.disks.end_op(scope))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> StripedHashTable {
+        StripedHashTable::new(n, 2, 8, 16, 77)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut t = table(500);
+        for k in 0..500u64 {
+            t.insert(k * 3, &[k, k + 1]).unwrap();
+        }
+        for k in 0..500u64 {
+            assert_eq!(t.lookup(k * 3).0, Some(vec![k, k + 1]));
+        }
+        assert_eq!(t.lookup(1).0, None);
+    }
+
+    #[test]
+    fn one_io_lookups_whp() {
+        let mut t = table(1000);
+        for k in 0..1000u64 {
+            t.insert(k.wrapping_mul(0x9E3779B9), &[0, 0]).unwrap();
+        }
+        let mut total = 0u64;
+        for k in 0..1000u64 {
+            let (found, cost) = t.lookup(k.wrapping_mul(0x9E3779B9));
+            assert!(found.is_some());
+            total += cost.parallel_ios;
+        }
+        let avg = total as f64 / 1000.0;
+        assert!(avg < 1.05, "average lookup {avg} should be ~1 I/O");
+    }
+
+    #[test]
+    fn insert_is_two_ios_whp() {
+        let mut t = table(200);
+        let mut worst = 0;
+        for k in 0..200u64 {
+            worst = worst.max(t.insert(k, &[0, 0]).unwrap().parallel_ios);
+        }
+        assert!(worst <= 4, "insert worst {worst}");
+    }
+
+    #[test]
+    fn duplicate_and_delete() {
+        let mut t = table(50);
+        t.insert(9, &[1, 2]).unwrap();
+        assert_eq!(t.insert(9, &[1, 2]), Err(TableError::Duplicate(9)));
+        let (was, _) = t.delete(9);
+        assert!(was);
+        assert_eq!(t.lookup(9).0, None);
+        let (absent, _) = t.delete(9);
+        assert!(!absent);
+    }
+
+    #[test]
+    fn payload_width_enforced() {
+        let mut t = table(10);
+        assert!(matches!(
+            t.insert(1, &[5]),
+            Err(TableError::PayloadWidth {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! Wall-clock benchmarks of the external mergesort — the yardstick of
+//! Theorem 6's construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdm::{external_sort, DiskArray, KeyedRecord, PdmConfig, RecordFile, RecordLayout};
+use std::hint::black_box;
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    group.sample_size(10);
+    for n in [1usize << 10, 1 << 13] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = PdmConfig::new(8, 64).with_mem_words(4096);
+                let mut disks = DiskArray::new(cfg, 0);
+                let mut f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(1), n);
+                let recs: Vec<KeyedRecord> = (0..n as u64)
+                    .map(|i| KeyedRecord::new(i.wrapping_mul(0x9E37_79B9) % 1_000_003, vec![i]))
+                    .collect();
+                f.write_all(&mut disks, &recs);
+                black_box(external_sort(&mut disks, &f).cost.parallel_ios)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

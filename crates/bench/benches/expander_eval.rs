@@ -1,0 +1,43 @@
+//! Wall-clock benchmarks of neighbor-function evaluation: the seeded
+//! expander (what the dictionaries call on every operation) vs the
+//! telescoped semi-explicit construction (whose degree is the paper's
+//! polylog price for explicitness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expander::semi_explicit::{SemiExplicitConfig, SemiExplicitExpander};
+use expander::{NeighborFn, SeededExpander};
+use std::hint::black_box;
+
+fn bench_neighbors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbors_eval");
+    for d in [13usize, 21, 64] {
+        let g = SeededExpander::new(1 << 40, 1 << 16, d, 5);
+        group.bench_with_input(BenchmarkId::new("seeded", d), &d, |b, _| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(0x9E37_79B9);
+                black_box(g.neighbors(black_box(x % (1 << 40))))
+            });
+        });
+    }
+    let semi = SemiExplicitExpander::build(SemiExplicitConfig {
+        universe: 1 << 24,
+        capacity: 1 << 9,
+        beta: 0.5,
+        epsilon: 0.25,
+        seed: 3,
+        stage_degree_cap: 12,
+    })
+    .expect("build");
+    group.bench_function(BenchmarkId::new("semi_explicit", semi.degree()), |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(semi.neighbors(black_box(x % (1 << 24))))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbors);
+criterion_main!(benches);

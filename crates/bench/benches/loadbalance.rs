@@ -1,0 +1,51 @@
+//! Wall-clock benchmarks of the Section 3 load balancing schemes.
+
+use bench::workloads::uniform_keys;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expander::SeededExpander;
+use loadbalance::baselines::{random_d_choice, single_choice};
+use loadbalance::GreedyBalancer;
+use std::hint::black_box;
+
+fn bench_insert_throughput(c: &mut Criterion) {
+    let universe = 1u64 << 40;
+    let n = 1 << 14;
+    let v = 1024;
+    let keys = uniform_keys(n, universe, 0x1B);
+    let mut group = c.benchmark_group("balance_16k_keys");
+    group.sample_size(20);
+    for d in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("greedy_expander", d), &d, |b, &d| {
+            b.iter(|| {
+                let g = SeededExpander::new(universe, v / d, d, 7);
+                let mut lb = GreedyBalancer::new(&g, 1);
+                for &x in &keys {
+                    lb.insert(x);
+                }
+                black_box(lb.max_load())
+            });
+        });
+    }
+    group.bench_function("single_choice", |b| {
+        b.iter(|| {
+            let mut lb = single_choice(universe, v, 9);
+            for &x in &keys {
+                lb.insert(x);
+            }
+            black_box(lb.max_load())
+        });
+    });
+    group.bench_function("random_two_choice", |b| {
+        b.iter(|| {
+            let mut lb = random_d_choice(universe, v, 2, 11);
+            for &x in &keys {
+                lb.insert(x);
+            }
+            black_box(lb.max_load())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_throughput);
+criterion_main!(benches);

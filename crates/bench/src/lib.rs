@@ -1,0 +1,29 @@
+//! # `bench` — the experiment harness
+//!
+//! Regenerates every table, figure and quantitative claim of the paper
+//! (see DESIGN.md's experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1_table` | Figure 1 — the old/new dictionary comparison table |
+//! | `lemma3_load` | Lemma 3 — deterministic load balancing bound |
+//! | `thm6_construction` | Theorem 6 — one-probe static dictionary |
+//! | `thm7_dynamic` | Theorem 7 — `1+ɛ` / `2+ɛ` dynamic dictionary |
+//! | `basic_dict` | Section 4.1 claims |
+//! | `expander_quality` | Section 5 — semi-explicit construction |
+//! | `filesystem_motivation` | Section 1.2 — B-tree vs dictionary |
+//! | `ablation_k_choice` | ablation: degree `d` and items-per-key `k` |
+//! | `ablation_expansion` | ablation: expander quality vs dictionary cost |
+//!
+//! Criterion benches (`cargo bench -p bench`) measure wall-clock time of
+//! the same structures; the binaries measure **parallel I/Os**, the
+//! paper's own cost metric.
+
+#![forbid(unsafe_code)]
+
+pub mod measure;
+pub mod report;
+pub mod workloads;
+
+pub use measure::{evaluate, BuildStyle, MethodReport, Subject};
+pub use report::{print_table, write_json};

@@ -1,0 +1,220 @@
+//! Deterministic workload generators.
+//!
+//! Everything is seeded so runs are reproducible; keys are drawn from a
+//! bounded universe exactly as the paper's model requires.
+
+use expander::seeded::mix64;
+use pdm::Word;
+use std::collections::HashSet;
+
+/// `n` distinct pseudorandom keys from `[0, universe)`.
+///
+/// # Panics
+/// Panics if `n as u64 > universe`.
+#[must_use]
+pub fn uniform_keys(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+    assert!(
+        n as u64 <= universe,
+        "cannot draw {n} distinct keys from {universe}"
+    );
+    let mut out = Vec::with_capacity(n);
+    let mut seen = HashSet::with_capacity(n);
+    let mut state = seed;
+    while out.len() < n {
+        state = mix64(state.wrapping_add(0x9E37_79B9_7F4A_7C15));
+        let k = state % universe;
+        if seen.insert(k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// `n` keys in `clusters` contiguous runs — the "sequential file names"
+/// shape that stresses hash families with weak mixing.
+#[must_use]
+pub fn clustered_keys(n: usize, universe: u64, clusters: usize, seed: u64) -> Vec<u64> {
+    let clusters = clusters.max(1);
+    let per = n.div_ceil(clusters);
+    let mut out = Vec::with_capacity(n);
+    let mut seen = HashSet::with_capacity(n);
+    let mut state = seed;
+    while out.len() < n {
+        state = mix64(state.wrapping_add(1));
+        let base = state % universe;
+        for i in 0..per as u64 {
+            if out.len() >= n {
+                break;
+            }
+            let k = (base + i) % universe;
+            if seen.insert(k) {
+                out.push(k);
+            }
+        }
+    }
+    out
+}
+
+/// Fixed-width satellite payload derived from the key (verifiable).
+#[must_use]
+pub fn satellite_for(key: u64, words: usize) -> Vec<Word> {
+    (0..words as u64).map(|i| mix64(key ^ (i << 48))).collect()
+}
+
+/// `(key, satellite)` entries for a key set.
+#[must_use]
+pub fn entries_for(keys: &[u64], sigma_words: usize) -> Vec<(u64, Vec<Word>)> {
+    keys.iter()
+        .map(|&k| (k, satellite_for(k, sigma_words)))
+        .collect()
+}
+
+/// `count` probe keys from `[0, universe)` that are **not** in `present`.
+#[must_use]
+pub fn miss_probes(present: &[u64], universe: u64, count: usize, seed: u64) -> Vec<u64> {
+    let present: HashSet<u64> = present.iter().copied().collect();
+    let mut out = Vec::with_capacity(count);
+    let mut state = seed ^ 0xDEAD_BEEF;
+    while out.len() < count {
+        state = mix64(state.wrapping_add(3));
+        let k = state % universe;
+        if !present.contains(&k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// A Zipf(θ)-distributed index sampler over `0..n` — the "webmail or http
+/// server" access pattern of Section 1.2 (a few hot users, a long tail).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl Zipf {
+    /// Sampler over `n` items with exponent `theta` (0 = uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf, state: seed }
+    }
+
+    /// Draw one index in `0..n`.
+    pub fn sample(&mut self) -> usize {
+        self.state = mix64(self.state.wrapping_add(0x2545_F491_4F6C_DD1D));
+        let u = (self.state >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One operation of a file-system trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsOp {
+    /// Write `(inode, block, payload seed)`.
+    Write(u32, u32),
+    /// Read `(inode, block)`.
+    Read(u32, u32),
+}
+
+/// A trace over `files` files of up to `blocks_per_file` blocks: a write
+/// warm-up followed by Zipf-weighted random reads.
+#[must_use]
+pub fn fs_trace(files: u32, blocks_per_file: u32, reads: usize, seed: u64) -> Vec<FsOp> {
+    let mut ops = Vec::new();
+    for f in 0..files {
+        for b in 0..blocks_per_file {
+            ops.push(FsOp::Write(f, b));
+        }
+    }
+    let mut zipf = Zipf::new(files as usize, 0.9, seed);
+    let mut state = seed;
+    for _ in 0..reads {
+        let f = zipf.sample() as u32;
+        state = mix64(state.wrapping_add(7));
+        let b = (state % u64::from(blocks_per_file)) as u32;
+        ops.push(FsOp::Read(f, b));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_keys_distinct_and_in_range() {
+        let ks = uniform_keys(1000, 1 << 20, 5);
+        assert_eq!(ks.len(), 1000);
+        let set: HashSet<u64> = ks.iter().copied().collect();
+        assert_eq!(set.len(), 1000);
+        assert!(ks.iter().all(|&k| k < (1 << 20)));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_keys(100, 1 << 16, 9), uniform_keys(100, 1 << 16, 9));
+        assert_ne!(
+            uniform_keys(100, 1 << 16, 9),
+            uniform_keys(100, 1 << 16, 10)
+        );
+    }
+
+    #[test]
+    fn clustered_keys_have_runs() {
+        let ks = clustered_keys(100, 1 << 30, 4, 3);
+        assert_eq!(ks.len(), 100);
+        let consecutive = ks.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(consecutive > 50, "only {consecutive} consecutive pairs");
+    }
+
+    #[test]
+    fn miss_probes_avoid_present() {
+        let present = uniform_keys(500, 1 << 16, 1);
+        let probes = miss_probes(&present, 1 << 16, 200, 2);
+        let pset: HashSet<u64> = present.into_iter().collect();
+        assert!(probes.iter().all(|k| !pset.contains(k)));
+    }
+
+    #[test]
+    fn satellite_is_key_derived() {
+        assert_eq!(satellite_for(5, 3), satellite_for(5, 3));
+        assert_ne!(satellite_for(5, 3), satellite_for(6, 3));
+        assert_eq!(satellite_for(5, 0), Vec::<Word>::new());
+    }
+
+    #[test]
+    fn zipf_prefers_small_indices() {
+        let mut z = Zipf::new(1000, 1.0, 7);
+        let mut head = 0;
+        for _ in 0..10_000 {
+            if z.sample() < 100 {
+                head += 1;
+            }
+        }
+        // Top 10% of a Zipf(1) gets far more than 10% of the mass.
+        assert!(head > 4000, "head hits {head}");
+    }
+
+    #[test]
+    fn fs_trace_shape() {
+        let ops = fs_trace(4, 8, 50, 1);
+        assert_eq!(ops.len(), 4 * 8 + 50);
+        assert!(matches!(ops[0], FsOp::Write(0, 0)));
+        assert!(matches!(ops[4 * 8], FsOp::Read(_, _)));
+    }
+}

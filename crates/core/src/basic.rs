@@ -1,0 +1,701 @@
+//! The Section 4.1 basic dictionary.
+//!
+//! "Use a striped expander graph G with v = N/log N, and an array of v
+//! (more elementary) dictionaries. The array is split across D = d disks
+//! according to the stripes of G. ... The dictionary implements the load
+//! balancing scheme described above, with k = 1."
+//!
+//! Concretely: `v` buckets (a multiple of `d`), stripe `i` of the expander
+//! living on disk `i` of the structure's region. A lookup reads the key's
+//! `d` candidate buckets — one per disk, so **one parallel I/O** when a
+//! bucket is one block. An insertion reads the same `d` buckets, places
+//! the record in the *currently least loaded* candidate (the greedy scheme
+//! of Section 3 with `k = 1` — the loads are counted from the blocks just
+//! read, so no in-memory index exists), and writes that bucket back:
+//! **two parallel I/Os**, the minimum possible for a read-modify-write.
+//!
+//! With `v = Θ(N / log N)` the greedy bound (Lemma 3) keeps every bucket
+//! at `Θ(log N)` records, so `B = Ω(log N)` gives single-block buckets.
+//! Without any constraint on `B` a bucket spans `O(log N / B)` blocks and
+//! operations stay `O(1)` I/Os for constant `log N / B`; see
+//! [`crate::micro`] for the atomic-heap-style sub-bucket structure the
+//! paper invokes for the fully general case.
+
+use crate::bucket::BucketCodec;
+use crate::layout::{DiskAllocator, Region};
+use crate::traits::{DictError, LookupOutcome};
+use expander::{NeighborFn, SeededExpander};
+use pdm::{BlockAddr, DiskArray, OpCost, Word};
+
+/// Sizing and identity parameters for a [`BasicDict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicDictConfig {
+    /// Capacity `N` (maximum live keys).
+    pub capacity: usize,
+    /// Universe size `u`.
+    pub universe: u64,
+    /// Expander degree `d` = disks used by this structure.
+    pub degree: usize,
+    /// Payload words stored with each key.
+    pub payload_words: usize,
+    /// Number of buckets `v` (must be a positive multiple of `degree`).
+    pub buckets: usize,
+    /// Slots per bucket.
+    pub bucket_slots: usize,
+    /// Expander seed.
+    pub seed: u64,
+}
+
+impl BasicDictConfig {
+    /// The paper's sizing: `v ≈ N / log N` buckets, so bucket loads are
+    /// `Θ(log N)`; slot count adds the Lemma 3 additive margin.
+    #[must_use]
+    pub fn log_load(
+        capacity: usize,
+        universe: u64,
+        degree: usize,
+        payload_words: usize,
+        seed: u64,
+    ) -> Self {
+        let n = capacity.max(2);
+        let target_load = (usize::BITS - n.leading_zeros()) as usize; // ~log2 N
+        let raw_v = (2 * n).div_ceil(target_load).max(degree);
+        let buckets = raw_v.div_ceil(degree) * degree;
+        BasicDictConfig {
+            capacity,
+            universe,
+            degree,
+            payload_words,
+            buckets,
+            // Average load ≤ target/2; Lemma 3's additive term is
+            // log_{(1-ε)d}(v), far below 8 for any feasible v.
+            bucket_slots: target_load + 8,
+            seed,
+        }
+    }
+
+    /// Single-block buckets: "by setting v = O(N/B) sufficiently large we
+    /// can get a maximum load of less than B, and hence membership queries
+    /// take 1 I/O".
+    #[must_use]
+    pub fn block_load(
+        capacity: usize,
+        universe: u64,
+        degree: usize,
+        payload_words: usize,
+        block_words: usize,
+        seed: u64,
+    ) -> Self {
+        let codec = BucketCodec::new(payload_words);
+        let slots = codec.capacity(block_words).max(2);
+        let raw_v = (4 * capacity.max(1)).div_ceil(slots).max(degree);
+        let buckets = raw_v.div_ceil(degree) * degree;
+        BasicDictConfig {
+            capacity,
+            universe,
+            degree,
+            payload_words,
+            buckets,
+            bucket_slots: slots,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<(), DictError> {
+        if self.degree == 0 || self.buckets == 0 || !self.buckets.is_multiple_of(self.degree) {
+            return Err(DictError::UnsupportedParams(format!(
+                "buckets v = {} must be a positive multiple of degree d = {}",
+                self.buckets, self.degree
+            )));
+        }
+        if self.bucket_slots == 0 {
+            return Err(DictError::UnsupportedParams(
+                "buckets must have at least one slot".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The Section 4.1 dictionary: expander-indexed buckets with greedy
+/// balancing, `O(1)`-I/O operations worst case.
+///
+/// ```
+/// use pdm::{DiskArray, PdmConfig};
+/// use pdm_dict::basic::{BasicDict, BasicDictConfig};
+/// use pdm_dict::layout::DiskAllocator;
+///
+/// let d = 13; // one disk per expander stripe
+/// let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);
+/// let mut alloc = DiskAllocator::new(d);
+/// let cfg = BasicDictConfig::log_load(1000, 1 << 40, d, 1, 42);
+/// let mut dict = BasicDict::create(&mut disks, &mut alloc, 0, cfg)?;
+///
+/// let cost = dict.insert(&mut disks, 7, &[99])?;
+/// assert_eq!(cost.parallel_ios, 2); // read + write, worst case
+/// let out = dict.lookup(&mut disks, 7);
+/// assert_eq!(out.satellite, Some(vec![99]));
+/// assert_eq!(out.cost.parallel_ios, 1); // one probe, worst case
+/// # Ok::<(), pdm_dict::DictError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasicDict {
+    cfg: BasicDictConfig,
+    graph: SeededExpander,
+    region: Region,
+    codec: BucketCodec,
+    blocks_per_bucket: usize,
+    len: usize,
+}
+
+impl BasicDict {
+    /// Create the structure on `degree` disks starting at `first_disk`.
+    pub fn create(
+        disks: &mut DiskArray,
+        alloc: &mut DiskAllocator,
+        first_disk: usize,
+        cfg: BasicDictConfig,
+    ) -> Result<Self, DictError> {
+        cfg.validate()?;
+        let codec = BucketCodec::new(cfg.payload_words);
+        let bucket_words = codec.slot_words() * cfg.bucket_slots;
+        let blocks_per_bucket = bucket_words.div_ceil(disks.block_words());
+        let buckets_per_disk = cfg.buckets / cfg.degree;
+        let region = alloc.alloc(
+            disks,
+            first_disk,
+            cfg.degree,
+            buckets_per_disk * blocks_per_bucket,
+        );
+        let graph = SeededExpander::new(cfg.universe, buckets_per_disk, cfg.degree, cfg.seed);
+        Ok(BasicDict {
+            cfg,
+            graph,
+            region,
+            codec,
+            blocks_per_bucket,
+            len: 0,
+        })
+    }
+
+    /// Live keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the dictionary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Configuration.
+    #[must_use]
+    pub fn config(&self) -> &BasicDictConfig {
+        &self.cfg
+    }
+
+    /// Total buckets `v`.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.cfg.buckets
+    }
+
+    /// Blocks per bucket (1 when `B` is large enough — the 1-I/O regime).
+    #[must_use]
+    pub fn blocks_per_bucket(&self) -> usize {
+        self.blocks_per_bucket
+    }
+
+    /// Space usage in words.
+    #[must_use]
+    pub fn space_words(&self, disks: &DiskArray) -> usize {
+        self.region.total_blocks() * disks.block_words()
+    }
+
+    /// The block addresses of bucket `(stripe, j)`.
+    fn bucket_addrs(&self, stripe: usize, j: usize) -> Vec<BlockAddr> {
+        (0..self.blocks_per_bucket)
+            .map(|b| self.region.addr(stripe, j * self.blocks_per_bucket + b))
+            .collect()
+    }
+
+    /// Block addresses probed for `key`: all blocks of its `d` candidate
+    /// buckets, grouped bucket by bucket (stripe order). One block per
+    /// disk per bucket-block-row, so the batch costs `blocks_per_bucket`
+    /// parallel I/Os — 1 in the `B = Ω(log N)` regime.
+    #[must_use]
+    pub fn probe_addrs(&self, key: u64) -> Vec<BlockAddr> {
+        let mut out = Vec::with_capacity(self.cfg.degree * self.blocks_per_bucket);
+        for (stripe, y) in self.graph.neighbors(key).into_iter().enumerate() {
+            let (s, j) = self.graph.stripe_of(y);
+            debug_assert_eq!(s, stripe);
+            out.extend(self.bucket_addrs(stripe, j));
+        }
+        out
+    }
+
+    /// Reassemble per-bucket buffers from blocks returned for
+    /// [`probe_addrs`](Self::probe_addrs).
+    fn bucket_bufs(&self, blocks: &[Vec<Word>]) -> Vec<Vec<Word>> {
+        blocks
+            .chunks(self.blocks_per_bucket)
+            .map(|c| c.concat())
+            .collect()
+    }
+
+    /// Decode a lookup from pre-read probe blocks (for composed structures
+    /// that merge several probes into one parallel I/O).
+    #[must_use]
+    pub fn decode_find(&self, key: u64, probe_blocks: &[Vec<Word>]) -> Option<Vec<Word>> {
+        self.bucket_bufs(probe_blocks)
+            .iter()
+            .find_map(|buf| self.codec.find(buf, key))
+    }
+
+    /// Plan an insertion given pre-read probe blocks: choose the least
+    /// loaded candidate bucket (greedy, ties to the lowest stripe) and
+    /// return the block writes that commit it. The caller issues the
+    /// writes and then calls [`note_inserted`](Self::note_inserted).
+    pub fn plan_insert(
+        &self,
+        key: u64,
+        payload: &[Word],
+        probe_blocks: &[Vec<Word>],
+    ) -> Result<Vec<(BlockAddr, Vec<Word>)>, DictError> {
+        if payload.len() != self.cfg.payload_words {
+            return Err(DictError::SatelliteWidth {
+                expected: self.cfg.payload_words,
+                got: payload.len(),
+            });
+        }
+        if self.len >= self.cfg.capacity {
+            return Err(DictError::CapacityExhausted {
+                capacity: self.cfg.capacity,
+            });
+        }
+        let mut bufs = self.bucket_bufs(probe_blocks);
+        if bufs.iter().any(|b| self.codec.find(b, key).is_some()) {
+            return Err(DictError::DuplicateKey(key));
+        }
+        // Greedy k = 1 choice from the read blocks themselves.
+        let loads: Vec<usize> = bufs.iter().map(|b| self.codec.live_count(b)).collect();
+        let mut order: Vec<usize> = (0..bufs.len()).collect();
+        order.sort_by_key(|&i| (loads[i], i));
+        for &choice in &order {
+            if self.codec.insert(&mut bufs[choice], key, payload) {
+                return Ok(self.bucket_writes(key, choice, &bufs[choice]));
+            }
+        }
+        Err(DictError::BucketOverflow { key })
+    }
+
+    /// Plan a deletion (tombstone) from pre-read probe blocks; `None` when
+    /// the key is absent.
+    #[must_use]
+    pub fn plan_delete(
+        &self,
+        key: u64,
+        probe_blocks: &[Vec<Word>],
+    ) -> Option<Vec<(BlockAddr, Vec<Word>)>> {
+        let mut bufs = self.bucket_bufs(probe_blocks);
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            if self.codec.delete(buf, key) {
+                let writes = self.bucket_writes(key, i, buf);
+                return Some(writes);
+            }
+        }
+        None
+    }
+
+    /// Plan a payload update in place; `None` when the key is absent.
+    #[must_use]
+    pub fn plan_update(
+        &self,
+        key: u64,
+        payload: &[Word],
+        probe_blocks: &[Vec<Word>],
+    ) -> Option<Vec<(BlockAddr, Vec<Word>)>> {
+        assert_eq!(payload.len(), self.cfg.payload_words, "payload width");
+        let mut bufs = self.bucket_bufs(probe_blocks);
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            if self.codec.update(buf, key, payload) {
+                let writes = self.bucket_writes(key, i, buf);
+                return Some(writes);
+            }
+        }
+        None
+    }
+
+    fn bucket_writes(
+        &self,
+        key: u64,
+        candidate_index: usize,
+        buf: &[Word],
+    ) -> Vec<(BlockAddr, Vec<Word>)> {
+        let y = self.graph.neighbor(key, candidate_index);
+        let (stripe, j) = self.graph.stripe_of(y);
+        let bw = buf.len() / self.blocks_per_bucket;
+        self.bucket_addrs(stripe, j)
+            .into_iter()
+            .enumerate()
+            .map(|(b, addr)| (addr, buf[b * bw..(b + 1) * bw].to_vec()))
+            .collect()
+    }
+
+    /// Record a committed insertion.
+    pub fn note_inserted(&mut self) {
+        self.len += 1;
+    }
+
+    /// Record a committed deletion.
+    pub fn note_deleted(&mut self) {
+        debug_assert!(self.len > 0);
+        self.len -= 1;
+    }
+
+    /// Lookup: one batched probe (1 parallel I/O per bucket-block row).
+    pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
+        let scope = disks.begin_op();
+        let blocks = disks.read_batch(&self.probe_addrs(key));
+        LookupOutcome {
+            satellite: self.decode_find(key, &blocks),
+            cost: disks.end_op(scope),
+        }
+    }
+
+    /// Insert: read probe + write chosen bucket (2 parallel I/Os in the
+    /// single-block regime, "the best possible" per Figure 1's footnote).
+    pub fn insert(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+        payload: &[Word],
+    ) -> Result<OpCost, DictError> {
+        let scope = disks.begin_op();
+        let blocks = disks.read_batch(&self.probe_addrs(key));
+        let writes = self.plan_insert(key, payload, &blocks)?;
+        let refs: Vec<(BlockAddr, &[Word])> =
+            writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
+        disks.write_batch(&refs);
+        self.note_inserted();
+        Ok(disks.end_op(scope))
+    }
+
+    /// Delete (tombstone). Returns whether the key was present.
+    pub fn delete(&mut self, disks: &mut DiskArray, key: u64) -> (bool, OpCost) {
+        let scope = disks.begin_op();
+        let blocks = disks.read_batch(&self.probe_addrs(key));
+        match self.plan_delete(key, &blocks) {
+            Some(writes) => {
+                let refs: Vec<(BlockAddr, &[Word])> =
+                    writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
+                disks.write_batch(&refs);
+                self.note_deleted();
+                (true, disks.end_op(scope))
+            }
+            None => (false, disks.end_op(scope)),
+        }
+    }
+
+    /// Overwrite the payload of an existing key. Returns whether present.
+    pub fn update(&mut self, disks: &mut DiskArray, key: u64, payload: &[Word]) -> (bool, OpCost) {
+        let scope = disks.begin_op();
+        let blocks = disks.read_batch(&self.probe_addrs(key));
+        match self.plan_update(key, payload, &blocks) {
+            Some(writes) => {
+                let refs: Vec<(BlockAddr, &[Word])> =
+                    writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
+                disks.write_batch(&refs);
+                (true, disks.end_op(scope))
+            }
+            None => (false, disks.end_op(scope)),
+        }
+    }
+
+    /// Read all live entries of bucket `index` (for global rebuilding's
+    /// enumeration). Bucket indices run `0 .. buckets()` in stripe-major
+    /// order.
+    pub fn scan_bucket(&self, disks: &mut DiskArray, index: usize) -> Vec<(u64, Vec<Word>)> {
+        assert!(index < self.cfg.buckets, "bucket {index} out of range");
+        let per = self.cfg.buckets / self.cfg.degree;
+        let (stripe, j) = (index / per, index % per);
+        let blocks = disks.read_batch(&self.bucket_addrs(stripe, j));
+        self.codec.live_entries(&blocks.concat())
+    }
+
+    /// Observed maximum bucket load (peeks without I/O; diagnostics only).
+    #[must_use]
+    pub fn max_load_peek(&self, disks: &DiskArray) -> usize {
+        let per = self.cfg.buckets / self.cfg.degree;
+        let mut max = 0;
+        for stripe in 0..self.cfg.degree {
+            for j in 0..per {
+                let buf: Vec<Word> = self
+                    .bucket_addrs(stripe, j)
+                    .into_iter()
+                    .flat_map(|a| disks.peek(a).to_vec())
+                    .collect();
+                max = max.max(self.codec.live_count(&buf));
+            }
+        }
+        max
+    }
+
+    /// Bulk-build from `(key, payload)` pairs: greedy balancing computed
+    /// in one pass, then every bucket written once — `Θ(v/d ·
+    /// blocks_per_bucket)` parallel I/Os, the streaming optimum.
+    pub fn bulk_build(
+        &mut self,
+        disks: &mut DiskArray,
+        entries: &[(u64, Vec<Word>)],
+    ) -> Result<OpCost, DictError> {
+        let scope = disks.begin_op();
+        if entries.len() > self.cfg.capacity {
+            return Err(DictError::CapacityExhausted {
+                capacity: self.cfg.capacity,
+            });
+        }
+        let per = self.cfg.buckets / self.cfg.degree;
+        let mut bufs: Vec<Vec<Word>> =
+            vec![vec![0; self.codec.slot_words() * self.cfg.bucket_slots]; self.cfg.buckets];
+        let mut seen = std::collections::HashSet::with_capacity(entries.len());
+        for (key, payload) in entries {
+            if !seen.insert(*key) {
+                return Err(DictError::DuplicateKey(*key));
+            }
+            let neighbors = self.graph.neighbors(*key);
+            let mut order: Vec<usize> = (0..neighbors.len()).collect();
+            order.sort_by_key(|&i| (self.codec.live_count(&bufs[neighbors[i]]), i));
+            let mut placed = false;
+            for &i in &order {
+                if self.codec.insert(&mut bufs[neighbors[i]], *key, payload) {
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(DictError::BucketOverflow { key: *key });
+            }
+        }
+        // Stream out: rows of d blocks (one bucket-block per disk) per batch.
+        for j in 0..per {
+            for b in 0..self.blocks_per_bucket {
+                let bw = disks.block_words();
+                let mut writes = Vec::with_capacity(self.cfg.degree);
+                for stripe in 0..self.cfg.degree {
+                    let buf = &bufs[stripe * per + j];
+                    let lo = b * bw;
+                    let hi = (lo + bw).min(buf.len());
+                    if lo < buf.len() {
+                        writes.push((
+                            self.region.addr(stripe, j * self.blocks_per_bucket + b),
+                            buf[lo..hi].to_vec(),
+                        ));
+                    }
+                }
+                let refs: Vec<(BlockAddr, &[Word])> =
+                    writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
+                disks.write_batch(&refs);
+            }
+        }
+        self.len = entries.len();
+        Ok(disks.end_op(scope))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::PdmConfig;
+
+    fn setup(capacity: usize, payload: usize) -> (DiskArray, BasicDict) {
+        let d = 13;
+        let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);
+        let mut alloc = DiskAllocator::new(d);
+        let cfg = BasicDictConfig::log_load(capacity, 1 << 30, d, payload, 42);
+        let dict = BasicDict::create(&mut disks, &mut alloc, 0, cfg).unwrap();
+        (disks, dict)
+    }
+
+    #[test]
+    fn insert_lookup_delete_roundtrip() {
+        let (mut disks, mut dict) = setup(500, 2);
+        for k in 0..200u64 {
+            dict.insert(&mut disks, k * 3, &[k, k + 1]).unwrap();
+        }
+        assert_eq!(dict.len(), 200);
+        for k in 0..200u64 {
+            let out = dict.lookup(&mut disks, k * 3);
+            assert_eq!(out.satellite, Some(vec![k, k + 1]));
+        }
+        assert!(!dict.lookup(&mut disks, 1).found());
+        let (was, _) = dict.delete(&mut disks, 9);
+        assert!(was);
+        assert!(!dict.lookup(&mut disks, 9).found());
+        assert_eq!(dict.len(), 199);
+    }
+
+    #[test]
+    fn lookup_costs_one_parallel_io() {
+        let (mut disks, mut dict) = setup(500, 0);
+        assert_eq!(dict.blocks_per_bucket(), 1, "test geometry must be 1-block");
+        dict.insert(&mut disks, 77, &[]).unwrap();
+        let out = dict.lookup(&mut disks, 77);
+        assert_eq!(out.cost.parallel_ios, 1);
+        let miss = dict.lookup(&mut disks, 78);
+        assert_eq!(miss.cost.parallel_ios, 1);
+    }
+
+    #[test]
+    fn insert_costs_two_parallel_ios() {
+        let (mut disks, mut dict) = setup(500, 0);
+        let cost = dict.insert(&mut disks, 5, &[]).unwrap();
+        assert_eq!(cost.parallel_ios, 2);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (mut disks, mut dict) = setup(100, 0);
+        dict.insert(&mut disks, 5, &[]).unwrap();
+        assert!(matches!(
+            dict.insert(&mut disks, 5, &[]),
+            Err(DictError::DuplicateKey(5))
+        ));
+        assert_eq!(dict.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let (mut disks, mut dict) = setup(2, 0);
+        dict.insert(&mut disks, 1, &[]).unwrap();
+        dict.insert(&mut disks, 2, &[]).unwrap();
+        assert!(matches!(
+            dict.insert(&mut disks, 3, &[]),
+            Err(DictError::CapacityExhausted { capacity: 2 })
+        ));
+    }
+
+    #[test]
+    fn wrong_payload_width_rejected() {
+        let (mut disks, mut dict) = setup(10, 2);
+        assert!(matches!(
+            dict.insert(&mut disks, 1, &[9]),
+            Err(DictError::SatelliteWidth {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn update_changes_payload() {
+        let (mut disks, mut dict) = setup(10, 1);
+        dict.insert(&mut disks, 4, &[1]).unwrap();
+        let (ok, _) = dict.update(&mut disks, 4, &[2]);
+        assert!(ok);
+        assert_eq!(dict.lookup(&mut disks, 4).satellite, Some(vec![2]));
+        let (missing, _) = dict.update(&mut disks, 5, &[0]);
+        assert!(!missing);
+    }
+
+    #[test]
+    fn max_load_stays_near_lemma3_bound() {
+        let (mut disks, mut dict) = setup(2000, 0);
+        for k in 0..2000u64 {
+            dict.insert(&mut disks, k.wrapping_mul(0x9E37_79B9) % (1 << 30), &[])
+                .unwrap();
+        }
+        let v = dict.buckets() as f64;
+        let avg = 2000.0 / v;
+        let max = dict.max_load_peek(&disks) as f64;
+        // Lemma 3 shape: average plus a small logarithmic additive term.
+        assert!(
+            max <= avg + 12.0,
+            "max load {max} too far above average {avg}"
+        );
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_lookups() {
+        let (mut disks, mut dict) = setup(300, 1);
+        let entries: Vec<(u64, Vec<Word>)> = (0..300u64).map(|k| (k * 7, vec![k])).collect();
+        dict.bulk_build(&mut disks, &entries).unwrap();
+        assert_eq!(dict.len(), 300);
+        for (k, p) in &entries {
+            assert_eq!(dict.lookup(&mut disks, *k).satellite, Some(p.clone()));
+        }
+    }
+
+    #[test]
+    fn bulk_build_is_cheaper_than_incremental() {
+        let entries: Vec<(u64, Vec<Word>)> = (0..1000u64).map(|k| (k * 11, vec![])).collect();
+        let (mut disks_a, mut bulk) = setup(1000, 0);
+        let bulk_cost = bulk.bulk_build(&mut disks_a, &entries).unwrap();
+        let (mut disks_b, mut inc) = setup(1000, 0);
+        let scope = disks_b.begin_op();
+        for (k, p) in &entries {
+            inc.insert(&mut disks_b, *k, p).unwrap();
+        }
+        let inc_cost = disks_b.end_op(scope);
+        assert!(
+            bulk_cost.parallel_ios < inc_cost.parallel_ios / 2,
+            "bulk {} vs incremental {}",
+            bulk_cost.parallel_ios,
+            inc_cost.parallel_ios
+        );
+    }
+
+    #[test]
+    fn scan_bucket_enumerates_everything() {
+        let (mut disks, mut dict) = setup(120, 1);
+        let mut expect = std::collections::HashMap::new();
+        for k in 0..120u64 {
+            dict.insert(&mut disks, k, &[k * 2]).unwrap();
+            expect.insert(k, vec![k * 2]);
+        }
+        let mut seen = std::collections::HashMap::new();
+        for b in 0..dict.buckets() {
+            for (k, p) in dict.scan_bucket(&mut disks, b) {
+                assert!(seen.insert(k, p).is_none(), "key {k} in two buckets");
+            }
+        }
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn block_load_config_gives_single_block_buckets() {
+        let d = 13;
+        let mut disks = DiskArray::new(PdmConfig::new(d, 32), 0);
+        let mut alloc = DiskAllocator::new(d);
+        let cfg = BasicDictConfig::block_load(1000, 1 << 30, d, 0, 32, 1);
+        let dict = BasicDict::create(&mut disks, &mut alloc, 0, cfg).unwrap();
+        assert_eq!(dict.blocks_per_bucket(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_bucket_count() {
+        let mut disks = DiskArray::new(PdmConfig::new(4, 32), 0);
+        let mut alloc = DiskAllocator::new(4);
+        let cfg = BasicDictConfig {
+            capacity: 10,
+            universe: 1 << 20,
+            degree: 4,
+            payload_words: 0,
+            buckets: 10, // not a multiple of 4
+            bucket_slots: 4,
+            seed: 0,
+        };
+        assert!(BasicDict::create(&mut disks, &mut alloc, 0, cfg).is_err());
+    }
+
+    #[test]
+    fn tombstone_slot_reused_on_reinsert() {
+        let (mut disks, mut dict) = setup(50, 1);
+        dict.insert(&mut disks, 8, &[1]).unwrap();
+        dict.delete(&mut disks, 8);
+        dict.insert(&mut disks, 8, &[2]).unwrap();
+        assert_eq!(dict.lookup(&mut disks, 8).satellite, Some(vec![2]));
+    }
+}

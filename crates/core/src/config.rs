@@ -1,0 +1,181 @@
+//! Dictionary parameters and theorem side-condition validation.
+
+use expander::params;
+
+/// Parameters shared by all dictionary variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DictParams {
+    /// Capacity `N`: the maximum number of keys (fixed at initialization,
+    /// as in the paper; the global-rebuilding wrapper lifts the limit).
+    pub capacity: usize,
+    /// Universe size `u` (keys are `0 ≤ x < u`; `u64::MAX` means `2^64`).
+    pub universe: u64,
+    /// Satellite words per key, fixed per instance.
+    pub satellite_words: usize,
+    /// Expander degree `d`. Defaults to the paper's `Θ(log u)` with the
+    /// `d > 12` floor; override for experiments.
+    pub degree: usize,
+    /// Performance parameter `ɛ` of Theorem 7 (average lookup `1 + ɛ`,
+    /// average update `2 + ɛ`).
+    pub epsilon_perf: f64,
+    /// Right-part slack `c` in `v = c·N·d` for the field arrays.
+    pub right_slack: f64,
+    /// Seed of the sampled expanders (the stand-in for the paper's
+    /// assumed explicit construction).
+    pub seed: u64,
+}
+
+impl DictParams {
+    /// Sensible defaults for `capacity` keys from a universe of size
+    /// `universe`, with `satellite_words` words of data per key.
+    #[must_use]
+    pub fn new(capacity: usize, universe: u64, satellite_words: usize) -> Self {
+        DictParams {
+            capacity: capacity.max(2),
+            universe,
+            satellite_words,
+            degree: params::paper_degree(universe),
+            epsilon_perf: 0.5,
+            right_slack: params::DEFAULT_RIGHT_SLACK,
+            seed: 0x5EED_0000_0001,
+        }
+    }
+
+    /// Override the degree.
+    #[must_use]
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+
+    /// Override Theorem 7's performance parameter `ɛ`.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon_perf: f64) -> Self {
+        self.epsilon_perf = epsilon_perf;
+        self
+    }
+
+    /// Override the expander seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// `2d/3` — fields assigned per key by the one-probe structures.
+    #[must_use]
+    pub fn fields_per_key(&self) -> usize {
+        params::fields_per_key(self.degree)
+    }
+
+    /// Satellite size in bits, `σ`.
+    #[must_use]
+    pub fn sigma_bits(&self) -> usize {
+        self.satellite_words * pdm::WORD_BITS
+    }
+
+    /// Disks required by the one-probe case (a) and dynamic structures:
+    /// `2d` (membership + retrieval), as Theorem 6(a) states.
+    #[must_use]
+    pub fn disks_required_two_part(&self) -> usize {
+        2 * self.degree
+    }
+
+    /// Validate the paper's side conditions against a disk geometry.
+    ///
+    /// * `D ≥ d` (striped expander needs one disk per stripe); the paper's
+    ///   headline condition `D = Ω(log u)` is the case `d = Θ(log u)`.
+    /// * For two-part structures, `D ≥ 2d`.
+    /// * Theorem 6(a) and Theorem 7 need `B = Ω(log n)`: we check that a
+    ///   block holds at least a few (key, pointer) pairs.
+    pub fn validate(
+        &self,
+        cfg: &pdm::PdmConfig,
+        two_part: bool,
+    ) -> Result<(), crate::traits::DictError> {
+        let need = if two_part {
+            self.disks_required_two_part()
+        } else {
+            self.degree
+        };
+        if cfg.disks < need {
+            return Err(crate::traits::DictError::UnsupportedParams(format!(
+                "need D ≥ {need} disks for degree d = {} ({}), have {}",
+                self.degree,
+                if two_part {
+                    "2d: membership + retrieval"
+                } else {
+                    "one per stripe"
+                },
+                cfg.disks
+            )));
+        }
+        if self.degree <= 12 {
+            return Err(crate::traits::DictError::UnsupportedParams(format!(
+                "Theorem 6 fixes ε = 1/12, which requires degree d > 12 (got {})",
+                self.degree
+            )));
+        }
+        if (self.capacity as u64) > self.universe {
+            return Err(crate::traits::DictError::UnsupportedParams(format!(
+                "capacity {} exceeds universe {}",
+                self.capacity, self.universe
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::PdmConfig;
+
+    #[test]
+    fn defaults_follow_paper() {
+        let p = DictParams::new(1000, 1 << 20, 4);
+        assert_eq!(p.degree, 21); // log2(2^20) + 1 = 21 > 13
+        assert_eq!(p.fields_per_key(), 14);
+        assert_eq!(p.sigma_bits(), 256);
+        assert_eq!(p.disks_required_two_part(), 42);
+    }
+
+    #[test]
+    fn validate_accepts_good_geometry() {
+        let p = DictParams::new(100, 1 << 20, 1).with_degree(13);
+        assert!(p.validate(&PdmConfig::new(13, 32), false).is_ok());
+        assert!(p.validate(&PdmConfig::new(26, 32), true).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_too_few_disks() {
+        let p = DictParams::new(100, 1 << 20, 1).with_degree(13);
+        let err = p.validate(&PdmConfig::new(12, 32), false).unwrap_err();
+        assert!(err.to_string().contains("D ≥ 13"));
+        let err2 = p.validate(&PdmConfig::new(13, 32), true).unwrap_err();
+        assert!(err2.to_string().contains("D ≥ 26"));
+    }
+
+    #[test]
+    fn validate_rejects_small_degree() {
+        let p = DictParams::new(100, 1 << 20, 1).with_degree(12);
+        assert!(p.validate(&PdmConfig::new(32, 32), false).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_capacity_above_universe() {
+        let p = DictParams::new(5000, 4096, 1).with_degree(13);
+        assert!(p.validate(&PdmConfig::new(13, 32), false).is_err());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let p = DictParams::new(10, 1 << 16, 0)
+            .with_degree(15)
+            .with_epsilon(0.25)
+            .with_seed(7);
+        assert_eq!(p.degree, 15);
+        assert_eq!(p.epsilon_perf, 0.25);
+        assert_eq!(p.seed, 7);
+    }
+}

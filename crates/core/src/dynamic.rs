@@ -1,0 +1,542 @@
+//! Theorem 7: the dynamic dictionary with full bandwidth and `1 + ɛ`
+//! average-I/O lookups.
+//!
+//! Two sub-dictionaries on `2d` disks, as in Theorem 6(a):
+//!
+//! * a Section 4.1 membership dictionary (disks `0..d`) whose per-key
+//!   payload packs the head pointer (`⌈lg d⌉` bits) and the level the key
+//!   landed on;
+//! * `l = ⌈log N / log(1/(6ε))⌉` retrieval arrays `A_1 ⊃ A_2 ⊃ …` of
+//!   geometrically decreasing size (factor `6ε`), each indexed by its own
+//!   degree-`d` expander, all on disks `d..2d`.
+//!
+//! **Insertion is first-fit**: "for a given `x ∈ U` find the first array
+//! in the sequence `(A_1, A_2, …, A_l)` in which there are `2d/3` fields
+//! unique to `x` (at that moment)" — operationally, read `x`'s `d`
+//! candidate fields level by level (each read is one parallel I/O; the
+//! level-1 read shares the insertion's first I/O with the membership
+//! probe, since the two halves live on disjoint disks) until a level
+//! offers `m = ⌈2d/3⌉` *unoccupied* fields, then write the chain and the
+//! membership record in one more parallel I/O. Lemma 5 guarantees the
+//! first fit exists and that at most a `6ε` fraction of keys falls through
+//! each level, so `n` insertions cost `n` writes plus
+//! `n(1 + 6ε + (6ε)² + …) < (1+ɛ)n` reads — `2 + ɛ` I/Os per insertion on
+//! average, `l + 1 = O(log n)` worst case.
+//!
+//! **Lookups** read the membership bucket and the level-1 fields in one
+//! parallel I/O; keys living on level 1 (all but a `≤ ɛ` fraction) finish
+//! there, others pay one more I/O for their level. Unsuccessful searches
+//! are always exactly 1 I/O.
+
+use crate::basic::{BasicDict, BasicDictConfig};
+use crate::config::DictParams;
+use crate::fields::FieldArray;
+use crate::layout::DiskAllocator;
+use crate::one_probe::encoding::Chain;
+use crate::traits::{DictError, LookupOutcome};
+use expander::{params, NeighborFn, SeededExpander};
+use pdm::{BlockAddr, DiskArray, OpCost, Word};
+
+/// The Theorem 7 dynamic dictionary.
+#[derive(Debug)]
+pub struct DynamicDict {
+    params: DictParams,
+    membership: BasicDict,
+    levels: Vec<Level>,
+    enc: Chain,
+    len: usize,
+    insertions: usize,
+    level_population: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct Level {
+    graph: SeededExpander,
+    fields: FieldArray,
+}
+
+impl DynamicDict {
+    /// Create an empty dictionary on disks
+    /// `first_disk .. first_disk + 2d`.
+    pub fn create(
+        disks: &mut DiskArray,
+        alloc: &mut DiskAllocator,
+        first_disk: usize,
+        params: DictParams,
+    ) -> Result<Self, DictError> {
+        params.validate(disks.config(), true)?;
+        let d = params.degree;
+        let (graph_eps, min_degree) = expander::params::theorem7_graph_epsilon(params.epsilon_perf);
+        if d < min_degree {
+            return Err(DictError::UnsupportedParams(format!(
+                "Theorem 7 with ɛ = {} needs degree d > 6(1 + 1/ɛ) = {}, got {d}",
+                params.epsilon_perf,
+                min_degree - 1
+            )));
+        }
+        let n_cap = params.capacity.max(2);
+        let enc = Chain::new(params.sigma_bits(), d);
+
+        // Membership payload: head stripe + level, packed into one word.
+        let mcfg =
+            BasicDictConfig::log_load(n_cap, params.universe, d, 1, params.seed ^ 0x4D45_4D42);
+        let membership = BasicDict::create(disks, alloc, first_disk, mcfg)?;
+        if membership.blocks_per_bucket() != 1 {
+            return Err(DictError::UnsupportedParams(format!(
+                "Theorem 7 inherits Theorem 6(a)'s condition B = Ω(log n): a bucket of {} \
+                 slots must fit one block of {} words",
+                membership.config().bucket_slots,
+                disks.block_words()
+            )));
+        }
+
+        // Retrieval levels, sizes v·(6ε)^{i-1}, each its own expander.
+        let l = params::theorem7_levels(n_cap, graph_eps).max(1);
+        let shrink = 6.0 * graph_eps;
+        let mut levels = Vec::with_capacity(l);
+        let mut stripe = ((params.right_slack * n_cap as f64).ceil() as usize).max(4);
+        for i in 0..l {
+            let graph = SeededExpander::new(
+                params.universe,
+                stripe,
+                d,
+                params.seed.wrapping_add(0xBEEF).wrapping_add(i as u64),
+            );
+            let fields =
+                FieldArray::create(disks, alloc, first_disk + d, d, stripe, enc.field_bits)?;
+            levels.push(Level { graph, fields });
+            stripe = ((stripe as f64 * shrink).ceil() as usize).max(4);
+        }
+
+        Ok(DynamicDict {
+            params,
+            membership,
+            levels,
+            enc,
+            len: 0,
+            insertions: 0,
+            level_population: vec![0; l],
+        })
+    }
+
+    /// Live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity `N`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.params.capacity
+    }
+
+    /// Total insertions ever performed. Deleted keys do not release their
+    /// fields ("no piece of data is ever moved, once inserted"), so the
+    /// capacity budget is consumed per *insertion*; global rebuilding
+    /// resets it.
+    #[must_use]
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+
+    /// Number of retrieval levels `l`.
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// How many keys landed on each level (diagnostics for THM7).
+    #[must_use]
+    pub fn level_population(&self) -> &[usize] {
+        &self.level_population
+    }
+
+    /// Space usage in words.
+    #[must_use]
+    pub fn space_words(&self, disks: &DiskArray) -> usize {
+        self.membership.space_words(disks)
+            + self
+                .levels
+                .iter()
+                .map(|lv| lv.fields.space_words(disks))
+                .sum::<usize>()
+    }
+
+    fn pack_payload(head_stripe: usize, level: usize) -> Word {
+        (head_stripe as Word) | ((level as Word) << 32)
+    }
+
+    fn unpack_payload(payload: Word) -> (usize, usize) {
+        ((payload & 0xFFFF_FFFF) as usize, (payload >> 32) as usize)
+    }
+
+    fn level_positions(&self, level: usize, key: u64) -> Vec<(usize, usize)> {
+        let lv = &self.levels[level];
+        lv.graph
+            .neighbors(key)
+            .into_iter()
+            .map(|y| lv.graph.stripe_of(y))
+            .collect()
+    }
+
+    /// Lookup. 1 parallel I/O when the key is absent or lives on level 1;
+    /// 2 parallel I/Os otherwise — averaging `1 + ɛ` over stored keys.
+    pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
+        let scope = disks.begin_op();
+        // Parallel probe: membership buckets + level-1 fields.
+        let maddrs = self.membership.probe_addrs(key);
+        let positions0 = self.level_positions(0, key);
+        let faddrs0 = self.levels[0].fields.probe_addrs(&positions0);
+        let msplit = maddrs.len();
+        let mut all = maddrs;
+        all.extend(faddrs0);
+        let blocks = disks.read_batch(&all);
+        let (mblocks, fblocks0) = blocks.split_at(msplit);
+
+        let Some(payload) = self.membership.decode_find(key, mblocks) else {
+            return LookupOutcome {
+                satellite: None,
+                cost: disks.end_op(scope),
+            };
+        };
+        let (head, level) = Self::unpack_payload(payload[0]);
+        let raw = if level == 0 {
+            self.levels[0].fields.extract(&positions0, fblocks0)
+        } else {
+            let positions = self.level_positions(level, key);
+            let addrs = self.levels[level].fields.probe_addrs(&positions);
+            let fblocks = disks.read_batch(&addrs);
+            self.levels[level].fields.extract(&positions, &fblocks)
+        };
+        let satellite = self.enc.decode(head, &raw).map(|mut s| {
+            s.truncate(self.params.satellite_words);
+            s.resize(self.params.satellite_words, 0);
+            s
+        });
+        LookupOutcome {
+            satellite,
+            cost: disks.end_op(scope),
+        }
+    }
+
+    /// Insert. First-fit over the levels: `j + 1` parallel I/Os when the
+    /// key lands on level `j` (1-based), averaging `2 + ɛ`.
+    pub fn insert(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+        satellite: &[Word],
+    ) -> Result<OpCost, DictError> {
+        if satellite.len() != self.params.satellite_words {
+            return Err(DictError::SatelliteWidth {
+                expected: self.params.satellite_words,
+                got: satellite.len(),
+            });
+        }
+        if self.insertions >= self.params.capacity {
+            return Err(DictError::CapacityExhausted {
+                capacity: self.params.capacity,
+            });
+        }
+        let scope = disks.begin_op();
+
+        // First parallel I/O: membership probe + level-1 fields.
+        let maddrs = self.membership.probe_addrs(key);
+        let positions0 = self.level_positions(0, key);
+        let faddrs0 = self.levels[0].fields.probe_addrs(&positions0);
+        let msplit = maddrs.len();
+        let mut all = maddrs;
+        all.extend(faddrs0.clone());
+        let blocks = disks.read_batch(&all);
+        let (mblocks, fblocks0) = blocks.split_at(msplit);
+        if self.membership.decode_find(key, mblocks).is_some() {
+            return Err(DictError::DuplicateKey(key));
+        }
+
+        // First-fit level search: (level, chosen positions, probed
+        // addresses, probed block images).
+        type Probe = (usize, Vec<(usize, usize)>, Vec<BlockAddr>, Vec<Vec<Word>>);
+        let m = self.enc.fields_per_key;
+        let mut chosen: Option<Probe> = None;
+        for level in 0..self.levels.len() {
+            let (positions, addrs, fblocks) = if level == 0 {
+                (positions0.clone(), faddrs0.clone(), fblocks0.to_vec())
+            } else {
+                let positions = self.level_positions(level, key);
+                let addrs = self.levels[level].fields.probe_addrs(&positions);
+                let fblocks = disks.read_batch(&addrs); // one more parallel I/O
+                (positions, addrs, fblocks)
+            };
+            let raw = self.levels[level].fields.extract(&positions, &fblocks);
+            let free: Vec<usize> = (0..positions.len())
+                .filter(|&i| !self.enc.is_occupied(&raw[i]))
+                .collect();
+            if free.len() >= m {
+                let keep: Vec<(usize, usize)> = free[..m].iter().map(|&i| positions[i]).collect();
+                chosen = Some((level, keep, addrs, fblocks));
+                break;
+            }
+        }
+        let Some((level, keep, addrs, mut fblocks)) = chosen else {
+            return Err(DictError::LevelsExhausted { key });
+        };
+
+        // Encode the chain into the free fields (stripe order) and patch
+        // the level's block images. `addrs[i]` is the block of stripe `i`
+        // (one field per stripe), so the chain's field at stripe `s`
+        // patches image `s`.
+        let stripes: Vec<usize> = keep.iter().map(|&(s, _)| s).collect();
+        let encoded = self.enc.encode(&stripes, satellite);
+        let fa = &self.levels[level].fields;
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+        for ((stripe, bits), &(s, j)) in encoded.iter().zip(&keep) {
+            debug_assert_eq!(*stripe, s);
+            fa.patch((s, j), &mut fblocks[s], bits);
+            touched.push(s);
+        }
+        let mut writes: Vec<(BlockAddr, Vec<Word>)> = touched
+            .into_iter()
+            .map(|s| (addrs[s], fblocks[s].clone()))
+            .collect();
+
+        // Membership record in the same write batch (disjoint disks).
+        let mpayload = Self::pack_payload(stripes[0], level);
+        let mwrites = self.membership.plan_insert(key, &[mpayload], mblocks)?;
+        writes.extend(mwrites);
+
+        let refs: Vec<(BlockAddr, &[Word])> =
+            writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
+        disks.write_batch(&refs);
+        self.membership.note_inserted();
+        self.len += 1;
+        self.insertions += 1;
+        self.level_population[level] += 1;
+        Ok(disks.end_op(scope))
+    }
+
+    /// Delete: tombstone the membership record (fields are not reclaimed —
+    /// "no piece of data is ever moved, once inserted"; space is recovered
+    /// by global rebuilding). Returns whether the key was present.
+    pub fn delete(&mut self, disks: &mut DiskArray, key: u64) -> (bool, OpCost) {
+        let scope = disks.begin_op();
+        let (was, _) = self.membership.delete(disks, key);
+        if was {
+            self.len -= 1;
+        }
+        (was, disks.end_op(scope))
+    }
+
+    /// Enumerate live keys of one membership bucket (for global
+    /// rebuilding). `bucket` ranges over `0..membership_buckets()`.
+    pub fn scan_bucket(&self, disks: &mut DiskArray, bucket: usize) -> Vec<u64> {
+        self.membership
+            .scan_bucket(disks, bucket)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Number of membership buckets (scan domain).
+    #[must_use]
+    pub fn membership_buckets(&self) -> usize {
+        self.membership.buckets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::PdmConfig;
+
+    fn setup(capacity: usize, sigma: usize, eps: f64) -> (DiskArray, DynamicDict) {
+        let d = 20;
+        let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
+        let mut alloc = DiskAllocator::new(2 * d);
+        let params = DictParams::new(capacity, 1 << 30, sigma)
+            .with_degree(d)
+            .with_epsilon(eps)
+            .with_seed(0xD1C7);
+        let dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
+        (disks, dict)
+    }
+
+    fn keys(n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9).wrapping_add(11) % (1 << 30))
+            .collect()
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let (mut disks, mut dict) = setup(300, 2, 0.5);
+        for (i, k) in keys(300).into_iter().enumerate() {
+            dict.insert(&mut disks, k, &[k, i as u64]).unwrap();
+        }
+        assert_eq!(dict.len(), 300);
+        for (i, k) in keys(300).into_iter().enumerate() {
+            let out = dict.lookup(&mut disks, k);
+            assert_eq!(out.satellite, Some(vec![k, i as u64]), "key {k}");
+        }
+    }
+
+    #[test]
+    fn unsuccessful_search_is_one_io() {
+        let (mut disks, mut dict) = setup(100, 1, 0.5);
+        for k in keys(100) {
+            dict.insert(&mut disks, k, &[k]).unwrap();
+        }
+        let present: std::collections::HashSet<u64> = keys(100).into_iter().collect();
+        for probe in 0..500u64 {
+            if !present.contains(&probe) {
+                let out = dict.lookup(&mut disks, probe);
+                assert!(!out.found());
+                assert_eq!(
+                    out.cost.parallel_ios, 1,
+                    "unsuccessful search must be 1 I/O"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn average_lookup_within_one_plus_eps() {
+        let eps = 0.5;
+        let (mut disks, mut dict) = setup(500, 1, eps);
+        for k in keys(500) {
+            dict.insert(&mut disks, k, &[k]).unwrap();
+        }
+        let mut total = 0u64;
+        for k in keys(500) {
+            total += dict.lookup(&mut disks, k).cost.parallel_ios;
+        }
+        let avg = total as f64 / 500.0;
+        assert!(
+            avg <= 1.0 + eps,
+            "average successful lookup {avg} exceeds 1 + ɛ = {}",
+            1.0 + eps
+        );
+    }
+
+    #[test]
+    fn average_insert_within_two_plus_eps() {
+        let eps = 0.5;
+        let (mut disks, mut dict) = setup(500, 1, eps);
+        let mut total = 0u64;
+        let mut worst = 0u64;
+        for k in keys(500) {
+            let c = dict.insert(&mut disks, k, &[k]).unwrap();
+            total += c.parallel_ios;
+            worst = worst.max(c.parallel_ios);
+        }
+        let avg = total as f64 / 500.0;
+        assert!(
+            avg <= 2.0 + eps,
+            "average insert {avg} exceeds 2 + ɛ = {}",
+            2.0 + eps
+        );
+        assert!(
+            worst <= dict.num_levels() as u64 + 1,
+            "worst insert {worst} exceeds l + 1"
+        );
+    }
+
+    #[test]
+    fn most_keys_land_on_level_one() {
+        let (mut disks, mut dict) = setup(400, 1, 0.5);
+        for k in keys(400) {
+            dict.insert(&mut disks, k, &[0]).unwrap();
+        }
+        let pop = dict.level_population();
+        assert!(
+            pop[0] as f64 >= 0.9 * 400.0,
+            "level-1 population {} too small: {pop:?}",
+            pop[0]
+        );
+    }
+
+    #[test]
+    fn delete_then_miss_then_reinsert() {
+        let (mut disks, mut dict) = setup(50, 1, 0.5);
+        dict.insert(&mut disks, 42, &[1]).unwrap();
+        let (was, cost) = dict.delete(&mut disks, 42);
+        assert!(was);
+        assert_eq!(cost.parallel_ios, 2);
+        assert!(!dict.lookup(&mut disks, 42).found());
+        // Reinsert gets fresh fields (old ones are not reclaimed).
+        dict.insert(&mut disks, 42, &[2]).unwrap();
+        assert_eq!(dict.lookup(&mut disks, 42).satellite, Some(vec![2]));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let (mut disks, mut dict) = setup(50, 1, 0.5);
+        dict.insert(&mut disks, 7, &[1]).unwrap();
+        assert!(matches!(
+            dict.insert(&mut disks, 7, &[2]),
+            Err(DictError::DuplicateKey(7))
+        ));
+        assert_eq!(dict.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let (mut disks, mut dict) = setup(3, 0, 0.5);
+        for k in [1u64, 2, 3] {
+            dict.insert(&mut disks, k, &[]).unwrap();
+        }
+        assert!(matches!(
+            dict.insert(&mut disks, 4, &[]),
+            Err(DictError::CapacityExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn degree_condition_enforced() {
+        // ɛ = 0.25 needs d > 6(1 + 4) = 30.
+        let d = 16;
+        let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
+        let mut alloc = DiskAllocator::new(2 * d);
+        let params = DictParams::new(100, 1 << 30, 1)
+            .with_degree(d)
+            .with_epsilon(0.25);
+        let err = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap_err();
+        assert!(err.to_string().contains("6(1 + 1/ɛ)"), "{err}");
+    }
+
+    #[test]
+    fn scan_enumerates_live_keys() {
+        let (mut disks, mut dict) = setup(120, 1, 0.5);
+        let ks = keys(120);
+        for k in &ks {
+            dict.insert(&mut disks, *k, &[*k]).unwrap();
+        }
+        dict.delete(&mut disks, ks[0]);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..dict.membership_buckets() {
+            for k in dict.scan_bucket(&mut disks, b) {
+                assert!(seen.insert(k));
+            }
+        }
+        assert_eq!(seen.len(), 119);
+        assert!(!seen.contains(&ks[0]));
+    }
+
+    #[test]
+    fn satellite_width_checked() {
+        let (mut disks, mut dict) = setup(10, 2, 0.5);
+        assert!(matches!(
+            dict.insert(&mut disks, 1, &[1]),
+            Err(DictError::SatelliteWidth {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+}

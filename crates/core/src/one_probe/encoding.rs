@@ -1,0 +1,412 @@
+//! Field formats of the one-probe dictionaries.
+//!
+//! Every key owns `m = ⌈2d/3⌉` fields among its `d` neighbors (Theorem 6
+//! with `λ = 1/3`). Two formats pack its `σ`-bit record into them:
+//!
+//! * **Case (b)** (small blocks): each field is
+//!   `[present:1][identifier:⌈lg n⌉][chunk:⌈σ/m⌉]`. A lookup reads all
+//!   `d` fields of `Γ(x)` and looks for an identifier "that appears in
+//!   more than half of the fields"; since distinct keys share at most
+//!   `ε·d < d/12` neighbors, only the owner can reach the `m > d/2`
+//!   majority, and the majority fields in stripe order spell the record.
+//! * **Case (a)** (blocks hold `Ω(log n)` keys): membership and the head
+//!   pointer live in a Section 4.1 dictionary, and the fields carry only
+//!   `[occupied:1][unary pointer][data…]`: the unary value is the stripe
+//!   *delta* to the key's next field, `0` marks the tail, and the rest of
+//!   the field is record data — "the fraction of an array field dedicated
+//!   to pointer data will vary among fields".
+
+use pdm::bits::{bits_for, BitReader, BitWriter};
+use pdm::{Word, WORD_BITS};
+
+/// Case (b) field format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseB {
+    /// Identifier width `⌈lg n⌉`.
+    pub id_bits: usize,
+    /// Chunk width `⌈σ/m⌉`.
+    pub chunk_bits: usize,
+    /// Fields per key `m = ⌈2d/3⌉`.
+    pub fields_per_key: usize,
+    /// Record size `σ` in bits.
+    pub sigma_bits: usize,
+    /// Graph degree `d`.
+    pub degree: usize,
+}
+
+impl CaseB {
+    /// Format for `n` keys with `σ = sigma_bits` on a degree-`d` graph.
+    #[must_use]
+    pub fn new(n: usize, sigma_bits: usize, degree: usize) -> Self {
+        let fields_per_key = expander::params::fields_per_key(degree);
+        CaseB {
+            id_bits: bits_for(n.max(2) as u64),
+            chunk_bits: sigma_bits.div_ceil(fields_per_key),
+            fields_per_key,
+            sigma_bits,
+            degree,
+        }
+    }
+
+    /// Total bits per field.
+    #[must_use]
+    pub fn field_bits(&self) -> usize {
+        1 + self.id_bits + self.chunk_bits
+    }
+
+    /// Encode chunk `t` of `satellite` for the key with identifier `id`.
+    #[must_use]
+    pub fn encode(&self, id: u64, satellite: &[Word], t: usize) -> Vec<Word> {
+        debug_assert!(t < self.fields_per_key);
+        let mut w = BitWriter::new();
+        w.write_bit(true); // present
+        w.write_bits(id, self.id_bits);
+        let start = t * self.chunk_bits;
+        for b in 0..self.chunk_bits {
+            let bit = start + b;
+            let val = if bit < self.sigma_bits {
+                (satellite[bit / WORD_BITS] >> (bit % WORD_BITS)) & 1 == 1
+            } else {
+                false
+            };
+            w.write_bit(val);
+        }
+        let mut words = w.into_words();
+        words.resize(self.field_bits().div_ceil(WORD_BITS), 0);
+        words
+    }
+
+    /// Decode a lookup from the `d` fields of `Γ(x)` in stripe order.
+    /// Returns `(identifier, satellite)` when some identifier appears in
+    /// more than `d/2` fields.
+    #[must_use]
+    pub fn decode(&self, fields: &[Vec<Word>]) -> Option<(u64, Vec<Word>)> {
+        debug_assert_eq!(fields.len(), self.degree);
+        // Parse (present, id, chunk-offset) per field.
+        let mut parsed: Vec<Option<u64>> = Vec::with_capacity(fields.len());
+        for f in fields {
+            let mut r = BitReader::new(f);
+            let present = r.read_bit();
+            let id = r.read_bits(self.id_bits);
+            parsed.push(present.then_some(id));
+        }
+        // Majority identifier.
+        let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for id in parsed.iter().flatten() {
+            *counts.entry(*id).or_insert(0) += 1;
+        }
+        let (&winner, &count) = counts.iter().max_by_key(|&(_, &c)| c)?;
+        if 2 * count <= self.degree {
+            return None;
+        }
+        // Merge the winner's chunks in stripe order.
+        let mut out = vec![0 as Word; self.sigma_bits.div_ceil(WORD_BITS).max(1)];
+        let mut t = 0;
+        for (f, id) in fields.iter().zip(&parsed) {
+            if *id != Some(winner) {
+                continue;
+            }
+            let mut r = BitReader::new(f);
+            r.seek(1 + self.id_bits);
+            for b in 0..self.chunk_bits {
+                let bit = t * self.chunk_bits + b;
+                if bit >= self.sigma_bits {
+                    break;
+                }
+                if r.read_bit() {
+                    out[bit / WORD_BITS] |= 1 << (bit % WORD_BITS);
+                }
+            }
+            t += 1;
+        }
+        if self.sigma_bits == 0 {
+            out.clear();
+        }
+        Some((winner, out))
+    }
+}
+
+/// Case (a) / dynamic field format: occupied bit, unary stripe-delta
+/// chain, then data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chain {
+    /// Total bits per field.
+    pub field_bits: usize,
+    /// Record size `σ` in bits.
+    pub sigma_bits: usize,
+    /// Fields per key `m = ⌈2d/3⌉`.
+    pub fields_per_key: usize,
+    /// Graph degree `d`.
+    pub degree: usize,
+}
+
+impl Chain {
+    /// Format for `σ = sigma_bits` on a degree-`d` graph.
+    ///
+    /// Field size is `max(⌈σ/m⌉, d+2) + 4` bits: large enough that any
+    /// single field can hold its worst-case unary delta (`≤ d-1` bits plus
+    /// terminator and occupied bit) and that the `m` fields jointly hold
+    /// `σ` data bits beside all pointer bits (the paper's "less than 2d
+    /// bits per element" of pointer data).
+    #[must_use]
+    pub fn new(sigma_bits: usize, degree: usize) -> Self {
+        let fields_per_key = expander::params::fields_per_key(degree);
+        let field_bits = sigma_bits.div_ceil(fields_per_key).max(degree + 2) + 4;
+        Chain {
+            field_bits,
+            sigma_bits,
+            fields_per_key,
+            degree,
+        }
+    }
+
+    /// Words needed to hold one field.
+    #[must_use]
+    pub fn field_words(&self) -> usize {
+        self.field_bits.div_ceil(WORD_BITS)
+    }
+
+    /// Encode the record into the fields at `stripes` (strictly
+    /// increasing, length `m`). Returns `(stripe, field bits)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `stripes` is not strictly increasing, has the wrong
+    /// length, or the data does not fit (impossible for parameters built
+    /// by [`Chain::new`] — enforced by a debug assertion).
+    #[must_use]
+    pub fn encode(&self, stripes: &[usize], satellite: &[Word]) -> Vec<(usize, Vec<Word>)> {
+        assert_eq!(stripes.len(), self.fields_per_key, "need m fields");
+        assert!(
+            stripes.windows(2).all(|w| w[0] < w[1]),
+            "stripes must be strictly increasing"
+        );
+        assert!(*stripes.last().expect("non-empty") < self.degree);
+        let mut out = Vec::with_capacity(stripes.len());
+        let mut bit_cursor = 0usize;
+        for (t, &stripe) in stripes.iter().enumerate() {
+            let delta = if t + 1 < stripes.len() {
+                stripes[t + 1] - stripes[t]
+            } else {
+                0
+            };
+            let mut w = BitWriter::new();
+            w.write_bit(true); // occupied
+            w.write_unary(delta as u64);
+            let data_bits = self.field_bits - w.len_bits();
+            for _ in 0..data_bits {
+                let val = if bit_cursor < self.sigma_bits {
+                    (satellite[bit_cursor / WORD_BITS] >> (bit_cursor % WORD_BITS)) & 1 == 1
+                } else {
+                    false
+                };
+                w.write_bit(val);
+                bit_cursor += 1;
+            }
+            let mut words = w.into_words();
+            words.resize(self.field_words(), 0);
+            out.push((stripe, words));
+        }
+        debug_assert!(
+            bit_cursor >= self.sigma_bits,
+            "field capacity miscomputed: wrote {bit_cursor} of {} bits",
+            self.sigma_bits
+        );
+        out
+    }
+
+    /// Whether a raw field is occupied.
+    #[must_use]
+    pub fn is_occupied(&self, field: &[Word]) -> bool {
+        field[0] & 1 == 1
+    }
+
+    /// Decode a chain starting at `head_stripe`, given all `d` fields of
+    /// `Γ(x)` indexed by stripe. Returns `None` on a malformed chain
+    /// (e.g. an unoccupied link — the key was never stored here).
+    #[must_use]
+    pub fn decode(&self, head_stripe: usize, fields_by_stripe: &[Vec<Word>]) -> Option<Vec<Word>> {
+        debug_assert_eq!(fields_by_stripe.len(), self.degree);
+        let mut out = vec![0 as Word; self.sigma_bits.div_ceil(WORD_BITS).max(1)];
+        let mut bit_cursor = 0usize;
+        let mut stripe = head_stripe;
+        for _hop in 0..self.fields_per_key {
+            if stripe >= self.degree {
+                return None;
+            }
+            let f = &fields_by_stripe[stripe];
+            let mut r = BitReader::new(f);
+            if !r.read_bit() {
+                return None; // unoccupied link: not a valid chain
+            }
+            let delta = r.read_unary() as usize;
+            let data_bits = self.field_bits - r.position();
+            for _ in 0..data_bits {
+                let bit = r.read_bit();
+                if bit_cursor < self.sigma_bits {
+                    if bit {
+                        out[bit_cursor / WORD_BITS] |= 1 << (bit_cursor % WORD_BITS);
+                    }
+                    bit_cursor += 1;
+                }
+            }
+            if delta == 0 {
+                break;
+            }
+            stripe += delta;
+        }
+        if bit_cursor < self.sigma_bits {
+            return None; // chain ended early
+        }
+        if self.sigma_bits == 0 {
+            out.clear();
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sat(words: usize, seed: u64) -> Vec<Word> {
+        (0..words)
+            .map(|i| expander::seeded::mix64(seed.wrapping_add(i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn case_b_roundtrip() {
+        let enc = CaseB::new(1000, 256, 15); // m = 10, chunks of 26 bits
+        let satellite = sat(4, 7);
+        // Simulate: key owns fields at stripes {0,1,2,4,5,7,8,10,12,14}.
+        let owner_stripes = [0usize, 1, 2, 4, 5, 7, 8, 10, 12, 14];
+        let mut fields = vec![vec![0; enc.field_bits().div_ceil(WORD_BITS)]; 15];
+        for (t, &s) in owner_stripes.iter().enumerate() {
+            fields[s] = enc.encode(123, &satellite, t);
+        }
+        // Unrelated keys occupy two other stripes.
+        fields[3] = enc.encode(77, &sat(4, 9), 0);
+        fields[6] = enc.encode(78, &sat(4, 10), 1);
+        let (id, got) = enc.decode(&fields).expect("majority must be found");
+        assert_eq!(id, 123);
+        assert_eq!(got, satellite);
+    }
+
+    #[test]
+    fn case_b_no_false_positive_without_majority() {
+        let enc = CaseB::new(1000, 64, 15);
+        let mut fields = vec![vec![0; enc.field_bits().div_ceil(WORD_BITS)]; 15];
+        // Seven fields of id 5 (not a majority of 15), rest empty.
+        for (t, f) in fields.iter_mut().enumerate().take(7) {
+            *f = enc.encode(5, &sat(1, 3), t % enc.fields_per_key);
+        }
+        assert!(enc.decode(&fields).is_none());
+    }
+
+    #[test]
+    fn case_b_zero_sigma() {
+        let enc = CaseB::new(16, 0, 15);
+        let mut fields = vec![vec![0; 1]; 15];
+        for (t, &s) in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9].iter().enumerate() {
+            fields[s] = enc.encode(3, &[], t);
+        }
+        let (id, got) = enc.decode(&fields).unwrap();
+        assert_eq!(id, 3);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn chain_roundtrip() {
+        let enc = Chain::new(300, 13); // m = 9
+        let satellite = sat(5, 42);
+        let stripes = [0usize, 1, 3, 4, 6, 8, 9, 11, 12];
+        let encoded = enc.encode(&stripes, &satellite);
+        let mut fields = vec![vec![0; enc.field_words()]; 13];
+        for (s, bits) in &encoded {
+            fields[*s] = bits.clone();
+        }
+        let got = enc.decode(0, &fields).expect("chain decodes");
+        // Compare only the σ bits.
+        for bit in 0..300 {
+            assert_eq!(
+                (got[bit / 64] >> (bit % 64)) & 1,
+                (satellite[bit / 64] >> (bit % 64)) & 1,
+                "bit {bit} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_head_at_nonzero_stripe() {
+        let enc = Chain::new(64, 13);
+        let satellite = sat(1, 1);
+        let stripes: Vec<usize> = (4..13).collect(); // m = 9 fields
+        let encoded = enc.encode(&stripes, &satellite);
+        let mut fields = vec![vec![0; enc.field_words()]; 13];
+        for (s, bits) in &encoded {
+            fields[*s] = bits.clone();
+        }
+        let got = enc.decode(4, &fields).unwrap();
+        assert_eq!(got[0], satellite[0]);
+    }
+
+    #[test]
+    fn chain_decode_rejects_unoccupied_head() {
+        let enc = Chain::new(64, 13);
+        let fields = vec![vec![0; enc.field_words()]; 13];
+        assert!(enc.decode(0, &fields).is_none());
+    }
+
+    #[test]
+    fn chain_occupancy_flag() {
+        let enc = Chain::new(64, 13);
+        let stripes: Vec<usize> = (0..9).collect();
+        let encoded = enc.encode(&stripes, &sat(1, 2));
+        assert!(enc.is_occupied(&encoded[0].1));
+        assert!(!enc.is_occupied(&vec![0; enc.field_words()]));
+    }
+
+    #[test]
+    fn chain_field_big_enough_for_worst_delta() {
+        for d in [13usize, 16, 24, 48] {
+            for sigma in [0usize, 1, 64, 1000] {
+                let enc = Chain::new(sigma, d);
+                // Worst chain: first and last stripes, delta d-1 in one hop
+                // is impossible with m ≥ 2 hops, but delta up to
+                // d - m + 1 happens; the field must hold occupied bit +
+                // d bits of unary in the worst case.
+                assert!(
+                    enc.field_bits >= d + 2,
+                    "d = {d}, σ = {sigma}: field {} bits too small",
+                    enc.field_bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_total_capacity_covers_sigma() {
+        for d in [13usize, 21, 33] {
+            for sigma in [1usize, 100, 777, 4096] {
+                let enc = Chain::new(sigma, d);
+                let m = enc.fields_per_key;
+                // Worst-case pointer bits: deltas sum ≤ d-1, m terminators,
+                // m occupied bits.
+                let overhead = (d - 1) + 2 * m;
+                assert!(
+                    m * enc.field_bits >= sigma + overhead,
+                    "d = {d}, σ = {sigma}: capacity short"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn chain_rejects_unsorted_stripes() {
+        let enc = Chain::new(64, 13);
+        let mut stripes: Vec<usize> = (0..9).collect();
+        stripes.swap(0, 1);
+        let _ = enc.encode(&stripes, &sat(1, 0));
+    }
+}

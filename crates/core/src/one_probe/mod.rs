@@ -1,0 +1,21 @@
+//! The Section 4.2 one-probe static dictionary (Theorem 6) and its
+//! machinery.
+//!
+//! * [`encoding`] — the two field formats: case (b)'s
+//!   identifier-plus-chunk fields decoded by majority, and case (a)'s
+//!   unary-coded relative-pointer chains ("the differences are stored in
+//!   unary format, and a 0-bit separates this pointer data from the
+//!   record data. The tail field just starts with a 0-bit.").
+//! * [`construct`] — the unique-neighbor assignment: both the simple
+//!   recursive `O(n)`-I/O peeling and the paper's *improved* sort-based
+//!   construction running entirely through I/O-accounted external sorts.
+//! * [`static_dict`] — [`OneProbeStatic`], tying it together: one
+//!   parallel I/O per lookup, construction cost `O(sort(n·d))`.
+
+pub mod construct;
+pub mod encoding;
+pub mod head_model;
+pub mod static_dict;
+
+pub use head_model::HeadModelOneProbe;
+pub use static_dict::{OneProbeStatic, OneProbeVariant};

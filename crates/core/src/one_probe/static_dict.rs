@@ -1,0 +1,447 @@
+//! Theorem 6: the one-probe static dictionary.
+//!
+//! Lookups cost **one parallel I/O**, construction costs `O(sort(n·d))`
+//! parallel I/Os, and the two cases trade block-size assumptions for
+//! space:
+//!
+//! * **case (a)** — `O(log n)` keys fit in a block: `2d` disks; a
+//!   Section 4.1 membership dictionary (with a `⌈lg d⌉`-bit head pointer
+//!   per key) occupies half of them, the pointer-chain retrieval array the
+//!   other half. Space `O(n(log u + σ))` bits — optimal.
+//! * **case (b)** — tiny blocks: `d` disks, identifier-tagged fields with
+//!   majority decoding. Space `O(n·log u·log n + n·σ)` bits.
+
+use crate::basic::{BasicDict, BasicDictConfig};
+use crate::config::DictParams;
+use crate::fields::FieldArray;
+use crate::layout::DiskAllocator;
+use crate::one_probe::construct::{sorted_construct, ConstructStats};
+use crate::one_probe::encoding::{CaseB, Chain};
+use crate::traits::{DictError, LookupOutcome};
+use expander::{NeighborFn, SeededExpander};
+use pdm::{DiskArray, Word, WORD_BITS};
+
+/// Which Theorem 6 case to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OneProbeVariant {
+    /// Case (a): membership dictionary + pointer-chain retrieval
+    /// (`2d` disks, needs `B = Ω(log n)`).
+    CaseA,
+    /// Case (b): identifier-tagged fields with majority decoding
+    /// (`d` disks, any `B` that holds one field).
+    CaseB,
+}
+
+#[derive(Debug)]
+enum VariantImpl {
+    B {
+        fields: FieldArray,
+        enc: CaseB,
+    },
+    A {
+        membership: BasicDict,
+        fields: FieldArray,
+        enc: Chain,
+    },
+}
+
+/// The one-probe static dictionary of Theorem 6, generic over the
+/// (striped) expander powering it. `G = SeededExpander` is the default;
+/// [`OneProbeStatic::build_with_graph`] accepts any striped
+/// [`NeighborFn`] — in particular the Section 5 semi-explicit
+/// construction after trivial striping, which yields the paper's fully
+/// semi-explicit dictionary end to end.
+#[derive(Debug)]
+pub struct OneProbeStatic<G: NeighborFn = SeededExpander> {
+    variant: VariantImpl,
+    graph: G,
+    n: usize,
+    sigma_words: usize,
+}
+
+impl OneProbeStatic<SeededExpander> {
+    /// Build the dictionary for `entries` (keys with equal-width
+    /// satellite data) starting at `first_disk`, sampling a seeded
+    /// expander from `params`. Case (a) uses `2d` disks, case (b)
+    /// uses `d`.
+    ///
+    /// Returns the structure and the measured construction cost.
+    pub fn build(
+        disks: &mut DiskArray,
+        alloc: &mut DiskAllocator,
+        first_disk: usize,
+        params: &DictParams,
+        variant: OneProbeVariant,
+        entries: &[(u64, Vec<Word>)],
+    ) -> Result<(Self, ConstructStats), DictError> {
+        // (n, ε)-expander with v = slack·n·d, i.e. slack·n per stripe.
+        let n = entries.len().max(1);
+        let stripe = ((params.right_slack * n as f64).ceil() as usize).max(4);
+        let graph = SeededExpander::new(params.universe, stripe, params.degree, params.seed);
+        Self::build_with_graph(disks, alloc, first_disk, params, variant, graph, entries)
+    }
+}
+
+impl<G: NeighborFn> OneProbeStatic<G> {
+    /// Build over a caller-supplied striped expander.
+    ///
+    /// The graph must be striped with `degree == params.degree`; its
+    /// stripe size determines the field arrays' size.
+    pub fn build_with_graph(
+        disks: &mut DiskArray,
+        alloc: &mut DiskAllocator,
+        first_disk: usize,
+        params: &DictParams,
+        variant: OneProbeVariant,
+        graph: G,
+        entries: &[(u64, Vec<Word>)],
+    ) -> Result<(Self, ConstructStats), DictError> {
+        params.validate(disks.config(), matches!(variant, OneProbeVariant::CaseA))?;
+        if !graph.is_striped() {
+            return Err(DictError::UnsupportedParams(
+                "the parallel disk model needs a striped expander (the parallel disk head \
+                 model lifts this; see expander::TriviallyStriped)"
+                    .into(),
+            ));
+        }
+        if graph.degree() != params.degree {
+            return Err(DictError::UnsupportedParams(format!(
+                "graph degree {} does not match configured degree {}",
+                graph.degree(),
+                params.degree
+            )));
+        }
+        let n = entries.len().max(1);
+        let d = params.degree;
+        let m = params.fields_per_key();
+        let sigma_words = params.satellite_words;
+        if entries.iter().any(|(_, s)| s.len() != sigma_words) {
+            return Err(DictError::UnsupportedParams(
+                "all satellites must have the configured width".into(),
+            ));
+        }
+        let sigma_bits = sigma_words * WORD_BITS;
+        let stripe = graph.stripe_size();
+
+        match variant {
+            OneProbeVariant::CaseB => {
+                let enc = CaseB::new(n, sigma_bits, d);
+                let fields =
+                    FieldArray::create(disks, alloc, first_disk, d, stripe, enc.field_bits())?;
+                let field_words = enc.field_bits().div_ceil(WORD_BITS);
+                let stats = sorted_construct(
+                    disks,
+                    &graph,
+                    &fields,
+                    entries,
+                    m,
+                    field_words,
+                    |_key, rank, stripes, satellite| {
+                        (0..stripes.len())
+                            .map(|t| (stripes[t], enc.encode(rank, satellite, t)))
+                            .collect()
+                    },
+                )?;
+                Ok((
+                    OneProbeStatic {
+                        variant: VariantImpl::B { fields, enc },
+                        graph,
+                        n: entries.len(),
+                        sigma_words,
+                    },
+                    stats,
+                ))
+            }
+            OneProbeVariant::CaseA => {
+                let enc = Chain::new(sigma_bits, d);
+                // Membership on disks [first, first+d): key -> head stripe.
+                let mcfg =
+                    BasicDictConfig::log_load(n, params.universe, d, 1, params.seed ^ 0xA11C_E55E);
+                let membership = BasicDict::create(disks, alloc, first_disk, mcfg)?;
+                if membership.blocks_per_bucket() != 1 {
+                    return Err(DictError::UnsupportedParams(format!(
+                        "case (a) requires B = Ω(log n): a bucket of {} slots must fit one \
+                         block of {} words",
+                        membership.config().bucket_slots,
+                        disks.block_words()
+                    )));
+                }
+                // Retrieval on disks [first+d, first+2d).
+                let fields =
+                    FieldArray::create(disks, alloc, first_disk + d, d, stripe, enc.field_bits)?;
+                let field_words = enc.field_words();
+                let mut heads: Vec<(u64, Vec<Word>)> = Vec::with_capacity(entries.len());
+                let stats = sorted_construct(
+                    disks,
+                    &graph,
+                    &fields,
+                    entries,
+                    m,
+                    field_words,
+                    |key, _rank, stripes, satellite| {
+                        heads.push((key, vec![stripes[0] as Word]));
+                        enc.encode(stripes, satellite)
+                    },
+                )?;
+                let mut membership = membership;
+                let mcost = membership.bulk_build(disks, &heads)?;
+                let mut stats = stats;
+                stats.cost = stats.cost.plus(mcost);
+                Ok((
+                    OneProbeStatic {
+                        variant: VariantImpl::A {
+                            membership,
+                            fields,
+                            enc,
+                        },
+                        graph,
+                        n: entries.len(),
+                        sigma_words,
+                    },
+                    stats,
+                ))
+            }
+        }
+    }
+
+    /// Number of keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the dictionary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Satellite width in words.
+    #[must_use]
+    pub fn satellite_words(&self) -> usize {
+        self.sigma_words
+    }
+
+    /// Space usage in words.
+    #[must_use]
+    pub fn space_words(&self, disks: &DiskArray) -> usize {
+        match &self.variant {
+            VariantImpl::B { fields, .. } => fields.space_words(disks),
+            VariantImpl::A {
+                membership, fields, ..
+            } => membership.space_words(disks) + fields.space_words(disks),
+        }
+    }
+
+    /// One-probe lookup: a single batched parallel I/O.
+    pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
+        let out = self.lookup_shared(disks, key);
+        disks.charge_cost(out.cost);
+        out
+    }
+
+    /// One-probe lookup through a **shared** reference — the paper's
+    /// concurrency property made literal: the structure is static, probe
+    /// addresses are pure functions of the key, and no data ever moves,
+    /// so any number of threads may call this simultaneously (see the
+    /// `concurrent_reads` example). The returned cost is computed but not
+    /// recorded in the array's counters.
+    #[must_use]
+    pub fn lookup_shared(&self, disks: &DiskArray, key: u64) -> LookupOutcome {
+        let positions: Vec<(usize, usize)> = self
+            .graph
+            .neighbors(key)
+            .into_iter()
+            .map(|y| self.graph.stripe_of(y))
+            .collect();
+        match &self.variant {
+            VariantImpl::B { fields, enc } => {
+                let addrs = fields.probe_addrs(&positions);
+                let (blocks, cost) = disks.read_batch_shared(&addrs);
+                let raw = fields.extract(&positions, &blocks);
+                let satellite = enc.decode(&raw).map(|(_, sat)| {
+                    let mut s = sat;
+                    s.truncate(self.sigma_words);
+                    s.resize(self.sigma_words, 0);
+                    s
+                });
+                LookupOutcome { satellite, cost }
+            }
+            VariantImpl::A {
+                membership,
+                fields,
+                enc,
+            } => {
+                // One batch probes both halves: the membership buckets on
+                // the first d disks, the fields on the second d disks.
+                let maddrs = membership.probe_addrs(key);
+                let faddrs = fields.probe_addrs(&positions);
+                let msplit = maddrs.len();
+                let mut all = maddrs;
+                all.extend(faddrs);
+                let (blocks, cost) = disks.read_batch_shared(&all);
+                let (mblocks, fblocks) = blocks.split_at(msplit);
+                let satellite = membership.decode_find(key, mblocks).and_then(|payload| {
+                    let head = payload[0] as usize;
+                    let raw = fields.extract(&positions, fblocks);
+                    enc.decode(head, &raw).map(|mut s| {
+                        s.truncate(self.sigma_words);
+                        s.resize(self.sigma_words, 0);
+                        s
+                    })
+                });
+                LookupOutcome { satellite, cost }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm::PdmConfig;
+
+    fn entries(n: usize, sigma: usize) -> Vec<(u64, Vec<Word>)> {
+        (0..n as u64)
+            .map(|k| {
+                let key = k.wrapping_mul(0x9E37_79B9).wrapping_add(7) % (1 << 30);
+                (key, (0..sigma as u64).map(|i| key ^ (i << 32)).collect())
+            })
+            .collect()
+    }
+
+    fn params(n: usize, sigma: usize) -> DictParams {
+        DictParams::new(n, 1 << 30, sigma)
+            .with_degree(13)
+            .with_seed(77)
+    }
+
+    fn build(
+        variant: OneProbeVariant,
+        n: usize,
+        sigma: usize,
+    ) -> (DiskArray, OneProbeStatic, ConstructStats) {
+        let d = 13;
+        let disks_needed = match variant {
+            OneProbeVariant::CaseA => 2 * d,
+            OneProbeVariant::CaseB => d,
+        };
+        let mut disks = DiskArray::new(PdmConfig::new(disks_needed, 64), 0);
+        let mut alloc = DiskAllocator::new(disks_needed);
+        let es = entries(n, sigma);
+        let (dict, stats) =
+            OneProbeStatic::build(&mut disks, &mut alloc, 0, &params(n, sigma), variant, &es)
+                .unwrap();
+        (disks, dict, stats)
+    }
+
+    #[test]
+    fn case_b_lookups_are_one_io_and_correct() {
+        let (mut disks, dict, _) = build(OneProbeVariant::CaseB, 150, 2);
+        for (key, sat) in entries(150, 2) {
+            let out = dict.lookup(&mut disks, key);
+            assert_eq!(out.satellite, Some(sat), "key {key}");
+            assert_eq!(out.cost.parallel_ios, 1, "one-probe violated");
+        }
+    }
+
+    #[test]
+    fn case_a_lookups_are_one_io_and_correct() {
+        let (mut disks, dict, _) = build(OneProbeVariant::CaseA, 150, 3);
+        for (key, sat) in entries(150, 3) {
+            let out = dict.lookup(&mut disks, key);
+            assert_eq!(out.satellite, Some(sat), "key {key}");
+            assert_eq!(out.cost.parallel_ios, 1, "one-probe violated");
+        }
+    }
+
+    #[test]
+    fn case_a_misses_have_no_false_positives() {
+        let (mut disks, dict, _) = build(OneProbeVariant::CaseA, 100, 1);
+        let present: std::collections::HashSet<u64> =
+            entries(100, 1).into_iter().map(|(k, _)| k).collect();
+        for probe in 0..2000u64 {
+            if !present.contains(&probe) {
+                let out = dict.lookup(&mut disks, probe);
+                assert!(out.satellite.is_none(), "false positive at {probe}");
+                assert_eq!(out.cost.parallel_ios, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn case_b_misses_are_rejected_by_majority() {
+        let (mut disks, dict, _) = build(OneProbeVariant::CaseB, 100, 1);
+        let present: std::collections::HashSet<u64> =
+            entries(100, 1).into_iter().map(|(k, _)| k).collect();
+        let mut false_pos = 0;
+        for probe in 0..2000u64 {
+            if !present.contains(&probe) && dict.lookup(&mut disks, probe).found() {
+                false_pos += 1;
+            }
+        }
+        // Shared-neighbor bound makes a majority for an absent key
+        // impossible when the graph has its parameters; the sampled graph
+        // must match that here.
+        assert_eq!(false_pos, 0, "{false_pos} false positives");
+    }
+
+    #[test]
+    fn construction_cost_within_constant_of_sort_bound() {
+        let n = 200;
+        let d = 13;
+        let (disks, _, stats) = build(OneProbeVariant::CaseB, n, 2);
+        let bound = pdm::sort_io_bound(disks.config(), n * d, 2).max(1);
+        let ratio = stats.cost.parallel_ios as f64 / bound as f64;
+        assert!(
+            ratio < 40.0,
+            "construction {}, sort bound {bound}: ratio {ratio}",
+            stats.cost.parallel_ios
+        );
+    }
+
+    #[test]
+    fn zero_sigma_membership_only() {
+        let (mut disks, dict, _) = build(OneProbeVariant::CaseB, 80, 0);
+        for (key, _) in entries(80, 0) {
+            let out = dict.lookup(&mut disks, key);
+            assert_eq!(out.satellite, Some(vec![]));
+        }
+    }
+
+    #[test]
+    fn case_a_rejects_tiny_blocks() {
+        // B = 4 words cannot hold a log-load bucket: case (a) must refuse.
+        let d = 13;
+        let mut disks = DiskArray::new(PdmConfig::new(2 * d, 4), 0);
+        let mut alloc = DiskAllocator::new(2 * d);
+        let es = entries(200, 1);
+        let err = OneProbeStatic::build(
+            &mut disks,
+            &mut alloc,
+            0,
+            &params(200, 1),
+            OneProbeVariant::CaseA,
+            &es,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("Ω(log n)"), "got: {err}");
+    }
+
+    #[test]
+    fn mismatched_satellite_width_rejected() {
+        let d = 13;
+        let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);
+        let mut alloc = DiskAllocator::new(d);
+        let es = vec![(1u64, vec![1, 2]), (2u64, vec![3])];
+        assert!(OneProbeStatic::build(
+            &mut disks,
+            &mut alloc,
+            0,
+            &params(2, 2),
+            OneProbeVariant::CaseB,
+            &es
+        )
+        .is_err());
+    }
+}

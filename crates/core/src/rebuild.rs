@@ -1,0 +1,454 @@
+//! Global rebuilding: the fully dynamic, unbounded-capacity dictionary.
+//!
+//! The Section 4 preamble: "the dictionary problem is a decomposable
+//! search problem, so we can apply standard, worst-case efficient global
+//! rebuilding techniques (see \[Overmars–van Leeuwen\]) to get fully dynamic
+//! dictionaries, without an upper bound on the size of the key set, and
+//! with support for deletions. ... The global rebuilding technique needed
+//! keeps two data structures active at any time, which can be queried in
+//! parallel. ... The amount of space used and the number of disks increase
+//! by a constant factor compared to the basic structure."
+//!
+//! [`Dictionary`] owns a disk array of `4d` disks: two side-by-side slots
+//! of `2d` disks, each able to hold one [`DynamicDict`]. When the active
+//! structure fills past 3/4 of its capacity (or empties far below it), a
+//! replacement of capacity `2·live` starts in the other slot; every
+//! subsequent operation migrates a few membership buckets' worth of keys,
+//! so the rebuild finishes long before the new structure can fill and no
+//! single operation ever pays more than a constant number of extra I/Os —
+//! the worst-case spreading the paper gets from Overmars–van Leeuwen.
+//!
+//! During a rebuild, lookups consult the new structure first and fall back
+//! to the old (both cost `O(1)` worst case); deletions apply to both.
+//! Migrated keys are *copied*, not moved — consistent with the paper's
+//! "no piece of data is ever moved" discipline — and the old slot is
+//! abandoned wholesale when the migration completes.
+
+use crate::config::DictParams;
+use crate::dynamic::DynamicDict;
+use crate::layout::DiskAllocator;
+use crate::traits::{DictError, LookupOutcome};
+use pdm::{DiskArray, IoStats, OpCost, PdmConfig, Word};
+
+/// Buckets migrated per operation during a rebuild. Each bucket holds
+/// `Θ(log n)` keys, so this finishes a rebuild after `O(v / RATE)` =
+/// `O(n / log n)` operations — far fewer than the `n/2` inserts needed to
+/// fill the replacement.
+const MIGRATE_BUCKETS_PER_OP: usize = 2;
+
+/// A fully dynamic dictionary with no capacity bound and deletions,
+/// built from [`DynamicDict`] via incremental global rebuilding.
+///
+/// ```
+/// use pdm_dict::{DictParams, Dictionary};
+///
+/// let params = DictParams::new(256, 1 << 40, 2)
+///     .with_degree(20)
+///     .with_epsilon(0.5)
+///     .with_seed(7);
+/// let mut dict = Dictionary::new(params, 128)?;
+/// dict.insert(42, &[1, 2])?;
+/// assert_eq!(dict.lookup(42).satellite, Some(vec![1, 2]));
+/// assert_eq!(dict.lookup(43).cost.parallel_ios, 1); // miss: exactly 1 I/O
+/// let (was_present, _) = dict.delete(42)?;
+/// assert!(was_present);
+/// # Ok::<(), pdm_dict::DictError>(())
+/// ```
+#[derive(Debug)]
+pub struct Dictionary {
+    disks: DiskArray,
+    alloc: DiskAllocator,
+    template: DictParams,
+    active: DynamicDict,
+    building: Option<Building>,
+    min_capacity: usize,
+    rebuilds: usize,
+}
+
+#[derive(Debug)]
+struct Building {
+    dict: DynamicDict,
+    /// Next membership bucket of the old structure to migrate.
+    cursor: usize,
+    /// Keys currently present in BOTH structures (copied, old not yet
+    /// abandoned) — needed for exact `len()` accounting.
+    copied: usize,
+}
+
+impl Dictionary {
+    /// Create a dictionary with `block_words`-word blocks. `params`
+    /// supplies the universe, satellite width, degree, ɛ and the *initial*
+    /// capacity (the structure grows past it by rebuilding).
+    pub fn new(params: DictParams, block_words: usize) -> Result<Self, DictError> {
+        let d = params.degree;
+        let cfg = PdmConfig::new(4 * d, block_words);
+        let mut disks = DiskArray::new(cfg, 0);
+        let mut alloc = DiskAllocator::new(4 * d);
+        let active = DynamicDict::create(&mut disks, &mut alloc, 0, params)?;
+        Ok(Dictionary {
+            disks,
+            alloc,
+            template: params,
+            active,
+            building: None,
+            min_capacity: params.capacity,
+            rebuilds: 0,
+        })
+    }
+
+    /// Live keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.building {
+            // During a rebuild every live key is in active ∪ building and
+            // exactly the `copied` keys are in both (inclusion–exclusion).
+            Some(b) => self.active.len() + b.dict.len() - b.copied,
+            None => self.active.len(),
+        }
+    }
+
+    /// Whether empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether an incremental rebuild is in flight.
+    #[must_use]
+    pub fn is_rebuilding(&self) -> bool {
+        self.building.is_some()
+    }
+
+    /// Completed rebuilds.
+    #[must_use]
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Current capacity of the active structure.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.active.capacity()
+    }
+
+    /// Global I/O counters of the owned disk array.
+    #[must_use]
+    pub fn io_stats(&self) -> IoStats {
+        self.disks.stats()
+    }
+
+    /// Access the owned disk array (diagnostics).
+    #[must_use]
+    pub fn disks(&self) -> &DiskArray {
+        &self.disks
+    }
+
+    /// Lookup. `O(1)` I/Os worst case (at most two structure probes
+    /// during a rebuild).
+    pub fn lookup(&mut self, key: u64) -> LookupOutcome {
+        let scope = self.disks.begin_op();
+        if let Some(b) = &self.building {
+            let out = b.dict.lookup(&mut self.disks, key);
+            if out.found() {
+                return LookupOutcome {
+                    satellite: out.satellite,
+                    cost: self.disks.end_op(scope),
+                };
+            }
+        }
+        let out = self.active.lookup(&mut self.disks, key);
+        LookupOutcome {
+            satellite: out.satellite,
+            cost: self.disks.end_op(scope),
+        }
+    }
+
+    /// Insert. Averages `2 + ɛ` I/Os outside rebuild windows; `O(1)`
+    /// worst case always (insert + bounded migration work).
+    pub fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<OpCost, DictError> {
+        let scope = self.disks.begin_op();
+        if self.building.is_none() {
+            match self.active.insert(&mut self.disks, key, satellite) {
+                Ok(_) => {
+                    self.advance_rebuild()?;
+                    self.maybe_start_rebuild()?;
+                    return Ok(self.disks.end_op(scope));
+                }
+                // The active structure ran out of budget (capacity or
+                // expander headroom): start the replacement immediately and
+                // route this insert there. This is how the wrapper absorbs
+                // the sampled expander's rare local failures too.
+                Err(DictError::CapacityExhausted { .. } | DictError::LevelsExhausted { .. }) => {
+                    self.start_rebuild()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // A rebuild is in flight: new keys go to the replacement. Reject
+        // duplicates still sitting in the old structure.
+        if self.active.lookup(&mut self.disks, key).found() {
+            return Err(DictError::DuplicateKey(key));
+        }
+        let b = self.building.as_mut().expect("rebuild in flight");
+        b.dict.insert(&mut self.disks, key, satellite)?;
+        self.advance_rebuild()?;
+        Ok(self.disks.end_op(scope))
+    }
+
+    /// Delete. Applies to both structures during a rebuild. Returns
+    /// whether the key was present.
+    pub fn delete(&mut self, key: u64) -> Result<(bool, OpCost), DictError> {
+        let scope = self.disks.begin_op();
+        let mut was_building = false;
+        if let Some(b) = &mut self.building {
+            let (w, _) = b.dict.delete(&mut self.disks, key);
+            was_building = w;
+        }
+        let (was_active, _) = self.active.delete(&mut self.disks, key);
+        if was_active && was_building {
+            // The key had been copied: it is gone from both, so it no
+            // longer double-counts.
+            if let Some(b) = &mut self.building {
+                b.copied -= 1;
+            }
+        }
+        let was = was_active || was_building;
+        self.advance_rebuild()?;
+        self.maybe_start_rebuild()?;
+        Ok((was, self.disks.end_op(scope)))
+    }
+
+    fn maybe_start_rebuild(&mut self) -> Result<(), DictError> {
+        if self.building.is_some() {
+            return Ok(());
+        }
+        let live = self.active.len();
+        let cap = self.active.capacity();
+        // Grow when live keys OR the insertion budget (deletions leave
+        // their fields behind) approach capacity; shrink when mostly empty.
+        let grow = 4 * live >= 3 * cap || 4 * self.active.insertions() >= 3 * cap;
+        let shrink = cap > self.min_capacity && 8 * live < cap;
+        if !(grow || shrink) {
+            return Ok(());
+        }
+        self.start_rebuild()
+    }
+
+    fn start_rebuild(&mut self) -> Result<(), DictError> {
+        debug_assert!(self.building.is_none());
+        let live = self.active.len();
+        let new_cap = (2 * live).max(self.min_capacity);
+        let params = DictParams {
+            capacity: new_cap,
+            ..self.template
+        };
+        // Alternate slots: the replacement goes to whichever half the
+        // active structure does not occupy. Slot parity = rebuild count.
+        let d = self.template.degree;
+        let first_disk = if self.rebuilds.is_multiple_of(2) {
+            2 * d
+        } else {
+            0
+        };
+        let dict = DynamicDict::create(&mut self.disks, &mut self.alloc, first_disk, params)?;
+        self.building = Some(Building {
+            dict,
+            cursor: 0,
+            copied: 0,
+        });
+        Ok(())
+    }
+
+    fn advance_rebuild(&mut self) -> Result<(), DictError> {
+        let Some(mut b) = self.building.take() else {
+            return Ok(());
+        };
+        let total = self.active.membership_buckets();
+        for _ in 0..MIGRATE_BUCKETS_PER_OP {
+            if b.cursor >= total {
+                break;
+            }
+            let keys = self.active.scan_bucket(&mut self.disks, b.cursor);
+            b.cursor += 1;
+            for key in keys {
+                if b.dict.lookup(&mut self.disks, key).found() {
+                    continue; // deleted-and-reinserted during the rebuild
+                }
+                let out = self.active.lookup(&mut self.disks, key);
+                let Some(sat) = out.satellite else {
+                    continue; // deleted from active since the scan
+                };
+                b.dict.insert(&mut self.disks, key, &sat)?;
+                b.copied += 1;
+            }
+        }
+        if b.cursor >= total {
+            // Swap: the replacement becomes active; the old slot is
+            // abandoned (space accounting notes live structures only).
+            self.active = b.dict;
+            self.rebuilds += 1;
+            self.building = None;
+        } else {
+            self.building = Some(b);
+        }
+        Ok(())
+    }
+
+    /// Space of the live structure(s), in words.
+    #[must_use]
+    pub fn live_space_words(&self) -> usize {
+        let mut s = self.active.space_words(&self.disks);
+        if let Some(b) = &self.building {
+            s += b.dict.space_words(&self.disks);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(capacity: usize, sigma: usize) -> DictParams {
+        DictParams::new(capacity, 1 << 40, sigma)
+            .with_degree(20)
+            .with_epsilon(0.5)
+            .with_seed(0xFEED)
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut dict = Dictionary::new(params(64, 1), 64).unwrap();
+        for k in 0..1000u64 {
+            dict.insert(k * 3 + 1, &[k]).unwrap();
+        }
+        assert_eq!(dict.len(), 1000);
+        assert!(dict.capacity() >= 1000);
+        assert!(dict.rebuilds() >= 1, "must have rebuilt at least once");
+        for k in 0..1000u64 {
+            assert_eq!(dict.lookup(k * 3 + 1).satellite, Some(vec![k]), "key {k}");
+        }
+    }
+
+    #[test]
+    fn lookups_work_mid_rebuild() {
+        let mut dict = Dictionary::new(params(64, 1), 64).unwrap();
+        let mut checked_mid_rebuild = false;
+        for k in 0..500u64 {
+            dict.insert(k, &[k]).unwrap();
+            if dict.is_rebuilding() && !checked_mid_rebuild {
+                checked_mid_rebuild = true;
+                for probe in 0..=k {
+                    assert_eq!(
+                        dict.lookup(probe).satellite,
+                        Some(vec![probe]),
+                        "mid-rebuild lookup of {probe}"
+                    );
+                }
+            }
+        }
+        assert!(checked_mid_rebuild, "test never observed a rebuild window");
+    }
+
+    #[test]
+    fn deletes_survive_rebuilds() {
+        let mut dict = Dictionary::new(params(64, 1), 64).unwrap();
+        for k in 0..600u64 {
+            dict.insert(k, &[k]).unwrap();
+            if k % 3 == 0 {
+                let (was, _) = dict.delete(k).unwrap();
+                assert!(was, "delete of fresh key {k}");
+            }
+        }
+        for k in 0..600u64 {
+            let found = dict.lookup(k).found();
+            assert_eq!(found, k % 3 != 0, "key {k}");
+        }
+        assert_eq!(dict.len(), 400);
+    }
+
+    #[test]
+    fn delete_then_reinsert_during_rebuilds() {
+        let mut dict = Dictionary::new(params(32, 1), 64).unwrap();
+        for round in 0..5u64 {
+            for k in 0..200u64 {
+                let _ = dict.delete(k);
+                dict.insert(k, &[round]).unwrap();
+            }
+        }
+        for k in 0..200u64 {
+            assert_eq!(dict.lookup(k).satellite, Some(vec![4]), "key {k}");
+        }
+    }
+
+    #[test]
+    fn duplicate_rejected_across_structures() {
+        let mut dict = Dictionary::new(params(64, 0), 64).unwrap();
+        for k in 0..100u64 {
+            dict.insert(k, &[]).unwrap();
+        }
+        for k in 0..100u64 {
+            assert!(
+                matches!(dict.insert(k, &[]), Err(DictError::DuplicateKey(_))),
+                "duplicate {k} accepted"
+            );
+        }
+        assert_eq!(dict.len(), 100);
+    }
+
+    #[test]
+    fn worst_case_op_cost_is_bounded() {
+        let mut dict = Dictionary::new(params(64, 1), 64).unwrap();
+        let mut worst = 0u64;
+        for k in 0..2000u64 {
+            let c = dict.insert(k, &[k]).unwrap();
+            worst = worst.max(c.parallel_ios);
+        }
+        // Insert + duplicate check + bounded migration work: each bucket
+        // migrated holds O(log n) keys, each moved with O(1) I/Os.
+        assert!(
+            worst < 200,
+            "single-operation worst case {worst} suspiciously large"
+        );
+        // And lookups stay constant even at 2000 keys.
+        let mut lookup_worst = 0;
+        for k in 0..2000u64 {
+            lookup_worst = lookup_worst.max(dict.lookup(k).cost.parallel_ios);
+        }
+        assert!(lookup_worst <= 4, "lookup worst {lookup_worst}");
+    }
+
+    #[test]
+    fn shrinks_after_mass_deletion() {
+        let mut dict = Dictionary::new(params(64, 0), 64).unwrap();
+        for k in 0..800u64 {
+            dict.insert(k, &[]).unwrap();
+        }
+        let big_cap = dict.capacity();
+        for k in 0..795u64 {
+            dict.delete(k).unwrap();
+        }
+        // Trigger further ops to let the shrink rebuild complete.
+        for k in 10_000..10_050u64 {
+            dict.insert(k, &[]).unwrap();
+        }
+        assert!(
+            dict.capacity() < big_cap,
+            "capacity {} did not shrink from {big_cap}",
+            dict.capacity()
+        );
+        assert_eq!(dict.len(), 5 + 50);
+        for k in 795..800u64 {
+            assert!(dict.lookup(k).found());
+        }
+    }
+
+    #[test]
+    fn empty_dictionary_behaves() {
+        let mut dict = Dictionary::new(params(16, 2), 64).unwrap();
+        assert!(dict.is_empty());
+        assert!(!dict.lookup(5).found());
+        let (was, _) = dict.delete(5).unwrap();
+        assert!(!was);
+    }
+}

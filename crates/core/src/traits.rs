@@ -1,0 +1,130 @@
+//! Common result and error types for the dictionaries.
+
+use pdm::{OpCost, Word};
+
+/// Result of a lookup: the satellite data if the key was present, plus the
+/// exact parallel-I/O cost of the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// Satellite words, or `None` for an unsuccessful search.
+    pub satellite: Option<Vec<Word>>,
+    /// I/O cost of this lookup.
+    pub cost: OpCost,
+}
+
+impl LookupOutcome {
+    /// Whether the key was found.
+    #[must_use]
+    pub fn found(&self) -> bool {
+        self.satellite.is_some()
+    }
+}
+
+/// Errors the dictionaries can report.
+///
+/// The deterministic guarantees of the paper are conditional on the
+/// expander having its stated parameters; with a sampled graph the
+/// failure probability is tiny but nonzero, and surfaces as
+/// [`DictError::BucketOverflow`] / [`DictError::LevelsExhausted`] /
+/// [`DictError::ExpansionFailure`] rather than silent data loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictError {
+    /// The structure reached its fixed capacity `N`.
+    CapacityExhausted {
+        /// The capacity that was reached.
+        capacity: usize,
+    },
+    /// The key is already present (the paper's structures store a key
+    /// set; updates of satellite data go through delete + insert).
+    DuplicateKey(u64),
+    /// Section 4.1: all `d` candidate buckets of the key are full — the
+    /// expander missed its load-balancing parameters.
+    BucketOverflow {
+        /// The key being inserted.
+        key: u64,
+    },
+    /// Section 4.3: no level offered `2d/3` free fields — the expander
+    /// missed its unique-neighbor parameters.
+    LevelsExhausted {
+        /// The key being inserted.
+        key: u64,
+    },
+    /// Static construction failed to assign fields (peeling got stuck).
+    ExpansionFailure(String),
+    /// The requested parameters violate a theorem's side condition
+    /// (e.g. too few disks: the paper requires `D = Ω(log u)`).
+    UnsupportedParams(String),
+    /// Satellite data of the wrong width for this dictionary instance.
+    SatelliteWidth {
+        /// Words expected per record.
+        expected: usize,
+        /// Words supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for DictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DictError::CapacityExhausted { capacity } => {
+                write!(f, "dictionary capacity {capacity} exhausted")
+            }
+            DictError::DuplicateKey(k) => write!(f, "key {k} already present"),
+            DictError::BucketOverflow { key } => {
+                write!(
+                    f,
+                    "all candidate buckets full for key {key} (expansion failure)"
+                )
+            }
+            DictError::LevelsExhausted { key } => {
+                write!(
+                    f,
+                    "no level had enough free fields for key {key} (expansion failure)"
+                )
+            }
+            DictError::ExpansionFailure(msg) => write!(f, "expansion failure: {msg}"),
+            DictError::UnsupportedParams(msg) => write!(f, "unsupported parameters: {msg}"),
+            DictError::SatelliteWidth { expected, got } => {
+                write!(
+                    f,
+                    "satellite width mismatch: expected {expected} words, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_found() {
+        let hit = LookupOutcome {
+            satellite: Some(vec![1, 2]),
+            cost: OpCost::default(),
+        };
+        let miss = LookupOutcome {
+            satellite: None,
+            cost: OpCost::default(),
+        };
+        assert!(hit.found());
+        assert!(!miss.found());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(DictError::DuplicateKey(7).to_string().contains('7'));
+        assert!(DictError::BucketOverflow { key: 3 }
+            .to_string()
+            .contains("expansion"));
+        assert!(DictError::SatelliteWidth {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 2"));
+    }
+}

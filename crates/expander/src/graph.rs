@@ -1,0 +1,186 @@
+//! The neighbor-function abstraction for bipartite left-regular graphs.
+
+/// A bipartite, left-`d`-regular graph `G = (U, V, E)` given by its
+/// neighbor function `F : U × [d] → V`.
+///
+/// The left part is the key universe `U = [0, left_size)` (up to `2^64`
+/// keys); the right part is `V = [0, right_size)`. Implementations must be
+/// pure functions of `(x, i)` — the whole point of the paper's design is
+/// that lookups "go directly to the relevant blocks, without any knowledge
+/// of the current data other than the size of the data structure and the
+/// size of the universe".
+pub trait NeighborFn {
+    /// Size of the left part (the universe), `u`. `u64::MAX` encodes `2^64`.
+    fn left_size(&self) -> u64;
+
+    /// Size of the right part, `v`.
+    fn right_size(&self) -> usize;
+
+    /// Left degree, `d`.
+    fn degree(&self) -> usize;
+
+    /// The `i`-th neighbor of `x`, an index in `[0, right_size)`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `x ≥ left_size` or `i ≥ degree`.
+    fn neighbor(&self, x: u64, i: usize) -> usize;
+
+    /// All `d` neighbors of `x`, in edge order.
+    fn neighbors(&self, x: u64) -> Vec<usize> {
+        (0..self.degree()).map(|i| self.neighbor(x, i)).collect()
+    }
+
+    /// Whether the graph is **striped**: the right side is partitioned into
+    /// `d` equal stripes `[i·v/d, (i+1)·v/d)` and the `i`-th neighbor of
+    /// every left vertex lies in stripe `i`. Striped graphs map stripe `i`
+    /// to disk `i`, so reading all `d` neighbors is one parallel I/O.
+    fn is_striped(&self) -> bool {
+        false
+    }
+
+    /// Vertices per stripe (`v/d`) for striped graphs.
+    ///
+    /// # Panics
+    /// Panics if the graph is not striped or `v` is not divisible by `d`.
+    fn stripe_size(&self) -> usize {
+        assert!(self.is_striped(), "graph is not striped");
+        let v = self.right_size();
+        let d = self.degree();
+        assert_eq!(v % d, 0, "striped graph must have d | v");
+        v / d
+    }
+
+    /// Decompose a right vertex of a striped graph into
+    /// `(stripe index, index within stripe)` — the `(i, j)` form the paper
+    /// requires striped constructions to return.
+    fn stripe_of(&self, y: usize) -> (usize, usize) {
+        let s = self.stripe_size();
+        (y / s, y % s)
+    }
+}
+
+impl<T: NeighborFn + ?Sized> NeighborFn for &T {
+    fn left_size(&self) -> u64 {
+        (**self).left_size()
+    }
+    fn right_size(&self) -> usize {
+        (**self).right_size()
+    }
+    fn degree(&self) -> usize {
+        (**self).degree()
+    }
+    fn neighbor(&self, x: u64, i: usize) -> usize {
+        (**self).neighbor(x, i)
+    }
+    fn neighbors(&self, x: u64) -> Vec<usize> {
+        (**self).neighbors(x)
+    }
+    fn is_striped(&self) -> bool {
+        (**self).is_striped()
+    }
+}
+
+/// A graph defined by an explicit adjacency table — used in tests and by
+/// the verifier to express hand-crafted small graphs.
+#[derive(Debug, Clone)]
+pub struct TableGraph {
+    right: usize,
+    degree: usize,
+    striped: bool,
+    /// `table[x]` = the `d` neighbors of left vertex `x`.
+    table: Vec<Vec<usize>>,
+}
+
+impl TableGraph {
+    /// Build from an adjacency table.
+    ///
+    /// # Panics
+    /// Panics if rows have unequal length or a neighbor is out of range.
+    #[must_use]
+    pub fn new(right: usize, table: Vec<Vec<usize>>, striped: bool) -> Self {
+        let degree = table.first().map_or(0, Vec::len);
+        for (x, row) in table.iter().enumerate() {
+            assert_eq!(row.len(), degree, "left vertex {x} is not {degree}-regular");
+            for (&y, i) in row.iter().zip(0..) {
+                assert!(y < right, "neighbor {y} of {x} out of range");
+                if striped {
+                    let s = right / degree;
+                    assert!(
+                        y / s == i,
+                        "vertex {x}: neighbor {i} = {y} is outside stripe {i}"
+                    );
+                }
+            }
+        }
+        TableGraph {
+            right,
+            degree,
+            striped,
+            table,
+        }
+    }
+}
+
+impl NeighborFn for TableGraph {
+    fn left_size(&self) -> u64 {
+        self.table.len() as u64
+    }
+    fn right_size(&self) -> usize {
+        self.right
+    }
+    fn degree(&self) -> usize {
+        self.degree
+    }
+    fn neighbor(&self, x: u64, i: usize) -> usize {
+        self.table[usize::try_from(x).expect("table graph index")][i]
+    }
+    fn is_striped(&self) -> bool {
+        self.striped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TableGraph {
+        // 4 left vertices, v = 6, d = 2, striped (stripes {0,1,2}, {3,4,5}).
+        TableGraph::new(
+            6,
+            vec![vec![0, 3], vec![1, 4], vec![2, 5], vec![0, 4]],
+            true,
+        )
+    }
+
+    #[test]
+    fn table_graph_basics() {
+        let g = diamond();
+        assert_eq!(g.left_size(), 4);
+        assert_eq!(g.right_size(), 6);
+        assert_eq!(g.degree(), 2);
+        assert_eq!(g.neighbors(3), vec![0, 4]);
+        assert!(g.is_striped());
+        assert_eq!(g.stripe_size(), 3);
+        assert_eq!(g.stripe_of(4), (1, 1));
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let g = diamond();
+        let r: &dyn NeighborFn = &g;
+        assert_eq!(r.neighbors(0), vec![0, 3]);
+        assert_eq!(g.stripe_size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside stripe")]
+    fn striped_validation_rejects_bad_row() {
+        let _ = TableGraph::new(6, vec![vec![0, 1]], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "not")]
+    fn irregular_rows_rejected() {
+        let _ = TableGraph::new(6, vec![vec![0, 3], vec![1]], false);
+    }
+}

@@ -1,0 +1,54 @@
+//! # `expander` — unbalanced bipartite expander graphs
+//!
+//! The SPAA'06 paper's dictionaries are built on *unbalanced bipartite
+//! expanders*: left-`d`-regular bipartite graphs `G = (U, V, E)` where the
+//! left part is the key universe and the right part indexes disk blocks.
+//! Two equivalent-looking definitions are used:
+//!
+//! * **Definition 1** — a `(d, ε, δ)`-expander: every `S ⊆ U` has at least
+//!   `min((1-ε)·d·|S|, (1-δ)·|V|)` neighbors.
+//! * **Definition 2** — an `(N, ε)`-expander: every `S ⊆ U` with `|S| ≤ N`
+//!   has at least `(1-ε)·d·|S|` neighbors.
+//!
+//! This crate provides:
+//!
+//! * the [`NeighborFn`] abstraction (graphs are given by their neighbor
+//!   *function*, never materialized — the left side is the whole universe),
+//! * [`SeededExpander`] — a striped graph sampled from a seeded
+//!   pseudorandom family. Optimal *explicit* expanders are not known (the
+//!   paper says so and works around it); random striped graphs achieve the
+//!   optimal parameters with high probability, so a fixed seeded sample is
+//!   the faithful stand-in, mirroring the "found probabilistically in
+//!   time poly(s)" preprocessing of the paper's Theorem 9. Everything built
+//!   on top is deterministic once the seed is fixed.
+//! * [`unique`] — unique-neighbor machinery (`Φ(S)`, Lemmas 4 and 5, and
+//!   the recursive peeling used by Theorem 6's construction),
+//! * [`telescope`] — the telescope product (Lemma 10) and its recursion
+//!   (Lemma 11), with deterministic multi-edge remapping,
+//! * [`semi_explicit`] — the Section 5 construction (Corollary 1 +
+//!   Theorem 12): an `(N, ε)`-expander of degree `polylog(u)` for
+//!   `u = poly(N)` using `O(N^β)` words of internal memory,
+//! * [`striped`] — the trivial striping transformation (copy the right
+//!   side once per stripe, a factor-`d` space overhead, as the paper's
+//!   Section 5 closing remark describes), and
+//! * [`verify`] — exhaustive and sampling-based expansion verifiers used
+//!   by the test-suite to certify small instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod params;
+pub mod seeded;
+pub mod semi_explicit;
+pub mod striped;
+pub mod telescope;
+pub mod unique;
+pub mod verify;
+
+pub use graph::NeighborFn;
+pub use params::ExpanderParams;
+pub use seeded::SeededExpander;
+pub use semi_explicit::{SemiExplicitExpander, SemiExplicitReport};
+pub use striped::TriviallyStriped;
+pub use telescope::TelescopeExpander;

@@ -1,0 +1,264 @@
+//! Parameter arithmetic for the paper's expander-based constructions.
+//!
+//! Collects in one place every quantitative relationship the paper uses:
+//! the default degree (`d = O(log u)`, with `d > 12` forced by the fixed
+//! `ε = 1/12` of Theorem 6), right-part sizing (`v = Θ(N·d)` for
+//! `(N, ε)`-expanders, `v = N/log N` buckets for Section 4.1), the
+//! Definition 1 ⇄ Definition 2 conversion, and the Lemma 3 load bound.
+
+/// Parameters describing a `(d, ε, δ)` / `(N, ε)` expander instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpanderParams {
+    /// Left degree `d`.
+    pub degree: usize,
+    /// Right part size `v`.
+    pub right_size: usize,
+    /// Expansion loss `ε` (every small set has `≥ (1-ε)·d·|S|` neighbors).
+    pub epsilon: f64,
+    /// Saturation threshold `δ` (alternatively: sets expand until they
+    /// cover `(1-δ)·v` right vertices).
+    pub delta: f64,
+}
+
+impl ExpanderParams {
+    /// Largest `N` for which a `(d, ε, δ)`-expander is an
+    /// `(N, ε)`-expander: from the paper's remark after Definition 1,
+    /// every `S` with `|S| < (1-δ)·v / ((1-ε)·d)` has `≥ (1-ε)·d·|S|`
+    /// neighbors.
+    #[must_use]
+    pub fn capacity_n(&self) -> usize {
+        (((1.0 - self.delta) * self.right_size as f64)
+            / ((1.0 - self.epsilon) * self.degree as f64))
+            .floor() as usize
+    }
+}
+
+/// The paper's default degree for a universe of size `u`: `d = Θ(log u)`
+/// with the Theorem 6 constraint `d > 12` (from fixing `ε = 1/12`).
+///
+/// `u = u64::MAX` is treated as `2^64`.
+#[must_use]
+pub fn paper_degree(u: u64) -> usize {
+    let log_u = if u == u64::MAX {
+        64
+    } else {
+        (64 - u.leading_zeros() as usize).max(1)
+    };
+    log_u.max(13)
+}
+
+/// The fixed `ε` of Theorem 6 ("for concreteness we set ε = 1/12"; this
+/// imposes `d > 12`).
+pub const THEOREM6_EPSILON: f64 = 1.0 / 12.0;
+
+/// The fraction of each key's neighbors used to store its record:
+/// `2d/3` fields per key (Theorem 6 with `λ = 1/3`).
+#[must_use]
+pub fn fields_per_key(degree: usize) -> usize {
+    (2 * degree).div_ceil(3)
+}
+
+/// Right-part size `v = ⌈c · N · d⌉` for an `(N, ε)`-expander, rounded up
+/// to a multiple of `d` so the graph can be striped. The paper:
+/// "it is possible to have v = Θ(N·d)". The constant `c` trades space for
+/// expansion quality; the dictionaries use [`DEFAULT_RIGHT_SLACK`].
+#[must_use]
+pub fn right_size(capacity_n: usize, degree: usize, slack: f64) -> usize {
+    assert!(slack >= 1.0, "right part must have at least N·d vertices");
+    let raw = (slack * capacity_n as f64 * degree as f64).ceil() as usize;
+    raw.div_ceil(degree).max(1) * degree
+}
+
+/// Default right-part slack `c` in `v = c·N·d`.
+///
+/// For a random striped graph the expected expansion ratio of a size-`N`
+/// set is `(1-e^{-t})/t` with `t = N·d/v`; hitting the paper's `ε = 1/12`
+/// needs `t ≲ 1/6`, i.e. `v ≳ 6·N·d`, plus margin for below-average
+/// subsets. `c = 8` satisfies the Lemma 4/5 unique-neighbor properties
+/// comfortably (verified empirically by the `verify` tests and the SEC5
+/// experiment).
+pub const DEFAULT_RIGHT_SLACK: f64 = 8.0;
+
+/// Lemma 3: after greedy `k`-item placement of `n` left vertices on a
+/// `(d, ε, δ)`-expander with `d > k`, the maximum bucket load is at most
+/// `kn/((1-δ)v) + log_{(1-ε)d/k} v`.
+///
+/// Returns `None` when the bound's premises fail (`(1-ε)·d/k ≤ 1`, i.e.
+/// the logarithm base is not > 1, or `d ≤ k`).
+#[must_use]
+pub fn lemma3_bound(n: usize, k: usize, params: &ExpanderParams) -> Option<f64> {
+    let d = params.degree as f64;
+    let k_f = k as f64;
+    if params.degree <= k {
+        return None;
+    }
+    let base = (1.0 - params.epsilon) * d / k_f;
+    if base <= 1.0 {
+        return None;
+    }
+    let v = params.right_size as f64;
+    let mu = k_f * n as f64 / ((1.0 - params.delta) * v);
+    Some(mu + v.ln() / base.ln())
+}
+
+/// The refined form noted after Lemma 3:
+/// `min_q ( kn/q + log_{(1-ε)d/k} q )` over `q ∈ [1, (1-δ)v]`.
+#[must_use]
+pub fn lemma3_bound_refined(n: usize, k: usize, params: &ExpanderParams) -> Option<f64> {
+    let d = params.degree as f64;
+    let k_f = k as f64;
+    if params.degree <= k {
+        return None;
+    }
+    let base = (1.0 - params.epsilon) * d / k_f;
+    if base <= 1.0 {
+        return None;
+    }
+    let q_max = ((1.0 - params.delta) * params.right_size as f64).floor() as usize;
+    let mut best = f64::INFINITY;
+    for q in 1..=q_max.max(1) {
+        let val = k_f * n as f64 / q as f64 + (q as f64).ln() / base.ln();
+        if val < best {
+            best = val;
+        }
+    }
+    Some(best)
+}
+
+/// Number of arrays (levels) in the Theorem 7 dynamic dictionary:
+/// `l = ⌈log N / log(1/(6ε))⌉`.
+///
+/// # Panics
+/// Panics unless `0 < 6ε < 1`.
+#[must_use]
+pub fn theorem7_levels(capacity_n: usize, epsilon: f64) -> usize {
+    assert!(epsilon > 0.0 && 6.0 * epsilon < 1.0, "need 0 < 6ε < 1");
+    let n = (capacity_n.max(2)) as f64;
+    (n.ln() / (1.0 / (6.0 * epsilon)).ln()).ceil() as usize
+}
+
+/// Expander `ε` for a requested Theorem 7 performance parameter `ɛ`
+/// (`epsilon_perf`): the proof picks `ε` with `6ε < 1/(1 + 1/ɛ)`, which
+/// requires degree `d > 6(1 + 1/ɛ)`.
+///
+/// Returns `(graph_epsilon, min_degree)`.
+#[must_use]
+pub fn theorem7_graph_epsilon(epsilon_perf: f64) -> (f64, usize) {
+    assert!(epsilon_perf > 0.0, "performance parameter must be positive");
+    let bound = 1.0 / (1.0 + 1.0 / epsilon_perf); // 6ε must be below this
+    let graph_eps = bound / 6.0 * 0.99; // sit just inside the open constraint
+    let min_degree = (6.0 * (1.0 + 1.0 / epsilon_perf)).floor() as usize + 1;
+    (graph_eps, min_degree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_degree_is_log_u_with_floor_13() {
+        assert_eq!(paper_degree(1 << 10), 13); // log = 11 < 13
+        assert_eq!(paper_degree(1 << 20), 21);
+        assert_eq!(paper_degree(u64::MAX), 64);
+        assert_eq!(paper_degree(1), 13);
+    }
+
+    #[test]
+    fn fields_per_key_is_two_thirds() {
+        assert_eq!(fields_per_key(12), 8);
+        assert_eq!(fields_per_key(13), 9);
+        assert_eq!(fields_per_key(15), 10);
+    }
+
+    #[test]
+    fn right_size_is_multiple_of_degree() {
+        let v = right_size(1000, 13, 2.0);
+        assert_eq!(v % 13, 0);
+        assert!(v >= 2 * 1000 * 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn right_size_rejects_tiny_slack() {
+        let _ = right_size(10, 13, 0.5);
+    }
+
+    #[test]
+    fn lemma3_bound_matches_hand_computation() {
+        // d = 16, k = 1, ε = 1/4, δ = 1/2, v = 1024, n = 4096.
+        let p = ExpanderParams {
+            degree: 16,
+            right_size: 1024,
+            epsilon: 0.25,
+            delta: 0.5,
+        };
+        let bound = lemma3_bound(4096, 1, &p).unwrap();
+        // μ = 4096/(0.5·1024) = 8; log_12(1024) = ln 1024 / ln 12 ≈ 2.789.
+        assert!((bound - (8.0 + (1024f64).ln() / 12f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma3_bound_rejects_bad_premises() {
+        let p = ExpanderParams {
+            degree: 4,
+            right_size: 64,
+            epsilon: 0.8,
+            delta: 0.5,
+        };
+        assert!(lemma3_bound(100, 1, &p).is_none()); // base = 0.8 ≤ 1
+        let p2 = ExpanderParams {
+            degree: 4,
+            right_size: 64,
+            epsilon: 0.1,
+            delta: 0.5,
+        };
+        assert!(lemma3_bound(100, 4, &p2).is_none()); // d ≤ k
+    }
+
+    #[test]
+    fn refined_bound_never_exceeds_simple_bound() {
+        let p = ExpanderParams {
+            degree: 16,
+            right_size: 1024,
+            epsilon: 0.25,
+            delta: 0.5,
+        };
+        for n in [128usize, 1024, 16384] {
+            let simple = lemma3_bound(n, 1, &p).unwrap();
+            let refined = lemma3_bound_refined(n, 1, &p).unwrap();
+            assert!(
+                refined <= simple + 1e-9,
+                "refined {refined} > simple {simple} at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_n_matches_definition() {
+        let p = ExpanderParams {
+            degree: 10,
+            right_size: 1000,
+            epsilon: 0.1,
+            delta: 0.5,
+        };
+        // (1-δ)v / ((1-ε)d) = 500 / 9 = 55.55...
+        assert_eq!(p.capacity_n(), 55);
+    }
+
+    #[test]
+    fn theorem7_levels_grow_with_n_and_shrink_with_small_epsilon() {
+        let l_small_eps = theorem7_levels(1 << 20, 0.01);
+        let l_big_eps = theorem7_levels(1 << 20, 0.15);
+        assert!(l_small_eps < l_big_eps);
+        assert!(theorem7_levels(1 << 10, 0.05) <= theorem7_levels(1 << 20, 0.05));
+    }
+
+    #[test]
+    fn theorem7_graph_epsilon_satisfies_constraints() {
+        for perf in [0.25, 0.5, 1.0, 2.0] {
+            let (eps, d_min) = theorem7_graph_epsilon(perf);
+            assert!(6.0 * eps < 1.0 / (1.0 + 1.0 / perf));
+            assert!(d_min as f64 > 6.0 * (1.0 + 1.0 / perf));
+        }
+    }
+}

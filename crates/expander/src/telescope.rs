@@ -1,0 +1,202 @@
+//! The telescope product (Lemma 10): composing two slightly unbalanced
+//! expanders into a more unbalanced one.
+//!
+//! Given `F₁ : U₁ × [d₁] → V₁` and `F₂ : V₁ × [d₂] → V₂`, the composition
+//! `F₂(F₁(x, e₁), e₂) : U₁ × ([d₁]×[d₂]) → V₂` is — after "appropriate and
+//! fixed" re-mapping of multi-edges — a
+//! `(c₂·v₂/(d₁·d₂), 1-(1-ε₁)(1-ε₂))`-expander (Lemma 10). The paper notes
+//! that evaluating a *single* neighbor requires evaluating all of them
+//! (the remapping depends on the whole multiset); since the dictionaries
+//! always evaluate all neighbors anyway, this costs nothing extra.
+
+use crate::graph::NeighborFn;
+
+/// Composition of two neighbor functions with deterministic multi-edge
+/// remapping.
+#[derive(Debug, Clone)]
+pub struct TelescopeExpander<G1, G2> {
+    first: G1,
+    second: G2,
+}
+
+impl<G1: NeighborFn, G2: NeighborFn> TelescopeExpander<G1, G2> {
+    /// Compose `first` then `second`.
+    ///
+    /// # Panics
+    /// Panics unless `second.left_size() ≥ first.right_size()` (the middle
+    /// part must be a subset of `second`'s left part) and the final right
+    /// part can absorb the remapped degree
+    /// (`second.right_size() ≥ d₁·d₂`).
+    #[must_use]
+    pub fn new(first: G1, second: G2) -> Self {
+        assert!(
+            second.left_size() >= first.right_size() as u64,
+            "middle parts incompatible: |V1| = {} > |U2| = {}",
+            first.right_size(),
+            second.left_size()
+        );
+        let d = first.degree() * second.degree();
+        assert!(
+            second.right_size() >= d,
+            "right part of size {} cannot hold {d} distinct neighbors",
+            second.right_size()
+        );
+        TelescopeExpander { first, second }
+    }
+
+    /// The two factors.
+    #[must_use]
+    pub fn parts(&self) -> (&G1, &G2) {
+        (&self.first, &self.second)
+    }
+}
+
+/// Deterministically remap duplicate entries so the list has no repeats:
+/// each duplicate is moved to the next free vertex scanning upward
+/// (mod `v`) from its original value. A pure function of the multiset, so
+/// the result depends only on `x` — a "fixed manner" as Lemma 10 requires.
+pub(crate) fn remap_duplicates(neighbors: &mut [usize], v: usize) {
+    let mut used = std::collections::HashSet::with_capacity(neighbors.len());
+    for y in neighbors.iter_mut() {
+        if used.insert(*y) {
+            continue;
+        }
+        let mut cand = (*y + 1) % v;
+        while used.contains(&cand) {
+            cand = (cand + 1) % v;
+        }
+        used.insert(cand);
+        *y = cand;
+    }
+}
+
+impl<G1: NeighborFn, G2: NeighborFn> NeighborFn for TelescopeExpander<G1, G2> {
+    fn left_size(&self) -> u64 {
+        self.first.left_size()
+    }
+
+    fn right_size(&self) -> usize {
+        self.second.right_size()
+    }
+
+    fn degree(&self) -> usize {
+        self.first.degree() * self.second.degree()
+    }
+
+    fn neighbor(&self, x: u64, i: usize) -> usize {
+        // Remapping needs the full multiset; the paper accepts the same
+        // d₁·d₂ factor for single-neighbor evaluation.
+        self.neighbors(x)[i]
+    }
+
+    fn neighbors(&self, x: u64) -> Vec<usize> {
+        let d2 = self.second.degree();
+        let mut out = Vec::with_capacity(self.degree());
+        for e1 in 0..self.first.degree() {
+            let mid = self.first.neighbor(x, e1) as u64;
+            for e2 in 0..d2 {
+                out.push(self.second.neighbor(mid, e2));
+            }
+        }
+        remap_duplicates(&mut out, self.second.right_size());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TableGraph;
+    use crate::seeded::SeededExpander;
+    use crate::verify::worst_expansion_exhaustive;
+
+    #[test]
+    fn composition_dimensions() {
+        let g1 = SeededExpander::new(1 << 30, 64, 4, 1); // v1 = 256
+        let g2 = SeededExpander::new(256, 16, 3, 2); // v2 = 48
+        let t = TelescopeExpander::new(g1, g2);
+        assert_eq!(t.left_size(), 1 << 30);
+        assert_eq!(t.degree(), 12);
+        assert_eq!(t.right_size(), 48);
+    }
+
+    #[test]
+    fn neighbors_are_distinct_after_remap() {
+        let g1 = SeededExpander::new(1 << 20, 32, 6, 3); // v1 = 192
+        let g2 = SeededExpander::new(192, 20, 4, 4); // v2 = 80
+        let t = TelescopeExpander::new(g1, g2);
+        for x in (0..500u64).map(|i| i * 7919 % (1 << 20)) {
+            let ns = t.neighbors(x);
+            let mut dedup = ns.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), ns.len(), "duplicates for x = {x}");
+            assert!(ns.iter().all(|&y| y < 80));
+        }
+    }
+
+    #[test]
+    fn single_neighbor_matches_full_evaluation() {
+        let g1 = SeededExpander::new(1 << 16, 16, 3, 5);
+        let g2 = SeededExpander::new(48, 12, 3, 6);
+        let t = TelescopeExpander::new(g1, g2);
+        let full = t.neighbors(1234);
+        for (i, &y) in full.iter().enumerate() {
+            assert_eq!(t.neighbor(1234, i), y);
+        }
+    }
+
+    #[test]
+    fn remap_is_identity_when_distinct() {
+        let mut ns = vec![3, 7, 1];
+        remap_duplicates(&mut ns, 10);
+        assert_eq!(ns, vec![3, 7, 1]);
+    }
+
+    #[test]
+    fn remap_moves_duplicates_upward() {
+        let mut ns = vec![3, 3, 3, 4];
+        remap_duplicates(&mut ns, 10);
+        assert_eq!(ns, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn remap_wraps_around() {
+        let mut ns = vec![9, 9];
+        remap_duplicates(&mut ns, 10);
+        assert_eq!(ns, vec![9, 0]);
+    }
+
+    #[test]
+    fn composed_expansion_close_to_product_bound() {
+        // Lemma 10: composed loss ≤ 1-(1-ε₁)(1-ε₂). Exhaustively check a
+        // small instance and compare against the factors' measured losses.
+        let g1 = SeededExpander::new(24, 12, 2, 21); // v1 = 24
+        let g2 = SeededExpander::new(24, 10, 2, 22); // v2 = 20
+        let e1 = 1.0 - worst_expansion_exhaustive(&g1, 2).ratio;
+        let e2 = 1.0 - worst_expansion_exhaustive(&g2, 2).ratio;
+        let t = TelescopeExpander::new(g1, g2);
+        let et = 1.0 - worst_expansion_exhaustive(&t, 2).ratio;
+        // Remapping can only help, so the composed loss obeys the bound.
+        assert!(
+            et <= 1.0 - (1.0 - e1) * (1.0 - e2) + 1e-9,
+            "composed loss {et} exceeds product bound from e1={e1}, e2={e2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn incompatible_middles_rejected() {
+        let g1 = SeededExpander::new(100, 50, 2, 0); // v1 = 100
+        let g2 = TableGraph::new(8, vec![vec![0, 4]; 50], true); // u2 = 50
+        let _ = TelescopeExpander::new(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn tiny_final_right_part_rejected() {
+        let g1 = SeededExpander::new(1 << 10, 8, 4, 0); // d1 = 4
+        let g2 = SeededExpander::new(32, 3, 4, 0); // v2 = 12 < 16
+        let _ = TelescopeExpander::new(g1, g2);
+    }
+}

@@ -1,0 +1,305 @@
+//! Unique neighbors: `Φ(S)`, Lemma 4/5 machinery, and the recursive
+//! peeling that powers Theorem 6's construction.
+//!
+//! `Φ_G(S) = { y ∈ V : ∃! x ∈ S, (x,y) ∈ E }` — right vertices adjacent to
+//! *exactly one* member of `S`. Lemma 4 shows `|Φ(S)| ≥ (1-2ε)·d·|S|`;
+//! Lemma 5 shows that for any `λ > 0` the set
+//! `S' = { x ∈ S : |Γ(x) ∩ Φ(S)| ≥ (1-λ)·d }` has `|S'| ≥ (1 - 2ε/λ)·|S|`.
+//! Repeatedly extracting `S'` assigns every key `(1-λ)·d` private fields in
+//! `O(log n)` rounds with geometrically decreasing work — the paper's
+//! `O(n)`-I/O assignment procedure.
+
+use crate::graph::NeighborFn;
+use std::collections::HashMap;
+
+/// The neighborhood multiplicity map of `S`: right vertex → how many
+/// members of `S` are adjacent to it (with one representative).
+#[must_use]
+pub fn neighbor_multiplicity<G: NeighborFn>(g: &G, s: &[u64]) -> HashMap<usize, (usize, u64)> {
+    let mut mult: HashMap<usize, (usize, u64)> = HashMap::with_capacity(s.len() * g.degree());
+    for &x in s {
+        for y in g.neighbors(x) {
+            let e = mult.entry(y).or_insert((0, x));
+            e.0 += 1;
+            e.1 = x; // representative: last writer; only meaningful when count == 1
+        }
+    }
+    mult
+}
+
+/// `Γ(S)`: the set of neighbors of `S` (as a sorted vector).
+#[must_use]
+pub fn neighborhood<G: NeighborFn>(g: &G, s: &[u64]) -> Vec<usize> {
+    let mut v: Vec<usize> = neighbor_multiplicity(g, s).into_keys().collect();
+    v.sort_unstable();
+    v
+}
+
+/// `Φ(S)`: map from each unique-neighbor right vertex to its single left
+/// neighbor in `S`.
+///
+/// A key adjacent to the same right vertex through two different edges
+/// (a multi-edge) does **not** make that vertex unique.
+#[must_use]
+pub fn unique_neighbors<G: NeighborFn>(g: &G, s: &[u64]) -> HashMap<usize, u64> {
+    // Count edge endpoints but collapse multi-edges from the same key by
+    // tracking the distinct-owner count separately.
+    let mut owners: HashMap<usize, (u64, bool)> = HashMap::with_capacity(s.len() * g.degree());
+    for &x in s {
+        let mut ns = g.neighbors(x);
+        ns.sort_unstable();
+        ns.dedup();
+        for y in ns {
+            owners
+                .entry(y)
+                .and_modify(|e| {
+                    if e.0 != x {
+                        e.1 = true; // shared
+                    }
+                })
+                .or_insert((x, false));
+        }
+    }
+    owners
+        .into_iter()
+        .filter_map(|(y, (x, shared))| (!shared).then_some((y, x)))
+        .collect()
+}
+
+/// Lemma 4's lower bound on `|Φ(S)|` for an `(N, ε)`-expander:
+/// `(1-2ε)·d·|S|`.
+#[must_use]
+pub fn phi_lower_bound(n: usize, degree: usize, epsilon: f64) -> f64 {
+    (1.0 - 2.0 * epsilon) * degree as f64 * n as f64
+}
+
+/// One key together with its assigned (unique-neighbor) fields, in
+/// increasing right-vertex order — for striped graphs this is stripe order,
+/// the order the one-probe pointer chains follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The key.
+    pub key: u64,
+    /// Assigned right vertices, strictly increasing.
+    pub fields: Vec<usize>,
+}
+
+/// Lemma 5 extraction: the keys of `s` with at least `fields_needed`
+/// unique neighbors, each with its first `fields_needed` unique neighbors
+/// (in increasing order), plus the leftover keys.
+#[must_use]
+pub fn extract_well_covered<G: NeighborFn>(
+    g: &G,
+    s: &[u64],
+    fields_needed: usize,
+) -> (Vec<Assignment>, Vec<u64>) {
+    let phi = unique_neighbors(g, s);
+    let mut covered = Vec::new();
+    let mut rest = Vec::new();
+    for &x in s {
+        let mut mine: Vec<usize> = g
+            .neighbors(x)
+            .into_iter()
+            .filter(|y| phi.get(y) == Some(&x))
+            .collect();
+        mine.sort_unstable();
+        mine.dedup();
+        if mine.len() >= fields_needed {
+            mine.truncate(fields_needed);
+            covered.push(Assignment {
+                key: x,
+                fields: mine,
+            });
+        } else {
+            rest.push(x);
+        }
+    }
+    (covered, rest)
+}
+
+/// Error from [`peel`]: the graph failed to expand enough for some
+/// residual set (possible only when the sampled graph misses its
+/// with-high-probability parameters, or the caller overfills it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeelStuck {
+    /// Keys that could not be assigned `fields_needed` unique fields.
+    pub stuck: Vec<u64>,
+}
+
+impl std::fmt::Display for PeelStuck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unique-neighbor peeling stuck with {} unassigned keys (expansion failure)",
+            self.stuck.len()
+        )
+    }
+}
+
+impl std::error::Error for PeelStuck {}
+
+/// The full recursive assignment of Theorem 6: peel rounds of
+/// well-covered keys until every key owns `fields_needed` fields.
+///
+/// Round `r`'s assignments are guaranteed disjoint from all earlier
+/// rounds' (the paper: "there is no intersection between the assigned
+/// neighbor set for S' and Γ(S \ S')"), which [`peel`] also re-checks via
+/// a debug assertion.
+///
+/// Returns the per-round assignments (the construction writes each round's
+/// fields in one streaming pass).
+pub fn peel<G: NeighborFn>(
+    g: &G,
+    s: &[u64],
+    fields_needed: usize,
+) -> Result<Vec<Vec<Assignment>>, PeelStuck> {
+    let mut rounds = Vec::new();
+    let mut rest: Vec<u64> = s.to_vec();
+    #[cfg(debug_assertions)]
+    let mut taken: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    while !rest.is_empty() {
+        let (covered, leftover) = extract_well_covered(g, &rest, fields_needed);
+        if covered.is_empty() {
+            return Err(PeelStuck { stuck: leftover });
+        }
+        #[cfg(debug_assertions)]
+        for a in &covered {
+            for &f in &a.fields {
+                debug_assert!(taken.insert(f), "field {f} assigned twice across rounds");
+            }
+        }
+        rounds.push(covered);
+        rest = leftover;
+    }
+    Ok(rounds)
+}
+
+/// Flatten peel rounds into a key → fields map.
+#[must_use]
+pub fn assignments_by_key(rounds: &[Vec<Assignment>]) -> HashMap<u64, Vec<usize>> {
+    rounds
+        .iter()
+        .flatten()
+        .map(|a| (a.key, a.fields.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TableGraph;
+    use crate::seeded::SeededExpander;
+
+    /// Tiny hand-built graph: u = 3, v = 6, d = 2.
+    /// x0 -> {0, 3}, x1 -> {0, 4}, x2 -> {1, 5}.
+    fn tiny() -> TableGraph {
+        TableGraph::new(6, vec![vec![0, 3], vec![0, 4], vec![1, 5]], true)
+    }
+
+    #[test]
+    fn unique_neighbors_excludes_shared() {
+        let g = tiny();
+        let phi = unique_neighbors(&g, &[0, 1, 2]);
+        // Vertex 0 is shared by x0 and x1; 3, 4, 1, 5 are unique.
+        assert_eq!(phi.len(), 4);
+        assert_eq!(phi.get(&3), Some(&0));
+        assert_eq!(phi.get(&4), Some(&1));
+        assert_eq!(phi.get(&1), Some(&2));
+        assert_eq!(phi.get(&5), Some(&2));
+        assert!(!phi.contains_key(&0));
+    }
+
+    #[test]
+    fn neighborhood_is_union() {
+        let g = tiny();
+        assert_eq!(neighborhood(&g, &[0, 1]), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn extract_well_covered_splits_correctly() {
+        let g = tiny();
+        let (covered, rest) = extract_well_covered(&g, &[0, 1, 2], 2);
+        // Only x2 has 2 unique neighbors.
+        assert_eq!(covered.len(), 1);
+        assert_eq!(covered[0].key, 2);
+        assert_eq!(covered[0].fields, vec![1, 5]);
+        assert_eq!(rest, vec![0, 1]);
+    }
+
+    #[test]
+    fn peel_terminates_on_tiny_graph() {
+        let g = tiny();
+        // With fields_needed = 1 everyone eventually peels: round 1 assigns
+        // all three (each has ≥ 1 unique neighbor).
+        let rounds = peel(&g, &[0, 1, 2], 1).unwrap();
+        let by_key = assignments_by_key(&rounds);
+        assert_eq!(by_key.len(), 3);
+    }
+
+    #[test]
+    fn peel_reports_stuck() {
+        // x0 and x1 have identical neighborhoods: no unique neighbors ever.
+        let g = TableGraph::new(4, vec![vec![0, 2], vec![0, 2]], true);
+        let err = peel(&g, &[0, 1], 1).unwrap_err();
+        assert_eq!(err.stuck.len(), 2);
+        assert!(err.to_string().contains("expansion failure"));
+    }
+
+    #[test]
+    fn peel_on_seeded_expander_assigns_two_thirds_d() {
+        // Realistic parameters: d = 13 (paper default for small u),
+        // v = 2·n·d, n = 500 keys out of u = 2^20.
+        let d = 13;
+        let n = 500;
+        let g = SeededExpander::new(1 << 20, 2 * n, d, 12345);
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 2097 % (1 << 20)).collect();
+        let need = crate::params::fields_per_key(d);
+        let rounds = peel(&g, &keys, need).expect("seeded graph should expand");
+        let by_key = assignments_by_key(&rounds);
+        assert_eq!(by_key.len(), n);
+        for fields in by_key.values() {
+            assert_eq!(fields.len(), need);
+            // strictly increasing => distinct stripes or vertices
+            assert!(fields.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Lemma 5 with λ = 1/3, ε = 1/12 promises ≥ half peel per round;
+        // geometric decay keeps the round count logarithmic.
+        assert!(
+            rounds.len() <= 16,
+            "peeling took {} rounds, expected O(log n)",
+            rounds.len()
+        );
+    }
+
+    #[test]
+    fn lemma4_bound_holds_on_seeded_expander() {
+        let d = 16;
+        let n = 300;
+        let g = SeededExpander::new(1 << 30, 8 * n, d, 777);
+        let keys: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9) % (1 << 30))
+            .collect();
+        let phi = unique_neighbors(&g, &keys);
+        let bound = phi_lower_bound(n, d, 1.0 / 12.0);
+        assert!(
+            phi.len() as f64 >= bound * 0.9,
+            "Φ(S) = {} below 0.9× Lemma 4 bound {bound}",
+            phi.len()
+        );
+    }
+
+    #[test]
+    fn rounds_fields_disjoint() {
+        let d = 13;
+        let n = 200;
+        let g = SeededExpander::new(1 << 20, 2 * n, d, 5);
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let rounds = peel(&g, &keys, crate::params::fields_per_key(d)).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for a in rounds.iter().flatten() {
+            for &f in &a.fields {
+                assert!(seen.insert(f), "field {f} assigned twice");
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Expansion verification.
+//!
+//! Deciding whether a graph is an `(N, ε)`-expander is coNP-hard in
+//! general; for the test-suite we verify **exhaustively** on small
+//! instances (every subset up to size `N`) and **by sampling** on larger
+//! ones (random subsets at several sizes, reporting the worst expansion
+//! ratio observed). The sampled check can only *refute* expansion, never
+//! certify it — exactly the epistemic situation the paper's Section 6 open
+//! problem ("practical and truly simple constructions could exist")
+//! leaves us in.
+
+use crate::graph::NeighborFn;
+use crate::seeded::mix64;
+use std::collections::HashSet;
+
+/// Result of an expansion measurement: the worst ratio
+/// `|Γ(S)| / (d·|S|)` seen, and a witness set attaining it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionWitness {
+    /// Worst observed `|Γ(S)| / (d·|S|)`.
+    pub ratio: f64,
+    /// A set attaining the worst ratio.
+    pub witness: Vec<u64>,
+}
+
+fn ratio_of<G: NeighborFn>(g: &G, s: &[u64]) -> f64 {
+    let mut seen = HashSet::with_capacity(s.len() * g.degree());
+    for &x in s {
+        for y in g.neighbors(x) {
+            seen.insert(y);
+        }
+    }
+    seen.len() as f64 / (g.degree() * s.len()) as f64
+}
+
+/// Exhaustively measure the worst expansion over **all** nonempty subsets
+/// of the left part of size at most `max_n`.
+///
+/// Cost is `Σ_{k≤max_n} C(u, k)` neighbor evaluations — keep `u ≤ ~26` and
+/// `max_n ≤ ~4`.
+///
+/// # Panics
+/// Panics if the left part does not fit in `usize` or `max_n == 0`.
+#[must_use]
+pub fn worst_expansion_exhaustive<G: NeighborFn>(g: &G, max_n: usize) -> ExpansionWitness {
+    assert!(max_n >= 1);
+    let u = usize::try_from(g.left_size()).expect("exhaustive check needs a small universe");
+    let mut worst = ExpansionWitness {
+        ratio: f64::INFINITY,
+        witness: Vec::new(),
+    };
+    let mut set: Vec<u64> = Vec::with_capacity(max_n);
+    fn rec<G: NeighborFn>(
+        g: &G,
+        u: usize,
+        start: usize,
+        max_n: usize,
+        set: &mut Vec<u64>,
+        worst: &mut ExpansionWitness,
+    ) {
+        if !set.is_empty() {
+            let r = ratio_of(g, set);
+            if r < worst.ratio {
+                worst.ratio = r;
+                worst.witness = set.clone();
+            }
+        }
+        if set.len() == max_n {
+            return;
+        }
+        for x in start..u {
+            set.push(x as u64);
+            rec(g, u, x + 1, max_n, set, worst);
+            set.pop();
+        }
+    }
+    rec(g, u, 0, max_n, &mut set, &mut worst);
+    worst
+}
+
+/// Check the Definition 2 property exhaustively: is `g` an
+/// `(max_n, ε)`-expander?
+#[must_use]
+pub fn is_n_eps_expander_exhaustive<G: NeighborFn>(g: &G, max_n: usize, epsilon: f64) -> bool {
+    worst_expansion_exhaustive(g, max_n).ratio >= 1.0 - epsilon
+}
+
+/// Sample `samples` uniform subsets of each size in `sizes` (drawn from a
+/// caller-chosen key population) and report the worst expansion ratio.
+///
+/// Deterministic given `seed`.
+#[must_use]
+pub fn worst_expansion_sampled<G: NeighborFn>(
+    g: &G,
+    population: &[u64],
+    sizes: &[usize],
+    samples: usize,
+    seed: u64,
+) -> ExpansionWitness {
+    let mut worst = ExpansionWitness {
+        ratio: f64::INFINITY,
+        witness: Vec::new(),
+    };
+    let mut state = seed;
+    for &size in sizes {
+        assert!(
+            size <= population.len(),
+            "sample size {size} exceeds population {}",
+            population.len()
+        );
+        if size == 0 {
+            continue;
+        }
+        for _ in 0..samples {
+            // Floyd's algorithm over indices for a uniform size-subset.
+            let mut chosen: HashSet<usize> = HashSet::with_capacity(size);
+            let n = population.len();
+            for j in (n - size)..n {
+                state = mix64(state.wrapping_add(0x2545_F491_4F6C_DD1D));
+                let t = (state % (j as u64 + 1)) as usize;
+                if !chosen.insert(t) {
+                    chosen.insert(j);
+                }
+            }
+            let mut s: Vec<u64> = chosen.into_iter().map(|i| population[i]).collect();
+            s.sort_unstable(); // canonical order: HashSet iteration is not deterministic
+            let r = ratio_of(g, &s);
+            if r < worst.ratio {
+                worst.ratio = r;
+                worst.witness = s;
+            }
+        }
+    }
+    worst
+}
+
+/// Measured unique-neighbor ratio `|Φ(S)| / (d·|S|)` — Lemma 4 predicts it
+/// is at least `1 - 2ε` for sets within capacity.
+#[must_use]
+pub fn unique_neighbor_ratio<G: NeighborFn>(g: &G, s: &[u64]) -> f64 {
+    let phi = crate::unique::unique_neighbors(g, s);
+    phi.len() as f64 / (g.degree() * s.len().max(1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TableGraph;
+    use crate::seeded::SeededExpander;
+
+    #[test]
+    fn perfect_matching_has_ratio_one() {
+        // d = 1, each left vertex its own right vertex.
+        let g = TableGraph::new(4, vec![vec![0], vec![1], vec![2], vec![3]], true);
+        let w = worst_expansion_exhaustive(&g, 4);
+        assert_eq!(w.ratio, 1.0);
+    }
+
+    #[test]
+    fn colliding_pair_detected() {
+        // Two left vertices with identical neighborhoods: ratio 1/2 at size 2.
+        let g = TableGraph::new(4, vec![vec![0, 2], vec![0, 2], vec![1, 3]], true);
+        let w = worst_expansion_exhaustive(&g, 2);
+        assert!((w.ratio - 0.5).abs() < 1e-12);
+        let mut witness = w.witness;
+        witness.sort_unstable();
+        assert_eq!(witness, vec![0, 1]);
+    }
+
+    #[test]
+    fn exhaustive_certifies_searched_seeded_graph() {
+        // u = 20, v = 4 stripes of 30: the probabilistic-preprocessing
+        // search finds a certified (3, 1/4)-expander within a few seeds.
+        let g = SeededExpander::search_verified(20, 30, 4, 3, 0.25, 0, 64)
+            .expect("a (3, 1/4)-expander exists at these parameters");
+        let w = worst_expansion_exhaustive(&g, 3);
+        assert!(
+            w.ratio >= 0.75,
+            "certified graph has ratio {} with witness {:?}",
+            w.ratio,
+            w.witness
+        );
+    }
+
+    #[test]
+    fn search_fails_on_infeasible_parameters() {
+        // v = 2, d = 2, but 4 identical-neighborhood keys are unavoidable:
+        // no (2, 0)-expander exists.
+        assert!(SeededExpander::search_verified(8, 1, 2, 2, 0.0, 0, 32).is_none());
+    }
+
+    #[test]
+    fn sampled_never_beats_exhaustive() {
+        let g = SeededExpander::new(24, 8, 4, 11);
+        let pop: Vec<u64> = (0..24).collect();
+        let ex = worst_expansion_exhaustive(&g, 2);
+        let sa = worst_expansion_sampled(&g, &pop, &[2], 200, 5);
+        assert!(sa.ratio >= ex.ratio - 1e-12);
+    }
+
+    #[test]
+    fn sampled_is_deterministic() {
+        let g = SeededExpander::new(1 << 16, 256, 8, 2);
+        let pop: Vec<u64> = (0..4096).collect();
+        let a = worst_expansion_sampled(&g, &pop, &[16, 64], 20, 9);
+        let b = worst_expansion_sampled(&g, &pop, &[16, 64], 20, 9);
+        assert_eq!(a.ratio, b.ratio);
+        assert_eq!(a.witness, b.witness);
+    }
+
+    #[test]
+    fn seeded_expander_passes_sampled_check_at_scale() {
+        // n = 1024 capacity, v = 8·n·d — expect near-(N, 1/12) expansion.
+        let d = 16;
+        let n = 1024usize;
+        let g = SeededExpander::new(1 << 40, 8 * n, d, 4242);
+        let pop: Vec<u64> = (0..(n as u64 * 4))
+            .map(|i| i.wrapping_mul(0x00DE_ADBE_EF97) % (1 << 40))
+            .collect();
+        let w = worst_expansion_sampled(&g, &pop, &[4, 32, 256, n], 30, 1);
+        assert!(
+            w.ratio > 1.0 - 2.0 * (1.0 / 12.0),
+            "sampled worst ratio {} too small",
+            w.ratio
+        );
+    }
+
+    #[test]
+    fn unique_ratio_close_to_one_for_sparse_sets() {
+        let g = SeededExpander::new(1 << 30, 4096, 16, 77);
+        let s: Vec<u64> = (0..64u64).map(|i| i * 1_000_003).collect();
+        // Tiny set in a big right part: almost all neighbors unique.
+        assert!(unique_neighbor_ratio(&g, &s) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds population")]
+    fn oversized_sample_panics() {
+        let g = SeededExpander::new(16, 4, 2, 0);
+        let pop: Vec<u64> = (0..8).collect();
+        let _ = worst_expansion_sampled(&g, &pop, &[9], 1, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the expander machinery.
+
+use expander::semi_explicit::{SemiExplicitConfig, SemiExplicitExpander};
+use expander::{NeighborFn, SeededExpander, TelescopeExpander, TriviallyStriped};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Striped neighbors always live in their stripes, for any geometry.
+    #[test]
+    fn seeded_neighbors_in_stripes(
+        stripe in 1usize..200,
+        d in 1usize..24,
+        seed in any::<u64>(),
+        x in any::<u64>(),
+    ) {
+        let g = SeededExpander::new(u64::MAX, stripe, d, seed);
+        for i in 0..d {
+            let y = g.neighbor(x, i);
+            prop_assert!(y >= i * stripe && y < (i + 1) * stripe);
+        }
+        prop_assert_eq!(g.right_size(), stripe * d);
+    }
+
+    /// Trivial striping is a bijection-per-stripe transformation: the
+    /// striped graph's neighbor i is the inner graph's neighbor i offset
+    /// by i·v, and expansion can only improve.
+    #[test]
+    fn trivial_striping_structure(
+        stripe in 2usize..50,
+        d in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let inner = SeededExpander::new(1 << 20, stripe, d, seed);
+        let v = inner.right_size();
+        let s = TriviallyStriped::new(inner);
+        prop_assert!(s.is_striped());
+        prop_assert_eq!(s.right_size(), v * d);
+        for x in [0u64, 1, 99999] {
+            let inner_ns = s.inner().neighbors(x);
+            for (i, &y) in s.neighbors(x).iter().enumerate() {
+                prop_assert_eq!(y, i * v + inner_ns[i]);
+            }
+        }
+    }
+
+    /// The telescope product yields distinct neighbors and the advertised
+    /// degree, for any compatible factor pair.
+    #[test]
+    fn telescope_degree_and_distinctness(
+        s1 in 4usize..24,
+        d1 in 2usize..5,
+        d2 in 2usize..5,
+        seed in any::<u64>(),
+        x in 0u64..(1 << 16),
+    ) {
+        let g1 = SeededExpander::new(1 << 16, s1, d1, seed);
+        let v1 = g1.right_size();
+        // Final right part must hold d1·d2 distinct vertices.
+        let s2 = (d1 * d2).div_ceil(d2) + 8;
+        let g2 = SeededExpander::new(v1 as u64, s2, d2, seed ^ 1);
+        let t = TelescopeExpander::new(g1, g2);
+        prop_assert_eq!(t.degree(), d1 * d2);
+        let ns = t.neighbors(x);
+        prop_assert_eq!(ns.len(), d1 * d2);
+        let mut dedup = ns.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), ns.len(), "duplicate neighbors after remap");
+        prop_assert!(ns.iter().all(|&y| y < t.right_size()));
+    }
+
+    /// The semi-explicit construction always terminates with O(1) stages,
+    /// in-range neighbors, and per-stage degrees within the cap.
+    #[test]
+    fn semi_explicit_invariants(
+        log_u in 16u32..36,
+        log_n in 6u32..12,
+        beta in 0.2f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(log_n + 4 <= log_u);
+        let cfg = SemiExplicitConfig {
+            universe: 1 << log_u,
+            capacity: 1 << log_n,
+            beta,
+            epsilon: 0.25,
+            seed,
+            stage_degree_cap: 8,
+        };
+        let g = SemiExplicitExpander::build(cfg).expect("valid parameters build");
+        prop_assert!(g.num_stages() >= 1 && g.num_stages() <= 4);
+        let r = g.report();
+        for st in &r.stages {
+            prop_assert!(st.degree >= 4 && st.degree <= 8);
+            prop_assert!((st.right as u64) < st.left);
+        }
+        let x = seed % (1 << log_u);
+        let ns = g.neighbors(x);
+        prop_assert_eq!(ns.len(), g.degree());
+        prop_assert!(ns.iter().all(|&y| y < g.right_size()));
+    }
+
+    /// Exhaustive witness ratios are monotone in the set-size cap: allowing
+    /// larger sets can only find worse (or equal) expansion.
+    #[test]
+    fn exhaustive_worst_is_monotone(seed in any::<u64>()) {
+        let g = SeededExpander::new(14, 12, 3, seed);
+        let w2 = expander::verify::worst_expansion_exhaustive(&g, 2).ratio;
+        let w3 = expander::verify::worst_expansion_exhaustive(&g, 3).ratio;
+        prop_assert!(w3 <= w2 + 1e-12);
+    }
+}

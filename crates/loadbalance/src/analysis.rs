@@ -1,0 +1,92 @@
+//! Load-vector summaries for the experiments.
+
+/// Summary statistics of a bucket-load vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadStats {
+    /// Number of buckets.
+    pub buckets: usize,
+    /// Total items.
+    pub total: u64,
+    /// Maximum load.
+    pub max: u32,
+    /// Minimum load.
+    pub min: u32,
+    /// Mean load.
+    pub mean: f64,
+    /// Population standard deviation of the loads.
+    pub stddev: f64,
+    /// `histogram[l]` = number of buckets with load exactly `l`.
+    pub histogram: Vec<usize>,
+}
+
+impl LoadStats {
+    /// Summarize a load vector.
+    ///
+    /// # Panics
+    /// Panics on an empty vector.
+    #[must_use]
+    pub fn of(loads: &[u32]) -> Self {
+        assert!(!loads.is_empty(), "no buckets to summarize");
+        let total: u64 = loads.iter().map(|&l| u64::from(l)).sum();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        let min = loads.iter().copied().min().unwrap_or(0);
+        let mean = total as f64 / loads.len() as f64;
+        let var = loads
+            .iter()
+            .map(|&l| {
+                let d = f64::from(l) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / loads.len() as f64;
+        let mut histogram = vec![0usize; max as usize + 1];
+        for &l in loads {
+            histogram[l as usize] += 1;
+        }
+        LoadStats {
+            buckets: loads.len(),
+            total,
+            max,
+            min,
+            mean,
+            stddev: var.sqrt(),
+            histogram,
+        }
+    }
+
+    /// Deviation of the maximum above the mean — the quantity the
+    /// balanced-allocations literature bounds.
+    #[must_use]
+    pub fn max_deviation(&self) -> f64 {
+        f64::from(self.max) - self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_simple_vector() {
+        let s = LoadStats::of(&[0, 1, 2, 1]);
+        assert_eq!(s.buckets, 4);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.min, 0);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert_eq!(s.histogram, vec![1, 2, 1]);
+        assert!((s.max_deviation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stddev_of_uniform_is_zero() {
+        let s = LoadStats::of(&[3, 3, 3]);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no buckets")]
+    fn empty_vector_panics() {
+        let _ = LoadStats::of(&[]);
+    }
+}

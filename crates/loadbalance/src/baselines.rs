@@ -1,0 +1,83 @@
+//! Baseline allocation strategies for the LEM3 experiment.
+//!
+//! * **Single choice** — every key hashes to one bucket (`d = 1`); the
+//!   classic balls-into-bins maximum of `Θ(log n / log log n)` above
+//!   average in the lightly loaded case.
+//! * **Random `d`-choice** — the Azar–Broder–Karlin–Upfal scheme; the
+//!   paper's Section 3 notes its own scheme generalizes the `k = 1`,
+//!   random-degree-2 case, whose max deviation is `O(log log n)` w.h.p.
+//!
+//! Both are expressed as [`GreedyBalancer`] instances over
+//! [`SeededExpander`] graphs (a fixed random graph *is* the random-choice
+//! scheme, with the randomness fixed up front), so all three strategies
+//! differ only in the graph handed to the identical greedy code.
+
+use crate::greedy::GreedyBalancer;
+use expander::SeededExpander;
+
+/// Single-choice allocation: `d = 1` over a pseudorandom graph.
+#[must_use]
+pub fn single_choice(universe: u64, buckets: usize, seed: u64) -> GreedyBalancer<SeededExpander> {
+    let g = SeededExpander::new(universe, buckets, 1, seed);
+    GreedyBalancer::new(g, 1)
+}
+
+/// Random `d`-choice allocation (greedy over a degree-`d` random graph).
+///
+/// # Panics
+/// Panics if `buckets` is not divisible by `d` (the underlying graph is
+/// striped into `d` equal parts).
+#[must_use]
+pub fn random_d_choice(
+    universe: u64,
+    buckets: usize,
+    d: usize,
+    seed: u64,
+) -> GreedyBalancer<SeededExpander> {
+    assert!(
+        buckets.is_multiple_of(d),
+        "buckets must be divisible by d for striping"
+    );
+    let g = SeededExpander::new(universe, buckets / d, d, seed);
+    GreedyBalancer::new(g, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_choice_has_heavier_max_than_two_choice() {
+        // The power of two choices: at equal load, d = 2 greedy placement
+        // has a strictly smaller maximum than single-choice, by a clear
+        // margin at this scale.
+        let buckets = 1024;
+        let n = 16 * 1024;
+        let mut one = single_choice(1 << 40, buckets, 1);
+        let mut two = random_d_choice(1 << 40, buckets, 2, 2);
+        for x in 0..n as u64 {
+            let key = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (1 << 40);
+            one.insert(key);
+            two.insert(key);
+        }
+        assert!(
+            two.max_load() < one.max_load(),
+            "two-choice max {} not below single-choice max {}",
+            two.max_load(),
+            one.max_load()
+        );
+    }
+
+    #[test]
+    fn single_choice_is_degree_one() {
+        let lb = single_choice(1 << 20, 64, 0);
+        assert_eq!(expander::NeighborFn::degree(lb.graph()), 1);
+        assert_eq!(expander::NeighborFn::right_size(lb.graph()), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_buckets_rejected() {
+        let _ = random_d_choice(1 << 20, 63, 2, 0);
+    }
+}

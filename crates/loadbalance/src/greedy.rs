@@ -1,0 +1,235 @@
+//! The Section 3 greedy placement scheme.
+
+use expander::NeighborFn;
+
+/// How ties between equally-loaded candidate buckets are broken. The paper
+/// allows "breaking ties arbitrarily"; a fixed policy keeps runs
+/// reproducible, and the LEM3 experiment compares the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Prefer the lowest right-vertex index (for striped graphs: the
+    /// lowest stripe, i.e. disk 0 fills first among ties).
+    #[default]
+    LowestIndex,
+    /// Prefer the highest right-vertex index.
+    HighestIndex,
+}
+
+/// On-line greedy `k`-item `d`-choice balancer over a fixed expander.
+///
+/// ```
+/// use expander::SeededExpander;
+/// use loadbalance::GreedyBalancer;
+///
+/// let g = SeededExpander::new(1 << 20, 64, 8, 7); // v = 512 buckets
+/// let mut lb = GreedyBalancer::new(&g, 1);
+/// for x in 0..1000 {
+///     lb.insert(x);
+/// }
+/// assert_eq!(lb.total_items(), 1000);
+/// assert!(lb.max_load() >= 2); // 1000 items in 512 buckets
+/// ```
+#[derive(Debug, Clone)]
+pub struct GreedyBalancer<G> {
+    graph: G,
+    loads: Vec<u32>,
+    items_per_key: usize,
+    tie: TieBreak,
+    inserted_keys: usize,
+}
+
+impl<G: NeighborFn> GreedyBalancer<G> {
+    /// New balancer placing `k` items per inserted key.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > d` (the scheme requires `d > k` for its
+    /// guarantee; equality is allowed here but Lemma 3 then gives no bound).
+    #[must_use]
+    pub fn new(graph: G, items_per_key: usize) -> Self {
+        Self::with_tie_break(graph, items_per_key, TieBreak::default())
+    }
+
+    /// New balancer with an explicit tie-break policy.
+    #[must_use]
+    pub fn with_tie_break(graph: G, items_per_key: usize, tie: TieBreak) -> Self {
+        assert!(items_per_key >= 1, "each key must carry at least one item");
+        assert!(
+            items_per_key <= graph.degree(),
+            "k = {items_per_key} items exceed d = {} choices",
+            graph.degree()
+        );
+        let v = graph.right_size();
+        GreedyBalancer {
+            graph,
+            loads: vec![0; v],
+            items_per_key,
+            tie,
+            inserted_keys: 0,
+        }
+    }
+
+    /// Insert key `x`: place its `k` items one by one, each into the
+    /// currently least-loaded neighboring bucket. Returns the chosen bucket
+    /// for each item (multiple items may share a bucket, as the paper's
+    /// scheme allows).
+    pub fn insert(&mut self, x: u64) -> Vec<usize> {
+        let neighbors = self.graph.neighbors(x);
+        let mut chosen = Vec::with_capacity(self.items_per_key);
+        for _ in 0..self.items_per_key {
+            let mut best = neighbors[0];
+            for &y in &neighbors[1..] {
+                let better = match self.loads[y].cmp(&self.loads[best]) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => match self.tie {
+                        TieBreak::LowestIndex => y < best,
+                        TieBreak::HighestIndex => y > best,
+                    },
+                };
+                if better {
+                    best = y;
+                }
+            }
+            self.loads[best] += 1;
+            chosen.push(best);
+        }
+        self.inserted_keys += 1;
+        chosen
+    }
+
+    /// Current load vector (one entry per right vertex).
+    #[must_use]
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Largest bucket load.
+    #[must_use]
+    pub fn max_load(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total items placed.
+    #[must_use]
+    pub fn total_items(&self) -> usize {
+        self.inserted_keys * self.items_per_key
+    }
+
+    /// Keys inserted so far.
+    #[must_use]
+    pub fn keys_inserted(&self) -> usize {
+        self.inserted_keys
+    }
+
+    /// Items per key, `k`.
+    #[must_use]
+    pub fn items_per_key(&self) -> usize {
+        self.items_per_key
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// Average load `k·n / v`.
+    #[must_use]
+    pub fn average_load(&self) -> f64 {
+        self.total_items() as f64 / self.loads.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expander::graph::TableGraph;
+    use expander::SeededExpander;
+
+    #[test]
+    fn picks_least_loaded_bucket() {
+        // One key with neighbors {0, 2}; preload bucket 0.
+        let g = TableGraph::new(4, vec![vec![0, 2], vec![0, 2]], true);
+        let mut lb = GreedyBalancer::new(&g, 1);
+        assert_eq!(lb.insert(0), vec![0]); // tie -> lowest index
+        assert_eq!(lb.insert(1), vec![2]); // bucket 0 now has load 1
+        assert_eq!(lb.loads(), &[1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn tie_break_policies_differ() {
+        let g = TableGraph::new(4, vec![vec![1, 2]], true);
+        let mut low = GreedyBalancer::with_tie_break(&g, 1, TieBreak::LowestIndex);
+        let mut high = GreedyBalancer::with_tie_break(&g, 1, TieBreak::HighestIndex);
+        assert_eq!(low.insert(0), vec![1]);
+        assert_eq!(high.insert(0), vec![2]);
+    }
+
+    #[test]
+    fn k_items_spread_over_choices() {
+        let g = TableGraph::new(6, vec![vec![0, 2, 4]], true);
+        let mut lb = GreedyBalancer::new(&g, 3);
+        let chosen = lb.insert(0);
+        // Three items, three empty choices: one each.
+        let mut sorted = chosen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2, 4]);
+        assert_eq!(lb.total_items(), 3);
+    }
+
+    #[test]
+    fn multiple_items_may_share_a_bucket() {
+        // d = 2 neighbors but k = 2 items; second insert forces sharing.
+        let g = TableGraph::new(4, vec![vec![0, 2]], true);
+        let mut lb = GreedyBalancer::new(&g, 2);
+        lb.insert(0);
+        assert_eq!(lb.loads(), &[1, 0, 1, 0]);
+        lb.insert(0);
+        assert_eq!(lb.loads(), &[2, 0, 2, 0]);
+    }
+
+    #[test]
+    fn max_load_tracks_lemma3_shape() {
+        // n keys into v buckets with d choices: max load should sit near
+        // the average, far below the single-choice ~log n / log log n.
+        let d = 8;
+        let v = 512;
+        let n = 8192u64; // average load 16
+        let g = SeededExpander::new(1 << 30, v / d, d, 3);
+        let mut lb = GreedyBalancer::new(&g, 1);
+        for x in 0..n {
+            lb.insert(x * 2654435761 % (1 << 30));
+        }
+        let avg = lb.average_load();
+        let max = lb.max_load() as f64;
+        assert!(
+            max <= avg + 8.0,
+            "greedy max load {max} too far above average {avg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn k_above_d_rejected() {
+        let g = SeededExpander::new(16, 4, 2, 0);
+        let _ = GreedyBalancer::new(&g, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_k_rejected() {
+        let g = SeededExpander::new(16, 4, 2, 0);
+        let _ = GreedyBalancer::new(&g, 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let g = SeededExpander::new(1 << 20, 32, 4, 9);
+        let mut a = GreedyBalancer::new(&g, 2);
+        let mut b = GreedyBalancer::new(&g, 2);
+        for x in 0..500 {
+            assert_eq!(a.insert(x), b.insert(x));
+        }
+        assert_eq!(a.loads(), b.loads());
+    }
+}

@@ -1,0 +1,38 @@
+//! # `loadbalance` — deterministic d-choice load balancing (Section 3)
+//!
+//! The paper's first tool: place items on-line into buckets using a fixed
+//! unbalanced bipartite expander instead of random hash choices. Each left
+//! vertex (key) carries `k` items; the greedy strategy assigns the items
+//! one by one, "putting each item in a bucket that currently has the
+//! fewest items assigned, breaking ties arbitrarily". Lemma 3 bounds the
+//! maximum load by
+//!
+//! ```text
+//!   kn / ((1-δ)·v)  +  log_{(1-ε)d/k} v
+//! ```
+//!
+//! — the deterministic analogue of the `O(log log n)` deviation of
+//! randomized balanced allocations (Azar–Broder–Karlin–Upfal; the
+//! heavily-loaded case by Berenbrink–Czumaj–Steger–Vöcking, both cited by
+//! the paper as the `k = 1, d = 2` special case).
+//!
+//! [`GreedyBalancer`] implements the scheme over any
+//! [`expander::NeighborFn`]; [`baselines`] supplies the single-choice and
+//! random-`d`-choice comparators used by the LEM3 experiment; and
+//! [`analysis`] summarizes load vectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod baselines;
+pub mod greedy;
+pub mod recursive;
+
+pub use analysis::LoadStats;
+pub use greedy::{GreedyBalancer, TieBreak};
+pub use recursive::{Placement, RecursiveBalancer};
+
+// The Lemma 3 bound calculators live next to the other parameter
+// arithmetic; re-export them here so load-balancing callers have one stop.
+pub use expander::params::{lemma3_bound, lemma3_bound_refined};

@@ -1,0 +1,276 @@
+//! The Section 6 open-problem scheme: recursive `k = Ω(d)` balancing.
+//!
+//! "It is plausible that full bandwidth can be achieved with lookup in
+//! 1 I/O, while still supporting efficient updates. One idea that we have
+//! considered is to apply the load balancing scheme with k = Ω(d),
+//! recursively, for some constant number of levels before relying on a
+//! brute-force approach. However, this makes the time for updates
+//! non-constant."
+//!
+//! [`RecursiveBalancer`] realizes the idea so the ABL3 experiment can map
+//! where it stands: each level is a greedy `k`-item placement with a hard
+//! per-bucket *capacity*; a key whose `k` items cannot all fit under the
+//! capacity at level `j` spills to level `j+1` (a fresh, geometrically
+//! smaller expander); after the last level an overflow list catches the
+//! rest (the "brute-force approach"). A key placed at level `j` costs
+//! `j` probes to update and — because a reader must check all levels it
+//! might be on — the *population profile* across levels is exactly the
+//! update-cost distribution the paper worries about.
+
+use expander::NeighborFn;
+use expander::SeededExpander;
+
+/// Outcome of one insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Placed at this level (0-based), in these buckets (level-local).
+    Level(usize, Vec<usize>),
+    /// Fell through every level into the brute-force overflow list.
+    Overflow,
+}
+
+/// The recursive spilling balancer.
+#[derive(Debug)]
+pub struct RecursiveBalancer {
+    levels: Vec<LevelState>,
+    items_per_key: usize,
+    capacity: u32,
+    overflow: Vec<u64>,
+    level_population: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct LevelState {
+    graph: SeededExpander,
+    loads: Vec<u32>,
+}
+
+impl RecursiveBalancer {
+    /// `levels` levels over universe `u`; level 0 has `buckets` buckets
+    /// (a multiple of `degree`), each subsequent level `shrink`× smaller;
+    /// every bucket holds at most `capacity` items; each key places
+    /// `items_per_key = k` items.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters (`k = 0`, `k > d·capacity`,
+    /// `buckets` not a positive multiple of `degree`).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // a parameter-sweep constructor
+    pub fn new(
+        universe: u64,
+        buckets: usize,
+        degree: usize,
+        items_per_key: usize,
+        capacity: u32,
+        levels: usize,
+        shrink: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(items_per_key >= 1, "k must be positive");
+        assert!(
+            items_per_key as u64 <= degree as u64 * u64::from(capacity),
+            "k items can never fit under the capacity"
+        );
+        assert!(
+            buckets > 0 && buckets.is_multiple_of(degree),
+            "buckets must be a positive multiple of d"
+        );
+        assert!(levels >= 1, "need at least one level");
+        assert!(shrink > 0.0 && shrink < 1.0, "levels must shrink");
+        let mut states = Vec::with_capacity(levels);
+        let mut v = buckets;
+        for i in 0..levels {
+            let stripe = (v / degree).max(1);
+            states.push(LevelState {
+                graph: SeededExpander::new(universe, stripe, degree, seed.wrapping_add(i as u64)),
+                loads: vec![0; stripe * degree],
+            });
+            v = (((v as f64) * shrink).ceil() as usize)
+                .div_ceil(degree)
+                .max(1)
+                * degree;
+        }
+        RecursiveBalancer {
+            levels: states,
+            items_per_key,
+            capacity,
+            overflow: Vec::new(),
+            level_population: vec![0; levels],
+        }
+    }
+
+    /// Items each key places, `k`.
+    #[must_use]
+    pub fn items_per_key(&self) -> usize {
+        self.items_per_key
+    }
+
+    /// Number of levels before the brute-force list.
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Keys placed per level.
+    #[must_use]
+    pub fn level_population(&self) -> &[usize] {
+        &self.level_population
+    }
+
+    /// Keys in the brute-force overflow list.
+    #[must_use]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Maximum bucket load at a level.
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range.
+    #[must_use]
+    pub fn max_load(&self, level: usize) -> u32 {
+        self.levels[level].loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Insert key `x`: first-fit over the levels. Returns where the key
+    /// landed; the update cost in parallel I/Os is `level + 2` (one read
+    /// per level probed, one write), or `levels + O(1)` for overflow.
+    pub fn insert(&mut self, x: u64) -> Placement {
+        for (level, st) in self.levels.iter_mut().enumerate() {
+            let neighbors = st.graph.neighbors(x);
+            // Feasibility: the k items fit under the capacity iff the
+            // neighbors' residual capacities sum to ≥ k.
+            let free: u64 = neighbors
+                .iter()
+                .map(|&y| u64::from(self.capacity.saturating_sub(st.loads[y])))
+                .sum();
+            if free < self.items_per_key as u64 {
+                continue; // spill to the next level
+            }
+            // Greedy placement (Section 3 scheme) restricted to buckets
+            // with residual capacity.
+            let mut chosen = Vec::with_capacity(self.items_per_key);
+            for _ in 0..self.items_per_key {
+                let best = neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&y| st.loads[y] < self.capacity)
+                    .min_by_key(|&y| (st.loads[y], y))
+                    .expect("feasibility checked");
+                st.loads[best] += 1;
+                chosen.push(best);
+            }
+            self.level_population[level] += 1;
+            return Placement::Level(level, chosen);
+        }
+        self.overflow.push(x);
+        Placement::Overflow
+    }
+
+    /// The average update cost in parallel I/Os implied by the current
+    /// population profile (`level + 2` per key, `levels + 2` for
+    /// overflow) — the §6 "non-constant" quantity.
+    #[must_use]
+    pub fn average_update_cost(&self) -> f64 {
+        let placed: usize = self.level_population.iter().sum();
+        let total = placed + self.overflow.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut cost = 0.0;
+        for (level, &count) in self.level_population.iter().enumerate() {
+            cost += (level as f64 + 2.0) * count as f64;
+        }
+        cost += (self.levels.len() as f64 + 2.0) * self.overflow.len() as f64;
+        cost / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balancer(n_buckets: usize, k: usize, cap: u32) -> RecursiveBalancer {
+        RecursiveBalancer::new(1 << 30, n_buckets, 16, k, cap, 4, 0.25, 0x6A)
+    }
+
+    #[test]
+    fn generous_capacity_keeps_everything_on_level_one() {
+        let mut b = balancer(1024, 8, 64);
+        for x in 0..1000u64 {
+            let p = b.insert(x * 37);
+            assert!(
+                matches!(p, Placement::Level(0, _)),
+                "key {x} spilled: {p:?}"
+            );
+        }
+        assert_eq!(b.level_population()[0], 1000);
+        assert_eq!(b.overflow_len(), 0);
+        assert!((b.average_update_cost() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placements_respect_capacity() {
+        let mut b = balancer(64, 8, 4);
+        for x in 0..200u64 {
+            b.insert(x);
+        }
+        for level in 0..b.num_levels() {
+            assert!(b.max_load(level) <= 4, "level {level} exceeded capacity");
+        }
+    }
+
+    #[test]
+    fn starved_levels_spill_geometrically() {
+        // 64 buckets × cap 4 = 256 item slots at level 0; 8 items/key
+        // means ~32 keys saturate it, the rest cascade.
+        let mut b = balancer(64, 8, 4);
+        for x in 0..200u64 {
+            b.insert(x * 101);
+        }
+        let pop = b.level_population();
+        assert!(pop[0] > 0);
+        assert!(
+            pop[1] < pop[0] || b.overflow_len() > 0,
+            "expected decay or overflow: {pop:?} + {} overflow",
+            b.overflow_len()
+        );
+        // Every key is accounted for.
+        let placed: usize = pop.iter().sum();
+        assert_eq!(placed + b.overflow_len(), 200);
+        assert!(b.average_update_cost() > 2.0, "spilling must cost extra");
+    }
+
+    #[test]
+    fn chosen_buckets_are_neighbors() {
+        let mut b = balancer(256, 5, 8);
+        for x in [3u64, 99, 4096] {
+            if let Placement::Level(level, chosen) = b.insert(x) {
+                let st_graph = SeededExpander::new(1 << 30, 256 / 16, 16, 0x6A + level as u64);
+                let neighbors = st_graph.neighbors(x);
+                for y in chosen {
+                    assert!(neighbors.contains(&y), "bucket {y} not a neighbor");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never fit")]
+    fn impossible_k_rejected() {
+        let _ = RecursiveBalancer::new(1 << 20, 64, 4, 64, 2, 2, 0.5, 0);
+    }
+
+    #[test]
+    fn full_bandwidth_k_half_d_works_at_modest_load() {
+        // The §6 target regime: k = d/2 (half-stripe bandwidth per key).
+        let d = 16;
+        let mut b = RecursiveBalancer::new(1 << 30, 2048, d, d / 2, 8, 3, 0.25, 7);
+        for x in 0..1500u64 {
+            b.insert(x * 3 + 1);
+        }
+        let frac_l0 = b.level_population()[0] as f64 / 1500.0;
+        assert!(frac_l0 > 0.95, "level-0 fraction {frac_l0}");
+        assert!(b.average_update_cost() < 2.2);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the load balancing schemes.
+
+use expander::{NeighborFn, SeededExpander};
+use loadbalance::{GreedyBalancer, LoadStats, Placement, RecursiveBalancer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: total load always equals k times the keys inserted,
+    /// and every placement is a neighbor of its key.
+    #[test]
+    fn greedy_conserves_and_respects_graph(
+        d in 2usize..12,
+        k_frac in 1usize..4,
+        stripe in 4usize..64,
+        n in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let k = (d * k_frac / 4).max(1).min(d);
+        let g = SeededExpander::new(1 << 30, stripe, d, seed);
+        let mut lb = GreedyBalancer::new(&g, k);
+        for i in 0..n as u64 {
+            let x = i.wrapping_mul(0x9E37_79B9) % (1 << 30);
+            let chosen = lb.insert(x);
+            let neighbors = g.neighbors(x);
+            for y in chosen {
+                prop_assert!(neighbors.contains(&y), "non-neighbor bucket");
+            }
+        }
+        let stats = LoadStats::of(lb.loads());
+        prop_assert_eq!(stats.total, (n * k) as u64);
+    }
+
+    /// Greedy never does worse than the trivial bound: max ≤ k·n (one key
+    /// can only stack k items in a bucket if all its choices coincide) and
+    /// max ≥ ceil(k·n / v).
+    #[test]
+    fn greedy_max_within_trivial_envelope(
+        d in 2usize..10,
+        stripe in 2usize..32,
+        n in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let g = SeededExpander::new(1 << 20, stripe, d, seed);
+        let mut lb = GreedyBalancer::new(&g, 1);
+        for i in 0..n as u64 {
+            lb.insert(i % (1 << 20));
+        }
+        let v = g.right_size();
+        let max = lb.max_load() as usize;
+        prop_assert!(max >= n.div_ceil(v));
+        prop_assert!(max <= n);
+    }
+
+    /// The recursive balancer accounts for every key exactly once and
+    /// never exceeds the capacity anywhere.
+    #[test]
+    fn recursive_accounts_for_all_keys(
+        n in 1usize..400,
+        cap in 2u32..16,
+        seed in any::<u64>(),
+    ) {
+        let d = 8;
+        let k = 4;
+        let mut b = RecursiveBalancer::new(1 << 30, 64, d, k, cap, 3, 0.5, seed);
+        let mut placed = 0usize;
+        for i in 0..n as u64 {
+            match b.insert(i.wrapping_mul(0x2545_F491) % (1 << 30)) {
+                Placement::Level(level, chosen) => {
+                    prop_assert!(level < b.num_levels());
+                    prop_assert_eq!(chosen.len(), k);
+                    placed += 1;
+                }
+                Placement::Overflow => {}
+            }
+        }
+        let pop_sum: usize = b.level_population().iter().sum();
+        prop_assert_eq!(pop_sum, placed);
+        prop_assert_eq!(placed + b.overflow_len(), n);
+        for level in 0..b.num_levels() {
+            prop_assert!(b.max_load(level) <= cap, "capacity violated");
+        }
+    }
+
+    /// Update cost is monotone in scarcity: halving the capacity can only
+    /// raise (or keep) the implied average update cost.
+    #[test]
+    fn recursive_cost_monotone_in_capacity(seed in any::<u64>()) {
+        let run = |cap: u32| {
+            let mut b = RecursiveBalancer::new(1 << 30, 128, 8, 4, cap, 4, 0.5, seed);
+            for i in 0..500u64 {
+                b.insert(i.wrapping_mul(0x9E37_79B9) % (1 << 30));
+            }
+            b.average_update_cost()
+        };
+        prop_assert!(run(8) >= run(16) - 1e-9);
+    }
+}

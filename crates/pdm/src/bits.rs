@@ -1,0 +1,405 @@
+//! Bit-level encoding: fixed-width fields and unary-coded integers.
+//!
+//! The one-probe dictionary of Theorem 6 packs, into each array field,
+//! either a `⌈lg n⌉`-bit identifier (case b) or a unary-coded relative
+//! pointer terminated by a 0-bit (case a), followed by record data. This
+//! module provides the bit writer/reader those encodings are built on.
+//!
+//! Bits are numbered LSB-first within each word; a [`BitWriter`] appends
+//! bits and produces a word vector, a [`BitReader`] consumes them in the
+//! same order.
+
+use crate::{Word, WORD_BITS};
+
+/// Append-only bit buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    words: Vec<Word>,
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bits written so far.
+    #[must_use]
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Append the low `n` bits of `value` (LSB first), `0 ≤ n ≤ 64`.
+    ///
+    /// # Panics
+    /// Panics if `n > 64` or if `value` has bits above position `n`.
+    pub fn write_bits(&mut self, value: u64, n: usize) {
+        assert!(
+            n <= WORD_BITS,
+            "cannot write more than {WORD_BITS} bits at once"
+        );
+        if n < WORD_BITS {
+            assert!(value >> n == 0, "value {value:#x} does not fit in {n} bits");
+        }
+        let mut remaining = n;
+        let mut v = value;
+        while remaining > 0 {
+            let word_idx = self.len_bits / WORD_BITS;
+            let bit_idx = self.len_bits % WORD_BITS;
+            if word_idx == self.words.len() {
+                self.words.push(0);
+            }
+            let room = WORD_BITS - bit_idx;
+            let take = remaining.min(room);
+            let mask = if take == WORD_BITS {
+                !0
+            } else {
+                (1u64 << take) - 1
+            };
+            self.words[word_idx] |= (v & mask) << bit_idx;
+            v = if take == WORD_BITS { 0 } else { v >> take };
+            self.len_bits += take;
+            remaining -= take;
+        }
+    }
+
+    /// Append one bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Append `k` in unary: `k` 1-bits followed by a terminating 0-bit
+    /// (the encoding of the case (a) pointer deltas; "a 0-bit separates
+    /// this pointer data from the record data").
+    pub fn write_unary(&mut self, k: u64) {
+        for _ in 0..k {
+            self.write_bit(true);
+        }
+        self.write_bit(false);
+    }
+
+    /// Finish, returning the packed words (zero-padded to a word boundary).
+    #[must_use]
+    pub fn into_words(self) -> Vec<Word> {
+        self.words
+    }
+}
+
+/// Sequential bit reader over packed words.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    words: &'a [Word],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reader starting at bit 0 of `words`.
+    #[must_use]
+    pub fn new(words: &'a [Word]) -> Self {
+        BitReader { words, pos_bits: 0 }
+    }
+
+    /// Current bit position.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos_bits
+    }
+
+    /// Bits available to read.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.words.len() * WORD_BITS - self.pos_bits
+    }
+
+    /// Read `n` bits (LSB first), `0 ≤ n ≤ 64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bits remain.
+    pub fn read_bits(&mut self, n: usize) -> u64 {
+        assert!(n <= WORD_BITS);
+        assert!(
+            n <= self.remaining(),
+            "bit buffer underflow: want {n}, have {}",
+            self.remaining()
+        );
+        let mut out = 0u64;
+        let mut got = 0usize;
+        while got < n {
+            let word_idx = self.pos_bits / WORD_BITS;
+            let bit_idx = self.pos_bits % WORD_BITS;
+            let room = WORD_BITS - bit_idx;
+            let take = (n - got).min(room);
+            let mask = if take == WORD_BITS {
+                !0
+            } else {
+                (1u64 << take) - 1
+            };
+            let chunk = (self.words[word_idx] >> bit_idx) & mask;
+            out |= chunk << got;
+            self.pos_bits += take;
+            got += take;
+        }
+        out
+    }
+
+    /// Read one bit.
+    pub fn read_bit(&mut self) -> bool {
+        self.read_bits(1) == 1
+    }
+
+    /// Read a unary-coded integer (count of 1-bits before the 0 terminator).
+    ///
+    /// # Panics
+    /// Panics if the buffer ends before a terminator.
+    pub fn read_unary(&mut self) -> u64 {
+        let mut k = 0;
+        while self.read_bit() {
+            k += 1;
+        }
+        k
+    }
+
+    /// Jump to an absolute bit position.
+    ///
+    /// # Panics
+    /// Panics if `pos` is beyond the buffer.
+    pub fn seek(&mut self, pos: usize) {
+        assert!(
+            pos <= self.words.len() * WORD_BITS,
+            "seek to {pos} beyond buffer of {} bits",
+            self.words.len() * WORD_BITS
+        );
+        self.pos_bits = pos;
+    }
+}
+
+/// Copy `len` bits from `src` (starting at bit `src_off`) into `dst`
+/// (starting at bit `dst_off`). Both offsets are LSB-first positions in
+/// their word buffers; regions must not exceed the buffers.
+///
+/// # Panics
+/// Panics if either range is out of bounds.
+pub fn copy_bits(dst: &mut [Word], dst_off: usize, src: &[Word], src_off: usize, len: usize) {
+    assert!(
+        src_off + len <= src.len() * WORD_BITS,
+        "source range exceeds buffer"
+    );
+    assert!(
+        dst_off + len <= dst.len() * WORD_BITS,
+        "destination range exceeds buffer"
+    );
+    let mut reader = BitReader::new(src);
+    reader.seek(src_off);
+    let mut pos = dst_off;
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(WORD_BITS);
+        let chunk = reader.read_bits(take);
+        // Write chunk into dst at bit `pos`.
+        let mut written = 0;
+        let mut v = chunk;
+        while written < take {
+            let w = pos / WORD_BITS;
+            let b = pos % WORD_BITS;
+            let room = WORD_BITS - b;
+            let now = (take - written).min(room);
+            let mask = if now == WORD_BITS {
+                !0
+            } else {
+                (1u64 << now) - 1
+            };
+            dst[w] = (dst[w] & !(mask << b)) | ((v & mask) << b);
+            v = if now == WORD_BITS { 0 } else { v >> now };
+            pos += now;
+            written += now;
+        }
+        remaining -= take;
+    }
+}
+
+/// Extract `len` bits starting at `off` into a fresh word vector (bits at
+/// position 0 of the result).
+#[must_use]
+pub fn extract_bits(src: &[Word], off: usize, len: usize) -> Vec<Word> {
+    let mut out = vec![0 as Word; len.div_ceil(WORD_BITS).max(1)];
+    if len > 0 {
+        copy_bits(&mut out, 0, src, off, len);
+    }
+    out
+}
+
+/// Number of bits needed to store values `0..n` (i.e. `⌈lg n⌉`, with the
+/// convention that one value still needs 1 bit so decoding is well-formed).
+#[must_use]
+pub fn bits_for(n: u64) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (WORD_BITS - (n - 1).leading_zeros() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bits(1, 1);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 5);
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        assert_eq!(r.read_bits(3), 0b101);
+        assert_eq!(r.read_bits(32), 0xDEADBEEF);
+        assert_eq!(r.read_bits(1), 1);
+        assert_eq!(r.read_bits(64), u64::MAX);
+        assert_eq!(r.read_bits(5), 0);
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let mut w = BitWriter::new();
+        for k in [0u64, 1, 5, 13, 0, 63] {
+            w.write_unary(k);
+        }
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        for k in [0u64, 1, 5, 13, 0, 63] {
+            assert_eq!(r.read_unary(), k);
+        }
+    }
+
+    #[test]
+    fn crossing_word_boundary() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 60);
+        w.write_bits(0b1111, 4); // ends word 0 exactly
+        w.write_bits(0b1010, 4); // starts word 1
+        let words = w.into_words();
+        assert_eq!(words.len(), 2);
+        let mut r = BitReader::new(&words);
+        let _ = r.read_bits(60);
+        assert_eq!(r.read_bits(4), 0b1111);
+        assert_eq!(r.read_bits(4), 0b1010);
+    }
+
+    #[test]
+    fn straddling_write() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 61);
+        w.write_bits(0b101101, 6); // straddles words 0 and 1
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        let _ = r.read_bits(61);
+        assert_eq!(r.read_bits(6), 0b101101);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b100, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let words = [0u64];
+        let mut r = BitReader::new(&words);
+        let _ = r.read_bits(60);
+        let _ = r.read_bits(60);
+    }
+
+    #[test]
+    fn bits_for_values() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(256), 8);
+        assert_eq!(bits_for(257), 9);
+        assert_eq!(bits_for(1 << 40), 40);
+    }
+
+    #[test]
+    fn seek_repositions() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xAB, 8);
+        w.write_bits(0xCD, 8);
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        r.seek(8);
+        assert_eq!(r.read_bits(8), 0xCD);
+        r.seek(0);
+        assert_eq!(r.read_bits(8), 0xAB);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond buffer")]
+    fn seek_out_of_bounds_panics() {
+        let words = [0u64];
+        let mut r = BitReader::new(&words);
+        r.seek(65);
+    }
+
+    #[test]
+    fn copy_bits_roundtrip_unaligned() {
+        let mut src = vec![0u64; 3];
+        {
+            let mut w = BitWriter::new();
+            w.write_bits(0, 7);
+            w.write_bits(0x1234_5678_9ABC, 48);
+            let ws = w.into_words();
+            src[..ws.len()].copy_from_slice(&ws);
+        }
+        let mut dst = vec![0u64; 3];
+        copy_bits(&mut dst, 61, &src, 7, 48); // straddles dst words 0..2
+        let got = extract_bits(&dst, 61, 48);
+        assert_eq!(got[0], 0x1234_5678_9ABC);
+    }
+
+    #[test]
+    fn copy_bits_preserves_surroundings() {
+        let src = [u64::MAX];
+        let mut dst = vec![0u64; 1];
+        copy_bits(&mut dst, 4, &src, 0, 8);
+        assert_eq!(dst[0], 0xFF0);
+        // Overwrite part of it with zeros; neighbors must survive.
+        let zeros = [0u64];
+        copy_bits(&mut dst, 6, &zeros, 0, 4);
+        assert_eq!(dst[0], 0b1100_0011_0000);
+    }
+
+    #[test]
+    fn extract_bits_zero_len() {
+        let src = [0xFFu64];
+        assert_eq!(extract_bits(&src, 3, 0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn copy_bits_bounds_checked() {
+        let src = [0u64];
+        let mut dst = vec![0u64; 1];
+        copy_bits(&mut dst, 0, &src, 32, 40);
+    }
+
+    #[test]
+    fn position_and_remaining() {
+        let mut w = BitWriter::new();
+        w.write_bits(7, 3);
+        let words = w.into_words();
+        let mut r = BitReader::new(&words);
+        assert_eq!(r.remaining(), 64);
+        let _ = r.read_bits(3);
+        assert_eq!(r.position(), 3);
+        assert_eq!(r.remaining(), 61);
+    }
+}

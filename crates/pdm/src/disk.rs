@@ -1,0 +1,426 @@
+//! The simulated disk array: `D` disks of `B`-word blocks with exact
+//! parallel-I/O accounting.
+
+use crate::config::PdmConfig;
+use crate::stats::{IoStats, OpCost, OpScope};
+use crate::Word;
+
+/// Address of one block: `(disk, block index within the disk)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr {
+    /// Disk index, `0 ≤ disk < D`.
+    pub disk: usize,
+    /// Block index within the disk.
+    pub block: usize,
+}
+
+impl BlockAddr {
+    /// Construct an address.
+    #[must_use]
+    pub fn new(disk: usize, block: usize) -> Self {
+        BlockAddr { disk, block }
+    }
+}
+
+/// `D` simulated disks, each an array of `B`-word blocks.
+///
+/// All access goes through the batched [`read_batch`](DiskArray::read_batch)
+/// / [`write_batch`](DiskArray::write_batch) calls (or their single-block
+/// conveniences), which charge the exact model cost: in the parallel disk
+/// model a batch costs the *maximum* number of blocks it touches on any one
+/// disk; in the parallel disk head model it costs `ceil(touched / D)`.
+///
+/// Blocks are zero-initialized. Disks can be grown with
+/// [`grow`](DiskArray::grow); growing performs no I/O (it models buying a
+/// bigger disk, not moving data).
+#[derive(Debug, Clone)]
+pub struct DiskArray {
+    cfg: PdmConfig,
+    disks: Vec<Vec<Box<[Word]>>>,
+    stats: IoStats,
+    // Scratch reused by batch cost computation to avoid per-call allocation.
+    per_disk_scratch: Vec<usize>,
+}
+
+impl DiskArray {
+    /// Create a disk array with `blocks_per_disk` zeroed blocks on each of
+    /// the `cfg.disks` disks.
+    #[must_use]
+    pub fn new(cfg: PdmConfig, blocks_per_disk: usize) -> Self {
+        let disks = (0..cfg.disks)
+            .map(|_| {
+                (0..blocks_per_disk)
+                    .map(|_| vec![0 as Word; cfg.block_words].into_boxed_slice())
+                    .collect()
+            })
+            .collect();
+        DiskArray {
+            cfg,
+            disks,
+            stats: IoStats::default(),
+            per_disk_scratch: vec![0; cfg.disks],
+        }
+    }
+
+    /// The geometry this array was created with.
+    #[must_use]
+    pub fn config(&self) -> &PdmConfig {
+        &self.cfg
+    }
+
+    /// Number of disks, `D`.
+    #[must_use]
+    pub fn disks(&self) -> usize {
+        self.cfg.disks
+    }
+
+    /// Words per block, `B`.
+    #[must_use]
+    pub fn block_words(&self) -> usize {
+        self.cfg.block_words
+    }
+
+    /// Number of blocks currently on disk `disk`.
+    ///
+    /// # Panics
+    /// Panics if `disk >= D`.
+    #[must_use]
+    pub fn blocks_on(&self, disk: usize) -> usize {
+        self.disks[disk].len()
+    }
+
+    /// Total space in words across all disks.
+    #[must_use]
+    pub fn total_words(&self) -> usize {
+        self.disks.iter().map(Vec::len).sum::<usize>() * self.cfg.block_words
+    }
+
+    /// Grow every disk to at least `blocks_per_disk` blocks (no I/O charged).
+    pub fn grow(&mut self, blocks_per_disk: usize) {
+        for disk in &mut self.disks {
+            while disk.len() < blocks_per_disk {
+                disk.push(vec![0 as Word; self.cfg.block_words].into_boxed_slice());
+            }
+        }
+    }
+
+    /// Current global I/O counters.
+    #[must_use]
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Begin a per-operation cost scope.
+    #[must_use]
+    pub fn begin_op(&self) -> OpScope {
+        OpScope::at(self.stats)
+    }
+
+    /// End a per-operation cost scope, returning the delta.
+    #[must_use]
+    pub fn end_op(&self, scope: OpScope) -> OpCost {
+        scope.cost(self.stats)
+    }
+
+    fn check(&self, addr: BlockAddr) {
+        assert!(
+            addr.disk < self.cfg.disks,
+            "disk index {} out of range (D = {})",
+            addr.disk,
+            self.cfg.disks
+        );
+        assert!(
+            addr.block < self.disks[addr.disk].len(),
+            "block {} out of range on disk {} ({} blocks)",
+            addr.block,
+            addr.disk,
+            self.disks[addr.disk].len()
+        );
+    }
+
+    fn charge(&mut self, addrs: impl Iterator<Item = BlockAddr>) -> u64 {
+        self.per_disk_scratch.fill(0);
+        let mut any = false;
+        for a in addrs {
+            self.per_disk_scratch[a.disk] += 1;
+            any = true;
+        }
+        if !any {
+            return 0;
+        }
+        let cost = self.cfg.batch_cost(&self.per_disk_scratch);
+        self.stats.parallel_ios += cost;
+        self.stats.batches += 1;
+        cost
+    }
+
+    /// Read a batch of blocks. Returns copies of the blocks' contents in the
+    /// order of `addrs`. Charges the model cost of the batch.
+    ///
+    /// # Panics
+    /// Panics on any out-of-range address.
+    pub fn read_batch(&mut self, addrs: &[BlockAddr]) -> Vec<Vec<Word>> {
+        for &a in addrs {
+            self.check(a);
+        }
+        self.charge(addrs.iter().copied());
+        self.stats.block_reads += addrs.len() as u64;
+        addrs
+            .iter()
+            .map(|&a| self.disks[a.disk][a.block].to_vec())
+            .collect()
+    }
+
+    /// Write a batch of blocks. Each payload must be at most `B` words; a
+    /// shorter payload leaves the block's tail untouched (the model reads a
+    /// block before partially writing it, so partial writes are only issued
+    /// by callers that already hold the block — all code in this workspace
+    /// writes full blocks). Charges the model cost of the batch.
+    ///
+    /// # Panics
+    /// Panics on any out-of-range address or an over-long payload.
+    pub fn write_batch(&mut self, writes: &[(BlockAddr, &[Word])]) {
+        for &(a, data) in writes {
+            self.check(a);
+            assert!(
+                data.len() <= self.cfg.block_words,
+                "payload of {} words exceeds block size B = {}",
+                data.len(),
+                self.cfg.block_words
+            );
+        }
+        self.charge(writes.iter().map(|&(a, _)| a));
+        self.stats.block_writes += writes.len() as u64;
+        for &(a, data) in writes {
+            self.disks[a.disk][a.block][..data.len()].copy_from_slice(data);
+        }
+    }
+
+    /// Read a batch through a **shared** reference: returns the blocks and
+    /// the parallel-I/O cost the batch *would* be charged, without touching
+    /// the global counters.
+    ///
+    /// This is what makes the paper's concurrency argument concrete: the
+    /// dictionaries never move data once written and probe addresses are
+    /// pure functions of the key, so any number of readers can probe the
+    /// same array simultaneously — see `pdm-dict`'s
+    /// `OneProbeStatic::lookup_shared` and the `concurrent_reads` example.
+    /// Callers that want the cost recorded can add the returned [`OpCost`]
+    /// to their own accounting.
+    ///
+    /// # Panics
+    /// Panics on any out-of-range address.
+    #[must_use]
+    pub fn read_batch_shared(&self, addrs: &[BlockAddr]) -> (Vec<Vec<Word>>, OpCost) {
+        let mut per_disk = vec![0usize; self.cfg.disks];
+        for &a in addrs {
+            self.check(a);
+            per_disk[a.disk] += 1;
+        }
+        let cost = OpCost {
+            parallel_ios: self.cfg.batch_cost(&per_disk),
+            block_reads: addrs.len() as u64,
+            block_writes: 0,
+        };
+        let blocks = addrs
+            .iter()
+            .map(|&a| self.disks[a.disk][a.block].to_vec())
+            .collect();
+        (blocks, cost)
+    }
+
+    /// Record a cost computed elsewhere (e.g. by
+    /// [`read_batch_shared`](DiskArray::read_batch_shared)) into the
+    /// global counters.
+    pub fn charge_cost(&mut self, cost: OpCost) {
+        self.stats.parallel_ios += cost.parallel_ios;
+        self.stats.block_reads += cost.block_reads;
+        self.stats.block_writes += cost.block_writes;
+        self.stats.batches += 1;
+    }
+
+    /// Read one block (one parallel I/O).
+    pub fn read_block(&mut self, addr: BlockAddr) -> Vec<Word> {
+        self.read_batch(&[addr]).pop().expect("one block requested")
+    }
+
+    /// Write one block (one parallel I/O).
+    pub fn write_block(&mut self, addr: BlockAddr, data: &[Word]) {
+        self.write_batch(&[(addr, data)]);
+    }
+
+    /// Inspect a block **without** charging I/O. For tests, debugging, and
+    /// invariant checks only; production data-structure code must not use
+    /// this to answer queries.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range address.
+    #[must_use]
+    pub fn peek(&self, addr: BlockAddr) -> &[Word] {
+        self.check(addr);
+        &self.disks[addr.disk][addr.block]
+    }
+
+    /// Mutate a block **without** charging I/O. Counterpart of
+    /// [`peek`](DiskArray::peek) for test setup.
+    pub fn poke(&mut self, addr: BlockAddr, data: &[Word]) {
+        self.check(addr);
+        assert!(data.len() <= self.cfg.block_words);
+        self.disks[addr.disk][addr.block][..data.len()].copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Model;
+
+    fn small() -> DiskArray {
+        DiskArray::new(PdmConfig::new(4, 8), 4)
+    }
+
+    #[test]
+    fn blocks_start_zeroed() {
+        let disks = small();
+        assert_eq!(disks.peek(BlockAddr::new(3, 3)), &[0; 8]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut disks = small();
+        let data: Vec<Word> = (0..8).collect();
+        disks.write_block(BlockAddr::new(1, 2), &data);
+        assert_eq!(disks.read_block(BlockAddr::new(1, 2)), data);
+    }
+
+    #[test]
+    fn one_block_per_disk_is_one_parallel_io() {
+        let mut disks = small();
+        let addrs: Vec<_> = (0..4).map(|d| BlockAddr::new(d, 0)).collect();
+        disks.read_batch(&addrs);
+        assert_eq!(disks.stats().parallel_ios, 1);
+        assert_eq!(disks.stats().block_reads, 4);
+    }
+
+    #[test]
+    fn same_disk_blocks_serialize() {
+        let mut disks = small();
+        let addrs: Vec<_> = (0..3).map(|b| BlockAddr::new(2, b)).collect();
+        disks.read_batch(&addrs);
+        assert_eq!(disks.stats().parallel_ios, 3);
+    }
+
+    #[test]
+    fn head_model_packs_same_disk_blocks() {
+        let cfg = PdmConfig::new(4, 8).with_model(Model::ParallelDiskHead);
+        let mut disks = DiskArray::new(cfg, 4);
+        let addrs: Vec<_> = (0..3).map(|b| BlockAddr::new(2, b)).collect();
+        disks.read_batch(&addrs);
+        assert_eq!(disks.stats().parallel_ios, 1);
+    }
+
+    #[test]
+    fn empty_batch_costs_nothing() {
+        let mut disks = small();
+        disks.read_batch(&[]);
+        disks.write_batch(&[]);
+        assert_eq!(disks.stats().parallel_ios, 0);
+        assert_eq!(disks.stats().batches, 0);
+    }
+
+    #[test]
+    fn partial_write_preserves_tail() {
+        let mut disks = small();
+        disks.write_block(BlockAddr::new(0, 0), &[9; 8]);
+        disks.write_block(BlockAddr::new(0, 0), &[1, 2]);
+        assert_eq!(disks.peek(BlockAddr::new(0, 0)), &[1, 2, 9, 9, 9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn grow_adds_zeroed_blocks_without_io() {
+        let mut disks = small();
+        let before = disks.stats();
+        disks.grow(10);
+        assert_eq!(disks.stats(), before);
+        assert_eq!(disks.blocks_on(0), 10);
+        assert_eq!(disks.peek(BlockAddr::new(0, 9)), &[0; 8]);
+    }
+
+    #[test]
+    fn grow_never_shrinks() {
+        let mut disks = small();
+        disks.grow(2);
+        assert_eq!(disks.blocks_on(0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_disk_panics() {
+        let mut disks = small();
+        let _ = disks.read_block(BlockAddr::new(7, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_block_panics() {
+        let mut disks = small();
+        let _ = disks.read_block(BlockAddr::new(0, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds block size")]
+    fn overlong_payload_panics() {
+        let mut disks = small();
+        disks.write_block(BlockAddr::new(0, 0), &[0; 9]);
+    }
+
+    #[test]
+    fn shared_reads_cost_but_do_not_charge() {
+        let mut disks = small();
+        disks.write_block(BlockAddr::new(1, 2), &[5; 8]);
+        let before = disks.stats();
+        let (blocks, cost) = disks.read_batch_shared(&[
+            BlockAddr::new(1, 2),
+            BlockAddr::new(1, 3),
+            BlockAddr::new(2, 0),
+        ]);
+        assert_eq!(blocks[0], vec![5; 8]);
+        assert_eq!(cost.parallel_ios, 2); // two blocks on disk 1
+        assert_eq!(cost.block_reads, 3);
+        assert_eq!(disks.stats(), before, "shared reads must not charge");
+        disks.charge_cost(cost);
+        assert_eq!(disks.stats().parallel_ios, before.parallel_ios + 2);
+        assert_eq!(disks.stats().block_reads, before.block_reads + 3);
+    }
+
+    #[test]
+    fn shared_reads_agree_with_mutable_reads() {
+        let mut disks = small();
+        disks.write_block(BlockAddr::new(0, 1), &[7; 8]);
+        let addrs = [BlockAddr::new(0, 1), BlockAddr::new(3, 0)];
+        let (shared, cost) = disks.read_batch_shared(&addrs);
+        let scope = disks.begin_op();
+        let counted = disks.read_batch(&addrs);
+        assert_eq!(shared, counted);
+        assert_eq!(cost, disks.end_op(scope));
+    }
+
+    #[test]
+    fn op_scope_measures_delta() {
+        let mut disks = small();
+        disks.read_block(BlockAddr::new(0, 0));
+        let scope = disks.begin_op();
+        disks.read_batch(&[BlockAddr::new(0, 1), BlockAddr::new(1, 1)]);
+        disks.write_block(BlockAddr::new(2, 0), &[1]);
+        let cost = disks.end_op(scope);
+        assert_eq!(cost.parallel_ios, 2);
+        assert_eq!(cost.block_reads, 2);
+        assert_eq!(cost.block_writes, 1);
+    }
+
+    #[test]
+    fn total_words_reflects_geometry() {
+        let disks = small();
+        assert_eq!(disks.total_words(), 4 * 4 * 8);
+    }
+}

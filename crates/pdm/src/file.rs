@@ -1,0 +1,345 @@
+//! Record files: arrays of fixed-width records striped across the disks.
+//!
+//! A [`RecordFile`] occupies a stripe-aligned region of the striped word
+//! space and stores records contiguously, each record undivided (it never
+//! straddles a *stripe* boundary check is not needed — records may cross
+//! block boundaries, which is harmless because readers stream whole
+//! stripes). Streaming readers and writers buffer one stripe of memory and
+//! therefore cost one parallel I/O per `B·D` words moved — the optimal
+//! scanning rate in the model.
+
+use crate::disk::DiskArray;
+use crate::record::{KeyedRecord, RecordLayout};
+use crate::stripe::StripedView;
+use crate::Word;
+
+/// A fixed-width record array striped across the disks.
+#[derive(Debug, Clone)]
+pub struct RecordFile {
+    layout: RecordLayout,
+    base_word: usize,
+    len_records: usize,
+    capacity_records: usize,
+}
+
+impl RecordFile {
+    /// Allocate a file with room for `capacity_records` records at the
+    /// current end of the disk array, growing the disks as needed
+    /// (allocation itself performs no I/O).
+    #[must_use]
+    pub fn allocate_at_end(
+        disks: &mut DiskArray,
+        layout: RecordLayout,
+        capacity_records: usize,
+    ) -> Self {
+        let sw = disks.config().stripe_words();
+        let cur_stripes = (0..disks.disks())
+            .map(|d| disks.blocks_on(d))
+            .min()
+            .unwrap_or(0);
+        let need_words = capacity_records * layout.width_words;
+        let need_stripes = need_words.div_ceil(sw);
+        disks.grow(cur_stripes + need_stripes);
+        RecordFile {
+            layout,
+            base_word: cur_stripes * sw,
+            len_records: 0,
+            capacity_records,
+        }
+    }
+
+    /// The record layout.
+    #[must_use]
+    pub fn layout(&self) -> RecordLayout {
+        self.layout
+    }
+
+    /// Number of records currently in the file.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len_records
+    }
+
+    /// Whether the file holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len_records == 0
+    }
+
+    /// Maximum number of records the file can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity_records
+    }
+
+    /// First word (in striped space) of record `i`.
+    fn word_of(&self, i: usize) -> usize {
+        self.base_word + i * self.layout.width_words
+    }
+
+    /// Overwrite the file contents with `records` (streamed, one parallel
+    /// I/O per stripe written).
+    ///
+    /// # Panics
+    /// Panics if `records.len() > capacity` or any record has the wrong
+    /// width.
+    pub fn write_all(&mut self, disks: &mut DiskArray, records: &[KeyedRecord]) {
+        assert!(
+            records.len() <= self.capacity_records,
+            "file capacity {} exceeded by {} records",
+            self.capacity_records,
+            records.len()
+        );
+        let mut writer = RecordFileWriter::new(self.clone_for_rewrite());
+        for r in records {
+            writer.push(disks, r);
+        }
+        *self = writer.finish(disks);
+    }
+
+    fn clone_for_rewrite(&self) -> RecordFile {
+        RecordFile {
+            len_records: 0,
+            ..self.clone()
+        }
+    }
+
+    /// Read the whole file (streamed).
+    pub fn read_all(&self, disks: &mut DiskArray) -> Vec<KeyedRecord> {
+        self.read_range(disks, 0, self.len_records)
+    }
+
+    /// Read `count` records starting at index `start` (streamed, batched).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn read_range(
+        &self,
+        disks: &mut DiskArray,
+        start: usize,
+        count: usize,
+    ) -> Vec<KeyedRecord> {
+        assert!(
+            start + count <= self.len_records,
+            "range {}..{} out of bounds (len {})",
+            start,
+            start + count,
+            self.len_records
+        );
+        if count == 0 {
+            return Vec::new();
+        }
+        let w = self.layout.width_words;
+        let words = StripedView::new(disks).read_words(self.word_of(start), count * w);
+        words.chunks_exact(w).map(KeyedRecord::decode).collect()
+    }
+
+    /// Open a streaming reader over the whole file.
+    #[must_use]
+    pub fn reader(&self) -> RecordFileReader {
+        RecordFileReader {
+            file: self.clone(),
+            next_record: 0,
+            buf: Vec::new(),
+            buf_first_record: 0,
+        }
+    }
+
+    /// Open a streaming writer that overwrites this file from the start.
+    #[must_use]
+    pub fn writer(&self) -> RecordFileWriter {
+        RecordFileWriter::new(self.clone_for_rewrite())
+    }
+}
+
+/// Streaming reader: buffers one stripe's worth of records at a time, so a
+/// full scan costs `⌈len·width / (B·D)⌉` parallel I/Os.
+#[derive(Debug)]
+pub struct RecordFileReader {
+    file: RecordFile,
+    next_record: usize,
+    buf: Vec<KeyedRecord>,
+    buf_first_record: usize,
+}
+
+impl RecordFileReader {
+    /// Next record, or `None` at end of file.
+    pub fn next(&mut self, disks: &mut DiskArray) -> Option<KeyedRecord> {
+        if self.next_record >= self.file.len_records {
+            return None;
+        }
+        let idx = self.next_record;
+        if self.buf.is_empty() || idx >= self.buf_first_record + self.buf.len() {
+            // Refill: read up to one stripe of records.
+            let sw = disks.config().stripe_words();
+            let per_stripe = (sw / self.file.layout.width_words).max(1);
+            let count = per_stripe.min(self.file.len_records - idx);
+            self.buf = self.file.read_range(disks, idx, count);
+            self.buf_first_record = idx;
+        }
+        self.next_record += 1;
+        Some(self.buf[idx - self.buf_first_record].clone())
+    }
+
+    /// Records remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.file.len_records - self.next_record
+    }
+}
+
+/// Streaming writer: buffers one stripe and flushes it with one parallel
+/// I/O when full. Call [`finish`](RecordFileWriter::finish) to flush the
+/// tail and obtain the updated file handle.
+#[derive(Debug)]
+pub struct RecordFileWriter {
+    file: RecordFile,
+    buf: Vec<Word>,
+    flushed_words: usize,
+}
+
+impl RecordFileWriter {
+    fn new(file: RecordFile) -> Self {
+        RecordFileWriter {
+            file,
+            buf: Vec::new(),
+            flushed_words: 0,
+        }
+    }
+
+    /// Append one record.
+    ///
+    /// # Panics
+    /// Panics if the record width mismatches the layout or capacity is
+    /// exceeded.
+    pub fn push(&mut self, disks: &mut DiskArray, record: &KeyedRecord) {
+        assert_eq!(
+            1 + record.satellite.len(),
+            self.file.layout.width_words,
+            "record width mismatch"
+        );
+        assert!(
+            self.file.len_records < self.file.capacity_records,
+            "file capacity {} exceeded",
+            self.file.capacity_records
+        );
+        self.buf.extend_from_slice(&record.to_words());
+        self.file.len_records += 1;
+        let sw = disks.config().stripe_words();
+        while self.buf.len() >= sw {
+            let stripe: Vec<Word> = self.buf.drain(..sw).collect();
+            StripedView::new(disks).write_words(self.file.base_word + self.flushed_words, &stripe);
+            self.flushed_words += sw;
+        }
+    }
+
+    /// Flush the tail and return the completed file handle.
+    pub fn finish(self, disks: &mut DiskArray) -> RecordFile {
+        if !self.buf.is_empty() {
+            StripedView::new(disks)
+                .write_words(self.file.base_word + self.flushed_words, &self.buf);
+        }
+        self.file
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PdmConfig;
+
+    fn recs(n: usize, sat: usize) -> Vec<KeyedRecord> {
+        (0..n)
+            .map(|i| KeyedRecord::new(i as Word * 7 % 101, vec![i as Word; sat]))
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut disks = DiskArray::new(PdmConfig::new(4, 8), 1);
+        let mut f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(2), 50);
+        let rs = recs(50, 2);
+        f.write_all(&mut disks, &rs);
+        assert_eq!(f.read_all(&mut disks), rs);
+        assert_eq!(f.len(), 50);
+    }
+
+    #[test]
+    fn scan_costs_one_io_per_stripe() {
+        let mut disks = DiskArray::new(PdmConfig::new(4, 8), 0);
+        // stripe = 32 words; records of 4 words -> 8 records per stripe.
+        let mut f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(3), 64);
+        f.write_all(&mut disks, &recs(64, 3));
+        let written = disks.stats().parallel_ios;
+        assert_eq!(written, 8); // 64 records * 4 words / 32 per stripe
+        let _ = f.read_all(&mut disks);
+        assert_eq!(disks.stats().parallel_ios - written, 8);
+    }
+
+    #[test]
+    fn streaming_reader_matches_bulk_read() {
+        let mut disks = DiskArray::new(PdmConfig::new(2, 4), 0);
+        let mut f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(1), 21);
+        let rs = recs(21, 1);
+        f.write_all(&mut disks, &rs);
+        let mut reader = f.reader();
+        let mut got = Vec::new();
+        while let Some(r) = reader.next(&mut disks) {
+            got.push(r);
+        }
+        assert_eq!(got, rs);
+        assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    fn streaming_writer_matches_write_all() {
+        let mut disks = DiskArray::new(PdmConfig::new(2, 4), 0);
+        let f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(1), 10);
+        let rs = recs(10, 1);
+        let mut w = f.writer();
+        for r in &rs {
+            w.push(&mut disks, r);
+        }
+        let f = w.finish(&mut disks);
+        assert_eq!(f.read_all(&mut disks), rs);
+    }
+
+    #[test]
+    fn two_files_do_not_overlap() {
+        let mut disks = DiskArray::new(PdmConfig::new(2, 4), 0);
+        let mut f1 = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(0), 16);
+        let mut f2 = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(0), 16);
+        let r1 = recs(16, 0);
+        let r2: Vec<KeyedRecord> = (100..116).map(|k| KeyedRecord::new(k, vec![])).collect();
+        f1.write_all(&mut disks, &r1);
+        f2.write_all(&mut disks, &r2);
+        assert_eq!(f1.read_all(&mut disks), r1);
+        assert_eq!(f2.read_all(&mut disks), r2);
+    }
+
+    #[test]
+    fn read_range_subset() {
+        let mut disks = DiskArray::new(PdmConfig::new(2, 4), 0);
+        let mut f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(1), 30);
+        let rs = recs(30, 1);
+        f.write_all(&mut disks, &rs);
+        assert_eq!(f.read_range(&mut disks, 10, 5), &rs[10..15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn over_capacity_panics() {
+        let mut disks = DiskArray::new(PdmConfig::new(2, 4), 0);
+        let mut f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(0), 4);
+        f.write_all(&mut disks, &recs(5, 0));
+    }
+
+    #[test]
+    fn empty_file() {
+        let mut disks = DiskArray::new(PdmConfig::new(2, 4), 0);
+        let f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(0), 4);
+        assert!(f.is_empty());
+        assert!(f.read_all(&mut disks).is_empty());
+        assert_eq!(disks.stats().parallel_ios, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Internal-memory accounting in words.
+//!
+//! Section 5 of the paper budgets the semi-explicit expander construction at
+//! `O(N^β)` words of internal memory; [`MemTracker`] lets constructions
+//! charge and release words against a capacity and records the peak.
+
+/// Error returned when an allocation would exceed the configured capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Words requested by the failed allocation.
+    pub requested: usize,
+    /// Words still available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "internal memory exhausted: requested {} words, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Tracks internal memory usage in words against a capacity.
+#[derive(Debug, Clone)]
+pub struct MemTracker {
+    capacity: usize,
+    used: usize,
+    peak: usize,
+}
+
+impl MemTracker {
+    /// Tracker with the given capacity in words.
+    #[must_use]
+    pub fn new(capacity_words: usize) -> Self {
+        MemTracker {
+            capacity: capacity_words,
+            used: 0,
+            peak: 0,
+        }
+    }
+
+    /// Tracker with unlimited capacity (still records the peak).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Capacity in words.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently allocated words.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Peak allocation seen so far.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Charge `words`; fails if capacity would be exceeded.
+    pub fn alloc(&mut self, words: usize) -> Result<(), OutOfMemory> {
+        let available = self.capacity - self.used;
+        if words > available {
+            return Err(OutOfMemory {
+                requested: words,
+                available,
+            });
+        }
+        self.used += words;
+        self.peak = self.peak.max(self.used);
+        Ok(())
+    }
+
+    /// Release `words`.
+    ///
+    /// # Panics
+    /// Panics if more is released than was allocated.
+    pub fn free(&mut self, words: usize) {
+        assert!(
+            words <= self.used,
+            "freeing {} words but only {} allocated",
+            words,
+            self.used
+        );
+        self.used -= words;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut m = MemTracker::new(100);
+        m.alloc(60).unwrap();
+        m.alloc(40).unwrap();
+        assert_eq!(m.used(), 100);
+        assert_eq!(m.peak(), 100);
+        m.free(50);
+        assert_eq!(m.used(), 50);
+        assert_eq!(m.peak(), 100);
+    }
+
+    #[test]
+    fn over_allocation_fails_cleanly() {
+        let mut m = MemTracker::new(10);
+        m.alloc(8).unwrap();
+        let err = m.alloc(5).unwrap_err();
+        assert_eq!(err.requested, 5);
+        assert_eq!(err.available, 2);
+        assert_eq!(m.used(), 8, "failed alloc must not change usage");
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let mut m = MemTracker::new(10);
+        m.free(1);
+    }
+
+    #[test]
+    fn unlimited_tracks_peak() {
+        let mut m = MemTracker::unlimited();
+        m.alloc(1 << 40).unwrap();
+        assert_eq!(m.peak(), 1 << 40);
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = OutOfMemory {
+            requested: 5,
+            available: 2,
+        };
+        assert!(e.to_string().contains("requested 5"));
+    }
+}

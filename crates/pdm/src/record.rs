@@ -1,0 +1,116 @@
+//! Fixed-width records: a key word plus a fixed number of satellite words.
+//!
+//! This is the "standard representation" Theorem 6's improved construction
+//! assumes for its input: "an array of records split across the disks, but
+//! with individual records undivided".
+
+use crate::Word;
+
+/// Shape of the records in a [`crate::RecordFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordLayout {
+    /// Total words per record (key + satellite).
+    pub width_words: usize,
+}
+
+impl RecordLayout {
+    /// Layout for records of `1 + satellite_words` words.
+    ///
+    /// # Panics
+    /// Panics if the resulting width is zero.
+    #[must_use]
+    pub fn keyed(satellite_words: usize) -> Self {
+        RecordLayout {
+            width_words: 1 + satellite_words,
+        }
+    }
+
+    /// Satellite words per record.
+    #[must_use]
+    pub fn satellite_words(&self) -> usize {
+        self.width_words - 1
+    }
+}
+
+/// A decoded record: key in word 0, satellite data in the remaining words.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KeyedRecord {
+    /// The key.
+    pub key: Word,
+    /// Associated (satellite) data.
+    pub satellite: Vec<Word>,
+}
+
+impl KeyedRecord {
+    /// Create a record.
+    #[must_use]
+    pub fn new(key: Word, satellite: Vec<Word>) -> Self {
+        KeyedRecord { key, satellite }
+    }
+
+    /// Encode into `out` (must be exactly `1 + satellite.len()` words).
+    ///
+    /// # Panics
+    /// Panics on a size mismatch.
+    pub fn encode(&self, out: &mut [Word]) {
+        assert_eq!(out.len(), 1 + self.satellite.len(), "record width mismatch");
+        out[0] = self.key;
+        out[1..].copy_from_slice(&self.satellite);
+    }
+
+    /// Encode into a fresh vector.
+    #[must_use]
+    pub fn to_words(&self) -> Vec<Word> {
+        let mut out = vec![0; 1 + self.satellite.len()];
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode from a word slice (word 0 = key, rest = satellite).
+    ///
+    /// # Panics
+    /// Panics if `words` is empty.
+    #[must_use]
+    pub fn decode(words: &[Word]) -> Self {
+        assert!(!words.is_empty(), "a record has at least a key word");
+        KeyedRecord {
+            key: words[0],
+            satellite: words[1..].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = KeyedRecord::new(42, vec![1, 2, 3]);
+        let words = r.to_words();
+        assert_eq!(words, vec![42, 1, 2, 3]);
+        assert_eq!(KeyedRecord::decode(&words), r);
+    }
+
+    #[test]
+    fn layout_width() {
+        let l = RecordLayout::keyed(3);
+        assert_eq!(l.width_words, 4);
+        assert_eq!(l.satellite_words(), 3);
+    }
+
+    #[test]
+    fn empty_satellite() {
+        let r = KeyedRecord::new(7, vec![]);
+        assert_eq!(r.to_words(), vec![7]);
+        assert_eq!(KeyedRecord::decode(&[7]), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn encode_size_mismatch_panics() {
+        let r = KeyedRecord::new(1, vec![2]);
+        let mut out = [0; 5];
+        r.encode(&mut out);
+    }
+}

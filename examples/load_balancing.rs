@@ -1,0 +1,78 @@
+//! The Section 3 deterministic load balancing scheme, by itself.
+//!
+//! ```sh
+//! cargo run -p pdm-dict --example load_balancing
+//! ```
+//!
+//! Places items greedily using a fixed expander and compares the maximum
+//! load against single-choice hashing, random two-choice, and the Lemma 3
+//! bound — the paper's "deterministic balanced allocations".
+
+use expander::params::{lemma3_bound, ExpanderParams};
+use expander::SeededExpander;
+use loadbalance::baselines::{random_d_choice, single_choice};
+use loadbalance::{GreedyBalancer, LoadStats};
+
+fn main() {
+    let universe = 1u64 << 40;
+    let n = 100_000u64;
+    let v = 4096usize;
+    let d = 16usize;
+
+    // The deterministic scheme: greedy over a fixed degree-d expander.
+    let graph = SeededExpander::new(universe, v / d, d, 0xBA1);
+    let mut greedy = GreedyBalancer::new(&graph, 1);
+    // The two randomized classics, expressed as the same greedy code over
+    // degree-1 and degree-2 random graphs.
+    let mut one = single_choice(universe, v, 0xBA2);
+    let mut two = random_d_choice(universe, v, 2, 0xBA3);
+
+    for i in 0..n {
+        let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % universe;
+        greedy.insert(key);
+        one.insert(key);
+        two.insert(key);
+    }
+
+    let g = LoadStats::of(greedy.loads());
+    let o = LoadStats::of(one.loads());
+    let t = LoadStats::of(two.loads());
+    let bound = lemma3_bound(
+        n as usize,
+        1,
+        &ExpanderParams {
+            degree: d,
+            right_size: v,
+            epsilon: 1.0 / 12.0,
+            delta: 0.5,
+        },
+    )
+    .expect("premises hold");
+
+    println!("{n} items into {v} buckets (average load {:.2}):\n", g.mean);
+    println!(
+        "{:<28} {:>8} {:>12} {:>8}",
+        "scheme", "max", "max - avg", "stddev"
+    );
+    for (name, s) in [
+        (format!("greedy d = {d} expander"), &g),
+        ("single choice".to_string(), &o),
+        ("random two-choice".to_string(), &t),
+    ] {
+        println!(
+            "{:<28} {:>8} {:>12.2} {:>8.2}",
+            name,
+            s.max,
+            s.max_deviation(),
+            s.stddev
+        );
+    }
+    println!(
+        "\nLemma 3 bound for the greedy scheme: {bound:.1} (measured max: {})",
+        g.max
+    );
+    println!(
+        "the deterministic scheme tracks the average as tightly as two-choice — with a \
+         worst-case guarantee instead of a with-high-probability one"
+    );
+}

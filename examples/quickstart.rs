@@ -1,0 +1,67 @@
+//! Quickstart: the fully dynamic deterministic dictionary.
+//!
+//! ```sh
+//! cargo run -p pdm-dict --example quickstart
+//! ```
+//!
+//! Creates a dictionary on a simulated disk array, inserts, looks up and
+//! deletes keys, and prints the exact parallel-I/O cost of everything —
+//! the quantity the SPAA'06 paper's guarantees are about.
+
+use pdm_dict::{DictParams, Dictionary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dictionary for 64-bit keys with 4 words of satellite data each.
+    // `capacity` is only the initial sizing — the structure grows by
+    // global rebuilding. Degree 20 ≥ the paper's Θ(log u) requirement.
+    let params = DictParams::new(10_000, 1 << 40, 4)
+        .with_degree(20)
+        .with_epsilon(0.5) // Theorem 7's ɛ: averages 1+ɛ lookups, 2+ɛ updates
+        .with_seed(42); // fixes the expander sample; everything after is deterministic
+    let mut dict = Dictionary::new(params, 128)?;
+
+    println!("inserting 10,000 keys …");
+    for k in 0..10_000u64 {
+        dict.insert(k * 977, &[k, k + 1, k + 2, k + 3])?;
+    }
+
+    // Successful lookup: worst case O(1) parallel I/Os, average ≤ 1 + ɛ.
+    let out = dict.lookup(977 * 123);
+    println!(
+        "lookup(hit):  found = {:?} in {} parallel I/O(s)",
+        out.satellite.as_ref().map(|s| s[0]),
+        out.cost.parallel_ios
+    );
+    assert_eq!(out.satellite, Some(vec![123, 124, 125, 126]));
+
+    // Unsuccessful lookup: exactly 1 parallel I/O.
+    let miss = dict.lookup(5);
+    println!(
+        "lookup(miss): found = {} in {} parallel I/O(s)",
+        miss.found(),
+        miss.cost.parallel_ios
+    );
+
+    // Deletion tombstones the key; space is recycled by global rebuilding.
+    let (was_present, cost) = dict.delete(977 * 123)?;
+    println!(
+        "delete:       present = {was_present} in {} parallel I/O(s)",
+        cost.parallel_ios
+    );
+    assert!(!dict.lookup(977 * 123).found());
+
+    let stats = dict.io_stats();
+    println!(
+        "\ntotals: {} keys live, {} parallel I/Os, {} block reads, {} block writes, {} rebuilds",
+        dict.len(),
+        stats.parallel_ios,
+        stats.block_reads,
+        stats.block_writes,
+        dict.rebuilds()
+    );
+    println!(
+        "average parallel I/Os per operation: {:.3}",
+        stats.parallel_ios as f64 / 10_002.0
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! The paper's other motivating workload: "webmail or http servers ...
+//! typically have to retrieve small quantities of information at a time,
+//! typically fitting within a block, but from a very large data set, in a
+//! highly random fashion (depending on the desires of an arbitrary set of
+//! users)".
+//!
+//! ```sh
+//! cargo run -p pdm-dict --example webserver
+//! ```
+//!
+//! Simulates a mailbox-index server: one record per message, Zipf-skewed
+//! users, interleaved reads/writes/deletes — and shows that the
+//! deterministic dictionary holds its worst-case I/O guarantee through
+//! all of it (the real-time property the paper argues file systems need:
+//! no expected-time caveats, no amortization spikes).
+
+use expander::seeded::mix64;
+use pdm_dict::{DictParams, Dictionary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let users = 500u64;
+    let params = DictParams::new(8_192, u64::MAX, 6)
+        .with_degree(20)
+        .with_epsilon(0.5)
+        .with_seed(0x3B);
+    let mut dict = Dictionary::new(params, 128)?;
+
+    // message key = (user id, message id).
+    let key = |user: u64, msg: u64| (user << 32) | msg;
+
+    // Mailbox warm-up: every user gets an inbox.
+    let mut msg_count = vec![0u64; users as usize];
+    for user in 0..users {
+        for _ in 0..(4 + user % 13) {
+            let m = msg_count[user as usize];
+            dict.insert(key(user, m), &[user, m, 0xE3A11, 0, 0, 0])?;
+            msg_count[user as usize] += 1;
+        }
+    }
+    println!("{} messages across {users} mailboxes", dict.len());
+
+    // The serving loop: Zipf-skewed random reads with occasional
+    // deliveries and deletions.
+    let mut state = 0x5EED_u64;
+    let mut ops = 0u64;
+    let mut total_ios = 0u64;
+    let mut worst = 0u64;
+    let before = dict.io_stats().parallel_ios;
+    for _ in 0..20_000 {
+        state = mix64(state.wrapping_add(1));
+        // Zipf-ish user pick: collapse the high bits twice.
+        let user = (state % users).min(mix64(state) % users);
+        let action = state % 10;
+        let cost = if action < 7 {
+            // read a random message
+            let m = msg_count[user as usize];
+            if m == 0 {
+                continue;
+            }
+            let out = dict.lookup(key(user, mix64(state ^ 1) % m));
+            out.cost
+        } else if action < 9 {
+            // delivery
+            let record = [user, msg_count[user as usize], 0xE3A11, 0, 0, 0];
+            let c = dict.insert(key(user, msg_count[user as usize]), &record)?;
+            msg_count[user as usize] += 1;
+            c
+        } else {
+            // deletion (may miss — users re-delete; that is fine)
+            let m = msg_count[user as usize].max(1);
+            dict.delete(key(user, mix64(state ^ 2) % m))?.1
+        };
+        ops += 1;
+        total_ios += cost.parallel_ios;
+        worst = worst.max(cost.parallel_ios);
+    }
+    let after = dict.io_stats().parallel_ios;
+    println!(
+        "{ops} operations: avg {:.3} parallel I/Os, worst {worst} \
+         ({} total I/Os, {} rebuilds)",
+        total_ios as f64 / ops as f64,
+        after - before,
+        dict.rebuilds()
+    );
+    println!(
+        "the worst single operation cost {worst} parallel I/Os — a *constant* set by the \
+         incremental-rebuild migration pace, never the Θ(n) stall of an amortized rebuild or a \
+         cuckoo rehash: the firm guarantee that lets a server promise real-time behaviour (§1.2)"
+    );
+    Ok(())
+}
