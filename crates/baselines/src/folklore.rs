@@ -153,6 +153,7 @@ impl FolkloreDict {
             block_reads: a.block_reads + b.block_reads,
             block_writes: a.block_writes + b.block_writes,
             batches: a.batches + b.batches,
+            rounds: a.rounds + b.rounds,
         }
     }
 

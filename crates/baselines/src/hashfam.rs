@@ -8,11 +8,32 @@
 //! rule modulo a Mersenne prime (fast reduction, description of `k` words
 //! fits in internal memory).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 /// The Mersenne prime `2^61 - 1`.
 pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+/// Splitmix64 step — a tiny seeded PRNG for drawing coefficients.
+///
+/// The family only needs coefficients that are deterministic per seed and
+/// close to uniform in `[0, p)`; splitmix64 (the same mixer used by
+/// `expander::seeded`) provides that without an external RNG crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw from `[0, MERSENNE_P)` by rejection sampling.
+fn uniform_mod_p(state: &mut u64) -> u64 {
+    loop {
+        // Keep 61 bits; accept unless we hit p exactly (prob 2^-61).
+        let r = splitmix64(state) >> 3;
+        if r < MERSENNE_P {
+            return r;
+        }
+    }
+}
 
 fn mulmod(a: u64, b: u64) -> u64 {
     let prod = u128::from(a) * u128::from(b);
@@ -47,8 +68,8 @@ impl PolyHash {
     #[must_use]
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 1, "independence parameter must be at least 1");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let coeffs = (0..k).map(|_| rng.random_range(0..MERSENNE_P)).collect();
+        let mut state = seed;
+        let coeffs = (0..k).map(|_| uniform_mod_p(&mut state)).collect();
         PolyHash { coeffs }
     }
 

@@ -25,7 +25,7 @@ use crate::bucket::BucketCodec;
 use crate::layout::{DiskAllocator, Region};
 use crate::traits::{DictError, LookupOutcome};
 use expander::{NeighborFn, SeededExpander};
-use pdm::{BlockAddr, DiskArray, OpCost, Word};
+use pdm::{BatchExecutor, BatchPlan, BlockAddr, DiskArray, OpCost, Word};
 
 /// Sizing and identity parameters for a [`BasicDict`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -412,6 +412,72 @@ impl BasicDict {
             }
             None => (false, disks.end_op(scope)),
         }
+    }
+
+    /// Batched lookup: all keys' probes are planned as **one** batch, so
+    /// shared candidate buckets are read once and independent buckets
+    /// share parallel rounds across disks — the Section 4.1 bandwidth
+    /// story (`m` lookups cost the per-disk maximum of unique blocks,
+    /// not `m` separate probes).
+    ///
+    /// Results are byte-identical to looking every key up sequentially.
+    /// The returned cost is for the whole batch; per-key attribution is
+    /// meaningless once blocks are shared.
+    pub fn lookup_batch(
+        &self,
+        disks: &mut DiskArray,
+        keys: &[u64],
+    ) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        let scope = disks.begin_op();
+        let per = self.cfg.degree * self.blocks_per_bucket;
+        let mut requests = Vec::with_capacity(keys.len() * per);
+        for &k in keys {
+            requests.extend(self.probe_addrs(k));
+        }
+        let plan = BatchPlan::new(disks.disks(), &requests);
+        let reads = plan.execute_read(disks);
+        let results = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| self.decode_find(k, &reads.gather(i * per..(i + 1) * per)))
+            .collect();
+        (results, disks.end_op(scope))
+    }
+
+    /// Batched insert with sequential semantics: keys are placed in
+    /// order, each seeing the staged writes of its predecessors, and all
+    /// dirty buckets are flushed as one planned write batch. Per-key
+    /// errors (duplicates, overflow) leave the other keys' insertions
+    /// intact, exactly as a sequential loop would.
+    pub fn insert_batch(
+        &mut self,
+        disks: &mut DiskArray,
+        entries: &[(u64, Vec<Word>)],
+    ) -> (Vec<Result<(), DictError>>, OpCost) {
+        let scope = disks.begin_op();
+        let mut all: Vec<BlockAddr> = Vec::new();
+        for (key, _) in entries {
+            all.extend(self.probe_addrs(*key));
+        }
+        let mut ex = BatchExecutor::new(disks);
+        ex.prefetch(&all);
+        let mut results = Vec::with_capacity(entries.len());
+        for (key, payload) in entries {
+            let addrs = self.probe_addrs(*key);
+            let blocks = ex.get_many(&addrs);
+            match self.plan_insert(*key, payload, &blocks) {
+                Ok(writes) => {
+                    for (a, img) in writes {
+                        ex.stage_write(a, img);
+                    }
+                    self.note_inserted();
+                    results.push(Ok(()));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        let _ = ex.commit();
+        (results, disks.end_op(scope))
     }
 
     /// Read all live entries of bucket `index` (for global rebuilding's

@@ -19,8 +19,17 @@ use crate::config::DictParams;
 use crate::rebuild::Dictionary;
 use crate::traits::{DictError, LookupOutcome};
 use expander::seeded::mix64;
-use parking_lot::Mutex;
 use pdm::{OpCost, Word};
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a shard, recovering from poisoning.
+///
+/// A panicking thread only ever leaves a shard in a state that is valid
+/// for subsequent operations (all multi-block mutations go through a
+/// single `write_batch`), so poisoned locks are safe to adopt.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// `S` dictionary shards behind per-shard locks.
 ///
@@ -79,14 +88,17 @@ impl ShardedDictionary {
     }
 
     fn shard_of(&self, key: u64) -> &Mutex<Dictionary> {
-        let i = (mix64(self.route_seed ^ key) % self.shards.len() as u64) as usize;
-        &self.shards[i]
+        &self.shards[self.shard_index(key)]
+    }
+
+    fn shard_index(&self, key: u64) -> usize {
+        (mix64(self.route_seed ^ key) % self.shards.len() as u64) as usize
     }
 
     /// Total live keys across shards (takes each lock briefly).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| lock(s).len()).sum()
     }
 
     /// Whether all shards are empty.
@@ -97,17 +109,77 @@ impl ShardedDictionary {
 
     /// Lookup (locks one shard).
     pub fn lookup(&self, key: u64) -> LookupOutcome {
-        self.shard_of(key).lock().lookup(key)
+        lock(self.shard_of(key)).lookup(key)
     }
 
     /// Insert (locks one shard).
     pub fn insert(&self, key: u64, satellite: &[Word]) -> Result<OpCost, DictError> {
-        self.shard_of(key).lock().insert(key, satellite)
+        lock(self.shard_of(key)).insert(key, satellite)
     }
 
     /// Delete (locks one shard). Returns whether the key was present.
     pub fn delete(&self, key: u64) -> Result<(bool, OpCost), DictError> {
-        self.shard_of(key).lock().delete(key)
+        lock(self.shard_of(key)).delete(key)
+    }
+
+    /// Batched lookup: keys are grouped by shard, each group served by
+    /// one [`Dictionary::lookup_batch`] under a single lock acquisition.
+    /// Shard arrays are independent disk groups, so the charged cost is
+    /// the **sum** of per-shard batch costs — each of which enjoys the
+    /// full batching discount. Results are byte-identical to calling
+    /// [`Self::lookup`] per key, in order.
+    pub fn lookup_batch(&self, keys: &[u64]) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &key) in keys.iter().enumerate() {
+            groups[self.shard_index(key)].push(i);
+        }
+        let mut results: Vec<Option<Vec<Word>>> = vec![None; keys.len()];
+        let mut cost = OpCost::default();
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let sub: Vec<u64> = group.iter().map(|&i| keys[i]).collect();
+            let (found, c) = lock(shard).lookup_batch(&sub);
+            cost = cost.plus(c);
+            for (&i, f) in group.iter().zip(found) {
+                results[i] = f;
+            }
+        }
+        (results, cost)
+    }
+
+    /// Batched insert: entries are grouped by shard, each group applied
+    /// by one [`Dictionary::insert_batch`] under a single lock
+    /// acquisition. Per-key errors (duplicates, width mismatches) are
+    /// reported in input order; other keys are unaffected.
+    pub fn insert_batch(&self, entries: &[(u64, Vec<Word>)]) -> (Vec<Result<(), DictError>>, OpCost) {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (key, _)) in entries.iter().enumerate() {
+            groups[self.shard_index(*key)].push(i);
+        }
+        let mut results: Vec<Option<Result<(), DictError>>> = (0..entries.len())
+            .map(|_| None)
+            .collect();
+        let mut cost = OpCost::default();
+        for (shard, group) in self.shards.iter().zip(&groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let sub: Vec<(u64, Vec<Word>)> = group.iter().map(|&i| entries[i].clone()).collect();
+            let (res, c) = lock(shard).insert_batch(&sub);
+            cost = cost.plus(c);
+            for (&i, r) in group.iter().zip(res) {
+                results[i] = Some(r);
+            }
+        }
+        (
+            results
+                .into_iter()
+                .map(|r| r.expect("every key routed to exactly one shard"))
+                .collect(),
+            cost,
+        )
     }
 
     /// Sum of parallel I/Os across all shard arrays.
@@ -115,7 +187,7 @@ impl ShardedDictionary {
     pub fn total_parallel_ios(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().io_stats().parallel_ios)
+            .map(|s| lock(s).io_stats().parallel_ios)
             .sum()
     }
 }

@@ -163,6 +163,88 @@ impl Dictionary {
         }
     }
 
+    /// Batched lookup: the replacement (if a rebuild is in flight) is
+    /// probed for all keys as one batch; the active structure is then
+    /// probed, as a second batch, only for the keys the replacement
+    /// missed. Results are byte-identical to calling [`Self::lookup`]
+    /// per key.
+    pub fn lookup_batch(&mut self, keys: &[u64]) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        let scope = self.disks.begin_op();
+        let mut results: Vec<Option<Vec<Word>>> = vec![None; keys.len()];
+        let mut remaining: Vec<usize> = (0..keys.len()).collect();
+        if let Some(b) = &self.building {
+            let (found, _) = b.dict.lookup_batch(&mut self.disks, keys);
+            remaining.clear();
+            for (i, f) in found.into_iter().enumerate() {
+                match f {
+                    Some(s) => results[i] = Some(s),
+                    None => remaining.push(i),
+                }
+            }
+        }
+        if !remaining.is_empty() {
+            let misses: Vec<u64> = remaining.iter().map(|&i| keys[i]).collect();
+            let (found, _) = self.active.lookup_batch(&mut self.disks, &misses);
+            for (&i, f) in remaining.iter().zip(found) {
+                results[i] = f;
+            }
+        }
+        (results, self.disks.end_op(scope))
+    }
+
+    /// Batched insert. Outside a rebuild window the whole remaining batch
+    /// goes to the active structure as one [`DynamicDict::insert_batch`];
+    /// once the active structure runs out of budget (or a rebuild is
+    /// already in flight) keys fall back to the sequential path one at a
+    /// time, which starts the replacement and preserves the
+    /// per-operation migration pacing (`MIGRATE_BUCKETS_PER_OP`).
+    pub fn insert_batch(&mut self, entries: &[(u64, Vec<Word>)]) -> (Vec<Result<(), DictError>>, OpCost) {
+        let scope = self.disks.begin_op();
+        let mut results: Vec<Result<(), DictError>> = Vec::with_capacity(entries.len());
+        let mut idx = 0;
+        while idx < entries.len() {
+            if self.building.is_some() {
+                // Migration pacing dominates during a rebuild; route keys
+                // through the sequential path one at a time.
+                let (key, sat) = &entries[idx];
+                results.push(self.insert(*key, sat).map(|_| ()));
+                idx += 1;
+                continue;
+            }
+            let (res, _) = self.active.insert_batch(&mut self.disks, &entries[idx..]);
+            let mut consumed = 0;
+            for r in res {
+                match r {
+                    // Out of budget: stop here; this key and its
+                    // successors re-route through the sequential path,
+                    // which starts the replacement.
+                    Err(
+                        DictError::CapacityExhausted { .. } | DictError::LevelsExhausted { .. },
+                    ) => break,
+                    r => {
+                        results.push(r);
+                        consumed += 1;
+                    }
+                }
+            }
+            idx += consumed;
+            if consumed == 0 {
+                if let Err(e) = self.start_rebuild() {
+                    results.push(Err(e));
+                    idx += 1;
+                }
+                continue;
+            }
+            if let Err(e) = self.maybe_start_rebuild() {
+                if idx < entries.len() {
+                    results.push(Err(e));
+                    idx += 1;
+                }
+            }
+        }
+        (results, self.disks.end_op(scope))
+    }
+
     /// Insert. Averages `2 + ɛ` I/Os outside rebuild windows; `O(1)`
     /// worst case always (insert + bounded migration work).
     pub fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<OpCost, DictError> {

@@ -1,0 +1,627 @@
+//! Batched I/O execution: pack many block requests into parallel rounds.
+//!
+//! The paper's efficiency claims are *bandwidth* claims: with `k = d/2`
+//! choices the basic dictionary sustains `O(BD/log N)` bandwidth
+//! (Section 4.1), and the one-probe structure answers a lookup in a
+//! single parallel I/O (Theorem 6). Both are statements about how many
+//! independent operations can share one parallel I/O round across the
+//! `D` disks. This module supplies the machinery that turns per-operation
+//! probing into round-sharing execution:
+//!
+//! * [`BatchPlan`] — takes any multiset of [`BlockAddr`] requests,
+//!   deduplicates them, and greedily packs the unique blocks into rounds
+//!   that touch each disk at most once. The number of rounds equals the
+//!   maximum number of unique blocks on any one disk — exactly the
+//!   `ParallelDisk` model cost [`DiskArray`] charges for the batch, so
+//!   the greedy schedule is optimal for that model.
+//! * [`BatchReads`] — the result of executing a read plan, mapping each
+//!   original request (duplicates included) back to its block image.
+//! * [`BatchExecutor`] — a read-cache + staged-write layer for batched
+//!   *updates*: reads are served from the cache at access time (so a key
+//!   later in the batch observes the staged writes of earlier keys, and
+//!   batched execution is byte-identical to sequential), and all dirty
+//!   blocks are flushed in one planned write batch on
+//!   [`commit`](BatchExecutor::commit).
+//!
+//! The win is deduplication: `m` lookups that would sequentially touch
+//! `m · d'` blocks collapse to at most `min(m·d', blocks in the
+//! structure)` unique blocks, spread over `D` disks — so the charged
+//! cost per lookup drops toward the paper's `⌈m·d'/D⌉ / m` as batches
+//! share buckets.
+
+use crate::disk::{BlockAddr, DiskArray};
+use crate::stats::OpCost;
+use crate::Word;
+use std::collections::HashMap;
+
+/// A deduplicated, round-scheduled set of block requests.
+///
+/// Round `r` holds the `r`-th unique block of every disk (in first-seen
+/// order), so each round touches each disk at most once and the round
+/// count is the per-disk maximum — the `ParallelDisk` batch cost.
+///
+/// ```
+/// use pdm::{BatchPlan, BlockAddr};
+/// let plan = BatchPlan::new(4, &[
+///     BlockAddr::new(0, 0),
+///     BlockAddr::new(0, 1),
+///     BlockAddr::new(1, 0),
+///     BlockAddr::new(0, 0), // duplicate: shares the first request's slot
+/// ]);
+/// assert_eq!(plan.num_requests(), 4);
+/// assert_eq!(plan.num_unique_blocks(), 3);
+/// assert_eq!(plan.num_rounds(), 2); // disk 0 holds two unique blocks
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    disks: usize,
+    /// Unique addresses in first-seen order.
+    unique: Vec<BlockAddr>,
+    /// `slot[i]` = index into `unique` serving request `i`.
+    slot: Vec<usize>,
+    /// `rounds[r]` = indices into `unique`, at most one per disk.
+    rounds: Vec<Vec<usize>>,
+}
+
+impl BatchPlan {
+    /// Plan `requests` against an array of `disks` disks.
+    ///
+    /// Duplicates are coalesced onto one unique block; requests keep
+    /// their identity through [`BatchReads`].
+    ///
+    /// # Panics
+    /// Panics if `disks == 0` or any request names a disk `>= disks`.
+    #[must_use]
+    pub fn new(disks: usize, requests: &[BlockAddr]) -> Self {
+        assert!(disks > 0, "need at least one disk");
+        let mut index: HashMap<BlockAddr, usize> = HashMap::with_capacity(requests.len());
+        let mut unique = Vec::new();
+        let mut slot = Vec::with_capacity(requests.len());
+        let mut per_disk = vec![0usize; disks];
+        let mut rounds: Vec<Vec<usize>> = Vec::new();
+        for &a in requests {
+            assert!(
+                a.disk < disks,
+                "disk index {} out of range (D = {disks})",
+                a.disk
+            );
+            let idx = *index.entry(a).or_insert_with(|| {
+                let idx = unique.len();
+                unique.push(a);
+                let r = per_disk[a.disk];
+                per_disk[a.disk] += 1;
+                if rounds.len() <= r {
+                    rounds.push(Vec::new());
+                }
+                rounds[r].push(idx);
+                idx
+            });
+            slot.push(idx);
+        }
+        BatchPlan {
+            disks,
+            unique,
+            slot,
+            rounds,
+        }
+    }
+
+    /// Number of disks this plan schedules over.
+    #[must_use]
+    pub fn disks(&self) -> usize {
+        self.disks
+    }
+
+    /// Number of original requests (duplicates included).
+    #[must_use]
+    pub fn num_requests(&self) -> usize {
+        self.slot.len()
+    }
+
+    /// Number of distinct blocks touched.
+    #[must_use]
+    pub fn num_unique_blocks(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Number of parallel rounds — the maximum number of unique blocks
+    /// on any single disk, which is also the `ParallelDisk` model cost
+    /// of executing the plan.
+    #[must_use]
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The unique blocks, in first-seen order.
+    #[must_use]
+    pub fn unique_blocks(&self) -> &[BlockAddr] {
+        &self.unique
+    }
+
+    /// The addresses scheduled in round `r` (each on a distinct disk).
+    ///
+    /// # Panics
+    /// Panics if `r >= num_rounds()`.
+    #[must_use]
+    pub fn round(&self, r: usize) -> Vec<BlockAddr> {
+        self.rounds[r].iter().map(|&i| self.unique[i]).collect()
+    }
+
+    /// Execute the plan as one charged read batch over the unique blocks,
+    /// recording the scheduled rounds.
+    ///
+    /// In the `ParallelDisk` model the charge equals
+    /// [`num_rounds`](BatchPlan::num_rounds); in the `ParallelDiskHead`
+    /// model the charge may be lower (heads pack same-disk blocks).
+    pub fn execute_read(&self, disks: &mut DiskArray) -> BatchReads {
+        let blocks = disks.read_batch(&self.unique);
+        disks.record_rounds(self.num_rounds() as u64);
+        BatchReads {
+            blocks,
+            slot: self.slot.clone(),
+        }
+    }
+
+    /// Execute the plan through a **shared** reference: returns the reads
+    /// plus the cost the batch would be charged, without touching the
+    /// global counters (see [`DiskArray::read_batch_shared`]).
+    ///
+    /// Callers that want the cost recorded pass the returned [`OpCost`]
+    /// to [`DiskArray::charge_cost`] and the round count to
+    /// [`DiskArray::record_rounds`].
+    #[must_use]
+    pub fn execute_read_shared(&self, disks: &DiskArray) -> (BatchReads, OpCost) {
+        let (blocks, cost) = disks.read_batch_shared(&self.unique);
+        (
+            BatchReads {
+                blocks,
+                slot: self.slot.clone(),
+            },
+            cost,
+        )
+    }
+}
+
+/// Blocks produced by executing a read [`BatchPlan`], addressable by
+/// original request index (duplicates resolve to the same block image).
+#[derive(Debug, Clone)]
+pub struct BatchReads {
+    /// Unique blocks, aligned with `BatchPlan::unique_blocks`.
+    blocks: Vec<Vec<Word>>,
+    slot: Vec<usize>,
+}
+
+impl BatchReads {
+    /// Number of original requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slot.len()
+    }
+
+    /// Whether the plan had no requests.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slot.is_empty()
+    }
+
+    /// The block serving request `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> &[Word] {
+        &self.blocks[self.slot[i]]
+    }
+
+    /// Clone the blocks serving a contiguous request range — the shape
+    /// dictionary decode paths expect for one operation's probes.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `len()`.
+    #[must_use]
+    pub fn gather(&self, range: std::ops::Range<usize>) -> Vec<Vec<Word>> {
+        range.map(|i| self.blocks[self.slot[i]].clone()).collect()
+    }
+}
+
+/// A read-cache + staged-write layer executing batched updates with
+/// sequential semantics.
+///
+/// Lifecycle: [`prefetch`](BatchExecutor::prefetch) the addresses the
+/// batch will touch (one planned read batch), process each operation
+/// against [`get`](BatchExecutor::get) /
+/// [`stage_write`](BatchExecutor::stage_write) (reads observe earlier
+/// staged writes — exactly what sequential execution would see), then
+/// [`commit`](BatchExecutor::commit) to flush all dirty blocks as one
+/// planned write batch. Dropping the executor without committing
+/// discards staged writes.
+///
+/// ```
+/// use pdm::{BatchExecutor, BlockAddr, DiskArray, PdmConfig};
+/// let mut disks = DiskArray::new(PdmConfig::new(2, 4), 2);
+/// let a = BlockAddr::new(0, 0);
+/// let mut ex = BatchExecutor::new(&mut disks);
+/// ex.prefetch(&[a]);
+/// let mut block = ex.get(a).to_vec();
+/// block[0] = 7;
+/// ex.stage_write(a, block);
+/// assert_eq!(ex.get(a)[0], 7, "reads observe staged writes");
+/// let cost = ex.commit();
+/// assert_eq!(cost.block_writes, 1);
+/// assert_eq!(disks.peek(a)[0], 7);
+/// ```
+#[derive(Debug)]
+pub struct BatchExecutor<'a> {
+    disks: &'a mut DiskArray,
+    cache: HashMap<BlockAddr, Vec<Word>>,
+    /// Dirty addresses in first-staged order (each appears once).
+    dirty: Vec<BlockAddr>,
+}
+
+impl<'a> BatchExecutor<'a> {
+    /// Start a batch over `disks`.
+    pub fn new(disks: &'a mut DiskArray) -> Self {
+        BatchExecutor {
+            disks,
+            cache: HashMap::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// The disk array geometry (for planning probe addresses).
+    #[must_use]
+    pub fn disks(&self) -> &DiskArray {
+        self.disks
+    }
+
+    /// Read every not-yet-cached address in `addrs` as one planned batch,
+    /// charging its model cost.
+    pub fn prefetch(&mut self, addrs: &[BlockAddr]) {
+        let missing: Vec<BlockAddr> = addrs
+            .iter()
+            .copied()
+            .filter(|a| !self.cache.contains_key(a))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let plan = BatchPlan::new(self.disks.disks(), &missing);
+        let reads = plan.execute_read(self.disks);
+        for (i, &a) in plan.unique_blocks().iter().enumerate() {
+            self.cache.insert(a, reads.blocks[i].clone());
+        }
+    }
+
+    /// The current image of `addr`: staged write if any, else cached
+    /// read. A miss falls back to a charged single-block read (counted
+    /// as its own round), so under-prefetching stays correct — just
+    /// costlier.
+    pub fn get(&mut self, addr: BlockAddr) -> &[Word] {
+        if !self.cache.contains_key(&addr) {
+            let block = self.disks.read_block(addr);
+            self.disks.record_rounds(1);
+            self.cache.insert(addr, block);
+        }
+        &self.cache[&addr]
+    }
+
+    /// Clone the current images of several addresses (cache misses are
+    /// charged individually, as in [`get`](BatchExecutor::get)).
+    pub fn get_many(&mut self, addrs: &[BlockAddr]) -> Vec<Vec<Word>> {
+        self.prefetch(addrs);
+        addrs.iter().map(|&a| self.cache[&a].clone()).collect()
+    }
+
+    /// Stage a full-block write. Subsequent reads of `addr` within this
+    /// batch observe `data`; disk content changes only on
+    /// [`commit`](BatchExecutor::commit).
+    ///
+    /// # Panics
+    /// Panics if `data` is not exactly one block wide — partial writes
+    /// would need the current block content merged in, and every writer
+    /// in this workspace produces full-block images.
+    pub fn stage_write(&mut self, addr: BlockAddr, data: Vec<Word>) {
+        assert_eq!(
+            data.len(),
+            self.disks.block_words(),
+            "batch staging requires full-block images"
+        );
+        if !self.dirty.contains(&addr) {
+            self.dirty.push(addr);
+        }
+        self.cache.insert(addr, data);
+    }
+
+    /// Number of distinct blocks currently staged for writing.
+    #[must_use]
+    pub fn staged_writes(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Flush all staged writes as one planned write batch and return its
+    /// cost (zero if nothing was staged).
+    pub fn commit(self) -> OpCost {
+        let scope = self.disks.begin_op();
+        if !self.dirty.is_empty() {
+            let plan = BatchPlan::new(self.disks.disks(), &self.dirty);
+            let writes: Vec<(BlockAddr, &[Word])> = plan
+                .unique_blocks()
+                .iter()
+                .map(|a| (*a, self.cache[a].as_slice()))
+                .collect();
+            self.disks.write_batch(&writes);
+            self.disks.record_rounds(plan.num_rounds() as u64);
+        }
+        self.disks.end_op(scope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Model, PdmConfig};
+
+    fn array(disks: usize, blocks: usize) -> DiskArray {
+        DiskArray::new(PdmConfig::new(disks, 4), blocks)
+    }
+
+    #[test]
+    fn empty_plan_is_free() {
+        let mut disks = array(4, 4);
+        let plan = BatchPlan::new(4, &[]);
+        assert_eq!(plan.num_rounds(), 0);
+        assert_eq!(plan.num_unique_blocks(), 0);
+        let before = disks.stats();
+        let reads = plan.execute_read(&mut disks);
+        assert!(reads.is_empty());
+        let cost = disks.stats().since(&before);
+        assert_eq!(cost.parallel_ios, 0);
+        assert_eq!(cost.block_reads, 0);
+        assert_eq!(disks.stats().batches, 0, "empty plan issues no batch");
+        assert_eq!(disks.stats().rounds, 0);
+    }
+
+    #[test]
+    fn striped_plan_costs_one_round() {
+        let mut disks = array(4, 4);
+        let addrs: Vec<_> = (0..4).map(|d| BlockAddr::new(d, 1)).collect();
+        let plan = BatchPlan::new(4, &addrs);
+        assert_eq!(plan.num_rounds(), 1);
+        let before = disks.stats();
+        plan.execute_read(&mut disks);
+        let cost = disks.stats().since(&before);
+        assert_eq!(cost.parallel_ios, 1);
+        assert_eq!(cost.block_reads, 4);
+        assert_eq!(disks.stats().rounds, 1);
+    }
+
+    #[test]
+    fn skewed_plan_serializes_on_one_disk() {
+        let mut disks = array(4, 8);
+        let addrs: Vec<_> = (0..5).map(|b| BlockAddr::new(2, b)).collect();
+        let plan = BatchPlan::new(4, &addrs);
+        assert_eq!(plan.num_rounds(), 5);
+        let before = disks.stats();
+        plan.execute_read(&mut disks);
+        let cost = disks.stats().since(&before);
+        assert_eq!(cost.parallel_ios, 5, "all blocks on one disk serialize");
+        assert_eq!(disks.stats().rounds, 5);
+    }
+
+    #[test]
+    fn duplicates_coalesce_to_one_block() {
+        let mut disks = array(4, 4);
+        disks.poke(BlockAddr::new(1, 0), &[9; 4]);
+        let a = BlockAddr::new(1, 0);
+        let plan = BatchPlan::new(4, &[a, a, a, a]);
+        assert_eq!(plan.num_requests(), 4);
+        assert_eq!(plan.num_unique_blocks(), 1);
+        assert_eq!(plan.num_rounds(), 1);
+        let before = disks.stats();
+        let reads = plan.execute_read(&mut disks);
+        let cost = disks.stats().since(&before);
+        assert_eq!(cost.parallel_ios, 1, "four requests, one block, one round");
+        assert_eq!(cost.block_reads, 1);
+        for i in 0..4 {
+            assert_eq!(reads.get(i), &[9; 4]);
+        }
+    }
+
+    #[test]
+    fn rounds_touch_each_disk_at_most_once() {
+        let addrs = [
+            BlockAddr::new(0, 0),
+            BlockAddr::new(0, 1),
+            BlockAddr::new(0, 2),
+            BlockAddr::new(1, 0),
+            BlockAddr::new(2, 0),
+            BlockAddr::new(2, 1),
+        ];
+        let plan = BatchPlan::new(4, &addrs);
+        assert_eq!(plan.num_rounds(), 3, "disk 0 has three unique blocks");
+        let mut seen = 0usize;
+        for r in 0..plan.num_rounds() {
+            let round = plan.round(r);
+            let mut disks_in_round: Vec<usize> = round.iter().map(|a| a.disk).collect();
+            let len = disks_in_round.len();
+            disks_in_round.dedup();
+            assert_eq!(disks_in_round.len(), len, "round {r} repeats a disk");
+            seen += len;
+        }
+        assert_eq!(seen, plan.num_unique_blocks(), "every block is scheduled");
+    }
+
+    #[test]
+    fn round_count_is_optimal_per_disk_max() {
+        // Mixed shape: per-disk unique counts 3 / 1 / 2 / 0 → 3 rounds.
+        let addrs = [
+            BlockAddr::new(0, 0),
+            BlockAddr::new(0, 5),
+            BlockAddr::new(0, 7),
+            BlockAddr::new(1, 1),
+            BlockAddr::new(2, 0),
+            BlockAddr::new(2, 3),
+            BlockAddr::new(0, 0), // duplicate
+        ];
+        let plan = BatchPlan::new(4, &addrs);
+        assert_eq!(plan.num_rounds(), 3);
+        let mut disks = array(4, 8);
+        let before = disks.stats();
+        plan.execute_read(&mut disks);
+        assert_eq!(
+            disks.stats().since(&before).parallel_ios,
+            plan.num_rounds() as u64,
+            "ParallelDisk charge equals the scheduled round count"
+        );
+    }
+
+    #[test]
+    fn head_model_can_beat_round_count() {
+        let cfg = PdmConfig::new(4, 4).with_model(Model::ParallelDiskHead);
+        let mut disks = DiskArray::new(cfg, 8);
+        let addrs: Vec<_> = (0..3).map(|b| BlockAddr::new(0, b)).collect();
+        let plan = BatchPlan::new(4, &addrs);
+        assert_eq!(plan.num_rounds(), 3);
+        let before = disks.stats();
+        plan.execute_read(&mut disks);
+        assert_eq!(
+            disks.stats().since(&before).parallel_ios,
+            1,
+            "disk heads pack same-disk blocks below the round count"
+        );
+    }
+
+    #[test]
+    fn shared_execution_matches_charged_execution() {
+        let mut disks = array(4, 4);
+        disks.poke(BlockAddr::new(3, 2), &[4; 4]);
+        let addrs = [BlockAddr::new(3, 2), BlockAddr::new(0, 0), BlockAddr::new(3, 2)];
+        let plan = BatchPlan::new(4, &addrs);
+        let (shared, cost) = plan.execute_read_shared(&disks);
+        let before = disks.stats();
+        let charged = plan.execute_read(&mut disks);
+        assert_eq!(disks.stats().since(&before), cost);
+        for i in 0..addrs.len() {
+            assert_eq!(shared.get(i), charged.get(i));
+        }
+        disks.charge_cost(cost);
+        disks.record_rounds(plan.num_rounds() as u64);
+        assert_eq!(disks.stats().rounds, 2 * plan.num_rounds() as u64);
+    }
+
+    #[test]
+    fn gather_returns_per_request_blocks() {
+        let mut disks = array(2, 4);
+        disks.poke(BlockAddr::new(0, 1), &[1; 4]);
+        disks.poke(BlockAddr::new(1, 1), &[2; 4]);
+        let addrs = [BlockAddr::new(0, 1), BlockAddr::new(1, 1), BlockAddr::new(0, 1)];
+        let reads = BatchPlan::new(2, &addrs).execute_read(&mut disks);
+        assert_eq!(reads.gather(0..2), vec![vec![1; 4], vec![2; 4]]);
+        assert_eq!(reads.gather(2..3), vec![vec![1; 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn plan_rejects_out_of_range_disks() {
+        let _ = BatchPlan::new(2, &[BlockAddr::new(2, 0)]);
+    }
+
+    #[test]
+    fn executor_reads_observe_staged_writes() {
+        let mut disks = array(2, 4);
+        let a = BlockAddr::new(0, 0);
+        let b = BlockAddr::new(1, 0);
+        let mut ex = BatchExecutor::new(&mut disks);
+        ex.prefetch(&[a, b]);
+        assert_eq!(ex.get(a), &[0; 4]);
+        ex.stage_write(a, vec![5; 4]);
+        assert_eq!(ex.get(a), &[5; 4], "read-your-writes within the batch");
+        assert_eq!(ex.get(b), &[0; 4], "other blocks unaffected");
+        assert_eq!(disks.peek(a), &[0; 4], "disk unchanged before commit");
+    }
+
+    #[test]
+    fn executor_commit_flushes_once() {
+        let mut disks = array(4, 4);
+        let addrs: Vec<_> = (0..4).map(|d| BlockAddr::new(d, 0)).collect();
+        let mut ex = BatchExecutor::new(&mut disks);
+        ex.prefetch(&addrs);
+        for (i, &a) in addrs.iter().enumerate() {
+            let mut img = ex.get(a).to_vec();
+            img[0] = i as Word + 1;
+            ex.stage_write(a, img);
+            // Restage the same block: still one write.
+            let img = ex.get(a).to_vec();
+            ex.stage_write(a, img);
+        }
+        assert_eq!(ex.staged_writes(), 4);
+        let cost = ex.commit();
+        assert_eq!(cost.parallel_ios, 1, "four dirty blocks, four disks, one round");
+        assert_eq!(cost.block_writes, 4);
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(disks.peek(a)[0], i as Word + 1);
+        }
+    }
+
+    #[test]
+    fn executor_drop_discards_staged_writes() {
+        let mut disks = array(2, 4);
+        let a = BlockAddr::new(0, 0);
+        {
+            let mut ex = BatchExecutor::new(&mut disks);
+            ex.stage_write(a, vec![7; 4]);
+        }
+        assert_eq!(disks.peek(a), &[0; 4]);
+    }
+
+    #[test]
+    fn executor_miss_falls_back_to_single_read() {
+        let mut disks = array(2, 4);
+        let before = disks.stats();
+        let mut ex = BatchExecutor::new(&mut disks);
+        let _ = ex.get(BlockAddr::new(1, 1));
+        let _ = ex.get(BlockAddr::new(1, 1)); // cached: no second charge
+        let cost = disks.stats().since(&before);
+        assert_eq!(cost.parallel_ios, 1);
+        assert_eq!(cost.block_reads, 1);
+        assert_eq!(disks.stats().rounds, 1);
+    }
+
+    #[test]
+    fn executor_prefetch_skips_cached_blocks() {
+        let mut disks = array(2, 4);
+        let a = BlockAddr::new(0, 0);
+        let b = BlockAddr::new(1, 0);
+        let mut ex = BatchExecutor::new(&mut disks);
+        ex.prefetch(&[a]);
+        let before = ex.disks().stats();
+        ex.prefetch(&[a, b]);
+        let cost = ex.disks().stats().since(&before);
+        assert_eq!(cost.block_reads, 1, "only the uncached block is read");
+        let empty_before = ex.disks().stats();
+        ex.prefetch(&[a, b]);
+        assert_eq!(ex.disks().stats(), empty_before, "fully cached: free");
+    }
+
+    #[test]
+    fn executor_commit_cost_scopes_cleanly() {
+        let mut disks = array(4, 4);
+        let scope = disks.begin_op();
+        let mut ex = BatchExecutor::new(&mut disks);
+        ex.prefetch(&[BlockAddr::new(0, 0), BlockAddr::new(1, 0)]);
+        ex.stage_write(BlockAddr::new(0, 0), vec![1; 4]);
+        let write_cost = ex.commit();
+        let total = disks.end_op(scope);
+        assert_eq!(write_cost.parallel_ios, 1);
+        assert_eq!(total.parallel_ios, 2, "one read round plus one write round");
+        assert_eq!(disks.stats().rounds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full-block images")]
+    fn executor_rejects_partial_writes() {
+        let mut disks = array(2, 4);
+        let mut ex = BatchExecutor::new(&mut disks);
+        ex.stage_write(BlockAddr::new(0, 0), vec![1, 2]);
+    }
+}

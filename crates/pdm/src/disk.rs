@@ -239,6 +239,15 @@ impl DiskArray {
         self.stats.batches += 1;
     }
 
+    /// Record `rounds` scheduled parallel rounds into the global counters.
+    ///
+    /// Called by the batch engine ([`crate::batch`]) after executing a
+    /// plan; plain `read_batch` / `write_batch` traffic does not move the
+    /// round counter.
+    pub fn record_rounds(&mut self, rounds: u64) {
+        self.stats.rounds += rounds;
+    }
+
     /// Read one block (one parallel I/O).
     pub fn read_block(&mut self, addr: BlockAddr) -> Vec<Word> {
         self.read_batch(&[addr]).pop().expect("one block requested")

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bits;
 pub mod config;
 pub mod disk;
@@ -67,6 +68,7 @@ pub mod sort;
 pub mod stats;
 pub mod stripe;
 
+pub use batch::{BatchExecutor, BatchPlan, BatchReads};
 pub use config::{Model, PdmConfig};
 pub use disk::{BlockAddr, DiskArray};
 pub use file::RecordFile;

@@ -17,6 +17,13 @@ pub struct IoStats {
     pub block_writes: u64,
     /// Batched access calls issued (each ≥ 0 parallel I/Os).
     pub batches: u64,
+    /// Parallel rounds scheduled by the batch engine ([`crate::batch`]).
+    ///
+    /// Unlike `parallel_ios`, which every access charges, this counter
+    /// only moves when a [`crate::BatchPlan`] is executed (or a
+    /// [`crate::BatchExecutor`] commits); in the `ParallelDisk` model the
+    /// rounds recorded for a plan equal the parallel I/Os it charges.
+    pub rounds: u64,
 }
 
 impl IoStats {
@@ -175,17 +182,34 @@ mod tests {
             block_reads: 20,
             block_writes: 5,
             batches: 7,
+            rounds: 0,
         };
         let b = IoStats {
             parallel_ios: 14,
             block_reads: 26,
             block_writes: 6,
             batches: 9,
+            rounds: 3,
         };
         let d = b.since(&a);
         assert_eq!(d.parallel_ios, 4);
         assert_eq!(d.block_reads, 6);
         assert_eq!(d.block_writes, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "parallel_ios >= earlier.parallel_ios")]
+    fn since_rejects_reversed_snapshots_in_debug() {
+        let earlier = IoStats {
+            parallel_ios: 3,
+            ..Default::default()
+        };
+        let later = IoStats {
+            parallel_ios: 7,
+            ..Default::default()
+        };
+        let _ = earlier.since(&later);
     }
 
     #[test]

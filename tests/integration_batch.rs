@@ -1,0 +1,306 @@
+//! Differential batch harness: for every dictionary front-end,
+//! `lookup_batch` must return results byte-identical to sequential
+//! lookups, and its charged cost must sit between the per-disk-max
+//! lower bound and the sequential sum. `insert_batch` must leave the
+//! structure in the same state as a sequential insertion loop —
+//! including per-key error reporting for duplicates.
+
+use pdm::{BatchPlan, BlockAddr, DiskArray, PdmConfig, Word};
+use pdm_dict::basic::{BasicDict, BasicDictConfig};
+use pdm_dict::concurrent::ShardedDictionary;
+use pdm_dict::layout::DiskAllocator;
+use pdm_dict::one_probe::{OneProbeStatic, OneProbeVariant};
+use pdm_dict::{DictError, DictParams, Dictionary, DynamicDict};
+use proptest::prelude::*;
+
+/// A sorted, deduplicated key set.
+fn key_set() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::hash_set(0u64..(1 << 20), 5..60).prop_map(|s| {
+        let mut v: Vec<u64> = s.into_iter().collect();
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Arbitrary probe keys — mostly misses, occasionally hits.
+fn probes() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..(1 << 20), 1..50)
+}
+
+/// Snapshot every block of every disk (byte-identity witness).
+fn disk_image(disks: &DiskArray) -> Vec<Vec<Word>> {
+    (0..disks.disks())
+        .flat_map(|d| (0..disks.blocks_on(d)).map(move |b| (d, b)))
+        .map(|(d, b)| disks.peek(BlockAddr::new(d, b)).to_vec())
+        .collect()
+}
+
+fn basic_pair(n: usize, seed: u64) -> (DiskArray, DiskAllocator, BasicDictConfig) {
+    let d = 8;
+    let disks = DiskArray::new(PdmConfig::new(d, 64), 0);
+    let alloc = DiskAllocator::new(d);
+    let cfg = BasicDictConfig::log_load(n.max(4), 1 << 20, d, 1, seed);
+    (disks, alloc, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn basic_dict_lookup_batch_matches_sequential(keys in key_set(), extra in probes()) {
+        let (mut disks, mut alloc, cfg) = basic_pair(keys.len(), 0xBA7C);
+        let mut dict = BasicDict::create(&mut disks, &mut alloc, 0, cfg).unwrap();
+        for &k in &keys {
+            dict.insert(&mut disks, k, &[k]).unwrap();
+        }
+        let mut queries = keys.clone();
+        queries.extend(&extra);
+
+        let mut seq = Vec::with_capacity(queries.len());
+        let mut seq_sum = 0u64;
+        for &k in &queries {
+            let out = dict.lookup(&mut disks, k);
+            seq_sum += out.cost.parallel_ios;
+            seq.push(out.satellite);
+        }
+        let (batch, cost) = dict.lookup_batch(&mut disks, &queries);
+        prop_assert_eq!(&batch, &seq, "batch lookups diverged from sequential");
+        prop_assert!(
+            cost.parallel_ios <= seq_sum,
+            "batch cost {} exceeds sequential sum {}", cost.parallel_ios, seq_sum
+        );
+        // Hard lower bound: the per-disk maximum of unique probe blocks.
+        let all: Vec<BlockAddr> = queries.iter().flat_map(|&k| dict.probe_addrs(k)).collect();
+        let bound = BatchPlan::new(disks.disks(), &all).num_rounds() as u64;
+        prop_assert!(
+            cost.parallel_ios >= bound,
+            "batch cost {} undercuts the per-disk max {}", cost.parallel_ios, bound
+        );
+    }
+
+    #[test]
+    fn basic_dict_insert_batch_is_byte_identical_to_sequential(keys in key_set()) {
+        // Twin structures with identical seeds; one inserts sequentially,
+        // the other as a single batch (with a duplicate appended so the
+        // error path is exercised in both).
+        let mut entries: Vec<(u64, Vec<Word>)> =
+            keys.iter().map(|&k| (k, vec![k])).collect();
+        entries.push((keys[0], vec![keys[0]]));
+
+        let (mut disks_a, mut alloc_a, cfg) = basic_pair(keys.len(), 0x5E0);
+        let mut seq_dict = BasicDict::create(&mut disks_a, &mut alloc_a, 0, cfg).unwrap();
+        let seq_res: Vec<Result<(), DictError>> = entries
+            .iter()
+            .map(|(k, s)| seq_dict.insert(&mut disks_a, *k, s).map(|_| ()))
+            .collect();
+
+        let (mut disks_b, mut alloc_b, cfg) = basic_pair(keys.len(), 0x5E0);
+        let mut batch_dict = BasicDict::create(&mut disks_b, &mut alloc_b, 0, cfg).unwrap();
+        let (batch_res, batch_cost) = batch_dict.insert_batch(&mut disks_b, &entries);
+
+        prop_assert_eq!(&batch_res, &seq_res, "per-key insert outcomes diverged");
+        prop_assert_eq!(batch_dict.len(), seq_dict.len());
+        prop_assert_eq!(disk_image(&disks_b), disk_image(&disks_a), "disk images diverged");
+        // The batch flushes each dirty block once; sequential pays one
+        // write batch per key.
+        let seq_writes = disks_a.stats().block_writes;
+        prop_assert!(disks_b.stats().block_writes <= seq_writes);
+        prop_assert!(batch_cost.parallel_ios >= 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn one_probe_lookup_batch_matches_sequential(n in 20usize..100, extra in probes()) {
+        for variant in [OneProbeVariant::CaseB, OneProbeVariant::CaseA] {
+            let d = 13;
+            let nd = match variant {
+                OneProbeVariant::CaseA => 2 * d,
+                OneProbeVariant::CaseB => d,
+            };
+            let mut disks = DiskArray::new(PdmConfig::new(nd, 64), 0);
+            let mut alloc = DiskAllocator::new(nd);
+            let entries: Vec<(u64, Vec<Word>)> = (0..n as u64)
+                .map(|i| {
+                    let k = i.wrapping_mul(0x9E37_79B9).wrapping_add(7) % (1 << 20);
+                    (k, vec![k, k ^ 3])
+                })
+                .collect();
+            let params = DictParams::new(n, 1 << 20, 2).with_degree(d).with_seed(77);
+            let (dict, _) =
+                OneProbeStatic::build(&mut disks, &mut alloc, 0, &params, variant, &entries)
+                    .unwrap();
+
+            let mut queries: Vec<u64> = entries.iter().map(|(k, _)| *k).collect();
+            queries.extend(&extra);
+            let mut seq = Vec::with_capacity(queries.len());
+            let mut seq_sum = 0u64;
+            let mut seq_max = 0u64;
+            for &k in &queries {
+                let out = dict.lookup(&mut disks, k);
+                seq_sum += out.cost.parallel_ios;
+                seq_max = seq_max.max(out.cost.parallel_ios);
+                seq.push(out.satellite);
+            }
+            let (batch, cost) = dict.lookup_batch(&mut disks, &queries);
+            prop_assert_eq!(&batch, &seq, "{:?} batch diverged", variant);
+            prop_assert!(cost.parallel_ios <= seq_sum);
+            // Unique-blocks-per-disk lower bound, witnessed per key.
+            prop_assert!(cost.parallel_ios >= seq_max);
+        }
+    }
+
+    #[test]
+    fn dynamic_dict_lookup_batch_matches_sequential(keys in key_set(), extra in probes()) {
+        let d = 20;
+        let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
+        let mut alloc = DiskAllocator::new(2 * d);
+        let params = DictParams::new(keys.len().max(4), 1 << 20, 2)
+            .with_degree(d)
+            .with_epsilon(0.5)
+            .with_seed(0xD1C7);
+        let mut dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
+        for &k in &keys {
+            dict.insert(&mut disks, k, &[k, k ^ 9]).unwrap();
+        }
+        let mut queries = keys.clone();
+        queries.extend(&extra);
+
+        let mut seq = Vec::with_capacity(queries.len());
+        let mut seq_sum = 0u64;
+        let mut seq_max = 0u64;
+        for &k in &queries {
+            let out = dict.lookup(&mut disks, k);
+            seq_sum += out.cost.parallel_ios;
+            seq_max = seq_max.max(out.cost.parallel_ios);
+            seq.push(out.satellite);
+        }
+        let (batch, cost) = dict.lookup_batch(&mut disks, &queries);
+        prop_assert_eq!(&batch, &seq, "dynamic batch diverged from sequential");
+        prop_assert!(cost.parallel_ios <= seq_sum);
+        prop_assert!(cost.parallel_ios >= seq_max);
+    }
+
+    #[test]
+    fn dynamic_dict_insert_batch_is_byte_identical_to_sequential(keys in key_set()) {
+        let d = 20;
+        let setup = || {
+            let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
+            let mut alloc = DiskAllocator::new(2 * d);
+            let params = DictParams::new(keys.len().max(4), 1 << 20, 1)
+                .with_degree(d)
+                .with_epsilon(0.5)
+                .with_seed(0xD1C8);
+            let dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
+            (disks, dict)
+        };
+        let mut entries: Vec<(u64, Vec<Word>)> =
+            keys.iter().map(|&k| (k, vec![k])).collect();
+        entries.push((keys[0], vec![keys[0]])); // duplicate: error path
+
+        let (mut disks_a, mut seq_dict) = setup();
+        let seq_res: Vec<Result<(), DictError>> = entries
+            .iter()
+            .map(|(k, s)| seq_dict.insert(&mut disks_a, *k, s).map(|_| ()))
+            .collect();
+
+        let (mut disks_b, mut batch_dict) = setup();
+        let (batch_res, _) = batch_dict.insert_batch(&mut disks_b, &entries);
+
+        prop_assert_eq!(&batch_res, &seq_res, "per-key insert outcomes diverged");
+        prop_assert_eq!(batch_dict.len(), seq_dict.len());
+        prop_assert_eq!(batch_dict.level_population(), seq_dict.level_population());
+        prop_assert_eq!(disk_image(&disks_b), disk_image(&disks_a), "disk images diverged");
+    }
+
+    #[test]
+    fn dictionary_lookup_batch_matches_sequential(keys in key_set(), extra in probes()) {
+        // Small initial capacity so batches regularly land mid-rebuild.
+        let params = DictParams::new(16, 1 << 20, 1)
+            .with_degree(20)
+            .with_epsilon(0.5)
+            .with_seed(0xFEED);
+        let mut dict = Dictionary::new(params, 64).unwrap();
+        for &k in &keys {
+            dict.insert(k, &[k]).unwrap();
+        }
+        let mut queries = keys.clone();
+        queries.extend(&extra);
+
+        let mut seq = Vec::with_capacity(queries.len());
+        let mut seq_sum = 0u64;
+        let mut seq_max = 0u64;
+        for &k in &queries {
+            let out = dict.lookup(k);
+            seq_sum += out.cost.parallel_ios;
+            seq_max = seq_max.max(out.cost.parallel_ios);
+            seq.push(out.satellite);
+        }
+        let (batch, cost) = dict.lookup_batch(&queries);
+        prop_assert_eq!(&batch, &seq, "rebuilding dictionary batch diverged");
+        prop_assert!(cost.parallel_ios <= seq_sum);
+        prop_assert!(cost.parallel_ios >= seq_max);
+    }
+
+    #[test]
+    fn dictionary_insert_batch_roundtrips_through_rebuilds(keys in key_set()) {
+        // Capacity far below the key count: insert_batch must ride
+        // through at least one capacity-triggered rebuild. (16 is the
+        // smallest capacity at which even a *sequential* insert loop
+        // survives its rebuild windows — below that the replacement can
+        // fill before migration completes.)
+        let params = DictParams::new(16, 1 << 20, 1)
+            .with_degree(20)
+            .with_epsilon(0.5)
+            .with_seed(0xFEEE);
+        let mut dict = Dictionary::new(params, 64).unwrap();
+        let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, vec![k])).collect();
+        let (res, _) = dict.insert_batch(&entries);
+        for (i, r) in res.iter().enumerate() {
+            prop_assert!(r.is_ok(), "fresh key {} rejected: {:?}", entries[i].0, r);
+        }
+        prop_assert_eq!(dict.len(), keys.len());
+        let (found, _) = dict.lookup_batch(&keys);
+        for (i, f) in found.iter().enumerate() {
+            prop_assert_eq!(f.as_deref(), Some(&[keys[i]][..]), "key {} lost", keys[i]);
+        }
+        // A second batch of the same keys must fail per key, change nothing.
+        let (res2, _) = dict.insert_batch(&entries);
+        for r in &res2 {
+            prop_assert!(matches!(r, Err(DictError::DuplicateKey(_))), "duplicate accepted");
+        }
+        prop_assert_eq!(dict.len(), keys.len());
+    }
+
+    #[test]
+    fn sharded_dictionary_batch_matches_sequential(keys in key_set(), extra in probes()) {
+        let params = DictParams::new(64, 1 << 20, 1)
+            .with_degree(16)
+            .with_epsilon(1.0)
+            .with_seed(0x5A);
+        let dict = ShardedDictionary::new(4, params, 128).unwrap();
+        let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, vec![k])).collect();
+        let (res, _) = dict.insert_batch(&entries);
+        for r in &res {
+            prop_assert!(r.is_ok());
+        }
+        let mut queries = keys.clone();
+        queries.extend(&extra);
+
+        let mut seq = Vec::with_capacity(queries.len());
+        let mut seq_sum = 0u64;
+        let mut seq_max = 0u64;
+        for &k in &queries {
+            let out = dict.lookup(k);
+            seq_sum += out.cost.parallel_ios;
+            seq_max = seq_max.max(out.cost.parallel_ios);
+            seq.push(out.satellite);
+        }
+        let (batch, cost) = dict.lookup_batch(&queries);
+        prop_assert_eq!(&batch, &seq, "sharded batch diverged from sequential");
+        prop_assert!(cost.parallel_ios <= seq_sum);
+        prop_assert!(cost.parallel_ios >= seq_max);
+    }
+}

@@ -150,6 +150,90 @@ fn dynamic_dict_tolerates_corrupted_membership_bucket() {
 }
 
 #[test]
+fn batch_lookup_degrades_exactly_like_sequential_on_a_dead_disk() {
+    // The batch path reads the same blocks as the sequential path (just
+    // scheduled into rounds), so a dead disk must produce *identical*
+    // per-key outcomes: same misses, same damaged-satellite decodes,
+    // no panics, no cross-key corruption.
+    let d = 13;
+    let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);
+    let mut alloc = DiskAllocator::new(d);
+    let es = entries(150, 2);
+    let params = DictParams::new(150, 1 << 30, 2).with_degree(d).with_seed(3);
+    let (dict, _) =
+        OneProbeStatic::build(&mut disks, &mut alloc, 0, &params, OneProbeVariant::CaseB, &es)
+            .unwrap();
+    wipe_disk(&mut disks, 4);
+    let keys: Vec<u64> = es.iter().map(|(k, _)| *k).chain(5000..5100).collect();
+    let seq: Vec<Option<Vec<Word>>> = keys
+        .iter()
+        .map(|&k| dict.lookup(&mut disks, k).satellite)
+        .collect();
+    let (batch, _) = dict.lookup_batch(&mut disks, &keys);
+    assert_eq!(batch, seq, "batch and sequential disagree on a dead disk");
+}
+
+#[test]
+fn dynamic_batch_lookup_survives_dead_membership_disk() {
+    let d = 20;
+    let mut disks = DiskArray::new(PdmConfig::new(2 * d, 128), 0);
+    let mut alloc = DiskAllocator::new(2 * d);
+    let params = DictParams::new(200, 1 << 30, 1)
+        .with_degree(d)
+        .with_epsilon(0.5)
+        .with_seed(6);
+    let mut dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
+    for (k, s) in entries(200, 1) {
+        dict.insert(&mut disks, k, &s).unwrap();
+    }
+    wipe_disk(&mut disks, 3);
+    let keys: Vec<u64> = entries(200, 1).iter().map(|(k, _)| *k).collect();
+    let seq: Vec<Option<Vec<Word>>> = keys
+        .iter()
+        .map(|&k| dict.lookup(&mut disks, k).satellite)
+        .collect();
+    let (batch, _) = dict.lookup_batch(&mut disks, &keys);
+    assert_eq!(batch, seq, "batch path changed the failure blast radius");
+    // Stranded keys miss; every still-found answer is exact for ITS key.
+    let mut still_found = 0;
+    for ((got, (k, s)), _) in batch.iter().zip(entries(200, 1)).zip(&keys) {
+        if let Some(sat) = got {
+            assert_eq!(sat, &s, "cross-key corruption for {k}");
+            still_found += 1;
+        }
+    }
+    assert!(still_found >= 150, "only {still_found}/200 keys survived");
+}
+
+#[test]
+fn batch_insert_never_panics_on_corrupted_buckets() {
+    // Batched inserts into a BasicDict with a zeroed block: plans built
+    // from corrupt bucket images must surface per-key errors (or
+    // overflow), never panic or damage other buckets.
+    let d = 13;
+    let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);
+    let mut alloc = DiskAllocator::new(d);
+    let cfg = BasicDictConfig::log_load(300, 1 << 30, d, 1, 7);
+    let mut dict = BasicDict::create(&mut disks, &mut alloc, 0, cfg).unwrap();
+    let first: Vec<(u64, Vec<Word>)> = entries(150, 1);
+    let (res, _) = dict.insert_batch(&mut disks, &first);
+    assert!(res.iter().all(Result::is_ok));
+    disks.poke(BlockAddr::new(2, 5), &vec![0; 64]);
+    let more: Vec<(u64, Vec<Word>)> = (1000..1150u64).map(|k| (k * 7 + 3, vec![k])).collect();
+    let (res, _) = dict.insert_batch(&mut disks, &more);
+    // Whatever happened per key, every reported success must be readable.
+    for ((k, s), r) in more.iter().zip(&res) {
+        if r.is_ok() {
+            assert_eq!(
+                dict.lookup(&mut disks, *k).satellite.as_ref(),
+                Some(s),
+                "inserted key {k} unreadable"
+            );
+        }
+    }
+}
+
+#[test]
 fn basic_dict_corruption_is_local() {
     let d = 13;
     let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);

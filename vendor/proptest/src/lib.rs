@@ -1,0 +1,636 @@
+//! Minimal vendored replacement for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API slice its property tests use: the `proptest!` macro with
+//! `#![proptest_config(...)]`, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`/`prop_oneof!`, `any`, integer-range / tuple / `Just` /
+//! mapped strategies, `collection::{vec, hash_set}`, and
+//! `sample::subsequence`, plus the explicit `TestRunner` / `new_tree` /
+//! `ValueTree` path.
+//!
+//! Semantics differ from real proptest in one deliberate way: cases are
+//! generated from a fixed-seed splitmix64 stream (fully deterministic,
+//! no persistence files) and failing cases are reported without
+//! shrinking. For a reproduction codebase, deterministic replay matters
+//! more than minimal counterexamples.
+
+/// Test-case driving: runner, config, and case-level errors.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases, other settings default.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; the case is discarded, not failed.
+        Reject,
+        /// A `prop_assert*!` failed with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejection (the case is discarded).
+        #[must_use]
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Fixed seed: every run generates the same case stream, so failures
+    /// replay without persistence files.
+    const SEED: u64 = 0x5EED_0F0A_11CA_5E00;
+
+    /// Deterministic random source feeding strategy generation.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// Runner for `config` (deterministic; the config only sets the
+        /// case count, which the `proptest!` macro reads directly).
+        #[must_use]
+        pub fn new(_config: &ProptestConfig) -> Self {
+            TestRunner { state: SEED }
+        }
+
+        /// Runner with a fixed seed, for explicit `new_tree` use.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            TestRunner { state: SEED }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Strategies: composable generators of test values.
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Apply `f` to every generated value.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate one value wrapped in a [`ValueTree`] (no shrinking).
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<SampleTree<Self::Value>, String>
+        where
+            Self: Sized,
+            Self::Value: Clone,
+        {
+            Ok(SampleTree(self.generate(runner)))
+        }
+
+        /// Erase the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |runner| self.generate(runner)))
+        }
+    }
+
+    /// A generated value holder (real proptest shrinks through this; the
+    /// vendored version holds a single sample).
+    pub trait ValueTree {
+        /// The type of the held value.
+        type Value;
+
+        /// The current (only) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The single-sample [`ValueTree`] produced by [`Strategy::new_tree`].
+    #[derive(Debug)]
+    pub struct SampleTree<V: Clone>(pub(crate) V);
+
+    impl<V: Clone> ValueTree for SampleTree<V> {
+        type Value = V;
+
+        fn current(&self) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRunner) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            (self.0)(runner)
+        }
+    }
+
+    /// Weighted choice among boxed strategies (see `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` pairs.
+        ///
+        /// # Panics
+        /// Panics if `options` is empty or all weights are zero.
+        #[must_use]
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut r = runner.below(total);
+            for (w, s) in &self.options {
+                let w = u64::from(*w);
+                if r < w {
+                    return s.generate(runner);
+                }
+                r -= w;
+            }
+            unreachable!("weighted draw out of range")
+        }
+    }
+
+    /// Strategy mapping values through a function (see [`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {
+            $(impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + runner.below(span) as $t
+                }
+            })*
+        };
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            // 53 mantissa bits of uniformity is plenty for test inputs.
+            let unit = (runner.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Generate an unconstrained value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            })*
+        };
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for the full range of `T` (see [`any`]).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    /// Strategy generating any value of type `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + runner.below(span) as usize;
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with target size from a range.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> HashSet<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let target = self.size.start + runner.below(span) as usize;
+            let mut out = HashSet::with_capacity(target);
+            // Duplicates from a narrow element domain may keep the set
+            // below target; cap the attempts so generation always halts.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(20) + 16 {
+                out.insert(self.element.generate(runner));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `HashSet` with `size` distinct elements drawn from `element`
+    /// (best-effort when the element domain is small).
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S> {
+        assert!(!size.is_empty(), "empty size range");
+        HashSetStrategy { element, size }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// Strategy yielding `count`-element subsequences (see [`subsequence`]).
+    pub struct SubsequenceStrategy<T: Clone> {
+        values: Vec<T>,
+        count: usize,
+    }
+
+    impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<T> {
+            // Partial Fisher–Yates over the index set, then restore
+            // source order: a subsequence preserves relative order.
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            for i in 0..self.count {
+                let j = i + runner.below((idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..self.count].to_vec();
+            chosen.sort_unstable();
+            chosen.iter().map(|&i| self.values[i].clone()).collect()
+        }
+    }
+
+    /// Strategy choosing a random subsequence of exactly `count` elements
+    /// of `values`, in their original relative order.
+    ///
+    /// # Panics
+    /// Panics if `count > values.len()`.
+    pub fn subsequence<T: Clone>(values: Vec<T>, count: usize) -> SubsequenceStrategy<T> {
+        assert!(
+            count <= values.len(),
+            "subsequence of {count} from {} elements",
+            values.len()
+        );
+        SubsequenceStrategy { values, count }
+    }
+}
+
+/// The usual imports for writing property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?}` != `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}: `{:?}` != `{:?}`", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (does not count as a failure) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Define property-test functions.
+///
+/// Supported form (matching real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(x in 0u64..100, y in any::<u64>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(&config);
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(10).saturating_add(100);
+                while passed < config.cases {
+                    assert!(
+                        attempts < max_attempts,
+                        "proptest: too many rejected cases ({attempts} attempts, {passed} passed)"
+                    );
+                    attempts += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut runner);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed after {passed} passing cases: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+    use crate::test_runner::TestRunner;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 5usize..9) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((5..9).contains(&y));
+        }
+
+        /// Mapping and tuples compose.
+        #[test]
+        fn map_and_tuple(pair in (0u32..10, any::<u64>()).prop_map(|(a, b)| (a + 1, b))) {
+            prop_assert!(pair.0 >= 1 && pair.0 <= 10);
+        }
+
+        /// Assume discards without failing.
+        #[test]
+        fn assume_filters(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x = {}", x);
+        }
+
+        /// oneof draws from every arm eventually.
+        #[test]
+        fn oneof_draws(v in prop_oneof![2 => 0u64..5, 1 => 10u64..15]) {
+            prop_assert!(v < 5 || (10..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn collections_and_subsequence() {
+        let mut runner = TestRunner::deterministic();
+        let v = crate::collection::vec(0u64..100, 5..10).generate(&mut runner);
+        assert!(v.len() >= 5 && v.len() < 10);
+        let s = crate::collection::hash_set(0u64..1000, 3..5).generate(&mut runner);
+        assert!(s.len() >= 3 && s.len() < 5);
+        let sub_strategy = crate::sample::subsequence((0..20usize).collect::<Vec<_>>(), 7);
+        let tree = sub_strategy.new_tree(&mut runner).expect("tree");
+        let sub = ValueTree::current(&tree);
+        assert_eq!(sub.len(), 7);
+        assert!(sub.windows(2).all(|w| w[0] < w[1]), "order preserved");
+    }
+
+    #[test]
+    fn deterministic_runner_replays() {
+        let mut a = TestRunner::deterministic();
+        let mut b = TestRunner::deterministic();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn hopeless_assume_halts() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0u64..10) {
+                prop_assume!(x > 100);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal vendored subset of `serde`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small slice of serde it actually uses: a [`Serialize`] trait that
+//! renders values into an owned [`Value`] tree (consumed by the vendored
+//! `serde_json::to_string_pretty`), plus the derive macro re-export.
+//!
+//! This is intentionally not the real serde data model — no serializer
+//! abstraction, no deserialization — just enough to write benchmark
+//! reports as JSON.
+
+pub use serde_derive::Serialize;
+
+/// An owned JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// A number, stored pre-formatted so integers keep full precision.
+    Number(String),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Render `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+fn float_value(v: f64) -> Value {
+    if !v.is_finite() {
+        // serde_json refuses non-finite floats; `null` is its lossy
+        // stand-in and good enough for report output.
+        return Value::Null;
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        Value::Number(format!("{v:.1}"))
+    } else {
+        Value::Number(format!("{v}"))
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(self.to_string())
+            }
+        })*
+    };
+}
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        float_value(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        float_value(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_keep_full_precision() {
+        let v = u64::MAX.to_value();
+        assert_eq!(v, Value::Number(u64::MAX.to_string()));
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(2.0f64.to_value(), Value::Number("2.0".into()));
+        assert_eq!(0.5f64.to_value(), Value::Number("0.5".into()));
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn options_and_vecs_nest() {
+        let v = vec![Some(1u32), None].to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::Number("1".into()), Value::Null])
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal vendored replacement for the `serde_derive` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the few external crates it uses. This derive supports exactly the shape
+//! the workspace serializes: non-generic structs with named fields. The
+//! generated impl targets the vendored `serde::Serialize` trait, which
+//! renders to the `serde::Value` tree consumed by `serde_json`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip attributes and visibility, find `struct <Name> { ... }`.
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde_derive stub: expected struct name, got {other:?}"),
+                }
+                for rest in iter.by_ref() {
+                    if let TokenTree::Group(g) = &rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                    if let TokenTree::Punct(p) = &rest {
+                        if p.as_char() == '<' {
+                            panic!("serde_derive stub: generic structs are not supported");
+                        }
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde_derive stub: no `struct` item found");
+    let body = body.expect("serde_derive stub: only named-field structs are supported");
+
+    let fields = field_names(body);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        serde::Value::Object(vec![\n"
+    ));
+    for f in &fields {
+        out.push_str(&format!(
+            "            (\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),\n"
+        ));
+    }
+    out.push_str("        ])\n    }\n}\n");
+    out.parse().expect("serde_derive stub: generated impl must parse")
+}
+
+/// Extract field identifiers from a named-field struct body.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) before the field.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                    let _ = iter.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Optional visibility: `pub` or `pub(...)`.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                let _ = iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = iter.next();
+                    }
+                }
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        }
+        // Skip `: Type` up to the next top-level comma. Token trees do not
+        // nest generics, so track angle-bracket depth explicitly.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
