@@ -480,6 +480,31 @@ impl BasicDict {
         (results, disks.end_op(scope))
     }
 
+    /// Test hook: pack every candidate bucket of `key` with dummy records
+    /// (keys `fake_base`, `fake_base + 1`, …) so the next
+    /// [`Self::plan_insert`] of `key` fails with
+    /// [`DictError::BucketOverflow`] — the deterministic stand-in for a
+    /// sampled expander missing its load-balancing parameters.
+    #[cfg(test)]
+    pub(crate) fn saturate_probe_buckets(&self, disks: &mut DiskArray, key: u64, fake_base: u64) {
+        let addrs = self.probe_addrs(key);
+        let blocks = disks.read_batch(&addrs);
+        let mut bufs = self.bucket_bufs(&blocks);
+        let payload = vec![0 as Word; self.cfg.payload_words];
+        let mut fake = fake_base;
+        for buf in &mut bufs {
+            while self.codec.insert(buf, fake, &payload) {
+                fake += 1;
+            }
+        }
+        let bw = disks.block_words();
+        for (i, buf) in bufs.iter().enumerate() {
+            for b in 0..self.blocks_per_bucket {
+                disks.write_block(addrs[i * self.blocks_per_bucket + b], &buf[b * bw..(b + 1) * bw]);
+            }
+        }
+    }
+
     /// Read all live entries of bucket `index` (for global rebuilding's
     /// enumeration). Bucket indices run `0 .. buckets()` in stripe-major
     /// order.

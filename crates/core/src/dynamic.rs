@@ -308,6 +308,16 @@ impl DynamicDict {
     /// observe), and all dirty blocks flush as one planned write batch.
     /// Membership and level-1 blocks for the whole batch are prefetched
     /// in one plan; only deeper-level probes read on demand.
+    ///
+    /// Processing **stops at the first budget error**
+    /// ([`DictError::CapacityExhausted`] / [`DictError::LevelsExhausted`]):
+    /// the returned vector then ends with that error and is shorter than
+    /// `entries`, and no entry past the failed one has been committed.
+    /// This lets a caller (the global-rebuilding [`crate::Dictionary`])
+    /// re-route the failed key *and everything after it* through another
+    /// structure without double-inserting keys this batch already stored.
+    /// Non-budget errors (duplicates, satellite width) are per-key and do
+    /// not stop the batch, exactly as in a sequential loop.
     pub fn insert_batch(
         &mut self,
         disks: &mut DiskArray,
@@ -324,7 +334,15 @@ impl DynamicDict {
         ex.prefetch(&all);
         let mut results = Vec::with_capacity(entries.len());
         for (key, satellite) in entries {
-            results.push(self.insert_staged(&mut ex, *key, satellite));
+            let res = self.insert_staged(&mut ex, *key, satellite);
+            let stop = matches!(
+                res,
+                Err(DictError::CapacityExhausted { .. } | DictError::LevelsExhausted { .. })
+            );
+            results.push(res);
+            if stop {
+                break;
+            }
         }
         let _ = ex.commit();
         (results, disks.end_op(scope))
@@ -377,6 +395,14 @@ impl DynamicDict {
         };
 
         let stripes: Vec<usize> = keep.iter().map(|&(s, _)| s).collect();
+        // Plan the membership record before staging anything: plan_insert
+        // only reads the probe blocks and can still fail (BucketOverflow),
+        // and an aborted key must leave the executor's dirty set untouched
+        // — otherwise orphaned field slots would flush at commit and the
+        // batch would diverge from the sequential path, which discards all
+        // writes on the same error.
+        let mpayload = Self::pack_payload(stripes[0], level);
+        let mwrites = self.membership.plan_insert(key, &[mpayload], &mblocks)?;
         let encoded = self.enc.encode(&stripes, satellite);
         {
             let fa = &self.levels[level].fields;
@@ -386,8 +412,6 @@ impl DynamicDict {
                 ex.stage_write(addrs[s], fblocks[s].clone());
             }
         }
-        let mpayload = Self::pack_payload(stripes[0], level);
-        let mwrites = self.membership.plan_insert(key, &[mpayload], &mblocks)?;
         for (a, img) in mwrites {
             ex.stage_write(a, img);
         }
@@ -519,6 +543,22 @@ impl DynamicDict {
     #[must_use]
     pub fn membership_buckets(&self) -> usize {
         self.membership.buckets()
+    }
+
+    /// Test hook: mark every candidate field of `key` occupied on every
+    /// level, so inserting `key` fails with
+    /// [`DictError::LevelsExhausted`] (the deterministic stand-in for a
+    /// sampled expander missing its unique-neighbor parameters) while
+    /// other keys insert normally.
+    #[cfg(test)]
+    pub(crate) fn exhaust_key_fields(&self, disks: &mut DiskArray, key: u64) {
+        let mut field = vec![0 as Word; self.enc.field_words()];
+        field[0] = 1; // occupied bit; no chain ever links through it
+        for level in 0..self.levels.len() {
+            for pos in self.level_positions(level, key) {
+                self.levels[level].fields.write_field(disks, pos, &field);
+            }
+        }
     }
 }
 
@@ -698,6 +738,40 @@ mod tests {
         }
         assert_eq!(seen.len(), 119);
         assert!(!seen.contains(&ks[0]));
+    }
+
+    #[test]
+    fn insert_batch_stops_at_first_budget_error() {
+        let (mut disks, mut dict) = setup(4, 1, 0.5);
+        let ks = keys(6);
+        let entries: Vec<(u64, Vec<Word>)> = ks.iter().map(|&k| (k, vec![k])).collect();
+        let (res, _) = dict.insert_batch(&mut disks, &entries);
+        assert_eq!(res.len(), 5, "batch must stop at the first budget error");
+        assert!(res[..4].iter().all(Result::is_ok));
+        assert!(matches!(res[4], Err(DictError::CapacityExhausted { .. })));
+        assert_eq!(dict.len(), 4);
+        // The unprocessed suffix was never committed.
+        assert!(!dict.lookup(&mut disks, ks[5]).found());
+    }
+
+    #[test]
+    fn aborted_staged_insert_leaves_nothing_dirty() {
+        // A key whose membership buckets are all full fails plan_insert
+        // *after* its retrieval fields have been chosen; the staged path
+        // must abort without leaving those field blocks in the batch's
+        // dirty set, or commit would flush occupied slots with no owning
+        // membership record.
+        let (mut disks, mut dict) = setup(100, 1, 0.5);
+        let victim = 0x5EED_u64;
+        dict.membership
+            .saturate_probe_buckets(&mut disks, victim, 1 << 40);
+        let mut ex = BatchExecutor::new(&mut disks);
+        let res = dict.insert_staged(&mut ex, victim, &[7]);
+        assert!(matches!(res, Err(DictError::BucketOverflow { .. })));
+        assert_eq!(ex.staged_writes(), 0, "aborted insert staged writes");
+        drop(ex);
+        assert_eq!(dict.len(), 0);
+        assert!(!dict.lookup(&mut disks, victim).found());
     }
 
     #[test]

@@ -198,6 +198,13 @@ impl Dictionary {
     /// already in flight) keys fall back to the sequential path one at a
     /// time, which starts the replacement and preserves the
     /// per-operation migration pacing (`MIGRATE_BUCKETS_PER_OP`).
+    ///
+    /// Correctness of the fallback relies on [`DynamicDict::insert_batch`]
+    /// **stopping at the first budget error**: the failed key and its
+    /// successors are guaranteed uncommitted, so re-routing them through
+    /// the sequential path can never re-insert a key the batch already
+    /// stored (which would surface as a spurious
+    /// [`DictError::DuplicateKey`]).
     pub fn insert_batch(&mut self, entries: &[(u64, Vec<Word>)]) -> (Vec<Result<(), DictError>>, OpCost) {
         let scope = self.disks.begin_op();
         let mut results: Vec<Result<(), DictError>> = Vec::with_capacity(entries.len());
@@ -215,9 +222,10 @@ impl Dictionary {
             let mut consumed = 0;
             for r in res {
                 match r {
-                    // Out of budget: stop here; this key and its
-                    // successors re-route through the sequential path,
-                    // which starts the replacement.
+                    // Out of budget: the batch stopped here without
+                    // committing this key or any successor, so they all
+                    // safely re-route through the sequential path, which
+                    // starts the replacement.
                     Err(
                         DictError::CapacityExhausted { .. } | DictError::LevelsExhausted { .. },
                     ) => break,
@@ -498,6 +506,39 @@ mod tests {
             lookup_worst = lookup_worst.max(dict.lookup(k).cost.parallel_ios);
         }
         assert!(lookup_worst <= 4, "lookup worst {lookup_worst}");
+    }
+
+    #[test]
+    fn batch_budget_error_does_not_double_insert_successors() {
+        // A key whose retrieval fields are exhausted (the deterministic
+        // stand-in for a sampled-expander local failure) makes the active
+        // structure fail with LevelsExhausted mid-batch. The batch stops
+        // there, so the wrapper re-routes the failed key and its
+        // successors through the rebuild path; none of them were
+        // committed by the batch, so none may come back as a spurious
+        // DuplicateKey or end up stored twice.
+        let mut dict = Dictionary::new(params(64, 1), 64).unwrap();
+        let victim = 1_000u64;
+        dict.active.exhaust_key_fields(&mut dict.disks, victim);
+        for k in 0..10u64 {
+            dict.insert(k, &[k]).unwrap();
+        }
+        assert!(!dict.is_rebuilding());
+        let mut batch: Vec<(u64, Vec<Word>)> = vec![(victim, vec![victim])];
+        batch.extend((2_000..2_020u64).map(|k| (k, vec![k])));
+        let (res, _) = dict.insert_batch(&batch);
+        assert_eq!(res.len(), batch.len());
+        for (i, r) in res.iter().enumerate() {
+            assert!(r.is_ok(), "fresh key {} rejected: {r:?}", batch[i].0);
+        }
+        assert!(dict.rebuilds() > 0 || dict.is_rebuilding(), "victim must have forced a rebuild");
+        assert_eq!(dict.len(), 10 + batch.len());
+        for (k, sat) in &batch {
+            assert_eq!(dict.lookup(*k).satellite, Some(sat.clone()), "key {k}");
+        }
+        for k in 0..10u64 {
+            assert_eq!(dict.lookup(k).satellite, Some(vec![k]), "pre-key {k}");
+        }
     }
 
     #[test]

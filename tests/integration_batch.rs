@@ -4,6 +4,14 @@
 //! lower bound and the sequential sum. `insert_batch` must leave the
 //! structure in the same state as a sequential insertion loop —
 //! including per-key error reporting for duplicates.
+//!
+//! Caveat: the vendored `proptest` stand-in (see `vendor/proptest`)
+//! draws cases from a fixed-seed deterministic stream with no shrinking
+//! or persistence, so by default every run replays the *identical* case
+//! set — these properties are a reproducible corpus, not an ongoing
+//! search for new inputs. Set `PROPTEST_SEED=<u64>` to explore a
+//! different corpus (CI can rotate it); any failure replays exactly
+//! under the seed that produced it.
 
 use pdm::{BatchPlan, BlockAddr, DiskArray, PdmConfig, Word};
 use pdm_dict::basic::{BasicDict, BasicDictConfig};

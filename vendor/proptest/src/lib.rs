@@ -13,6 +13,15 @@
 //! no persistence files) and failing cases are reported without
 //! shrinking. For a reproduction codebase, deterministic replay matters
 //! more than minimal counterexamples.
+//!
+//! The flip side of the fixed seed is that every run explores the
+//! *identical* case set — the property suites are a reproducible corpus,
+//! not an ongoing search for new inputs. Set `PROPTEST_SEED=<u64>`
+//! (decimal or `0x`-hex) to drive the stream from a different seed and
+//! explore a fresh corpus; a failure then reports under a seed that
+//! replays it exactly. To restore the real `proptest` (shrinking,
+//! persistence, a per-run RNG), see the dependency notes in the
+//! workspace `Cargo.toml`.
 
 /// Test-case driving: runner, config, and case-level errors.
 pub mod test_runner {
@@ -63,24 +72,60 @@ pub mod test_runner {
     /// replay without persistence files.
     const SEED: u64 = 0x5EED_0F0A_11CA_5E00;
 
+    /// The seed driving [`TestRunner::new`]: `PROPTEST_SEED` (decimal or
+    /// `0x`-hex) when set, else the fixed default — so CI can vary the
+    /// explored corpus while plain runs stay fully deterministic.
+    ///
+    /// # Panics
+    /// Panics when `PROPTEST_SEED` is set but not a valid `u64`, rather
+    /// than silently falling back to the default corpus.
+    fn seed_from_env() -> u64 {
+        let Ok(raw) = std::env::var("PROPTEST_SEED") else {
+            return SEED;
+        };
+        let s = raw.trim();
+        let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        match parsed {
+            Ok(seed) => seed,
+            Err(_) => panic!("PROPTEST_SEED must be a u64 (decimal or 0x-hex), got {s:?}"),
+        }
+    }
+
     /// Deterministic random source feeding strategy generation.
     #[derive(Debug)]
     pub struct TestRunner {
         state: u64,
+        seed: u64,
     }
 
     impl TestRunner {
         /// Runner for `config` (deterministic; the config only sets the
-        /// case count, which the `proptest!` macro reads directly).
+        /// case count, which the `proptest!` macro reads directly). The
+        /// stream seed comes from the `PROPTEST_SEED` environment
+        /// variable when set (decimal or `0x`-hex), else a fixed default.
         #[must_use]
         pub fn new(_config: &ProptestConfig) -> Self {
-            TestRunner { state: SEED }
+            let seed = seed_from_env();
+            TestRunner { state: seed, seed }
         }
 
         /// Runner with a fixed seed, for explicit `new_tree` use.
         #[must_use]
         pub fn deterministic() -> Self {
-            TestRunner { state: SEED }
+            TestRunner {
+                state: SEED,
+                seed: SEED,
+            }
+        }
+
+        /// The seed this runner's stream started from (reported on
+        /// failure so any corpus replays exactly).
+        #[must_use]
+        pub fn seed(&self) -> u64 {
+            self.seed
         }
 
         /// Next raw 64-bit value (splitmix64).
@@ -554,7 +599,11 @@ macro_rules! __proptest_impl {
                         ::std::result::Result::Ok(()) => passed += 1,
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
-                            panic!("proptest case failed after {passed} passing cases: {msg}");
+                            panic!(
+                                "proptest case failed after {passed} passing cases \
+                                 (replay with PROPTEST_SEED={:#x}): {msg}",
+                                runner.seed(),
+                            );
                         }
                     }
                 }
@@ -620,6 +669,24 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn env_seed_changes_the_stream() {
+        // Every property in this workspace must hold for any seed, so a
+        // concurrently running proptest! test observing the temporary
+        // seed is harmless.
+        let cfg = ProptestConfig::default();
+        let default_first = TestRunner::new(&cfg).next_u64();
+        std::env::set_var("PROPTEST_SEED", "12345");
+        let decimal_first = TestRunner::new(&cfg).next_u64();
+        std::env::set_var("PROPTEST_SEED", "0x3039"); // 12345
+        let hex_first = TestRunner::new(&cfg).next_u64();
+        std::env::remove_var("PROPTEST_SEED");
+        let restored_first = TestRunner::new(&cfg).next_u64();
+        assert_eq!(decimal_first, hex_first, "decimal and hex parse alike");
+        assert_ne!(default_first, decimal_first, "seed must change the stream");
+        assert_eq!(default_first, restored_first, "default seed restored");
     }
 
     #[test]
