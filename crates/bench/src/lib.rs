@@ -14,6 +14,7 @@
 //! | `filesystem_motivation` | Section 1.2 — B-tree vs dictionary |
 //! | `ablation_k_choice` | ablation: degree `d` and items-per-key `k` |
 //! | `ablation_expansion` | ablation: expander quality vs dictionary cost |
+//! | `workload_replay` | observability: guarantees read off exported metrics |
 //!
 //! Criterion benches (`cargo bench -p bench`) measure wall-clock time of
 //! the same structures; the binaries measure **parallel I/Os**, the

@@ -17,10 +17,11 @@
 
 use crate::config::DictParams;
 use crate::rebuild::Dictionary;
-use crate::traits::{DictError, LookupOutcome};
+use crate::traits::{Dict, DictError, LookupOutcome, OpRecorder};
 use expander::seeded::mix64;
+use pdm::metrics::{IoMetricsSink, MetricsRegistry};
 use pdm::{OpCost, Word};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Lock a shard, recovering from poisoning.
 ///
@@ -60,6 +61,7 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct ShardedDictionary {
     shards: Vec<Mutex<Dictionary>>,
     route_seed: u64,
+    metrics: Option<OpRecorder>,
 }
 
 impl ShardedDictionary {
@@ -78,6 +80,7 @@ impl ShardedDictionary {
         Ok(ShardedDictionary {
             shards: v,
             route_seed: params.seed ^ 0x5AAD_ED00,
+            metrics: None,
         })
     }
 
@@ -189,6 +192,102 @@ impl ShardedDictionary {
             .iter()
             .map(|s| lock(s).io_stats().parallel_ios)
             .sum()
+    }
+
+    /// Sum of shard capacities.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).capacity()).sum()
+    }
+}
+
+impl Dict for ShardedDictionary {
+    fn kind(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn len(&self) -> usize {
+        ShardedDictionary::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        ShardedDictionary::capacity(self)
+    }
+
+    fn lookup(&mut self, key: u64) -> LookupOutcome {
+        let out = ShardedDictionary::lookup(self, key);
+        if let Some(m) = &self.metrics {
+            m.record_lookup(&out);
+        }
+        out
+    }
+
+    fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<OpCost, DictError> {
+        let result = ShardedDictionary::insert(self, key, satellite);
+        if let Some(m) = &self.metrics {
+            m.record_insert(&result);
+        }
+        result
+    }
+
+    fn delete(&mut self, key: u64) -> Result<(bool, OpCost), DictError> {
+        let result = ShardedDictionary::delete(self, key);
+        if let Some(m) = &self.metrics {
+            m.record_delete(&result);
+        }
+        result
+    }
+
+    fn lookup_batch(&mut self, keys: &[u64]) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        let (results, cost) = ShardedDictionary::lookup_batch(self, keys);
+        if let Some(m) = &self.metrics {
+            m.record_lookup_batch(keys.len(), cost);
+        }
+        (results, cost)
+    }
+
+    fn insert_batch(&mut self, entries: &[(u64, Vec<Word>)]) -> (Vec<Result<(), DictError>>, OpCost) {
+        let (results, cost) = ShardedDictionary::insert_batch(self, entries);
+        if let Some(m) = &self.metrics {
+            m.record_insert_batch(entries.len(), cost);
+        }
+        (results, cost)
+    }
+
+    /// Installs one [`IoMetricsSink`] per shard on the shard's disk array
+    /// (all shards share the registry, so per-disk counters aggregate
+    /// across shards by disk index) and records per-op costs under
+    /// `dict = "sharded"`. The shard `Dictionary`s' own recorders stay
+    /// uninstalled — ops are counted once, at the front the caller used.
+    fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {
+        match registry {
+            Some(registry) => {
+                for shard in &self.shards {
+                    let mut d = lock(shard);
+                    let disks = d.disks().disks();
+                    d.set_io_sink(Some(Arc::new(IoMetricsSink::new(&registry, disks))));
+                }
+                self.metrics = Some(OpRecorder::new(registry, "sharded"));
+            }
+            None => {
+                for shard in &self.shards {
+                    lock(shard).set_io_sink(None);
+                }
+                self.metrics = None;
+            }
+        }
+    }
+
+    fn refresh_gauges(&mut self) {
+        let Some(m) = &self.metrics else { return };
+        m.set_shape(
+            "sharded",
+            ShardedDictionary::len(self),
+            ShardedDictionary::capacity(self),
+        );
+        m.registry
+            .gauge("dict_shards", &[("dict", "sharded")])
+            .set(self.shards.len() as i64);
     }
 }
 

@@ -26,6 +26,15 @@ pub struct DictParams {
 }
 
 impl DictParams {
+    /// Smallest initial capacity the global-rebuilding wrapper
+    /// ([`crate::Dictionary`]) supports. Below this floor the `2·live`
+    /// replacement built mid-rebuild is so small that migrating keys plus
+    /// concurrent inserts exhaust it before the migration completes, and
+    /// inserts fail with a mid-rebuild `CapacityExhausted`.
+    /// [`DictParams::validate_rebuild_capacity`] rejects such parameters up
+    /// front instead.
+    pub const MIN_REBUILD_CAPACITY: usize = 16;
+
     /// Sensible defaults for `capacity` keys from a universe of size
     /// `universe`, with `satellite_words` words of data per key.
     #[must_use]
@@ -120,6 +129,24 @@ impl DictParams {
             return Err(crate::traits::DictError::UnsupportedParams(format!(
                 "capacity {} exceeds universe {}",
                 self.capacity, self.universe
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validate the global-rebuilding wrapper's capacity floor
+    /// ([`DictParams::MIN_REBUILD_CAPACITY`]).
+    ///
+    /// # Errors
+    /// Returns [`DictError`](crate::traits::DictError)`::UnsupportedParams`
+    /// for capacities that would later fail mid-rebuild.
+    pub fn validate_rebuild_capacity(&self) -> Result<(), crate::traits::DictError> {
+        if self.capacity < Self::MIN_REBUILD_CAPACITY {
+            return Err(crate::traits::DictError::UnsupportedParams(format!(
+                "global rebuilding needs an initial capacity of at least {} (got {}): \
+                 smaller replacements fill up before their migration completes",
+                Self::MIN_REBUILD_CAPACITY,
+                self.capacity
             )));
         }
         Ok(())

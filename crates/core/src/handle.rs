@@ -1,0 +1,425 @@
+//! Adapters presenting the externally-disked front-ends through the unified
+//! [`Dict`] trait.
+//!
+//! `BasicDict`, `DynamicDict`, `OneProbeStatic`, and `WideDict` take their
+//! [`DiskArray`] as an explicit argument on every call — the right shape for
+//! composition (the rebuild wrapper runs two structures on one array), but
+//! not object-safe. [`DictHandle`] pairs one such structure with an owned
+//! array and implements [`Dict`] once, generically, over the small
+//! [`RawDict`] vocabulary each front-end supplies. Metrics recording lives
+//! here too, so every front-end is instrumented by the same code path.
+
+use crate::basic::BasicDict;
+use crate::dynamic::DynamicDict;
+use crate::one_probe::OneProbeStatic;
+use crate::traits::{Dict, DictError, LookupOutcome, OpRecorder};
+use crate::wide::WideDict;
+use expander::NeighborFn;
+use pdm::metrics::{IoMetricsSink, MetricsRegistry};
+use pdm::{DiskArray, OpCost, Word};
+use std::sync::Arc;
+
+/// The per-front-end vocabulary [`DictHandle`] adapts to [`Dict`].
+///
+/// Mirrors the front-ends' inherent methods with the [`DiskArray`] passed
+/// explicitly; the handle owns the array and threads it through. Batch
+/// methods default to sequential loops so front-ends without a native batch
+/// engine (currently `WideDict`) participate unchanged.
+pub trait RawDict {
+    /// Stable front-end tag; see [`Dict::kind`].
+    fn raw_kind(&self) -> &'static str;
+
+    /// Keys stored.
+    fn raw_len(&self) -> usize;
+
+    /// Maximum keys (built key-set size for static structures).
+    fn raw_capacity(&self) -> usize;
+
+    /// Look up `key` on `disks`.
+    fn raw_lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome;
+
+    /// Insert `key` on `disks`.
+    ///
+    /// # Errors
+    /// See [`DictError`].
+    fn raw_insert(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+        satellite: &[Word],
+    ) -> Result<OpCost, DictError>;
+
+    /// Delete `key` on `disks`.
+    ///
+    /// # Errors
+    /// Static structures report [`DictError::UnsupportedParams`].
+    fn raw_delete(&mut self, disks: &mut DiskArray, key: u64)
+        -> Result<(bool, OpCost), DictError>;
+
+    /// Batched lookup; defaults to a sequential loop.
+    fn raw_lookup_batch(
+        &self,
+        disks: &mut DiskArray,
+        keys: &[u64],
+    ) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        let mut results = Vec::with_capacity(keys.len());
+        let mut cost = OpCost::default();
+        for &key in keys {
+            let out = self.raw_lookup(disks, key);
+            cost = cost.plus(out.cost);
+            results.push(out.satellite);
+        }
+        (results, cost)
+    }
+
+    /// Batched insert; defaults to a sequential loop.
+    fn raw_insert_batch(
+        &mut self,
+        disks: &mut DiskArray,
+        entries: &[(u64, Vec<Word>)],
+    ) -> (Vec<Result<(), DictError>>, OpCost) {
+        let mut results = Vec::with_capacity(entries.len());
+        let mut cost = OpCost::default();
+        for (key, satellite) in entries {
+            match self.raw_insert(disks, *key, satellite) {
+                Ok(c) => {
+                    cost = cost.plus(c);
+                    results.push(Ok(()));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        (results, cost)
+    }
+
+    /// Report front-end-specific shape gauges as `(name, value)` pairs
+    /// (e.g. `BasicDict`'s `max_bucket_load`, the quantity Lemma 3 bounds).
+    /// Reads must be free (peeks), not charged I/O.
+    fn raw_gauges(&self, disks: &DiskArray, out: &mut Vec<(&'static str, u64)>) {
+        let _ = (disks, out);
+    }
+}
+
+impl RawDict for BasicDict {
+    fn raw_kind(&self) -> &'static str {
+        "basic"
+    }
+    fn raw_len(&self) -> usize {
+        self.len()
+    }
+    fn raw_capacity(&self) -> usize {
+        self.config().capacity
+    }
+    fn raw_lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
+        self.lookup(disks, key)
+    }
+    fn raw_insert(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+        satellite: &[Word],
+    ) -> Result<OpCost, DictError> {
+        self.insert(disks, key, satellite)
+    }
+    fn raw_delete(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+    ) -> Result<(bool, OpCost), DictError> {
+        Ok(self.delete(disks, key))
+    }
+    fn raw_lookup_batch(
+        &self,
+        disks: &mut DiskArray,
+        keys: &[u64],
+    ) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        self.lookup_batch(disks, keys)
+    }
+    fn raw_insert_batch(
+        &mut self,
+        disks: &mut DiskArray,
+        entries: &[(u64, Vec<Word>)],
+    ) -> (Vec<Result<(), DictError>>, OpCost) {
+        self.insert_batch(disks, entries)
+    }
+    fn raw_gauges(&self, disks: &DiskArray, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("max_bucket_load", self.max_load_peek(disks) as u64));
+        out.push(("buckets", self.buckets() as u64));
+    }
+}
+
+impl RawDict for DynamicDict {
+    fn raw_kind(&self) -> &'static str {
+        "dynamic"
+    }
+    fn raw_len(&self) -> usize {
+        self.len()
+    }
+    fn raw_capacity(&self) -> usize {
+        self.capacity()
+    }
+    fn raw_lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
+        self.lookup(disks, key)
+    }
+    fn raw_insert(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+        satellite: &[Word],
+    ) -> Result<OpCost, DictError> {
+        self.insert(disks, key, satellite)
+    }
+    fn raw_delete(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+    ) -> Result<(bool, OpCost), DictError> {
+        Ok(self.delete(disks, key))
+    }
+    fn raw_lookup_batch(
+        &self,
+        disks: &mut DiskArray,
+        keys: &[u64],
+    ) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        self.lookup_batch(disks, keys)
+    }
+    fn raw_insert_batch(
+        &mut self,
+        disks: &mut DiskArray,
+        entries: &[(u64, Vec<Word>)],
+    ) -> (Vec<Result<(), DictError>>, OpCost) {
+        self.insert_batch(disks, entries)
+    }
+    fn raw_gauges(&self, _disks: &DiskArray, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("levels", self.num_levels() as u64));
+        out.push(("insertions", self.insertions() as u64));
+    }
+}
+
+impl<G: NeighborFn> RawDict for OneProbeStatic<G> {
+    fn raw_kind(&self) -> &'static str {
+        "one_probe"
+    }
+    fn raw_len(&self) -> usize {
+        self.len()
+    }
+    fn raw_capacity(&self) -> usize {
+        self.len()
+    }
+    fn raw_lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
+        self.lookup(disks, key)
+    }
+    fn raw_insert(
+        &mut self,
+        _disks: &mut DiskArray,
+        _key: u64,
+        _satellite: &[Word],
+    ) -> Result<OpCost, DictError> {
+        Err(DictError::UnsupportedParams(
+            "OneProbeStatic is a static structure; rebuild it to change the key set".to_string(),
+        ))
+    }
+    fn raw_delete(
+        &mut self,
+        _disks: &mut DiskArray,
+        _key: u64,
+    ) -> Result<(bool, OpCost), DictError> {
+        Err(DictError::UnsupportedParams(
+            "OneProbeStatic is a static structure; rebuild it to change the key set".to_string(),
+        ))
+    }
+    fn raw_lookup_batch(
+        &self,
+        disks: &mut DiskArray,
+        keys: &[u64],
+    ) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        self.lookup_batch(disks, keys)
+    }
+}
+
+impl RawDict for WideDict {
+    fn raw_kind(&self) -> &'static str {
+        "wide"
+    }
+    fn raw_len(&self) -> usize {
+        self.len()
+    }
+    fn raw_capacity(&self) -> usize {
+        self.capacity()
+    }
+    fn raw_lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
+        self.lookup(disks, key)
+    }
+    fn raw_insert(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+        satellite: &[Word],
+    ) -> Result<OpCost, DictError> {
+        self.insert(disks, key, satellite)
+    }
+    fn raw_delete(
+        &mut self,
+        disks: &mut DiskArray,
+        key: u64,
+    ) -> Result<(bool, OpCost), DictError> {
+        Ok(self.delete(disks, key))
+    }
+    fn raw_gauges(&self, _disks: &DiskArray, out: &mut Vec<(&'static str, u64)>) {
+        out.push(("bandwidth_words", self.bandwidth_words() as u64));
+    }
+}
+
+/// A front-end paired with its owned [`DiskArray`], presenting [`Dict`].
+///
+/// ```
+/// use pdm::{DiskArray, PdmConfig};
+/// use pdm_dict::basic::BasicDictConfig;
+/// use pdm_dict::layout::DiskAllocator;
+/// use pdm_dict::{BasicDict, Dict, DictHandle};
+///
+/// let mut disks = DiskArray::new(PdmConfig::new(8, 32), 64);
+/// let mut alloc = DiskAllocator::new(disks.disks());
+/// let cfg = BasicDictConfig::log_load(128, 1 << 20, 8, 1, 42);
+/// let dict = BasicDict::create(&mut disks, &mut alloc, 0, cfg).unwrap();
+/// let mut handle = DictHandle::new(dict, disks);
+/// let dyn_dict: &mut dyn Dict = &mut handle;
+/// dyn_dict.insert(7, &[99]).unwrap();
+/// assert_eq!(dyn_dict.lookup(7).satellite, Some(vec![99]));
+/// ```
+#[derive(Debug)]
+pub struct DictHandle<T: RawDict> {
+    dict: T,
+    disks: DiskArray,
+    metrics: Option<OpRecorder>,
+}
+
+/// [`BasicDict`] behind the unified trait.
+pub type BasicHandle = DictHandle<BasicDict>;
+/// [`DynamicDict`] behind the unified trait.
+pub type DynamicHandle = DictHandle<DynamicDict>;
+/// [`OneProbeStatic`] behind the unified trait.
+pub type OneProbeHandle = DictHandle<OneProbeStatic>;
+/// [`WideDict`] behind the unified trait.
+pub type WideHandle = DictHandle<WideDict>;
+
+impl<T: RawDict> DictHandle<T> {
+    /// Pair `dict` with the `disks` it was created on.
+    #[must_use]
+    pub fn new(dict: T, disks: DiskArray) -> Self {
+        DictHandle {
+            dict,
+            disks,
+            metrics: None,
+        }
+    }
+
+    /// The wrapped front-end.
+    #[must_use]
+    pub fn dict(&self) -> &T {
+        &self.dict
+    }
+
+    /// The owned disk array.
+    #[must_use]
+    pub fn disk_array(&self) -> &DiskArray {
+        &self.disks
+    }
+
+    /// Split back into the front-end and its array.
+    #[must_use]
+    pub fn into_parts(self) -> (T, DiskArray) {
+        (self.dict, self.disks)
+    }
+}
+
+impl<T: RawDict> Dict for DictHandle<T> {
+    fn kind(&self) -> &'static str {
+        self.dict.raw_kind()
+    }
+
+    fn len(&self) -> usize {
+        self.dict.raw_len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.dict.raw_capacity()
+    }
+
+    fn lookup(&mut self, key: u64) -> LookupOutcome {
+        let out = self.dict.raw_lookup(&mut self.disks, key);
+        if let Some(m) = &self.metrics {
+            m.record_lookup(&out);
+        }
+        out
+    }
+
+    fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<OpCost, DictError> {
+        let result = self.dict.raw_insert(&mut self.disks, key, satellite);
+        if let Some(m) = &self.metrics {
+            m.record_insert(&result);
+        }
+        result
+    }
+
+    fn delete(&mut self, key: u64) -> Result<(bool, OpCost), DictError> {
+        let result = self.dict.raw_delete(&mut self.disks, key);
+        if let Some(m) = &self.metrics {
+            m.record_delete(&result);
+        }
+        result
+    }
+
+    fn lookup_batch(&mut self, keys: &[u64]) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        let (results, cost) = self.dict.raw_lookup_batch(&mut self.disks, keys);
+        if let Some(m) = &self.metrics {
+            m.record_lookup_batch(keys.len(), cost);
+        }
+        (results, cost)
+    }
+
+    fn insert_batch(&mut self, entries: &[(u64, Vec<Word>)]) -> (Vec<Result<(), DictError>>, OpCost) {
+        let (results, cost) = self.dict.raw_insert_batch(&mut self.disks, entries);
+        if let Some(m) = &self.metrics {
+            m.record_insert_batch(entries.len(), cost);
+        }
+        (results, cost)
+    }
+
+    fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {
+        match registry {
+            Some(registry) => {
+                self.disks.set_io_sink(Some(Arc::new(IoMetricsSink::new(
+                    &registry,
+                    self.disks.disks(),
+                ))));
+                self.metrics = Some(OpRecorder::new(registry, self.dict.raw_kind()));
+            }
+            None => {
+                self.disks.set_io_sink(None);
+                self.metrics = None;
+            }
+        }
+    }
+
+    fn refresh_gauges(&mut self) {
+        let Some(m) = &self.metrics else { return };
+        let kind = self.dict.raw_kind();
+        m.set_shape(kind, self.dict.raw_len(), self.dict.raw_capacity());
+        let mut extra = Vec::new();
+        self.dict.raw_gauges(&self.disks, &mut extra);
+        for (name, value) in extra {
+            m.registry
+                .gauge(&format!("dict_{name}"), &[("dict", kind)])
+                .set(value as i64);
+        }
+    }
+
+    fn disks(&self) -> Option<&DiskArray> {
+        Some(&self.disks)
+    }
+
+    fn disks_mut(&mut self) -> Option<&mut DiskArray> {
+        Some(&mut self.disks)
+    }
+}

@@ -65,6 +65,7 @@ pub mod config;
 pub mod dynamic;
 pub mod fields;
 pub mod fs;
+pub mod handle;
 pub mod layout;
 pub mod micro;
 pub mod multi;
@@ -78,8 +79,9 @@ pub use concurrent::ShardedDictionary;
 pub use config::DictParams;
 pub use dynamic::DynamicDict;
 pub use fs::PdmFileSystem;
+pub use handle::{BasicHandle, DictHandle, DynamicHandle, OneProbeHandle, RawDict, WideHandle};
 pub use multi::ParallelInstances;
 pub use one_probe::OneProbeStatic;
 pub use rebuild::Dictionary;
-pub use traits::{DictError, LookupOutcome};
+pub use traits::{Dict, DictError, ErrorKind, LookupOutcome};
 pub use wide::WideDict;

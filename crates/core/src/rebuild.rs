@@ -27,8 +27,10 @@
 use crate::config::DictParams;
 use crate::dynamic::DynamicDict;
 use crate::layout::DiskAllocator;
-use crate::traits::{DictError, LookupOutcome};
+use crate::traits::{Dict, DictError, LookupOutcome, OpRecorder};
+use pdm::metrics::{Counter, Gauge, Histogram, IoMetricsSink, MetricsRegistry};
 use pdm::{DiskArray, IoStats, OpCost, PdmConfig, Word};
+use std::sync::Arc;
 
 /// Buckets migrated per operation during a rebuild. Each bucket holds
 /// `Θ(log n)` keys, so this finishes a rebuild after `O(v / RATE)` =
@@ -63,6 +65,22 @@ pub struct Dictionary {
     building: Option<Building>,
     min_capacity: usize,
     rebuilds: usize,
+    metrics: Option<RebuildMetrics>,
+}
+
+/// Pre-resolved metric handles for the rebuild wrapper: the shared per-op
+/// recorder plus rebuild-pacing instruments.
+#[derive(Debug, Clone)]
+struct RebuildMetrics {
+    recorder: OpRecorder,
+    /// Counter of completed rebuilds (`dict_rebuilds_total`).
+    rebuilds: Arc<Counter>,
+    /// Histogram of keys migrated per operation (`dict_migrated_keys_per_op`)
+    /// — the pacing knob `MIGRATE_BUCKETS_PER_OP` controls. The paper's
+    /// worst-case spreading argument is exactly that this stays `O(log n)`.
+    migrated_per_op: Arc<Histogram>,
+    /// 1 while a rebuild is in flight (`dict_rebuild_active`).
+    active: Arc<Gauge>,
 }
 
 #[derive(Debug)]
@@ -79,7 +97,17 @@ impl Dictionary {
     /// Create a dictionary with `block_words`-word blocks. `params`
     /// supplies the universe, satellite width, degree, ɛ and the *initial*
     /// capacity (the structure grows past it by rebuilding).
+    ///
+    /// # Errors
+    /// Returns [`DictError::UnsupportedParams`] when
+    /// `params.capacity < DictParams::MIN_REBUILD_CAPACITY`: below that
+    /// floor the replacement structure built mid-rebuild is too small to
+    /// absorb the keys still migrating plus concurrent traffic, and inserts
+    /// fail mid-rebuild with a confusing `CapacityExhausted` (the known
+    /// floor from the batch-engine work). Rejecting the parameters up front
+    /// turns that latent failure into an immediate, actionable error.
     pub fn new(params: DictParams, block_words: usize) -> Result<Self, DictError> {
+        params.validate_rebuild_capacity()?;
         let d = params.degree;
         let cfg = PdmConfig::new(4 * d, block_words);
         let mut disks = DiskArray::new(cfg, 0);
@@ -93,7 +121,15 @@ impl Dictionary {
             building: None,
             min_capacity: params.capacity,
             rebuilds: 0,
+            metrics: None,
         })
+    }
+
+    /// Install (or remove) an I/O event sink on the owned disk array —
+    /// used by [`crate::ShardedDictionary`] to hook its shards' disks into
+    /// one registry without duplicating per-op recording.
+    pub fn set_io_sink(&mut self, sink: Option<Arc<dyn pdm::metrics::IoEventSink>>) {
+        self.disks.set_io_sink(sink);
     }
 
     /// Live keys.
@@ -353,6 +389,7 @@ impl Dictionary {
         let Some(mut b) = self.building.take() else {
             return Ok(());
         };
+        let copied_before = b.copied;
         let total = self.active.membership_buckets();
         for _ in 0..MIGRATE_BUCKETS_PER_OP {
             if b.cursor >= total {
@@ -372,7 +409,15 @@ impl Dictionary {
                 b.copied += 1;
             }
         }
-        if b.cursor >= total {
+        let finished = b.cursor >= total;
+        if let Some(m) = &self.metrics {
+            m.migrated_per_op.observe((b.copied - copied_before) as u64);
+            if finished {
+                m.rebuilds.inc();
+            }
+            m.active.set(i64::from(!finished));
+        }
+        if finished {
             // Swap: the replacement becomes active; the old slot is
             // abandoned (space accounting notes live structures only).
             self.active = b.dict;
@@ -392,6 +437,101 @@ impl Dictionary {
             s += b.dict.space_words(&self.disks);
         }
         s
+    }
+}
+
+impl Dict for Dictionary {
+    fn kind(&self) -> &'static str {
+        "rebuild"
+    }
+
+    fn len(&self) -> usize {
+        Dictionary::len(self)
+    }
+
+    fn capacity(&self) -> usize {
+        Dictionary::capacity(self)
+    }
+
+    fn lookup(&mut self, key: u64) -> LookupOutcome {
+        let out = Dictionary::lookup(self, key);
+        if let Some(m) = &self.metrics {
+            m.recorder.record_lookup(&out);
+        }
+        out
+    }
+
+    fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<OpCost, DictError> {
+        let result = Dictionary::insert(self, key, satellite);
+        if let Some(m) = &self.metrics {
+            m.recorder.record_insert(&result);
+        }
+        result
+    }
+
+    fn delete(&mut self, key: u64) -> Result<(bool, OpCost), DictError> {
+        let result = Dictionary::delete(self, key);
+        if let Some(m) = &self.metrics {
+            m.recorder.record_delete(&result);
+        }
+        result
+    }
+
+    fn lookup_batch(&mut self, keys: &[u64]) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        let (results, cost) = Dictionary::lookup_batch(self, keys);
+        if let Some(m) = &self.metrics {
+            m.recorder.record_lookup_batch(keys.len(), cost);
+        }
+        (results, cost)
+    }
+
+    fn insert_batch(&mut self, entries: &[(u64, Vec<Word>)]) -> (Vec<Result<(), DictError>>, OpCost) {
+        let (results, cost) = Dictionary::insert_batch(self, entries);
+        if let Some(m) = &self.metrics {
+            m.recorder.record_insert_batch(entries.len(), cost);
+        }
+        (results, cost)
+    }
+
+    fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {
+        match registry {
+            Some(registry) => {
+                self.disks.set_io_sink(Some(Arc::new(IoMetricsSink::new(
+                    &registry,
+                    self.disks.disks(),
+                ))));
+                self.metrics = Some(RebuildMetrics {
+                    recorder: OpRecorder::new(registry.clone(), "rebuild"),
+                    rebuilds: registry.counter("dict_rebuilds_total", &[("dict", "rebuild")]),
+                    migrated_per_op: registry
+                        .histogram("dict_migrated_keys_per_op", &[("dict", "rebuild")]),
+                    active: registry.gauge("dict_rebuild_active", &[("dict", "rebuild")]),
+                });
+            }
+            None => {
+                self.disks.set_io_sink(None);
+                self.metrics = None;
+            }
+        }
+    }
+
+    fn refresh_gauges(&mut self) {
+        let Some(m) = &self.metrics else { return };
+        m.recorder
+            .set_shape("rebuild", Dictionary::len(self), Dictionary::capacity(self));
+        m.active.set(i64::from(self.is_rebuilding()));
+        m.recorder
+            .registry
+            .gauge("dict_levels", &[("dict", "rebuild")])
+            .set(self.active.num_levels() as i64);
+    }
+
+    fn disks(&self) -> Option<&DiskArray> {
+        Some(&self.disks)
+    }
+
+    fn disks_mut(&mut self) -> Option<&mut DiskArray> {
+        Some(&mut self.disks)
     }
 }
 

@@ -1,6 +1,9 @@
-//! Common result and error types for the dictionaries.
+//! Common result and error types for the dictionaries, and the unified
+//! object-safe [`Dict`] trait every front-end implements.
 
-use pdm::{OpCost, Word};
+use pdm::metrics::{Counter, Histogram, MetricsRegistry};
+use pdm::{DiskArray, OpCost, Word};
+use std::sync::Arc;
 
 /// Result of a lookup: the satellite data if the key was present, plus the
 /// exact parallel-I/O cost of the operation.
@@ -28,6 +31,7 @@ impl LookupOutcome {
 /// [`DictError::BucketOverflow`] / [`DictError::LevelsExhausted`] /
 /// [`DictError::ExpansionFailure`] rather than silent data loss.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DictError {
     /// The structure reached its fixed capacity `N`.
     CapacityExhausted {
@@ -63,6 +67,57 @@ pub enum DictError {
     },
 }
 
+/// Coarse classification of a [`DictError`], for callers that react to the
+/// *category* of a failure (retry, rebuild, reject) rather than its payload.
+/// Match on this instead of destructuring the `#[non_exhaustive]` error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The structure reached its fixed capacity.
+    CapacityExhausted,
+    /// The key is already present.
+    DuplicateKey,
+    /// An expander-based placement ran out of room (§4.1 buckets).
+    BucketOverflow,
+    /// An expander-based placement ran out of levels (§4.3).
+    LevelsExhausted,
+    /// A static construction failed to assign fields.
+    ExpansionFailure,
+    /// The requested parameters violate a theorem's side condition.
+    UnsupportedParams,
+    /// Satellite data had the wrong width.
+    SatelliteWidth,
+}
+
+impl DictError {
+    /// The coarse [`ErrorKind`] of this error.
+    #[must_use]
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            DictError::CapacityExhausted { .. } => ErrorKind::CapacityExhausted,
+            DictError::DuplicateKey(_) => ErrorKind::DuplicateKey,
+            DictError::BucketOverflow { .. } => ErrorKind::BucketOverflow,
+            DictError::LevelsExhausted { .. } => ErrorKind::LevelsExhausted,
+            DictError::ExpansionFailure(_) => ErrorKind::ExpansionFailure,
+            DictError::UnsupportedParams(_) => ErrorKind::UnsupportedParams,
+            DictError::SatelliteWidth { .. } => ErrorKind::SatelliteWidth,
+        }
+    }
+
+    /// True for the family of expander-parameter misses the paper's
+    /// guarantees are conditional on ([`ErrorKind::BucketOverflow`],
+    /// [`ErrorKind::LevelsExhausted`], [`ErrorKind::ExpansionFailure`]):
+    /// with a sampled graph these have tiny but nonzero probability, and the
+    /// standard reaction is to rebuild with a fresh seed.
+    #[must_use]
+    pub fn is_expansion_failure(&self) -> bool {
+        matches!(
+            self.kind(),
+            ErrorKind::BucketOverflow | ErrorKind::LevelsExhausted | ErrorKind::ExpansionFailure
+        )
+    }
+}
+
 impl std::fmt::Display for DictError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -96,6 +151,225 @@ impl std::fmt::Display for DictError {
 
 impl std::error::Error for DictError {}
 
+/// The unified, object-safe dictionary interface.
+///
+/// All six front-ends — `BasicDict`, `DynamicDict`, `OneProbeStatic`,
+/// `Dictionary`, `ShardedDictionary`, `WideDict` — are usable through
+/// `&mut dyn Dict` (the externally-disked structures via the
+/// [`DictHandle`](crate::DictHandle) adapter that pairs them with their
+/// [`DiskArray`]). Generic infrastructure — the differential test harness,
+/// the workload-replay bench, metrics recording — drives every front-end
+/// through this trait instead of six copies of the loop.
+///
+/// Static structures (`OneProbeStatic`) return
+/// [`ErrorKind::UnsupportedParams`] from [`insert`](Dict::insert) and
+/// [`delete`](Dict::delete).
+pub trait Dict {
+    /// Stable tag naming the front-end (`"basic"`, `"dynamic"`,
+    /// `"one_probe"`, `"rebuild"`, `"sharded"`, `"wide"`); used as the
+    /// `dict` label on every exported metric.
+    fn kind(&self) -> &'static str;
+
+    /// Number of keys currently stored.
+    fn len(&self) -> usize;
+
+    /// True if no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of keys this instance can hold (for static
+    /// structures, the size of the built key set).
+    fn capacity(&self) -> usize;
+
+    /// Look up `key`.
+    fn lookup(&mut self, key: u64) -> LookupOutcome;
+
+    /// Insert `key` with `satellite` payload.
+    ///
+    /// # Errors
+    /// See [`DictError`]; static structures report
+    /// [`DictError::UnsupportedParams`].
+    fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<OpCost, DictError>;
+
+    /// Delete `key`, returning whether it was present.
+    ///
+    /// # Errors
+    /// Static structures report [`DictError::UnsupportedParams`].
+    fn delete(&mut self, key: u64) -> Result<(bool, OpCost), DictError>;
+
+    /// Batched lookup. The default loops over [`lookup`](Dict::lookup);
+    /// front-ends with a round-sharing batch engine override it.
+    fn lookup_batch(&mut self, keys: &[u64]) -> (Vec<Option<Vec<Word>>>, OpCost) {
+        let mut results = Vec::with_capacity(keys.len());
+        let mut cost = OpCost::default();
+        for &key in keys {
+            let out = self.lookup(key);
+            cost = cost.plus(out.cost);
+            results.push(out.satellite);
+        }
+        (results, cost)
+    }
+
+    /// Batched insert with per-entry results. The default loops over
+    /// [`insert`](Dict::insert).
+    fn insert_batch(&mut self, entries: &[(u64, Vec<Word>)]) -> (Vec<Result<(), DictError>>, OpCost) {
+        let mut results = Vec::with_capacity(entries.len());
+        let mut cost = OpCost::default();
+        for (key, satellite) in entries {
+            match self.insert(*key, satellite) {
+                Ok(c) => {
+                    cost = cost.plus(c);
+                    results.push(Ok(()));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        (results, cost)
+    }
+
+    /// Install (or with `None` remove) a metrics registry. Implementations
+    /// tag per-op cost histograms with their [`kind`](Dict::kind) and hook
+    /// the underlying disk arrays (see [`pdm::metrics`]).
+    fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>);
+
+    /// Refresh structure-shape gauges (`dict_len`, `dict_capacity`, plus
+    /// front-end specifics such as `dict_max_bucket_load`) in the installed
+    /// registry. No-op without a registry.
+    fn refresh_gauges(&mut self) {}
+
+    /// The underlying disk array, when the front-end has exactly one — the
+    /// differential harness uses it as a byte-identity witness. `None` for
+    /// sharded structures.
+    fn disks(&self) -> Option<&DiskArray> {
+        None
+    }
+
+    /// Mutable access to the underlying disk array, for failure injection
+    /// in tests. `None` for sharded structures.
+    fn disks_mut(&mut self) -> Option<&mut DiskArray> {
+        None
+    }
+}
+
+/// Per-front-end metric recording, shared by every [`Dict`] implementation.
+///
+/// All registry handles are resolved at installation time, so recording an
+/// operation is one histogram observe plus one counter increment.
+#[derive(Clone)]
+pub(crate) struct OpRecorder {
+    pub(crate) registry: Arc<MetricsRegistry>,
+    lookup_ios: Arc<Histogram>,
+    insert_ios: Arc<Histogram>,
+    delete_ios: Arc<Histogram>,
+    batch_lookup_ios: Arc<Histogram>,
+    batch_insert_ios: Arc<Histogram>,
+    batch_lookup_keys: Arc<Histogram>,
+    batch_insert_keys: Arc<Histogram>,
+    lookup_hit: Arc<Counter>,
+    lookup_miss: Arc<Counter>,
+    insert_ok: Arc<Counter>,
+    insert_err: Arc<Counter>,
+    delete_hit: Arc<Counter>,
+    delete_miss: Arc<Counter>,
+}
+
+impl std::fmt::Debug for OpRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpRecorder").finish_non_exhaustive()
+    }
+}
+
+/// Histogram of parallel I/Os per sequential op, labels `dict`, `op`.
+pub const DICT_OP_PARALLEL_IOS: &str = "dict_op_parallel_ios";
+/// Histogram of parallel I/Os per batch call, labels `dict`, `op`.
+pub const DICT_BATCH_PARALLEL_IOS: &str = "dict_batch_parallel_ios";
+/// Histogram of keys per batch call, labels `dict`, `op`.
+pub const DICT_BATCH_KEYS: &str = "dict_batch_keys";
+/// Counter of operations, labels `dict`, `op`, `outcome`.
+pub const DICT_OPS_TOTAL: &str = "dict_ops_total";
+
+impl OpRecorder {
+    pub(crate) fn new(registry: Arc<MetricsRegistry>, dict: &'static str) -> Self {
+        let hist = |op: &str| registry.histogram(DICT_OP_PARALLEL_IOS, &[("dict", dict), ("op", op)]);
+        let bhist =
+            |op: &str| registry.histogram(DICT_BATCH_PARALLEL_IOS, &[("dict", dict), ("op", op)]);
+        let keys = |op: &str| registry.histogram(DICT_BATCH_KEYS, &[("dict", dict), ("op", op)]);
+        let ops = |op: &str, outcome: &str| {
+            registry.counter(
+                DICT_OPS_TOTAL,
+                &[("dict", dict), ("op", op), ("outcome", outcome)],
+            )
+        };
+        OpRecorder {
+            lookup_ios: hist("lookup"),
+            insert_ios: hist("insert"),
+            delete_ios: hist("delete"),
+            batch_lookup_ios: bhist("lookup"),
+            batch_insert_ios: bhist("insert"),
+            batch_lookup_keys: keys("lookup"),
+            batch_insert_keys: keys("insert"),
+            lookup_hit: ops("lookup", "hit"),
+            lookup_miss: ops("lookup", "miss"),
+            insert_ok: ops("insert", "ok"),
+            insert_err: ops("insert", "err"),
+            delete_hit: ops("delete", "hit"),
+            delete_miss: ops("delete", "miss"),
+            registry,
+        }
+    }
+
+    pub(crate) fn record_lookup(&self, out: &LookupOutcome) {
+        self.lookup_ios.observe(out.cost.parallel_ios);
+        if out.found() {
+            self.lookup_hit.inc();
+        } else {
+            self.lookup_miss.inc();
+        }
+    }
+
+    pub(crate) fn record_insert(&self, result: &Result<OpCost, DictError>) {
+        match result {
+            Ok(cost) => {
+                self.insert_ios.observe(cost.parallel_ios);
+                self.insert_ok.inc();
+            }
+            Err(_) => self.insert_err.inc(),
+        }
+    }
+
+    pub(crate) fn record_delete(&self, result: &Result<(bool, OpCost), DictError>) {
+        if let Ok((found, cost)) = result {
+            self.delete_ios.observe(cost.parallel_ios);
+            if *found {
+                self.delete_hit.inc();
+            } else {
+                self.delete_miss.inc();
+            }
+        }
+    }
+
+    pub(crate) fn record_lookup_batch(&self, keys: usize, cost: OpCost) {
+        self.batch_lookup_ios.observe(cost.parallel_ios);
+        self.batch_lookup_keys.observe(keys as u64);
+    }
+
+    pub(crate) fn record_insert_batch(&self, keys: usize, cost: OpCost) {
+        self.batch_insert_ios.observe(cost.parallel_ios);
+        self.batch_insert_keys.observe(keys as u64);
+    }
+
+    /// Set the shared shape gauges every front-end exports.
+    pub(crate) fn set_shape(&self, dict: &'static str, len: usize, capacity: usize) {
+        self.registry
+            .gauge("dict_len", &[("dict", dict)])
+            .set(len as i64);
+        self.registry
+            .gauge("dict_capacity", &[("dict", dict)])
+            .set(capacity as i64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +400,48 @@ mod tests {
         }
         .to_string()
         .contains("expected 2"));
+    }
+
+    #[test]
+    fn error_kinds() {
+        assert_eq!(
+            DictError::CapacityExhausted { capacity: 8 }.kind(),
+            ErrorKind::CapacityExhausted
+        );
+        assert_eq!(DictError::DuplicateKey(1).kind(), ErrorKind::DuplicateKey);
+        assert_eq!(
+            DictError::BucketOverflow { key: 1 }.kind(),
+            ErrorKind::BucketOverflow
+        );
+        assert_eq!(
+            DictError::LevelsExhausted { key: 1 }.kind(),
+            ErrorKind::LevelsExhausted
+        );
+        assert_eq!(
+            DictError::ExpansionFailure("x".into()).kind(),
+            ErrorKind::ExpansionFailure
+        );
+        assert_eq!(
+            DictError::UnsupportedParams("x".into()).kind(),
+            ErrorKind::UnsupportedParams
+        );
+        assert_eq!(
+            DictError::SatelliteWidth {
+                expected: 1,
+                got: 2
+            }
+            .kind(),
+            ErrorKind::SatelliteWidth
+        );
+    }
+
+    #[test]
+    fn expansion_failure_classification() {
+        assert!(DictError::BucketOverflow { key: 1 }.is_expansion_failure());
+        assert!(DictError::LevelsExhausted { key: 1 }.is_expansion_failure());
+        assert!(DictError::ExpansionFailure("x".into()).is_expansion_failure());
+        assert!(!DictError::CapacityExhausted { capacity: 8 }.is_expansion_failure());
+        assert!(!DictError::DuplicateKey(1).is_expansion_failure());
+        assert!(!DictError::UnsupportedParams("x".into()).is_expansion_failure());
     }
 }

@@ -164,6 +164,12 @@ impl WideDict {
         self.cfg.satellite_words()
     }
 
+    /// Capacity `N` (maximum live keys).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity
+    }
+
     /// Space in words.
     #[must_use]
     pub fn space_words(&self, disks: &DiskArray) -> usize {

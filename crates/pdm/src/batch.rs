@@ -30,6 +30,7 @@
 //! share buckets.
 
 use crate::disk::{BlockAddr, DiskArray};
+use crate::metrics::IoEvent;
 use crate::stats::OpCost;
 use crate::Word;
 use std::collections::HashMap;
@@ -156,6 +157,11 @@ impl BatchPlan {
     pub fn execute_read(&self, disks: &mut DiskArray) -> BatchReads {
         let blocks = disks.read_batch(&self.unique);
         disks.record_rounds(self.num_rounds() as u64);
+        for round in &self.rounds {
+            disks.emit_io_event(IoEvent::RoundScheduled {
+                blocks: round.len() as u64,
+            });
+        }
         BatchReads {
             blocks,
             slot: self.slot.clone(),
@@ -282,10 +288,17 @@ impl<'a> BatchExecutor<'a> {
             .copied()
             .filter(|a| !self.cache.contains_key(a))
             .collect();
+        let hits = (addrs.len() - missing.len()) as u64;
+        if hits > 0 {
+            self.disks.emit_io_event(IoEvent::CacheHit { blocks: hits });
+        }
         if missing.is_empty() {
             return;
         }
         let plan = BatchPlan::new(self.disks.disks(), &missing);
+        self.disks.emit_io_event(IoEvent::CacheMiss {
+            blocks: plan.num_unique_blocks() as u64,
+        });
         let reads = plan.execute_read(self.disks);
         for (i, &a) in plan.unique_blocks().iter().enumerate() {
             self.cache.insert(a, reads.blocks[i].clone());
@@ -297,7 +310,10 @@ impl<'a> BatchExecutor<'a> {
     /// as its own round), so under-prefetching stays correct — just
     /// costlier.
     pub fn get(&mut self, addr: BlockAddr) -> &[Word] {
-        if !self.cache.contains_key(&addr) {
+        if self.cache.contains_key(&addr) {
+            self.disks.emit_io_event(IoEvent::CacheHit { blocks: 1 });
+        } else {
+            self.disks.emit_io_event(IoEvent::CacheMiss { blocks: 1 });
             let block = self.disks.read_block(addr);
             self.disks.record_rounds(1);
             self.cache.insert(addr, block);
@@ -351,6 +367,14 @@ impl<'a> BatchExecutor<'a> {
                 .collect();
             self.disks.write_batch(&writes);
             self.disks.record_rounds(plan.num_rounds() as u64);
+            for r in 0..plan.num_rounds() {
+                self.disks.emit_io_event(IoEvent::RoundScheduled {
+                    blocks: plan.rounds[r].len() as u64,
+                });
+            }
+            self.disks.emit_io_event(IoEvent::BatchCommitted {
+                dirty_blocks: plan.num_unique_blocks() as u64,
+            });
         }
         self.disks.end_op(scope)
     }
@@ -615,6 +639,71 @@ mod tests {
         assert_eq!(write_cost.parallel_ios, 1);
         assert_eq!(total.parallel_ios, 2, "one read round plus one write round");
         assert_eq!(disks.stats().rounds, 2);
+    }
+
+    #[test]
+    fn noop_hook_adds_zero_counted_work() {
+        use crate::metrics::NoopSink;
+        use std::sync::Arc;
+
+        // The same plan executed with a no-op sink installed and with no
+        // sink at all must produce identical IoStats: hooks observe costs,
+        // they never add any.
+        let run = |sink: bool| {
+            let mut disks = array(4, 8);
+            if sink {
+                disks.set_io_sink(Some(Arc::new(NoopSink)));
+            }
+            let addrs = [
+                BlockAddr::new(0, 0),
+                BlockAddr::new(0, 1),
+                BlockAddr::new(1, 0),
+                BlockAddr::new(2, 3),
+                BlockAddr::new(0, 0),
+            ];
+            let plan = BatchPlan::new(4, &addrs);
+            let reads = plan.execute_read(&mut disks);
+            let imgs: Vec<Vec<Word>> = (0..reads.len()).map(|i| reads.get(i).to_vec()).collect();
+            let mut ex = BatchExecutor::new(&mut disks);
+            ex.prefetch(&addrs);
+            let img = ex.get(addrs[0]).to_vec();
+            ex.stage_write(addrs[0], img);
+            let _ = ex.commit();
+            (disks.stats(), imgs)
+        };
+        let (with_hooks, reads_hooked) = run(true);
+        let (without_hooks, reads_bare) = run(false);
+        assert_eq!(with_hooks, without_hooks, "hooks must not change IoStats");
+        assert_eq!(reads_hooked, reads_bare);
+    }
+
+    #[test]
+    fn metrics_sink_observes_executor_traffic() {
+        use crate::metrics::{
+            IoMetricsSink, MetricsRegistry, CACHE_EVENTS_TOTAL, COMMIT_DIRTY_BLOCKS, ROUNDS_TOTAL,
+            ROUND_WIDTH,
+        };
+        use std::sync::Arc;
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut disks = array(4, 8);
+        disks.set_io_sink(Some(Arc::new(IoMetricsSink::new(&reg, 4))));
+        let a = BlockAddr::new(0, 0);
+        let b = BlockAddr::new(1, 0);
+        let mut ex = BatchExecutor::new(&mut disks);
+        ex.prefetch(&[a, b]); // two misses, one round of width 2
+        ex.prefetch(&[a, b]); // two hits
+        let img = ex.get(a).to_vec(); // one hit
+        ex.stage_write(a, img);
+        let _ = ex.commit(); // one dirty block, one write round
+        let s = reg.snapshot();
+        assert_eq!(s.counter(CACHE_EVENTS_TOTAL, &[("event", "miss")]), Some(2));
+        assert_eq!(s.counter(CACHE_EVENTS_TOTAL, &[("event", "hit")]), Some(3));
+        assert_eq!(s.counter(ROUNDS_TOTAL, &[]), Some(2));
+        let widths = s.histogram(ROUND_WIDTH, &[]).unwrap();
+        assert_eq!(widths.count, 2);
+        assert_eq!(widths.max, 2);
+        assert_eq!(s.histogram(COMMIT_DIRTY_BLOCKS, &[]).unwrap().sum, 1);
     }
 
     #[test]

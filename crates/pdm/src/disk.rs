@@ -2,8 +2,10 @@
 //! parallel-I/O accounting.
 
 use crate::config::PdmConfig;
+use crate::metrics::{IoEvent, IoEventSink};
 use crate::stats::{IoStats, OpCost, OpScope};
 use crate::Word;
+use std::sync::Arc;
 
 /// Address of one block: `(disk, block index within the disk)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,13 +35,26 @@ impl BlockAddr {
 /// Blocks are zero-initialized. Disks can be grown with
 /// [`grow`](DiskArray::grow); growing performs no I/O (it models buying a
 /// bigger disk, not moving data).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DiskArray {
     cfg: PdmConfig,
     disks: Vec<Vec<Box<[Word]>>>,
     stats: IoStats,
     // Scratch reused by batch cost computation to avoid per-call allocation.
     per_disk_scratch: Vec<usize>,
+    // Observability hook; `None` (the default) costs one branch per batch.
+    sink: Option<Arc<dyn IoEventSink>>,
+}
+
+impl std::fmt::Debug for DiskArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskArray")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats)
+            .field("blocks_per_disk", &self.disks.first().map_or(0, Vec::len))
+            .field("sink", &self.sink.as_ref().map(|_| "Arc<dyn IoEventSink>"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl DiskArray {
@@ -59,6 +74,30 @@ impl DiskArray {
             disks,
             stats: IoStats::default(),
             per_disk_scratch: vec![0; cfg.disks],
+            sink: None,
+        }
+    }
+
+    /// Install (or with `None` remove) an I/O event sink. Every charged
+    /// batch, scheduled round, and executor cache event is reported to the
+    /// sink; see [`crate::metrics`]. The sink observes this array only —
+    /// clones made before or after do not share it.
+    pub fn set_io_sink(&mut self, sink: Option<Arc<dyn IoEventSink>>) {
+        self.sink = sink;
+    }
+
+    /// The currently installed I/O event sink, if any.
+    #[must_use]
+    pub fn io_sink(&self) -> Option<&Arc<dyn IoEventSink>> {
+        self.sink.as_ref()
+    }
+
+    /// Fire an event at the installed sink (no-op without one). Used by the
+    /// batch engine for cache and round events; harmless for external
+    /// callers layering their own instrumentation.
+    pub fn emit_io_event(&self, event: IoEvent<'_>) {
+        if let Some(sink) = &self.sink {
+            sink.on_io(event);
         }
     }
 
@@ -163,8 +202,15 @@ impl DiskArray {
         for &a in addrs {
             self.check(a);
         }
-        self.charge(addrs.iter().copied());
+        let cost = self.charge(addrs.iter().copied());
         self.stats.block_reads += addrs.len() as u64;
+        if !addrs.is_empty() {
+            self.emit_io_event(IoEvent::BatchRead {
+                per_disk: &self.per_disk_scratch,
+                blocks: addrs.len() as u64,
+                parallel_ios: cost,
+            });
+        }
         addrs
             .iter()
             .map(|&a| self.disks[a.disk][a.block].to_vec())
@@ -189,8 +235,15 @@ impl DiskArray {
                 self.cfg.block_words
             );
         }
-        self.charge(writes.iter().map(|&(a, _)| a));
+        let cost = self.charge(writes.iter().map(|&(a, _)| a));
         self.stats.block_writes += writes.len() as u64;
+        if !writes.is_empty() {
+            self.emit_io_event(IoEvent::BatchWrite {
+                per_disk: &self.per_disk_scratch,
+                blocks: writes.len() as u64,
+                parallel_ios: cost,
+            });
+        }
         for &(a, data) in writes {
             self.disks[a.disk][a.block][..data.len()].copy_from_slice(data);
         }
@@ -237,6 +290,27 @@ impl DiskArray {
         self.stats.block_reads += cost.block_reads;
         self.stats.block_writes += cost.block_writes;
         self.stats.batches += 1;
+        // Shared-read costs carry no per-disk breakdown; the event reports
+        // an empty per-disk slice so totals stay exact while per-disk
+        // attribution is limited to directly charged batches.
+        if cost.block_reads > 0 {
+            self.emit_io_event(IoEvent::BatchRead {
+                per_disk: &[],
+                blocks: cost.block_reads,
+                parallel_ios: cost.parallel_ios,
+            });
+        }
+        if cost.block_writes > 0 {
+            self.emit_io_event(IoEvent::BatchWrite {
+                per_disk: &[],
+                blocks: cost.block_writes,
+                parallel_ios: if cost.block_reads > 0 {
+                    0 // already attributed to the read event above
+                } else {
+                    cost.parallel_ios
+                },
+            });
+        }
     }
 
     /// Record `rounds` scheduled parallel rounds into the global counters.
@@ -246,6 +320,9 @@ impl DiskArray {
     /// round counter.
     pub fn record_rounds(&mut self, rounds: u64) {
         self.stats.rounds += rounds;
+        if rounds > 0 {
+            self.emit_io_event(IoEvent::RoundsScheduled { rounds });
+        }
     }
 
     /// Read one block (one parallel I/O).

@@ -63,6 +63,7 @@ pub mod config;
 pub mod disk;
 pub mod file;
 pub mod memory;
+pub mod metrics;
 pub mod record;
 pub mod sort;
 pub mod stats;
@@ -73,6 +74,10 @@ pub use config::{Model, PdmConfig};
 pub use disk::{BlockAddr, DiskArray};
 pub use file::RecordFile;
 pub use memory::MemTracker;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, IoEvent, IoEventSink, IoMetricsSink,
+    MetricsRegistry, MetricsSnapshot, NoopSink,
+};
 pub use record::{KeyedRecord, RecordLayout};
 pub use sort::{external_sort, external_sort_by, sort_io_bound, SortOutcome};
 pub use stats::{CostProfile, IoStats, OpCost, OpScope};

@@ -1,7 +1,9 @@
-//! Differential batch harness: for every dictionary front-end,
-//! `lookup_batch` must return results byte-identical to sequential
-//! lookups, and its charged cost must sit between the per-disk-max
-//! lower bound and the sequential sum. `insert_batch` must leave the
+//! Differential batch harness, generic over every dictionary front-end:
+//! each front is described once (a `dyn Dict` constructor plus explicit
+//! quirk flags, see `harness.rs`) and every property below runs against
+//! all of them. `lookup_batch` must return results byte-identical to
+//! sequential lookups and its charged cost must sit between the per-key
+//! maximum and the sequential sum; `insert_batch` must leave the
 //! structure in the same state as a sequential insertion loop —
 //! including per-key error reporting for duplicates.
 //!
@@ -13,17 +15,18 @@
 //! different corpus (CI can rotate it); any failure replays exactly
 //! under the seed that produced it.
 
+mod harness;
+
+use harness::{disk_image, frontends, padded_entries, sat, Frontend, KEY_SPACE, UNIVERSE};
 use pdm::{BatchPlan, BlockAddr, DiskArray, PdmConfig, Word};
 use pdm_dict::basic::{BasicDict, BasicDictConfig};
-use pdm_dict::concurrent::ShardedDictionary;
 use pdm_dict::layout::DiskAllocator;
-use pdm_dict::one_probe::{OneProbeStatic, OneProbeVariant};
-use pdm_dict::{DictError, DictParams, Dictionary, DynamicDict};
+use pdm_dict::{Dict, DictError, DictParams, Dictionary, ErrorKind};
 use proptest::prelude::*;
 
 /// A sorted, deduplicated key set.
 fn key_set() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::hash_set(0u64..(1 << 20), 5..60).prop_map(|s| {
+    proptest::collection::hash_set(0u64..KEY_SPACE, 5..60).prop_map(|s| {
         let mut v: Vec<u64> = s.into_iter().collect();
         v.sort_unstable();
         v
@@ -32,52 +35,141 @@ fn key_set() -> impl Strategy<Value = Vec<u64>> {
 
 /// Arbitrary probe keys — mostly misses, occasionally hits.
 fn probes() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..(1 << 20), 1..50)
+    proptest::collection::vec(0u64..KEY_SPACE, 1..50)
 }
 
-/// Snapshot every block of every disk (byte-identity witness).
-fn disk_image(disks: &DiskArray) -> Vec<Vec<Word>> {
-    (0..disks.disks())
-        .flat_map(|d| (0..disks.blocks_on(d)).map(move |b| (d, b)))
-        .map(|(d, b)| disks.peek(BlockAddr::new(d, b)).to_vec())
-        .collect()
+/// The lookup differential: batch results equal sequential results, and
+/// the batch cost sits between the per-key max and the sequential sum.
+fn diff_lookup_batch(f: &Frontend, keys: &[u64], extra: &[u64]) -> Result<(), TestCaseError> {
+    let entries = padded_entries(f, keys);
+    let mut dict = (f.build)(entries.len(), &entries, 0xBA7C);
+    let mut queries: Vec<u64> = entries.iter().map(|(k, _)| *k).collect();
+    queries.extend(extra);
+
+    let mut seq = Vec::with_capacity(queries.len());
+    let mut seq_sum = 0u64;
+    let mut seq_max = 0u64;
+    for &k in &queries {
+        let out = dict.lookup(k);
+        seq_sum += out.cost.parallel_ios;
+        seq_max = seq_max.max(out.cost.parallel_ios);
+        seq.push(out.satellite);
+    }
+    let (batch, cost) = dict.lookup_batch(&queries);
+    prop_assert_eq!(&batch, &seq, "{}: batch lookups diverged from sequential", f.name);
+    prop_assert!(
+        cost.parallel_ios <= seq_sum,
+        "{}: batch cost {} exceeds sequential sum {}",
+        f.name,
+        cost.parallel_ios,
+        seq_sum
+    );
+    prop_assert!(
+        cost.parallel_ios >= seq_max,
+        "{}: batch cost {} undercuts the per-key max {}",
+        f.name,
+        cost.parallel_ios,
+        seq_max
+    );
+    Ok(())
 }
 
-fn basic_pair(n: usize, seed: u64) -> (DiskArray, DiskAllocator, BasicDictConfig) {
-    let d = 8;
-    let disks = DiskArray::new(PdmConfig::new(d, 64), 0);
-    let alloc = DiskAllocator::new(d);
-    let cfg = BasicDictConfig::log_load(n.max(4), 1 << 20, d, 1, seed);
-    (disks, alloc, cfg)
+/// The insert differential: twin structures with identical seeds, one
+/// inserting sequentially and one as a single batch, must report the
+/// same per-key outcomes and hold the same contents.
+fn diff_insert_batch(f: &Frontend, keys: &[u64]) -> Result<(), TestCaseError> {
+    let mut entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, sat(k, f.sigma))).collect();
+    if f.intra_batch_dup {
+        // Duplicate appended so the error path is exercised in both twins.
+        entries.push((keys[0], sat(keys[0], f.sigma)));
+    }
+    let cap = entries.len();
+    let seed = 0x5E0;
+
+    let mut seq_dict = (f.build)(cap, &[], seed);
+    let seq_res: Vec<Result<(), ErrorKind>> = entries
+        .iter()
+        .map(|(k, s)| seq_dict.insert(*k, s).map(|_| ()).map_err(|e| e.kind()))
+        .collect();
+
+    let mut batch_dict = (f.build)(cap, &[], seed);
+    let (batch_res, batch_cost) = batch_dict.insert_batch(&entries);
+    let batch_res: Vec<Result<(), ErrorKind>> = batch_res
+        .into_iter()
+        .map(|r| r.map_err(|e| e.kind()))
+        .collect();
+
+    prop_assert_eq!(&batch_res, &seq_res, "{}: per-key insert outcomes diverged", f.name);
+    prop_assert_eq!(batch_dict.len(), seq_dict.len(), "{}: lengths diverged", f.name);
+    prop_assert!(batch_cost.parallel_ios >= 1);
+
+    if f.byte_identical {
+        let (img_a, writes_a) = {
+            let d = seq_dict.disks().unwrap();
+            (disk_image(d), d.stats().block_writes)
+        };
+        let (img_b, writes_b) = {
+            let d = batch_dict.disks().unwrap();
+            (disk_image(d), d.stats().block_writes)
+        };
+        prop_assert_eq!(img_b, img_a, "{}: disk images diverged", f.name);
+        // The batch flushes each dirty block once; sequential pays one
+        // write batch per key.
+        prop_assert!(
+            writes_b <= writes_a,
+            "{}: batch wrote {} blocks, sequential only {}",
+            f.name,
+            writes_b,
+            writes_a
+        );
+    } else {
+        // Pacing-divergent fronts: contents must still agree.
+        let (seq_found, _) = seq_dict.lookup_batch(keys);
+        let (batch_found, _) = batch_dict.lookup_batch(keys);
+        prop_assert_eq!(batch_found, seq_found, "{}: contents diverged", f.name);
+    }
+    Ok(())
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::with_cases(6))]
 
     #[test]
-    fn basic_dict_lookup_batch_matches_sequential(keys in key_set(), extra in probes()) {
-        let (mut disks, mut alloc, cfg) = basic_pair(keys.len(), 0xBA7C);
+    fn lookup_batch_matches_sequential_for_every_frontend(
+        keys in key_set(),
+        extra in probes(),
+    ) {
+        for f in frontends() {
+            diff_lookup_batch(&f, &keys, &extra)?;
+        }
+    }
+
+    #[test]
+    fn insert_batch_matches_sequential_for_every_frontend(keys in key_set()) {
+        for f in frontends().iter().filter(|f| !f.is_static) {
+            diff_insert_batch(f, &keys)?;
+        }
+    }
+
+    #[test]
+    fn basic_dict_batch_cost_meets_the_plan_lower_bound(
+        keys in key_set(),
+        extra in probes(),
+    ) {
+        // Front-end-specific sharpening of the generic lower bound: for
+        // BasicDict the probe addresses are observable, so the batch cost
+        // can be pinned against the per-disk maximum of unique blocks.
+        let d = 8;
+        let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);
+        let mut alloc = DiskAllocator::new(d);
+        let cfg = BasicDictConfig::log_load(keys.len().max(4), UNIVERSE, d, 1, 0xBA7C);
         let mut dict = BasicDict::create(&mut disks, &mut alloc, 0, cfg).unwrap();
         for &k in &keys {
             dict.insert(&mut disks, k, &[k]).unwrap();
         }
         let mut queries = keys.clone();
         queries.extend(&extra);
-
-        let mut seq = Vec::with_capacity(queries.len());
-        let mut seq_sum = 0u64;
-        for &k in &queries {
-            let out = dict.lookup(&mut disks, k);
-            seq_sum += out.cost.parallel_ios;
-            seq.push(out.satellite);
-        }
-        let (batch, cost) = dict.lookup_batch(&mut disks, &queries);
-        prop_assert_eq!(&batch, &seq, "batch lookups diverged from sequential");
-        prop_assert!(
-            cost.parallel_ios <= seq_sum,
-            "batch cost {} exceeds sequential sum {}", cost.parallel_ios, seq_sum
-        );
-        // Hard lower bound: the per-disk maximum of unique probe blocks.
+        let (_, cost) = dict.lookup_batch(&mut disks, &queries);
         let all: Vec<BlockAddr> = queries.iter().flat_map(|&k| dict.probe_addrs(k)).collect();
         let bound = BatchPlan::new(disks.disks(), &all).num_rounds() as u64;
         prop_assert!(
@@ -87,228 +179,44 @@ proptest! {
     }
 
     #[test]
-    fn basic_dict_insert_batch_is_byte_identical_to_sequential(keys in key_set()) {
-        // Twin structures with identical seeds; one inserts sequentially,
-        // the other as a single batch (with a duplicate appended so the
-        // error path is exercised in both).
-        let mut entries: Vec<(u64, Vec<Word>)> =
-            keys.iter().map(|&k| (k, vec![k])).collect();
-        entries.push((keys[0], vec![keys[0]]));
-
-        let (mut disks_a, mut alloc_a, cfg) = basic_pair(keys.len(), 0x5E0);
-        let mut seq_dict = BasicDict::create(&mut disks_a, &mut alloc_a, 0, cfg).unwrap();
-        let seq_res: Vec<Result<(), DictError>> = entries
-            .iter()
-            .map(|(k, s)| seq_dict.insert(&mut disks_a, *k, s).map(|_| ()))
-            .collect();
-
-        let (mut disks_b, mut alloc_b, cfg) = basic_pair(keys.len(), 0x5E0);
-        let mut batch_dict = BasicDict::create(&mut disks_b, &mut alloc_b, 0, cfg).unwrap();
-        let (batch_res, batch_cost) = batch_dict.insert_batch(&mut disks_b, &entries);
-
-        prop_assert_eq!(&batch_res, &seq_res, "per-key insert outcomes diverged");
-        prop_assert_eq!(batch_dict.len(), seq_dict.len());
-        prop_assert_eq!(disk_image(&disks_b), disk_image(&disks_a), "disk images diverged");
-        // The batch flushes each dirty block once; sequential pays one
-        // write batch per key.
-        let seq_writes = disks_a.stats().block_writes;
-        prop_assert!(disks_b.stats().block_writes <= seq_writes);
-        prop_assert!(batch_cost.parallel_ios >= 1);
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    #[test]
-    fn one_probe_lookup_batch_matches_sequential(n in 20usize..100, extra in probes()) {
-        for variant in [OneProbeVariant::CaseB, OneProbeVariant::CaseA] {
-            let d = 13;
-            let nd = match variant {
-                OneProbeVariant::CaseA => 2 * d,
-                OneProbeVariant::CaseB => d,
-            };
-            let mut disks = DiskArray::new(PdmConfig::new(nd, 64), 0);
-            let mut alloc = DiskAllocator::new(nd);
-            let entries: Vec<(u64, Vec<Word>)> = (0..n as u64)
-                .map(|i| {
-                    let k = i.wrapping_mul(0x9E37_79B9).wrapping_add(7) % (1 << 20);
-                    (k, vec![k, k ^ 3])
-                })
-                .collect();
-            let params = DictParams::new(n, 1 << 20, 2).with_degree(d).with_seed(77);
-            let (dict, _) =
-                OneProbeStatic::build(&mut disks, &mut alloc, 0, &params, variant, &entries)
-                    .unwrap();
-
-            let mut queries: Vec<u64> = entries.iter().map(|(k, _)| *k).collect();
-            queries.extend(&extra);
-            let mut seq = Vec::with_capacity(queries.len());
-            let mut seq_sum = 0u64;
-            let mut seq_max = 0u64;
-            for &k in &queries {
-                let out = dict.lookup(&mut disks, k);
-                seq_sum += out.cost.parallel_ios;
-                seq_max = seq_max.max(out.cost.parallel_ios);
-                seq.push(out.satellite);
-            }
-            let (batch, cost) = dict.lookup_batch(&mut disks, &queries);
-            prop_assert_eq!(&batch, &seq, "{:?} batch diverged", variant);
-            prop_assert!(cost.parallel_ios <= seq_sum);
-            // Unique-blocks-per-disk lower bound, witnessed per key.
-            prop_assert!(cost.parallel_ios >= seq_max);
-        }
-    }
-
-    #[test]
-    fn dynamic_dict_lookup_batch_matches_sequential(keys in key_set(), extra in probes()) {
-        let d = 20;
-        let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
-        let mut alloc = DiskAllocator::new(2 * d);
-        let params = DictParams::new(keys.len().max(4), 1 << 20, 2)
-            .with_degree(d)
-            .with_epsilon(0.5)
-            .with_seed(0xD1C7);
-        let mut dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
-        for &k in &keys {
-            dict.insert(&mut disks, k, &[k, k ^ 9]).unwrap();
-        }
-        let mut queries = keys.clone();
-        queries.extend(&extra);
-
-        let mut seq = Vec::with_capacity(queries.len());
-        let mut seq_sum = 0u64;
-        let mut seq_max = 0u64;
-        for &k in &queries {
-            let out = dict.lookup(&mut disks, k);
-            seq_sum += out.cost.parallel_ios;
-            seq_max = seq_max.max(out.cost.parallel_ios);
-            seq.push(out.satellite);
-        }
-        let (batch, cost) = dict.lookup_batch(&mut disks, &queries);
-        prop_assert_eq!(&batch, &seq, "dynamic batch diverged from sequential");
-        prop_assert!(cost.parallel_ios <= seq_sum);
-        prop_assert!(cost.parallel_ios >= seq_max);
-    }
-
-    #[test]
-    fn dynamic_dict_insert_batch_is_byte_identical_to_sequential(keys in key_set()) {
-        let d = 20;
-        let setup = || {
-            let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
-            let mut alloc = DiskAllocator::new(2 * d);
-            let params = DictParams::new(keys.len().max(4), 1 << 20, 1)
-                .with_degree(d)
-                .with_epsilon(0.5)
-                .with_seed(0xD1C8);
-            let dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
-            (disks, dict)
-        };
-        let mut entries: Vec<(u64, Vec<Word>)> =
-            keys.iter().map(|&k| (k, vec![k])).collect();
-        entries.push((keys[0], vec![keys[0]])); // duplicate: error path
-
-        let (mut disks_a, mut seq_dict) = setup();
-        let seq_res: Vec<Result<(), DictError>> = entries
-            .iter()
-            .map(|(k, s)| seq_dict.insert(&mut disks_a, *k, s).map(|_| ()))
-            .collect();
-
-        let (mut disks_b, mut batch_dict) = setup();
-        let (batch_res, _) = batch_dict.insert_batch(&mut disks_b, &entries);
-
-        prop_assert_eq!(&batch_res, &seq_res, "per-key insert outcomes diverged");
-        prop_assert_eq!(batch_dict.len(), seq_dict.len());
-        prop_assert_eq!(batch_dict.level_population(), seq_dict.level_population());
-        prop_assert_eq!(disk_image(&disks_b), disk_image(&disks_a), "disk images diverged");
-    }
-
-    #[test]
-    fn dictionary_lookup_batch_matches_sequential(keys in key_set(), extra in probes()) {
-        // Small initial capacity so batches regularly land mid-rebuild.
-        let params = DictParams::new(16, 1 << 20, 1)
-            .with_degree(20)
-            .with_epsilon(0.5)
-            .with_seed(0xFEED);
-        let mut dict = Dictionary::new(params, 64).unwrap();
-        for &k in &keys {
-            dict.insert(k, &[k]).unwrap();
-        }
-        let mut queries = keys.clone();
-        queries.extend(&extra);
-
-        let mut seq = Vec::with_capacity(queries.len());
-        let mut seq_sum = 0u64;
-        let mut seq_max = 0u64;
-        for &k in &queries {
-            let out = dict.lookup(k);
-            seq_sum += out.cost.parallel_ios;
-            seq_max = seq_max.max(out.cost.parallel_ios);
-            seq.push(out.satellite);
-        }
-        let (batch, cost) = dict.lookup_batch(&queries);
-        prop_assert_eq!(&batch, &seq, "rebuilding dictionary batch diverged");
-        prop_assert!(cost.parallel_ios <= seq_sum);
-        prop_assert!(cost.parallel_ios >= seq_max);
-    }
-
-    #[test]
     fn dictionary_insert_batch_roundtrips_through_rebuilds(keys in key_set()) {
-        // Capacity far below the key count: insert_batch must ride
-        // through at least one capacity-triggered rebuild. (16 is the
-        // smallest capacity at which even a *sequential* insert loop
-        // survives its rebuild windows — below that the replacement can
-        // fill before migration completes.)
-        let params = DictParams::new(16, 1 << 20, 1)
+        // Rebuild-front quirk pinned explicitly: capacity far below the
+        // key count, so insert_batch must ride through at least one
+        // capacity-triggered rebuild, and a *second* batch of the same
+        // keys (cross-batch duplicates, unlike the intra-batch dup the
+        // generic harness skips for this front) must fail per key while
+        // changing nothing.
+        let params = DictParams::new(16, UNIVERSE, 1)
             .with_degree(20)
             .with_epsilon(0.5)
             .with_seed(0xFEEE);
         let mut dict = Dictionary::new(params, 64).unwrap();
         let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, vec![k])).collect();
-        let (res, _) = dict.insert_batch(&entries);
+        let (res, _) = Dict::insert_batch(&mut dict, &entries);
         for (i, r) in res.iter().enumerate() {
             prop_assert!(r.is_ok(), "fresh key {} rejected: {:?}", entries[i].0, r);
         }
-        prop_assert_eq!(dict.len(), keys.len());
-        let (found, _) = dict.lookup_batch(&keys);
+        prop_assert_eq!(Dict::len(&dict), keys.len());
+        let (found, _) = Dict::lookup_batch(&mut dict, &keys);
         for (i, f) in found.iter().enumerate() {
             prop_assert_eq!(f.as_deref(), Some(&[keys[i]][..]), "key {} lost", keys[i]);
         }
-        // A second batch of the same keys must fail per key, change nothing.
-        let (res2, _) = dict.insert_batch(&entries);
+        let (res2, _) = Dict::insert_batch(&mut dict, &entries);
         for r in &res2 {
             prop_assert!(matches!(r, Err(DictError::DuplicateKey(_))), "duplicate accepted");
         }
-        prop_assert_eq!(dict.len(), keys.len());
+        prop_assert_eq!(Dict::len(&dict), keys.len());
     }
+}
 
-    #[test]
-    fn sharded_dictionary_batch_matches_sequential(keys in key_set(), extra in probes()) {
-        let params = DictParams::new(64, 1 << 20, 1)
-            .with_degree(16)
-            .with_epsilon(1.0)
-            .with_seed(0x5A);
-        let dict = ShardedDictionary::new(4, params, 128).unwrap();
-        let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, vec![k])).collect();
-        let (res, _) = dict.insert_batch(&entries);
-        for r in &res {
-            prop_assert!(r.is_ok());
-        }
-        let mut queries = keys.clone();
-        queries.extend(&extra);
-
-        let mut seq = Vec::with_capacity(queries.len());
-        let mut seq_sum = 0u64;
-        let mut seq_max = 0u64;
-        for &k in &queries {
-            let out = dict.lookup(k);
-            seq_sum += out.cost.parallel_ios;
-            seq_max = seq_max.max(out.cost.parallel_ios);
-            seq.push(out.satellite);
-        }
-        let (batch, cost) = dict.lookup_batch(&queries);
-        prop_assert_eq!(&batch, &seq, "sharded batch diverged from sequential");
-        prop_assert!(cost.parallel_ios <= seq_sum);
-        prop_assert!(cost.parallel_ios >= seq_max);
+#[test]
+fn static_frontends_reject_mutation() {
+    for f in frontends().iter().filter(|f| f.is_static) {
+        let entries = padded_entries(f, &[1, 2, 3]);
+        let mut dict = (f.build)(entries.len(), &entries, 0x57A7);
+        let err = dict.insert(9999, &sat(9999, f.sigma)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnsupportedParams, "{}", f.name);
+        let err = dict.delete(entries[0].0).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnsupportedParams, "{}", f.name);
     }
 }
