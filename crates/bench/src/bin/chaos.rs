@@ -1,0 +1,406 @@
+//! FAULT — chaos drill: every dictionary front-end under a canned
+//! single-disk failure with integrity checksums sealed on.
+//!
+//! For each front this binary (1) builds the structure, seals checksums,
+//! and measures the wall-clock overhead of verified reads against an
+//! identical checksum-free twin (min-of-3 full lookup sweeps); (2) kills
+//! one disk through the public [`FaultPlan`] API and counts how many
+//! keys still decode *exactly*; (3) replaces the disk
+//! (`clear_fault_plan`), runs the front's `scrub`, and recounts. Every
+//! decoded satellite is compared against ground truth — a single byte of
+//! silently wrong data fails the run.
+//!
+//! Writes `target/experiments/BENCH_fault.json` and exits nonzero if:
+//! * any front decodes below its survival floor under the dead disk,
+//! * recovery is not monotone (a key exact under the fault lost after
+//!   scrub),
+//! * the one-probe case (b) answers less than 100% exactly — under the
+//!   fault *and* after scrub (Theorem 6's redundancy is an erasure
+//!   code; see DESIGN.md),
+//! * checksummed reads cost more than 10% over plain reads in
+//!   aggregate.
+//!
+//! Run: `cargo run -p bench --release --bin chaos`
+//! Smoke: `cargo run -p bench --release --bin chaos -- --smoke`
+
+use bench::write_json;
+use pdm::metrics::MetricsRegistry;
+use pdm::{DiskArray, FaultPlan, PdmConfig, Word};
+use pdm_dict::basic::{BasicDict, BasicDictConfig};
+use pdm_dict::layout::DiskAllocator;
+use pdm_dict::one_probe::{OneProbeStatic, OneProbeVariant};
+use pdm_dict::traits::{DICT_DEGRADED_LOOKUPS_TOTAL, DICT_SCRUB_TOTAL};
+use pdm_dict::wide::{WideDict, WideDictConfig};
+use pdm_dict::{Dict, DictHandle, DictParams, Dictionary, DynamicDict};
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const KEY_SPACE: u64 = 1 << 20;
+const UNIVERSE: u64 = 1 << 21;
+
+/// `n` distinct deterministic keys below [`KEY_SPACE`].
+fn dense_keys(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) % KEY_SPACE)
+        .collect()
+}
+
+fn sat(key: u64, sigma: usize) -> Vec<Word> {
+    (0..sigma as u64).map(|i| key ^ (i << 32)).collect()
+}
+
+type BuildFn = fn(capacity: usize, entries: &[(u64, Vec<Word>)], seed: u64) -> Box<dyn Dict>;
+
+struct Front {
+    name: &'static str,
+    sigma: usize,
+    /// The canned plan: which disk dies.
+    dead_disk: usize,
+    /// Minimum fraction of keys that must still decode exactly while the
+    /// disk is dead. Derived from how the front spreads a key: `basic`
+    /// strands ~1/8 of keys (8 disks), `dynamic`/`rebuild` ~1/20 of
+    /// membership buckets (40 disks), `one_probe_b` recovers everything
+    /// through its parity chunk, `wide`/`one_probe_a` spread every key
+    /// over enough disks that one loss can strand any of them (floor 0).
+    floor_during: f64,
+    /// Same floor after replacement + scrub (1.0 only where field-level
+    /// redundancy makes the damage fully repairable).
+    floor_after: f64,
+    build: BuildFn,
+}
+
+fn preload(h: &mut dyn Dict, entries: &[(u64, Vec<Word>)]) {
+    for (k, s) in entries {
+        h.insert(*k, s).unwrap();
+    }
+}
+
+fn build_basic(capacity: usize, entries: &[(u64, Vec<Word>)], seed: u64) -> Box<dyn Dict> {
+    let d = 8;
+    let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);
+    let mut alloc = DiskAllocator::new(d);
+    let cfg = BasicDictConfig::log_load(capacity.max(4), UNIVERSE, d, 1, seed);
+    let dict = BasicDict::create(&mut disks, &mut alloc, 0, cfg).unwrap();
+    let mut h = Box::new(DictHandle::new(dict, disks));
+    preload(h.as_mut(), entries);
+    h
+}
+
+fn build_dynamic(capacity: usize, entries: &[(u64, Vec<Word>)], seed: u64) -> Box<dyn Dict> {
+    let d = 20;
+    let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
+    let mut alloc = DiskAllocator::new(2 * d);
+    let params = DictParams::new(capacity.max(4), UNIVERSE, 2)
+        .with_degree(d)
+        .with_epsilon(0.5)
+        .with_seed(seed);
+    let dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
+    let mut h = Box::new(DictHandle::new(dict, disks));
+    preload(h.as_mut(), entries);
+    h
+}
+
+fn build_one_probe(
+    variant: OneProbeVariant,
+    entries: &[(u64, Vec<Word>)],
+    seed: u64,
+) -> Box<dyn Dict> {
+    let d = 13;
+    let nd = match variant {
+        OneProbeVariant::CaseA => 2 * d,
+        OneProbeVariant::CaseB => d,
+    };
+    let mut disks = DiskArray::new(PdmConfig::new(nd, 64), 0);
+    let mut alloc = DiskAllocator::new(nd);
+    let params = DictParams::new(entries.len().max(4), UNIVERSE, 2)
+        .with_degree(d)
+        .with_seed(seed);
+    let (dict, _) =
+        OneProbeStatic::build(&mut disks, &mut alloc, 0, &params, variant, entries).unwrap();
+    Box::new(DictHandle::new(dict, disks))
+}
+
+fn build_one_probe_b(_cap: usize, entries: &[(u64, Vec<Word>)], seed: u64) -> Box<dyn Dict> {
+    build_one_probe(OneProbeVariant::CaseB, entries, seed)
+}
+
+fn build_one_probe_a(_cap: usize, entries: &[(u64, Vec<Word>)], seed: u64) -> Box<dyn Dict> {
+    build_one_probe(OneProbeVariant::CaseA, entries, seed)
+}
+
+fn build_rebuild(_cap: usize, entries: &[(u64, Vec<Word>)], seed: u64) -> Box<dyn Dict> {
+    let params = DictParams::new(64, UNIVERSE, 1)
+        .with_degree(20)
+        .with_epsilon(0.5)
+        .with_seed(seed);
+    let mut h = Box::new(Dictionary::new(params, 64).unwrap());
+    preload(h.as_mut(), entries);
+    h
+}
+
+fn build_wide(capacity: usize, entries: &[(u64, Vec<Word>)], seed: u64) -> Box<dyn Dict> {
+    let d = 16;
+    let mut disks = DiskArray::new(PdmConfig::new(d, 128), 0);
+    let mut alloc = DiskAllocator::new(d);
+    let cfg = WideDictConfig::paper(capacity.max(4), UNIVERSE, d, 2, seed);
+    let dict = WideDict::create(&mut disks, &mut alloc, 0, cfg).unwrap();
+    let mut h = Box::new(DictHandle::new(dict, disks));
+    preload(h.as_mut(), entries);
+    h
+}
+
+fn fronts() -> Vec<Front> {
+    vec![
+        Front {
+            name: "basic",
+            sigma: 1,
+            dead_disk: 2,
+            floor_during: 0.70,
+            floor_after: 0.70,
+            build: build_basic,
+        },
+        Front {
+            name: "dynamic",
+            sigma: 2,
+            dead_disk: 3,
+            floor_during: 0.85,
+            floor_after: 0.85,
+            build: build_dynamic,
+        },
+        Front {
+            name: "wide",
+            sigma: 16,
+            dead_disk: 5,
+            floor_during: 0.0,
+            floor_after: 0.0,
+            build: build_wide,
+        },
+        Front {
+            name: "one_probe_a",
+            sigma: 2,
+            dead_disk: 4,
+            floor_during: 0.0,
+            floor_after: 0.0,
+            build: build_one_probe_a,
+        },
+        Front {
+            name: "one_probe_b",
+            sigma: 2,
+            dead_disk: 4,
+            floor_during: 1.0,
+            floor_after: 1.0,
+            build: build_one_probe_b,
+        },
+        Front {
+            name: "rebuild",
+            sigma: 1,
+            dead_disk: 3,
+            floor_during: 0.80,
+            floor_after: 0.80,
+            build: build_rebuild,
+        },
+    ]
+}
+
+/// Min-of-`reps` wall-clock nanoseconds for a full lookup sweep.
+fn sweep_ns(dict: &mut dyn Dict, keys: &[u64], reps: usize) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for &k in keys {
+            black_box(dict.lookup(k).satellite);
+        }
+        best = best.min(start.elapsed().as_nanos());
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct Row {
+    front: String,
+    keys: usize,
+    dead_disk: usize,
+    exact_during: usize,
+    exact_after: usize,
+    exact_during_rate: f64,
+    exact_after_rate: f64,
+    floor_during: f64,
+    floor_after: f64,
+    degraded_lookups: u64,
+    scrub_blocks_scanned: u64,
+    scrub_checksum_failures: u64,
+    scrub_repaired_blocks: u64,
+    scrub_repaired_fields: u64,
+    scrub_unrepairable_keys: u64,
+    plain_sweep_ns: u128,
+    integrity_sweep_ns: u128,
+}
+
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    keys_per_front: usize,
+    checksum_read_overhead: f64,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 220 } else { 1024 };
+    let reps = if smoke { 3 } else { 5 };
+    let keys = dense_keys(n);
+
+    println!(
+        "{:<13} {:>5} {:>6} {:>8} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "front", "keys", "dead", "exact@f", "exact@r", "repaired", "unrepair", "plain_ns", "chksum_ns"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for f in fronts() {
+        let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, sat(k, f.sigma))).collect();
+
+        // Checksum overhead: identical twins, fault-free, one sealed.
+        let mut plain = (f.build)(n, &entries, 0xC0C5);
+        let mut sealed = (f.build)(n, &entries, 0xC0C5);
+        sealed.disks_mut().unwrap().enable_integrity();
+        // Interleave so neither twin systematically enjoys a warmer cache.
+        let mut plain_ns = u128::MAX;
+        let mut sealed_ns = u128::MAX;
+        for _ in 0..reps {
+            plain_ns = plain_ns.min(sweep_ns(plain.as_mut(), &keys, 1));
+            sealed_ns = sealed_ns.min(sweep_ns(sealed.as_mut(), &keys, 1));
+        }
+        drop(plain);
+
+        // The drill proper, on the sealed twin, with metrics attached.
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut dict = sealed;
+        dict.set_metrics(Some(Arc::clone(&registry)));
+        dict.disks_mut()
+            .unwrap()
+            .set_fault_plan(FaultPlan::new().dead_disk(f.dead_disk));
+
+        let mut exact_during = 0usize;
+        for (k, s) in &entries {
+            match dict.lookup(*k).satellite {
+                Some(got) if &got == s => exact_during += 1,
+                Some(got) => {
+                    failures.push(format!("{}: wrong data for key {k}: {got:?}", f.name));
+                }
+                None => {}
+            }
+        }
+
+        dict.disks_mut().unwrap().clear_fault_plan();
+        let report = dict.scrub();
+
+        let mut exact_after = 0usize;
+        for (k, s) in &entries {
+            match dict.lookup(*k).satellite {
+                Some(got) if &got == s => exact_after += 1,
+                Some(got) => {
+                    failures.push(format!(
+                        "{}: wrong data for key {k} after scrub: {got:?}",
+                        f.name
+                    ));
+                }
+                None => {}
+            }
+        }
+
+        let snap = registry.snapshot();
+        let row = Row {
+            front: f.name.into(),
+            keys: n,
+            dead_disk: f.dead_disk,
+            exact_during,
+            exact_after,
+            exact_during_rate: exact_during as f64 / n as f64,
+            exact_after_rate: exact_after as f64 / n as f64,
+            floor_during: f.floor_during,
+            floor_after: f.floor_after,
+            degraded_lookups: snap.counter_sum(DICT_DEGRADED_LOOKUPS_TOTAL, &[]).unwrap_or(0),
+            scrub_blocks_scanned: snap
+                .counter_sum(DICT_SCRUB_TOTAL, &[("stat", "blocks_scanned")])
+                .unwrap_or(report.blocks_scanned),
+            scrub_checksum_failures: report.checksum_failures,
+            scrub_repaired_blocks: report.repaired_blocks,
+            scrub_repaired_fields: report.repaired_fields,
+            scrub_unrepairable_keys: report.unrepairable_keys,
+            plain_sweep_ns: plain_ns,
+            integrity_sweep_ns: sealed_ns,
+        };
+        println!(
+            "{:<13} {:>5} {:>6} {:>8} {:>8} {:>9} {:>9} {:>10} {:>10}",
+            row.front,
+            row.keys,
+            row.dead_disk,
+            format!("{:.1}%", 100.0 * row.exact_during_rate),
+            format!("{:.1}%", 100.0 * row.exact_after_rate),
+            row.scrub_repaired_fields,
+            row.scrub_unrepairable_keys,
+            row.plain_sweep_ns,
+            row.integrity_sweep_ns
+        );
+
+        if row.exact_during_rate < f.floor_during {
+            failures.push(format!(
+                "{}: exact decode rate {:.3} under a dead disk is below the {:.3} floor",
+                f.name, row.exact_during_rate, f.floor_during
+            ));
+        }
+        if row.exact_after_rate < f.floor_after {
+            failures.push(format!(
+                "{}: exact decode rate {:.3} after scrub is below the {:.3} floor",
+                f.name, row.exact_after_rate, f.floor_after
+            ));
+        }
+        if exact_after < exact_during {
+            failures.push(format!(
+                "{}: non-monotone recovery ({exact_during} exact during, {exact_after} after)",
+                f.name
+            ));
+        }
+        rows.push(row);
+    }
+
+    // Aggregate checksum overhead across all fronts: one slow front in a
+    // noisy CI run must not fail the 10% gate on its own.
+    let plain_total: u128 = rows.iter().map(|r| r.plain_sweep_ns).sum();
+    let sealed_total: u128 = rows.iter().map(|r| r.integrity_sweep_ns).sum();
+    let overhead = sealed_total as f64 / plain_total.max(1) as f64 - 1.0;
+    println!("\nchecksum read overhead: {:+.2}%", 100.0 * overhead);
+    if overhead > 0.10 {
+        failures.push(format!(
+            "checksummed reads cost {:.1}% over plain reads (budget: 10%)",
+            100.0 * overhead
+        ));
+    }
+
+    let report = Report {
+        smoke,
+        keys_per_front: n,
+        checksum_read_overhead: overhead,
+        rows,
+    };
+    match write_json("BENCH_fault", &report) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_fault.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if failures.is_empty() {
+        println!("ACCEPT: all fronts within floors, monotone recovery, overhead <= 10%");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

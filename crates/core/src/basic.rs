@@ -359,10 +359,7 @@ impl BasicDict {
     pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
         let scope = disks.begin_op();
         let blocks = disks.read_batch(&self.probe_addrs(key));
-        LookupOutcome {
-            satellite: self.decode_find(key, &blocks),
-            cost: disks.end_op(scope),
-        }
+        LookupOutcome::new(self.decode_find(key, &blocks), disks.end_op(scope))
     }
 
     /// Insert: read probe + write chosen bucket (2 parallel I/Os in the

@@ -20,7 +20,7 @@ use crate::rebuild::Dictionary;
 use crate::traits::{Dict, DictError, LookupOutcome, OpRecorder};
 use expander::seeded::mix64;
 use pdm::metrics::{IoMetricsSink, MetricsRegistry};
-use pdm::{OpCost, Word};
+use pdm::{OpCost, ScrubReport, Word};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Lock a shard, recovering from poisoning.
@@ -185,6 +185,16 @@ impl ShardedDictionary {
         )
     }
 
+    /// Scrub every shard in turn (each under its own lock) and merge the
+    /// per-shard reports. Other shards stay available while one scrubs.
+    pub fn scrub_all(&self) -> ScrubReport {
+        let mut total = ScrubReport::default();
+        for shard in &self.shards {
+            total.merge(&lock(shard).scrub());
+        }
+        total
+    }
+
     /// Sum of parallel I/Os across all shard arrays.
     #[must_use]
     pub fn total_parallel_ios(&self) -> u64 {
@@ -252,6 +262,14 @@ impl Dict for ShardedDictionary {
             m.record_insert_batch(entries.len(), cost);
         }
         (results, cost)
+    }
+
+    fn scrub(&mut self) -> ScrubReport {
+        let report = ShardedDictionary::scrub_all(self);
+        if let Some(m) = &self.metrics {
+            m.record_scrub(&report);
+        }
+        report
     }
 
     /// Installs one [`IoMetricsSink`] per shard on the shard's disk array

@@ -35,7 +35,9 @@ use crate::layout::DiskAllocator;
 use crate::one_probe::encoding::Chain;
 use crate::traits::{DictError, LookupOutcome};
 use expander::{params, NeighborFn, SeededExpander};
-use pdm::{BatchExecutor, BatchPlan, BlockAddr, DiskArray, OpCost, Word};
+use pdm::{
+    BatchExecutor, BatchPlan, BlockAddr, BlockHealth, DiskArray, IoFaultKind, OpCost, Word,
+};
 
 /// The Theorem 7 dynamic dictionary.
 #[derive(Debug)]
@@ -186,8 +188,36 @@ impl DynamicDict {
             .collect()
     }
 
+    /// The first unhealthy probe in a verified batch as a typed error.
+    fn io_error(addrs: &[BlockAddr], healths: &[BlockHealth]) -> Option<DictError> {
+        healths
+            .iter()
+            .zip(addrs)
+            .find(|(h, _)| !h.is_ok())
+            .map(|(h, a)| DictError::Io {
+                kind: h.fault_kind().unwrap_or(IoFaultKind::TransientError),
+                disk: a.disk,
+                addr: a.block,
+            })
+    }
+
+    /// Verified read with one retry: transient windows pass with the
+    /// clock, so the retry is only charged when a probe actually failed.
+    fn read_retry(disks: &mut DiskArray, addrs: &[BlockAddr]) -> (Vec<Vec<Word>>, Vec<BlockHealth>) {
+        let (blocks, healths) = disks.read_batch_verified(addrs);
+        if healths.iter().all(|h| h.is_ok()) {
+            return (blocks, healths);
+        }
+        disks.read_batch_verified(addrs)
+    }
+
     /// Lookup. 1 parallel I/O when the key is absent or lives on level 1;
     /// 2 parallel I/Os otherwise — averaging `1 + ɛ` over stored keys.
+    ///
+    /// Reads are verified: a probe that fails (dead disk, transient
+    /// window, checksum mismatch) is retried once; if damage persists the
+    /// outcome is flagged [`crate::Provenance::Degraded`] and decodes
+    /// fail closed — a damaged key reads as a miss, never as wrong data.
     pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
         let scope = disks.begin_op();
         // Parallel probe: membership buckets + level-1 fields.
@@ -197,13 +227,16 @@ impl DynamicDict {
         let msplit = maddrs.len();
         let mut all = maddrs;
         all.extend(faddrs0);
-        let blocks = disks.read_batch(&all);
+        let (blocks, healths) = Self::read_retry(disks, &all);
+        let mut degraded = !healths.iter().all(|h| h.is_ok());
         let (mblocks, fblocks0) = blocks.split_at(msplit);
 
         let Some(payload) = self.membership.decode_find(key, mblocks) else {
-            return LookupOutcome {
-                satellite: None,
-                cost: disks.end_op(scope),
+            let cost = disks.end_op(scope);
+            return if degraded {
+                LookupOutcome::degraded(None, cost)
+            } else {
+                LookupOutcome::new(None, cost)
             };
         };
         let (head, level) = Self::unpack_payload(payload[0]);
@@ -212,17 +245,16 @@ impl DynamicDict {
         } else {
             let positions = self.level_positions(level, key);
             let addrs = self.levels[level].fields.probe_addrs(&positions);
-            let fblocks = disks.read_batch(&addrs);
+            let (fblocks, fh) = Self::read_retry(disks, &addrs);
+            degraded |= !fh.iter().all(|h| h.is_ok());
             self.levels[level].fields.extract(&positions, &fblocks)
         };
-        let satellite = self.enc.decode(head, &raw).map(|mut s| {
-            s.truncate(self.params.satellite_words);
-            s.resize(self.params.satellite_words, 0);
-            s
-        });
-        LookupOutcome {
-            satellite,
-            cost: disks.end_op(scope),
+        let satellite = self.decode_satellite(head, &raw);
+        let cost = disks.end_op(scope);
+        if degraded {
+            LookupOutcome::degraded(satellite, cost)
+        } else {
+            LookupOutcome::new(satellite, cost)
         }
     }
 
@@ -241,7 +273,9 @@ impl DynamicDict {
     /// batch rounds of per-disk-maximum I/Os instead of up to `2m`
     /// sequential ones.
     ///
-    /// Results are byte-identical to calling [`Self::lookup`] per key.
+    /// Results are byte-identical to calling [`Self::lookup`] per key; a
+    /// key whose probe blocks read unhealthy falls back to the sequential
+    /// path (which retries once), so only damaged keys pay extra I/Os.
     pub fn lookup_batch(
         &self,
         disks: &mut DiskArray,
@@ -272,6 +306,10 @@ impl DynamicDict {
         let mut addrs2: Vec<BlockAddr> = Vec::new();
         let mut ranges2 = Vec::new();
         for (i, (&key, (positions0, range, msplit))) in keys.iter().zip(meta).enumerate() {
+            if !reads.range_ok(range.clone()) {
+                results[i] = self.lookup(disks, key).satellite;
+                continue;
+            }
             let blocks = reads.gather(range);
             let (mblocks, fblocks0) = blocks.split_at(msplit);
             let Some(payload) = self.membership.decode_find(key, mblocks) else {
@@ -294,6 +332,10 @@ impl DynamicDict {
             let plan = BatchPlan::new(disks.disks(), &addrs2);
             let reads = plan.execute_read(disks);
             for ((i, level, head, positions), range) in stragglers.into_iter().zip(ranges2) {
+                if !reads.range_ok(range.clone()) {
+                    results[i] = self.lookup(disks, keys[i]).satellite;
+                    continue;
+                }
                 let fblocks = reads.gather(range);
                 let raw = self.levels[level].fields.extract(&positions, &fblocks);
                 results[i] = self.decode_satellite(head, &raw);
@@ -369,7 +411,17 @@ impl DynamicDict {
             });
         }
         let maddrs = self.membership.probe_addrs(key);
-        let mblocks = ex.get_many(&maddrs);
+        let (mut mblocks, mut mhealths) = ex.get_many_verified(&maddrs);
+        if !mhealths.iter().all(|h| h.is_ok()) {
+            // Retry once at a later clock (transient windows pass); a
+            // membership bucket that stays unreadable makes the duplicate
+            // check unsound, so the insertion must fail typed, not guess.
+            ex.refresh(&maddrs);
+            (mblocks, mhealths) = ex.get_many_verified(&maddrs);
+            if let Some(e) = Self::io_error(&maddrs, &mhealths) {
+                return Err(e);
+            }
+        }
         if self.membership.decode_find(key, &mblocks).is_some() {
             return Err(DictError::DuplicateKey(key));
         }
@@ -379,10 +431,13 @@ impl DynamicDict {
         for level in 0..self.levels.len() {
             let positions = self.level_positions(level, key);
             let addrs = self.levels[level].fields.probe_addrs(&positions);
-            let fblocks = ex.get_many(&addrs);
+            let (fblocks, fhealths) = ex.get_many_verified(&addrs);
             let raw = self.levels[level].fields.extract(&positions, &fblocks);
+            // Route around damage: a field on an unreadable block counts
+            // as occupied, so no data is placed where a write would be
+            // dropped or a later read sanitized.
             let free: Vec<usize> = (0..positions.len())
-                .filter(|&i| !self.enc.is_occupied(&raw[i]))
+                .filter(|&i| fhealths[i].is_ok() && !self.enc.is_occupied(&raw[i]))
                 .collect();
             if free.len() >= m {
                 let keep: Vec<(usize, usize)> = free[..m].iter().map(|&i| positions[i]).collect();
@@ -450,8 +505,14 @@ impl DynamicDict {
         let msplit = maddrs.len();
         let mut all = maddrs;
         all.extend(faddrs0.clone());
-        let blocks = disks.read_batch(&all);
+        let (blocks, healths) = Self::read_retry(disks, &all);
         let (mblocks, fblocks0) = blocks.split_at(msplit);
+        let (mhealths, fhealths0) = healths.split_at(msplit);
+        // An unreadable membership bucket makes the duplicate check
+        // unsound: fail typed rather than risk a double insert.
+        if let Some(e) = Self::io_error(&all[..msplit], mhealths) {
+            return Err(e);
+        }
         if self.membership.decode_find(key, mblocks).is_some() {
             return Err(DictError::DuplicateKey(key));
         }
@@ -462,17 +523,25 @@ impl DynamicDict {
         let m = self.enc.fields_per_key;
         let mut chosen: Option<Probe> = None;
         for level in 0..self.levels.len() {
-            let (positions, addrs, fblocks) = if level == 0 {
-                (positions0.clone(), faddrs0.clone(), fblocks0.to_vec())
+            let (positions, addrs, fblocks, fhealths) = if level == 0 {
+                (
+                    positions0.clone(),
+                    faddrs0.clone(),
+                    fblocks0.to_vec(),
+                    fhealths0.to_vec(),
+                )
             } else {
                 let positions = self.level_positions(level, key);
                 let addrs = self.levels[level].fields.probe_addrs(&positions);
-                let fblocks = disks.read_batch(&addrs); // one more parallel I/O
-                (positions, addrs, fblocks)
+                // One more parallel I/O (plus a retry only under faults).
+                let (fblocks, fhealths) = Self::read_retry(disks, &addrs);
+                (positions, addrs, fblocks, fhealths)
             };
             let raw = self.levels[level].fields.extract(&positions, &fblocks);
+            // Route around damage: fields on unreadable blocks count as
+            // occupied, so data never lands where writes would be dropped.
             let free: Vec<usize> = (0..positions.len())
-                .filter(|&i| !self.enc.is_occupied(&raw[i]))
+                .filter(|&i| fhealths[i].is_ok() && !self.enc.is_occupied(&raw[i]))
                 .collect();
             if free.len() >= m {
                 let keep: Vec<(usize, usize)> = free[..m].iter().map(|&i| positions[i]).collect();
@@ -509,7 +578,16 @@ impl DynamicDict {
 
         let refs: Vec<(BlockAddr, &[Word])> =
             writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-        disks.write_batch(&refs);
+        let whealths = disks.write_batch_checked(&refs);
+        let waddrs: Vec<BlockAddr> = writes.iter().map(|(a, _)| *a).collect();
+        if let Some(e) = Self::io_error(&waddrs, &whealths) {
+            // Some block of the insert did not land (disk died or the
+            // write tore). The key is not counted as stored; whatever
+            // fragment did land decodes fail-closed (a chain missing a
+            // block, or a membership record whose fields are absent,
+            // reads as a miss) and is reclaimed by scrub or rebuild.
+            return Err(e);
+        }
         self.membership.note_inserted();
         self.len += 1;
         self.insertions += 1;
@@ -772,6 +850,102 @@ mod tests {
         drop(ex);
         assert_eq!(dict.len(), 0);
         assert!(!dict.lookup(&mut disks, victim).found());
+    }
+
+    #[test]
+    fn dead_field_disk_degrades_to_misses_never_garbage() {
+        let (mut disks, mut dict) = setup(200, 1, 0.5);
+        let ks = keys(200);
+        for k in &ks {
+            dict.insert(&mut disks, *k, &[*k]).unwrap();
+        }
+        disks.enable_integrity();
+        // Kill one retrieval disk (fields live on disks d..2d).
+        disks.set_fault_plan(pdm::FaultPlan::new().dead_disk(23));
+        let mut exact = 0;
+        let mut missed = 0;
+        for k in &ks {
+            let out = dict.lookup(&mut disks, *k);
+            match out.satellite {
+                Some(s) => {
+                    assert_eq!(s, vec![*k], "degraded read must never invent data");
+                    exact += 1;
+                }
+                None => {
+                    assert!(!out.is_exact(), "a silent miss must carry Degraded");
+                    missed += 1;
+                }
+            }
+        }
+        // Chains avoiding stripe 3 still decode; chains through it miss.
+        assert!(exact > 0, "some chains avoid the dead disk");
+        assert!(missed > 0, "some chains run through the dead disk");
+    }
+
+    #[test]
+    fn insert_routes_around_a_dead_field_disk() {
+        let (mut disks, mut dict) = setup(150, 1, 0.5);
+        disks.enable_integrity();
+        disks.set_fault_plan(pdm::FaultPlan::new().dead_disk(25));
+        let ks = keys(150);
+        for k in &ks {
+            // d = 20 healthy-stripe candidates minus one dead still leaves
+            // ≥ m = ⌈2d/3⌉ free fields, so every insert routes around.
+            dict.insert(&mut disks, *k, &[*k]).unwrap();
+        }
+        for k in &ks {
+            let out = dict.lookup(&mut disks, *k);
+            assert_eq!(out.satellite, Some(vec![*k]), "key {k}");
+            assert!(!out.is_exact(), "probe touches the dead disk");
+        }
+        // Replace the disk: nothing was stored on it, so every lookup
+        // returns to exact with no repair needed.
+        disks.clear_fault_plan();
+        for k in &ks {
+            let out = dict.lookup(&mut disks, *k);
+            assert_eq!(out.satellite, Some(vec![*k]));
+            assert!(out.is_exact());
+        }
+    }
+
+    #[test]
+    fn dead_membership_disk_fails_inserts_typed() {
+        let (mut disks, mut dict) = setup(100, 1, 0.5);
+        disks.enable_integrity();
+        disks.set_fault_plan(pdm::FaultPlan::new().dead_disk(0));
+        let mut io_errors = 0;
+        for k in keys(100) {
+            match dict.insert(&mut disks, k, &[k]) {
+                Ok(_) => {}
+                Err(DictError::Io { kind, disk, .. }) => {
+                    assert_eq!(kind, pdm::IoFaultKind::DiskDead);
+                    assert_eq!(disk, 0);
+                    io_errors += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(io_errors > 0, "keys probing disk 0 must fail typed");
+    }
+
+    #[test]
+    fn transient_read_window_is_absorbed_by_the_retry() {
+        let (mut disks, mut dict) = setup(100, 1, 0.5);
+        let ks = keys(100);
+        for k in &ks {
+            dict.insert(&mut disks, *k, &[*k]).unwrap();
+        }
+        disks.enable_integrity();
+        // Installing a plan zeroes the access clocks, so a 1-batch window
+        // at index 0 on disk 21 hits each lookup's first probe; the in-op
+        // retry lands past the window and must return the exact record.
+        for (i, k) in ks.iter().enumerate() {
+            disks.set_fault_plan(pdm::FaultPlan::new().transient_read(21, 0, 1));
+            let out = dict.lookup(&mut disks, *k);
+            assert_eq!(out.satellite, Some(vec![*k]), "key {i}");
+            assert!(out.is_exact(), "retry absorbed the window for key {i}");
+            disks.clear_fault_plan();
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::traits::{Dict, DictError, LookupOutcome, OpRecorder};
 use crate::wide::WideDict;
 use expander::NeighborFn;
 use pdm::metrics::{IoMetricsSink, MetricsRegistry};
-use pdm::{DiskArray, OpCost, Word};
+use pdm::{DiskArray, OpCost, ScrubReport, Word};
 use std::sync::Arc;
 
 /// The per-front-end vocabulary [`DictHandle`] adapts to [`Dict`].
@@ -97,6 +97,14 @@ pub trait RawDict {
     /// Reads must be free (peeks), not charged I/O.
     fn raw_gauges(&self, disks: &DiskArray, out: &mut Vec<(&'static str, u64)>) {
         let _ = (disks, out);
+    }
+
+    /// Verify-and-repair pass; defaults to the disk-level checksum scan.
+    /// Front-ends with field-level redundancy (one-probe case (b))
+    /// override this to additionally rewrite damaged fields from the
+    /// surviving replicas.
+    fn raw_scrub(&self, disks: &mut DiskArray) -> ScrubReport {
+        disks.scrub_verify()
     }
 }
 
@@ -234,6 +242,9 @@ impl<G: NeighborFn> RawDict for OneProbeStatic<G> {
         keys: &[u64],
     ) -> (Vec<Option<Vec<Word>>>, OpCost) {
         self.lookup_batch(disks, keys)
+    }
+    fn raw_scrub(&self, disks: &mut DiskArray) -> ScrubReport {
+        self.scrub(disks)
     }
 }
 
@@ -384,6 +395,14 @@ impl<T: RawDict> Dict for DictHandle<T> {
             m.record_insert_batch(entries.len(), cost);
         }
         (results, cost)
+    }
+
+    fn scrub(&mut self) -> ScrubReport {
+        let report = self.dict.raw_scrub(&mut self.disks);
+        if let Some(m) = &self.metrics {
+            m.record_scrub(&report);
+        }
+        report
     }
 
     fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {

@@ -83,5 +83,5 @@ pub use handle::{BasicHandle, DictHandle, DynamicHandle, OneProbeHandle, RawDict
 pub use multi::ParallelInstances;
 pub use one_probe::OneProbeStatic;
 pub use rebuild::Dictionary;
-pub use traits::{Dict, DictError, ErrorKind, LookupOutcome};
+pub use traits::{Dict, DictError, ErrorKind, LookupOutcome, Provenance};
 pub use wide::WideDict;

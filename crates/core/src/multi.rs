@@ -122,10 +122,7 @@ impl ParallelInstances {
     /// Single-key lookup (1 parallel I/O).
     pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
         let (mut r, cost) = self.lookup_batch(disks, &[key]);
-        LookupOutcome {
-            satellite: r.pop().expect("one result"),
-            cost,
-        }
+        LookupOutcome::new(r.pop().expect("one result"), cost)
     }
 
     /// Insert up to one key **per instance** in one merged

@@ -4,11 +4,16 @@
 //! with `λ = 1/3`). Two formats pack its `σ`-bit record into them:
 //!
 //! * **Case (b)** (small blocks): each field is
-//!   `[present:1][identifier:⌈lg n⌉][chunk:⌈σ/m⌉]`. A lookup reads all
-//!   `d` fields of `Γ(x)` and looks for an identifier "that appears in
-//!   more than half of the fields"; since distinct keys share at most
-//!   `ε·d < d/12` neighbors, only the owner can reach the `m > d/2`
-//!   majority, and the majority fields in stripe order spell the record.
+//!   `[present:1][identifier:⌈lg n⌉][slot:⌈lg m⌉][chunk:⌈σ/(m−1)⌉]`. A
+//!   lookup reads all `d` fields of `Γ(x)` and looks for an identifier
+//!   "that appears in more than half of the fields"; since distinct keys
+//!   share at most `ε·d < d/12` neighbors, only the owner can reach the
+//!   `m > d/2` majority. The explicit slot index (the paper stores the
+//!   chunks "in stripe order"; carrying the index instead costs `⌈lg m⌉`
+//!   extra bits) makes the format *erasure-tolerant*: slot `m−1` holds the
+//!   XOR parity of the `m−1` data chunks, so any single lost or corrupted
+//!   field — a dead disk under Theorem 6's "one field per disk" layout —
+//!   is identified by its missing slot and reconstructed from parity.
 //! * **Case (a)** (blocks hold `Ω(log n)` keys): membership and the head
 //!   pointer live in a Section 4.1 dictionary, and the fields carry only
 //!   `[occupied:1][unary pointer][data…]`: the unary value is the stripe
@@ -19,12 +24,19 @@
 use pdm::bits::{bits_for, BitReader, BitWriter};
 use pdm::{Word, WORD_BITS};
 
-/// Case (b) field format.
+/// Case (b) field format with per-field slot indexes and XOR parity.
+///
+/// The `m = ⌈2d/3⌉` fields of a key hold `m−1` data chunks (slots
+/// `0..m−1`) and one parity chunk (slot `m−1`, the XOR of all data
+/// chunks), except in the degenerate `m = 1` case where the single field
+/// carries the whole record and there is no parity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CaseB {
     /// Identifier width `⌈lg n⌉`.
     pub id_bits: usize,
-    /// Chunk width `⌈σ/m⌉`.
+    /// Slot-index width `⌈lg m⌉`.
+    pub slot_bits: usize,
+    /// Chunk width `⌈σ/(m−1)⌉` (or `σ` when `m = 1`).
     pub chunk_bits: usize,
     /// Fields per key `m = ⌈2d/3⌉`.
     pub fields_per_key: usize,
@@ -34,95 +46,202 @@ pub struct CaseB {
     pub degree: usize,
 }
 
+/// A parsed case (b) field header: the owning key's identifier and the
+/// slot index of the chunk it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldHeader {
+    /// The identifier (construction rank) of the owning key.
+    pub id: u64,
+    /// Which of the key's `m` slots this field holds.
+    pub slot: usize,
+}
+
 impl CaseB {
     /// Format for `n` keys with `σ = sigma_bits` on a degree-`d` graph.
     #[must_use]
     pub fn new(n: usize, sigma_bits: usize, degree: usize) -> Self {
         let fields_per_key = expander::params::fields_per_key(degree);
+        let data_chunks = (fields_per_key - 1).max(1);
         CaseB {
             id_bits: bits_for(n.max(2) as u64),
-            chunk_bits: sigma_bits.div_ceil(fields_per_key),
+            slot_bits: bits_for(fields_per_key.max(2) as u64),
+            chunk_bits: sigma_bits.div_ceil(data_chunks),
             fields_per_key,
             sigma_bits,
             degree,
         }
     }
 
+    /// Number of data-carrying chunks (`m−1`, or `1` when `m = 1`).
+    #[must_use]
+    pub fn data_chunks(&self) -> usize {
+        (self.fields_per_key - 1).max(1)
+    }
+
+    /// Whether the format has a parity slot (`m ≥ 2`).
+    #[must_use]
+    pub fn has_parity(&self) -> bool {
+        self.fields_per_key >= 2
+    }
+
     /// Total bits per field.
     #[must_use]
     pub fn field_bits(&self) -> usize {
-        1 + self.id_bits + self.chunk_bits
+        1 + self.id_bits + self.slot_bits + self.chunk_bits
     }
 
-    /// Encode chunk `t` of `satellite` for the key with identifier `id`.
+    /// Bit `b` of data chunk `t` of `satellite` (bits past `σ` read 0).
+    fn data_bit(&self, satellite: &[Word], t: usize, b: usize) -> bool {
+        let bit = t * self.chunk_bits + b;
+        bit < self.sigma_bits && (satellite[bit / WORD_BITS] >> (bit % WORD_BITS)) & 1 == 1
+    }
+
+    /// Bit `b` of the chunk at slot `t`: a data chunk for `t < m−1`, the
+    /// XOR parity of all data chunks for `t = m−1`.
+    fn chunk_bit(&self, satellite: &[Word], t: usize, b: usize) -> bool {
+        if self.has_parity() && t == self.fields_per_key - 1 {
+            (0..self.data_chunks()).fold(false, |acc, c| acc ^ self.data_bit(satellite, c, b))
+        } else {
+            self.data_bit(satellite, t, b)
+        }
+    }
+
+    /// Encode slot `t` of `satellite` for the key with identifier `id`.
     #[must_use]
     pub fn encode(&self, id: u64, satellite: &[Word], t: usize) -> Vec<Word> {
         debug_assert!(t < self.fields_per_key);
         let mut w = BitWriter::new();
         w.write_bit(true); // present
         w.write_bits(id, self.id_bits);
-        let start = t * self.chunk_bits;
+        w.write_bits(t as u64, self.slot_bits);
         for b in 0..self.chunk_bits {
-            let bit = start + b;
-            let val = if bit < self.sigma_bits {
-                (satellite[bit / WORD_BITS] >> (bit % WORD_BITS)) & 1 == 1
-            } else {
-                false
-            };
-            w.write_bit(val);
+            w.write_bit(self.chunk_bit(satellite, t, b));
         }
         let mut words = w.into_words();
         words.resize(self.field_bits().div_ceil(WORD_BITS), 0);
         words
     }
 
-    /// Decode a lookup from the `d` fields of `Γ(x)` in stripe order.
-    /// Returns `(identifier, satellite)` when some identifier appears in
-    /// more than `d/2` fields.
+    /// Parse a field's header. `None` for an unoccupied field (present bit
+    /// clear — which is how an erased, all-zero field parses) or a field
+    /// claiming an out-of-range slot (only possible under corruption).
     #[must_use]
-    pub fn decode(&self, fields: &[Vec<Word>]) -> Option<(u64, Vec<Word>)> {
-        debug_assert_eq!(fields.len(), self.degree);
-        // Parse (present, id, chunk-offset) per field.
-        let mut parsed: Vec<Option<u64>> = Vec::with_capacity(fields.len());
-        for f in fields {
-            let mut r = BitReader::new(f);
-            let present = r.read_bit();
-            let id = r.read_bits(self.id_bits);
-            parsed.push(present.then_some(id));
-        }
-        // Majority identifier.
-        let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-        for id in parsed.iter().flatten() {
-            *counts.entry(*id).or_insert(0) += 1;
-        }
-        let (&winner, &count) = counts.iter().max_by_key(|&(_, &c)| c)?;
-        if 2 * count <= self.degree {
+    pub fn parse_header(&self, field: &[Word]) -> Option<FieldHeader> {
+        let mut r = BitReader::new(field);
+        if !r.read_bit() {
             return None;
         }
-        // Merge the winner's chunks in stripe order.
-        let mut out = vec![0 as Word; self.sigma_bits.div_ceil(WORD_BITS).max(1)];
-        let mut t = 0;
-        for (f, id) in fields.iter().zip(&parsed) {
-            if *id != Some(winner) {
-                continue;
+        let id = r.read_bits(self.id_bits);
+        let slot = r.read_bits(self.slot_bits) as usize;
+        (slot < self.fields_per_key).then_some(FieldHeader { id, slot })
+    }
+
+    /// Decode a lookup from the `d` fields of `Γ(x)` — the healthy-read
+    /// path, equivalent to [`decode_erasure`](CaseB::decode_erasure) with
+    /// no erasures.
+    #[must_use]
+    pub fn decode(&self, fields: &[Vec<Word>]) -> Option<(u64, Vec<Word>)> {
+        self.decode_erasure(fields, &vec![false; fields.len()])
+    }
+
+    /// Decode a lookup when some probed fields are *erasures* — reads the
+    /// disk layer reported unhealthy (dead disk, checksum mismatch), whose
+    /// content arrives sanitized to zero. `erased[i]` flags field `i`.
+    ///
+    /// The majority rule is adapted for `e` erasures: an identifier with
+    /// `c` surviving fields wins iff `2c > d − e` (a majority of the
+    /// *readable* fields) **and** `12c > d` (still above the `ε·d < d/12`
+    /// overlap bound, so no impostor key can be promoted by erasing the
+    /// owner's fields). With `e = 0` this is exactly the paper's
+    /// `c > d/2` rule.
+    ///
+    /// Chunks are placed by their explicit slot index; a single missing
+    /// data chunk is reconstructed from the parity slot. Returns `None`
+    /// when no identifier wins or more chunks are missing than parity can
+    /// repair (fail closed: never fabricate satellite bits).
+    #[must_use]
+    pub fn decode_erasure(&self, fields: &[Vec<Word>], erased: &[bool]) -> Option<(u64, Vec<Word>)> {
+        self.decode_detail(fields, erased).map(|(id, sat, _)| (id, sat))
+    }
+
+    /// [`decode_erasure`](CaseB::decode_erasure) plus a `repaired` flag:
+    /// `true` when any of the winner's fields was missing (erased, wiped,
+    /// or claimed by corruption) and the record was completed from parity
+    /// — i.e. the answer is correct but the stored fields need repair.
+    #[must_use]
+    pub fn decode_detail(
+        &self,
+        fields: &[Vec<Word>],
+        erased: &[bool],
+    ) -> Option<(u64, Vec<Word>, bool)> {
+        debug_assert_eq!(fields.len(), self.degree);
+        debug_assert_eq!(erased.len(), fields.len());
+        let e = erased.iter().filter(|&&x| x).count();
+        // Parse surviving headers.
+        let parsed: Vec<Option<FieldHeader>> = fields
+            .iter()
+            .zip(erased)
+            .map(|(f, &gone)| if gone { None } else { self.parse_header(f) })
+            .collect();
+        // Majority identifier among survivors.
+        let mut counts: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for h in parsed.iter().flatten() {
+            *counts.entry(h.id).or_insert(0) += 1;
+        }
+        let (&winner, &count) = counts.iter().max_by_key(|&(_, &c)| c)?;
+        if 2 * count <= self.degree - e || 12 * count <= self.degree {
+            return None;
+        }
+        // Collect the winner's chunks by slot.
+        let mut chunks: Vec<Option<&Vec<Word>>> = vec![None; self.fields_per_key];
+        for (f, h) in fields.iter().zip(&parsed) {
+            if let Some(h) = h {
+                if h.id == winner && chunks[h.slot].is_none() {
+                    chunks[h.slot] = Some(f);
+                }
             }
+        }
+        let missing: Vec<usize> = (0..self.data_chunks())
+            .filter(|&t| chunks[t].is_none())
+            .collect();
+        let parity_slot = self.fields_per_key - 1;
+        if missing.len() > 1
+            || (missing.len() == 1 && !self.has_parity())
+            || (missing.len() == 1 && chunks[parity_slot].is_none())
+        {
+            return None; // beyond single-erasure repair: fail closed
+        }
+        let repaired = chunks.iter().any(Option::is_none);
+        // Merge chunks into the record, reconstructing at most one from
+        // parity (missing data bit = parity bit XOR all other data bits).
+        let mut out = vec![0 as Word; self.sigma_bits.div_ceil(WORD_BITS).max(1)];
+        let chunk_payload = |f: &Vec<Word>, b: usize| {
             let mut r = BitReader::new(f);
-            r.seek(1 + self.id_bits);
+            r.seek(1 + self.id_bits + self.slot_bits + b);
+            r.read_bit()
+        };
+        for t in 0..self.data_chunks() {
             for b in 0..self.chunk_bits {
                 let bit = t * self.chunk_bits + b;
                 if bit >= self.sigma_bits {
                     break;
                 }
-                if r.read_bit() {
+                let val = match chunks[t] {
+                    Some(f) => chunk_payload(f, b),
+                    None => (0..self.fields_per_key)
+                        .filter(|&s| s != t)
+                        .filter_map(|s| chunks[s])
+                        .fold(false, |acc, f| acc ^ chunk_payload(f, b)),
+                };
+                if val {
                     out[bit / WORD_BITS] |= 1 << (bit % WORD_BITS);
                 }
             }
-            t += 1;
         }
         if self.sigma_bits == 0 {
             out.clear();
         }
-        Some((winner, out))
+        Some((winner, out, repaired))
     }
 }
 
@@ -313,6 +432,102 @@ mod tests {
         let (id, got) = enc.decode(&fields).unwrap();
         assert_eq!(id, 3);
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn case_b_single_erasure_recovers_exact_record() {
+        let enc = CaseB::new(1000, 256, 15); // m = 10, 9 data chunks + parity
+        let satellite = sat(4, 7);
+        let owner_stripes = [0usize, 1, 2, 4, 5, 7, 8, 10, 12, 14];
+        let base: Vec<Vec<Word>> = {
+            let mut fields = vec![vec![0; enc.field_bits().div_ceil(WORD_BITS)]; 15];
+            for (t, &s) in owner_stripes.iter().enumerate() {
+                fields[s] = enc.encode(123, &satellite, t);
+            }
+            fields
+        };
+        // Erase each owner field in turn — including the parity field —
+        // and require the exact record back every time.
+        for &s in &owner_stripes {
+            let mut fields = base.clone();
+            fields[s] = vec![0; fields[s].len()]; // sanitized read
+            let mut erased = vec![false; 15];
+            erased[s] = true;
+            let (id, got) = enc
+                .decode_erasure(&fields, &erased)
+                .expect("single erasure must be repairable");
+            assert_eq!(id, 123);
+            assert_eq!(got, satellite, "erasing stripe {s} corrupted the record");
+        }
+    }
+
+    #[test]
+    fn case_b_zeroed_field_without_erasure_flag_still_recovers() {
+        // A wiped field parses as absent (present bit 0) even when the
+        // caller has no health information — the explicit slot index
+        // identifies the missing chunk and parity fills it in.
+        let enc = CaseB::new(1000, 128, 15);
+        let satellite = sat(2, 11);
+        let owner_stripes = [0usize, 1, 2, 4, 5, 7, 8, 10, 12, 14];
+        let mut fields = vec![vec![0; enc.field_bits().div_ceil(WORD_BITS)]; 15];
+        for (t, &s) in owner_stripes.iter().enumerate() {
+            fields[s] = enc.encode(9, &satellite, t);
+        }
+        fields[4] = vec![0; fields[4].len()]; // silently lost data chunk
+        let (id, got) = enc.decode(&fields).expect("parity covers one loss");
+        assert_eq!(id, 9);
+        assert_eq!(got, satellite);
+    }
+
+    #[test]
+    fn case_b_two_missing_chunks_fail_closed() {
+        let enc = CaseB::new(1000, 128, 15);
+        let satellite = sat(2, 5);
+        let owner_stripes = [0usize, 1, 2, 4, 5, 7, 8, 10, 12, 14];
+        let mut fields = vec![vec![0; enc.field_bits().div_ceil(WORD_BITS)]; 15];
+        for (t, &s) in owner_stripes.iter().enumerate() {
+            fields[s] = enc.encode(9, &satellite, t);
+        }
+        fields[1] = vec![0; fields[1].len()];
+        fields[4] = vec![0; fields[4].len()];
+        // Two data chunks gone: majority still holds (8 of 15) but the
+        // value is unrecoverable — must return None, never garbage.
+        assert!(enc.decode(&fields).is_none());
+    }
+
+    #[test]
+    fn case_b_erasures_cannot_promote_an_impostor() {
+        let enc = CaseB::new(1000, 64, 15);
+        let mut fields = vec![vec![0; enc.field_bits().div_ceil(WORD_BITS)]; 15];
+        // An impostor with a single shared field (the ε·d overlap bound);
+        // 14 of 15 reads erased, so 2c > d − e would hold for c = 1.
+        fields[0] = enc.encode(55, &sat(1, 1), 0);
+        let erased: Vec<bool> = (0..15).map(|i| i != 0).collect();
+        assert!(
+            enc.decode_erasure(&fields, &erased).is_none(),
+            "12c > d guard must reject a 1-field impostor"
+        );
+    }
+
+    #[test]
+    fn case_b_header_parses_slot_and_rejects_out_of_range() {
+        let enc = CaseB::new(1000, 64, 15);
+        let f = enc.encode(42, &sat(1, 2), 3);
+        let h = enc.parse_header(&f).unwrap();
+        assert_eq!(h.id, 42);
+        assert_eq!(h.slot, 3);
+        assert!(enc.parse_header(&vec![0; f.len()]).is_none());
+        // Forge a field with slot = m (out of range).
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(42, enc.id_bits);
+        w.write_bits(enc.fields_per_key as u64, enc.slot_bits);
+        for _ in 0..enc.chunk_bits {
+            w.write_bit(false);
+        }
+        let mut forged = w.into_words();
+        forged.resize(enc.field_bits().div_ceil(WORD_BITS), 0);
+        assert!(enc.parse_header(&forged).is_none());
     }
 
     #[test]

@@ -207,10 +207,7 @@ impl<G: NeighborFn> HeadModelOneProbe<G> {
             s.resize(self.sigma_words, 0);
             s
         });
-        LookupOutcome {
-            satellite,
-            cost: disks.end_op(scope),
-        }
+        LookupOutcome::new(satellite, disks.end_op(scope))
     }
 
     /// Cost-only accessor used by experiments: the lookup's worst case is

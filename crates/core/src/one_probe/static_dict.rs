@@ -14,12 +14,12 @@
 use crate::basic::{BasicDict, BasicDictConfig};
 use crate::config::DictParams;
 use crate::fields::FieldArray;
-use crate::layout::DiskAllocator;
+use crate::layout::{DiskAllocator, Region};
 use crate::one_probe::construct::{sorted_construct, ConstructStats};
 use crate::one_probe::encoding::{CaseB, Chain};
 use crate::traits::{DictError, LookupOutcome};
 use expander::{NeighborFn, SeededExpander};
-use pdm::{BatchPlan, BlockAddr, DiskArray, OpCost, Word, WORD_BITS};
+use pdm::{BatchPlan, BlockAddr, BlockHealth, DiskArray, OpCost, ScrubReport, Word, WORD_BITS};
 
 /// Which Theorem 6 case to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,12 +37,42 @@ enum VariantImpl {
     B {
         fields: FieldArray,
         enc: CaseB,
+        manifest: Option<Manifest>,
     },
     A {
         membership: BasicDict,
         fields: FieldArray,
         enc: Chain,
     },
+}
+
+/// Scrub manifest of case (b): the rank-ordered `(key, stripe-bitmap)`
+/// records the repair pass needs to re-derive every key's field positions
+/// (`neighbors(key)[s]` for each set stripe `s`). Two words per key, kept
+/// in **two** replicas whose linear blocks rotate to different disks, so a
+/// single dead disk never loses both copies of a record. Records are
+/// self-validating: a genuine record's bitmap has exactly `m` set bits,
+/// while an erased (zeroed) or padding slot has none.
+#[derive(Debug)]
+struct Manifest {
+    replicas: [Region; 2],
+    records: usize,
+    recs_per_block: usize,
+}
+
+impl Manifest {
+    /// Linear manifest blocks needed for `records` records.
+    fn blocks(&self) -> usize {
+        self.records.div_ceil(self.recs_per_block).max(1)
+    }
+
+    /// Address of linear block `j` in `replica` (0 or 1): row `j / d`,
+    /// disk `(j + replica) % d` — the rotation that keeps the copies of
+    /// any record on two different disks.
+    fn addr(&self, replica: usize, j: usize) -> BlockAddr {
+        let r = &self.replicas[replica];
+        r.addr((j + replica) % r.disks, j / r.disks)
+    }
 }
 
 /// The one-probe static dictionary of Theorem 6, generic over the
@@ -129,6 +159,9 @@ impl<G: NeighborFn> OneProbeStatic<G> {
                 let fields =
                     FieldArray::create(disks, alloc, first_disk, d, stripe, enc.field_bits())?;
                 let field_words = enc.field_bits().div_ceil(WORD_BITS);
+                // Rank-ordered (key, stripe-bitmap) records for the scrub
+                // manifest, filled as the construction assigns stripes.
+                let mut records: Vec<(u64, u64)> = vec![(0, 0); entries.len()];
                 let stats = sorted_construct(
                     disks,
                     &graph,
@@ -136,15 +169,32 @@ impl<G: NeighborFn> OneProbeStatic<G> {
                     entries,
                     m,
                     field_words,
-                    |_key, rank, stripes, satellite| {
+                    |key, rank, stripes, satellite| {
+                        if d <= WORD_BITS {
+                            let bitmap = stripes.iter().fold(0u64, |b, &s| b | 1 << s);
+                            records[rank as usize] = (key, bitmap);
+                        }
                         (0..stripes.len())
                             .map(|t| (stripes[t], enc.encode(rank, satellite, t)))
                             .collect()
                     },
                 )?;
+                let mut stats = stats;
+                let manifest = Self::write_manifest(
+                    disks,
+                    alloc,
+                    first_disk,
+                    d,
+                    &records,
+                    &mut stats.cost,
+                );
                 Ok((
                     OneProbeStatic {
-                        variant: VariantImpl::B { fields, enc },
+                        variant: VariantImpl::B {
+                            fields,
+                            enc,
+                            manifest,
+                        },
                         graph,
                         n: entries.len(),
                         sigma_words,
@@ -202,6 +252,56 @@ impl<G: NeighborFn> OneProbeStatic<G> {
                 ))
             }
         }
+    }
+
+    /// Allocate and write the case (b) scrub manifest: two rotated
+    /// replicas of the rank-ordered `(key, stripe-bitmap)` records.
+    /// `None` when the geometry cannot support it (blocks of fewer than
+    /// two words, a single disk, or `d > 64` stripes per bitmap word).
+    fn write_manifest(
+        disks: &mut DiskArray,
+        alloc: &mut DiskAllocator,
+        first_disk: usize,
+        d: usize,
+        records: &[(u64, u64)],
+        cost: &mut OpCost,
+    ) -> Option<Manifest> {
+        let bw = disks.block_words();
+        if !(2..=WORD_BITS).contains(&d) || bw < 2 || records.is_empty() {
+            return None;
+        }
+        let recs_per_block = bw / 2;
+        let blocks = records.len().div_ceil(recs_per_block);
+        let rows = blocks.div_ceil(d);
+        let replicas = [
+            alloc.alloc(disks, first_disk, d, rows),
+            alloc.alloc(disks, first_disk, d, rows),
+        ];
+        let manifest = Manifest {
+            replicas,
+            records: records.len(),
+            recs_per_block,
+        };
+        let scope = disks.begin_op();
+        for j in 0..blocks {
+            let mut img = vec![0 as Word; bw];
+            for (k, &(key, bitmap)) in records
+                .iter()
+                .skip(j * recs_per_block)
+                .take(recs_per_block)
+                .enumerate()
+            {
+                img[2 * k] = key;
+                img[2 * k + 1] = bitmap;
+            }
+            let writes = [
+                (manifest.addr(0, j), img.as_slice()),
+                (manifest.addr(1, j), img.as_slice()),
+            ];
+            disks.write_batch(&writes);
+        }
+        *cost = cost.plus(disks.end_op(scope));
+        Some(manifest)
     }
 
     /// Number of keys stored.
@@ -286,11 +386,13 @@ impl<G: NeighborFn> OneProbeStatic<G> {
             .iter()
             .zip(meta)
             .map(|(&key, (positions, range, msplit))| {
+                let healths = reads.gather_healths(range.clone());
                 let blocks = reads.gather(range);
                 match &self.variant {
-                    VariantImpl::B { fields, enc } => {
+                    VariantImpl::B { fields, enc, .. } => {
                         let raw = fields.extract(&positions, &blocks);
-                        enc.decode(&raw).map(|(_, sat)| {
+                        let erased: Vec<bool> = healths.iter().map(|h| !h.is_ok()).collect();
+                        enc.decode_erasure(&raw, &erased).map(|(_, sat)| {
                             let mut s = sat;
                             s.truncate(self.sigma_words);
                             s.resize(self.sigma_words, 0);
@@ -334,17 +436,24 @@ impl<G: NeighborFn> OneProbeStatic<G> {
             .map(|y| self.graph.stripe_of(y))
             .collect();
         match &self.variant {
-            VariantImpl::B { fields, enc } => {
+            VariantImpl::B { fields, enc, .. } => {
                 let addrs = fields.probe_addrs(&positions);
-                let (blocks, cost) = disks.read_batch_shared(&addrs);
+                let (blocks, healths, cost) = disks.read_batch_shared_verified(&addrs);
                 let raw = fields.extract(&positions, &blocks);
-                let satellite = enc.decode(&raw).map(|(_, sat)| {
+                let erased: Vec<bool> = healths.iter().map(|h| !h.is_ok()).collect();
+                let mut parity_used = false;
+                let satellite = enc.decode_detail(&raw, &erased).map(|(_, sat, repaired)| {
+                    parity_used = repaired;
                     let mut s = sat;
                     s.truncate(self.sigma_words);
                     s.resize(self.sigma_words, 0);
                     s
                 });
-                LookupOutcome { satellite, cost }
+                if healths.iter().all(|h| h.is_ok()) && !parity_used {
+                    LookupOutcome::new(satellite, cost)
+                } else {
+                    LookupOutcome::degraded(satellite, cost)
+                }
             }
             VariantImpl::A {
                 membership,
@@ -358,8 +467,11 @@ impl<G: NeighborFn> OneProbeStatic<G> {
                 let msplit = maddrs.len();
                 let mut all = maddrs;
                 all.extend(faddrs);
-                let (blocks, cost) = disks.read_batch_shared(&all);
+                let (blocks, healths, cost) = disks.read_batch_shared_verified(&all);
                 let (mblocks, fblocks) = blocks.split_at(msplit);
+                // Damaged blocks arrive sanitized to zero, which every
+                // decoder reads as absent/unoccupied — the chain format
+                // has no parity, so damage fails closed to a miss.
                 let satellite = membership.decode_find(key, mblocks).and_then(|payload| {
                     let head = payload[0] as usize;
                     let raw = fields.extract(&positions, fblocks);
@@ -369,9 +481,181 @@ impl<G: NeighborFn> OneProbeStatic<G> {
                         s
                     })
                 });
-                LookupOutcome { satellite, cost }
+                if healths.iter().all(|h| h.is_ok()) {
+                    LookupOutcome::new(satellite, cost)
+                } else {
+                    LookupOutcome::degraded(satellite, cost)
+                }
             }
         }
+    }
+
+    /// Scrub-and-repair pass.
+    ///
+    /// Case (b) with a manifest: walks both manifest replicas and the
+    /// whole field array with verified reads, re-derives every key's
+    /// field positions from the expander (`neighbors(key)[s]` for each
+    /// stripe in its bitmap), detects damaged fields *by parsing* (a
+    /// genuine field carries `id == rank` and its slot index, so zeroed
+    /// or rotted fields are identified even without checksums), erasure-
+    /// decodes each damaged key's record through the XOR parity, re-
+    /// encodes the lost fields, and rewrites repaired blocks — which
+    /// reseals their checksums. Manifest replicas repair each other.
+    ///
+    /// Case (a) — the chain format has no field-level redundancy — falls
+    /// back to [`DiskArray::scrub_verify`] (detection only).
+    pub fn scrub(&self, disks: &mut DiskArray) -> ScrubReport {
+        let VariantImpl::B {
+            fields,
+            enc,
+            manifest: Some(manifest),
+        } = &self.variant
+        else {
+            return disks.scrub_verify();
+        };
+        let scope = disks.begin_op();
+        let mut report = ScrubReport::default();
+        let d = enc.degree;
+        let m = enc.fields_per_key;
+        let count_bad = |report: &mut ScrubReport, healths: &[BlockHealth]| {
+            report.checksum_failures += healths
+                .iter()
+                .filter(|h| matches!(h, BlockHealth::ChecksumMismatch))
+                .count() as u64;
+        };
+
+        // Read both manifest replicas (damaged blocks arrive zeroed).
+        let mblocks = manifest.blocks();
+        let mut rep_imgs: Vec<Vec<Vec<Word>>> = Vec::with_capacity(2);
+        for replica in 0..2 {
+            let addrs: Vec<BlockAddr> = (0..mblocks).map(|j| manifest.addr(replica, j)).collect();
+            let (imgs, healths) = disks.read_batch_verified(&addrs);
+            report.blocks_scanned += mblocks as u64;
+            count_bad(&mut report, &healths);
+            rep_imgs.push(imgs);
+        }
+
+        // Reconstruct the record list, repairing one replica from the
+        // other. A record is valid iff its bitmap has exactly m set bits
+        // within the d stripes (zeroed and padding slots have none).
+        let valid = |key_bm: (u64, u64)| {
+            let bm = key_bm.1;
+            bm.count_ones() as usize == m && (d == WORD_BITS || bm >> d == 0)
+        };
+        let mut records: Vec<Option<(u64, u64)>> = Vec::with_capacity(manifest.records);
+        let mut dirty_manifest = [vec![false; mblocks], vec![false; mblocks]];
+        for i in 0..manifest.records {
+            let j = i / manifest.recs_per_block;
+            let k = i % manifest.recs_per_block;
+            let copies = [
+                (rep_imgs[0][j][2 * k], rep_imgs[0][j][2 * k + 1]),
+                (rep_imgs[1][j][2 * k], rep_imgs[1][j][2 * k + 1]),
+            ];
+            let rec = match (valid(copies[0]), valid(copies[1])) {
+                (true, _) => Some(copies[0]),
+                (false, true) => Some(copies[1]),
+                (false, false) => {
+                    report.unrepairable_keys += 1;
+                    None
+                }
+            };
+            if let Some(rec) = rec {
+                for (r, &copy) in copies.iter().enumerate() {
+                    if copy != rec {
+                        rep_imgs[r][j][2 * k] = rec.0;
+                        rep_imgs[r][j][2 * k + 1] = rec.1;
+                        dirty_manifest[r][j] = true;
+                    }
+                }
+            }
+            records.push(rec);
+        }
+
+        // Read the whole field array, row by row (one parallel I/O each).
+        let rows = fields.region().blocks_per_disk;
+        let mut imgs: Vec<Vec<Vec<Word>>> = vec![Vec::with_capacity(rows); d];
+        for row in 0..rows {
+            let addrs: Vec<BlockAddr> = (0..d).map(|s| fields.addr_of_row(s, row)).collect();
+            let (blocks, healths) = disks.read_batch_verified(&addrs);
+            report.blocks_scanned += d as u64;
+            count_bad(&mut report, &healths);
+            for (s, img) in blocks.into_iter().enumerate() {
+                imgs[s].push(img);
+            }
+        }
+
+        // Per key: verify the m fields by parsing, erasure-decode the
+        // record if any are damaged, re-encode and patch them in place.
+        let fpb = fields.fields_per_block();
+        let field_words = enc.field_bits().div_ceil(WORD_BITS);
+        let mut repaired_per_block: std::collections::HashMap<(usize, usize), u64> =
+            std::collections::HashMap::new();
+        for (i, rec) in records.iter().enumerate() {
+            let Some((key, bitmap)) = *rec else { continue };
+            let stripes: Vec<usize> = (0..d).filter(|s| bitmap >> s & 1 == 1).collect();
+            let neighbors = self.graph.neighbors(key);
+            let positions: Vec<(usize, usize)> = stripes
+                .iter()
+                .map(|&s| self.graph.stripe_of(neighbors[s]))
+                .collect();
+            let mut probe = vec![vec![0 as Word; field_words]; d];
+            let mut erased = vec![false; d];
+            let mut damaged: Vec<usize> = Vec::new(); // slot indexes
+            for (t, &(s, j)) in positions.iter().enumerate() {
+                let img = &imgs[s][j / fpb];
+                let f = fields.extract(&[(s, j)], std::slice::from_ref(img));
+                let ok = enc
+                    .parse_header(&f[0])
+                    .is_some_and(|h| h.id == i as u64 && h.slot == t);
+                if ok {
+                    probe[s] = f.into_iter().next().expect("one field");
+                } else {
+                    erased[s] = true;
+                    damaged.push(t);
+                }
+            }
+            if damaged.is_empty() {
+                continue;
+            }
+            match enc.decode_erasure(&probe, &erased) {
+                Some((id, sat)) if id == i as u64 => {
+                    for &t in &damaged {
+                        let (s, j) = positions[t];
+                        let new_field = enc.encode(i as u64, &sat, t);
+                        fields.patch((s, j), &mut imgs[s][j / fpb], &new_field);
+                        *repaired_per_block.entry((s, j / fpb)).or_insert(0) += 1;
+                    }
+                }
+                _ => report.unrepairable_keys += 1,
+            }
+        }
+
+        // Flush repaired blocks; checksums reseal on write. Writes the
+        // fault plan still drops (an in-place dead disk) are not counted
+        // as repairs — run the scrub again after the disk is replaced.
+        let mut writes: Vec<(BlockAddr, &[Word], u64)> = Vec::new();
+        for (&(s, row), &nf) in &repaired_per_block {
+            writes.push((fields.addr_of_row(s, row), &imgs[s][row], nf));
+        }
+        for r in 0..2 {
+            for j in 0..mblocks {
+                if dirty_manifest[r][j] {
+                    writes.push((manifest.addr(r, j), &rep_imgs[r][j], 0));
+                }
+            }
+        }
+        if !writes.is_empty() {
+            let batch: Vec<(BlockAddr, &[Word])> = writes.iter().map(|&(a, w, _)| (a, w)).collect();
+            let healths = disks.write_batch_checked(&batch);
+            for (&(_, _, nf), h) in writes.iter().zip(&healths) {
+                if h.is_ok() {
+                    report.repaired_blocks += 1;
+                    report.repaired_fields += nf;
+                }
+            }
+        }
+        report.cost = disks.end_op(scope);
+        report
     }
 }
 
@@ -486,6 +770,87 @@ mod tests {
             let out = dict.lookup(&mut disks, key);
             assert_eq!(out.satellite, Some(vec![]));
         }
+    }
+
+    #[test]
+    fn case_b_survives_dead_disk_and_scrub_restores_exact() {
+        let (mut disks, dict, _) = build(OneProbeVariant::CaseB, 150, 2);
+        disks.enable_integrity();
+        let es = entries(150, 2);
+
+        // Kill one disk: every lookup must still return the exact record
+        // (single field per key lost, parity covers it), flagged Degraded.
+        disks.set_fault_plan(pdm::FaultPlan::new().dead_disk(4));
+        let mut degraded = 0;
+        for (key, sat) in &es {
+            let out = dict.lookup(&mut disks, *key);
+            assert_eq!(out.satellite.as_ref(), Some(sat), "key {key} under dead disk");
+            if !out.is_exact() {
+                degraded += 1;
+            }
+        }
+        assert!(degraded > 0, "some keys must have probed the dead disk");
+
+        // Replace the disk (fault cleared, its data gone) and scrub: all
+        // lost fields are re-encoded from parity and rewritten.
+        disks.clear_fault_plan();
+        let report = dict.scrub(&mut disks);
+        assert_eq!(report.unrepairable_keys, 0, "{report:?}");
+        assert!(report.repaired_fields > 0, "{report:?}");
+        assert!(report.repaired_blocks > 0, "{report:?}");
+        assert!(report.cost.parallel_ios > 0);
+
+        // Post-scrub: every lookup is exact again.
+        for (key, sat) in &es {
+            let out = dict.lookup(&mut disks, *key);
+            assert_eq!(out.satellite.as_ref(), Some(sat));
+            assert!(out.is_exact(), "key {key} still degraded after scrub");
+        }
+        // And a second scrub finds nothing left to repair.
+        let again = dict.scrub(&mut disks);
+        assert_eq!(again.repaired_fields, 0, "{again:?}");
+        assert_eq!(again.checksum_failures, 0, "{again:?}");
+    }
+
+    #[test]
+    fn case_b_scrub_repairs_bit_rot() {
+        let (mut disks, dict, _) = build(OneProbeVariant::CaseB, 120, 1);
+        disks.enable_integrity();
+        // Rot several blocks of ONE disk (a key owns at most one field
+        // per disk, so parity covers every key; damage spread over many
+        // disks can exceed the single-erasure budget and must instead
+        // fail closed — see case_b_two_missing_chunks_fail_closed).
+        let mut plan = pdm::FaultPlan::new();
+        for b in 0..4usize.min(disks.blocks_on(3)) {
+            plan = plan.bit_rot(3, b, (b * 97) as u32);
+        }
+        disks.set_fault_plan(plan);
+        disks.clear_fault_plan();
+        let report = dict.scrub(&mut disks);
+        assert_eq!(report.unrepairable_keys, 0, "{report:?}");
+        for (key, sat) in entries(120, 1) {
+            let out = dict.lookup(&mut disks, key);
+            assert_eq!(out.satellite, Some(sat), "key {key} after rot+scrub");
+            assert!(out.is_exact());
+        }
+    }
+
+    #[test]
+    fn case_a_degrades_to_misses_never_garbage() {
+        let (mut disks, dict, _) = build(OneProbeVariant::CaseA, 150, 2);
+        disks.enable_integrity();
+        disks.set_fault_plan(pdm::FaultPlan::new().dead_disk(3));
+        let es = entries(150, 2);
+        let mut found = 0;
+        for (key, sat) in &es {
+            let out = dict.lookup(&mut disks, *key);
+            if let Some(got) = &out.satellite {
+                assert_eq!(got, sat, "case (a) returned wrong data for {key}");
+                found += 1;
+            }
+        }
+        assert!(found < es.len(), "a dead disk must lose some chains");
+        assert!(found > 0, "keys avoiding the dead disk must still decode");
     }
 
     #[test]

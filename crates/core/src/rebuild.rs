@@ -27,9 +27,9 @@
 use crate::config::DictParams;
 use crate::dynamic::DynamicDict;
 use crate::layout::DiskAllocator;
-use crate::traits::{Dict, DictError, LookupOutcome, OpRecorder};
+use crate::traits::{Dict, DictError, LookupOutcome, OpRecorder, Provenance};
 use pdm::metrics::{Counter, Gauge, Histogram, IoMetricsSink, MetricsRegistry};
-use pdm::{DiskArray, IoStats, OpCost, PdmConfig, Word};
+use pdm::{DiskArray, IoStats, OpCost, PdmConfig, ScrubReport, Word};
 use std::sync::Arc;
 
 /// Buckets migrated per operation during a rebuild. Each bucket holds
@@ -183,19 +183,31 @@ impl Dictionary {
     /// during a rebuild).
     pub fn lookup(&mut self, key: u64) -> LookupOutcome {
         let scope = self.disks.begin_op();
+        // A degraded miss in the replacement cannot prove absence (a key
+        // inserted mid-rebuild lives only there), so the damage taints
+        // whatever the fallback probe reports.
+        let mut tainted = false;
         if let Some(b) = &self.building {
             let out = b.dict.lookup(&mut self.disks, key);
             if out.found() {
                 return LookupOutcome {
                     satellite: out.satellite,
                     cost: self.disks.end_op(scope),
+                    provenance: out.provenance,
                 };
             }
+            tainted = !out.is_exact();
         }
         let out = self.active.lookup(&mut self.disks, key);
+        let provenance = if tainted {
+            Provenance::Degraded
+        } else {
+            out.provenance
+        };
         LookupOutcome {
             satellite: out.satellite,
             cost: self.disks.end_op(scope),
+            provenance,
         }
     }
 
@@ -491,6 +503,16 @@ impl Dict for Dictionary {
             m.recorder.record_insert_batch(entries.len(), cost);
         }
         (results, cost)
+    }
+
+    fn scrub(&mut self) -> ScrubReport {
+        // Both slots live on the one owned array, so the disk-level walk
+        // covers the active structure and any in-flight replacement.
+        let report = self.disks.scrub_verify();
+        if let Some(m) = &self.metrics {
+            m.recorder.record_scrub(&report);
+        }
+        report
     }
 
     fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {

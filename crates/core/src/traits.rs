@@ -2,8 +2,23 @@
 //! object-safe [`Dict`] trait every front-end implements.
 
 use pdm::metrics::{Counter, Histogram, MetricsRegistry};
-use pdm::{DiskArray, OpCost, Word};
+use pdm::{DiskArray, IoFaultKind, OpCost, ScrubReport, Word};
 use std::sync::Arc;
+
+/// Whether a lookup's answer came from fully healthy reads or had to
+/// tolerate damage (erasure-decoded fields, sanitized blocks, a retried
+/// transient error). A `Degraded` answer is still *correct* when present
+/// — the redundancy covered the damage — but signals that a scrub or
+/// disk replacement is due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Provenance {
+    /// Every block backing the answer read cleanly.
+    #[default]
+    Exact,
+    /// At least one backing block was damaged; the answer was produced
+    /// from surviving redundancy (or is a conservative miss).
+    Degraded,
+}
 
 /// Result of a lookup: the satellite data if the key was present, plus the
 /// exact parallel-I/O cost of the operation.
@@ -13,13 +28,41 @@ pub struct LookupOutcome {
     pub satellite: Option<Vec<Word>>,
     /// I/O cost of this lookup.
     pub cost: OpCost,
+    /// Whether the answer was produced from fully healthy reads.
+    pub provenance: Provenance,
 }
 
 impl LookupOutcome {
+    /// An outcome backed by fully healthy reads ([`Provenance::Exact`]).
+    #[must_use]
+    pub fn new(satellite: Option<Vec<Word>>, cost: OpCost) -> Self {
+        LookupOutcome {
+            satellite,
+            cost,
+            provenance: Provenance::Exact,
+        }
+    }
+
+    /// An outcome that tolerated damage ([`Provenance::Degraded`]).
+    #[must_use]
+    pub fn degraded(satellite: Option<Vec<Word>>, cost: OpCost) -> Self {
+        LookupOutcome {
+            satellite,
+            cost,
+            provenance: Provenance::Degraded,
+        }
+    }
+
     /// Whether the key was found.
     #[must_use]
     pub fn found(&self) -> bool {
         self.satellite.is_some()
+    }
+
+    /// Whether the answer was backed by fully healthy reads.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.provenance == Provenance::Exact
     }
 }
 
@@ -65,6 +108,26 @@ pub enum DictError {
         /// Words supplied.
         got: usize,
     },
+    /// A disk-level fault prevented the operation from completing reliably
+    /// (dead disk, transient read error that outlived the retry, checksum
+    /// mismatch, torn write). Reads that can be answered from redundancy
+    /// do **not** raise this — they return a
+    /// [`Provenance::Degraded`] outcome instead; `Io` means the
+    /// operation's effect could not be guaranteed.
+    ///
+    /// Stability contract: both this enum and [`pdm::IoFaultKind`] are
+    /// `#[non_exhaustive]`. Callers must classify via
+    /// [`kind`](DictError::kind) / [`ErrorKind::Io`] (or a wildcard arm)
+    /// rather than exhaustively destructuring, so new fault kinds and new
+    /// payload fields are not breaking changes.
+    Io {
+        /// What went wrong at the disk layer.
+        kind: IoFaultKind,
+        /// Disk on which the fault fired.
+        disk: usize,
+        /// Block index on that disk.
+        addr: usize,
+    },
 }
 
 /// Coarse classification of a [`DictError`], for callers that react to the
@@ -87,6 +150,8 @@ pub enum ErrorKind {
     UnsupportedParams,
     /// Satellite data had the wrong width.
     SatelliteWidth,
+    /// A disk-level fault prevented the operation from completing.
+    Io,
 }
 
 impl DictError {
@@ -101,6 +166,7 @@ impl DictError {
             DictError::ExpansionFailure(_) => ErrorKind::ExpansionFailure,
             DictError::UnsupportedParams(_) => ErrorKind::UnsupportedParams,
             DictError::SatelliteWidth { .. } => ErrorKind::SatelliteWidth,
+            DictError::Io { .. } => ErrorKind::Io,
         }
     }
 
@@ -144,6 +210,9 @@ impl std::fmt::Display for DictError {
                     f,
                     "satellite width mismatch: expected {expected} words, got {got}"
                 )
+            }
+            DictError::Io { kind, disk, addr } => {
+                write!(f, "i/o fault ({kind}) on disk {disk} block {addr}")
             }
         }
     }
@@ -250,6 +319,18 @@ pub trait Dict {
     fn disks_mut(&mut self) -> Option<&mut DiskArray> {
         None
     }
+
+    /// Walk the structure's blocks, verify checksums, and rewrite every
+    /// repairable block from surviving redundancy. The default delegates to
+    /// [`DiskArray::scrub_verify`] (detection only — counts damage and
+    /// refreshes transient state); front-ends with field-level redundancy
+    /// (`OneProbeStatic` case (b)) override it with real repair. Returns an
+    /// empty report when there is no accessible disk array.
+    fn scrub(&mut self) -> ScrubReport {
+        self.disks_mut()
+            .map(DiskArray::scrub_verify)
+            .unwrap_or_default()
+    }
 }
 
 /// Per-front-end metric recording, shared by every [`Dict`] implementation.
@@ -272,6 +353,13 @@ pub(crate) struct OpRecorder {
     insert_err: Arc<Counter>,
     delete_hit: Arc<Counter>,
     delete_miss: Arc<Counter>,
+    lookup_degraded: Arc<Counter>,
+    scrub_ios: Arc<Histogram>,
+    scrub_blocks: Arc<Counter>,
+    scrub_failures: Arc<Counter>,
+    scrub_repaired_blocks: Arc<Counter>,
+    scrub_repaired_fields: Arc<Counter>,
+    scrub_unrepairable: Arc<Counter>,
 }
 
 impl std::fmt::Debug for OpRecorder {
@@ -288,6 +376,14 @@ pub const DICT_BATCH_PARALLEL_IOS: &str = "dict_batch_parallel_ios";
 pub const DICT_BATCH_KEYS: &str = "dict_batch_keys";
 /// Counter of operations, labels `dict`, `op`, `outcome`.
 pub const DICT_OPS_TOTAL: &str = "dict_ops_total";
+/// Counter of lookups answered with [`Provenance::Degraded`], label `dict`.
+pub const DICT_DEGRADED_LOOKUPS_TOTAL: &str = "dict_degraded_lookups_total";
+/// Counter of scrub statistics, labels `dict`, `stat` (one of
+/// `blocks_scanned`, `checksum_failures`, `repaired_blocks`,
+/// `repaired_fields`, `unrepairable_keys`).
+pub const DICT_SCRUB_TOTAL: &str = "dict_scrub_total";
+/// Histogram of parallel I/Os per scrub pass, label `dict`.
+pub const DICT_SCRUB_PARALLEL_IOS: &str = "dict_scrub_parallel_ios";
 
 impl OpRecorder {
     pub(crate) fn new(registry: Arc<MetricsRegistry>, dict: &'static str) -> Self {
@@ -301,6 +397,7 @@ impl OpRecorder {
                 &[("dict", dict), ("op", op), ("outcome", outcome)],
             )
         };
+        let scrub = |stat: &str| registry.counter(DICT_SCRUB_TOTAL, &[("dict", dict), ("stat", stat)]);
         OpRecorder {
             lookup_ios: hist("lookup"),
             insert_ios: hist("insert"),
@@ -315,6 +412,13 @@ impl OpRecorder {
             insert_err: ops("insert", "err"),
             delete_hit: ops("delete", "hit"),
             delete_miss: ops("delete", "miss"),
+            lookup_degraded: registry.counter(DICT_DEGRADED_LOOKUPS_TOTAL, &[("dict", dict)]),
+            scrub_ios: registry.histogram(DICT_SCRUB_PARALLEL_IOS, &[("dict", dict)]),
+            scrub_blocks: scrub("blocks_scanned"),
+            scrub_failures: scrub("checksum_failures"),
+            scrub_repaired_blocks: scrub("repaired_blocks"),
+            scrub_repaired_fields: scrub("repaired_fields"),
+            scrub_unrepairable: scrub("unrepairable_keys"),
             registry,
         }
     }
@@ -326,6 +430,18 @@ impl OpRecorder {
         } else {
             self.lookup_miss.inc();
         }
+        if !out.is_exact() {
+            self.lookup_degraded.inc();
+        }
+    }
+
+    pub(crate) fn record_scrub(&self, report: &ScrubReport) {
+        self.scrub_ios.observe(report.cost.parallel_ios);
+        self.scrub_blocks.add(report.blocks_scanned);
+        self.scrub_failures.add(report.checksum_failures);
+        self.scrub_repaired_blocks.add(report.repaired_blocks);
+        self.scrub_repaired_fields.add(report.repaired_fields);
+        self.scrub_unrepairable.add(report.unrepairable_keys);
     }
 
     pub(crate) fn record_insert(&self, result: &Result<OpCost, DictError>) {
@@ -376,16 +492,21 @@ mod tests {
 
     #[test]
     fn outcome_found() {
-        let hit = LookupOutcome {
-            satellite: Some(vec![1, 2]),
-            cost: OpCost::default(),
-        };
-        let miss = LookupOutcome {
-            satellite: None,
-            cost: OpCost::default(),
-        };
+        let hit = LookupOutcome::new(Some(vec![1, 2]), OpCost::default());
+        let miss = LookupOutcome::new(None, OpCost::default());
         assert!(hit.found());
         assert!(!miss.found());
+        assert!(hit.is_exact());
+        assert_eq!(hit.provenance, Provenance::Exact);
+    }
+
+    #[test]
+    fn degraded_outcome_keeps_satellite_but_flags_provenance() {
+        let out = LookupOutcome::degraded(Some(vec![9]), OpCost::default());
+        assert!(out.found());
+        assert!(!out.is_exact());
+        assert_eq!(out.provenance, Provenance::Degraded);
+        assert_eq!(Provenance::default(), Provenance::Exact);
     }
 
     #[test]
@@ -433,6 +554,28 @@ mod tests {
             .kind(),
             ErrorKind::SatelliteWidth
         );
+        assert_eq!(
+            DictError::Io {
+                kind: IoFaultKind::DiskDead,
+                disk: 3,
+                addr: 7
+            }
+            .kind(),
+            ErrorKind::Io
+        );
+    }
+
+    #[test]
+    fn io_error_displays_fault_location() {
+        let err = DictError::Io {
+            kind: IoFaultKind::ChecksumMismatch,
+            disk: 2,
+            addr: 11,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("disk 2"), "{msg}");
+        assert!(msg.contains("block 11"), "{msg}");
+        assert!(!err.is_expansion_failure());
     }
 
     #[test]

@@ -224,10 +224,7 @@ impl WideDict {
         } else {
             None
         };
-        LookupOutcome {
-            satellite,
-            cost: disks.end_op(scope),
-        }
+        LookupOutcome::new(satellite, disks.end_op(scope))
     }
 
     /// Insert: read the `d` candidate buckets (1 I/O), spread the `k`

@@ -30,6 +30,7 @@
 //! share buckets.
 
 use crate::disk::{BlockAddr, DiskArray};
+use crate::integrity::BlockHealth;
 use crate::metrics::IoEvent;
 use crate::stats::OpCost;
 use crate::Word;
@@ -155,7 +156,15 @@ impl BatchPlan {
     /// [`num_rounds`](BatchPlan::num_rounds); in the `ParallelDiskHead`
     /// model the charge may be lower (heads pack same-disk blocks).
     pub fn execute_read(&self, disks: &mut DiskArray) -> BatchReads {
-        let blocks = disks.read_batch(&self.unique);
+        self.execute_read_verified(disks)
+    }
+
+    /// [`execute_read`](BatchPlan::execute_read) with per-block
+    /// [`BlockHealth`] recorded in the returned [`BatchReads`] (see
+    /// [`BatchReads::health`]). Failed blocks are sanitized to zeros, as
+    /// in [`DiskArray::read_batch_verified`].
+    pub fn execute_read_verified(&self, disks: &mut DiskArray) -> BatchReads {
+        let (blocks, healths) = disks.read_batch_verified(&self.unique);
         disks.record_rounds(self.num_rounds() as u64);
         for round in &self.rounds {
             disks.emit_io_event(IoEvent::RoundScheduled {
@@ -164,6 +173,7 @@ impl BatchPlan {
         }
         BatchReads {
             blocks,
+            healths,
             slot: self.slot.clone(),
         }
     }
@@ -177,10 +187,11 @@ impl BatchPlan {
     /// [`DiskArray::record_rounds`].
     #[must_use]
     pub fn execute_read_shared(&self, disks: &DiskArray) -> (BatchReads, OpCost) {
-        let (blocks, cost) = disks.read_batch_shared(&self.unique);
+        let (blocks, healths, cost) = disks.read_batch_shared_verified(&self.unique);
         (
             BatchReads {
                 blocks,
+                healths,
                 slot: self.slot.clone(),
             },
             cost,
@@ -194,6 +205,8 @@ impl BatchPlan {
 pub struct BatchReads {
     /// Unique blocks, aligned with `BatchPlan::unique_blocks`.
     blocks: Vec<Vec<Word>>,
+    /// Health per unique block, aligned with `blocks`.
+    healths: Vec<BlockHealth>,
     slot: Vec<usize>,
 }
 
@@ -227,6 +240,34 @@ impl BatchReads {
     #[must_use]
     pub fn gather(&self, range: std::ops::Range<usize>) -> Vec<Vec<Word>> {
         range.map(|i| self.blocks[self.slot[i]].clone()).collect()
+    }
+
+    /// The health of the block serving request `i` (as observed when the
+    /// plan executed).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn health(&self, i: usize) -> BlockHealth {
+        self.healths[self.slot[i]]
+    }
+
+    /// The healths of the blocks serving a contiguous request range.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `len()`.
+    #[must_use]
+    pub fn gather_healths(&self, range: std::ops::Range<usize>) -> Vec<BlockHealth> {
+        range.map(|i| self.healths[self.slot[i]]).collect()
+    }
+
+    /// Whether every block serving the request range read cleanly.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds `len()`.
+    #[must_use]
+    pub fn range_ok(&self, mut range: std::ops::Range<usize>) -> bool {
+        range.all(|i| self.healths[self.slot[i]].is_ok())
     }
 }
 
@@ -328,6 +369,58 @@ impl<'a> BatchExecutor<'a> {
         addrs.iter().map(|&a| self.cache[&a].clone()).collect()
     }
 
+    /// [`get_many`](BatchExecutor::get_many) with each address's current
+    /// [`BlockHealth`] reported alongside. Blocks staged for writing in
+    /// this batch report `Ok` (their image is ours, not the disk's);
+    /// other blocks report [`DiskArray::block_health`] — note a cached
+    /// image may have been sanitized by an *earlier* window even if the
+    /// health has since recovered; call
+    /// [`refresh`](BatchExecutor::refresh) to re-read such blocks.
+    pub fn get_many_verified(
+        &mut self,
+        addrs: &[BlockAddr],
+    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>) {
+        // Health is sampled BEFORE the prefetch so it reflects the clock
+        // the read executes at (the read itself advances the clock).
+        let healths = addrs
+            .iter()
+            .map(|a| {
+                if self.dirty.contains(a) {
+                    BlockHealth::Ok
+                } else {
+                    self.disks.block_health(*a)
+                }
+            })
+            .collect();
+        (self.get_many(addrs), healths)
+    }
+
+    /// Drop the cached images of the non-dirty addresses in `addrs` and
+    /// re-read them from disk as one planned, verified batch (advancing
+    /// the fault clocks, so a transient window can clear). Returns the
+    /// health per address; dirty (staged) addresses are left untouched
+    /// and report `Ok`. This is the retry primitive for degraded reads.
+    pub fn refresh(&mut self, addrs: &[BlockAddr]) -> Vec<BlockHealth> {
+        let retry: Vec<BlockAddr> = addrs
+            .iter()
+            .copied()
+            .filter(|a| !self.dirty.contains(a))
+            .collect();
+        let mut fresh: HashMap<BlockAddr, BlockHealth> = HashMap::new();
+        if !retry.is_empty() {
+            let plan = BatchPlan::new(self.disks.disks(), &retry);
+            let reads = plan.execute_read_verified(self.disks);
+            for (i, &a) in plan.unique_blocks().iter().enumerate() {
+                self.cache.insert(a, reads.blocks[i].clone());
+                fresh.insert(a, reads.healths[i]);
+            }
+        }
+        addrs
+            .iter()
+            .map(|a| fresh.get(a).copied().unwrap_or(BlockHealth::Ok))
+            .collect()
+    }
+
     /// Stage a full-block write. Subsequent reads of `addr` within this
     /// batch observe `data`; disk content changes only on
     /// [`commit`](BatchExecutor::commit).
@@ -356,8 +449,27 @@ impl<'a> BatchExecutor<'a> {
 
     /// Flush all staged writes as one planned write batch and return its
     /// cost (zero if nothing was staged).
-    pub fn commit(self) -> OpCost {
+    ///
+    /// Consumes the executor, so write faults that fire mid-commit cannot
+    /// be retried through it; use
+    /// [`commit_checked`](BatchExecutor::commit_checked) when a fault
+    /// plan may be active.
+    pub fn commit(mut self) -> OpCost {
+        self.commit_checked().cost
+    }
+
+    /// Flush all staged writes as one planned, **checked** write batch.
+    ///
+    /// The report lists which blocks landed and which failed (dropped on
+    /// a dead disk, or torn). Failed blocks **stay dirty** with their
+    /// staged images intact, so the commit never silently half-applies:
+    /// a later `commit_checked` retries exactly the lost writes (a torn
+    /// write is one-shot, so its retry lands; a dead disk keeps failing
+    /// until the plan is cleared).
+    pub fn commit_checked(&mut self) -> CommitReport {
         let scope = self.disks.begin_op();
+        let mut landed = Vec::new();
+        let mut failed = Vec::new();
         if !self.dirty.is_empty() {
             let plan = BatchPlan::new(self.disks.disks(), &self.dirty);
             let writes: Vec<(BlockAddr, &[Word])> = plan
@@ -365,7 +477,7 @@ impl<'a> BatchExecutor<'a> {
                 .iter()
                 .map(|a| (*a, self.cache[a].as_slice()))
                 .collect();
-            self.disks.write_batch(&writes);
+            let healths = self.disks.write_batch_checked(&writes);
             self.disks.record_rounds(plan.num_rounds() as u64);
             for r in 0..plan.num_rounds() {
                 self.disks.emit_io_event(IoEvent::RoundScheduled {
@@ -375,8 +487,40 @@ impl<'a> BatchExecutor<'a> {
             self.disks.emit_io_event(IoEvent::BatchCommitted {
                 dirty_blocks: plan.num_unique_blocks() as u64,
             });
+            for (&a, h) in plan.unique_blocks().iter().zip(&healths) {
+                if h.is_ok() {
+                    landed.push(a);
+                } else {
+                    failed.push((a, *h));
+                }
+            }
+            self.dirty.retain(|a| failed.iter().any(|(f, _)| f == a));
         }
-        self.disks.end_op(scope)
+        CommitReport {
+            cost: self.disks.end_op(scope),
+            landed,
+            failed,
+        }
+    }
+}
+
+/// Outcome of [`BatchExecutor::commit_checked`]: which staged writes
+/// landed, which failed (and why), and the I/O charged.
+#[derive(Debug, Clone, Default)]
+pub struct CommitReport {
+    /// I/O cost of the commit batch.
+    pub cost: OpCost,
+    /// Blocks whose staged image reached the disk.
+    pub landed: Vec<BlockAddr>,
+    /// Blocks whose write failed; they remain staged (dirty) for retry.
+    pub failed: Vec<(BlockAddr, BlockHealth)>,
+}
+
+impl CommitReport {
+    /// Whether every staged write landed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
     }
 }
 
@@ -712,5 +856,78 @@ mod tests {
         let mut disks = array(2, 4);
         let mut ex = BatchExecutor::new(&mut disks);
         ex.stage_write(BlockAddr::new(0, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn commit_checked_keeps_torn_writes_dirty_until_they_land() {
+        // Regression for partial commits: a torn-write fault mid-commit
+        // must be reported, keep the block staged, and succeed on retry.
+        use crate::fault::FaultPlan;
+        use crate::integrity::BlockHealth;
+
+        let mut disks = array(4, 4);
+        disks.enable_integrity();
+        disks.set_fault_plan(FaultPlan::new().torn_write(1, 0));
+        let a = BlockAddr::new(0, 0);
+        let b = BlockAddr::new(1, 0);
+        let mut ex = BatchExecutor::new(&mut disks);
+        ex.prefetch(&[a, b]);
+        ex.stage_write(a, vec![7; 4]);
+        ex.stage_write(b, vec![8; 4]);
+        let report = ex.commit_checked();
+        assert_eq!(report.landed, vec![a]);
+        assert_eq!(report.failed, vec![(b, BlockHealth::TornWrite)]);
+        assert!(!report.is_clean());
+        assert_eq!(ex.staged_writes(), 1, "failed write stays dirty");
+        assert_eq!(ex.get(b), &[8; 4], "staged image intact for retry");
+        let retry = ex.commit_checked();
+        assert!(retry.is_clean());
+        assert_eq!(retry.landed, vec![b]);
+        assert_eq!(ex.staged_writes(), 0);
+        assert_eq!(disks.peek(a), &[7; 4]);
+        assert_eq!(disks.peek(b), &[8; 4]);
+        assert_eq!(disks.scrub_verify().checksum_failures, 0);
+    }
+
+    #[test]
+    fn commit_checked_reports_dead_disk_drops() {
+        use crate::fault::FaultPlan;
+        use crate::integrity::BlockHealth;
+
+        let mut disks = array(4, 4);
+        disks.set_fault_plan(FaultPlan::new().dead_disk(2));
+        let dead = BlockAddr::new(2, 1);
+        let live = BlockAddr::new(3, 1);
+        let mut ex = BatchExecutor::new(&mut disks);
+        ex.stage_write(dead, vec![5; 4]);
+        ex.stage_write(live, vec![6; 4]);
+        let report = ex.commit_checked();
+        assert_eq!(report.landed, vec![live]);
+        assert_eq!(report.failed, vec![(dead, BlockHealth::DiskDead)]);
+        assert_eq!(ex.staged_writes(), 1, "dead-disk write stays dirty");
+        // Replacement disk arrives: the retried commit lands.
+        ex.disks.clear_fault_plan();
+        let retry = ex.commit_checked();
+        assert!(retry.is_clean());
+        assert_eq!(disks.peek(dead), &[5; 4]);
+    }
+
+    #[test]
+    fn refresh_rereads_past_a_transient_window() {
+        use crate::fault::FaultPlan;
+        use crate::integrity::BlockHealth;
+
+        let mut disks = array(2, 4);
+        let a = BlockAddr::new(0, 0);
+        disks.write_block(a, &[3; 4]);
+        // The next (= first since install) read batch on disk 0 fails.
+        disks.set_fault_plan(FaultPlan::new().transient_read(0, 0, 1));
+        let mut ex = BatchExecutor::new(&mut disks);
+        let (blocks, healths) = ex.get_many_verified(&[a]);
+        assert_eq!(healths, vec![BlockHealth::TransientError]);
+        assert_eq!(blocks[0], vec![0; 4], "window active: sanitized");
+        let healths = ex.refresh(&[a]);
+        assert_eq!(healths, vec![BlockHealth::Ok], "retry cleared the window");
+        assert_eq!(ex.get(a), &[3; 4], "cache now holds the real content");
     }
 }

@@ -2,9 +2,11 @@
 //! parallel-I/O accounting.
 
 use crate::config::PdmConfig;
+use crate::fault::{Fault, FaultPlan, FaultState};
+use crate::integrity::{BlockCodec, BlockHealth, MixCodec, ScrubReport};
 use crate::metrics::{IoEvent, IoEventSink};
 use crate::stats::{IoStats, OpCost, OpScope};
-use crate::Word;
+use crate::{Word, WORD_BITS};
 use std::sync::Arc;
 
 /// Address of one block: `(disk, block index within the disk)`.
@@ -35,6 +37,18 @@ impl BlockAddr {
 /// Blocks are zero-initialized. Disks can be grown with
 /// [`grow`](DiskArray::grow); growing performs no I/O (it models buying a
 /// bigger disk, not moving data).
+///
+/// ## Faults and integrity
+///
+/// A [`FaultPlan`] can be installed with
+/// [`set_fault_plan`](DiskArray::set_fault_plan) and per-block checksums
+/// enabled with [`enable_integrity`](DiskArray::enable_integrity). With
+/// either active, reads **sanitize**: a block that is dead, inside a
+/// transient-error window, or fails checksum verification is returned as
+/// all zeros — which every decoder in this workspace interprets as
+/// "unoccupied" — and its [`BlockHealth`] is reported by the `_verified`
+/// read variants. With neither active the fault machinery costs one
+/// branch per batch.
 #[derive(Clone)]
 pub struct DiskArray {
     cfg: PdmConfig,
@@ -44,6 +58,20 @@ pub struct DiskArray {
     per_disk_scratch: Vec<usize>,
     // Observability hook; `None` (the default) costs one branch per batch.
     sink: Option<Arc<dyn IoEventSink>>,
+    // Active fault plan plus its per-disk access clocks.
+    fault: Option<FaultState>,
+    // Sidecar checksums, per disk per block; `None` until
+    // `enable_integrity` seals the current content.
+    checksums: Option<Vec<Vec<Word>>>,
+    // Blocks verified against (or sealed into) the sidecar since the last
+    // event that could have silently damaged them; reads of a clean block
+    // skip recomputing the checksum. Models verify-on-first-read into a
+    // trusted cache: the checksum guards the *medium*, and the only paths
+    // that can damage the medium behind the array's back — installing a
+    // fault plan, `poke`, a torn write — all invalidate here. Sized in
+    // lockstep with `checksums`; empty while integrity is off.
+    verified_clean: Vec<Vec<bool>>,
+    codec: Arc<dyn BlockCodec>,
 }
 
 impl std::fmt::Debug for DiskArray {
@@ -53,6 +81,8 @@ impl std::fmt::Debug for DiskArray {
             .field("stats", &self.stats)
             .field("blocks_per_disk", &self.disks.first().map_or(0, Vec::len))
             .field("sink", &self.sink.as_ref().map(|_| "Arc<dyn IoEventSink>"))
+            .field("fault", &self.fault)
+            .field("integrity", &self.checksums.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -75,6 +105,10 @@ impl DiskArray {
             stats: IoStats::default(),
             per_disk_scratch: vec![0; cfg.disks],
             sink: None,
+            fault: None,
+            checksums: None,
+            verified_clean: Vec::new(),
+            codec: Arc::new(MixCodec),
         }
     }
 
@@ -135,10 +169,23 @@ impl DiskArray {
     }
 
     /// Grow every disk to at least `blocks_per_disk` blocks (no I/O charged).
+    ///
+    /// With integrity enabled the new (zeroed) blocks arrive sealed, like
+    /// a freshly formatted extension.
     pub fn grow(&mut self, blocks_per_disk: usize) {
         for disk in &mut self.disks {
             while disk.len() < blocks_per_disk {
                 disk.push(vec![0 as Word; self.cfg.block_words].into_boxed_slice());
+            }
+        }
+        if let Some(sums) = &mut self.checksums {
+            for (d, disk_sums) in sums.iter_mut().enumerate() {
+                while disk_sums.len() < self.disks[d].len() {
+                    let b = disk_sums.len();
+                    let sum = self.codec.checksum(BlockAddr::new(d, b), &self.disks[d][b]);
+                    disk_sums.push(sum);
+                    self.verified_clean[d].push(true);
+                }
             }
         }
     }
@@ -193,12 +240,174 @@ impl DiskArray {
         cost
     }
 
-    /// Read a batch of blocks. Returns copies of the blocks' contents in the
-    /// order of `addrs`. Charges the model cost of the batch.
+    /// Whether any fault or integrity machinery is active (the slow-path
+    /// gate: with neither, reads and writes skip all health work).
+    fn hazards_active(&self) -> bool {
+        self.fault.is_some() || self.checksums.is_some()
+    }
+
+    /// Health of `addr` against the current fault state and checksums.
+    /// `read_index`, when given, is the per-disk read-batch index to test
+    /// transient windows against; `None` uses the disk's current clock.
+    fn health_at(&self, addr: BlockAddr, read_index: Option<u64>) -> BlockHealth {
+        if let Some(fs) = &self.fault {
+            if fs.is_dead(addr.disk) {
+                return BlockHealth::DiskDead;
+            }
+            let idx = read_index.unwrap_or_else(|| fs.read_clock(addr.disk));
+            if fs.transient_at(addr.disk, idx) {
+                return BlockHealth::TransientError;
+            }
+        }
+        if let Some(sums) = &self.checksums {
+            if !self.verified_clean[addr.disk][addr.block]
+                && self.codec.checksum(addr, &self.disks[addr.disk][addr.block])
+                    != sums[addr.disk][addr.block]
+            {
+                return BlockHealth::ChecksumMismatch;
+            }
+        }
+        BlockHealth::Ok
+    }
+
+    /// Reseal the checksum of `addr` over its current content.
+    fn reseal(&mut self, addr: BlockAddr) {
+        let sum = match &self.checksums {
+            Some(_) => self.codec.checksum(addr, &self.disks[addr.disk][addr.block]),
+            None => return,
+        };
+        if let Some(sums) = &mut self.checksums {
+            sums[addr.disk][addr.block] = sum;
+            self.verified_clean[addr.disk][addr.block] = true;
+        }
+    }
+
+    /// Drop every verified-clean bit: the next read of each block
+    /// re-verifies it against the sidecar.
+    fn invalidate_verified(&mut self) {
+        for disk in &mut self.verified_clean {
+            disk.fill(false);
+        }
+    }
+
+    /// Install a fault plan, replacing any active one.
+    ///
+    /// Install-time effects fire immediately: dead disks lose their data
+    /// (zeroed, and — with integrity on — resealed, so that the *fault
+    /// state* rather than a stale checksum is what reports the failure,
+    /// and clearing the plan models a freshly formatted replacement
+    /// disk); bit-rot flips land without resealing, leaving silent
+    /// corruption only integrity verification can see. Access clocks
+    /// (transient-read windows, torn-write counters) start at zero.
+    ///
+    /// # Panics
+    /// Panics if a fault names a disk or block out of range.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for fault in plan.faults() {
+            match *fault {
+                Fault::DeadDisk { disk } => {
+                    assert!(
+                        disk < self.cfg.disks,
+                        "dead disk {disk} out of range (D = {})",
+                        self.cfg.disks
+                    );
+                    for b in 0..self.disks[disk].len() {
+                        self.disks[disk][b].fill(0);
+                        self.reseal(BlockAddr::new(disk, b));
+                    }
+                }
+                Fault::BitRot { disk, block, bit } => {
+                    let addr = BlockAddr::new(disk, block);
+                    self.check(addr);
+                    let bit = (bit as usize) % (self.cfg.block_words * WORD_BITS);
+                    self.disks[disk][block][bit / WORD_BITS] ^= 1 << (bit % WORD_BITS);
+                    // Checksum deliberately left stale: silent corruption.
+                }
+                _ => {}
+            }
+        }
+        // Any plan may have damaged the medium behind sealed checksums
+        // (bit rot): force re-verification of everything.
+        self.invalidate_verified();
+        self.fault = Some(FaultState::new(plan, self.cfg.disks));
+    }
+
+    /// Remove the active fault plan. Dead disks come back as freshly
+    /// formatted replacements (their data stays lost until a scrub
+    /// rebuilds it); bit-rot damage remains on disk.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// The active fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(FaultState::plan)
+    }
+
+    /// Seal a checksum over every block's **current** content and verify
+    /// on every subsequent read. Call after construction (or any trusted
+    /// state); blocks damaged later fail verification and sanitize.
+    pub fn enable_integrity(&mut self) {
+        let sums: Vec<Vec<Word>> = self
+            .disks
+            .iter()
+            .enumerate()
+            .map(|(d, blocks)| {
+                blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(b, data)| self.codec.checksum(BlockAddr::new(d, b), data))
+                    .collect()
+            })
+            .collect();
+        self.verified_clean = self.disks.iter().map(|d| vec![true; d.len()]).collect();
+        self.checksums = Some(sums);
+    }
+
+    /// Whether integrity checksums are active.
+    #[must_use]
+    pub fn integrity_enabled(&self) -> bool {
+        self.checksums.is_some()
+    }
+
+    /// Install a checksum codec. If integrity is already enabled the
+    /// current content is resealed under the new codec.
+    pub fn set_block_codec(&mut self, codec: Arc<dyn BlockCodec>) {
+        self.codec = codec;
+        if self.integrity_enabled() {
+            self.enable_integrity();
+        }
+    }
+
+    /// Health of one block, **uncharged** (no I/O, no clock movement):
+    /// dead-disk and transient state are evaluated against the disk's
+    /// current read clock, and the checksum is verified if integrity is
+    /// enabled.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range address.
+    #[must_use]
+    pub fn block_health(&self, addr: BlockAddr) -> BlockHealth {
+        self.check(addr);
+        if !self.hazards_active() {
+            return BlockHealth::Ok;
+        }
+        self.health_at(addr, None)
+    }
+
+    /// Read a batch of blocks and report each block's [`BlockHealth`].
+    /// Failed blocks are **sanitized** (returned as all zeros). Charges
+    /// the model cost of the batch and advances the per-disk read clocks
+    /// that transient-fault windows are measured in — so retrying a
+    /// transient failure with a second call can succeed.
     ///
     /// # Panics
     /// Panics on any out-of-range address.
-    pub fn read_batch(&mut self, addrs: &[BlockAddr]) -> Vec<Vec<Word>> {
+    pub fn read_batch_verified(
+        &mut self,
+        addrs: &[BlockAddr],
+    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>) {
         for &a in addrs {
             self.check(a);
         }
@@ -211,21 +420,69 @@ impl DiskArray {
                 parallel_ios: cost,
             });
         }
-        addrs
+        if !self.hazards_active() {
+            let blocks = addrs
+                .iter()
+                .map(|&a| self.disks[a.disk][a.block].to_vec())
+                .collect();
+            return (blocks, vec![BlockHealth::Ok; addrs.len()]);
+        }
+        // Every address in the batch shares its disk's current (not yet
+        // advanced) read index, then the clocks of all touched disks tick.
+        let healths: Vec<BlockHealth> = addrs.iter().map(|&a| self.health_at(a, None)).collect();
+        if self.checksums.is_some() {
+            // A block that read clean stays clean until the medium can be
+            // damaged again; skip re-verifying it on later reads.
+            for (&a, h) in addrs.iter().zip(&healths) {
+                if h.is_ok() {
+                    self.verified_clean[a.disk][a.block] = true;
+                }
+            }
+        }
+        if !addrs.is_empty() {
+            if let Some(fs) = self.fault.as_mut() {
+                fs.tick_reads(&self.per_disk_scratch);
+            }
+        }
+        let blocks = addrs
             .iter()
-            .map(|&a| self.disks[a.disk][a.block].to_vec())
-            .collect()
+            .zip(&healths)
+            .map(|(&a, h)| {
+                if h.is_ok() {
+                    self.disks[a.disk][a.block].to_vec()
+                } else {
+                    vec![0 as Word; self.cfg.block_words]
+                }
+            })
+            .collect();
+        (blocks, healths)
     }
 
-    /// Write a batch of blocks. Each payload must be at most `B` words; a
-    /// shorter payload leaves the block's tail untouched (the model reads a
-    /// block before partially writing it, so partial writes are only issued
-    /// by callers that already hold the block — all code in this workspace
-    /// writes full blocks). Charges the model cost of the batch.
+    /// Read a batch of blocks. Returns copies of the blocks' contents in the
+    /// order of `addrs`, **sanitized** under any active fault plan or
+    /// integrity failure (failed blocks read as all zeros; use
+    /// [`read_batch_verified`](DiskArray::read_batch_verified) to observe
+    /// the per-block health). Charges the model cost of the batch.
+    ///
+    /// # Panics
+    /// Panics on any out-of-range address.
+    pub fn read_batch(&mut self, addrs: &[BlockAddr]) -> Vec<Vec<Word>> {
+        self.read_batch_verified(addrs).0
+    }
+
+    /// Write a batch of blocks and report each write's [`BlockHealth`]:
+    /// `Ok` when the payload landed fully, [`BlockHealth::DiskDead`] when
+    /// it was dropped on a dead disk, [`BlockHealth::TornWrite`] when a
+    /// torn-write fault cut it short. With integrity enabled, landed
+    /// writes are resealed; a torn write seals the checksum over the
+    /// *intended* content, so the damage is caught at next read.
+    ///
+    /// Each payload must be at most `B` words; a shorter payload leaves
+    /// the block's tail untouched. Charges the model cost of the batch.
     ///
     /// # Panics
     /// Panics on any out-of-range address or an over-long payload.
-    pub fn write_batch(&mut self, writes: &[(BlockAddr, &[Word])]) {
+    pub fn write_batch_checked(&mut self, writes: &[(BlockAddr, &[Word])]) -> Vec<BlockHealth> {
         for &(a, data) in writes {
             self.check(a);
             assert!(
@@ -244,9 +501,73 @@ impl DiskArray {
                 parallel_ios: cost,
             });
         }
-        for &(a, data) in writes {
-            self.disks[a.disk][a.block][..data.len()].copy_from_slice(data);
+        if !self.hazards_active() {
+            for &(a, data) in writes {
+                self.disks[a.disk][a.block][..data.len()].copy_from_slice(data);
+            }
+            return vec![BlockHealth::Ok; writes.len()];
         }
+        // Advance the per-disk write clocks (torn-write faults key on the
+        // write-batch index of their disk).
+        let write_indexes: Vec<u64> = {
+            let scratch = std::mem::take(&mut self.per_disk_scratch);
+            let indexes = match self.fault.as_mut() {
+                Some(fs) => fs.tick_writes(&scratch),
+                None => Vec::new(),
+            };
+            self.per_disk_scratch = scratch;
+            indexes
+        };
+        let mut healths = vec![BlockHealth::Ok; writes.len()];
+        let mut first_on_disk = vec![true; self.cfg.disks];
+        for (i, &(a, data)) in writes.iter().enumerate() {
+            let is_first = std::mem::replace(&mut first_on_disk[a.disk], false);
+            let mut torn = false;
+            if let Some(fs) = self.fault.as_mut() {
+                if fs.is_dead(a.disk) {
+                    healths[i] = BlockHealth::DiskDead;
+                    continue; // dropped
+                }
+                torn = is_first && fs.consume_torn(a.disk, write_indexes[a.disk]);
+            }
+            if torn {
+                // Only a prefix lands; the checksum seals the INTENDED
+                // content so unchecked writers' damage is detectable.
+                let intended_sum = self.checksums.as_ref().map(|_| {
+                    let mut intended = self.disks[a.disk][a.block].to_vec();
+                    intended[..data.len()].copy_from_slice(data);
+                    self.codec.checksum(a, &intended)
+                });
+                let torn_len = data.len() / 2;
+                self.disks[a.disk][a.block][..torn_len].copy_from_slice(&data[..torn_len]);
+                if let Some(sum) = intended_sum {
+                    self.checksums.as_mut().expect("integrity enabled")[a.disk][a.block] = sum;
+                    self.verified_clean[a.disk][a.block] = false;
+                }
+                healths[i] = BlockHealth::TornWrite;
+            } else {
+                self.disks[a.disk][a.block][..data.len()].copy_from_slice(data);
+                self.reseal(a);
+            }
+        }
+        healths
+    }
+
+    /// Write a batch of blocks. Each payload must be at most `B` words; a
+    /// shorter payload leaves the block's tail untouched (the model reads a
+    /// block before partially writing it, so partial writes are only issued
+    /// by callers that already hold the block — all code in this workspace
+    /// writes full blocks). Charges the model cost of the batch.
+    ///
+    /// Under an active fault plan, writes to dead disks are silently
+    /// dropped and torn writes land partially; use
+    /// [`write_batch_checked`](DiskArray::write_batch_checked) to observe
+    /// per-write health.
+    ///
+    /// # Panics
+    /// Panics on any out-of-range address or an over-long payload.
+    pub fn write_batch(&mut self, writes: &[(BlockAddr, &[Word])]) {
+        let _ = self.write_batch_checked(writes);
     }
 
     /// Read a batch through a **shared** reference: returns the blocks and
@@ -265,6 +586,26 @@ impl DiskArray {
     /// Panics on any out-of-range address.
     #[must_use]
     pub fn read_batch_shared(&self, addrs: &[BlockAddr]) -> (Vec<Vec<Word>>, OpCost) {
+        let (blocks, _, cost) = self.read_batch_shared_verified(addrs);
+        (blocks, cost)
+    }
+
+    /// [`read_batch_shared`](DiskArray::read_batch_shared) with per-block
+    /// [`BlockHealth`] reported and failed blocks sanitized to zeros.
+    ///
+    /// Shared reads cannot advance the per-disk read clocks (they hold no
+    /// exclusive reference), so transient-fault windows are evaluated
+    /// against each disk's *current* clock — an approximation that errs
+    /// toward reporting the window for as long as charged traffic has not
+    /// moved past it.
+    ///
+    /// # Panics
+    /// Panics on any out-of-range address.
+    #[must_use]
+    pub fn read_batch_shared_verified(
+        &self,
+        addrs: &[BlockAddr],
+    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>, OpCost) {
         let mut per_disk = vec![0usize; self.cfg.disks];
         for &a in addrs {
             self.check(a);
@@ -275,11 +616,56 @@ impl DiskArray {
             block_reads: addrs.len() as u64,
             block_writes: 0,
         };
+        if !self.hazards_active() {
+            let blocks = addrs
+                .iter()
+                .map(|&a| self.disks[a.disk][a.block].to_vec())
+                .collect();
+            return (blocks, vec![BlockHealth::Ok; addrs.len()], cost);
+        }
+        let healths: Vec<BlockHealth> = addrs.iter().map(|&a| self.health_at(a, None)).collect();
         let blocks = addrs
             .iter()
-            .map(|&a| self.disks[a.disk][a.block].to_vec())
+            .zip(&healths)
+            .map(|(&a, h)| {
+                if h.is_ok() {
+                    self.disks[a.disk][a.block].to_vec()
+                } else {
+                    vec![0 as Word; self.cfg.block_words]
+                }
+            })
             .collect();
-        (blocks, cost)
+        (blocks, healths, cost)
+    }
+
+    /// Walk every block in striped (row-major) order as charged, verified
+    /// read batches, counting checksum failures. This is the base-layer
+    /// scrub: it detects damage but repairs nothing — front-ends with
+    /// redundancy layer repair on top (see `pdm-dict`'s `Dict::scrub`).
+    pub fn scrub_verify(&mut self) -> ScrubReport {
+        let scope = self.begin_op();
+        // A scrub is by definition a full medium walk: bypass (and then
+        // repopulate) the verified-clean cache.
+        self.invalidate_verified();
+        let mut report = ScrubReport::default();
+        let rows = (0..self.cfg.disks)
+            .map(|d| self.disks[d].len())
+            .max()
+            .unwrap_or(0);
+        for row in 0..rows {
+            let addrs: Vec<BlockAddr> = (0..self.cfg.disks)
+                .filter(|&d| row < self.disks[d].len())
+                .map(|d| BlockAddr::new(d, row))
+                .collect();
+            let (_, healths) = self.read_batch_verified(&addrs);
+            report.blocks_scanned += addrs.len() as u64;
+            report.checksum_failures += healths
+                .iter()
+                .filter(|h| **h == BlockHealth::ChecksumMismatch)
+                .count() as u64;
+        }
+        report.cost = self.end_op(scope);
+        report
     }
 
     /// Record a cost computed elsewhere (e.g. by
@@ -349,10 +735,17 @@ impl DiskArray {
 
     /// Mutate a block **without** charging I/O. Counterpart of
     /// [`peek`](DiskArray::peek) for test setup.
+    ///
+    /// Deliberately does **not** reseal the block's checksum: a poke
+    /// models out-of-band corruption, which integrity verification is
+    /// supposed to catch.
     pub fn poke(&mut self, addr: BlockAddr, data: &[Word]) {
         self.check(addr);
         assert!(data.len() <= self.cfg.block_words);
         self.disks[addr.disk][addr.block][..data.len()].copy_from_slice(data);
+        if !self.verified_clean.is_empty() {
+            self.verified_clean[addr.disk][addr.block] = false;
+        }
     }
 }
 
@@ -508,5 +901,154 @@ mod tests {
     fn total_words_reflects_geometry() {
         let disks = small();
         assert_eq!(disks.total_words(), 4 * 4 * 8);
+    }
+
+    #[test]
+    fn dead_disk_sanitizes_reads_and_drops_writes() {
+        let mut disks = small();
+        let dead = BlockAddr::new(2, 1);
+        let live = BlockAddr::new(1, 1);
+        disks.write_block(dead, &[7; 8]);
+        disks.write_block(live, &[9; 8]);
+        disks.set_fault_plan(FaultPlan::new().dead_disk(2));
+        let (blocks, healths) = disks.read_batch_verified(&[dead, live]);
+        assert_eq!(blocks[0], vec![0; 8], "dead-disk read sanitizes to zeros");
+        assert_eq!(blocks[1], vec![9; 8]);
+        assert_eq!(healths, vec![BlockHealth::DiskDead, BlockHealth::Ok]);
+        let wh = disks.write_batch_checked(&[(dead, &[3; 8][..]), (live, &[4; 8][..])]);
+        assert_eq!(wh, vec![BlockHealth::DiskDead, BlockHealth::Ok]);
+        // Replacement disk: accesses recover, data stays lost.
+        disks.clear_fault_plan();
+        assert_eq!(disks.read_block(dead), vec![0; 8]);
+        assert_eq!(disks.block_health(dead), BlockHealth::Ok);
+        assert_eq!(disks.read_block(live), vec![4; 8]);
+    }
+
+    #[test]
+    fn transient_read_window_clears_on_retry() {
+        let mut disks = small();
+        let a = BlockAddr::new(1, 0);
+        disks.write_block(a, &[5; 8]);
+        // First read batch touching disk 1 fails; the next succeeds.
+        disks.set_fault_plan(FaultPlan::new().transient_read(1, 0, 1));
+        let (blocks, healths) = disks.read_batch_verified(&[a]);
+        assert_eq!(healths[0], BlockHealth::TransientError);
+        assert_eq!(blocks[0], vec![0; 8]);
+        let (blocks, healths) = disks.read_batch_verified(&[a]);
+        assert_eq!(healths[0], BlockHealth::Ok, "data was intact underneath");
+        assert_eq!(blocks[0], vec![5; 8]);
+    }
+
+    #[test]
+    fn bit_rot_is_silent_without_integrity_and_caught_with_it() {
+        let run = |integrity: bool| {
+            let mut disks = small();
+            let a = BlockAddr::new(0, 2);
+            disks.write_block(a, &[1; 8]);
+            if integrity {
+                disks.enable_integrity();
+            }
+            disks.set_fault_plan(FaultPlan::new().bit_rot(0, 2, 3));
+            disks.read_batch_verified(&[a])
+        };
+        let (blocks, healths) = run(false);
+        assert_eq!(healths[0], BlockHealth::Ok, "no integrity: rot is silent");
+        assert_eq!(blocks[0][0], 1 ^ (1 << 3), "garbage decodes as-is");
+        let (blocks, healths) = run(true);
+        assert_eq!(healths[0], BlockHealth::ChecksumMismatch);
+        assert_eq!(blocks[0], vec![0; 8], "integrity sanitizes the rot");
+    }
+
+    #[test]
+    fn torn_write_lands_a_prefix_and_is_caught_by_integrity() {
+        let mut disks = small();
+        let a = BlockAddr::new(3, 0);
+        disks.write_block(a, &[9; 8]);
+        disks.enable_integrity();
+        disks.set_fault_plan(FaultPlan::new().torn_write(3, 0));
+        let wh = disks.write_batch_checked(&[(a, &[2; 8][..])]);
+        assert_eq!(wh, vec![BlockHealth::TornWrite]);
+        assert_eq!(
+            disks.peek(a),
+            &[2, 2, 2, 2, 9, 9, 9, 9],
+            "only the prefix landed"
+        );
+        let (blocks, healths) = disks.read_batch_verified(&[a]);
+        assert_eq!(healths[0], BlockHealth::ChecksumMismatch);
+        assert_eq!(blocks[0], vec![0; 8]);
+        // Torn writes are one-shot: the retry lands fully and reseals.
+        let wh = disks.write_batch_checked(&[(a, &[2; 8][..])]);
+        assert_eq!(wh, vec![BlockHealth::Ok]);
+        let (blocks, healths) = disks.read_batch_verified(&[a]);
+        assert_eq!(healths[0], BlockHealth::Ok);
+        assert_eq!(blocks[0], vec![2; 8]);
+    }
+
+    #[test]
+    fn poke_leaves_checksums_stale() {
+        let mut disks = small();
+        let a = BlockAddr::new(0, 0);
+        disks.write_block(a, &[4; 8]);
+        disks.enable_integrity();
+        disks.poke(a, &[5; 8]);
+        assert_eq!(disks.block_health(a), BlockHealth::ChecksumMismatch);
+        assert_eq!(disks.read_block(a), vec![0; 8], "sanitized");
+        // A charged write reseals.
+        disks.write_block(a, &[6; 8]);
+        assert_eq!(disks.block_health(a), BlockHealth::Ok);
+        assert_eq!(disks.read_block(a), vec![6; 8]);
+    }
+
+    #[test]
+    fn shared_verified_reads_match_exclusive_reads() {
+        let mut disks = small();
+        let good = BlockAddr::new(0, 0);
+        let bad = BlockAddr::new(1, 0);
+        disks.write_block(good, &[3; 8]);
+        disks.write_block(bad, &[8; 8]);
+        disks.enable_integrity();
+        disks.poke(bad, &[1; 8]);
+        let (shared, shealths, cost) = disks.read_batch_shared_verified(&[good, bad]);
+        let (excl, ehealths) = disks.read_batch_verified(&[good, bad]);
+        assert_eq!(shared, excl);
+        assert_eq!(shealths, ehealths);
+        assert_eq!(cost.parallel_ios, 1);
+    }
+
+    #[test]
+    fn scrub_verify_counts_checksum_failures() {
+        let mut disks = small();
+        disks.write_block(BlockAddr::new(0, 0), &[1; 8]);
+        disks.write_block(BlockAddr::new(2, 3), &[2; 8]);
+        disks.enable_integrity();
+        disks.poke(BlockAddr::new(2, 3), &[9; 8]);
+        disks.poke(BlockAddr::new(1, 1), &[9; 8]);
+        let report = disks.scrub_verify();
+        assert_eq!(report.blocks_scanned, 16);
+        assert_eq!(report.checksum_failures, 2);
+        assert_eq!(report.cost.block_reads, 16);
+        assert_eq!(report.cost.parallel_ios, 4, "one round per row");
+    }
+
+    #[test]
+    fn grow_seals_new_blocks() {
+        let mut disks = small();
+        disks.enable_integrity();
+        disks.grow(6);
+        assert_eq!(disks.block_health(BlockAddr::new(0, 5)), BlockHealth::Ok);
+        assert_eq!(disks.scrub_verify().checksum_failures, 0);
+    }
+
+    #[test]
+    fn clean_array_has_zero_overhead_branches_only() {
+        // No plan, no integrity: verified reads report all-Ok without
+        // touching any fault machinery.
+        let mut disks = small();
+        disks.write_block(BlockAddr::new(0, 0), &[1; 8]);
+        let (blocks, healths) = disks.read_batch_verified(&[BlockAddr::new(0, 0)]);
+        assert_eq!(blocks[0], vec![1; 8]);
+        assert_eq!(healths, vec![BlockHealth::Ok]);
+        assert_eq!(disks.fault_plan(), None);
+        assert!(!disks.integrity_enabled());
     }
 }

@@ -61,7 +61,9 @@ pub mod batch;
 pub mod bits;
 pub mod config;
 pub mod disk;
+pub mod fault;
 pub mod file;
+pub mod integrity;
 pub mod memory;
 pub mod metrics;
 pub mod record;
@@ -69,10 +71,12 @@ pub mod sort;
 pub mod stats;
 pub mod stripe;
 
-pub use batch::{BatchExecutor, BatchPlan, BatchReads};
+pub use batch::{BatchExecutor, BatchPlan, BatchReads, CommitReport};
 pub use config::{Model, PdmConfig};
 pub use disk::{BlockAddr, DiskArray};
+pub use fault::{Fault, FaultPlan};
 pub use file::RecordFile;
+pub use integrity::{BlockCodec, BlockHealth, IoFaultKind, MixCodec, ScrubReport};
 pub use memory::MemTracker;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, IoEvent, IoEventSink, IoMetricsSink,

@@ -4,7 +4,7 @@
 
 mod harness;
 
-use harness::{dense_keys, frontend, padded_entries, wipe_disk};
+use harness::{dense_keys, frontend, kill_disk, kill_disks, padded_entries};
 use pdm::{BlockAddr, DiskArray, PdmConfig, Word};
 use pdm_dict::basic::{BasicDict, BasicDictConfig};
 use pdm_dict::layout::DiskAllocator;
@@ -24,9 +24,11 @@ fn entries(n: usize, sigma: usize) -> Vec<(u64, Vec<Word>)> {
 fn one_probe_case_b_membership_survives_a_dead_disk() {
     // Case (b) stores each key's identifier in 2d/3 of d fields; killing
     // ONE disk removes at most one of them, so the majority (and hence
-    // membership detection) survives for every key. The satellite of a
-    // key that had a chunk on the dead disk is damaged (one chunk is an
-    // erasure) — but keys with no field there decode exactly.
+    // membership detection) survives for every key. And because every
+    // record carries one XOR-parity chunk, the erasure-aware decoder
+    // recovers the single missing chunk: with the fault *plan* active
+    // (so reads report which probes are erasures, not just zeros), every
+    // key's exact satellite comes back — degraded in provenance only.
     let d = 13;
     let mut disks = DiskArray::new(PdmConfig::new(d, 64), 0);
     let mut alloc = DiskAllocator::new(d);
@@ -35,27 +37,15 @@ fn one_probe_case_b_membership_survives_a_dead_disk() {
     let (dict, _) =
         OneProbeStatic::build(&mut disks, &mut alloc, 0, &params, OneProbeVariant::CaseB, &es)
             .unwrap();
-    wipe_disk(&mut disks, 4);
-    let mut exact = 0;
+    kill_disk(&mut disks, 4);
     for (k, s) in &es {
         let out = dict.lookup(&mut disks, *k);
-        assert!(
-            out.found(),
-            "membership of {k} lost after a single-disk failure (majority should survive)"
+        assert_eq!(
+            out.satellite.as_ref(),
+            Some(s),
+            "key {k} not exactly recovered under a single-disk failure"
         );
-        if out.satellite.as_ref() == Some(s) {
-            exact += 1;
-        }
     }
-    // Keys with no field on the dead disk decode exactly. The assignment
-    // takes the first m = ⌈2d/3⌉ unique neighbors in stripe order, so low
-    // stripes (like the wiped stripe 4) are over-represented; empirically
-    // ~12% of keys avoid it entirely. The hard guarantee under test is
-    // the membership majority above; exact-decode count is a sanity floor.
-    assert!(
-        exact >= 10,
-        "only {exact}/150 keys decoded exactly — erasure blast radius too large"
-    );
 }
 
 #[test]
@@ -70,9 +60,7 @@ fn one_probe_case_b_fails_closed_when_majority_is_gone() {
     let (dict, _) =
         OneProbeStatic::build(&mut disks, &mut alloc, 0, &params, OneProbeVariant::CaseB, &es)
             .unwrap();
-    for disk in 0..9 {
-        wipe_disk(&mut disks, disk);
-    }
+    kill_disks(&mut disks, &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
     for (k, s) in &es {
         let out = dict.lookup(&mut disks, *k);
         if let Some(got) = out.satellite {
@@ -126,9 +114,9 @@ fn dynamic_dict_tolerates_corrupted_membership_bucket() {
     for (k, s) in entries(200, 1) {
         dict.insert(&mut disks, k, &s).unwrap();
     }
-    // Wipe one membership disk: keys whose bucket lived there now miss;
+    // Kill one membership disk: keys whose bucket lived there now miss;
     // everything else still answers; nothing panics.
-    wipe_disk(&mut disks, 3);
+    kill_disk(&mut disks, 3);
     let mut still_found = 0;
     for (k, s) in entries(200, 1) {
         let out = dict.lookup(&mut disks, k);
@@ -150,11 +138,12 @@ fn batch_lookup_degrades_exactly_like_sequential_on_a_dead_disk() {
     // scheduled into rounds), so a dead disk must produce *identical*
     // per-key outcomes for EVERY front-end: same misses, same
     // damaged-satellite decodes, no panics, no cross-key corruption.
-    // Quirks per front: `exact_when_found` is off for the decoding
-    // fronts (one-probe erasures and wide missing-chunk decodes may
-    // damage a found key's own satellite — the majority/membership
-    // guarantees are pinned by the dedicated tests above); the survivor
-    // floor scales with how many disks the front spreads a key over.
+    // Every front is fail-closed under sanitized reads — a found answer
+    // is exact for its key — and the one-probe case (b) recovers every
+    // key exactly through its parity chunk once the fault plan reports
+    // the erasure. The survivor floor scales with how many disks the
+    // front spreads a key over (`wide` loses any key with a chunk on the
+    // dead disk, so its floor is zero).
     struct DeadDiskCase {
         front: &'static str,
         wipe: usize,
@@ -179,13 +168,15 @@ fn batch_lookup_degrades_exactly_like_sequential_on_a_dead_disk() {
         DeadDiskCase {
             front: "one_probe_b",
             wipe: 4,
-            exact_when_found: false,
-            min_survivors: 0,
+            exact_when_found: true,
+            // 13 disks, one parity chunk per record: a single dead disk
+            // is a recoverable erasure for every key.
+            min_survivors: 200,
         },
         DeadDiskCase {
             front: "wide",
             wipe: 5,
-            exact_when_found: false,
+            exact_when_found: true,
             min_survivors: 0,
         },
     ];
@@ -193,7 +184,7 @@ fn batch_lookup_degrades_exactly_like_sequential_on_a_dead_disk() {
         let f = frontend(case.front);
         let es = padded_entries(&f, &dense_keys(200));
         let mut dict = (f.build)(es.len(), &es, 3);
-        wipe_disk(dict.disks_mut().unwrap(), case.wipe);
+        kill_disk(dict.disks_mut().unwrap(), case.wipe);
 
         let keys: Vec<u64> = es.iter().map(|(k, _)| *k).chain(5000..5100).collect();
         let seq: Vec<Option<Vec<Word>>> = keys.iter().map(|&k| dict.lookup(k).satellite).collect();
