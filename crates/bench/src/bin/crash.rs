@@ -1,0 +1,321 @@
+//! CRASH — journaling overhead per op class and recovery cost vs
+//! in-flight ops.
+//!
+//! Two identical `DynamicDict` twins replay the same read-heavy mixed
+//! workload (~92% lookups — the shape of `workload_replay`'s trace —
+//! plus inserts, deletes, and one batched insert), one with the
+//! write-ahead intent journal enabled and one without (the PR-2
+//! baseline). Parallel I/Os are counted per op class — deterministic in
+//! the PDM cost model, so the gate is immune to CI timer noise;
+//! wall-clock totals ride along for reference. Separately, recovery
+//! cost is measured as a function of the number of in-flight (appended,
+//! not yet truncated) intents at two dictionary sizes, on a ring large
+//! enough that ring-pressure truncation does not fire mid-measurement
+//! (a `DynamicDict` insert journals its whole membership replica set,
+//! ~17 ring slots per intent).
+//!
+//! Writes `target/experiments/BENCH_crash.json` and exits nonzero if:
+//! * the journal adds any I/O to lookups (reads never touch the ring),
+//! * journaling overhead on the mixed workload exceeds 10%,
+//! * a journaled mutation costs more than 2 extra parallel I/Os
+//!   amortized (design: one ring append per op plus a group-committed
+//!   superblock rewrite every [`pdm::GROUP_COMMIT_EVERY`] ops),
+//! * recovery is not `O(in-flight)`: its I/O count must not grow with
+//!   dictionary size, and must grow at most linearly (≤ 3 I/Os per
+//!   intent) in the number of in-flight ops.
+//!
+//! Run: `cargo run -p bench --release --bin crash`
+//! Smoke: `cargo run -p bench --release --bin crash -- --smoke`
+
+use bench::write_json;
+use pdm::{DiskArray, PdmConfig, Word};
+use pdm_dict::layout::DiskAllocator;
+use pdm_dict::{DictParams, DynamicDict};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const KEY_SPACE: u64 = 1 << 20;
+const UNIVERSE: u64 = 1 << 21;
+/// Ring rows for the overhead twin (the harness default).
+const JOURNAL_ROWS: usize = 4;
+/// Ring rows for the recovery measurement: big enough that 7 in-flight
+/// inserts (~17 slots each) never trigger ring-pressure truncation.
+const RECOVERY_ROWS: usize = 8;
+
+/// `n` distinct deterministic keys below [`KEY_SPACE`].
+fn dense_keys(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) % KEY_SPACE)
+        .collect()
+}
+
+fn sat(key: u64) -> Vec<Word> {
+    vec![key, key ^ (1 << 32)]
+}
+
+fn build(capacity: usize, journal_rows: usize, seed: u64) -> (DiskArray, DynamicDict) {
+    let d = 20;
+    let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
+    let mut alloc = DiskAllocator::new(2 * d);
+    let mut params = DictParams::new(capacity, UNIVERSE, 2)
+        .with_degree(d)
+        .with_epsilon(0.5)
+        .with_seed(seed);
+    if journal_rows > 0 {
+        params = params.with_journal(journal_rows);
+    }
+    let dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
+    (disks, dict)
+}
+
+#[derive(Serialize)]
+struct OpClassRow {
+    class: String,
+    ops: usize,
+    plain_ios: u64,
+    journaled_ios: u64,
+    /// Extra parallel I/Os per op with the journal on.
+    extra_ios_per_op: f64,
+    overhead: f64,
+}
+
+#[derive(Serialize)]
+struct RecoveryRow {
+    dict_keys: usize,
+    in_flight: usize,
+    replayed: usize,
+    recovery_ios: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    smoke: bool,
+    keys: usize,
+    journal_rows: usize,
+    mixed_overhead: f64,
+    plain_wall_ns: u128,
+    journaled_wall_ns: u128,
+    op_classes: Vec<OpClassRow>,
+    recovery: Vec<RecoveryRow>,
+}
+
+/// Replay the mixed workload on one twin, returning per-phase parallel
+/// I/O counts (in `phases` order) and total wall time.
+fn replay(disks: &mut DiskArray, dict: &mut DynamicDict, keys: &[u64]) -> (Vec<u64>, u128) {
+    let start = Instant::now();
+    let mut ios = Vec::new();
+    let mut mark = disks.stats().parallel_ios;
+    let mut cut = |disks: &DiskArray, ios: &mut Vec<u64>| {
+        let now = disks.stats().parallel_ios;
+        ios.push(now - mark);
+        mark = now;
+    };
+
+    // Preload half the keys sequentially: the "insert" op class.
+    let (preload, rest) = keys.split_at(keys.len() / 2);
+    for &k in preload {
+        dict.insert(disks, k, &sat(k)).unwrap();
+    }
+    cut(disks, &mut ios);
+    // One staged batch for the other half: the "batch_insert" class.
+    let entries: Vec<(u64, Vec<Word>)> = rest.iter().map(|&k| (k, sat(k))).collect();
+    let (results, _) = dict.insert_batch(disks, &entries);
+    assert!(results.iter().all(Result::is_ok));
+    cut(disks, &mut ios);
+    // Read-heavy phase, the bulk of a replayed trace: twelve hit
+    // sweeps, two miss sweeps, one batched sweep.
+    for _ in 0..12 {
+        for &k in keys {
+            black_box(dict.lookup(disks, k).satellite);
+        }
+    }
+    for pass in 0..2u64 {
+        for &k in keys {
+            black_box(dict.lookup(disks, k + KEY_SPACE + pass).satellite);
+        }
+    }
+    let (got, _) = dict.lookup_batch(disks, keys);
+    assert!(got.iter().all(Option::is_some));
+    cut(disks, &mut ios);
+    // Deletes for a quarter of the keys: the "delete" class.
+    for &k in keys.iter().take(keys.len() / 4) {
+        let (found, _) = dict.delete(disks, k);
+        assert!(found);
+    }
+    cut(disks, &mut ios);
+    (ios, start.elapsed().as_nanos())
+}
+
+/// Recovery cost with exactly `in_flight` un-truncated intents: build,
+/// checkpoint (truncate), run `in_flight` more inserts, then reboot from
+/// a clone of the image (superblock re-read from disk) and recover.
+fn recovery_row(dict_keys: usize, in_flight: usize) -> RecoveryRow {
+    assert!(
+        (in_flight as u64) < pdm::GROUP_COMMIT_EVERY,
+        "a group commit would truncate mid-measurement"
+    );
+    let (mut disks, mut dict) = build(dict_keys + 16, RECOVERY_ROWS, 0xC4A5);
+    for &k in &dense_keys(dict_keys) {
+        dict.insert(&mut disks, k, &sat(k)).unwrap();
+    }
+    let meta = disks.journal_meta();
+    disks.journal_checkpoint(&meta);
+    for i in 0..in_flight as u64 {
+        let k = KEY_SPACE + 5_000 + i;
+        dict.insert(&mut disks, k, &sat(k)).unwrap();
+    }
+    let mut image = disks.clone();
+    let region = image.journal_region().unwrap();
+    image.reopen_journal(region);
+    let report = image.recover();
+    RecoveryRow {
+        dict_keys,
+        in_flight,
+        replayed: report.replayed.len(),
+        recovery_ios: report.cost.parallel_ios,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 256 } else { 1024 };
+    let keys = dense_keys(n);
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- Journal overhead per op class, twin replay. ---
+    let (mut pd, mut pdict) = build(n + 64, 0, 0xC4A5);
+    let (plain_ios, plain_ns) = replay(&mut pd, &mut pdict, &keys);
+    let (mut jd, mut jdict) = build(n + 64, JOURNAL_ROWS, 0xC4A5);
+    let (journaled_ios, journaled_ns) = replay(&mut jd, &mut jdict, &keys);
+
+    let classes = ["insert", "batch_insert", "lookup", "delete"];
+    let class_ops = [n / 2, 1, 15 * n, n / 4];
+    println!(
+        "{:<13} {:>6} {:>10} {:>12} {:>10} {:>9}",
+        "class", "ops", "plain_ios", "journal_ios", "extra/op", "overhead"
+    );
+    let mut op_classes = Vec::new();
+    for (i, class) in classes.iter().enumerate() {
+        let row = OpClassRow {
+            class: (*class).into(),
+            ops: class_ops[i],
+            plain_ios: plain_ios[i],
+            journaled_ios: journaled_ios[i],
+            extra_ios_per_op: (journaled_ios[i] as f64 - plain_ios[i] as f64)
+                / class_ops[i] as f64,
+            overhead: journaled_ios[i] as f64 / plain_ios[i].max(1) as f64 - 1.0,
+        };
+        println!(
+            "{:<13} {:>6} {:>10} {:>12} {:>10.3} {:>8.1}%",
+            row.class, row.ops, row.plain_ios, row.journaled_ios, row.extra_ios_per_op,
+            100.0 * row.overhead
+        );
+        if row.class == "lookup" && row.journaled_ios != row.plain_ios {
+            failures.push(format!(
+                "journal added I/O to lookups ({} vs {})",
+                row.journaled_ios, row.plain_ios
+            ));
+        } else if row.class != "lookup" && row.extra_ios_per_op > 2.0 {
+            failures.push(format!(
+                "{}: {:.2} extra parallel I/Os per op with the journal on (budget: 2)",
+                row.class, row.extra_ios_per_op
+            ));
+        }
+        op_classes.push(row);
+    }
+
+    let plain_total: u64 = plain_ios.iter().sum();
+    let journaled_total: u64 = journaled_ios.iter().sum();
+    let mixed_overhead = journaled_total as f64 / plain_total.max(1) as f64 - 1.0;
+    println!(
+        "\nmixed-workload journal overhead: {:+.2}% ({journaled_total} vs {plain_total} \
+         parallel I/Os; wall {:.2}ms vs {:.2}ms)",
+        100.0 * mixed_overhead,
+        journaled_ns as f64 / 1e6,
+        plain_ns as f64 / 1e6
+    );
+    if mixed_overhead > 0.10 {
+        failures.push(format!(
+            "journaling overhead {:.1}% on the mixed workload (budget: 10%)",
+            100.0 * mixed_overhead
+        ));
+    }
+
+    // --- Recovery cost vs in-flight intents, at two sizes. ---
+    let sizes = [n / 4, n];
+    let in_flights = [0usize, 1, 2, 4, 7];
+    println!("\n{:<10} {:>9} {:>9} {:>13}", "dict_keys", "in_flight", "replayed", "recovery_ios");
+    let mut recovery = Vec::new();
+    for &size in &sizes {
+        for &m in &in_flights {
+            let row = recovery_row(size, m);
+            println!(
+                "{:<10} {:>9} {:>9} {:>13}",
+                row.dict_keys, row.in_flight, row.replayed, row.recovery_ios
+            );
+            if row.replayed != m {
+                failures.push(format!(
+                    "expected {m} replayable intents at size {size}, recovered {}",
+                    row.replayed
+                ));
+            }
+            recovery.push(row);
+        }
+    }
+    // O(in-flight): independent of dictionary size...
+    for (i, &m) in in_flights.iter().enumerate() {
+        let small = recovery[i].recovery_ios;
+        let large = recovery[in_flights.len() + i].recovery_ios;
+        if large > small + 1 {
+            failures.push(format!(
+                "recovery with {m} in-flight ops scales with dictionary size \
+                 ({small} I/Os at {} keys, {large} at {} keys)",
+                sizes[0], sizes[1]
+            ));
+        }
+    }
+    // ...and at most linear in the in-flight count.
+    for rows in recovery.chunks(in_flights.len()) {
+        let base = rows[0].recovery_ios;
+        for r in &rows[1..] {
+            if r.recovery_ios > base + 3 * r.in_flight as u64 {
+                failures.push(format!(
+                    "recovery cost superlinear in in-flight ops at {} keys: \
+                     {} I/Os for {} intents (idle: {base})",
+                    r.dict_keys, r.recovery_ios, r.in_flight
+                ));
+            }
+        }
+    }
+
+    let report = Report {
+        smoke,
+        keys: n,
+        journal_rows: JOURNAL_ROWS,
+        mixed_overhead,
+        plain_wall_ns: plain_ns,
+        journaled_wall_ns: journaled_ns,
+        op_classes,
+        recovery,
+    };
+    match write_json("BENCH_crash", &report) {
+        Ok(p) => println!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_crash.json: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "ACCEPT: lookups journal-free, mixed overhead <= 10%, \
+             mutations <= 2 extra I/Os per op, recovery O(in-flight)"
+        );
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

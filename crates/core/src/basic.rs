@@ -355,6 +355,12 @@ impl BasicDict {
         self.len -= 1;
     }
 
+    /// Restore the live-key counter from a persisted checkpoint (journal
+    /// reopen; the blocks on disk already hold the keys).
+    pub(crate) fn set_len(&mut self, len: usize) {
+        self.len = len;
+    }
+
     /// Lookup: one batched probe (1 parallel I/O per bucket-block row).
     pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
         let scope = disks.begin_op();

@@ -272,6 +272,22 @@ impl Dict for ShardedDictionary {
         report
     }
 
+    /// Recover every shard and merge the reports (costs and counts sum;
+    /// replayed intents concatenate in shard order).
+    fn recover(&mut self) -> pdm::RecoveryReport {
+        let mut merged = pdm::RecoveryReport::default();
+        for shard in &self.shards {
+            let r = lock(shard).recover();
+            merged.scanned_slots += r.scanned_slots;
+            merged.discarded += r.discarded;
+            merged.stalled += r.stalled;
+            merged.blocks_rewritten += r.blocks_rewritten;
+            merged.cost = merged.cost.plus(r.cost);
+            merged.replayed.extend(r.replayed);
+        }
+        merged
+    }
+
     /// Installs one [`IoMetricsSink`] per shard on the shard's disk array
     /// (all shards share the registry, so per-disk counters aggregate
     /// across shards by disk index) and records per-op costs under

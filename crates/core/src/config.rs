@@ -23,6 +23,13 @@ pub struct DictParams {
     /// Seed of the sampled expanders (the stand-in for the paper's
     /// assumed explicit construction).
     pub seed: u64,
+    /// Rows per disk of the write-ahead intent journal
+    /// ([`pdm::journal`]); 0 (the default) disables journaling. When
+    /// set, structure creation reserves the journal ring through the
+    /// same allocator as the dictionary regions — **before** any
+    /// dictionary structure, so later rebuild slots can never collide
+    /// with it — and every multi-block mutation becomes crash-atomic.
+    pub journal_rows: usize,
 }
 
 impl DictParams {
@@ -47,7 +54,19 @@ impl DictParams {
             epsilon_perf: 0.5,
             right_slack: params::DEFAULT_RIGHT_SLACK,
             seed: 0x5EED_0000_0001,
+            journal_rows: 0,
         }
+    }
+
+    /// Enable the write-ahead intent journal with `rows` ring blocks per
+    /// disk (see [`DictParams::journal_rows`]). A handful of rows
+    /// suffices: the ring only ever holds the last
+    /// [`pdm::journal::GROUP_COMMIT_EVERY`] ops' intents, each a few
+    /// blocks wide.
+    #[must_use]
+    pub fn with_journal(mut self, rows: usize) -> Self {
+        self.journal_rows = rows;
+        self
     }
 
     /// Override the degree.

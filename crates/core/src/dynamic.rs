@@ -35,12 +35,29 @@ use crate::layout::DiskAllocator;
 use crate::one_probe::encoding::Chain;
 use crate::traits::{DictError, LookupOutcome};
 use expander::{params, NeighborFn, SeededExpander};
+use pdm::journal::{JournalRegion, RecoveryReport};
 use pdm::{
     BatchExecutor, BatchPlan, BlockAddr, BlockHealth, DiskArray, IoFaultKind, OpCost, Word,
 };
 
+/// Journal-entry metadata opcodes (`meta[1]`); `meta[0]` is the
+/// instance tag ([`DynamicDict::meta_tag`]).
+pub(crate) const META_INSERT: Word = 1;
+pub(crate) const META_DELETE: Word = 2;
+pub(crate) const META_BATCH: Word = 3;
+/// An insert performed by the global-rebuilding wrapper's migration (a
+/// *copy* of a key still present in the old structure). Counter deltas
+/// equal [`META_INSERT`]'s; the wrapper additionally bumps its
+/// `copied` double-count on replay.
+pub(crate) const META_MIGRATE: Word = 4;
+
 /// The Theorem 7 dynamic dictionary.
-#[derive(Debug)]
+///
+/// `Clone` copies only the in-memory description (expander seeds,
+/// counters, region placement) — the blocks live on the external
+/// [`DiskArray`]. Crash tests use a clone as a metadata snapshot to pair
+/// with a post-crash disk image.
+#[derive(Debug, Clone)]
 pub struct DynamicDict {
     params: DictParams,
     membership: BasicDict,
@@ -49,9 +66,21 @@ pub struct DynamicDict {
     len: usize,
     insertions: usize,
     level_population: Vec<usize>,
+    /// Watermark: journal seq of the newest op reflected in the
+    /// counters above. [`Self::apply_replay`] applies only newer deltas.
+    pub(crate) journal_seq: u64,
+    /// Whether this instance writes the journal's superblock metadata
+    /// checkpoint (its serialized counters). True standalone; the
+    /// global-rebuilding [`crate::Dictionary`] clears it on its
+    /// sub-dictionaries because two structures share one journal.
+    pub(crate) checkpoint_owner: bool,
+    /// Opcode stamped on sequential inserts' intents ([`META_INSERT`]
+    /// normally; the rebuild wrapper switches to [`META_MIGRATE`] around
+    /// its migration copies so replay can tell them apart).
+    pub(crate) insert_meta_op: Word,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Level {
     graph: SeededExpander,
     fields: FieldArray,
@@ -78,6 +107,19 @@ impl DynamicDict {
         }
         let n_cap = params.capacity.max(2);
         let enc = Chain::new(params.sigma_bits(), d);
+
+        // Write-ahead intent journal, reserved through the same allocator
+        // as the dictionary regions and **before** them, so any structure
+        // created later (including a rebuild replacement) can never
+        // collide with the ring. A rebuild replacement sharing the array
+        // reuses the already-enabled journal instead.
+        if params.journal_rows > 0 && !disks.journal_enabled() {
+            let region = alloc.alloc(disks, 0, disks.disks(), params.journal_rows);
+            disks.enable_journal(JournalRegion {
+                first_block: region.first_block,
+                rows: params.journal_rows,
+            });
+        }
 
         // Membership payload: head stripe + level, packed into one word.
         let mcfg =
@@ -118,7 +160,152 @@ impl DynamicDict {
             len: 0,
             insertions: 0,
             level_population: vec![0; l],
+            journal_seq: disks.last_journal_seq(),
+            checkpoint_owner: true,
+            insert_meta_op: META_INSERT,
         })
+    }
+
+    /// Reconstruct an instance over an existing disk image whose journal
+    /// ring lives at `region`: adopt the persisted superblock
+    /// ([`DiskArray::reopen_journal`]), rebuild the (deterministic)
+    /// layout, replay in-flight intents ([`DiskArray::recover`]), restore
+    /// counters from the persisted checkpoint, reconcile them with the
+    /// replay, and truncate. The result answers lookups for every key
+    /// whose journaled mutation was acked before the crash.
+    ///
+    /// `params` must equal the parameters the image was created with
+    /// (the layout is a pure function of them), including
+    /// `journal_rows == region.rows`.
+    pub fn reopen(
+        disks: &mut DiskArray,
+        alloc: &mut DiskAllocator,
+        first_disk: usize,
+        params: DictParams,
+        region: JournalRegion,
+    ) -> Result<(Self, RecoveryReport), DictError> {
+        assert_eq!(
+            params.journal_rows, region.rows,
+            "reopen params disagree with the journal region"
+        );
+        disks.reopen_journal(region);
+        // Account the ring in the (fresh) allocator so `create` places
+        // the dictionary regions exactly where they were originally.
+        let _ = alloc.alloc(disks, 0, disks.disks(), region.rows);
+        let mut dict = Self::create(disks, alloc, first_disk, params)?;
+        let report = disks.recover();
+        let meta = disks.journal_meta();
+        if !meta.is_empty() && !dict.restore_meta(&meta) {
+            return Err(DictError::UnsupportedParams(
+                "journal checkpoint does not belong to this dictionary".into(),
+            ));
+        }
+        dict.apply_replay(&report);
+        disks.journal_checkpoint(&dict.checkpoint_meta());
+        Ok((dict, report))
+    }
+
+    /// Instance tag recorded as `meta[0]` of every journal entry and
+    /// checkpoint: the placement of the level-1 field region, unique per
+    /// live instance (the allocator hands out disjoint regions). Replay
+    /// reconciliation filters on it, so two structures sharing one
+    /// journal (the active dictionary and its rebuild replacement) only
+    /// consume their own deltas.
+    pub(crate) fn meta_tag(&self) -> Word {
+        let r = self.levels[0].fields.region();
+        ((r.first_disk as Word) << 32) | r.first_block as Word
+    }
+
+    /// The metadata checkpoint persisted in the journal superblock:
+    /// `[tag, len, insertions, level populations…]`. Together with the
+    /// applied-seq watermark persisted alongside it, this reconstructs
+    /// the counters exactly: the checkpoint covers ops up to that seq,
+    /// and newer intents still in the ring carry the deltas.
+    pub(crate) fn checkpoint_meta(&self) -> Vec<Word> {
+        let mut meta = vec![self.meta_tag(), self.len as Word, self.insertions as Word];
+        meta.extend(self.level_population.iter().map(|&p| p as Word));
+        meta
+    }
+
+    /// Restore counters from a [`Self::checkpoint_meta`] image; `false`
+    /// if the words do not belong to this instance. Resets the journal
+    /// watermark: every intent a subsequent replay hands back is newer
+    /// than the checkpoint (truncation discards the rest) and must be
+    /// applied on top.
+    pub(crate) fn restore_meta(&mut self, meta: &[Word]) -> bool {
+        if meta.len() != 3 + self.levels.len() || meta[0] != self.meta_tag() {
+            return false;
+        }
+        self.len = meta[1] as usize;
+        self.insertions = meta[2] as usize;
+        for (p, &w) in self.level_population.iter_mut().zip(&meta[3..]) {
+            *p = w as usize;
+        }
+        self.membership.set_len(self.len);
+        self.journal_seq = 0;
+        true
+    }
+
+    /// Reconcile the in-memory counters with a recovery replay: apply
+    /// the per-op deltas of every replayed intent that is tagged with
+    /// this instance's identity and newer than its watermark. The
+    /// watermark makes reconciliation idempotent — recovering twice, or
+    /// replaying an intent the counters already reflect, changes
+    /// nothing. Returns how many intents were applied.
+    pub fn apply_replay(&mut self, report: &RecoveryReport) -> usize {
+        let tag = self.meta_tag();
+        let mut applied = 0;
+        for intent in &report.replayed {
+            if intent.seq <= self.journal_seq || intent.meta.first() != Some(&tag) {
+                continue;
+            }
+            match intent.meta.get(1) {
+                Some(&(META_INSERT | META_MIGRATE)) => {
+                    let level = intent.meta.get(2).map_or(0, |&l| l as usize);
+                    self.membership.note_inserted();
+                    self.len += 1;
+                    self.insertions += 1;
+                    if let Some(p) = self.level_population.get_mut(level) {
+                        *p += 1;
+                    }
+                }
+                Some(&META_DELETE) => {
+                    self.membership.note_deleted();
+                    self.len = self.len.saturating_sub(1);
+                }
+                Some(&META_BATCH) => {
+                    for (level, &dp) in intent.meta[2..].iter().enumerate() {
+                        let dp = dp as usize;
+                        self.len += dp;
+                        self.insertions += dp;
+                        if let Some(p) = self.level_population.get_mut(level) {
+                            *p += dp;
+                        }
+                        for _ in 0..dp {
+                            self.membership.note_inserted();
+                        }
+                    }
+                }
+                _ => {}
+            }
+            self.journal_seq = self.journal_seq.max(intent.seq);
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Post-mutation journal bookkeeping: advance the watermark to the
+    /// intent just appended and (when this instance owns the superblock
+    /// checkpoint) stage the updated counters for the next group-commit
+    /// truncation.
+    fn after_op(&mut self, disks: &mut DiskArray) {
+        if !disks.journal_enabled() {
+            return;
+        }
+        self.journal_seq = self.journal_seq.max(disks.last_journal_seq());
+        if self.checkpoint_owner {
+            disks.journal_set_meta(&self.checkpoint_meta());
+        }
     }
 
     /// Live keys.
@@ -372,6 +559,7 @@ impl DynamicDict {
             let positions0 = self.level_positions(0, *key);
             all.extend(self.levels[0].fields.probe_addrs(&positions0));
         }
+        let pops_before = self.level_population.clone();
         let mut ex = BatchExecutor::new(disks);
         ex.prefetch(&all);
         let mut results = Vec::with_capacity(entries.len());
@@ -386,7 +574,20 @@ impl DynamicDict {
                 break;
             }
         }
-        let _ = ex.commit();
+        // The whole batch commits as one journal intent; the metadata
+        // carries per-level insertion counts (compressed — a batch may
+        // stage more keys than metadata words), enough to reconcile
+        // `len`/`insertions`/populations on replay.
+        let mut meta = vec![self.meta_tag(), META_BATCH];
+        meta.extend(
+            self.level_population
+                .iter()
+                .zip(&pops_before)
+                .map(|(&now, &before)| (now - before) as Word),
+        );
+        let _ = ex.commit_checked_with_meta(&meta);
+        drop(ex);
+        self.after_op(disks);
         (results, disks.end_op(scope))
     }
 
@@ -578,7 +779,15 @@ impl DynamicDict {
 
         let refs: Vec<(BlockAddr, &[Word])> =
             writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-        let whealths = disks.write_batch_checked(&refs);
+        // With a journal enabled the multi-block group (field patches +
+        // membership record) becomes one intent entry, crash-atomic under
+        // any crash point; without one this is the plain checked write.
+        let whealths = if disks.journal_enabled() {
+            let meta = [self.meta_tag(), self.insert_meta_op, level as Word];
+            disks.journaled_write_batch_checked(&refs, &meta)
+        } else {
+            disks.write_batch_checked(&refs)
+        };
         let waddrs: Vec<BlockAddr> = writes.iter().map(|(a, _)| *a).collect();
         if let Some(e) = Self::io_error(&waddrs, &whealths) {
             // Some block of the insert did not land (disk died or the
@@ -586,25 +795,57 @@ impl DynamicDict {
             // fragment did land decodes fail-closed (a chain missing a
             // block, or a membership record whose fields are absent,
             // reads as a miss) and is reclaimed by scrub or rebuild.
+            if disks.journal_enabled() {
+                // The op is acked as failed, so its intent must never
+                // replay (a later recovery would resurrect the key the
+                // caller was told is absent): truncate it now.
+                let meta = if self.checkpoint_owner {
+                    self.checkpoint_meta()
+                } else {
+                    disks.journal_meta()
+                };
+                disks.journal_checkpoint(&meta);
+            }
             return Err(e);
         }
         self.membership.note_inserted();
         self.len += 1;
         self.insertions += 1;
         self.level_population[level] += 1;
+        self.after_op(disks);
         Ok(disks.end_op(scope))
     }
 
     /// Delete: tombstone the membership record (fields are not reclaimed —
     /// "no piece of data is ever moved, once inserted"; space is recovered
     /// by global rebuilding). Returns whether the key was present.
+    ///
+    /// With a journal enabled the tombstone write is journaled too
+    /// (journal-all-mutations: if it bypassed the ring, a later recovery
+    /// replaying an older intact intent over the same bucket block would
+    /// resurrect the key).
     pub fn delete(&mut self, disks: &mut DiskArray, key: u64) -> (bool, OpCost) {
         let scope = disks.begin_op();
-        let (was, _) = self.membership.delete(disks, key);
-        if was {
-            self.len -= 1;
+        if !disks.journal_enabled() {
+            let (was, _) = self.membership.delete(disks, key);
+            if was {
+                self.len -= 1;
+            }
+            return (was, disks.end_op(scope));
         }
-        (was, disks.end_op(scope))
+        let addrs = self.membership.probe_addrs(key);
+        let (blocks, _healths) = Self::read_retry(disks, &addrs);
+        let Some(writes) = self.membership.plan_delete(key, &blocks) else {
+            return (false, disks.end_op(scope));
+        };
+        let refs: Vec<(BlockAddr, &[Word])> =
+            writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
+        let meta = [self.meta_tag(), META_DELETE];
+        let _ = disks.journaled_write_batch_checked(&refs, &meta);
+        self.membership.note_deleted();
+        self.len -= 1;
+        self.after_op(disks);
+        (true, disks.end_op(scope))
     }
 
     /// Enumerate live keys of one membership bucket (for global
@@ -946,6 +1187,188 @@ mod tests {
             assert!(out.is_exact(), "retry absorbed the window for key {i}");
             disks.clear_fault_plan();
         }
+    }
+
+    fn setup_journaled(capacity: usize, sigma: usize) -> (DiskArray, DynamicDict) {
+        let d = 20;
+        let mut disks = DiskArray::new(PdmConfig::new(2 * d, 64), 0);
+        let mut alloc = DiskAllocator::new(2 * d);
+        let params = DictParams::new(capacity, 1 << 30, sigma)
+            .with_degree(d)
+            .with_epsilon(0.5)
+            .with_seed(0xD1C7)
+            .with_journal(2);
+        let dict = DynamicDict::create(&mut disks, &mut alloc, 0, params).unwrap();
+        assert!(disks.journal_enabled());
+        (disks, dict)
+    }
+
+    /// Exhaustive crash matrix over a journaled insert: for every
+    /// physical-write index `k`, kill the batch after `k` writes, run
+    /// recovery against a pre-crash metadata snapshot, and check the op
+    /// is all-or-nothing — the key reads back fully or not at all, the
+    /// counters match, and every previously acked key survives.
+    #[test]
+    fn journaled_insert_is_atomic_under_any_crash_point() {
+        let (mut disks0, mut dict0) = setup_journaled(64, 1);
+        let pre: Vec<u64> = (0..8u64).map(|i| i * 7 + 3).collect();
+        for &k in &pre {
+            dict0.insert(&mut disks0, k, &[k]).unwrap();
+        }
+        let victim = 0xFACE_u64;
+        let mut completed = false;
+        for k in 0..60u64 {
+            let mut disks = disks0.clone();
+            let mut dict = dict0.clone();
+            disks.set_fault_plan(pdm::FaultPlan::new().crash_after(k));
+            let _ = dict.insert(&mut disks, victim, &[victim]);
+            let fired = disks.crash_fired();
+            disks.clear_fault_plan();
+
+            // "Restart": recover the disks, reconcile a pre-crash snapshot.
+            let mut rec = dict0.clone();
+            let report = disks.recover();
+            rec.apply_replay(&report);
+            disks.journal_checkpoint(&rec.checkpoint_meta());
+
+            let out = rec.lookup(&mut disks, victim);
+            if out.found() {
+                assert_eq!(out.satellite, Some(vec![victim]), "crash at {k}");
+                assert_eq!(rec.len(), dict0.len() + 1, "crash at {k}");
+            } else {
+                assert_eq!(rec.len(), dict0.len(), "crash at {k}");
+            }
+            for &p in &pre {
+                assert_eq!(
+                    rec.lookup(&mut disks, p).satellite,
+                    Some(vec![p]),
+                    "acked key {p} lost at crash point {k}"
+                );
+            }
+            // A second recovery finds nothing left to do.
+            assert!(disks.recover().is_clean(), "crash at {k}");
+            if !fired {
+                assert!(out.found(), "no crash fired at {k} but key missing");
+                completed = true;
+                break;
+            }
+        }
+        assert!(completed, "crash matrix never reached the uncrashed end");
+    }
+
+    #[test]
+    fn journaled_delete_is_atomic_and_replayable() {
+        let (mut disks0, mut dict0) = setup_journaled(32, 1);
+        for k in [5u64, 9, 13] {
+            dict0.insert(&mut disks0, k, &[k]).unwrap();
+        }
+        let mut completed = false;
+        for k in 0..40u64 {
+            let mut disks = disks0.clone();
+            let mut dict = dict0.clone();
+            disks.set_fault_plan(pdm::FaultPlan::new().crash_after(k));
+            let _ = dict.delete(&mut disks, 9);
+            let fired = disks.crash_fired();
+            disks.clear_fault_plan();
+
+            let mut rec = dict0.clone();
+            let report = disks.recover();
+            rec.apply_replay(&report);
+            disks.journal_checkpoint(&rec.checkpoint_meta());
+
+            let found = rec.lookup(&mut disks, 9).found();
+            if found {
+                assert_eq!(rec.len(), 3, "crash at {k}");
+            } else {
+                assert_eq!(rec.len(), 2, "tombstone replayed but len stale at {k}");
+            }
+            for p in [5u64, 13] {
+                assert!(rec.lookup(&mut disks, p).found(), "key {p} at crash {k}");
+            }
+            if !fired {
+                assert!(!found, "uncrashed delete left the key at {k}");
+                completed = true;
+                break;
+            }
+        }
+        assert!(completed);
+    }
+
+    #[test]
+    fn journaled_insert_batch_commits_atomically_with_batch_meta() {
+        let (mut disks0, mut dict0) = setup_journaled(64, 1);
+        dict0.insert(&mut disks0, 1000, &[1000]).unwrap();
+        let entries: Vec<(u64, Vec<Word>)> = (1..=5u64).map(|k| (k, vec![k])).collect();
+        // Crash after the journal append but before all in-place writes
+        // land: the whole batch must replay.
+        let mut seen_all_or_nothing = true;
+        for k in 0..80u64 {
+            let mut disks = disks0.clone();
+            let mut dict = dict0.clone();
+            disks.set_fault_plan(pdm::FaultPlan::new().crash_after(k));
+            let _ = dict.insert_batch(&mut disks, &entries);
+            let fired = disks.crash_fired();
+            disks.clear_fault_plan();
+
+            let mut rec = dict0.clone();
+            let report = disks.recover();
+            rec.apply_replay(&report);
+            disks.journal_checkpoint(&rec.checkpoint_meta());
+
+            let found: Vec<bool> = entries
+                .iter()
+                .map(|(key, _)| rec.lookup(&mut disks, *key).found())
+                .collect();
+            let all = found.iter().all(|&f| f);
+            let none = found.iter().all(|&f| !f);
+            seen_all_or_nothing &= all || none;
+            if all {
+                assert_eq!(rec.len(), dict0.len() + entries.len(), "crash at {k}");
+            }
+            if none {
+                assert_eq!(rec.len(), dict0.len(), "crash at {k}");
+            }
+            assert!(rec.lookup(&mut disks, 1000).found(), "crash at {k}");
+            if !fired {
+                assert!(all, "uncrashed batch must commit");
+                break;
+            }
+        }
+        assert!(seen_all_or_nothing, "a crash point split the batch");
+    }
+
+    #[test]
+    fn reopen_restores_counters_and_replays_in_flight_intents() {
+        let (mut disks, mut dict) = setup_journaled(64, 1);
+        let ks = keys(20);
+        for k in &ks {
+            dict.insert(&mut disks, *k, &[*k]).unwrap();
+        }
+        let params = dict.params;
+        let expect_len = dict.len();
+        let region = disks.journal_region().unwrap();
+        // "Kill the process" between ops: the in-memory instance is
+        // dropped with up to GROUP_COMMIT_EVERY intents not yet covered
+        // by a persisted truncation, so the on-disk checkpoint counters
+        // run behind — reopen must replay the ring on top of them.
+        drop(dict);
+        let mut alloc = DiskAllocator::new(disks.disks());
+        let (mut reopened, report) =
+            DynamicDict::reopen(&mut disks, &mut alloc, 0, params, region).unwrap();
+        assert!(report.scanned_slots > 0);
+        assert_eq!(reopened.len(), expect_len, "counters restored");
+        for k in &ks {
+            assert_eq!(
+                reopened.lookup(&mut disks, *k).satellite,
+                Some(vec![*k]),
+                "key {k} after reopen"
+            );
+        }
+        // Truncation persisted: nothing replayable remains.
+        assert!(disks.recover().is_clean());
+        // And the reopened instance keeps working.
+        reopened.insert(&mut disks, 0x7777, &[1]).unwrap();
+        assert!(reopened.lookup(&mut disks, 0x7777).found());
     }
 
     #[test]

@@ -106,6 +106,21 @@ pub trait RawDict {
     fn raw_scrub(&self, disks: &mut DiskArray) -> ScrubReport {
         disks.scrub_verify()
     }
+
+    /// Reconcile in-memory counters with a journal recovery replay
+    /// ([`DiskArray::recover`]). Default: nothing to reconcile —
+    /// front-ends whose counters a replayed intent changes (the dynamic
+    /// dictionary) override this with their delta application.
+    fn raw_recover_reconcile(&mut self, report: &pdm::RecoveryReport) {
+        let _ = report;
+    }
+
+    /// The metadata checkpoint to persist when truncating the journal
+    /// after recovery; empty when the front-end keeps no replay-sensitive
+    /// counters.
+    fn raw_checkpoint_meta(&self) -> Vec<Word> {
+        Vec::new()
+    }
 }
 
 impl RawDict for BasicDict {
@@ -201,6 +216,12 @@ impl RawDict for DynamicDict {
     fn raw_gauges(&self, _disks: &DiskArray, out: &mut Vec<(&'static str, u64)>) {
         out.push(("levels", self.num_levels() as u64));
         out.push(("insertions", self.insertions() as u64));
+    }
+    fn raw_recover_reconcile(&mut self, report: &pdm::RecoveryReport) {
+        self.apply_replay(report);
+    }
+    fn raw_checkpoint_meta(&self) -> Vec<Word> {
+        self.checkpoint_meta()
     }
 }
 
@@ -331,6 +352,12 @@ impl<T: RawDict> DictHandle<T> {
         &self.dict
     }
 
+    /// Mutable access to the wrapped front-end (crash tests restore a
+    /// metadata snapshot through it).
+    pub fn dict_mut(&mut self) -> &mut T {
+        &mut self.dict
+    }
+
     /// The owned disk array.
     #[must_use]
     pub fn disk_array(&self) -> &DiskArray {
@@ -401,6 +428,18 @@ impl<T: RawDict> Dict for DictHandle<T> {
         let report = self.dict.raw_scrub(&mut self.disks);
         if let Some(m) = &self.metrics {
             m.record_scrub(&report);
+        }
+        report
+    }
+
+    fn recover(&mut self) -> pdm::RecoveryReport {
+        let report = self.disks.recover();
+        self.dict.raw_recover_reconcile(&report);
+        if self.disks.journal_enabled() {
+            // Truncate: with counters reconciled, nothing in the ring
+            // needs to survive another crash-before-next-op.
+            let meta = self.dict.raw_checkpoint_meta();
+            self.disks.journal_checkpoint(&meta);
         }
         report
     }

@@ -646,7 +646,15 @@ impl<G: NeighborFn> OneProbeStatic<G> {
         }
         if !writes.is_empty() {
             let batch: Vec<(BlockAddr, &[Word])> = writes.iter().map(|&(a, w, _)| (a, w)).collect();
-            let healths = disks.write_batch_checked(&batch);
+            // Route the repair flush through the intent journal when one
+            // is enabled: a crash mid-flush must never leave a previously
+            // Degraded-but-decodable block half-rewritten (and thus
+            // unreadable) — recovery replays the whole repair or none.
+            let healths = if disks.journal_enabled() {
+                disks.journaled_write_batch_checked(&batch, &[])
+            } else {
+                disks.write_batch_checked(&batch)
+            };
             for (&(_, _, nf), h) in writes.iter().zip(&healths) {
                 if h.is_ok() {
                     report.repaired_blocks += 1;

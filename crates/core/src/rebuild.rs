@@ -56,7 +56,11 @@ const MIGRATE_BUCKETS_PER_OP: usize = 2;
 /// assert!(was_present);
 /// # Ok::<(), pdm_dict::DictError>(())
 /// ```
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the owned disk array — crash tests clone the
+/// whole dictionary as a metadata snapshot and then swap the crashed
+/// disk image in via [`Dict::disks_mut`].
+#[derive(Debug, Clone)]
 pub struct Dictionary {
     disks: DiskArray,
     alloc: DiskAllocator,
@@ -83,7 +87,7 @@ struct RebuildMetrics {
     active: Arc<Gauge>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Building {
     dict: DynamicDict,
     /// Next membership bucket of the old structure to migrate.
@@ -112,7 +116,10 @@ impl Dictionary {
         let cfg = PdmConfig::new(4 * d, block_words);
         let mut disks = DiskArray::new(cfg, 0);
         let mut alloc = DiskAllocator::new(4 * d);
-        let active = DynamicDict::create(&mut disks, &mut alloc, 0, params)?;
+        let mut active = DynamicDict::create(&mut disks, &mut alloc, 0, params)?;
+        // Two structures share the one journal during rebuilds, so no
+        // single structure's counters may own the superblock checkpoint.
+        active.checkpoint_owner = false;
         Ok(Dictionary {
             disks,
             alloc,
@@ -388,7 +395,8 @@ impl Dictionary {
         } else {
             0
         };
-        let dict = DynamicDict::create(&mut self.disks, &mut self.alloc, first_disk, params)?;
+        let mut dict = DynamicDict::create(&mut self.disks, &mut self.alloc, first_disk, params)?;
+        dict.checkpoint_owner = false;
         self.building = Some(Building {
             dict,
             cursor: 0,
@@ -417,7 +425,13 @@ impl Dictionary {
                 let Some(sat) = out.satellite else {
                     continue; // deleted from active since the scan
                 };
-                b.dict.insert(&mut self.disks, key, &sat)?;
+                // Stamp migration copies distinctly (META_MIGRATE): on a
+                // replay after a crash, `recover` must bump `copied` for
+                // them — a plain insert's replay must not.
+                b.dict.insert_meta_op = crate::dynamic::META_MIGRATE;
+                let res = b.dict.insert(&mut self.disks, key, &sat);
+                b.dict.insert_meta_op = crate::dynamic::META_INSERT;
+                res?;
                 b.copied += 1;
             }
         }
@@ -511,6 +525,32 @@ impl Dict for Dictionary {
         let report = self.disks.scrub_verify();
         if let Some(m) = &self.metrics {
             m.recorder.record_scrub(&report);
+        }
+        report
+    }
+
+    fn recover(&mut self) -> pdm::RecoveryReport {
+        let report = self.disks.recover();
+        // Replayed intents carry their owner's tag; each structure
+        // consumes only its own deltas. Migration copies additionally
+        // re-enter the wrapper's double-count.
+        if let Some(b) = &mut self.building {
+            let btag = b.dict.meta_tag();
+            let migrated = report
+                .replayed
+                .iter()
+                .filter(|i| {
+                    i.seq > b.dict.journal_seq
+                        && i.meta.first() == Some(&btag)
+                        && i.meta.get(1) == Some(&crate::dynamic::META_MIGRATE)
+                })
+                .count();
+            b.dict.apply_replay(&report);
+            b.copied += migrated;
+        }
+        self.active.apply_replay(&report);
+        if self.disks.journal_enabled() {
+            self.disks.journal_checkpoint(&[]);
         }
         report
     }

@@ -320,6 +320,21 @@ pub trait Dict {
         None
     }
 
+    /// Crash recovery: scan the write-ahead intent journal
+    /// ([`pdm::journal`]), replay every intact in-flight intent, roll
+    /// back torn ones, reconcile in-memory counters with the replay, and
+    /// truncate. Idempotent — recovering a clean structure is a no-op
+    /// scan. The default replays at the disk layer only; front-ends with
+    /// replay-sensitive counters (the dynamic dictionary and its
+    /// wrappers) override it to also reconcile and checkpoint. Returns
+    /// an empty report when there is no accessible disk array or no
+    /// journal is enabled.
+    fn recover(&mut self) -> pdm::RecoveryReport {
+        self.disks_mut()
+            .map(DiskArray::recover)
+            .unwrap_or_default()
+    }
+
     /// Walk the structure's blocks, verify checksums, and rewrite every
     /// repairable block from surviving redundancy. The default delegates to
     /// [`DiskArray::scrub_verify`] (detection only — counts damage and

@@ -466,18 +466,44 @@ impl<'a> BatchExecutor<'a> {
     /// a later `commit_checked` retries exactly the lost writes (a torn
     /// write is one-shot, so its retry lands; a dead disk keeps failing
     /// until the plan is cleared).
+    ///
+    /// The physical write order is **canonical**: staged blocks are
+    /// flushed sorted by `(disk, block)`, regardless of staging order.
+    /// PR 1's in-memory model made the order unobservable; with crash
+    /// points (`Fault::CrashPoint`) the prefix that survives a crash *is*
+    /// observable, and sorting pins it so the exhaustive crash matrix is
+    /// deterministic across platforms and hash-map iteration orders.
+    ///
+    /// When the underlying array has a journal enabled
+    /// ([`DiskArray::journal_enabled`]) the whole commit is recorded as
+    /// one intent entry before any in-place write, making it atomic
+    /// under crashes; use
+    /// [`commit_checked_with_meta`](BatchExecutor::commit_checked_with_meta)
+    /// to attach the owner's replay metadata to that entry.
     pub fn commit_checked(&mut self) -> CommitReport {
+        self.commit_checked_with_meta(&[])
+    }
+
+    /// [`commit_checked`](BatchExecutor::commit_checked), attaching
+    /// `meta` to the journal intent entry (ignored without a journal).
+    pub fn commit_checked_with_meta(&mut self, meta: &[Word]) -> CommitReport {
         let scope = self.disks.begin_op();
         let mut landed = Vec::new();
         let mut failed = Vec::new();
         if !self.dirty.is_empty() {
+            // Satellite fix: one canonical commit order (see above).
+            self.dirty.sort_unstable();
             let plan = BatchPlan::new(self.disks.disks(), &self.dirty);
             let writes: Vec<(BlockAddr, &[Word])> = plan
                 .unique_blocks()
                 .iter()
                 .map(|a| (*a, self.cache[a].as_slice()))
                 .collect();
-            let healths = self.disks.write_batch_checked(&writes);
+            let healths = if self.disks.journal_enabled() {
+                self.disks.journaled_write_batch_checked(&writes, meta)
+            } else {
+                self.disks.write_batch_checked(&writes)
+            };
             self.disks.record_rounds(plan.num_rounds() as u64);
             for r in 0..plan.num_rounds() {
                 self.disks.emit_io_event(IoEvent::RoundScheduled {
@@ -929,5 +955,79 @@ mod tests {
         let healths = ex.refresh(&[a]);
         assert_eq!(healths, vec![BlockHealth::Ok], "retry cleared the window");
         assert_eq!(ex.get(a), &[3; 4], "cache now holds the real content");
+    }
+
+    #[test]
+    fn commit_order_is_canonical_disk_then_block() {
+        use crate::fault::FaultPlan;
+
+        // Stage in a deliberately scrambled order, crash after j writes,
+        // and check that exactly the first j blocks in (disk, block)
+        // order landed — the order PR 4 pins for the crash matrix.
+        let staged = [
+            BlockAddr::new(2, 1),
+            BlockAddr::new(0, 3),
+            BlockAddr::new(1, 0),
+            BlockAddr::new(0, 1),
+            BlockAddr::new(2, 0),
+        ];
+        let mut canonical = staged;
+        canonical.sort_unstable();
+        for j in 0..=staged.len() as u64 {
+            let mut disks = array(4, 4);
+            disks.set_fault_plan(FaultPlan::new().crash_after(j));
+            let mut ex = BatchExecutor::new(&mut disks);
+            for (i, &a) in staged.iter().enumerate() {
+                ex.stage_write(a, vec![10 + i as Word; 4]);
+            }
+            let _ = ex.commit_checked();
+            disks.clear_fault_plan();
+            for (rank, &a) in canonical.iter().enumerate() {
+                let want_landed = (rank as u64) < j;
+                let landed = disks.peek(a) != [0; 4];
+                assert_eq!(
+                    landed, want_landed,
+                    "crash after {j}: canonical rank {rank} ({a:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn journaled_commit_is_atomic_under_any_crash_point() {
+        use crate::fault::FaultPlan;
+        use crate::journal::JournalRegion;
+
+        // 3 staged blocks => 3 payload slots + head + 3 in-place = 7
+        // physical writes. Every crash point must leave all-or-nothing.
+        let targets = [
+            BlockAddr::new(0, 1),
+            BlockAddr::new(1, 2),
+            BlockAddr::new(2, 0),
+        ];
+        for k in 0..=7u64 {
+            let mut disks = DiskArray::new(PdmConfig::new(4, 16), 8);
+            disks.enable_journal(JournalRegion {
+                first_block: 4,
+                rows: 3,
+            });
+            disks.set_fault_plan(FaultPlan::new().crash_after(k));
+            let mut ex = BatchExecutor::new(&mut disks);
+            for (i, &a) in targets.iter().enumerate() {
+                ex.stage_write(a, vec![100 + i as Word; 16]);
+            }
+            let _ = ex.commit_checked_with_meta(&[k]);
+            disks.clear_fault_plan();
+            let report = disks.recover();
+            let committed = report.replayed.iter().any(|e| e.meta == vec![k]);
+            for (i, &a) in targets.iter().enumerate() {
+                let want: Vec<Word> = if committed {
+                    vec![100 + i as Word; 16]
+                } else {
+                    vec![0; 16]
+                };
+                assert_eq!(disks.read_block(a), want, "crash after {k} ({a:?})");
+            }
+        }
     }
 }

@@ -72,6 +72,9 @@ pub struct DiskArray {
     // lockstep with `checksums`; empty while integrity is off.
     verified_clean: Vec<Vec<bool>>,
     codec: Arc<dyn BlockCodec>,
+    // Write-ahead intent journal state; `None` until
+    // `enable_journal` / `reopen_journal` (see `crate::journal`).
+    pub(crate) journal: Option<crate::journal::JournalState>,
 }
 
 impl std::fmt::Debug for DiskArray {
@@ -109,6 +112,7 @@ impl DiskArray {
             checksums: None,
             verified_clean: Vec::new(),
             codec: Arc::new(MixCodec),
+            journal: None,
         }
     }
 
@@ -284,10 +288,37 @@ impl DiskArray {
 
     /// Drop every verified-clean bit: the next read of each block
     /// re-verifies it against the sidecar.
-    fn invalidate_verified(&mut self) {
+    pub(crate) fn invalidate_verified(&mut self) {
         for disk in &mut self.verified_clean {
             disk.fill(false);
         }
+    }
+
+    /// Number of blocks currently marked verified-clean (test hook for
+    /// the recovery cache-invalidation contract: after
+    /// [`recover`](DiskArray::recover) this must be zero).
+    #[must_use]
+    pub fn verified_clean_blocks(&self) -> u64 {
+        self.verified_clean
+            .iter()
+            .map(|d| d.iter().filter(|b| **b).count() as u64)
+            .sum()
+    }
+
+    /// The installed block-checksum codec (also used to checksum journal
+    /// intent payloads).
+    pub(crate) fn block_codec(&self) -> &Arc<dyn BlockCodec> {
+        &self.codec
+    }
+
+    /// Whether an installed [`Fault::CrashPoint`] has fired: at least one
+    /// physical write has been dropped because the crash budget was
+    /// spent. The dying process cannot observe this (writes report `Ok`);
+    /// it exists for the test harness playing the role of the outside
+    /// world.
+    #[must_use]
+    pub fn crash_fired(&self) -> bool {
+        self.fault.as_ref().is_some_and(FaultState::crash_fired)
     }
 
     /// Install a fault plan, replacing any active one.
@@ -521,6 +552,17 @@ impl DiskArray {
         let mut healths = vec![BlockHealth::Ok; writes.len()];
         let mut first_on_disk = vec![true; self.cfg.disks];
         for (i, &(a, data)) in writes.iter().enumerate() {
+            if let Some(fs) = self.fault.as_mut() {
+                // Crash point: physical writes are counted globally in
+                // slice order; once the budget is spent the machine is
+                // dead — this write and every later one are lost, and the
+                // dying process still observes `Ok` (a real crash never
+                // delivers a failure acknowledgement). No reseal either:
+                // the old content keeps its old (consistent) checksum.
+                if fs.note_physical_write() {
+                    continue;
+                }
+            }
             let is_first = std::mem::replace(&mut first_on_disk[a.disk], false);
             let mut torn = false;
             if let Some(fs) = self.fault.as_mut() {

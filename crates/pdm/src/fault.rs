@@ -30,6 +30,15 @@
 //! * [`Fault::BitRot`] — flips one bit of one block **at install time**
 //!   without resealing its checksum: silent corruption that only
 //!   integrity verification can see.
+//! * [`Fault::CrashPoint`] — process death after the `k`-th physical
+//!   block write: every write from index `k` on (counted globally, in
+//!   each batch's slice order) is **silently dropped** — the dying
+//!   process observes `Ok` health, exactly like a real crash where the
+//!   acknowledgement never reaches anyone who could act on it. A plan
+//!   with a crash point for every `k` in an operation's write sequence
+//!   is an exhaustive *crash matrix* (the FoundationDB-style
+//!   schedule-enumeration trick); see `DiskArray::recover` for the
+//!   replay side.
 
 /// One injected failure. See the [module docs](self) for exact semantics.
 ///
@@ -72,6 +81,16 @@ pub enum Fault {
         /// Which bit of the block to flip (taken modulo the block's bit
         /// width at install).
         bit: u32,
+    },
+    /// Kill the virtual machine after the `after_writes`-th physical
+    /// block write (0-based, counted globally from plan installation, in
+    /// slice order within each write batch): that write and every later
+    /// one are silently dropped. With several crash points the earliest
+    /// wins.
+    CrashPoint {
+        /// Number of physical block writes that still land; write index
+        /// `after_writes` is the first one lost.
+        after_writes: u64,
     },
 }
 
@@ -130,6 +149,16 @@ impl FaultPlan {
     #[must_use]
     pub fn bit_rot(mut self, disk: usize, block: usize, bit: u32) -> Self {
         self.faults.push(Fault::BitRot { disk, block, bit });
+        self
+    }
+
+    /// Add a [`Fault::CrashPoint`]: the first `after_writes` physical
+    /// block writes after installation land, everything later is lost.
+    /// `FaultPlan::new().crash_after(k)` for every `k` in an operation's
+    /// write sequence is the exhaustive crash matrix.
+    #[must_use]
+    pub fn crash_after(mut self, after_writes: u64) -> Self {
+        self.faults.push(Fault::CrashPoint { after_writes });
         self
     }
 
@@ -206,6 +235,13 @@ pub(crate) struct FaultState {
     torn_consumed: Vec<bool>,
     /// Per-disk dead flag (precomputed from the plan).
     dead: Vec<bool>,
+    /// Physical block writes seen globally since install (crash points
+    /// are measured on this clock).
+    writes_total: u64,
+    /// Earliest `CrashPoint` budget in the plan, if any.
+    crash_after: Option<u64>,
+    /// Whether the crash point has been reached.
+    crashed: bool,
 }
 
 impl FaultState {
@@ -218,12 +254,23 @@ impl FaultState {
             }
         }
         let torn_consumed = vec![false; plan.faults().len()];
+        let crash_after = plan
+            .faults()
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::CrashPoint { after_writes } => Some(after_writes),
+                _ => None,
+            })
+            .min();
         FaultState {
             plan,
             reads_seen: vec![0; disks],
             writes_seen: vec![0; disks],
             torn_consumed,
             dead,
+            writes_total: 0,
+            crash_after,
+            crashed: false,
         }
     }
 
@@ -270,6 +317,27 @@ impl FaultState {
             }
         }
         indexes
+    }
+
+    /// Count one physical block write against the crash budget. Returns
+    /// `true` when the write must be **dropped**: the crash point has
+    /// been reached (this write's global index is `>= after_writes`).
+    /// Without a crash point in the plan this only advances the clock.
+    pub(crate) fn note_physical_write(&mut self) -> bool {
+        let index = self.writes_total;
+        self.writes_total += 1;
+        if let Some(k) = self.crash_after {
+            if index >= k {
+                self.crashed = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the plan's crash point has fired.
+    pub(crate) fn crash_fired(&self) -> bool {
+        self.crashed
     }
 
     /// If an unconsumed torn-write fault fires for `disk` at write-batch
@@ -328,6 +396,29 @@ mod tests {
         assert!(!state.consume_torn(0, 0), "wrong disk");
         assert!(state.consume_torn(1, 0));
         assert!(!state.consume_torn(1, 0), "consumed");
+    }
+
+    #[test]
+    fn crash_budget_drops_exactly_the_suffix() {
+        let mut state = FaultState::new(FaultPlan::new().crash_after(2), 4);
+        assert!(!state.note_physical_write(), "write 0 lands");
+        assert!(!state.crash_fired());
+        assert!(!state.note_physical_write(), "write 1 lands");
+        assert!(state.note_physical_write(), "write 2 is the first lost");
+        assert!(state.crash_fired());
+        assert!(state.note_physical_write(), "everything after stays lost");
+    }
+
+    #[test]
+    fn earliest_crash_point_wins() {
+        let state = FaultState::new(FaultPlan::new().crash_after(7).crash_after(3), 2);
+        assert_eq!(state.crash_after, Some(3));
+    }
+
+    #[test]
+    fn crash_after_zero_drops_everything() {
+        let mut state = FaultState::new(FaultPlan::new().crash_after(0), 2);
+        assert!(state.note_physical_write());
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! stripes). Streaming readers and writers buffer one stripe of memory and
 //! therefore cost one parallel I/O per `B·D` words moved — the optimal
 //! scanning rate in the model.
+//!
+//! Record files append past the current high-water mark of the array, the
+//! same end-of-disk discipline [`DiskArray::enable_journal_appended`]
+//! uses for a late-added intent journal ring (see [`crate::journal`]);
+//! the two therefore never collide as long as each is placed before the
+//! other starts writing. Streaming writes themselves bypass the journal —
+//! a torn bulk load is rebuilt by rerunning the load, not replayed.
 
 use crate::disk::DiskArray;
 use crate::record::{KeyedRecord, RecordLayout};

@@ -64,6 +64,7 @@ pub mod disk;
 pub mod fault;
 pub mod file;
 pub mod integrity;
+pub mod journal;
 pub mod memory;
 pub mod metrics;
 pub mod record;
@@ -77,6 +78,7 @@ pub use disk::{BlockAddr, DiskArray};
 pub use fault::{Fault, FaultPlan};
 pub use file::RecordFile;
 pub use integrity::{BlockCodec, BlockHealth, IoFaultKind, MixCodec, ScrubReport};
+pub use journal::{JournalRegion, RecoveryReport, ReplayedIntent, GROUP_COMMIT_EVERY};
 pub use memory::MemTracker;
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, IoEvent, IoEventSink, IoMetricsSink,

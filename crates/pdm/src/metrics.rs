@@ -85,6 +85,23 @@ pub enum IoEvent<'a> {
         /// Number of dirty blocks flushed.
         dirty_blocks: u64,
     },
+    /// One intent entry was appended to the write-ahead journal.
+    JournalAppend {
+        /// Journal slots (blocks) the entry occupied: payload images plus
+        /// descriptor block(s).
+        blocks: u64,
+        /// In-place blocks the entry protects.
+        targets: u64,
+    },
+    /// A [`recover`](crate::DiskArray::recover) pass finished.
+    Recovery {
+        /// Intact intents replayed (idempotent redo).
+        replayed: u64,
+        /// Partial / stale intents discarded (rolled back).
+        discarded: u64,
+        /// In-place blocks rewritten by the replay.
+        blocks_rewritten: u64,
+    },
 }
 
 /// A sink for [`IoEvent`]s.
@@ -760,6 +777,14 @@ pub const ROUND_WIDTH: &str = "pdm_round_width";
 pub const CACHE_EVENTS_TOTAL: &str = "pdm_cache_events_total";
 /// Histogram of dirty blocks flushed per executor commit.
 pub const COMMIT_DIRTY_BLOCKS: &str = "pdm_commit_dirty_blocks";
+/// Counter of journal activity, labeled `stat ∈ {appends, slot_blocks,
+/// target_blocks}`.
+pub const JOURNAL_TOTAL: &str = "pdm_journal_total";
+/// Counter of recovery activity, labeled `stat ∈ {runs, replayed,
+/// discarded, blocks_rewritten}`.
+pub const RECOVERY_TOTAL: &str = "pdm_recovery_total";
+/// Histogram of in-place blocks rewritten per recovery pass.
+pub const RECOVERY_BLOCKS: &str = "pdm_recovery_blocks";
 
 /// The standard [`IoEventSink`]: routes events into a [`MetricsRegistry`].
 ///
@@ -781,6 +806,14 @@ pub struct IoMetricsSink {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     commit_dirty: Arc<Histogram>,
+    journal_appends: Arc<Counter>,
+    journal_slot_blocks: Arc<Counter>,
+    journal_target_blocks: Arc<Counter>,
+    recovery_runs: Arc<Counter>,
+    recovery_replayed: Arc<Counter>,
+    recovery_discarded: Arc<Counter>,
+    recovery_rewritten: Arc<Counter>,
+    recovery_blocks: Arc<Histogram>,
 }
 
 impl IoMetricsSink {
@@ -807,6 +840,14 @@ impl IoMetricsSink {
             cache_hits: registry.counter(CACHE_EVENTS_TOTAL, &[("event", "hit")]),
             cache_misses: registry.counter(CACHE_EVENTS_TOTAL, &[("event", "miss")]),
             commit_dirty: registry.histogram(COMMIT_DIRTY_BLOCKS, &[]),
+            journal_appends: registry.counter(JOURNAL_TOTAL, &[("stat", "appends")]),
+            journal_slot_blocks: registry.counter(JOURNAL_TOTAL, &[("stat", "slot_blocks")]),
+            journal_target_blocks: registry.counter(JOURNAL_TOTAL, &[("stat", "target_blocks")]),
+            recovery_runs: registry.counter(RECOVERY_TOTAL, &[("stat", "runs")]),
+            recovery_replayed: registry.counter(RECOVERY_TOTAL, &[("stat", "replayed")]),
+            recovery_discarded: registry.counter(RECOVERY_TOTAL, &[("stat", "discarded")]),
+            recovery_rewritten: registry.counter(RECOVERY_TOTAL, &[("stat", "blocks_rewritten")]),
+            recovery_blocks: registry.histogram(RECOVERY_BLOCKS, &[]),
         }
     }
 
@@ -845,6 +886,22 @@ impl IoEventSink for IoMetricsSink {
             IoEvent::CacheHit { blocks } => self.cache_hits.add(blocks),
             IoEvent::CacheMiss { blocks } => self.cache_misses.add(blocks),
             IoEvent::BatchCommitted { dirty_blocks } => self.commit_dirty.observe(dirty_blocks),
+            IoEvent::JournalAppend { blocks, targets } => {
+                self.journal_appends.inc();
+                self.journal_slot_blocks.add(blocks);
+                self.journal_target_blocks.add(targets);
+            }
+            IoEvent::Recovery {
+                replayed,
+                discarded,
+                blocks_rewritten,
+            } => {
+                self.recovery_runs.inc();
+                self.recovery_replayed.add(replayed);
+                self.recovery_discarded.add(discarded);
+                self.recovery_rewritten.add(blocks_rewritten);
+                self.recovery_blocks.observe(blocks_rewritten);
+            }
         }
     }
 }
@@ -1028,5 +1085,39 @@ mod tests {
         assert_eq!(s.counter(ROUNDS_TOTAL, &[]), Some(2));
         assert_eq!(s.histogram(ROUND_WIDTH, &[]).unwrap().count, 2);
         assert_eq!(s.histogram(COMMIT_DIRTY_BLOCKS, &[]).unwrap().max, 1);
+    }
+
+    #[test]
+    fn io_metrics_sink_routes_journal_and_recovery_events() {
+        let reg = MetricsRegistry::new();
+        let sink = IoMetricsSink::new(&reg, 2);
+        sink.on_io(IoEvent::JournalAppend {
+            blocks: 4,
+            targets: 3,
+        });
+        sink.on_io(IoEvent::JournalAppend {
+            blocks: 2,
+            targets: 1,
+        });
+        sink.on_io(IoEvent::Recovery {
+            replayed: 1,
+            discarded: 2,
+            blocks_rewritten: 3,
+        });
+        let s = reg.snapshot();
+        assert_eq!(s.counter(JOURNAL_TOTAL, &[("stat", "appends")]), Some(2));
+        assert_eq!(s.counter(JOURNAL_TOTAL, &[("stat", "slot_blocks")]), Some(6));
+        assert_eq!(
+            s.counter(JOURNAL_TOTAL, &[("stat", "target_blocks")]),
+            Some(4)
+        );
+        assert_eq!(s.counter(RECOVERY_TOTAL, &[("stat", "runs")]), Some(1));
+        assert_eq!(s.counter(RECOVERY_TOTAL, &[("stat", "replayed")]), Some(1));
+        assert_eq!(s.counter(RECOVERY_TOTAL, &[("stat", "discarded")]), Some(2));
+        assert_eq!(
+            s.counter(RECOVERY_TOTAL, &[("stat", "blocks_rewritten")]),
+            Some(3)
+        );
+        assert_eq!(s.histogram(RECOVERY_BLOCKS, &[]).unwrap().max, 3);
     }
 }

@@ -1,0 +1,379 @@
+//! Crash-consistency properties for the journaled front-ends. Workloads
+//! are cut at deterministic crash points ([`pdm::FaultPlan::crash_after`]:
+//! every physical write past the k-th is silently dropped), the
+//! in-memory process state is discarded, and the dictionary is rebuilt
+//! from the surviving disk image alone — [`pdm::DiskArray::reopen_journal`]
+//! re-reads the superblock, so nothing the dead process knew leaks into
+//! recovery. Four invariants at every crash point:
+//!
+//! 1. **No panic**, in recovery or afterwards.
+//! 2. **Acked ⇒ durable**: an op that completed before the crash fired
+//!    is fully visible after reopen. The journal writes each entry's
+//!    descriptor last, so a completed op's intent is already on disk
+//!    even when the lazy superblock truncation point lags behind by up
+//!    to [`pdm::GROUP_COMMIT_EVERY`] ops.
+//! 3. **All-or-nothing**: the op in flight when the crash fired is
+//!    either fully applied or fully absent after recovery — never a
+//!    torn multi-block state, never wrong satellite data. Recovered
+//!    counters agree with recovered contents.
+//! 4. **Truncation**: reopen checkpoints the journal, so a second
+//!    recovery pass finds zero replayable intents.
+//!
+//! The exhaustive every-k crash matrices live next to the structures
+//! (`dynamic.rs`, `batch.rs`, `journal.rs`); these tests cover the
+//! integration surface — reopen from the image alone, the rebuilding
+//! wrapper mid-migration, and scrub repair under a dead disk.
+
+mod harness;
+
+use harness::{dense_keys, frontend, padded_entries, sat, JOURNAL_ROWS, KEY_SPACE, UNIVERSE};
+use pdm::{FaultPlan, Word};
+use pdm_dict::{Dict, DictParams, Dictionary};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A sorted, deduplicated key set (same corpus as the fault suite).
+fn key_set() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::hash_set(0u64..KEY_SPACE, 5..60).prop_map(|s| {
+        let mut v: Vec<u64> = s.into_iter().collect();
+        v.sort_unstable();
+        v
+    })
+}
+
+enum Op {
+    Ins(u64),
+    Del(u64),
+}
+
+/// Run a mutation workload over the journaled dynamic front, crash after
+/// `crash_at` physical writes, reopen from the disk image alone, and
+/// check the four invariants above.
+fn drive_crash(keys: &[u64], crash_at: u64) -> Result<(), TestCaseError> {
+    let f = frontend("dynamic_journaled");
+    let reopen = f.reopen.expect("journaled front declares reopen");
+    let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, sat(k, f.sigma))).collect();
+    let cap = entries.len() + 32;
+    let seed = 0xC4A5;
+    let mut dict = (f.build)(cap, &entries, seed);
+
+    // The ground truth the crash must respect. Keys move between the
+    // three sets as ops complete; an op cut by the crash moves its key
+    // to `in_doubt` (all-or-nothing is all recovery owes it).
+    let mut must_present: BTreeSet<u64> = keys.iter().copied().collect();
+    let mut must_absent: BTreeSet<u64> = BTreeSet::new();
+    let mut in_doubt: BTreeSet<u64> = BTreeSet::new();
+
+    dict.disks_mut()
+        .unwrap()
+        .set_fault_plan(FaultPlan::new().crash_after(crash_at));
+
+    // Interleaved inserts (fresh keys, above the generated range) and
+    // deletes (existing keys), then one batch.
+    let fresh: Vec<u64> = (0..6).map(|i| KEY_SPACE + 5_000 + i).collect();
+    let step = (keys.len() / 3).max(1);
+    let dels: Vec<u64> = keys.iter().copied().step_by(step).take(3).collect();
+    let mut ops: Vec<Op> = Vec::new();
+    for (i, &k) in fresh.iter().enumerate().take(3) {
+        ops.push(Op::Ins(k));
+        if let Some(&d) = dels.get(i) {
+            ops.push(Op::Del(d));
+        }
+    }
+    for &k in &fresh[3..] {
+        ops.push(Op::Ins(k));
+    }
+
+    for op in ops {
+        match op {
+            Op::Ins(k) => {
+                let res = dict.insert(k, &sat(k, f.sigma));
+                if dict.disks().unwrap().crash_fired() {
+                    in_doubt.insert(k);
+                } else if res.is_ok() {
+                    must_present.insert(k);
+                } else {
+                    // A failed insert truncates its intent: it must not
+                    // resurrect on replay.
+                    must_absent.insert(k);
+                }
+            }
+            Op::Del(k) => {
+                let res = dict.delete(k);
+                if dict.disks().unwrap().crash_fired() {
+                    must_present.remove(&k);
+                    in_doubt.insert(k);
+                } else if matches!(res, Ok((true, _))) {
+                    must_present.remove(&k);
+                    must_absent.insert(k);
+                }
+            }
+        }
+    }
+    let batch: Vec<(u64, Vec<Word>)> = (0..5)
+        .map(|i| {
+            let k = KEY_SPACE + 6_000 + i;
+            (k, sat(k, f.sigma))
+        })
+        .collect();
+    let (results, _) = dict.insert_batch(&batch);
+    if dict.disks().unwrap().crash_fired() {
+        in_doubt.extend(batch.iter().map(|(k, _)| *k));
+    } else {
+        for ((k, _), r) in batch.iter().zip(&results) {
+            if r.is_ok() {
+                must_present.insert(*k);
+            } else {
+                must_absent.insert(*k);
+            }
+        }
+    }
+
+    // The crash: the process dies, only the disk image survives.
+    // Clearing the plan is the reboot — dropped writes stay dropped.
+    let image = {
+        let disks = dict.disks_mut().unwrap();
+        disks.clear_fault_plan();
+        disks.clone()
+    };
+    drop(dict);
+    let mut reopened = reopen(cap, seed, image);
+
+    // (2) acked ⇒ durable, and deletions stay deleted.
+    for &k in &must_present {
+        let got = reopened.lookup(k).satellite;
+        prop_assert_eq!(
+            got,
+            Some(sat(k, f.sigma)),
+            "acked key {} lost or damaged after crash at write {}",
+            k,
+            crash_at
+        );
+    }
+    for &k in &must_absent {
+        prop_assert!(
+            reopened.lookup(k).satellite.is_none(),
+            "absent key {} resurrected after crash at write {}",
+            k,
+            crash_at
+        );
+    }
+    // (3) all-or-nothing for the cut op(s), and counters match contents.
+    let mut present = 0usize;
+    for &k in must_present.iter().chain(&must_absent).chain(&in_doubt) {
+        if let Some(got) = reopened.lookup(k).satellite {
+            prop_assert_eq!(
+                got,
+                sat(k, f.sigma),
+                "wrong satellite for {} after crash at write {}",
+                k,
+                crash_at
+            );
+            present += 1;
+        }
+    }
+    prop_assert_eq!(
+        reopened.len(),
+        present,
+        "recovered length disagrees with recovered contents (crash at write {})",
+        crash_at
+    );
+
+    // (4) reopen checkpointed: nothing left to replay.
+    let second = reopened.recover();
+    prop_assert!(
+        second.replayed.is_empty() && second.is_clean(),
+        "journal not truncated after reopen: {:?}",
+        second
+    );
+
+    // The reopened front keeps working.
+    let k2 = KEY_SPACE + 9_999;
+    prop_assert!(reopened.insert(k2, &sat(k2, f.sigma)).is_ok());
+    prop_assert_eq!(reopened.lookup(k2).satellite, Some(sat(k2, f.sigma)));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn journaled_front_reopens_consistently_from_any_crash(
+        keys in key_set(),
+        crash_seed in 0u64..1 << 48,
+    ) {
+        // Three crash points per case, spread over the workload's write
+        // range (the build preloads clean; only workload writes count).
+        for crash_at in [crash_seed % 96, (crash_seed >> 8) % 96, (crash_seed >> 16) % 96] {
+            drive_crash(&keys, crash_at)?;
+        }
+    }
+}
+
+/// Recovery must distrust every pre-crash verification: the
+/// verified-clean read cache is rebuilt from scratch after
+/// [`pdm::DiskArray::recover`], never carried across a crash (a cached
+/// "clean" bit may describe a write the crash dropped).
+#[test]
+fn recovery_distrusts_pre_crash_verification() {
+    let f = frontend("dynamic_journaled");
+    let keys = dense_keys(24);
+    let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, sat(k, f.sigma))).collect();
+    let mut dict = (f.build)(64, &entries, 0xC4A5);
+    dict.disks_mut().unwrap().enable_integrity();
+    // A scrub verifies (and caches) every block.
+    let report = dict.scrub();
+    assert!(report.blocks_scanned > 0);
+    assert!(
+        dict.disks().unwrap().verified_clean_blocks() > 0,
+        "scrub should populate the verified-clean cache"
+    );
+    dict.disks_mut()
+        .unwrap()
+        .set_fault_plan(FaultPlan::new().crash_after(3));
+    let k = KEY_SPACE + 5_000;
+    let _ = dict.insert(k, &sat(k, f.sigma));
+    let disks = dict.disks_mut().unwrap();
+    assert!(disks.crash_fired(), "insert should cross the crash point");
+    disks.clear_fault_plan();
+    let _ = disks.recover();
+    assert_eq!(
+        disks.verified_clean_blocks(),
+        0,
+        "recovery must drop every pre-crash verified-clean bit"
+    );
+}
+
+/// The rebuilding wrapper mid-migration, under every crash point of one
+/// insert (which also advances the migration): resume from a pre-op
+/// snapshot of the process state plus the crashed disk image (superblock
+/// re-read from disk), replay, and the wrapper must account both the
+/// re-inserted key and the re-copied migration rows — then finish the
+/// rebuild cleanly.
+#[test]
+fn rebuilding_dictionary_is_crash_consistent_during_migration() {
+    let params = DictParams::new(16, UNIVERSE, 1)
+        .with_degree(20)
+        .with_epsilon(0.5)
+        .with_seed(0xC4A5)
+        .with_journal(JOURNAL_ROWS);
+    let mut dict = Dictionary::new(params, 64).unwrap();
+    let keys = dense_keys(60);
+    let mut inserted: Vec<u64> = Vec::new();
+    let mut it = keys.iter();
+    while !dict.is_rebuilding() {
+        let k = *it.next().expect("rebuild never started");
+        dict.insert(k, &sat(k, 1)).unwrap();
+        inserted.push(k);
+    }
+    assert!(dict.disks().journal_enabled());
+
+    let victim = KEY_SPACE + 7_000;
+    let mut crash_at = 0u64;
+    loop {
+        let mut trial = dict.clone();
+        trial
+            .disks_mut()
+            .unwrap()
+            .set_fault_plan(FaultPlan::new().crash_after(crash_at));
+        let res = Dictionary::insert(&mut trial, victim, &sat(victim, 1));
+        let fired = trial.disks().crash_fired();
+        let mut image = trial.disks().clone();
+        drop(trial);
+        image.clear_fault_plan();
+        // The process is gone: adopt the on-disk superblock, not the
+        // dead process's cursors.
+        let region = image.journal_region().unwrap();
+        image.reopen_journal(region);
+
+        let mut survivor = dict.clone();
+        *survivor.disks_mut().unwrap() = image;
+        let _ = Dict::recover(&mut survivor);
+
+        for &k in &inserted {
+            assert_eq!(
+                survivor.lookup(k).satellite,
+                Some(sat(k, 1)),
+                "acked key {k} lost at crash point {crash_at}"
+            );
+        }
+        match survivor.lookup(victim).satellite {
+            Some(got) => assert_eq!(got, sat(victim, 1), "victim torn at {crash_at}"),
+            None => assert!(
+                fired,
+                "victim vanished without a crash at point {crash_at} ({res:?})"
+            ),
+        }
+
+        // Drive the rebuild to completion on the recovered state.
+        let mut extra = 0u64;
+        while survivor.is_rebuilding() {
+            let nk = KEY_SPACE + 8_000 + extra;
+            extra += 1;
+            survivor.insert(nk, &sat(nk, 1)).unwrap();
+        }
+        for &k in &inserted {
+            assert_eq!(
+                survivor.lookup(k).satellite,
+                Some(sat(k, 1)),
+                "key {k} lost finishing the rebuild after crash point {crash_at}"
+            );
+        }
+
+        if !fired {
+            break; // the whole op landed: the matrix is exhausted
+        }
+        crash_at += 1;
+        assert!(crash_at < 500, "crash point never drained");
+    }
+}
+
+/// Scrub repair under a dead disk is itself crash-protected: the repair
+/// flush routes through the journal, so a crash mid-repair never leaves
+/// a half-rewritten stripe. After reboot (superblock re-read), recovery
+/// replays the torn flush and a final scrub restores every key exactly.
+#[test]
+fn one_probe_b_scrub_repair_survives_dead_disk_plus_crash() {
+    let f = frontend("one_probe_b");
+    let es = padded_entries(&f, &dense_keys(150));
+    let mut dict = (f.build)(es.len(), &es, 0xD1E5);
+    let disks = dict.disks_mut().unwrap();
+    disks.enable_integrity();
+    disks.enable_journal_appended(JOURNAL_ROWS);
+    let mut crash_at = 0u64;
+    loop {
+        dict.disks_mut()
+            .unwrap()
+            .set_fault_plan(FaultPlan::new().dead_disk(4).crash_after(crash_at));
+        let _ = dict.scrub(); // repairs route through the journal; the crash tears the flush
+        let fired = dict.disks().unwrap().crash_fired();
+        let disks = dict.disks_mut().unwrap();
+        disks.clear_fault_plan();
+        let region = disks.journal_region().unwrap();
+        disks.reopen_journal(region);
+        let _ = dict.recover(); // replay the torn repair flush, checkpoint
+
+        // No wrong data between reboot and repair: damage may read as a
+        // miss, never as another key's satellite.
+        for (k, s) in &es {
+            if let Some(got) = dict.lookup(*k).satellite {
+                assert_eq!(&got, s, "wrong satellite for {k} after crash at {crash_at}");
+            }
+        }
+        let report = dict.scrub();
+        assert_eq!(report.unrepairable_keys, 0, "{report:?}");
+        for (k, s) in &es {
+            let out = dict.lookup(*k);
+            assert_eq!(out.satellite.as_ref(), Some(s), "key {k} lost");
+            assert!(out.is_exact(), "key {k} still degraded after repair");
+        }
+        let idle = dict.scrub();
+        assert_eq!(idle.repaired_blocks, 0, "idle scrub repaired: {idle:?}");
+
+        if !fired {
+            break;
+        }
+        crash_at += 9; // stride keeps the drill fast; the every-k matrix is unit-level
+        assert!(crash_at < 2_000, "crash point never drained");
+    }
+}
