@@ -435,13 +435,19 @@ impl<T: RawDict> Dict for DictHandle<T> {
     fn recover(&mut self) -> pdm::RecoveryReport {
         let report = self.disks.recover();
         self.dict.raw_recover_reconcile(&report);
-        if self.disks.journal_enabled() {
-            // Truncate: with counters reconciled, nothing in the ring
-            // needs to survive another crash-before-next-op.
-            let meta = self.dict.raw_checkpoint_meta();
-            self.disks.journal_checkpoint(&meta);
-        }
+        // Truncate: with counters reconciled, nothing in the ring needs
+        // to survive another crash-before-next-op.
+        self.checkpoint();
         report
+    }
+
+    fn checkpoint(&mut self) -> bool {
+        if !self.disks.journal_enabled() {
+            return false;
+        }
+        let meta = self.dict.raw_checkpoint_meta();
+        self.disks.journal_checkpoint(&meta);
+        true
     }
 
     fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {

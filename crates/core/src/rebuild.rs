@@ -549,10 +549,18 @@ impl Dict for Dictionary {
             b.copied += migrated;
         }
         self.active.apply_replay(&report);
-        if self.disks.journal_enabled() {
-            self.disks.journal_checkpoint(&[]);
-        }
+        self.checkpoint();
         report
+    }
+
+    fn checkpoint(&mut self) -> bool {
+        if !self.disks.journal_enabled() {
+            return false;
+        }
+        // Neither structure's counters own the shared superblock (see
+        // `checkpoint_owner`), so the wrapper truncates with empty meta.
+        self.disks.journal_checkpoint(&[]);
+        true
     }
 
     fn set_metrics(&mut self, registry: Option<Arc<MetricsRegistry>>) {

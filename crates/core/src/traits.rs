@@ -335,6 +335,17 @@ pub trait Dict {
             .unwrap_or_default()
     }
 
+    /// Checkpoint the write-ahead intent journal ([`pdm::journal`]):
+    /// persist the front-end's replay-sensitive counters and truncate the
+    /// ring, so a crash immediately after this point replays nothing.
+    /// Returns `true` when a journal was actually checkpointed, `false`
+    /// when the front-end has no journal enabled (the default). The
+    /// serving engine calls this on graceful shutdown, after draining its
+    /// queues, so a served image is always recoverable.
+    fn checkpoint(&mut self) -> bool {
+        false
+    }
+
     /// Walk the structure's blocks, verify checksums, and rewrite every
     /// repairable block from surviving redundancy. The default delegates to
     /// [`DiskArray::scrub_verify`] (detection only — counts damage and

@@ -653,10 +653,12 @@ impl DiskArray {
             self.check(a);
             per_disk[a.disk] += 1;
         }
+        let parallel_ios = self.cfg.batch_cost(&per_disk);
         let cost = OpCost {
-            parallel_ios: self.cfg.batch_cost(&per_disk),
+            parallel_ios,
             block_reads: addrs.len() as u64,
             block_writes: 0,
+            sequential_ios: parallel_ios,
         };
         if !self.hazards_active() {
             let blocks = addrs

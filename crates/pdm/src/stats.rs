@@ -34,10 +34,12 @@ impl IoStats {
     #[must_use]
     pub fn since(&self, earlier: &IoStats) -> OpCost {
         debug_assert!(self.parallel_ios >= earlier.parallel_ios);
+        let parallel_ios = self.parallel_ios - earlier.parallel_ios;
         OpCost {
-            parallel_ios: self.parallel_ios - earlier.parallel_ios,
+            parallel_ios,
             block_reads: self.block_reads - earlier.block_reads,
             block_writes: self.block_writes - earlier.block_writes,
+            sequential_ios: parallel_ios,
         }
     }
 }
@@ -51,16 +53,38 @@ pub struct OpCost {
     pub block_reads: u64,
     /// Blocks written.
     pub block_writes: u64,
+    /// Parallel I/O steps if the independently-disked parts of the
+    /// operation had run one after another. Equal to `parallel_ios` for
+    /// operations on a single disk array; structures that fan one
+    /// operation out over several *independent* arrays (e.g. a sharded
+    /// dictionary's cross-shard batches) report the per-part **max** as
+    /// `parallel_ios` and keep the per-part **sum** here.
+    pub sequential_ios: u64,
 }
 
 impl OpCost {
-    /// Sum of two costs.
+    /// Sum of two costs (parts executed one after another on the same
+    /// set of disks: both the parallel and the sequential measure add).
     #[must_use]
     pub fn plus(self, other: OpCost) -> OpCost {
         OpCost {
             parallel_ios: self.parallel_ios + other.parallel_ios,
             block_reads: self.block_reads + other.block_reads,
             block_writes: self.block_writes + other.block_writes,
+            sequential_ios: self.sequential_ios + other.sequential_ios,
+        }
+    }
+
+    /// Combine with a cost incurred on an **independent** disk group
+    /// running concurrently: parallel steps take the max, block counts
+    /// and the sequential measure add.
+    #[must_use]
+    pub fn alongside(self, other: OpCost) -> OpCost {
+        OpCost {
+            parallel_ios: self.parallel_ios.max(other.parallel_ios),
+            block_reads: self.block_reads + other.block_reads,
+            block_writes: self.block_writes + other.block_writes,
+            sequential_ios: self.sequential_ios + other.sequential_ios,
         }
     }
 }
@@ -218,16 +242,40 @@ mod tests {
             parallel_ios: 1,
             block_reads: 2,
             block_writes: 3,
+            sequential_ios: 1,
         };
         let b = OpCost {
             parallel_ios: 10,
             block_reads: 20,
             block_writes: 30,
+            sequential_ios: 10,
         };
         let c = a.plus(b);
         assert_eq!(c.parallel_ios, 11);
         assert_eq!(c.block_reads, 22);
         assert_eq!(c.block_writes, 33);
+        assert_eq!(c.sequential_ios, 11);
+    }
+
+    #[test]
+    fn opcost_alongside_takes_parallel_max_and_sequential_sum() {
+        let a = OpCost {
+            parallel_ios: 3,
+            block_reads: 5,
+            block_writes: 1,
+            sequential_ios: 3,
+        };
+        let b = OpCost {
+            parallel_ios: 2,
+            block_reads: 4,
+            block_writes: 0,
+            sequential_ios: 2,
+        };
+        let c = a.alongside(b);
+        assert_eq!(c.parallel_ios, 3, "independent groups overlap in time");
+        assert_eq!(c.sequential_ios, 5, "the sum is retained");
+        assert_eq!(c.block_reads, 9);
+        assert_eq!(c.block_writes, 1);
     }
 
     #[test]

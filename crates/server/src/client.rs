@@ -1,0 +1,239 @@
+//! Client handles: the in-process [`DictClient`] and the out-of-process
+//! [`TcpClient`].
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, WireRequest, WireResponse,
+};
+use crate::queue::OneShot;
+use crate::scheduler::{Op, OpResult, Reply, Shared};
+use crate::ServeError;
+use pdm::Word;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A cloneable, thread-safe handle onto a [`ServeEngine`]. Any number of
+/// threads may hold clones and call concurrently; each call routes to
+/// the key's shard queue.
+///
+/// The sync calls ([`lookup`](Self::lookup), [`insert`](Self::insert),
+/// [`delete`](Self::delete)) block until the engine replies — at most
+/// the engine deadline plus one coalescing window. [`submit`](Self::submit)
+/// pipelines: it returns a [`Pending`] immediately, so one thread can
+/// keep many operations in flight and fill the shard's coalescing
+/// window on its own.
+///
+/// [`ServeEngine`]: crate::ServeEngine
+#[derive(Clone)]
+pub struct DictClient {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for DictClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DictClient")
+            .field("shards", &self.shared.queues.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An operation submitted through [`DictClient::submit`] whose reply has
+/// not been awaited yet. Dropping a `Pending` abandons the reply (the
+/// operation still executes).
+#[derive(Debug)]
+#[must_use = "the reply is lost unless waited on"]
+pub struct Pending {
+    slot: Arc<OneShot<OpResult>>,
+}
+
+impl Pending {
+    /// Block until the engine replies.
+    pub fn wait(self) -> OpResult {
+        self.slot.wait()
+    }
+}
+
+impl DictClient {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        DictClient { shared }
+    }
+
+    /// Submit without waiting; pair with [`Pending::wait`].
+    ///
+    /// Pipelined operations may be reordered within one coalescing
+    /// window (inserts before deletes before lookups), so only
+    /// operations without mutual ordering constraints should be in
+    /// flight together — wait for the ack when ordering matters.
+    ///
+    /// # Errors
+    /// Admission refusals: [`ServeError::Overloaded`],
+    /// [`ServeError::ShuttingDown`], [`ServeError::Disconnected`].
+    pub fn submit(&self, op: Op) -> Result<Pending, ServeError> {
+        let slot = self.shared.submit(op, self.shared.cfg.deadline)?;
+        Ok(Pending { slot })
+    }
+
+    /// Like [`submit`](Self::submit) with an explicit deadline instead
+    /// of the engine default.
+    ///
+    /// # Errors
+    /// Same as [`submit`](Self::submit).
+    pub fn submit_with_deadline(
+        &self,
+        op: Op,
+        deadline: Duration,
+    ) -> Result<Pending, ServeError> {
+        let slot = self.shared.submit(op, deadline)?;
+        Ok(Pending { slot })
+    }
+
+    /// Look up `key`, blocking for the answer.
+    ///
+    /// # Errors
+    /// Admission refusals, [`ServeError::TimedOut`], or a passed-through
+    /// [`ServeError::Dict`].
+    pub fn lookup(&self, key: u64) -> Result<Option<Vec<Word>>, ServeError> {
+        match self.submit(Op::Lookup(key))?.wait()? {
+            Reply::Lookup(satellite) => Ok(satellite),
+            other => Err(ServeError::Protocol(format!(
+                "engine answered lookup with {other:?}"
+            ))),
+        }
+    }
+
+    /// Insert `key` with satellite words, blocking for the durable ack.
+    ///
+    /// # Errors
+    /// Admission refusals, [`ServeError::TimedOut`], or a passed-through
+    /// [`ServeError::Dict`] (e.g. duplicate key).
+    pub fn insert(&self, key: u64, satellite: &[Word]) -> Result<(), ServeError> {
+        match self.submit(Op::Insert(key, satellite.to_vec()))?.wait()? {
+            Reply::Inserted => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "engine answered insert with {other:?}"
+            ))),
+        }
+    }
+
+    /// Delete `key`, blocking for the ack. Returns whether the key had
+    /// been present.
+    ///
+    /// # Errors
+    /// Admission refusals, [`ServeError::TimedOut`], or a passed-through
+    /// [`ServeError::Dict`].
+    pub fn delete(&self, key: u64) -> Result<bool, ServeError> {
+        match self.submit(Op::Delete(key))?.wait()? {
+            Reply::Deleted(was_present) => Ok(was_present),
+            other => Err(ServeError::Protocol(format!(
+                "engine answered delete with {other:?}"
+            ))),
+        }
+    }
+
+    /// Number of shards behind this handle.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shared.queues.len()
+    }
+}
+
+/// A blocking wire-protocol client over one TCP connection
+/// (one-request-one-response; open several connections for pipelining —
+/// the server coalesces across connections anyway).
+#[derive(Debug)]
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpClient {
+    /// Connect to a [`TcpServer`](crate::TcpServer).
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One request/response exchange.
+    ///
+    /// # Errors
+    /// [`ServeError::Protocol`] on wire failures or malformed frames.
+    pub fn request(&mut self, req: &WireRequest) -> Result<WireResponse, ServeError> {
+        let wire = |e: io::Error| ServeError::Protocol(format!("wire: {e}"));
+        write_frame(&mut self.writer, &encode_request(req)).map_err(wire)?;
+        let payload = read_frame(&mut self.reader)
+            .map_err(wire)?
+            .ok_or(ServeError::Disconnected)?;
+        decode_response(&payload)
+    }
+
+    fn op(&mut self, op: Op) -> Result<Reply, ServeError> {
+        match self.request(&WireRequest::Op(op))? {
+            WireResponse::Reply(reply) => Ok(reply),
+            WireResponse::Err(e) => Err(e),
+            WireResponse::Pong => {
+                Err(ServeError::Protocol("server answered op with pong".into()))
+            }
+        }
+    }
+
+    /// Look up `key` over the wire.
+    ///
+    /// # Errors
+    /// Wire failures and every server-side [`ServeError`].
+    pub fn lookup(&mut self, key: u64) -> Result<Option<Vec<Word>>, ServeError> {
+        match self.op(Op::Lookup(key))? {
+            Reply::Lookup(satellite) => Ok(satellite),
+            other => Err(ServeError::Protocol(format!(
+                "server answered lookup with {other:?}"
+            ))),
+        }
+    }
+
+    /// Insert `key` over the wire.
+    ///
+    /// # Errors
+    /// Wire failures and every server-side [`ServeError`].
+    pub fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<(), ServeError> {
+        match self.op(Op::Insert(key, satellite.to_vec()))? {
+            Reply::Inserted => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "server answered insert with {other:?}"
+            ))),
+        }
+    }
+
+    /// Delete `key` over the wire.
+    ///
+    /// # Errors
+    /// Wire failures and every server-side [`ServeError`].
+    pub fn delete(&mut self, key: u64) -> Result<bool, ServeError> {
+        match self.op(Op::Delete(key))? {
+            Reply::Deleted(was_present) => Ok(was_present),
+            other => Err(ServeError::Protocol(format!(
+                "server answered delete with {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// Wire failures, or a non-pong answer.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.request(&WireRequest::Ping)? {
+            WireResponse::Pong => Ok(()),
+            other => Err(ServeError::Protocol(format!(
+                "server answered ping with {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Bounded admission queues and one-shot reply slots — the two blocking
+//! primitives the engine is built from (`std::sync` only).
+//!
+//! [`BoundedQueue`] is the admission-control point: `push` never blocks
+//! and never queues past the bound — a full queue is an immediate,
+//! typed rejection, which is what keeps the engine's memory and tail
+//! latency bounded under overload. Workers block in
+//! [`BoundedQueue::drain`], which hands back *everything* queued (up to
+//! a cap) in one wakeup — the coalescing window.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Recover from mutex poisoning: every critical section here leaves the
+/// queue in a valid state (pushes and pops are single `VecDeque` calls),
+/// so a panicking peer cannot corrupt it.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Why a [`BoundedQueue::push`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRefused {
+    /// The queue sat at its bound.
+    Full,
+    /// The queue was closed ([`BoundedQueue::close`]).
+    Closed,
+}
+
+/// A closable MPSC queue with a hard bound and batch draining.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled on push and on close; workers wait on it in `drain`.
+    nonempty: Condvar,
+    bound: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue refusing pushes past `bound` items.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0` (a queue that can hold nothing cannot
+    /// serve anything).
+    #[must_use]
+    pub fn new(bound: usize) -> Self {
+        assert!(bound > 0, "queue bound must be positive");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            bound,
+        }
+    }
+
+    /// The configured bound.
+    #[must_use]
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Items currently queued (racy by nature; for gauges).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// Enqueue `item`, or refuse without queueing: [`PushRefused::Full`]
+    /// at the bound (backpressure), [`PushRefused::Closed`] after
+    /// [`close`](Self::close). Never blocks.
+    ///
+    /// # Errors
+    /// Returns the item back alongside the refusal so the caller can
+    /// reply to it (nothing is ever silently dropped).
+    pub fn push(&self, item: T) -> Result<usize, (PushRefused, T)> {
+        let mut s = lock(&self.state);
+        if s.closed {
+            return Err((PushRefused::Closed, item));
+        }
+        if s.items.len() >= self.bound {
+            return Err((PushRefused::Full, item));
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.nonempty.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until at least one item is queued (or the queue is closed),
+    /// then pop up to `max` items — the coalescing window: everything
+    /// that accumulated while the worker was busy comes out as one
+    /// batch. Returns `None` only when the queue is closed **and**
+    /// empty: the drain-then-exit contract of graceful shutdown.
+    pub fn drain(&self, max: usize) -> Option<Vec<T>> {
+        let mut s = lock(&self.state);
+        loop {
+            if !s.items.is_empty() {
+                let n = s.items.len().min(max);
+                return Some(s.items.drain(..n).collect());
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .nonempty
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`drain`](Self::drain) but gives up after `timeout`,
+    /// returning an empty batch (used by workers that must poll a side
+    /// condition while idle).
+    pub fn drain_timeout(&self, max: usize, timeout: Duration) -> Option<Vec<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut s = lock(&self.state);
+        loop {
+            if !s.items.is_empty() {
+                let n = s.items.len().min(max);
+                return Some(s.items.drain(..n).collect());
+            }
+            if s.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(Vec::new());
+            }
+            let (guard, _) = self
+                .nonempty
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            s = guard;
+        }
+    }
+
+    /// Close the queue: subsequent pushes are refused, blocked drains
+    /// wake, and drains keep returning queued items until empty (so a
+    /// graceful shutdown serves everything already admitted).
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) was called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        lock(&self.state).closed
+    }
+}
+
+/// A write-once reply slot a client blocks on (`Arc<OneShot<_>>` pairs a
+/// request with its response channel).
+#[derive(Debug)]
+pub struct OneShot<T> {
+    value: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for OneShot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OneShot<T> {
+    /// An empty slot.
+    #[must_use]
+    pub fn new() -> Self {
+        OneShot {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Fill the slot and wake the waiter. First write wins; a second
+    /// write is discarded (e.g. a worker answering a request the client
+    /// already gave up on) and reported as `false`.
+    pub fn put(&self, value: T) -> bool {
+        let mut v = lock(&self.value);
+        if v.is_some() {
+            return false;
+        }
+        *v = Some(value);
+        drop(v);
+        self.ready.notify_all();
+        true
+    }
+
+    /// Block until the slot is filled and take the value.
+    pub fn wait(&self) -> T {
+        let mut v = lock(&self.value);
+        loop {
+            if let Some(value) = v.take() {
+                return value;
+            }
+            v = self
+                .ready
+                .wait(v)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Block until the slot is filled or `deadline` passes.
+    pub fn wait_deadline(&self, deadline: Instant) -> Option<T> {
+        let mut v = lock(&self.value);
+        loop {
+            if let Some(value) = v.take() {
+                return Some(value);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(v, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            v = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_respects_bound_and_returns_item() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        let (why, item) = q.push(3).unwrap_err();
+        assert_eq!(why, PushRefused::Full);
+        assert_eq!(item, 3, "a refused item comes back to the caller");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn drain_takes_everything_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.drain(3), Some(vec![0, 1, 2]));
+        assert_eq!(q.drain(10), Some(vec![3, 4]));
+    }
+
+    #[test]
+    fn closed_queue_refuses_pushes_but_drains_dry() {
+        let q = BoundedQueue::new(8);
+        q.push(7).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let (why, _) = q.push(8).unwrap_err();
+        assert_eq!(why, PushRefused::Closed);
+        assert_eq!(q.drain(10), Some(vec![7]), "admitted items still drain");
+        assert_eq!(q.drain(10), None, "closed and empty ends the worker");
+    }
+
+    #[test]
+    fn drain_blocks_until_a_push_arrives() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let worker = std::thread::spawn(move || q2.drain(4));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(42).unwrap();
+        assert_eq!(worker.join().unwrap(), Some(vec![42]));
+    }
+
+    #[test]
+    fn drain_timeout_returns_empty_when_idle() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert_eq!(q.drain_timeout(4, Duration::from_millis(5)), Some(vec![]));
+    }
+
+    #[test]
+    fn oneshot_first_write_wins() {
+        let s = OneShot::new();
+        assert!(s.put(1));
+        assert!(!s.put(2));
+        assert_eq!(s.wait(), 1);
+    }
+
+    #[test]
+    fn oneshot_wait_deadline_times_out_empty() {
+        let s: OneShot<u8> = OneShot::new();
+        assert_eq!(s.wait_deadline(Instant::now() + Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn oneshot_crosses_threads() {
+        let s = Arc::new(OneShot::new());
+        let s2 = Arc::clone(&s);
+        let t = std::thread::spawn(move || s2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        s.put(99u64);
+        assert_eq!(t.join().unwrap(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

@@ -1,0 +1,1000 @@
+//! The shard-parallel serving engine: per-shard worker threads that
+//! coalesce queued requests into batched dictionary calls.
+//!
+//! ## Why coalescing is the whole point
+//!
+//! One parallel I/O round touches up to `D` disks; a single lookup needs
+//! one or two blocks of it. Serving one operation per lock acquisition
+//! (the [`pdm_dict::ShardedDictionary`] discipline) therefore wastes
+//! almost the entire round under concurrency. Here, requests that arrive
+//! while a worker is busy accumulate in its shard queue; the worker
+//! drains them all in one wakeup and serves them as **one**
+//! `lookup_batch` / `insert_batch`, whose planner packs block requests
+//! into shared rounds ([`pdm::BatchPlan`]). The busier the server, the
+//! larger the window — batching improves *under* load instead of
+//! degrading, which is exactly the behaviour the paper's worst-case
+//! bounds make safe to rely on.
+//!
+//! ## Ordering contract
+//!
+//! Requests of one drained window execute inserts → deletes → lookups;
+//! windows execute in FIFO order per shard. A client that waits for each
+//! reply before submitting the next operation (the sync [`DictClient`]
+//! calls) therefore observes program order. Operations pipelined through
+//! [`DictClient::submit`] without waiting may be reordered *within* a
+//! window and must not be order-dependent (same as issuing them from
+//! different connections).
+//!
+//! [`DictClient`]: crate::client::DictClient
+//! [`DictClient::submit`]: crate::client::DictClient::submit
+
+use crate::client::DictClient;
+use crate::queue::{BoundedQueue, OneShot, PushRefused};
+use crate::ServeError;
+use expander::seeded::mix64;
+use pdm::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use pdm::Word;
+use pdm_dict::Dict;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One dictionary operation as submitted by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Look up a key.
+    Lookup(u64),
+    /// Insert a key with satellite words.
+    Insert(u64, Vec<Word>),
+    /// Delete a key.
+    Delete(u64),
+}
+
+impl Op {
+    /// The key this operation addresses (routing input).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        match *self {
+            Op::Lookup(k) | Op::Insert(k, _) | Op::Delete(k) => k,
+        }
+    }
+
+}
+
+/// A successful operation's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Lookup answer: the satellite words, or `None` on a miss.
+    Lookup(Option<Vec<Word>>),
+    /// The insert was applied and acknowledged.
+    Inserted,
+    /// The delete was applied; `true` if the key had been present.
+    Deleted(bool),
+}
+
+/// What a request resolves to.
+pub type OpResult = Result<Reply, ServeError>;
+
+/// An admitted request: the operation, its deadline, and the slot the
+/// submitting client blocks on.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub(crate) op: Op,
+    pub(crate) deadline: Instant,
+    pub(crate) submitted: Instant,
+    pub(crate) slot: Arc<OneShot<OpResult>>,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Admission bound per shard queue; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_bound: usize,
+    /// Maximum requests coalesced into one execution window.
+    pub max_coalesce: usize,
+    /// Default deadline for sync client calls.
+    pub deadline: Duration,
+    /// Seed of the key → shard route (any fixed value works; it only
+    /// needs to spread keys evenly).
+    pub route_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue_bound: 256,
+            max_coalesce: 64,
+            deadline: Duration::from_secs(2),
+            route_seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Set the per-shard admission bound.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[must_use]
+    pub fn with_queue_bound(mut self, bound: usize) -> Self {
+        assert!(bound > 0, "queue bound must be positive");
+        self.queue_bound = bound;
+        self
+    }
+
+    /// Set the coalescing window cap.
+    ///
+    /// # Panics
+    /// Panics if `max == 0`.
+    #[must_use]
+    pub fn with_max_coalesce(mut self, max: usize) -> Self {
+        assert!(max > 0, "coalescing window must be positive");
+        self.max_coalesce = max;
+        self
+    }
+
+    /// Set the default per-request deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Set the routing seed.
+    #[must_use]
+    pub fn with_route_seed(mut self, seed: u64) -> Self {
+        self.route_seed = seed;
+        self
+    }
+}
+
+/// Monotone engine counters (always on — plain atomics, no registry
+/// needed). Snapshot via [`ServeEngine::stats`].
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) acked: AtomicU64,
+    pub(crate) dict_errors: AtomicU64,
+    pub(crate) rejected_overloaded: AtomicU64,
+    pub(crate) rejected_timedout: AtomicU64,
+    pub(crate) rejected_shutdown: AtomicU64,
+    pub(crate) disconnected: AtomicU64,
+    /// Batched dictionary calls executed (a `lookup_batch`, an
+    /// `insert_batch`, or a single delete each count 1).
+    pub(crate) exec_calls: AtomicU64,
+    /// Operations served through those calls.
+    pub(crate) exec_ops: AtomicU64,
+    /// Parallel I/O rounds charged by those calls (per-shard sums; the
+    /// shards' disk groups are independent, so across shards these
+    /// overlap in time).
+    pub(crate) parallel_ios: AtomicU64,
+    /// The one-group-at-a-time measure ([`pdm::OpCost::sequential_ios`]).
+    pub(crate) sequential_ios: AtomicU64,
+}
+
+/// A point-in-time copy of the engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests admitted into a shard queue.
+    pub submitted: u64,
+    /// Requests acknowledged with a successful reply.
+    pub acked: u64,
+    /// Requests that executed and returned a dictionary error.
+    pub dict_errors: u64,
+    /// Admissions refused with [`ServeError::Overloaded`].
+    pub rejected_overloaded: u64,
+    /// Admitted requests answered [`ServeError::TimedOut`].
+    pub rejected_timedout: u64,
+    /// Admissions refused with [`ServeError::ShuttingDown`].
+    pub rejected_shutdown: u64,
+    /// Requests answered [`ServeError::Disconnected`] (crash).
+    pub disconnected: u64,
+    /// Batched dictionary calls executed.
+    pub exec_calls: u64,
+    /// Operations served through those calls.
+    pub exec_ops: u64,
+    /// Parallel I/O rounds charged by those calls.
+    pub parallel_ios: u64,
+    /// The one-shard-at-a-time I/O measure (see
+    /// [`pdm::OpCost::sequential_ios`]).
+    pub sequential_ios: u64,
+}
+
+impl EngineStats {
+    /// Mean operations per executed dictionary call — the coalescing
+    /// factor the engine achieved.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        if self.exec_calls == 0 {
+            0.0
+        } else {
+            self.exec_ops as f64 / self.exec_calls as f64
+        }
+    }
+
+    /// Parallel I/O rounds per served operation.
+    #[must_use]
+    pub fn ios_per_op(&self) -> f64 {
+        if self.exec_ops == 0 {
+            0.0
+        } else {
+            self.parallel_ios as f64 / self.exec_ops as f64
+        }
+    }
+}
+
+/// Pre-resolved registry handles for the serving layer (`serve_*`
+/// metric families).
+#[derive(Debug)]
+pub struct ServeMetrics {
+    queue_depth: Vec<Arc<Gauge>>,
+    batch_keys: [Arc<Histogram>; 3],
+    batch_ios: [Arc<Histogram>; 3],
+    latency_us: [Arc<Histogram>; 3],
+    ops_ok: [Arc<Counter>; 3],
+    ops_err: [Arc<Counter>; 3],
+    rejected: [Arc<Counter>; 3],
+    disconnected: Arc<Counter>,
+    rounds: Arc<Counter>,
+}
+
+/// Gauge of queued requests per shard, label `shard`.
+pub const SERVE_QUEUE_DEPTH: &str = "serve_queue_depth";
+/// Histogram of coalesced keys per executed batch, label `op`.
+pub const SERVE_BATCH_KEYS: &str = "serve_batch_keys";
+/// Histogram of parallel I/Os per executed batch, label `op`.
+pub const SERVE_BATCH_PARALLEL_IOS: &str = "serve_batch_parallel_ios";
+/// Histogram of request latency (submit → reply) in microseconds, label `op`.
+pub const SERVE_LATENCY_US: &str = "serve_latency_us";
+/// Counter of served operations, labels `op`, `outcome` (`ok` / `err`).
+pub const SERVE_OPS_TOTAL: &str = "serve_ops_total";
+/// Counter of admission rejections, label `reason`
+/// (`overloaded` / `timedout` / `shutdown`).
+pub const SERVE_REJECTED_TOTAL: &str = "serve_rejected_total";
+/// Counter of requests dropped by a crash, no label.
+pub const SERVE_DISCONNECTED_TOTAL: &str = "serve_disconnected_total";
+/// Counter of coalesced execution windows, no label.
+pub const SERVE_ROUNDS_TOTAL: &str = "serve_rounds_total";
+
+const OPS: [&str; 3] = ["lookup", "insert", "delete"];
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry, shards: usize) -> Self {
+        let hist = |name: &'static str| {
+            [OPS[0], OPS[1], OPS[2]].map(|op| registry.histogram(name, &[("op", op)]))
+        };
+        let ops = |outcome: &'static str| {
+            [
+                registry.counter(SERVE_OPS_TOTAL, &[("op", OPS[0]), ("outcome", outcome)]),
+                registry.counter(SERVE_OPS_TOTAL, &[("op", OPS[1]), ("outcome", outcome)]),
+                registry.counter(SERVE_OPS_TOTAL, &[("op", OPS[2]), ("outcome", outcome)]),
+            ]
+        };
+        ServeMetrics {
+            queue_depth: (0..shards)
+                .map(|s| registry.gauge(SERVE_QUEUE_DEPTH, &[("shard", &s.to_string())]))
+                .collect(),
+            batch_keys: hist(SERVE_BATCH_KEYS),
+            batch_ios: hist(SERVE_BATCH_PARALLEL_IOS),
+            latency_us: hist(SERVE_LATENCY_US),
+            ops_ok: ops("ok"),
+            ops_err: ops("err"),
+            rejected: [
+                registry.counter(SERVE_REJECTED_TOTAL, &[("reason", "overloaded")]),
+                registry.counter(SERVE_REJECTED_TOTAL, &[("reason", "timedout")]),
+                registry.counter(SERVE_REJECTED_TOTAL, &[("reason", "shutdown")]),
+            ],
+            disconnected: registry.counter(SERVE_DISCONNECTED_TOTAL, &[]),
+            rounds: registry.counter(SERVE_ROUNDS_TOTAL, &[]),
+        }
+    }
+
+    fn op_index(op: &Op) -> usize {
+        match op {
+            Op::Lookup(..) => 0,
+            Op::Insert(..) => 1,
+            Op::Delete(..) => 2,
+        }
+    }
+}
+
+/// Everything the client handles and workers share.
+pub(crate) struct Shared {
+    pub(crate) queues: Vec<Arc<BoundedQueue<Request>>>,
+    /// Per-shard flag: the shard's worker observed a crash and stopped
+    /// acknowledging (its closed queue means [`ServeError::Disconnected`],
+    /// not [`ServeError::ShuttingDown`]).
+    pub(crate) crashed: Vec<AtomicBool>,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) stats: Arc<AtomicStats>,
+    pub(crate) metrics: Option<Arc<ServeMetrics>>,
+}
+
+impl Shared {
+    pub(crate) fn shard_of(&self, key: u64) -> usize {
+        (mix64(self.cfg.route_seed ^ key) % self.queues.len() as u64) as usize
+    }
+
+    /// Admission control: route, check the bound, enqueue. Refusals are
+    /// immediate and typed; nothing blocks.
+    pub(crate) fn submit(
+        &self,
+        op: Op,
+        deadline: Duration,
+    ) -> Result<Arc<OneShot<OpResult>>, ServeError> {
+        let shard = self.shard_of(op.key());
+        let slot = Arc::new(OneShot::new());
+        let now = Instant::now();
+        let request = Request {
+            op,
+            deadline: now + deadline,
+            submitted: now,
+            slot: Arc::clone(&slot),
+        };
+        match self.queues[shard].push(request) {
+            Ok(depth) => {
+                self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.queue_depth[shard].set(depth as i64);
+                }
+                Ok(slot)
+            }
+            Err((PushRefused::Full, _)) => {
+                self.stats.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.rejected[0].inc();
+                }
+                Err(ServeError::Overloaded {
+                    shard,
+                    depth: self.queues[shard].bound(),
+                })
+            }
+            Err((PushRefused::Closed, _)) => {
+                if self.crashed[shard].load(Ordering::Acquire) {
+                    self.stats.disconnected.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Disconnected)
+                } else {
+                    self.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metrics {
+                        m.rejected[2].inc();
+                    }
+                    Err(ServeError::ShuttingDown)
+                }
+            }
+        }
+    }
+}
+
+/// The engine: `S` shard dictionaries, each owned by one worker thread,
+/// fed by bounded queues, coalescing concurrent requests into batched
+/// calls.
+///
+/// ```
+/// use pdm_dict::{DictParams, Dictionary, Dict};
+/// use pdm_server::{EngineConfig, ServeEngine};
+///
+/// let shards: Vec<Box<dyn Dict + Send>> = (0..2)
+///     .map(|i| {
+///         let params = DictParams::new(64, 1 << 40, 1)
+///             .with_degree(16)
+///             .with_epsilon(1.0)
+///             .with_seed(7 + i);
+///         Box::new(Dictionary::new(params, 128).unwrap()) as Box<dyn Dict + Send>
+///     })
+///     .collect();
+/// let engine = ServeEngine::new(shards, EngineConfig::default());
+/// let client = engine.client();
+/// std::thread::scope(|s| {
+///     for t in 0..4u64 {
+///         let client = client.clone();
+///         s.spawn(move || {
+///             for i in 0..50 {
+///                 client.insert(t * 1000 + i, &[t]).unwrap();
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(client.lookup(2025).unwrap(), Some(vec![2]));
+/// let shards = engine.shutdown();
+/// assert_eq!(shards.iter().map(|d| d.len()).sum::<usize>(), 200);
+/// ```
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<Box<dyn Dict + Send>>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("shards", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Spawn one worker thread per shard dictionary.
+    ///
+    /// Shard dictionaries are independent — in a deployment each owns
+    /// its own disk group, so per-shard batches overlap in time (the
+    /// same argument as [`pdm_dict::ShardedDictionary`]'s cost model).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    #[must_use]
+    pub fn new(shards: Vec<Box<dyn Dict + Send>>, cfg: EngineConfig) -> Self {
+        Self::with_metrics(shards, cfg, None)
+    }
+
+    /// Like [`new`](Self::new), additionally exporting `serve_*` metrics
+    /// to `registry`. (Shard dictionaries keep their own `dict_*`
+    /// recording; install it via [`pdm_dict::Dict::set_metrics`] before
+    /// handing them over.)
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    #[must_use]
+    pub fn with_metrics(
+        shards: Vec<Box<dyn Dict + Send>>,
+        cfg: EngineConfig,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let metrics = registry.map(|r| Arc::new(ServeMetrics::new(&r, shards.len())));
+        let shared = Arc::new(Shared {
+            queues: (0..shards.len())
+                .map(|_| Arc::new(BoundedQueue::new(cfg.queue_bound)))
+                .collect(),
+            crashed: (0..shards.len()).map(|_| AtomicBool::new(false)).collect(),
+            cfg,
+            stats: Arc::new(AtomicStats::default()),
+            metrics,
+        });
+        let workers = shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, dict)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pdm-serve-{id}"))
+                    .spawn(move || run_shard(id, dict, &shared))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ServeEngine { shared, workers }
+    }
+
+    /// A cloneable, thread-safe client handle.
+    #[must_use]
+    pub fn client(&self) -> DictClient {
+        DictClient::new(Arc::clone(&self.shared))
+    }
+
+    /// Number of shards (= worker threads).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Snapshot the engine counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.shared.stats;
+        EngineStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            acked: s.acked.load(Ordering::Relaxed),
+            dict_errors: s.dict_errors.load(Ordering::Relaxed),
+            rejected_overloaded: s.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_timedout: s.rejected_timedout.load(Ordering::Relaxed),
+            rejected_shutdown: s.rejected_shutdown.load(Ordering::Relaxed),
+            disconnected: s.disconnected.load(Ordering::Relaxed),
+            exec_calls: s.exec_calls.load(Ordering::Relaxed),
+            exec_ops: s.exec_ops.load(Ordering::Relaxed),
+            parallel_ios: s.parallel_ios.load(Ordering::Relaxed),
+            sequential_ios: s.sequential_ios.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether any shard worker stopped after observing a crash point.
+    #[must_use]
+    pub fn crash_observed(&self) -> bool {
+        self.shared.crashed.iter().any(|c| c.load(Ordering::Acquire))
+    }
+
+    /// Graceful shutdown: close every queue (new submissions get
+    /// [`ServeError::ShuttingDown`]), let the workers drain and execute
+    /// everything already admitted, checkpoint each shard's journal
+    /// ([`pdm_dict::Dict::checkpoint`]), and hand the shard
+    /// dictionaries back. After this, the on-disk image is
+    /// [`pdm_dict::Dict::recover`]-consistent with every acknowledged
+    /// write applied.
+    #[must_use]
+    pub fn shutdown(self) -> Vec<Box<dyn Dict + Send>> {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        self.workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect()
+    }
+}
+
+/// The per-shard worker loop. Returns the dictionary on exit so
+/// [`ServeEngine::shutdown`] can hand it back.
+fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<dyn Dict + Send> {
+    let queue = &shared.queues[id];
+    let stats = &shared.stats;
+    let metrics = shared.metrics.as_deref();
+    while let Some(batch) = queue.drain(shared.cfg.max_coalesce) {
+        if batch.is_empty() {
+            continue;
+        }
+        if let Some(m) = metrics {
+            m.queue_depth[id].set(queue.depth() as i64);
+        }
+        // Stage every reply, settle only after the crash check: a killed
+        // process acknowledges nothing, so neither may a crashed window.
+        let mut replies: Vec<Option<OpResult>> = (0..batch.len()).map(|_| None).collect();
+        let now = Instant::now();
+
+        // Partition the live requests by kind; expired ones answer
+        // TimedOut without executing (admission promised a deadline).
+        let mut lookups: Vec<usize> = Vec::new();
+        let mut inserts: Vec<usize> = Vec::new();
+        let mut deletes: Vec<usize> = Vec::new();
+        for (i, request) in batch.iter().enumerate() {
+            if request.deadline < now {
+                replies[i] = Some(Err(ServeError::TimedOut));
+                continue;
+            }
+            match request.op {
+                Op::Lookup(..) => lookups.push(i),
+                Op::Insert(..) => inserts.push(i),
+                Op::Delete(..) => deletes.push(i),
+            }
+        }
+
+        let mut calls = 0u64;
+        let mut ops = 0u64;
+        let mut record = |cost: pdm::OpCost, n: usize, op_idx: usize| {
+            calls += 1;
+            ops += n as u64;
+            stats.parallel_ios.fetch_add(cost.parallel_ios, Ordering::Relaxed);
+            stats
+                .sequential_ios
+                .fetch_add(cost.sequential_ios, Ordering::Relaxed);
+            if let Some(m) = metrics {
+                m.rounds.inc();
+                m.batch_keys[op_idx].observe(n as u64);
+                m.batch_ios[op_idx].observe(cost.parallel_ios);
+            }
+        };
+
+        // Inserts first (one coalesced batch), then deletes, then the
+        // lookup batch — see the module-level ordering contract.
+        if !inserts.is_empty() {
+            let entries: Vec<(u64, Vec<Word>)> = inserts
+                .iter()
+                .map(|&i| match &batch[i].op {
+                    Op::Insert(k, sat) => (*k, sat.clone()),
+                    _ => unreachable!("partitioned as insert"),
+                })
+                .collect();
+            let (results, cost) = dict.insert_batch(&entries);
+            record(cost, inserts.len(), 1);
+            for (&i, r) in inserts.iter().zip(results) {
+                replies[i] = Some(r.map(|()| Reply::Inserted).map_err(ServeError::Dict));
+            }
+        }
+        for &i in &deletes {
+            let Op::Delete(key) = batch[i].op else {
+                unreachable!("partitioned as delete")
+            };
+            match dict.delete(key) {
+                Ok((was, cost)) => {
+                    record(cost, 1, 2);
+                    replies[i] = Some(Ok(Reply::Deleted(was)));
+                }
+                Err(e) => {
+                    record(pdm::OpCost::default(), 1, 2);
+                    replies[i] = Some(Err(ServeError::Dict(e)));
+                }
+            }
+        }
+        if !lookups.is_empty() {
+            let keys: Vec<u64> = lookups
+                .iter()
+                .map(|&i| match batch[i].op {
+                    Op::Lookup(k) => k,
+                    _ => unreachable!("partitioned as lookup"),
+                })
+                .collect();
+            let (results, cost) = dict.lookup_batch(&keys);
+            record(cost, lookups.len(), 0);
+            for (&i, satellite) in lookups.iter().zip(results) {
+                replies[i] = Some(Ok(Reply::Lookup(satellite)));
+            }
+        }
+        stats.exec_calls.fetch_add(calls, Ordering::Relaxed);
+        stats.exec_ops.fetch_add(ops, Ordering::Relaxed);
+
+        // Crash fidelity: if the shard's crash point fired inside this
+        // window, the "process" died mid-write — acknowledge nothing,
+        // disconnect everyone still queued, and stop serving. (Writes
+        // after the crash point were physically dropped by the fault
+        // layer; recovery decides their fate from the journal alone.)
+        if dict.disks().is_some_and(pdm::DiskArray::crash_fired) {
+            shared.crashed[id].store(true, Ordering::Release);
+            queue.close();
+            let disconnected = batch.len() as u64
+                + drain_disconnect(queue, stats, metrics)
+                + settle_disconnect(&batch, stats, metrics);
+            let _ = disconnected;
+            return dict;
+        }
+
+        // Settle: every request of the window gets exactly one reply.
+        let done = Instant::now();
+        for (request, reply) in batch.iter().zip(replies) {
+            let reply = reply.expect("every request partitioned and answered");
+            let op_idx = ServeMetrics::op_index(&request.op);
+            match &reply {
+                Ok(_) => {
+                    stats.acked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = metrics {
+                        m.ops_ok[op_idx].inc();
+                    }
+                }
+                Err(ServeError::TimedOut) => {
+                    stats.rejected_timedout.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = metrics {
+                        m.rejected[1].inc();
+                    }
+                }
+                Err(_) => {
+                    stats.dict_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = metrics {
+                        m.ops_err[op_idx].inc();
+                    }
+                }
+            }
+            if let Some(m) = metrics {
+                let us = done.duration_since(request.submitted).as_micros() as u64;
+                m.latency_us[op_idx].observe(us);
+            }
+            request.slot.put(reply);
+        }
+    }
+    // Graceful exit: the queue was closed and drained dry. Make the
+    // image durable before handing the shard back.
+    dict.checkpoint();
+    dict
+}
+
+/// Disconnect everything still queued after a crash (never silently
+/// dropped; clients get a typed error). Returns the count.
+fn drain_disconnect(
+    queue: &BoundedQueue<Request>,
+    stats: &AtomicStats,
+    metrics: Option<&ServeMetrics>,
+) -> u64 {
+    let mut n = 0;
+    while let Some(rest) = queue.drain(usize::MAX) {
+        n += settle_disconnect(&rest, stats, metrics);
+        if rest.is_empty() {
+            break;
+        }
+    }
+    n
+}
+
+fn settle_disconnect(
+    batch: &[Request],
+    stats: &AtomicStats,
+    metrics: Option<&ServeMetrics>,
+) -> u64 {
+    for request in batch {
+        stats.disconnected.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = metrics {
+            m.disconnected.inc();
+        }
+        request.slot.put(Err(ServeError::Disconnected));
+    }
+    batch.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_dict::{DictError, DictParams, Dictionary, LookupOutcome};
+    use std::collections::HashMap;
+    use std::sync::{Condvar, Mutex};
+
+    /// A HashMap-backed dictionary whose every operation blocks while the
+    /// shared gate is closed — tests use it to pile requests into a shard
+    /// queue deterministically while the worker sits mid-execution.
+    struct GateDict {
+        map: HashMap<u64, Vec<Word>>,
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    }
+
+    fn gate() -> Arc<(Mutex<bool>, Condvar)> {
+        Arc::new((Mutex::new(false), Condvar::new()))
+    }
+
+    fn open(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        *gate.0.lock().unwrap() = true;
+        gate.1.notify_all();
+    }
+
+    impl GateDict {
+        fn boxed(gate: &Arc<(Mutex<bool>, Condvar)>) -> Box<dyn Dict + Send> {
+            Box::new(GateDict {
+                map: HashMap::new(),
+                gate: Arc::clone(gate),
+            })
+        }
+
+        fn wait_open(&self) {
+            let mut is_open = self.gate.0.lock().unwrap();
+            while !*is_open {
+                is_open = self.gate.1.wait(is_open).unwrap();
+            }
+        }
+    }
+
+    impl Dict for GateDict {
+        fn kind(&self) -> &'static str {
+            "gate"
+        }
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+        fn capacity(&self) -> usize {
+            usize::MAX
+        }
+        fn lookup(&mut self, key: u64) -> LookupOutcome {
+            self.wait_open();
+            LookupOutcome::new(self.map.get(&key).cloned(), pdm::OpCost::default())
+        }
+        fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<pdm::OpCost, DictError> {
+            self.wait_open();
+            if self.map.contains_key(&key) {
+                return Err(DictError::DuplicateKey(key));
+            }
+            self.map.insert(key, satellite.to_vec());
+            Ok(pdm::OpCost::default())
+        }
+        fn delete(&mut self, key: u64) -> Result<(bool, pdm::OpCost), DictError> {
+            self.wait_open();
+            Ok((self.map.remove(&key).is_some(), pdm::OpCost::default()))
+        }
+        fn set_metrics(&mut self, _registry: Option<Arc<MetricsRegistry>>) {}
+    }
+
+    /// Park the single worker inside an execution (so the queue is free
+    /// to fill): submit one op and give the worker a moment to drain it.
+    fn park_worker(client: &DictClient) -> crate::client::Pending {
+        let pending = client.submit(Op::Lookup(u64::MAX)).expect("admit parker");
+        std::thread::sleep(Duration::from_millis(50));
+        pending
+    }
+
+    #[test]
+    fn overload_rejects_with_typed_backpressure() {
+        let g = gate();
+        let engine = ServeEngine::new(
+            vec![GateDict::boxed(&g)],
+            EngineConfig::default().with_queue_bound(2),
+        );
+        let client = engine.client();
+        let parker = park_worker(&client);
+
+        // The worker is mid-execution; the queue (bound 2) now fills.
+        let mut pendings = Vec::new();
+        let mut refusals = 0;
+        for key in 0..4 {
+            match client.submit(Op::Lookup(key)) {
+                Ok(p) => pendings.push(p),
+                Err(ServeError::Overloaded { shard, depth }) => {
+                    assert_eq!(shard, 0);
+                    assert_eq!(depth, 2);
+                    refusals += 1;
+                }
+                Err(other) => panic!("unexpected refusal {other:?}"),
+            }
+        }
+        assert_eq!(pendings.len(), 2, "exactly the bound is admitted");
+        assert_eq!(refusals, 2);
+
+        // Backpressure lost nothing that was admitted.
+        open(&g);
+        assert!(parker.wait().is_ok());
+        for p in pendings {
+            assert!(p.wait().is_ok());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.rejected_overloaded, 2);
+        assert_eq!(stats.acked, 3);
+        drop(engine.shutdown());
+    }
+
+    #[test]
+    fn queued_requests_coalesce_into_batched_calls() {
+        let g = gate();
+        let engine = ServeEngine::new(vec![GateDict::boxed(&g)], EngineConfig::default());
+        let client = engine.client();
+        let parker = park_worker(&client);
+
+        // Eight lookups and four inserts pile up behind the parked
+        // worker; they must come out as ONE window of two batched calls.
+        let mut pendings: Vec<_> = (0..8)
+            .map(|key| client.submit(Op::Lookup(key)).unwrap())
+            .collect();
+        for key in 0..4 {
+            pendings.push(client.submit(Op::Insert(100 + key, vec![key])).unwrap());
+        }
+        open(&g);
+        assert!(parker.wait().is_ok());
+        for p in pendings {
+            assert!(p.wait().is_ok());
+        }
+
+        let stats = engine.stats();
+        assert_eq!(stats.exec_ops, 13, "parker + 8 lookups + 4 inserts");
+        assert!(
+            stats.exec_calls <= 3,
+            "one parker call + one lookup_batch + one insert_batch, got {}",
+            stats.exec_calls
+        );
+        assert!(stats.mean_batch() > 4.0, "mean {}", stats.mean_batch());
+        drop(engine.shutdown());
+    }
+
+    #[test]
+    fn expired_deadline_answers_timed_out_without_executing() {
+        let g = gate();
+        let engine = ServeEngine::new(vec![GateDict::boxed(&g)], EngineConfig::default());
+        let client = engine.client();
+        let parker = park_worker(&client);
+
+        let doomed = client
+            .submit_with_deadline(Op::Insert(7, vec![1]), Duration::from_millis(1))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        open(&g);
+        assert!(parker.wait().is_ok());
+        assert_eq!(doomed.wait(), Err(ServeError::TimedOut));
+
+        // The insert was NOT applied — a timed-out request has no effect.
+        assert_eq!(client.lookup(7).unwrap(), None);
+        assert_eq!(engine.stats().rejected_timedout, 1);
+        drop(engine.shutdown());
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests_then_refuses() {
+        let g = gate();
+        let engine = ServeEngine::new(vec![GateDict::boxed(&g)], EngineConfig::default());
+        let client = engine.client();
+        let parker = park_worker(&client);
+        let admitted: Vec<_> = (0..5)
+            .map(|key| client.submit(Op::Insert(key, vec![key])).unwrap())
+            .collect();
+
+        let closer = std::thread::spawn(move || engine.shutdown());
+        // Wait until the close is visible, then confirm typed refusal.
+        let refusal = loop {
+            match client.submit(Op::Lookup(999)) {
+                Err(e) => break e,
+                Ok(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        assert_eq!(refusal, ServeError::ShuttingDown);
+
+        open(&g);
+        let shards = closer.join().unwrap();
+        assert!(parker.wait().is_ok());
+        for p in admitted {
+            assert!(p.wait().is_ok(), "admitted before shutdown ⇒ served");
+        }
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].len(), 5, "all five inserts applied");
+    }
+
+    #[test]
+    fn routing_spreads_keys_and_is_stable() {
+        let g = gate();
+        open(&g);
+        let engine = ServeEngine::new(
+            vec![GateDict::boxed(&g), GateDict::boxed(&g), GateDict::boxed(&g)],
+            EngineConfig::default(),
+        );
+        let client = engine.client();
+        for key in 0..300 {
+            client.insert(key, &[key]).unwrap();
+        }
+        let shards = engine.shutdown();
+        let sizes: Vec<usize> = shards.iter().map(|d| d.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 300);
+        for (i, &n) in sizes.iter().enumerate() {
+            assert!(n > 50, "shard {i} got {n} of 300 keys — routing is skewed");
+        }
+    }
+
+    #[test]
+    fn metrics_registry_sees_serving_families() {
+        let g = gate();
+        open(&g);
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = ServeEngine::with_metrics(
+            vec![GateDict::boxed(&g)],
+            EngineConfig::default(),
+            Some(Arc::clone(&registry)),
+        );
+        let client = engine.client();
+        client.insert(1, &[10]).unwrap();
+        assert_eq!(client.lookup(1).unwrap(), Some(vec![10]));
+        assert!(client.delete(1).unwrap());
+        drop(engine.shutdown());
+
+        let text = registry.snapshot().to_prometheus();
+        for family in [
+            SERVE_OPS_TOTAL,
+            SERVE_BATCH_KEYS,
+            SERVE_LATENCY_US,
+            SERVE_ROUNDS_TOTAL,
+            SERVE_QUEUE_DEPTH,
+        ] {
+            assert!(text.contains(family), "{family} missing from export");
+        }
+    }
+
+    #[test]
+    fn dict_errors_pass_through_typed() {
+        let g = gate();
+        open(&g);
+        let engine = ServeEngine::new(vec![GateDict::boxed(&g)], EngineConfig::default());
+        let client = engine.client();
+        client.insert(5, &[1]).unwrap();
+        assert_eq!(
+            client.insert(5, &[2]),
+            Err(ServeError::Dict(DictError::DuplicateKey(5)))
+        );
+        assert_eq!(engine.stats().dict_errors, 1);
+        drop(engine.shutdown());
+    }
+
+    /// A crash point firing mid-service must disconnect (not ack) the
+    /// window and everything behind it — the engine-level half of the
+    /// "every acked write is durable" contract.
+    #[test]
+    fn crash_point_disconnects_instead_of_acking() {
+        let params = DictParams::new(64, 1 << 40, 1)
+            .with_degree(16)
+            .with_epsilon(1.0)
+            .with_seed(11);
+        let mut dict = Dictionary::new(params, 128).unwrap();
+        dict.disks_mut()
+            .unwrap()
+            .set_fault_plan(pdm::FaultPlan::new().crash_after(0));
+        let engine = ServeEngine::new(
+            vec![Box::new(dict) as Box<dyn Dict + Send>],
+            EngineConfig::default(),
+        );
+        let client = engine.client();
+
+        // The very first physical write hits the crash point.
+        assert_eq!(client.insert(1, &[1]), Err(ServeError::Disconnected));
+        assert!(engine.crash_observed());
+        // The shard stopped serving; later submissions are refused as
+        // disconnected too, never silently dropped or falsely acked.
+        assert_eq!(client.lookup(1), Err(ServeError::Disconnected));
+        let stats = engine.stats();
+        assert!(stats.disconnected >= 2, "got {}", stats.disconnected);
+        assert_eq!(stats.acked, 0);
+        drop(engine.shutdown());
+    }
+}

@@ -1,0 +1,264 @@
+//! The TCP front-end: accepts connections, decodes request frames,
+//! drives a [`DictClient`], and writes response frames back.
+//!
+//! Concurrency model: one thread per connection (each blocks in the
+//! engine while its request is served — exactly the shape the
+//! coalescing engine wants, since many blocked connections means a full
+//! window). Requests on one connection are strictly
+//! one-request-one-response; concurrency comes from connections, which
+//! is how the paper's "many concurrent clients" environment looks to a
+//! server anyway.
+//!
+//! Every error is answered on the wire as an `ERROR` frame — including
+//! malformed requests, which get [`ServeError::Protocol`] before the
+//! connection is dropped. Admission rejections ([`ServeError::Overloaded`])
+//! are ordinary responses: the client sees typed backpressure, not a
+//! closed socket.
+
+use crate::client::DictClient;
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, WireRequest, WireResponse,
+};
+use crate::scheduler::Op;
+use crate::ServeError;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// stop flag. Bounds shutdown latency, invisible to clients.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// A wire-protocol server in front of a [`ServeEngine`]
+/// (via its [`DictClient`]).
+///
+/// ```no_run
+/// use pdm_server::{EngineConfig, ServeEngine, TcpServer, TcpClient};
+/// # fn shards() -> Vec<Box<dyn pdm_dict::Dict + Send>> { unimplemented!() }
+///
+/// let engine = ServeEngine::new(shards(), EngineConfig::default());
+/// let server = TcpServer::bind("127.0.0.1:0", engine.client()).unwrap();
+/// let mut client = TcpClient::connect(server.local_addr()).unwrap();
+/// client.insert(7, &[42]).unwrap();
+/// assert_eq!(client.lookup(7).unwrap(), Some(vec![42]));
+/// server.shutdown();
+/// let _shards = engine.shutdown();
+/// ```
+///
+/// [`ServeEngine`]: crate::ServeEngine
+#[derive(Debug)]
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+}
+
+impl TcpServer {
+    /// Bind and start accepting. Pass `"127.0.0.1:0"` to let the OS pick
+    /// a port; read it back with [`local_addr`](Self::local_addr).
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, client: DictClient) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("pdm-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &client, &stop))?
+        };
+        Ok(TcpServer {
+            local_addr,
+            stop,
+            acceptor,
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, wake every connection thread, and join them all.
+    /// In-flight requests finish and answer first (a request already in
+    /// the engine keeps its reply slot). Does **not** shut the engine
+    /// down — call [`ServeEngine::shutdown`](crate::ServeEngine::shutdown)
+    /// afterwards for the drain + checkpoint.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock `accept` with a throwaway connection; if that fails the
+        // listener is already dead and accept has returned anyway.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.acceptor.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, client: &DictClient, stop: &Arc<AtomicBool>) {
+    let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    let mut next_id = 0u64;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let client = client.clone();
+        let stop = Arc::clone(stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("pdm-serve-conn-{next_id}"))
+            .spawn(move || {
+                // A failing connection takes only itself down.
+                let _ = serve_connection(stream, &client, &stop);
+            });
+        next_id += 1;
+        if let Ok(handle) = handle {
+            let mut conns = connections.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Reap finished connections opportunistically so the vec
+            // does not grow with connection churn.
+            conns.retain(|h| !h.is_finished());
+            conns.push(handle);
+        }
+    }
+    let conns = std::mem::take(
+        &mut *connections.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// Serve one connection until the peer closes, the stop flag rises, or a
+/// wire error. Malformed frames answer `ERROR` then drop the connection.
+fn serve_connection(
+    stream: TcpStream,
+    client: &DictClient,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()), // peer closed cleanly
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // read poll expired; re-check stop
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match decode_request(&payload) {
+            Ok(WireRequest::Ping) => WireResponse::Pong,
+            Ok(WireRequest::Op(op)) => match execute(client, op) {
+                Ok(reply) => WireResponse::Reply(reply),
+                Err(e) => WireResponse::Err(e),
+            },
+            Err(malformed) => {
+                // Answer, then drop: after a framing error the stream
+                // position is untrustworthy.
+                write_frame(&mut writer, &encode_response(&WireResponse::Err(malformed)))?;
+                writer.flush()?;
+                return Ok(());
+            }
+        };
+        write_frame(&mut writer, &encode_response(&response))?;
+    }
+}
+
+fn execute(client: &DictClient, op: Op) -> Result<crate::Reply, ServeError> {
+    client.submit(op)?.wait()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TcpClient;
+    use crate::scheduler::{EngineConfig, ServeEngine};
+    use pdm_dict::{Dict, DictParams, Dictionary};
+
+    fn engine(shards: usize, seed: u64) -> ServeEngine {
+        let shards = (0..shards as u64)
+            .map(|i| {
+                let params = DictParams::new(64, 1 << 40, 1)
+                    .with_degree(16)
+                    .with_epsilon(1.0)
+                    .with_seed(seed + i);
+                Box::new(Dictionary::new(params, 256).unwrap()) as Box<dyn Dict + Send>
+            })
+            .collect();
+        ServeEngine::new(shards, EngineConfig::default())
+    }
+
+    #[test]
+    fn tcp_roundtrip_end_to_end() {
+        let engine = engine(2, 31);
+        let server = TcpServer::bind("127.0.0.1:0", engine.client()).unwrap();
+        let addr = server.local_addr();
+
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                s.spawn(move || {
+                    let mut client = TcpClient::connect(addr).unwrap();
+                    client.ping().unwrap();
+                    for i in 0..20 {
+                        let key = t * 1000 + i;
+                        client.insert(key, &[t]).unwrap();
+                        assert_eq!(client.lookup(key).unwrap(), Some(vec![t]));
+                    }
+                    assert!(client.delete(t * 1000).unwrap());
+                    assert!(!client.delete(t * 1000).unwrap());
+                    assert_eq!(client.lookup(t * 1000).unwrap(), None);
+                });
+            }
+        });
+
+        // Server-side errors cross the wire typed, not as dropped sockets.
+        let mut client = TcpClient::connect(addr).unwrap();
+        client.insert(5000, &[9]).unwrap();
+        assert_eq!(
+            client.insert(5000, &[9]),
+            Err(ServeError::Dict(pdm_dict::DictError::DuplicateKey(5000)))
+        );
+
+        server.shutdown();
+        let shards = engine.shutdown();
+        assert_eq!(
+            shards.iter().map(|d| d.len()).sum::<usize>(),
+            3 * 19 + 1,
+            "20 inserts − 1 delete per thread, plus the duplicate probe"
+        );
+    }
+
+    #[test]
+    fn malformed_frame_answers_error_then_drops() {
+        use crate::protocol::{read_frame, write_frame, decode_response};
+        let engine = engine(1, 47);
+        let server = TcpServer::bind("127.0.0.1:0", engine.client()).unwrap();
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write_frame(&mut stream, &[0xEE, 1, 2, 3]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().expect("typed answer");
+        match decode_response(&payload).unwrap() {
+            crate::protocol::WireResponse::Err(ServeError::Protocol(msg)) => {
+                assert!(msg.contains("opcode"), "{msg}");
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        // The connection was dropped after the answer.
+        assert!(read_frame(&mut stream).unwrap().is_none());
+
+        server.shutdown();
+        drop(engine.shutdown());
+    }
+}

@@ -1,0 +1,94 @@
+//! The wire protocol end to end: a [`pdm_server::TcpServer`] serving the
+//! engine over a length-prefixed binary protocol on localhost TCP, and
+//! out-of-process-style [`pdm_server::TcpClient`] connections driving it.
+//!
+//! ```sh
+//! cargo run -p pdm-server --example tcp_server
+//! ```
+//!
+//! Everything is `std::net` — no async runtime, no serialization crate.
+//! One thread per connection blocks in the engine while its request is
+//! served, which is exactly what the coalescing engine wants: many
+//! blocked connections mean a full batch window. The demo also shows the
+//! two failure shapes a wire client sees: a *typed* dictionary error
+//! (duplicate key) and a *typed* protocol error for a malformed frame.
+
+use pdm_dict::{Dict, DictParams, Dictionary};
+use pdm_server::protocol::{decode_response, read_frame, write_frame, WireResponse};
+use pdm_server::{EngineConfig, ServeEngine, ServeError, TcpClient, TcpServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shards: Vec<Box<dyn Dict + Send>> = (0..2u64)
+        .map(|i| {
+            let params = DictParams::new(2_048, u64::MAX, 2)
+                .with_degree(16)
+                .with_epsilon(1.0)
+                .with_seed(0x7C9 + i);
+            Ok(Box::new(Dictionary::new(params, 128)?) as Box<dyn Dict + Send>)
+        })
+        .collect::<Result<_, pdm_dict::DictError>>()?;
+    let engine = ServeEngine::new(shards, EngineConfig::default());
+
+    // Bind on an OS-assigned port; a real deployment would use a fixed
+    // address ("0.0.0.0:7070") here.
+    let server = TcpServer::bind("127.0.0.1:0", engine.client())?;
+    let addr = server.local_addr();
+    println!("serving the dictionary on tcp://{addr}");
+
+    // Concurrent wire clients: each opens its own connection (the server
+    // coalesces *across* connections, so more connections mean larger
+    // batch windows, not more contention).
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            s.spawn(move || {
+                let mut client = TcpClient::connect(addr).unwrap();
+                client.ping().unwrap();
+                for i in 0..200 {
+                    let key = t * 10_000 + i;
+                    client.insert(key, &[t, i]).unwrap();
+                }
+                for i in 0..200 {
+                    let key = t * 10_000 + i;
+                    assert_eq!(client.lookup(key).unwrap(), Some(vec![t, i]));
+                }
+            });
+        }
+    });
+    let stats = engine.stats();
+    println!(
+        "8 connections × 400 ops: {} acked, {:.1} ops per coalesced call, \
+         {:.2} parallel I/O rounds per op",
+        stats.acked,
+        stats.mean_batch(),
+        stats.ios_per_op()
+    );
+
+    // Failure shapes. A duplicate insert crosses the wire as the same
+    // typed error an in-process caller gets:
+    let mut probe = TcpClient::connect(addr)?;
+    match probe.insert(0, &[0, 0]) {
+        Err(ServeError::Dict(e)) => println!("typed dictionary error over the wire: {e}"),
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // And a malformed frame gets a typed protocol error before the
+    // connection is dropped (raw socket, bogus opcode 0xEE):
+    let mut raw = std::net::TcpStream::connect(addr)?;
+    write_frame(&mut raw, &[0xEE])?;
+    if let Some(payload) = read_frame(&mut raw)? {
+        if let WireResponse::Err(e) = decode_response(&payload)? {
+            println!("malformed frame answered with: {e}");
+        }
+    }
+
+    // Orderly teardown: stop the listener first (in-flight requests
+    // finish), then drain + checkpoint the engine.
+    server.shutdown();
+    let shards = engine.shutdown();
+    println!(
+        "shutdown: queues drained, {} records across {} shards handed back",
+        shards.iter().map(|d| d.len()).sum::<usize>(),
+        shards.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,304 @@
+//! Integration tests for the serving engine (`pdm-server`): concurrent
+//! clients against a sequential oracle, graceful-shutdown durability,
+//! and the crash drill — the engine-level proof of "every acked write
+//! survives recovery".
+//!
+//! Randomization follows the suite convention: deterministic by default,
+//! `PROPTEST_SEED=<u64>` rotates the corpus (CI sets it per run).
+
+mod harness;
+
+use harness::{frontend, sat, Frontend};
+use pdm::FaultPlan;
+use pdm_server::{DictClient, EngineConfig, ServeEngine, ServeError};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Seed for the randomized streams, rotated in CI like the proptest
+/// corpora.
+fn suite_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_0501)
+}
+
+fn mix(x: u64) -> u64 {
+    expander::seeded::mix64(x)
+}
+
+/// An engine over `shards` journaled-dynamic shard dictionaries built by
+/// the differential harness.
+fn engine_of(f: &Frontend, shards: usize, capacity: usize, seed: u64) -> ServeEngine {
+    let dicts = (0..shards as u64)
+        .map(|i| (f.build)(capacity, &[], seed + i))
+        .collect();
+    ServeEngine::new(
+        dicts,
+        EngineConfig::default()
+            .with_queue_bound(512)
+            // Generous deadline: a loaded CI worker must not turn a
+            // correct reply into a spurious TimedOut.
+            .with_deadline(Duration::from_secs(60)),
+    )
+}
+
+/// Multi-threaded randomized stress against a per-thread sequential
+/// oracle. Threads own disjoint key ranges, so every reply is exactly
+/// predictable from the thread's own history (per-key linearizability),
+/// and the union of the oracles predicts the final image.
+#[test]
+fn concurrent_mixed_workload_matches_sequential_oracle() {
+    const THREADS: u64 = 4;
+    const KEYS_PER_THREAD: u64 = 40;
+    const OPS_PER_THREAD: u64 = 300;
+
+    let f = frontend("dynamic_journaled");
+    let seed = suite_seed();
+    let capacity = (THREADS * KEYS_PER_THREAD) as usize + 32;
+    let engine = engine_of(&f, 2, capacity, seed);
+    let client = engine.client();
+
+    let oracles: Mutex<HashMap<u64, Vec<pdm::Word>>> = Mutex::new(HashMap::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let client = client.clone();
+            let oracles = &oracles;
+            let sigma = f.sigma;
+            s.spawn(move || {
+                // This thread's private key range and op stream.
+                let base = t * KEYS_PER_THREAD;
+                let mut oracle: HashMap<u64, Vec<pdm::Word>> = HashMap::new();
+                let mut state = mix(seed ^ (t << 32));
+                for _ in 0..OPS_PER_THREAD {
+                    state = mix(state.wrapping_add(1));
+                    let key = base + state % KEYS_PER_THREAD;
+                    match state % 16 {
+                        // Insert-heavy mix so the structures actually fill.
+                        0..=6 => {
+                            let expected_err = oracle.contains_key(&key);
+                            let satellite = sat(key ^ state, sigma);
+                            match client.insert(key, &satellite) {
+                                Ok(()) => {
+                                    assert!(
+                                        !expected_err,
+                                        "engine acked an insert the oracle says is a duplicate"
+                                    );
+                                    oracle.insert(key, satellite);
+                                }
+                                Err(ServeError::Dict(
+                                    pdm_dict::DictError::DuplicateKey(k),
+                                )) => {
+                                    assert_eq!(k, key);
+                                    assert!(expected_err, "spurious duplicate for {key}");
+                                }
+                                Err(other) => panic!("insert({key}): {other}"),
+                            }
+                        }
+                        7..=9 => {
+                            let was = client.delete(key).unwrap();
+                            assert_eq!(
+                                was,
+                                oracle.remove(&key).is_some(),
+                                "delete({key}) presence disagrees with oracle"
+                            );
+                        }
+                        _ => {
+                            let got = client.lookup(key).unwrap();
+                            assert_eq!(
+                                got.as_ref(),
+                                oracle.get(&key),
+                                "lookup({key}) disagrees with oracle"
+                            );
+                        }
+                    }
+                }
+                oracles.lock().unwrap().extend(oracle);
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    assert_eq!(stats.rejected_overloaded, 0, "stress stayed under the bound");
+    assert_eq!(stats.rejected_timedout, 0);
+    assert_eq!(stats.disconnected, 0);
+    assert_eq!(
+        stats.submitted,
+        THREADS * OPS_PER_THREAD,
+        "every op admitted"
+    );
+    assert_eq!(
+        stats.acked + stats.dict_errors,
+        stats.submitted,
+        "every admitted op answered — nothing silently dropped"
+    );
+
+    // Final image vs the merged oracle, across both engine shards.
+    let oracle = oracles.into_inner().unwrap();
+    let mut shards = engine.shutdown();
+    let total: usize = shards.iter().map(|d| d.len()).sum();
+    assert_eq!(total, oracle.len(), "record count disagrees with oracle");
+    for key in 0..THREADS * KEYS_PER_THREAD {
+        let hits: Vec<Vec<pdm::Word>> = shards
+            .iter_mut()
+            .filter_map(|d| d.lookup(key).satellite)
+            .collect();
+        match oracle.get(&key) {
+            Some(expected) => {
+                assert_eq!(hits.len(), 1, "key {key} present in {} shards", hits.len());
+                assert_eq!(&hits[0], expected, "key {key} satellite diverged");
+            }
+            None => assert!(hits.is_empty(), "key {key} should be absent"),
+        }
+    }
+}
+
+/// Graceful shutdown leaves a `recover`-consistent image: reopening the
+/// disk image from scratch finds a checkpointed journal (nothing to
+/// replay) and every acked write present.
+#[test]
+fn graceful_shutdown_image_is_recover_consistent() {
+    let f = frontend("dynamic_journaled");
+    let reopen = f.reopen.expect("journaled front declares reopen");
+    let seed = suite_seed() ^ 0x5D;
+    let capacity = 128;
+    let engine = engine_of(&f, 1, capacity, seed);
+    let client = engine.client();
+
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let client = client.clone();
+            s.spawn(move || {
+                for i in 0..30 {
+                    client.insert(t * 100 + i, &sat(t * 100 + i, f.sigma)).unwrap();
+                }
+            });
+        }
+    });
+
+    let mut shards = engine.shutdown();
+    let dict = &mut shards[0];
+    assert_eq!(dict.len(), 90);
+    let image = dict.disks().expect("single-array front").clone();
+    drop(shards);
+
+    // Reopen from the image alone, as a fresh process would.
+    let mut reopened = reopen(capacity, seed, image);
+    assert_eq!(reopened.len(), 90, "recovered length");
+    for t in 0..3u64 {
+        for i in 0..30 {
+            let key = t * 100 + i;
+            assert_eq!(
+                reopened.lookup(key).satellite,
+                Some(sat(key, f.sigma)),
+                "acked insert {key} missing after reopen"
+            );
+        }
+    }
+    // The shutdown checkpoint truncated the ring: a recovery pass over
+    // the reopened image replays nothing.
+    let report = reopened.recover();
+    assert!(
+        report.replayed.is_empty() && report.stalled == 0,
+        "graceful image still had replayable intents: {report:?}"
+    );
+}
+
+/// The crash drill: kill the server mid-load via a crash-point fault
+/// plan (all later physical writes silently dropped), then verify from
+/// the surviving disk image alone that **every acknowledged write is
+/// durable**. Unacknowledged (`Disconnected`) writes are in-doubt: they
+/// may be present or absent, but never torn.
+#[test]
+fn crash_drill_every_acked_write_survives_recovery() {
+    const THREADS: u64 = 3;
+    const KEYS_PER_THREAD: u64 = 60;
+
+    let f = frontend("dynamic_journaled");
+    let reopen = f.reopen.expect("journaled front declares reopen");
+    let seed = suite_seed() ^ 0xC4A5;
+    let capacity = (THREADS * KEYS_PER_THREAD) as usize + 32;
+
+    // Build the single shard, then arm the crash point. The write budget
+    // is far below what the full load needs, so the crash always fires
+    // mid-serving.
+    let crash_at = 30 + suite_seed() % 120;
+    let mut dict = (f.build)(capacity, &[], seed);
+    dict.disks_mut()
+        .unwrap()
+        .set_fault_plan(FaultPlan::new().crash_after(crash_at));
+    let engine = ServeEngine::new(
+        vec![dict],
+        EngineConfig::default().with_deadline(Duration::from_secs(60)),
+    );
+    let client = engine.client();
+
+    let acked: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    let in_doubt: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let client: DictClient = client.clone();
+            let (acked, in_doubt) = (&acked, &in_doubt);
+            s.spawn(move || {
+                for i in 0..KEYS_PER_THREAD {
+                    let key = t * KEYS_PER_THREAD + i;
+                    match client.insert(key, &sat(key, f.sigma)) {
+                        Ok(()) => {
+                            acked.lock().unwrap().insert(key);
+                        }
+                        Err(ServeError::Disconnected) => {
+                            in_doubt.lock().unwrap().insert(key);
+                        }
+                        Err(other) => panic!("insert({key}): {other}"),
+                    }
+                }
+            });
+        }
+    });
+    let acked = acked.into_inner().unwrap();
+    let in_doubt = in_doubt.into_inner().unwrap();
+
+    assert!(engine.crash_observed(), "crash point never fired");
+    assert!(!in_doubt.is_empty(), "crash produced no disconnects");
+    let stats = engine.stats();
+    assert_eq!(stats.acked, acked.len() as u64);
+    assert_eq!(
+        stats.acked + stats.disconnected,
+        THREADS * KEYS_PER_THREAD,
+        "every request answered exactly once"
+    );
+
+    // The process dies; only the disk image survives. Clearing the plan
+    // is the reboot — writes dropped by the crash stay dropped.
+    let mut shards = engine.shutdown();
+    let image = {
+        let disks = shards[0].disks_mut().unwrap();
+        disks.clear_fault_plan();
+        disks.clone()
+    };
+    drop(shards);
+    let mut recovered = reopen(capacity, seed, image);
+
+    // Acked ⇒ durable, bit-exact.
+    for &key in &acked {
+        assert_eq!(
+            recovered.lookup(key).satellite,
+            Some(sat(key, f.sigma)),
+            "ACKED insert {key} lost after crash at write {crash_at}"
+        );
+    }
+    // In-doubt ⇒ all-or-nothing: present with the right bits, or absent.
+    let mut present = acked.len();
+    for &key in &in_doubt {
+        if let Some(got) = recovered.lookup(key).satellite {
+            assert_eq!(got, sat(key, f.sigma), "torn write for in-doubt key {key}");
+            present += 1;
+        }
+    }
+    assert_eq!(
+        recovered.len(),
+        present,
+        "recovered counters disagree with recovered contents"
+    );
+}
