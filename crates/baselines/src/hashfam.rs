@@ -8,27 +8,20 @@
 //! rule modulo a Mersenne prime (fast reduction, description of `k` words
 //! fits in internal memory).
 
+use expander::family::{DynNeighborFn, FamilyExpander, NeighborFamily};
+use expander::mix::SplitMix64;
+use expander::NeighborFn;
+use std::sync::Arc;
+
 /// The Mersenne prime `2^61 - 1`.
 pub const MERSENNE_P: u64 = (1 << 61) - 1;
 
-/// Splitmix64 step — a tiny seeded PRNG for drawing coefficients.
-///
-/// The family only needs coefficients that are deterministic per seed and
-/// close to uniform in `[0, p)`; splitmix64 (the same mixer used by
-/// `expander::seeded`) provides that without an external RNG crate.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Uniform draw from `[0, MERSENNE_P)` by rejection sampling.
-fn uniform_mod_p(state: &mut u64) -> u64 {
+/// Uniform draw from `[0, MERSENNE_P)` by rejection sampling over the
+/// consolidated splitmix stream ([`expander::mix`]).
+fn uniform_mod_p(rng: &mut SplitMix64) -> u64 {
     loop {
         // Keep 61 bits; accept unless we hit p exactly (prob 2^-61).
-        let r = splitmix64(state) >> 3;
+        let r = rng.next_u64() >> 3;
         if r < MERSENNE_P {
             return r;
         }
@@ -68,8 +61,8 @@ impl PolyHash {
     #[must_use]
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 1, "independence parameter must be at least 1");
-        let mut state = seed;
-        let coeffs = (0..k).map(|_| uniform_mod_p(&mut state)).collect();
+        let mut rng = SplitMix64::new(seed);
+        let coeffs = (0..k).map(|_| uniform_mod_p(&mut rng)).collect();
         PolyHash { coeffs }
     }
 
@@ -98,6 +91,83 @@ impl PolyHash {
     pub fn bucket(&self, x: u64, m: usize) -> usize {
         assert!(m > 0);
         (self.eval(x) % m as u64) as usize
+    }
+}
+
+/// A striped neighbor function built from `d` independent [`PolyHash`]
+/// samples — stripe `i` indexed by its own polynomial.
+#[derive(Debug, Clone)]
+pub struct PolyStriped {
+    left: u64,
+    stripe: usize,
+    hashes: Vec<PolyHash>,
+}
+
+impl NeighborFn for PolyStriped {
+    fn left_size(&self) -> u64 {
+        self.left
+    }
+    fn right_size(&self) -> usize {
+        self.stripe * self.hashes.len()
+    }
+    fn degree(&self) -> usize {
+        self.hashes.len()
+    }
+    fn neighbor(&self, x: u64, i: usize) -> usize {
+        assert!(
+            x < self.left || self.left == u64::MAX,
+            "key {x} outside universe of size {}",
+            self.left
+        );
+        i * self.stripe + self.hashes[i].bucket(x, self.stripe)
+    }
+    fn is_striped(&self) -> bool {
+        true
+    }
+}
+
+/// The `k`-wise polynomial family as a pluggable [`NeighborFamily`]:
+/// proof that the expander seam is genuinely open — a baseline hash
+/// family defined outside `crates/expander` drives any dictionary
+/// front-end through [`FamilyExpander::Custom`].
+#[derive(Debug, Clone, Copy)]
+pub struct PolyFamily {
+    /// Independence parameter `k` of each stripe's polynomial.
+    pub independence: usize,
+}
+
+impl PolyFamily {
+    /// Family with `O(log n)`-wise style independence `k`.
+    #[must_use]
+    pub fn new(independence: usize) -> Self {
+        assert!(independence >= 1);
+        PolyFamily { independence }
+    }
+}
+
+impl NeighborFamily for PolyFamily {
+    fn name(&self) -> &'static str {
+        "poly"
+    }
+
+    fn build(
+        &self,
+        universe: u64,
+        stripe_size: usize,
+        degree: usize,
+        seed: u64,
+    ) -> FamilyExpander {
+        assert!(degree > 0, "degree must be positive");
+        assert!(stripe_size > 0, "stripes must be non-empty");
+        let hashes = (0..degree)
+            .map(|i| PolyHash::new(self.independence, seed.wrapping_add(i as u64)))
+            .collect();
+        let graph: Arc<dyn DynNeighborFn> = Arc::new(PolyStriped {
+            left: universe,
+            stripe: stripe_size,
+            hashes,
+        });
+        FamilyExpander::Custom(graph)
     }
 }
 
@@ -142,6 +212,30 @@ mod tests {
         for &c in &counts {
             assert!(c > 40 && c < 200, "bucket count {c} far from uniform");
         }
+    }
+
+    #[test]
+    fn poly_family_plugs_into_the_expander_seam() {
+        let fam = PolyFamily::new(8);
+        assert_eq!(fam.name(), "poly");
+        let g = fam.build(1 << 20, 64, 4, 11);
+        assert_eq!(g.left_size(), 1 << 20);
+        assert_eq!(g.right_size(), 256);
+        assert_eq!(g.degree(), 4);
+        assert!(g.is_striped());
+        assert_eq!(g.stripe_size(), 64);
+        // Neighbors land in their stripes and rebuilding is deterministic.
+        let g2 = fam.build(1 << 20, 64, 4, 11);
+        for x in [0u64, 1, 17, (1 << 20) - 1] {
+            for i in 0..4 {
+                let y = g.neighbor(x, i);
+                assert!(y >= i * 64 && y < (i + 1) * 64);
+                assert_eq!(y, g2.neighbor(x, i));
+            }
+        }
+        // Different seeds give (almost surely) different graphs.
+        let g3 = fam.build(1 << 20, 64, 4, 12);
+        assert!((0..200).any(|x| g.neighbors(x) != g3.neighbors(x)));
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn main() {
             };
             let r = g.report().clone();
             let pop: Vec<u64> = (0..(cap as u64 * 8))
-                .map(|i| expander::seeded::mix64(i) % (1 << log_u))
+                .map(|i| expander::mix::mix64(i) % (1 << log_u))
                 .collect();
             let sizes = [cap / 16, cap / 4, cap].map(|s| s.max(1));
             let w = worst_expansion_sampled(&g, &pop, &sizes, 12, 3);

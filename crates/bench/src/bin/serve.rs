@@ -36,7 +36,7 @@
 //! Smoke: `cargo run -p bench --release --bin serve -- --smoke`
 
 use bench::write_json;
-use expander::seeded::mix64;
+use expander::mix::mix64;
 use pdm::{DiskArray, FaultPlan, PdmConfig, Word};
 use pdm_dict::layout::DiskAllocator;
 use pdm_dict::{Dict, DictHandle, DictParams, DynamicDict};

@@ -3,7 +3,7 @@
 //! Everything is seeded so runs are reproducible; keys are drawn from a
 //! bounded universe exactly as the paper's model requires.
 
-use expander::seeded::mix64;
+use expander::mix::mix64;
 use pdm::Word;
 use std::collections::HashSet;
 

@@ -24,7 +24,7 @@
 use crate::bucket::BucketCodec;
 use crate::layout::{DiskAllocator, Region};
 use crate::traits::{DictError, LookupOutcome};
-use expander::{NeighborFn, SeededExpander};
+use expander::{FamilyExpander, FamilyKind, NeighborFamily, NeighborFn};
 use pdm::{BatchExecutor, BatchPlan, BlockAddr, DiskArray, OpCost, Word};
 
 /// Sizing and identity parameters for a [`BasicDict`].
@@ -44,6 +44,8 @@ pub struct BasicDictConfig {
     pub bucket_slots: usize,
     /// Expander seed.
     pub seed: u64,
+    /// Hash family the expander is drawn from.
+    pub family: FamilyKind,
 }
 
 impl BasicDictConfig {
@@ -71,6 +73,7 @@ impl BasicDictConfig {
             // log_{(1-ε)d}(v), far below 8 for any feasible v.
             bucket_slots: target_load + 8,
             seed,
+            family: FamilyKind::default(),
         }
     }
 
@@ -98,7 +101,15 @@ impl BasicDictConfig {
             buckets,
             bucket_slots: slots,
             seed,
+            family: FamilyKind::default(),
         }
+    }
+
+    /// Override the hash family the expander is drawn from.
+    #[must_use]
+    pub fn with_family(mut self, family: FamilyKind) -> Self {
+        self.family = family;
+        self
     }
 
     fn validate(&self) -> Result<(), DictError> {
@@ -141,7 +152,7 @@ impl BasicDictConfig {
 #[derive(Debug, Clone)]
 pub struct BasicDict {
     cfg: BasicDictConfig,
-    graph: SeededExpander,
+    graph: FamilyExpander,
     region: Region,
     codec: BucketCodec,
     blocks_per_bucket: usize,
@@ -167,7 +178,9 @@ impl BasicDict {
             cfg.degree,
             buckets_per_disk * blocks_per_bucket,
         );
-        let graph = SeededExpander::new(cfg.universe, buckets_per_disk, cfg.degree, cfg.seed);
+        let graph = cfg
+            .family
+            .build(cfg.universe, buckets_per_disk, cfg.degree, cfg.seed);
         Ok(BasicDict {
             cfg,
             graph,
@@ -780,6 +793,7 @@ mod tests {
             buckets: 10, // not a multiple of 4
             bucket_slots: 4,
             seed: 0,
+            family: FamilyKind::default(),
         };
         assert!(BasicDict::create(&mut disks, &mut alloc, 0, cfg).is_err());
     }

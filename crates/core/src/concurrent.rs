@@ -18,7 +18,7 @@
 use crate::config::DictParams;
 use crate::rebuild::Dictionary;
 use crate::traits::{Dict, DictError, LookupOutcome, OpRecorder};
-use expander::seeded::mix64;
+use expander::mix::mix64;
 use pdm::metrics::{IoMetricsSink, MetricsRegistry};
 use pdm::{OpCost, ScrubReport, Word};
 use std::sync::{Arc, Mutex, MutexGuard};

@@ -1,6 +1,7 @@
 //! Dictionary parameters and theorem side-condition validation.
 
 use expander::params;
+use expander::FamilyKind;
 
 /// Parameters shared by all dictionary variants.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +24,11 @@ pub struct DictParams {
     /// Seed of the sampled expanders (the stand-in for the paper's
     /// assumed explicit construction).
     pub seed: u64,
+    /// Hash family the expanders are drawn from (see
+    /// [`expander::family`]). All families honor the same striped
+    /// geometry, so any dictionary runs over any family; the default is
+    /// the fastest family that passes the `hashfam` quality gates.
+    pub family: FamilyKind,
     /// Rows per disk of the write-ahead intent journal
     /// ([`pdm::journal`]); 0 (the default) disables journaling. When
     /// set, structure creation reserves the journal ring through the
@@ -54,6 +60,7 @@ impl DictParams {
             epsilon_perf: 0.5,
             right_slack: params::DEFAULT_RIGHT_SLACK,
             seed: 0x5EED_0000_0001,
+            family: FamilyKind::default(),
             journal_rows: 0,
         }
     }
@@ -87,6 +94,13 @@ impl DictParams {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Override the hash family the expanders are drawn from.
+    #[must_use]
+    pub fn with_family(mut self, family: FamilyKind) -> Self {
+        self.family = family;
         self
     }
 
@@ -219,9 +233,11 @@ mod tests {
         let p = DictParams::new(10, 1 << 16, 0)
             .with_degree(15)
             .with_epsilon(0.25)
-            .with_seed(7);
+            .with_seed(7)
+            .with_family(FamilyKind::Seeded);
         assert_eq!(p.degree, 15);
         assert_eq!(p.epsilon_perf, 0.25);
         assert_eq!(p.seed, 7);
+        assert_eq!(p.family, FamilyKind::Seeded);
     }
 }

@@ -34,7 +34,7 @@ use crate::fields::FieldArray;
 use crate::layout::DiskAllocator;
 use crate::one_probe::encoding::Chain;
 use crate::traits::{DictError, LookupOutcome};
-use expander::{params, NeighborFn, SeededExpander};
+use expander::{params, FamilyExpander, NeighborFamily, NeighborFn};
 use pdm::journal::{JournalRegion, RecoveryReport};
 use pdm::{
     BatchExecutor, BatchPlan, BlockAddr, BlockHealth, DiskArray, IoFaultKind, OpCost, Word,
@@ -82,7 +82,7 @@ pub struct DynamicDict {
 
 #[derive(Debug, Clone)]
 struct Level {
-    graph: SeededExpander,
+    graph: FamilyExpander,
     fields: FieldArray,
 }
 
@@ -123,7 +123,8 @@ impl DynamicDict {
 
         // Membership payload: head stripe + level, packed into one word.
         let mcfg =
-            BasicDictConfig::log_load(n_cap, params.universe, d, 1, params.seed ^ 0x4D45_4D42);
+            BasicDictConfig::log_load(n_cap, params.universe, d, 1, params.seed ^ 0x4D45_4D42)
+                .with_family(params.family);
         let membership = BasicDict::create(disks, alloc, first_disk, mcfg)?;
         if membership.blocks_per_bucket() != 1 {
             return Err(DictError::UnsupportedParams(format!(
@@ -140,7 +141,7 @@ impl DynamicDict {
         let mut levels = Vec::with_capacity(l);
         let mut stripe = ((params.right_slack * n_cap as f64).ceil() as usize).max(4);
         for i in 0..l {
-            let graph = SeededExpander::new(
+            let graph = params.family.build(
                 params.universe,
                 stripe,
                 d,

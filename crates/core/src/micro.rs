@@ -19,7 +19,7 @@
 use crate::bucket::BucketCodec;
 use crate::layout::{DiskAllocator, Region};
 use crate::traits::{DictError, LookupOutcome};
-use expander::seeded::mix64;
+use expander::mix::mix64;
 use pdm::{BlockAddr, DiskArray, OpCost, Word};
 
 /// A multi-block bucket dictionary with `O(1)`-I/O operations.

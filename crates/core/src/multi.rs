@@ -16,7 +16,7 @@
 use crate::basic::{BasicDict, BasicDictConfig};
 use crate::layout::DiskAllocator;
 use crate::traits::{DictError, LookupOutcome};
-use expander::seeded::mix64;
+use expander::mix::mix64;
 use pdm::{BlockAddr, DiskArray, OpCost, Word};
 
 /// `C` Section 4.1 dictionaries on disjoint disk ranges with batched,

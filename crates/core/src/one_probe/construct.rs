@@ -22,7 +22,7 @@
 
 use crate::fields::FieldArray;
 use crate::traits::DictError;
-use expander::{NeighborFn, SeededExpander};
+use expander::NeighborFn;
 use pdm::{external_sort, DiskArray, KeyedRecord, OpCost, RecordFile, RecordLayout, Word};
 
 /// Statistics from a sorted construction run.
@@ -38,8 +38,8 @@ pub struct ConstructStats {
 
 /// In-memory reference assignment (no I/O accounting): thin wrapper over
 /// the `expander` crate's peeling. Used for cross-checks and tests.
-pub fn in_memory_assign(
-    graph: &SeededExpander,
+pub fn in_memory_assign<G: NeighborFn>(
+    graph: &G,
     keys: &[u64],
     fields_per_key: usize,
 ) -> Result<std::collections::HashMap<u64, Vec<usize>>, DictError> {
@@ -286,6 +286,7 @@ where
 mod tests {
     use super::*;
     use crate::layout::DiskAllocator;
+    use expander::SeededExpander;
     use pdm::PdmConfig;
 
     fn setup(n: usize, d: usize, field_bits: usize) -> (DiskArray, SeededExpander, FieldArray) {

@@ -389,7 +389,7 @@ mod tests {
 
     fn sat(words: usize, seed: u64) -> Vec<Word> {
         (0..words)
-            .map(|i| expander::seeded::mix64(seed.wrapping_add(i as u64)))
+            .map(|i| expander::mix::mix64(seed.wrapping_add(i as u64)))
             .collect()
     }
 

@@ -18,7 +18,7 @@ use crate::layout::{DiskAllocator, Region};
 use crate::one_probe::construct::{sorted_construct, ConstructStats};
 use crate::one_probe::encoding::{CaseB, Chain};
 use crate::traits::{DictError, LookupOutcome};
-use expander::{NeighborFn, SeededExpander};
+use expander::{FamilyExpander, NeighborFamily, NeighborFn};
 use pdm::{BatchPlan, BlockAddr, BlockHealth, DiskArray, OpCost, ScrubReport, Word, WORD_BITS};
 
 /// Which Theorem 6 case to build.
@@ -76,24 +76,25 @@ impl Manifest {
 }
 
 /// The one-probe static dictionary of Theorem 6, generic over the
-/// (striped) expander powering it. `G = SeededExpander` is the default;
+/// (striped) expander powering it. `G = FamilyExpander` is the default
+/// (any of the pluggable hash families, chosen by `params.family`);
 /// [`OneProbeStatic::build_with_graph`] accepts any striped
 /// [`NeighborFn`] — in particular the Section 5 semi-explicit
 /// construction after trivial striping, which yields the paper's fully
 /// semi-explicit dictionary end to end.
 #[derive(Debug)]
-pub struct OneProbeStatic<G: NeighborFn = SeededExpander> {
+pub struct OneProbeStatic<G: NeighborFn = FamilyExpander> {
     variant: VariantImpl,
     graph: G,
     n: usize,
     sigma_words: usize,
 }
 
-impl OneProbeStatic<SeededExpander> {
+impl OneProbeStatic<FamilyExpander> {
     /// Build the dictionary for `entries` (keys with equal-width
-    /// satellite data) starting at `first_disk`, sampling a seeded
-    /// expander from `params`. Case (a) uses `2d` disks, case (b)
-    /// uses `d`.
+    /// satellite data) starting at `first_disk`, drawing an expander
+    /// from `params.family` with seed `params.seed`. Case (a) uses `2d`
+    /// disks, case (b) uses `d`.
     ///
     /// Returns the structure and the measured construction cost.
     pub fn build(
@@ -107,7 +108,9 @@ impl OneProbeStatic<SeededExpander> {
         // (n, ε)-expander with v = slack·n·d, i.e. slack·n per stripe.
         let n = entries.len().max(1);
         let stripe = ((params.right_slack * n as f64).ceil() as usize).max(4);
-        let graph = SeededExpander::new(params.universe, stripe, params.degree, params.seed);
+        let graph = params
+            .family
+            .build(params.universe, stripe, params.degree, params.seed);
         Self::build_with_graph(disks, alloc, first_disk, params, variant, graph, entries)
     }
 }
@@ -206,7 +209,8 @@ impl<G: NeighborFn> OneProbeStatic<G> {
                 let enc = Chain::new(sigma_bits, d);
                 // Membership on disks [first, first+d): key -> head stripe.
                 let mcfg =
-                    BasicDictConfig::log_load(n, params.universe, d, 1, params.seed ^ 0xA11C_E55E);
+                    BasicDictConfig::log_load(n, params.universe, d, 1, params.seed ^ 0xA11C_E55E)
+                        .with_family(params.family);
                 let membership = BasicDict::create(disks, alloc, first_disk, mcfg)?;
                 if membership.blocks_per_bucket() != 1 {
                     return Err(DictError::UnsupportedParams(format!(

@@ -15,7 +15,7 @@
 use crate::bucket::BucketCodec;
 use crate::layout::{DiskAllocator, Region};
 use crate::traits::{DictError, LookupOutcome};
-use expander::{NeighborFn, SeededExpander};
+use expander::{FamilyExpander, FamilyKind, NeighborFamily, NeighborFn};
 use pdm::{BlockAddr, DiskArray, OpCost, Word};
 
 /// Sizing parameters for a [`WideDict`].
@@ -37,6 +37,8 @@ pub struct WideDictConfig {
     pub bucket_slots: usize,
     /// Expander seed.
     pub seed: u64,
+    /// Hash family the expander is drawn from.
+    pub family: FamilyKind,
 }
 
 impl WideDictConfig {
@@ -65,7 +67,15 @@ impl WideDictConfig {
             buckets,
             bucket_slots: target_load + 8,
             seed,
+            family: FamilyKind::default(),
         }
+    }
+
+    /// Override the hash family the expander is drawn from.
+    #[must_use]
+    pub fn with_family(mut self, family: FamilyKind) -> Self {
+        self.family = family;
+        self
     }
 
     /// Satellite words per key (`k · chunk_words`).
@@ -97,7 +107,7 @@ impl WideDictConfig {
 #[derive(Debug)]
 pub struct WideDict {
     cfg: WideDictConfig,
-    graph: SeededExpander,
+    graph: FamilyExpander,
     region: Region,
     codec: BucketCodec,
     blocks_per_bucket: usize,
@@ -135,7 +145,9 @@ impl WideDict {
             cfg.degree,
             buckets_per_disk * blocks_per_bucket,
         );
-        let graph = SeededExpander::new(cfg.universe, buckets_per_disk, cfg.degree, cfg.seed);
+        let graph = cfg
+            .family
+            .build(cfg.universe, buckets_per_disk, cfg.degree, cfg.seed);
         Ok(WideDict {
             cfg,
             graph,
@@ -344,7 +356,7 @@ mod tests {
 
     fn sat(dict: &WideDict, key: u64) -> Vec<Word> {
         (0..dict.bandwidth_words() as u64)
-            .map(|i| expander::seeded::mix64(key ^ (i << 32)))
+            .map(|i| expander::mix::mix64(key ^ (i << 32)))
             .collect()
     }
 

@@ -33,14 +33,14 @@ proptest! {
         let mut stripes: Vec<usize> = (0..d).collect();
         let mut s = seed;
         for i in (1..d).rev() {
-            s = expander::seeded::mix64(s);
+            s = expander::mix::mix64(s);
             stripes.swap(i, (s % (i as u64 + 1)) as usize);
         }
         stripes.truncate(m);
         stripes.sort_unstable();
 
         let satellite: Vec<Word> = (0..sigma_words(sigma_bits) as u64)
-            .map(|i| expander::seeded::mix64(seed ^ i))
+            .map(|i| expander::mix::mix64(seed ^ i))
             .collect();
         let encoded = enc.encode(&stripes, &satellite);
         prop_assert_eq!(encoded.len(), m);
@@ -92,7 +92,7 @@ proptest! {
         let mut all: Vec<usize> = (0..d).collect();
         let mut s = owner_stripes_seed;
         for i in (1..d).rev() {
-            s = expander::seeded::mix64(s);
+            s = expander::mix::mix64(s);
             all.swap(i, (s % (i as u64 + 1)) as usize);
         }
         let owner: Vec<usize> = {
@@ -101,7 +101,7 @@ proptest! {
             v
         };
         let satellite: Vec<Word> = (0..sigma_words(sigma_bits) as u64)
-            .map(|i| expander::seeded::mix64(seed ^ (i << 7)))
+            .map(|i| expander::mix::mix64(seed ^ (i << 7)))
             .collect();
         let fw = enc.field_bits().div_ceil(WORD_BITS);
         let mut fields = vec![vec![0; fw]; d];
@@ -138,7 +138,7 @@ proptest! {
         let half = d / 2;
         let mut s = split_seed;
         for (i, field) in fields.iter_mut().enumerate().take(half) {
-            s = expander::seeded::mix64(s);
+            s = expander::mix::mix64(s);
             *field = enc.encode(u64::from(i as u32 % 3), &[s], i % enc.fields_per_key);
         }
         prop_assert!(enc.decode(&fields).is_none());

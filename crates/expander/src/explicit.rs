@@ -1,0 +1,324 @@
+//! An explicit (construction-free-of-randomness) striped family on small
+//! universes, Reed–Solomon flavored.
+//!
+//! The paper notes that no explicit construction matching the optimal
+//! parameters is known; Section 5 ([`crate::semi_explicit`]) gets within
+//! `polylog` factors semi-explicitly but its composed degree/right-size
+//! arithmetic cannot honor an arbitrary `(stripe_size, degree)` geometry,
+//! which the dictionary layouts demand exactly. [`PolynomialExpander`] is
+//! the classical explicit compromise on *small universes*: interpret the
+//! key as the coefficient vector of a degree-<2 polynomial over a prime
+//! field `F_q` with `q ≥ max(stripe, d, ⌈√u⌉)`, and let the `i`-th
+//! neighbor be the evaluation at the `i`-th point. Two distinct keys share
+//! at most **one** evaluation point (their difference polynomial has at
+//! most one root), so pairwise collisions are provably rare — the same
+//! algebraic skeleton as the Guruswami–Umans–Vadhan expanders cited in
+//! PAPERS.md, truncated to the degree-1 case.
+//!
+//! The construction involves no sampled tables and no seed-dependent
+//! structure: the seed only rotates which `d` of the `q` evaluation points
+//! are used, so even `seed = 0` gives a fully determined graph.
+
+use crate::graph::NeighborFn;
+
+/// Deterministic Miller–Rabin for `u64`: the witness set {2, 3, 5, 7, 11,
+/// 13, 17, 19, 23, 29, 31, 37} is exact for all 64-bit integers.
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Smallest prime `≥ n`. By Bertrand's postulate the scan terminates
+/// within a factor 2; in practice within a few dozen candidates.
+fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+/// Integer square root (floor) for `u64`.
+fn isqrt(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = ((n as f64).sqrt() as u64).saturating_add(2);
+    while x.checked_mul(x).is_none_or(|sq| sq > n) {
+        x -= 1;
+    }
+    x
+}
+
+/// An explicit striped left-`d`-regular graph via linear polynomials over
+/// a prime field.
+///
+/// Key `x` is split into digits `(c0, c1)` base `q` and mapped to the
+/// polynomial `f_x(t) = c0 + c1·t (mod q)`; its `i`-th neighbor is
+/// `f_x(t_i)` folded into the stripe, with `t_i = (offset + i) mod q`.
+/// Requires `u ≤ q²` so the digit map is injective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolynomialExpander {
+    left: u64,
+    stripe: usize,
+    degree: usize,
+    /// Field size: smallest prime `≥ max(stripe, degree, ⌈√u⌉)`.
+    q: u64,
+    /// First evaluation point (seed-selected rotation of the point set).
+    offset: u64,
+    seed: u64,
+}
+
+impl PolynomialExpander {
+    /// Graph over universe `[0, left)` with `degree` stripes of
+    /// `stripe_size` right vertices each.
+    ///
+    /// The `seed` only rotates the evaluation-point set; the algebraic
+    /// structure is fixed. Feasibility demands `left ≤ q²` where `q` is
+    /// the chosen field size — guaranteed by picking `q ≥ ⌈√left⌉`.
+    ///
+    /// # Panics
+    /// Panics if `degree == 0`, `stripe_size == 0`, or `left == 0`, or if
+    /// `left` is so close to `u64::MAX` that `q²` overflows (the family is
+    /// for *small universes*; use the seeded or tabulation family beyond
+    /// `2^63`).
+    #[must_use]
+    pub fn new(left: u64, stripe_size: usize, degree: usize, seed: u64) -> Self {
+        assert!(left > 0, "empty universe");
+        assert!(degree > 0, "degree must be positive");
+        assert!(stripe_size > 0, "stripes must be non-empty");
+        let sqrt_u = if left == u64::MAX {
+            1u64 << 32
+        } else {
+            let s = isqrt(left);
+            if s * s < left { s + 1 } else { s }
+        };
+        let floor = sqrt_u.max(stripe_size as u64).max(degree as u64);
+        let q = next_prime(floor);
+        assert!(
+            u128::from(q) * u128::from(q) >= u128::from(left),
+            "universe {left} too large for field size {q}"
+        );
+        let offset = seed % q;
+        PolynomialExpander {
+            left,
+            stripe: stripe_size,
+            degree,
+            q,
+            offset,
+            seed,
+        }
+    }
+
+    /// The field size `q` the construction chose.
+    #[must_use]
+    pub fn field_size(&self) -> u64 {
+        self.q
+    }
+
+    /// The seed (evaluation-point rotation) this instance uses.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Evaluate `f_x` at point index `i` (before stripe folding).
+    #[inline]
+    fn eval(&self, x: u64, i: usize) -> u64 {
+        let c0 = x % self.q;
+        let c1 = x / self.q;
+        let t = (self.offset + i as u64) % self.q;
+        (c0 + mul_mod(c1 % self.q, t, self.q)) % self.q
+    }
+}
+
+impl NeighborFn for PolynomialExpander {
+    fn left_size(&self) -> u64 {
+        self.left
+    }
+
+    fn right_size(&self) -> usize {
+        self.stripe * self.degree
+    }
+
+    fn degree(&self) -> usize {
+        self.degree
+    }
+
+    fn neighbor(&self, x: u64, i: usize) -> usize {
+        assert!(
+            i < self.degree,
+            "edge index {i} out of range (d = {})",
+            self.degree
+        );
+        assert!(
+            x < self.left || self.left == u64::MAX,
+            "key {x} outside universe of size {}",
+            self.left
+        );
+        let val = self.eval(x, i);
+        // Fold [0, q) onto [0, stripe) by residue, NOT proportionally: a
+        // proportional fold sends evaluations that differ by < q/stripe to
+        // the same slot, so clustered keys (sequential c0, equal c1 —
+        // exactly what dense key ranges produce) would collapse onto one
+        // slot per stripe. The residue fold keeps nearby evaluations in
+        // distinct slots at the price of a ≤ 1-in-⌊q/stripe⌋ uniformity
+        // bias, which the chi-square quality gate tolerates since
+        // q ≥ max(stripe, ⌈√u⌉) makes the bias O(stripe/√u).
+        let j = (val % self.stripe as u64) as usize;
+        i * self.stripe + j
+    }
+
+    fn is_striped(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_helpers() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+        assert!(is_prime(104_729)); // 10000th prime
+        assert!(!is_prime(104_730));
+        assert!(is_prime((1 << 31) - 1)); // Mersenne prime 2^31-1
+        assert_eq!(next_prime(100), 101);
+        assert_eq!(next_prime(7919), 7919);
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(u64::MAX), (1 << 32) - 1);
+    }
+
+    #[test]
+    fn neighbors_stay_in_their_stripes() {
+        let g = PolynomialExpander::new(1 << 20, 100, 8, 42);
+        for x in [0u64, 1, 17, 12345, (1 << 20) - 1] {
+            for i in 0..8 {
+                let y = g.neighbor(x, i);
+                assert!(y >= i * 100 && y < (i + 1) * 100);
+            }
+        }
+    }
+
+    #[test]
+    fn field_is_large_enough() {
+        let g = PolynomialExpander::new(1 << 20, 50, 13, 0);
+        let q = g.field_size();
+        assert!(u128::from(q) * u128::from(q) >= 1 << 20);
+        // q must cover both the stripe (50) and the degree (13); 50 wins.
+        assert!(q >= 50);
+        assert!(is_prime(q));
+    }
+
+    #[test]
+    fn distinct_keys_share_at_most_one_evaluation_point() {
+        // The algebraic core: f_x - f_y is a nonzero polynomial of degree
+        // ≤ 1, so it has at most one root among the evaluation points.
+        let g = PolynomialExpander::new(1 << 16, 300, 10, 7);
+        for x in 0..40u64 {
+            for y in (x + 1)..40 {
+                let shared = (0..10).filter(|&i| g.eval(x, i) == g.eval(y, i)).count();
+                assert!(
+                    shared <= 1,
+                    "keys {x},{y} share {shared} evaluation points"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_rotates_points() {
+        let g1 = PolynomialExpander::new(1 << 16, 64, 6, 3);
+        let g2 = PolynomialExpander::new(1 << 16, 64, 6, 3);
+        for x in 0..100 {
+            assert_eq!(g1.neighbors(x), g2.neighbors(x));
+        }
+        let g3 = PolynomialExpander::new(1 << 16, 64, 6, 4);
+        // Keys below q have c1 = 0 (constant polynomials, rotation-
+        // invariant); pick keys with a nonzero linear coefficient.
+        let q = g1.field_size();
+        let same = (0..200)
+            .map(|x| (x + 1) * q % (1 << 16))
+            .filter(|&x| g1.neighbors(x) == g3.neighbors(x))
+            .count();
+        assert!(same < 200, "seed rotation should move some neighbors");
+    }
+
+    #[test]
+    fn spread_within_stripe_is_roughly_uniform() {
+        let g = PolynomialExpander::new(1 << 20, 16, 4, 99);
+        let mut counts = [0usize; 16];
+        for x in 0..1600u64 {
+            // Stride the keys so both digits vary.
+            let key = x.wrapping_mul(653) % (1 << 20);
+            let (s, j) = g.stripe_of(g.neighbor(key, 2));
+            assert_eq!(s, 2);
+            counts[j] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 30 && c < 300, "slot count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_index_panics() {
+        let g = PolynomialExpander::new(16, 4, 2, 0);
+        let _ = g.neighbor(0, 2);
+    }
+}

@@ -1,0 +1,304 @@
+//! Pluggable hash families for striped expanders.
+//!
+//! All the paper's guarantees hang off the expander's neighbor function,
+//! so the *family* that function is drawn from is a first-class design
+//! axis. This module is the seam: [`NeighborFamily`] builds a striped
+//! graph of a requested geometry from a seed, [`FamilyKind`] is the
+//! `Copy` configuration handle the dictionary front-ends store, and
+//! [`FamilyExpander`] is the graph value they hold — one enum so the
+//! dispatch cost is a branch, not a virtual call, on the lookup path.
+//!
+//! Three built-in families (see the `hashfam` bench for the ablation):
+//!
+//! * **Seeded** ([`SeededExpander`]) — the original double-splitmix chain;
+//!   the faithful stand-in for a random striped graph.
+//! * **Tabulation** ([`TabulationExpander`]) — simple tabulation per
+//!   Aamand–Knudsen–Thorup; same load-bound fidelity, measurably faster.
+//! * **Polynomial** ([`PolynomialExpander`]) — explicit Reed–Solomon
+//!   construction on small universes; no sampled tables at all.
+//!
+//! The `Custom` variant of [`FamilyExpander`] keeps the seam genuinely
+//! open: anything implementing [`DynNeighborFn`] (e.g. the k-wise
+//! polynomial baselines in `crates/baselines`) can be plugged into any
+//! dictionary front-end.
+
+use crate::explicit::PolynomialExpander;
+use crate::graph::NeighborFn;
+use crate::seeded::SeededExpander;
+use crate::tabulation::TabulationExpander;
+use std::sync::Arc;
+
+/// A family of striped neighbor functions: given a geometry and a seed,
+/// produce one member graph.
+pub trait NeighborFamily {
+    /// Short stable identifier (used in bench JSON, CLI flags, reports).
+    fn name(&self) -> &'static str;
+
+    /// Build the member graph for `(universe, stripe_size, degree, seed)`.
+    ///
+    /// The result must be striped with exactly the requested geometry:
+    /// `right_size = stripe_size · degree` and the `i`-th neighbor of
+    /// every key in stripe `i` — the dictionary layouts depend on it.
+    fn build(
+        &self,
+        universe: u64,
+        stripe_size: usize,
+        degree: usize,
+        seed: u64,
+    ) -> FamilyExpander;
+}
+
+/// Object-safe neighbor function for the [`FamilyExpander::Custom`]
+/// escape hatch.
+pub trait DynNeighborFn: NeighborFn + Send + Sync + std::fmt::Debug {}
+
+impl<T: NeighborFn + Send + Sync + std::fmt::Debug> DynNeighborFn for T {}
+
+/// The built-in families as a `Copy` configuration value — what
+/// `DictParams` and friends store and thread down to graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FamilyKind {
+    /// Double-splitmix seeded sampler ([`SeededExpander`]).
+    Seeded,
+    /// Simple tabulation ([`TabulationExpander`]) — the default: it
+    /// matches the seeded family's load-bound fidelity in the `hashfam`
+    /// quality gates while being the fastest per-hash (see DESIGN.md).
+    #[default]
+    Tabulation,
+    /// Explicit linear-polynomial construction ([`PolynomialExpander`]).
+    Polynomial,
+}
+
+impl FamilyKind {
+    /// All built-in families, in ablation order.
+    pub const ALL: [FamilyKind; 3] = [
+        FamilyKind::Seeded,
+        FamilyKind::Tabulation,
+        FamilyKind::Polynomial,
+    ];
+
+    /// Parse a family name as printed by [`NeighborFamily::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "seeded" => Some(FamilyKind::Seeded),
+            "tabulation" => Some(FamilyKind::Tabulation),
+            "polynomial" => Some(FamilyKind::Polynomial),
+            _ => None,
+        }
+    }
+}
+
+impl NeighborFamily for FamilyKind {
+    fn name(&self) -> &'static str {
+        match self {
+            FamilyKind::Seeded => "seeded",
+            FamilyKind::Tabulation => "tabulation",
+            FamilyKind::Polynomial => "polynomial",
+        }
+    }
+
+    fn build(
+        &self,
+        universe: u64,
+        stripe_size: usize,
+        degree: usize,
+        seed: u64,
+    ) -> FamilyExpander {
+        match self {
+            FamilyKind::Seeded => FamilyExpander::Seeded(SeededExpander::new(
+                universe,
+                stripe_size,
+                degree,
+                seed,
+            )),
+            FamilyKind::Tabulation => FamilyExpander::Tabulation(TabulationExpander::new(
+                universe,
+                stripe_size,
+                degree,
+                seed,
+            )),
+            FamilyKind::Polynomial => FamilyExpander::Polynomial(PolynomialExpander::new(
+                universe,
+                stripe_size,
+                degree,
+                seed,
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FamilyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A graph drawn from any of the pluggable families.
+///
+/// The three built-in variants dispatch with a branch; `Custom` carries an
+/// arbitrary [`DynNeighborFn`] behind an `Arc` for out-of-crate families.
+#[derive(Debug, Clone)]
+pub enum FamilyExpander {
+    /// Member of the seeded splitmix family.
+    Seeded(SeededExpander),
+    /// Member of the simple-tabulation family.
+    Tabulation(TabulationExpander),
+    /// Member of the explicit polynomial family.
+    Polynomial(PolynomialExpander),
+    /// Any external neighbor function (must be striped with the geometry
+    /// the embedding dictionary expects).
+    Custom(Arc<dyn DynNeighborFn>),
+}
+
+impl FamilyExpander {
+    /// Which built-in family this graph belongs to, if any.
+    #[must_use]
+    pub fn kind(&self) -> Option<FamilyKind> {
+        match self {
+            FamilyExpander::Seeded(_) => Some(FamilyKind::Seeded),
+            FamilyExpander::Tabulation(_) => Some(FamilyKind::Tabulation),
+            FamilyExpander::Polynomial(_) => Some(FamilyKind::Polynomial),
+            FamilyExpander::Custom(_) => None,
+        }
+    }
+
+    /// Family name for reports (`"custom"` for out-of-crate graphs).
+    #[must_use]
+    pub fn family_name(&self) -> &'static str {
+        self.kind().map_or("custom", |k| {
+            match k {
+                FamilyKind::Seeded => "seeded",
+                FamilyKind::Tabulation => "tabulation",
+                FamilyKind::Polynomial => "polynomial",
+            }
+        })
+    }
+}
+
+impl NeighborFn for FamilyExpander {
+    fn left_size(&self) -> u64 {
+        match self {
+            FamilyExpander::Seeded(g) => g.left_size(),
+            FamilyExpander::Tabulation(g) => g.left_size(),
+            FamilyExpander::Polynomial(g) => g.left_size(),
+            FamilyExpander::Custom(g) => g.left_size(),
+        }
+    }
+
+    fn right_size(&self) -> usize {
+        match self {
+            FamilyExpander::Seeded(g) => g.right_size(),
+            FamilyExpander::Tabulation(g) => g.right_size(),
+            FamilyExpander::Polynomial(g) => g.right_size(),
+            FamilyExpander::Custom(g) => g.right_size(),
+        }
+    }
+
+    fn degree(&self) -> usize {
+        match self {
+            FamilyExpander::Seeded(g) => g.degree(),
+            FamilyExpander::Tabulation(g) => g.degree(),
+            FamilyExpander::Polynomial(g) => g.degree(),
+            FamilyExpander::Custom(g) => g.degree(),
+        }
+    }
+
+    fn neighbor(&self, x: u64, i: usize) -> usize {
+        match self {
+            FamilyExpander::Seeded(g) => g.neighbor(x, i),
+            FamilyExpander::Tabulation(g) => g.neighbor(x, i),
+            FamilyExpander::Polynomial(g) => g.neighbor(x, i),
+            FamilyExpander::Custom(g) => g.neighbor(x, i),
+        }
+    }
+
+    fn neighbors(&self, x: u64) -> Vec<usize> {
+        match self {
+            FamilyExpander::Seeded(g) => g.neighbors(x),
+            FamilyExpander::Tabulation(g) => g.neighbors(x),
+            FamilyExpander::Polynomial(g) => g.neighbors(x),
+            FamilyExpander::Custom(g) => g.neighbors(x),
+        }
+    }
+
+    fn is_striped(&self) -> bool {
+        match self {
+            FamilyExpander::Seeded(g) => g.is_striped(),
+            FamilyExpander::Tabulation(g) => g.is_striped(),
+            FamilyExpander::Polynomial(g) => g.is_striped(),
+            FamilyExpander::Custom(g) => g.is_striped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_honor_requested_geometry() {
+        for kind in FamilyKind::ALL {
+            let g = kind.build(1 << 20, 37, 9, 5);
+            assert_eq!(g.left_size(), 1 << 20, "{kind}");
+            assert_eq!(g.degree(), 9, "{kind}");
+            assert_eq!(g.right_size(), 37 * 9, "{kind}");
+            assert!(g.is_striped(), "{kind}");
+            assert_eq!(g.stripe_size(), 37, "{kind}");
+            for x in [0u64, 1, 1000, (1 << 20) - 1] {
+                for (i, &y) in g.neighbors(x).iter().enumerate() {
+                    assert_eq!(y, g.neighbor(x, i), "{kind}: batch vs single");
+                    assert!(y >= i * 37 && y < (i + 1) * 37, "{kind}: stripe");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn families_are_deterministic_per_seed() {
+        for kind in FamilyKind::ALL {
+            let g1 = kind.build(1 << 16, 64, 6, 11);
+            let g2 = kind.build(1 << 16, 64, 6, 11);
+            for x in 0..50 {
+                assert_eq!(g1.neighbors(x), g2.neighbors(x), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn built_in_families_differ_from_each_other() {
+        let gs: Vec<_> = FamilyKind::ALL
+            .iter()
+            .map(|k| k.build(1 << 16, 64, 6, 11))
+            .collect();
+        for a in 0..gs.len() {
+            for b in (a + 1)..gs.len() {
+                let same = (0..200)
+                    .filter(|&x| gs[a].neighbors(x) == gs[b].neighbors(x))
+                    .count();
+                assert!(same < 50, "families {a} and {b} look identical");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_round_trips_through_names() {
+        for kind in FamilyKind::ALL {
+            assert_eq!(FamilyKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.build(1 << 10, 8, 4, 0).family_name(), kind.name());
+        }
+        assert_eq!(FamilyKind::from_name("nope"), None);
+        assert_eq!(FamilyKind::default(), FamilyKind::Tabulation);
+    }
+
+    #[test]
+    fn custom_variant_delegates() {
+        let inner = SeededExpander::new(1 << 10, 16, 4, 3);
+        let g = FamilyExpander::Custom(Arc::new(inner));
+        assert_eq!(g.kind(), None);
+        assert_eq!(g.family_name(), "custom");
+        assert_eq!(g.degree(), 4);
+        assert_eq!(g.neighbors(5), inner.neighbors(5));
+        assert!(g.is_striped());
+    }
+}

@@ -21,6 +21,15 @@
 //!   the faithful stand-in, mirroring the "found probabilistically in
 //!   time poly(s)" preprocessing of the paper's Theorem 9. Everything built
 //!   on top is deterministic once the seed is fixed.
+//! * [`family`] — the pluggable hash-family seam: [`NeighborFamily`],
+//!   the `Copy` configuration handle [`FamilyKind`], and the
+//!   [`FamilyExpander`] graph value the dictionaries store. Besides the
+//!   seeded sampler the built-ins are [`TabulationExpander`] (simple
+//!   tabulation à la Aamand–Knudsen–Thorup — same load bounds, faster
+//!   per hash) and [`PolynomialExpander`] (an explicit Reed–Solomon
+//!   construction for small universes),
+//! * [`mix`] — the shared splitmix64 primitives every family (and the
+//!   server's shard router) draws on,
 //! * [`unique`] — unique-neighbor machinery (`Φ(S)`, Lemmas 4 and 5, and
 //!   the recursive peeling used by Theorem 6's construction),
 //! * [`telescope`] — the telescope product (Lemma 10) and its recursion
@@ -37,18 +46,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explicit;
+pub mod family;
 pub mod graph;
+pub mod mix;
 pub mod params;
 pub mod seeded;
 pub mod semi_explicit;
 pub mod striped;
+pub mod tabulation;
 pub mod telescope;
 pub mod unique;
 pub mod verify;
 
+pub use explicit::PolynomialExpander;
+pub use family::{DynNeighborFn, FamilyExpander, FamilyKind, NeighborFamily};
 pub use graph::NeighborFn;
 pub use params::ExpanderParams;
 pub use seeded::SeededExpander;
 pub use semi_explicit::{SemiExplicitExpander, SemiExplicitReport};
 pub use striped::TriviallyStriped;
+pub use tabulation::TabulationExpander;
 pub use telescope::TelescopeExpander;

@@ -15,15 +15,9 @@
 
 use crate::graph::NeighborFn;
 
-/// Finalizer of splitmix64 — a fast, well-distributed 64-bit mixer.
-#[inline]
-#[must_use]
-pub fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// Re-exported from the consolidated mixing module (`crate::mix`) so the
+// historical `expander::seeded::mix64` path keeps working.
+pub use crate::mix::mix64;
 
 /// A striped left-`d`-regular bipartite graph with pseudorandom edges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -10,7 +10,7 @@
 //! leaves us in.
 
 use crate::graph::NeighborFn;
-use crate::seeded::mix64;
+use crate::mix::mix64;
 use std::collections::HashSet;
 
 /// Result of an expansion measurement: the worst ratio
@@ -142,6 +142,224 @@ pub fn unique_neighbor_ratio<G: NeighborFn>(g: &G, s: &[u64]) -> f64 {
     phi.len() as f64 / (g.degree() * s.len().max(1)) as f64
 }
 
+/// Maximum bucket load after the Lemma 3 greedy placement: keys are
+/// processed in order and each places `k` copies on its `k` least-loaded
+/// neighbors (ties broken by lowest index, so the result is
+/// deterministic).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ d`.
+#[must_use]
+pub fn greedy_max_load<G: NeighborFn>(g: &G, keys: &[u64], k: usize) -> usize {
+    assert!(k >= 1 && k <= g.degree(), "need 1 ≤ k ≤ d");
+    let mut load = vec![0usize; g.right_size()];
+    let mut choices: Vec<usize> = Vec::with_capacity(g.degree());
+    for &x in keys {
+        choices.clear();
+        choices.extend(g.neighbors(x));
+        choices.sort_by_key(|&y| (load[y], y));
+        for &y in choices.iter().take(k) {
+            load[y] += 1;
+        }
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+/// Pearson χ² statistic of the within-stripe slot distribution, summed
+/// over all `d` stripes, against the uniform null (each key hits each of
+/// its stripe's `stripe_size` slots equally often).
+///
+/// Returns `(statistic, degrees_of_freedom)` with
+/// `dof = d · (stripe_size − 1)`; under the null the statistic is
+/// approximately `χ²_dof`, i.e. concentrated around `dof ± √(2·dof)`.
+///
+/// # Panics
+/// Panics if the graph is not striped or `keys` is empty.
+#[must_use]
+pub fn stripe_chi_square<G: NeighborFn>(g: &G, keys: &[u64]) -> (f64, usize) {
+    assert!(!keys.is_empty(), "need keys to test");
+    let d = g.degree();
+    let s = g.stripe_size(); // panics if not striped
+    let mut counts = vec![0u64; d * s];
+    for &x in keys {
+        for (i, y) in g.neighbors(x).into_iter().enumerate() {
+            counts[i * s + (y - i * s)] += 1;
+        }
+    }
+    let expected = keys.len() as f64 / s as f64;
+    let stat = counts
+        .into_iter()
+        .map(|c| {
+            let diff = c as f64 - expected;
+            diff * diff / expected
+        })
+        .sum();
+    (stat, d * (s - 1))
+}
+
+/// Mean number of shared right vertices between a random pair of distinct
+/// keys: `Σ_y C(load_y, 2) / C(n, 2)` where `load_y` counts keys adjacent
+/// to `y`. For a uniform striped family the expectation is `d / stripe`.
+///
+/// # Panics
+/// Panics if fewer than two keys are given.
+#[must_use]
+pub fn pairwise_collision_rate<G: NeighborFn>(g: &G, keys: &[u64]) -> f64 {
+    let n = keys.len();
+    assert!(n >= 2, "need at least two keys");
+    let mut load = vec![0u64; g.right_size()];
+    for &x in keys {
+        for y in g.neighbors(x) {
+            load[y] += 1;
+        }
+    }
+    let pairs: f64 = load
+        .into_iter()
+        .map(|c| c as f64 * (c as f64 - 1.0) / 2.0)
+        .sum();
+    pairs / (n as f64 * (n as f64 - 1.0) / 2.0)
+}
+
+/// One family/seed measurement of every statistical quality gate the
+/// test-suite and the `hashfam` bench share.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Family identifier (as in `NeighborFamily::name`).
+    pub family: String,
+    /// Seed the graph was built with.
+    pub seed: u64,
+    /// Left degree.
+    pub degree: usize,
+    /// Stripe size (`v/d`).
+    pub stripe: usize,
+    /// Number of keys measured.
+    pub keys: usize,
+    /// Worst sampled expansion ratio `|Γ(S)|/(d·|S|)`.
+    pub expansion_ratio: f64,
+    /// Unique-neighbor ratio `|Φ(S)|/(d·|S|)` on the full key set.
+    pub unique_ratio: f64,
+    /// χ² statistic of the within-stripe slot distribution.
+    pub chi_square: f64,
+    /// Degrees of freedom for [`Self::chi_square`].
+    pub chi_square_dof: usize,
+    /// Mean shared right vertices per key pair.
+    pub collision_rate: f64,
+    /// Expected collision rate for a uniform family (`d/stripe`).
+    pub collision_expected: f64,
+    /// Greedy `k = 1` maximum bucket load over the key set.
+    pub max_load: usize,
+    /// The Lemma 3 bound for that placement (`ε = 1/12`, `δ = 1/2`).
+    pub lemma3_bound: f64,
+}
+
+impl QualityReport {
+    /// The quality-gate violations, empty when all gates pass.
+    ///
+    /// Gates (generous enough to hold across seeds, tight enough to catch
+    /// a broken mixer):
+    /// * Lemma 3: greedy max load within the bound,
+    /// * expansion: worst sampled ratio `≥ 1 − 2ε` with `ε = 1/12`,
+    /// * unique neighbors: ratio `≥ 1 − 4ε` (Lemma 4 slack doubled),
+    /// * χ²: within `8·√(2·dof)` of `dof`,
+    /// * collisions: within `2×` the uniform expectation.
+    #[must_use]
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.max_load as f64 > self.lemma3_bound {
+            out.push(format!(
+                "max load {} exceeds Lemma 3 bound {:.2}",
+                self.max_load, self.lemma3_bound
+            ));
+        }
+        let eps = crate::params::THEOREM6_EPSILON;
+        if self.expansion_ratio < 1.0 - 2.0 * eps {
+            out.push(format!(
+                "sampled expansion {:.4} below 1 - 2ε = {:.4}",
+                self.expansion_ratio,
+                1.0 - 2.0 * eps
+            ));
+        }
+        if self.unique_ratio < 1.0 - 4.0 * eps {
+            out.push(format!(
+                "unique-neighbor ratio {:.4} below 1 - 4ε = {:.4}",
+                self.unique_ratio,
+                1.0 - 4.0 * eps
+            ));
+        }
+        let dof = self.chi_square_dof as f64;
+        let chi_limit = dof + 8.0 * (2.0 * dof).sqrt();
+        if self.chi_square > chi_limit {
+            out.push(format!(
+                "χ² {:.1} exceeds {:.1} (dof {})",
+                self.chi_square, chi_limit, self.chi_square_dof
+            ));
+        }
+        if self.collision_rate > 2.0 * self.collision_expected {
+            out.push(format!(
+                "collision rate {:.5} exceeds 2× expectation {:.5}",
+                self.collision_rate, self.collision_expected
+            ));
+        }
+        out
+    }
+
+    /// Whether every quality gate passes.
+    #[must_use]
+    pub fn passes(&self) -> bool {
+        self.failures().is_empty()
+    }
+}
+
+/// Run the full statistical quality battery on a striped graph over a key
+/// sample. Deterministic given `(g, keys, sample_seed)`.
+///
+/// The Lemma 3 reference parameters are the paper's Theorem 6 defaults
+/// (`ε = 1/12`, `δ = 1/2`); expansion is spot-checked by sampling subsets
+/// of the key set at several sizes.
+///
+/// # Panics
+/// Panics if the graph is not striped or fewer than two keys are given.
+#[must_use]
+pub fn quality_report<G: NeighborFn>(
+    g: &G,
+    family: &str,
+    seed: u64,
+    keys: &[u64],
+    sample_seed: u64,
+) -> QualityReport {
+    assert!(keys.len() >= 2, "need at least two keys");
+    let d = g.degree();
+    let stripe = g.stripe_size();
+    let params = crate::params::ExpanderParams {
+        degree: d,
+        right_size: g.right_size(),
+        epsilon: crate::params::THEOREM6_EPSILON,
+        delta: 0.5,
+    };
+    let sizes: Vec<usize> = [8usize, 32, 128, keys.len() / 4]
+        .into_iter()
+        .filter(|&s| s >= 2 && s <= keys.len())
+        .collect();
+    let expansion = worst_expansion_sampled(g, keys, &sizes, 20, sample_seed);
+    let (chi_square, chi_square_dof) = stripe_chi_square(g, keys);
+    QualityReport {
+        family: family.to_string(),
+        seed,
+        degree: d,
+        stripe,
+        keys: keys.len(),
+        expansion_ratio: expansion.ratio,
+        unique_ratio: unique_neighbor_ratio(g, keys),
+        chi_square,
+        chi_square_dof,
+        collision_rate: pairwise_collision_rate(g, keys),
+        collision_expected: d as f64 / stripe as f64,
+        max_load: greedy_max_load(g, keys, 1),
+        lemma3_bound: crate::params::lemma3_bound(keys.len(), 1, &params)
+            .expect("Theorem 6 defaults satisfy the Lemma 3 premises"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +457,69 @@ mod tests {
         let g = SeededExpander::new(16, 4, 2, 0);
         let pop: Vec<u64> = (0..8).collect();
         let _ = worst_expansion_sampled(&g, &pop, &[9], 1, 0);
+    }
+
+    #[test]
+    fn greedy_max_load_on_hand_graph() {
+        // Both keys see stripes {0,1} × {2,3}; greedy spreads them.
+        let g = TableGraph::new(4, vec![vec![0, 2], vec![0, 3]], true);
+        assert_eq!(greedy_max_load(&g, &[0, 1], 1), 1);
+        // k = 2 forces both copies of both keys; slot 0 is shared.
+        assert_eq!(greedy_max_load(&g, &[0, 1], 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ k ≤ d")]
+    fn greedy_rejects_k_above_degree() {
+        let g = SeededExpander::new(16, 4, 2, 0);
+        let _ = greedy_max_load(&g, &[0, 1], 3);
+    }
+
+    #[test]
+    fn chi_square_flags_a_constant_function() {
+        // All keys to slot 0 of each stripe: maximally non-uniform.
+        let degenerate = TableGraph::new(8, vec![vec![0, 4]; 6], true);
+        let keys: Vec<u64> = (0..6).collect();
+        let (bad, dof) = stripe_chi_square(&degenerate, &keys);
+        assert_eq!(dof, 2 * 3);
+        // All 6 keys in 1 of 4 slots per stripe: χ² = 2·(6−1.5)²/1.5·...
+        assert!(bad > dof as f64 + 8.0 * (2.0 * dof as f64).sqrt());
+        // A healthy mixer stays near its dof.
+        let g = SeededExpander::new(1 << 20, 64, 8, 3);
+        let keys: Vec<u64> = (0..4096u64).map(|i| i * 251 % (1 << 20)).collect();
+        let (good, dof) = stripe_chi_square(&g, &keys);
+        assert!(good < dof as f64 + 8.0 * (2.0 * dof as f64).sqrt());
+    }
+
+    #[test]
+    fn collision_rate_matches_uniform_expectation() {
+        let g = SeededExpander::new(1 << 30, 512, 8, 9);
+        let keys: Vec<u64> = (0..2000u64).map(|i| i * 524_287).collect();
+        let rate = pairwise_collision_rate(&g, &keys);
+        let expected = 8.0 / 512.0;
+        assert!(
+            rate > expected / 2.0 && rate < expected * 2.0,
+            "rate {rate} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn quality_report_passes_on_a_healthy_graph_and_fails_on_a_degenerate_one() {
+        // Slack-8 sizing (stripe = 8·n) as the dictionaries use: sparse
+        // enough that the Lemma 4 unique-neighbor gate holds.
+        let g = SeededExpander::new(1 << 30, 8 * 1024, 16, 21);
+        let keys: Vec<u64> = (0..1024u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) % (1 << 30))
+            .collect();
+        let report = quality_report(&g, "seeded", 21, &keys, 7);
+        assert!(report.passes(), "failures: {:?}", report.failures());
+        assert_eq!(report.family, "seeded");
+        assert_eq!(report.keys, 1024);
+
+        // A stripe of size 1 pins every key to the same d slots.
+        let degenerate = SeededExpander::new(1 << 30, 1, 16, 21);
+        let report = quality_report(&degenerate, "seeded", 21, &keys, 7);
+        assert!(!report.passes());
+        assert!(!report.failures().is_empty());
     }
 }

@@ -1,0 +1,199 @@
+//! Statistical expander-quality harness, run as tier-1 tests.
+//!
+//! Every gate from `verify::QualityReport` is exercised across multiple
+//! seeds for every built-in hash family: Lemma 3 greedy max load,
+//! sampled expansion, unique-neighbor rates (Lemma 4), within-stripe
+//! χ², and pairwise collision rates. The `hashfam` bench runs the same
+//! battery at larger scale; these tests are the fast always-on slice.
+
+use expander::family::{FamilyKind, NeighborFamily};
+use expander::mix::SplitMix64;
+use expander::verify::{
+    greedy_max_load, pairwise_collision_rate, quality_report, stripe_chi_square,
+    unique_neighbor_ratio,
+};
+use expander::{ExpanderParams, NeighborFn};
+
+const UNIVERSE: u64 = 1 << 32;
+const SEEDS: [u64; 4] = [0xA11CE, 0xB0B, 0xC0FFEE, 0xD15EA5E];
+
+/// A pseudorandom key sample, distinct per (seed, n), sorted for
+/// determinism of the downstream set operations.
+fn sample_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_5EED);
+    let mut keys = std::collections::BTreeSet::new();
+    while keys.len() < n {
+        keys.insert(rng.next_u64() % UNIVERSE);
+    }
+    keys.into_iter().collect()
+}
+
+/// Gate 1 — Lemma 3: for every family and every seed, the greedy `k = 1`
+/// placement stays within the paper's bound at Theorem 6 parameters.
+#[test]
+fn lemma3_max_load_within_bound_across_families_and_seeds() {
+    let d = 16;
+    let n = 1024;
+    let stripe = 8 * n; // DEFAULT_RIGHT_SLACK · n, v = 8·n·d
+    let params = ExpanderParams {
+        degree: d,
+        right_size: stripe * d,
+        epsilon: 1.0 / 12.0,
+        delta: 0.5,
+    };
+    let bound = expander::params::lemma3_bound(n, 1, &params).unwrap();
+    for kind in FamilyKind::ALL {
+        for seed in SEEDS {
+            let g = kind.build(UNIVERSE, stripe, d, seed);
+            let keys = sample_keys(n, seed);
+            let load = greedy_max_load(&g, &keys, 1);
+            assert!(
+                (load as f64) <= bound,
+                "{kind} seed {seed:#x}: max load {load} > Lemma 3 bound {bound:.2}"
+            );
+        }
+    }
+}
+
+/// Gate 2 — expansion spot-checks: sampled subsets of every size expand
+/// by at least `(1 - 2ε)·d` for all families and seeds.
+#[test]
+fn sampled_expansion_across_families_and_seeds() {
+    let d = 16;
+    let n = 512;
+    let stripe = 8 * n;
+    for kind in FamilyKind::ALL {
+        for seed in SEEDS {
+            let g = kind.build(UNIVERSE, stripe, d, seed);
+            let keys = sample_keys(2 * n, seed);
+            let w = expander::verify::worst_expansion_sampled(
+                &g,
+                &keys,
+                &[4, 32, 128, n],
+                15,
+                seed ^ 1,
+            );
+            assert!(
+                w.ratio >= 1.0 - 2.0 / 12.0,
+                "{kind} seed {seed:#x}: sampled expansion {:.4} with witness size {}",
+                w.ratio,
+                w.witness.len()
+            );
+        }
+    }
+}
+
+/// Gate 3 — χ² of the within-stripe slot distribution stays near its
+/// degrees of freedom: no family has a systematically biased stripe.
+#[test]
+fn stripe_distribution_chi_square_across_families_and_seeds() {
+    let d = 8;
+    let stripe = 128;
+    for kind in FamilyKind::ALL {
+        for seed in SEEDS {
+            let g = kind.build(UNIVERSE, stripe, d, seed);
+            let keys = sample_keys(8192, seed);
+            let (stat, dof) = stripe_chi_square(&g, &keys);
+            let limit = dof as f64 + 8.0 * (2.0 * dof as f64).sqrt();
+            assert!(
+                stat <= limit,
+                "{kind} seed {seed:#x}: χ² = {stat:.1} > {limit:.1} (dof {dof})"
+            );
+        }
+    }
+}
+
+/// Gate 4 — collision and unique-neighbor rates: pairwise collisions stay
+/// within 2× the uniform expectation `d/stripe`, and the Lemma 4
+/// unique-neighbor ratio holds with slack for within-capacity sets.
+#[test]
+fn collision_and_unique_neighbor_rates_across_families_and_seeds() {
+    let d = 16;
+    let n = 768;
+    let stripe = 8 * n;
+    for kind in FamilyKind::ALL {
+        for seed in SEEDS {
+            let g = kind.build(UNIVERSE, stripe, d, seed);
+            let keys = sample_keys(n, seed);
+            let rate = pairwise_collision_rate(&g, &keys);
+            let expected = d as f64 / stripe as f64;
+            assert!(
+                rate <= 2.0 * expected,
+                "{kind} seed {seed:#x}: collision rate {rate:.6} vs expected {expected:.6}"
+            );
+            let unique = unique_neighbor_ratio(&g, &keys);
+            assert!(
+                unique >= 1.0 - 4.0 / 12.0,
+                "{kind} seed {seed:#x}: unique-neighbor ratio {unique:.4}"
+            );
+        }
+    }
+}
+
+/// Gate 5 — the combined report: `quality_report` passes every gate for
+/// every family and seed at dictionary-like parameters, and its fields
+/// are internally consistent.
+#[test]
+fn full_quality_report_passes_for_all_families_across_seeds() {
+    let d = 16;
+    let n = 1024;
+    let stripe = 8 * n;
+    for kind in FamilyKind::ALL {
+        for seed in SEEDS {
+            let g = kind.build(UNIVERSE, stripe, d, seed);
+            let keys = sample_keys(n, seed);
+            let report = quality_report(&g, kind.name(), seed, &keys, seed ^ 0xF00D);
+            assert!(
+                report.passes(),
+                "{kind} seed {seed:#x}: {:?}",
+                report.failures()
+            );
+            assert_eq!(report.degree, d);
+            assert_eq!(report.stripe, stripe);
+            assert_eq!(report.keys, n);
+            assert!((report.collision_expected - d as f64 / stripe as f64).abs() < 1e-12);
+            assert!(report.lemma3_bound > 0.0);
+        }
+    }
+}
+
+/// Gate 6 — negative control: the harness actually rejects a broken
+/// family (identity "mixing" collapses sequential keys).
+#[test]
+fn harness_rejects_a_broken_neighbor_function() {
+    #[derive(Debug)]
+    struct BrokenMixer {
+        stripe: usize,
+        degree: usize,
+    }
+    impl NeighborFn for BrokenMixer {
+        fn left_size(&self) -> u64 {
+            UNIVERSE
+        }
+        fn right_size(&self) -> usize {
+            self.stripe * self.degree
+        }
+        fn degree(&self) -> usize {
+            self.degree
+        }
+        fn neighbor(&self, x: u64, i: usize) -> usize {
+            // No mixing at all: clusters of nearby keys collide en masse
+            // once divided by a power of two.
+            i * self.stripe + ((x / 64) % self.stripe as u64) as usize
+        }
+        fn is_striped(&self) -> bool {
+            true
+        }
+    }
+    let g = BrokenMixer {
+        stripe: 4096,
+        degree: 16,
+    };
+    // Clustered keys: runs of 64 consecutive keys all share every slot.
+    let keys: Vec<u64> = (0..1024u64).map(|i| (i / 4) * 64 + i % 4).collect();
+    let report = quality_report(&g, "broken", 0, &keys, 3);
+    assert!(
+        !report.passes(),
+        "broken mixer passed the quality gates: {report:?}"
+    );
+}

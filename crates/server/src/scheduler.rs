@@ -31,7 +31,7 @@
 use crate::client::DictClient;
 use crate::queue::{BoundedQueue, OneShot, PushRefused};
 use crate::ServeError;
-use expander::seeded::mix64;
+use expander::mix::mix64;
 use pdm::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use pdm::Word;
 use pdm_dict::Dict;

@@ -17,7 +17,8 @@
 
 mod harness;
 
-use harness::{disk_image, frontends, padded_entries, sat, Frontend, KEY_SPACE, UNIVERSE};
+use expander::FamilyKind;
+use harness::{dense_keys, disk_image, frontends, frontends_with, padded_entries, sat, Frontend, KEY_SPACE, UNIVERSE};
 use pdm::{BatchPlan, BlockAddr, DiskArray, PdmConfig, Word};
 use pdm_dict::basic::{BasicDict, BasicDictConfig};
 use pdm_dict::layout::DiskAllocator;
@@ -206,6 +207,25 @@ proptest! {
             prop_assert!(matches!(r, Err(DictError::DuplicateKey(_))), "duplicate accepted");
         }
         prop_assert_eq!(Dict::len(&dict), keys.len());
+    }
+}
+
+/// Family rotation: the batch differentials above run over the default
+/// family; this replays them under every other hash family, proving the
+/// seam composes with the batch paths (satellite of the hashfam PR).
+#[test]
+fn batch_differentials_hold_under_family_rotation() {
+    let keys = dense_keys(24);
+    for family in FamilyKind::ALL {
+        if family == FamilyKind::default() {
+            continue;
+        }
+        for f in frontends_with(family) {
+            diff_lookup_batch(&f, &keys, &[KEY_SPACE - 3, KEY_SPACE - 11]).unwrap();
+            if !f.is_static {
+                diff_insert_batch(&f, &keys).unwrap();
+            }
+        }
     }
 }
 

@@ -82,7 +82,7 @@ fn random_bit_corruption_never_panics() {
     // Flip words all over the array (deterministic pseudo-random spray).
     let mut state = 0xBAD5EED_u64;
     for _ in 0..500 {
-        state = expander::seeded::mix64(state);
+        state = expander::mix::mix64(state);
         let disk = (state % (2 * d as u64)) as usize;
         let block = ((state >> 16) % disks.blocks_on(disk) as u64) as usize;
         let addr = BlockAddr::new(disk, block);

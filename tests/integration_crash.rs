@@ -26,7 +26,10 @@
 
 mod harness;
 
-use harness::{dense_keys, frontend, padded_entries, sat, JOURNAL_ROWS, KEY_SPACE, UNIVERSE};
+use expander::FamilyKind;
+use harness::{
+    dense_keys, frontend, frontend_with, padded_entries, sat, JOURNAL_ROWS, KEY_SPACE, UNIVERSE,
+};
 use pdm::{FaultPlan, Word};
 use pdm_dict::{Dict, DictParams, Dictionary};
 use proptest::prelude::*;
@@ -50,8 +53,17 @@ enum Op {
 /// `crash_at` physical writes, reopen from the disk image alone, and
 /// check the four invariants above.
 fn drive_crash(keys: &[u64], crash_at: u64) -> Result<(), TestCaseError> {
-    let f = frontend("dynamic_journaled");
-    let reopen = f.reopen.expect("journaled front declares reopen");
+    drive_crash_with(FamilyKind::default(), keys, crash_at)
+}
+
+/// Same crash cycle, over an explicit hash family (rotation below).
+fn drive_crash_with(
+    family: FamilyKind,
+    keys: &[u64],
+    crash_at: u64,
+) -> Result<(), TestCaseError> {
+    let mut f = frontend_with("dynamic_journaled", family);
+    let reopen = f.reopen.take().expect("journaled front declares reopen");
     let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, sat(k, f.sigma))).collect();
     let cap = entries.len() + 32;
     let seed = 0xC4A5;
@@ -206,6 +218,22 @@ proptest! {
         // range (the build preloads clean; only workload writes count).
         for crash_at in [crash_seed % 96, (crash_seed >> 8) % 96, (crash_seed >> 16) % 96] {
             drive_crash(&keys, crash_at)?;
+        }
+    }
+}
+
+/// Family rotation: journaled crash/recovery composes with every hash
+/// family — the intent journal and replay never depend on where the
+/// neighbor function placed the records.
+#[test]
+fn crash_recovery_composes_with_every_family() {
+    let keys = dense_keys(24);
+    for family in FamilyKind::ALL {
+        if family == FamilyKind::default() {
+            continue;
+        }
+        for crash_at in [5u64, 41] {
+            drive_crash_with(family, &keys, crash_at).unwrap();
         }
     }
 }

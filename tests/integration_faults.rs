@@ -26,7 +26,8 @@
 
 mod harness;
 
-use harness::{frontends, padded_entries, sat, Frontend, KEY_SPACE};
+use expander::FamilyKind;
+use harness::{frontends, frontends_with, padded_entries, sat, Frontend, KEY_SPACE};
 use pdm::{FaultPlan, Word};
 use pdm_dict::DictError;
 use proptest::prelude::*;
@@ -171,6 +172,22 @@ proptest! {
     ) {
         for f in frontends() {
             drive(&f, &keys, fault_seed)?;
+        }
+    }
+}
+
+/// Family rotation: one canned fault plan (with a dead disk — the even
+/// seed triggers it) driven through every front over every non-default
+/// hash family, proving the seam composes with fault injection.
+#[test]
+fn fault_recovery_composes_with_every_family() {
+    let keys = [3u64, 99, 1_024, 77_777, 524_287];
+    for family in FamilyKind::ALL {
+        if family == FamilyKind::default() {
+            continue;
+        }
+        for f in frontends_with(family) {
+            drive(&f, &keys, 0xFA_0172 & !1).unwrap();
         }
     }
 }

@@ -8,7 +8,8 @@
 
 mod harness;
 
-use harness::{frontend, sat, Frontend};
+use expander::FamilyKind;
+use harness::{frontend, frontend_with, sat, Frontend};
 use pdm::FaultPlan;
 use pdm_server::{DictClient, EngineConfig, ServeEngine, ServeError};
 use std::collections::{BTreeSet, HashMap};
@@ -25,7 +26,7 @@ fn suite_seed() -> u64 {
 }
 
 fn mix(x: u64) -> u64 {
-    expander::seeded::mix64(x)
+    expander::mix::mix64(x)
 }
 
 /// An engine over `shards` journaled-dynamic shard dictionaries built by
@@ -154,13 +155,55 @@ fn concurrent_mixed_workload_matches_sequential_oracle() {
     }
 }
 
+/// Family rotation: the serving engine composes with every hash family —
+/// a concurrent insert workload over each non-default family must ack
+/// every op and leave exactly the inserted records, sharded correctly.
+#[test]
+fn engine_serves_over_every_family() {
+    for family in FamilyKind::ALL {
+        if family == FamilyKind::default() {
+            continue;
+        }
+        let f = frontend_with("dynamic_journaled", family);
+        let engine = engine_of(&f, 2, 128, suite_seed() ^ 0xFA);
+        let client = engine.client();
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let client = client.clone();
+                let sigma = f.sigma;
+                s.spawn(move || {
+                    for i in 0..25 {
+                        let k = t * 1_000 + i;
+                        client.insert(k, &sat(k, sigma)).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.acked, 75, "{family}: some op went unacked");
+        let mut shards = engine.shutdown();
+        let total: usize = shards.iter().map(|d| d.len()).sum();
+        assert_eq!(total, 75, "{family}: record count disagrees");
+        for t in 0..3u64 {
+            for i in 0..25 {
+                let k = t * 1_000 + i;
+                let hits: Vec<_> = shards
+                    .iter_mut()
+                    .filter_map(|d| d.lookup(k).satellite)
+                    .collect();
+                assert_eq!(hits, vec![sat(k, f.sigma)], "{family}: key {k} wrong");
+            }
+        }
+    }
+}
+
 /// Graceful shutdown leaves a `recover`-consistent image: reopening the
 /// disk image from scratch finds a checkpointed journal (nothing to
 /// replay) and every acked write present.
 #[test]
 fn graceful_shutdown_image_is_recover_consistent() {
-    let f = frontend("dynamic_journaled");
-    let reopen = f.reopen.expect("journaled front declares reopen");
+    let mut f = frontend("dynamic_journaled");
+    let reopen = f.reopen.take().expect("journaled front declares reopen");
     let seed = suite_seed() ^ 0x5D;
     let capacity = 128;
     let engine = engine_of(&f, 1, capacity, seed);
