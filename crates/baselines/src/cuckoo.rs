@@ -16,7 +16,7 @@
 
 use crate::hashfam::PolyHash;
 use crate::slots::Slots;
-use pdm::{BlockAddr, DiskArray, OpCost, PdmConfig, Word};
+use pdm::{BlockAddr, DiskArray, OpCost, PdmConfig, ReadOptions, Word, WriteOptions};
 
 /// Errors from cuckoo insertion.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -149,7 +149,7 @@ impl CuckooDict {
 
     fn read_cell(&mut self, table: usize, cell: usize) -> Vec<Word> {
         let addrs = self.cell_addrs(table, cell);
-        self.disks.read_batch(&addrs).concat()
+        self.disks.read(&addrs, ReadOptions::default()).into_blocks().concat()
     }
 
     fn write_cell(&mut self, table: usize, cell: usize, buf: &[Word]) {
@@ -160,7 +160,7 @@ impl CuckooDict {
             .enumerate()
             .map(|(i, &a)| (a, &buf[i * bw..(i + 1) * bw]))
             .collect();
-        self.disks.write_batch(&writes);
+        self.disks.write(&writes, WriteOptions::default());
     }
 
     fn cell_of(&self, table: usize, key: u64) -> usize {
@@ -173,7 +173,7 @@ impl CuckooDict {
         let scope = self.disks.begin_op();
         let mut addrs = self.cell_addrs(0, self.cell_of(0, key));
         addrs.extend(self.cell_addrs(1, self.cell_of(1, key)));
-        let blocks = self.disks.read_batch(&addrs);
+        let blocks = self.disks.read(&addrs, ReadOptions::default()).into_blocks();
         let c0 = blocks[..self.half].concat();
         let c1 = blocks[self.half..].concat();
         let found = self

@@ -25,7 +25,7 @@ use crate::bucket::BucketCodec;
 use crate::layout::{DiskAllocator, Region};
 use crate::traits::{DictError, LookupOutcome};
 use expander::{FamilyExpander, FamilyKind, NeighborFamily, NeighborFn};
-use pdm::{BatchExecutor, BatchPlan, BlockAddr, DiskArray, OpCost, Word};
+use pdm::{BatchExecutor, BatchPlan, BlockAddr, DiskArray, OpCost, ReadOptions, Word, WriteOptions};
 
 /// Sizing and identity parameters for a [`BasicDict`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -377,7 +377,7 @@ impl BasicDict {
     /// Lookup: one batched probe (1 parallel I/O per bucket-block row).
     pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
         let scope = disks.begin_op();
-        let blocks = disks.read_batch(&self.probe_addrs(key));
+        let blocks = disks.read(&self.probe_addrs(key), ReadOptions::default()).into_blocks();
         LookupOutcome::new(self.decode_find(key, &blocks), disks.end_op(scope))
     }
 
@@ -390,11 +390,11 @@ impl BasicDict {
         payload: &[Word],
     ) -> Result<OpCost, DictError> {
         let scope = disks.begin_op();
-        let blocks = disks.read_batch(&self.probe_addrs(key));
+        let blocks = disks.read(&self.probe_addrs(key), ReadOptions::default()).into_blocks();
         let writes = self.plan_insert(key, payload, &blocks)?;
         let refs: Vec<(BlockAddr, &[Word])> =
             writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-        disks.write_batch(&refs);
+        disks.write(&refs, WriteOptions::default());
         self.note_inserted();
         Ok(disks.end_op(scope))
     }
@@ -402,12 +402,12 @@ impl BasicDict {
     /// Delete (tombstone). Returns whether the key was present.
     pub fn delete(&mut self, disks: &mut DiskArray, key: u64) -> (bool, OpCost) {
         let scope = disks.begin_op();
-        let blocks = disks.read_batch(&self.probe_addrs(key));
+        let blocks = disks.read(&self.probe_addrs(key), ReadOptions::default()).into_blocks();
         match self.plan_delete(key, &blocks) {
             Some(writes) => {
                 let refs: Vec<(BlockAddr, &[Word])> =
                     writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-                disks.write_batch(&refs);
+                disks.write(&refs, WriteOptions::default());
                 self.note_deleted();
                 (true, disks.end_op(scope))
             }
@@ -418,12 +418,12 @@ impl BasicDict {
     /// Overwrite the payload of an existing key. Returns whether present.
     pub fn update(&mut self, disks: &mut DiskArray, key: u64, payload: &[Word]) -> (bool, OpCost) {
         let scope = disks.begin_op();
-        let blocks = disks.read_batch(&self.probe_addrs(key));
+        let blocks = disks.read(&self.probe_addrs(key), ReadOptions::default()).into_blocks();
         match self.plan_update(key, payload, &blocks) {
             Some(writes) => {
                 let refs: Vec<(BlockAddr, &[Word])> =
                     writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-                disks.write_batch(&refs);
+                disks.write(&refs, WriteOptions::default());
                 (true, disks.end_op(scope))
             }
             None => (false, disks.end_op(scope)),
@@ -504,7 +504,7 @@ impl BasicDict {
     #[cfg(test)]
     pub(crate) fn saturate_probe_buckets(&self, disks: &mut DiskArray, key: u64, fake_base: u64) {
         let addrs = self.probe_addrs(key);
-        let blocks = disks.read_batch(&addrs);
+        let blocks = disks.read(&addrs, ReadOptions::default()).into_blocks();
         let mut bufs = self.bucket_bufs(&blocks);
         let payload = vec![0 as Word; self.cfg.payload_words];
         let mut fake = fake_base;
@@ -528,7 +528,7 @@ impl BasicDict {
         assert!(index < self.cfg.buckets, "bucket {index} out of range");
         let per = self.cfg.buckets / self.cfg.degree;
         let (stripe, j) = (index / per, index % per);
-        let blocks = disks.read_batch(&self.bucket_addrs(stripe, j));
+        let blocks = disks.read(&self.bucket_addrs(stripe, j), ReadOptions::default()).into_blocks();
         self.codec.live_entries(&blocks.concat())
     }
 
@@ -604,7 +604,7 @@ impl BasicDict {
                 }
                 let refs: Vec<(BlockAddr, &[Word])> =
                     writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-                disks.write_batch(&refs);
+                disks.write(&refs, WriteOptions::default());
             }
         }
         self.len = entries.len();

@@ -37,7 +37,8 @@ use crate::traits::{DictError, LookupOutcome};
 use expander::{params, FamilyExpander, NeighborFamily, NeighborFn};
 use pdm::journal::{JournalRegion, RecoveryReport};
 use pdm::{
-    BatchExecutor, BatchPlan, BlockAddr, BlockHealth, DiskArray, IoFaultKind, OpCost, Word,
+    BatchExecutor, BatchPlan, BlockAddr, BlockHealth, DiskArray, IoFaultKind, OpCost, ReadOptions,
+    Word, WriteOptions,
 };
 
 /// Journal-entry metadata opcodes (`meta[1]`); `meta[0]` is the
@@ -392,11 +393,12 @@ impl DynamicDict {
     /// Verified read with one retry: transient windows pass with the
     /// clock, so the retry is only charged when a probe actually failed.
     fn read_retry(disks: &mut DiskArray, addrs: &[BlockAddr]) -> (Vec<Vec<Word>>, Vec<BlockHealth>) {
-        let (blocks, healths) = disks.read_batch_verified(addrs);
-        if healths.iter().all(|h| h.is_ok()) {
-            return (blocks, healths);
+        let out = disks.read(addrs, ReadOptions::verified());
+        if out.all_ok() {
+            return (out.blocks, out.healths);
         }
-        disks.read_batch_verified(addrs)
+        let retry = disks.read(addrs, ReadOptions::verified());
+        (retry.blocks, retry.healths)
     }
 
     /// Lookup. 1 parallel I/O when the key is absent or lives on level 1;
@@ -787,7 +789,7 @@ impl DynamicDict {
             let meta = [self.meta_tag(), self.insert_meta_op, level as Word];
             disks.journaled_write_batch_checked(&refs, &meta)
         } else {
-            disks.write_batch_checked(&refs)
+            disks.write(&refs, WriteOptions::checked()).healths
         };
         let waddrs: Vec<BlockAddr> = writes.iter().map(|(a, _)| *a).collect();
         if let Some(e) = Self::io_error(&waddrs, &whealths) {

@@ -255,7 +255,7 @@ mod tests {
         let positions: Vec<FieldPos> = (0..4).map(|s| (s, s * 2)).collect();
         let addrs = fa.probe_addrs(&positions);
         let scope = disks.begin_op();
-        let blocks = disks.read_batch(&addrs);
+        let blocks = disks.read(&addrs, pdm::ReadOptions::default()).into_blocks();
         assert_eq!(disks.end_op(scope).parallel_ios, 1);
         let fields = fa.extract(&positions, &blocks);
         assert_eq!(fields.len(), 4);

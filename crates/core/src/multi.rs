@@ -17,7 +17,7 @@ use crate::basic::{BasicDict, BasicDictConfig};
 use crate::layout::DiskAllocator;
 use crate::traits::{DictError, LookupOutcome};
 use expander::mix::mix64;
-use pdm::{BlockAddr, DiskArray, OpCost, Word};
+use pdm::{BlockAddr, DiskArray, OpCost, ReadOptions, Word, WriteOptions};
 
 /// `C` Section 4.1 dictionaries on disjoint disk ranges with batched,
 /// cost-merged operations.
@@ -108,7 +108,7 @@ impl ParallelInstances {
             spans.push((addrs.len(), a.len()));
             addrs.extend(a);
         }
-        let blocks = disks.read_batch(&addrs);
+        let blocks = disks.read(&addrs, ReadOptions::default()).into_blocks();
         let results = keys
             .iter()
             .zip(spans)
@@ -163,7 +163,7 @@ impl ParallelInstances {
                 spans.push((addrs.len(), a.len()));
                 addrs.extend(a);
             }
-            let blocks = disks.read_batch(&addrs);
+            let blocks = disks.read(&addrs, ReadOptions::default()).into_blocks();
             // Merged writes (1 parallel I/O: distinct instances, distinct
             // disks; within an instance the chosen bucket is one disk).
             let mut writes: Vec<(BlockAddr, Vec<Word>)> = Vec::new();
@@ -176,7 +176,7 @@ impl ParallelInstances {
             }
             let refs: Vec<(BlockAddr, &[Word])> =
                 writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-            disks.write_batch(&refs);
+            disks.write(&refs, WriteOptions::default());
             for i in committed {
                 self.instances[i].note_inserted();
             }

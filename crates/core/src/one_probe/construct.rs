@@ -23,7 +23,7 @@
 use crate::fields::FieldArray;
 use crate::traits::DictError;
 use expander::NeighborFn;
-use pdm::{external_sort, DiskArray, KeyedRecord, OpCost, RecordFile, RecordLayout, Word};
+use pdm::{external_sort, DiskArray, KeyedRecord, OpCost, RecordFile, RecordLayout, Word, WriteOptions};
 
 /// Statistics from a sorted construction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -253,7 +253,7 @@ where
                 .collect();
             let refs: Vec<(pdm::BlockAddr, &[Word])> =
                 writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-            d.write_batch(&refs);
+            d.write(&refs, WriteOptions::default());
             images.clear();
         };
         while let Some(rec) = reader.next(disks) {

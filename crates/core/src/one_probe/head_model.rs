@@ -21,7 +21,7 @@ use crate::one_probe::encoding::CaseB;
 use crate::traits::{DictError, LookupOutcome};
 use expander::NeighborFn;
 use pdm::bits::{copy_bits, extract_bits};
-use pdm::{BlockAddr, DiskArray, Model, Word, WORD_BITS};
+use pdm::{BlockAddr, DiskArray, Model, ReadOptions, Word, WORD_BITS};
 
 /// Flat (unstriped) field storage: field `y` lives in global block
 /// `y / fields_per_block`, placed round-robin across the disks.
@@ -196,7 +196,7 @@ impl<G: NeighborFn> HeadModelOneProbe<G> {
         let mut ys = self.graph.neighbors(key);
         ys.sort_unstable();
         let addrs: Vec<BlockAddr> = ys.iter().map(|&y| self.fields.addr_of(y)).collect();
-        let blocks = disks.read_batch(&addrs);
+        let blocks = disks.read(&addrs, ReadOptions::default()).into_blocks();
         let raw: Vec<Vec<Word>> = ys
             .iter()
             .zip(&blocks)

@@ -19,7 +19,7 @@ use crate::one_probe::construct::{sorted_construct, ConstructStats};
 use crate::one_probe::encoding::{CaseB, Chain};
 use crate::traits::{DictError, LookupOutcome};
 use expander::{FamilyExpander, NeighborFamily, NeighborFn};
-use pdm::{BatchPlan, BlockAddr, BlockHealth, DiskArray, OpCost, ScrubReport, Word, WORD_BITS};
+use pdm::{BatchPlan, BlockAddr, BlockHealth, DiskArray, OpCost, ReadOptions, ScrubReport, Word, WriteOptions, WORD_BITS};
 
 /// Which Theorem 6 case to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,7 +302,7 @@ impl<G: NeighborFn> OneProbeStatic<G> {
                 (manifest.addr(0, j), img.as_slice()),
                 (manifest.addr(1, j), img.as_slice()),
             ];
-            disks.write_batch(&writes);
+            disks.write(&writes, WriteOptions::default());
         }
         *cost = cost.plus(disks.end_op(scope));
         Some(manifest)
@@ -442,7 +442,8 @@ impl<G: NeighborFn> OneProbeStatic<G> {
         match &self.variant {
             VariantImpl::B { fields, enc, .. } => {
                 let addrs = fields.probe_addrs(&positions);
-                let (blocks, healths, cost) = disks.read_batch_shared_verified(&addrs);
+                let out = disks.read_shared(&addrs, ReadOptions::verified());
+                let (blocks, healths, cost) = (out.blocks, out.healths, out.cost);
                 let raw = fields.extract(&positions, &blocks);
                 let erased: Vec<bool> = healths.iter().map(|h| !h.is_ok()).collect();
                 let mut parity_used = false;
@@ -471,7 +472,8 @@ impl<G: NeighborFn> OneProbeStatic<G> {
                 let msplit = maddrs.len();
                 let mut all = maddrs;
                 all.extend(faddrs);
-                let (blocks, healths, cost) = disks.read_batch_shared_verified(&all);
+                let out = disks.read_shared(&all, ReadOptions::verified());
+                let (blocks, healths, cost) = (out.blocks, out.healths, out.cost);
                 let (mblocks, fblocks) = blocks.split_at(msplit);
                 // Damaged blocks arrive sanitized to zero, which every
                 // decoder reads as absent/unoccupied — the chain format
@@ -533,7 +535,8 @@ impl<G: NeighborFn> OneProbeStatic<G> {
         let mut rep_imgs: Vec<Vec<Vec<Word>>> = Vec::with_capacity(2);
         for replica in 0..2 {
             let addrs: Vec<BlockAddr> = (0..mblocks).map(|j| manifest.addr(replica, j)).collect();
-            let (imgs, healths) = disks.read_batch_verified(&addrs);
+            let out = disks.read(&addrs, ReadOptions::verified());
+            let (imgs, healths) = (out.blocks, out.healths);
             report.blocks_scanned += mblocks as u64;
             count_bad(&mut report, &healths);
             rep_imgs.push(imgs);
@@ -580,7 +583,8 @@ impl<G: NeighborFn> OneProbeStatic<G> {
         let mut imgs: Vec<Vec<Vec<Word>>> = vec![Vec::with_capacity(rows); d];
         for row in 0..rows {
             let addrs: Vec<BlockAddr> = (0..d).map(|s| fields.addr_of_row(s, row)).collect();
-            let (blocks, healths) = disks.read_batch_verified(&addrs);
+            let out = disks.read(&addrs, ReadOptions::verified());
+            let (blocks, healths) = (out.blocks, out.healths);
             report.blocks_scanned += d as u64;
             count_bad(&mut report, &healths);
             for (s, img) in blocks.into_iter().enumerate() {
@@ -657,7 +661,7 @@ impl<G: NeighborFn> OneProbeStatic<G> {
             let healths = if disks.journal_enabled() {
                 disks.journaled_write_batch_checked(&batch, &[])
             } else {
-                disks.write_batch_checked(&batch)
+                disks.write(&batch, WriteOptions::checked()).healths
             };
             for (&(_, _, nf), h) in writes.iter().zip(&healths) {
                 if h.is_ok() {

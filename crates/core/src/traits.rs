@@ -220,6 +220,20 @@ impl std::fmt::Display for DictError {
 
 impl std::error::Error for DictError {}
 
+/// A storage-backend configuration failure (e.g. [`pdm::FileBackend`]
+/// rejecting a block-size change on reopen or a missing disk file)
+/// surfaces as a typed [`DictError::Io`] — never a panic. The backend
+/// error carries no block address, so `addr` is 0.
+impl From<pdm::BackendError> for DictError {
+    fn from(e: pdm::BackendError) -> Self {
+        DictError::Io {
+            kind: e.kind,
+            disk: e.disk,
+            addr: 0,
+        }
+    }
+}
+
 /// The unified, object-safe dictionary interface.
 ///
 /// All six front-ends — `BasicDict`, `DynamicDict`, `OneProbeStatic`,
@@ -602,6 +616,59 @@ mod tests {
         assert!(msg.contains("disk 2"), "{msg}");
         assert!(msg.contains("block 11"), "{msg}");
         assert!(!err.is_expansion_failure());
+    }
+
+    #[test]
+    fn backend_errors_convert_to_typed_io_errors() {
+        // Missing disk file at reopen: typed, never a panic.
+        let dir = std::env::temp_dir().join(format!("pdm-dict-be-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let _fb =
+                pdm::FileBackend::create(&dir, 2, 4, 2, pdm::FileBackendOptions::default())
+                    .unwrap();
+        }
+        std::fs::remove_file(dir.join("disk-0.bin")).unwrap();
+        let err: DictError = pdm::FileBackend::open(&dir, pdm::FileBackendOptions::default())
+            .unwrap_err()
+            .into();
+        assert_eq!(err.kind(), ErrorKind::Io);
+        assert!(matches!(
+            err,
+            DictError::Io {
+                kind: IoFaultKind::Misconfigured,
+                disk: 0,
+                addr: 0
+            }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn block_size_change_on_reopen_is_a_typed_io_error() {
+        let dir = std::env::temp_dir().join(format!("pdm-dict-bs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let _fb =
+                pdm::FileBackend::create(&dir, 2, 4, 4, pdm::FileBackendOptions::default())
+                    .unwrap();
+        }
+        // The directory was written under B = 4; reopening it with a
+        // B = 8 config must fail with a typed geometry error.
+        let fb = pdm::FileBackend::open(&dir, pdm::FileBackendOptions::default()).unwrap();
+        let err: DictError =
+            pdm::DiskArray::with_backend(pdm::PdmConfig::new(2, 8), Box::new(fb))
+                .unwrap_err()
+                .into();
+        assert!(matches!(
+            err,
+            DictError::Io {
+                kind: IoFaultKind::Misconfigured,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("i/o fault (misconfigured)"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::bucket::BucketCodec;
 use crate::layout::{DiskAllocator, Region};
 use crate::traits::{DictError, LookupOutcome};
 use expander::{FamilyExpander, FamilyKind, NeighborFamily, NeighborFn};
-use pdm::{BlockAddr, DiskArray, OpCost, Word};
+use pdm::{BlockAddr, DiskArray, OpCost, ReadOptions, Word, WriteOptions};
 
 /// Sizing parameters for a [`WideDict`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,7 +215,7 @@ impl WideDict {
     /// Lookup: one parallel I/O, returning up to `k · chunk_words` words.
     pub fn lookup(&self, disks: &mut DiskArray, key: u64) -> LookupOutcome {
         let scope = disks.begin_op();
-        let blocks = disks.read_batch(&self.probe_addrs(key));
+        let blocks = disks.read(&self.probe_addrs(key), ReadOptions::default()).into_blocks();
         let bufs = self.bucket_bufs(&blocks);
         // Gather this key's chunks from all candidate buckets.
         let mut chunks: Vec<(u64, Vec<Word>)> = Vec::new();
@@ -260,7 +260,7 @@ impl WideDict {
             });
         }
         let scope = disks.begin_op();
-        let blocks = disks.read_batch(&self.probe_addrs(key));
+        let blocks = disks.read(&self.probe_addrs(key), ReadOptions::default()).into_blocks();
         let mut bufs = self.bucket_bufs(&blocks);
         if bufs
             .iter()
@@ -302,7 +302,7 @@ impl WideDict {
         }
         let refs: Vec<(BlockAddr, &[Word])> =
             writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-        disks.write_batch(&refs);
+        disks.write(&refs, WriteOptions::default());
         self.len += 1;
         Ok(disks.end_op(scope))
     }
@@ -311,7 +311,7 @@ impl WideDict {
     /// anyway). 2 parallel I/Os.
     pub fn delete(&mut self, disks: &mut DiskArray, key: u64) -> (bool, OpCost) {
         let scope = disks.begin_op();
-        let blocks = disks.read_batch(&self.probe_addrs(key));
+        let blocks = disks.read(&self.probe_addrs(key), ReadOptions::default()).into_blocks();
         let mut bufs = self.bucket_bufs(&blocks);
         let mut writes: Vec<(BlockAddr, Vec<Word>)> = Vec::new();
         let mut found = false;
@@ -333,7 +333,7 @@ impl WideDict {
         if found {
             let refs: Vec<(BlockAddr, &[Word])> =
                 writes.iter().map(|(a, w)| (*a, w.as_slice())).collect();
-            disks.write_batch(&refs);
+            disks.write(&refs, WriteOptions::default());
             self.len -= 1;
         }
         (found, disks.end_op(scope))

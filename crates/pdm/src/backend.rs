@@ -1,0 +1,412 @@
+//! The storage seam: physical block storage behind [`DiskArray`](crate::DiskArray).
+//!
+//! Everything above this module — cost accounting, fault injection,
+//! integrity checksums, the journal, the batch engine — is *model* logic:
+//! it decides which blocks to touch and what the access costs in parallel
+//! I/Os. This module owns the question of where the bytes actually live.
+//! A [`StorageBackend`] accepts one [`IoSubmission`] at a time (a batch of
+//! block reads and block-aligned writes, optionally followed by a
+//! durability barrier) and returns a [`CompletionSet`].
+//!
+//! Two implementations ship:
+//!
+//! * [`MemBackend`] — the original `Vec<Vec<Box<[Word]>>>` in-memory
+//!   storage, bit-compatible with every release before the seam existed.
+//!   It is the default: tests and simulated-count benchmarks run on it
+//!   with zero behavioral drift.
+//! * [`FileBackend`](crate::file_backend::FileBackend) — one file plus one
+//!   dedicated worker thread per "disk". A submission is split per disk
+//!   and issued to **all** per-disk queues before any completion is
+//!   joined, so a parallel round is *actually* parallel: the per-disk
+//!   device waits (page-cache misses, `O_DIRECT` round trips, `fsync`
+//!   barriers) overlap in real time exactly the way the PDM cost model
+//!   assumes they do.
+//!
+//! ## Completion-order canonicalization
+//!
+//! Physical completions arrive in whatever order the disks finish.
+//! [`CompletionSet::reads`] is always reassembled into **request order**
+//! before it is returned. This is deliberate: every layer above (the batch
+//! engine's slot mapping, the journal's replay matrices, the differential
+//! test harness) indexes completions by request position, and PR 4 pinned
+//! the *write* order to canonical `(disk, block)` sorting so that
+//! crash-prefix experiments are deterministic. A backend that leaked
+//! completion order would make observable behavior depend on device
+//! timing — the one thing a deterministic reproduction cannot allow.
+//!
+//! ## Ordering and durability contract
+//!
+//! * Submissions on one backend are processed in submission order; within
+//!   a submission, a disk performs its reads before its writes, and
+//!   writes land in the order given. Two different disks are unordered
+//!   relative to each other *within* a submission — no layer may assume
+//!   cross-disk ordering short of a barrier.
+//! * [`IoSubmission::sync_after`] (or [`StorageBackend::sync`]) is the
+//!   barrier: when it completes, every write submitted before it is
+//!   durable to the backend's medium. `MemBackend` is trivially durable;
+//!   `FileBackend` issues `fdatasync` per disk file.
+//! * A submission's writes are visible to every later read (on any disk)
+//!   once [`StorageBackend::submit`] returns.
+
+use crate::disk::BlockAddr;
+use crate::integrity::IoFaultKind;
+use crate::Word;
+
+/// One batch of physical I/O handed to a [`StorageBackend`].
+///
+/// Writes may be partial (`payload.len() <= B`): the tail of the block
+/// keeps its previous content. Addresses are validated by the caller
+/// ([`crate::DiskArray`]); backends may assume they are in range.
+#[derive(Debug, Clone, Copy)]
+pub struct IoSubmission<'a> {
+    /// Blocks to read, in request order.
+    pub reads: &'a [BlockAddr],
+    /// Blocks to write with their payloads, in request order.
+    pub writes: &'a [(BlockAddr, &'a [Word])],
+    /// Issue a durability barrier on every disk touched by `writes`
+    /// (plus every disk with earlier unsynced writes) before completing.
+    pub sync_after: bool,
+}
+
+impl<'a> IoSubmission<'a> {
+    /// A read-only submission.
+    #[must_use]
+    pub fn reads(reads: &'a [BlockAddr]) -> Self {
+        IoSubmission {
+            reads,
+            writes: &[],
+            sync_after: false,
+        }
+    }
+
+    /// A write-only submission.
+    #[must_use]
+    pub fn writes(writes: &'a [(BlockAddr, &'a [Word])]) -> Self {
+        IoSubmission {
+            reads: &[],
+            writes,
+            sync_after: false,
+        }
+    }
+
+    /// Request a durability barrier after the writes complete.
+    #[must_use]
+    pub fn with_sync(mut self, sync: bool) -> Self {
+        self.sync_after = sync;
+        self
+    }
+}
+
+/// The result of one [`IoSubmission`]: block images for every requested
+/// read, canonicalized to request order (see the module docs for why the
+/// physical completion order is never exposed).
+#[derive(Debug, Clone, Default)]
+pub struct CompletionSet {
+    /// One block image per entry of [`IoSubmission::reads`], same order.
+    pub reads: Vec<Vec<Word>>,
+}
+
+/// Ticket for an in-flight durability barrier started with
+/// [`StorageBackend::flush_begin`]. Must be redeemed with
+/// [`StorageBackend::flush_join`] before the writes it covers may be
+/// acknowledged to anyone.
+#[derive(Debug)]
+#[must_use = "a flush is not durable until flush_join is called"]
+pub struct FlushTicket {
+    pub(crate) pending: usize,
+}
+
+/// A typed backend configuration / open failure.
+///
+/// Carried by [`crate::file_backend::FileBackend::open`] and friends
+/// instead of a panic, so callers (and the dictionary layer's
+/// `DictError::Io`) can react to a missing disk file or a geometry
+/// mismatch as data, not as a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    /// Classification of the failure (typically
+    /// [`IoFaultKind::Misconfigured`]).
+    pub kind: IoFaultKind,
+    /// The disk the failure is attributed to (0 for whole-array problems).
+    pub disk: usize,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl BackendError {
+    /// A misconfiguration attributed to `disk`.
+    #[must_use]
+    pub fn misconfigured(disk: usize, message: impl Into<String>) -> Self {
+        BackendError {
+            kind: IoFaultKind::Misconfigured,
+            disk,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "storage backend error ({}) on disk {}: {}",
+            self.kind, self.disk, self.message
+        )
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Physical block storage: `D` disks of `B`-word blocks behind a
+/// submission/completion batch interface.
+///
+/// Implementations are driven exclusively through whole batches — there
+/// is no single-block fast path to accidentally serialize on — and must
+/// uphold the ordering/durability contract in the [module docs](self).
+///
+/// [`peek`](StorageBackend::peek) / [`poke`](StorageBackend::poke) are
+/// the uncharged test/debug escape hatches [`crate::DiskArray`] has
+/// always offered; they bypass cost accounting but **not** storage (a
+/// poke on a file backend reaches the file).
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    /// Stable tag naming the backend (`"mem"`, `"file"`); surfaces in
+    /// debug output and bench reports.
+    fn kind(&self) -> &'static str;
+
+    /// Number of disks, `D`.
+    fn disks(&self) -> usize;
+
+    /// Words per block, `B`.
+    fn block_words(&self) -> usize;
+
+    /// Number of blocks currently on `disk`.
+    fn blocks_on(&self, disk: usize) -> usize;
+
+    /// Grow every disk to at least `blocks_per_disk` blocks, the new
+    /// blocks zeroed. Never shrinks.
+    fn grow(&mut self, blocks_per_disk: usize);
+
+    /// Execute one submission and return its completions (reads in
+    /// request order). The submission is split per disk and issued to
+    /// every disk's queue before any completion is joined.
+    fn submit(&mut self, batch: IoSubmission<'_>) -> CompletionSet;
+
+    /// Execute a read-only submission through a shared reference, for
+    /// concurrent readers. Semantically identical to
+    /// [`submit`](StorageBackend::submit) with no writes.
+    fn submit_reads(&self, reads: &[BlockAddr]) -> CompletionSet;
+
+    /// Read one block without charging I/O (test/debug hook).
+    fn peek(&self, addr: BlockAddr) -> Vec<Word>;
+
+    /// Write up to one block without charging I/O (test/debug hook); a
+    /// short payload leaves the block tail untouched.
+    fn poke(&mut self, addr: BlockAddr, data: &[Word]);
+
+    /// A full in-memory image of every disk (used to clone an array and
+    /// by the differential harness as a byte-identity witness).
+    fn snapshot(&self) -> Vec<Vec<Box<[Word]>>>;
+
+    /// Durability barrier: block until every write submitted so far is
+    /// durable on every disk.
+    fn sync(&mut self) {
+        let ticket = self.flush_begin();
+        self.flush_join(ticket);
+    }
+
+    /// Start an asynchronous durability barrier covering every write
+    /// submitted so far, without waiting for it. Work submitted after
+    /// this call queues *behind* the barrier on each disk, so the flush
+    /// overlaps with the caller's next planning phase — the serving
+    /// engine uses this to overlap window `N`'s journal flush with
+    /// window `N+1`'s accumulation.
+    fn flush_begin(&mut self) -> FlushTicket;
+
+    /// Wait for a barrier started with
+    /// [`flush_begin`](StorageBackend::flush_begin) to complete.
+    fn flush_join(&mut self, ticket: FlushTicket);
+}
+
+/// The original in-memory storage: `D` vectors of boxed blocks.
+///
+/// Bit-compatible with the pre-seam `DiskArray` internals and still the
+/// default backend — simulated-count tests and benches see zero drift.
+#[derive(Debug, Clone)]
+pub struct MemBackend {
+    block_words: usize,
+    disks: Vec<Vec<Box<[Word]>>>,
+}
+
+impl MemBackend {
+    /// Create `disks` disks of `blocks_per_disk` zeroed blocks.
+    #[must_use]
+    pub fn new(disks: usize, block_words: usize, blocks_per_disk: usize) -> Self {
+        MemBackend {
+            block_words,
+            disks: (0..disks)
+                .map(|_| {
+                    (0..blocks_per_disk)
+                        .map(|_| vec![0 as Word; block_words].into_boxed_slice())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Adopt an existing image (used when cloning an array whose backend
+    /// cannot itself be cloned — e.g. a file backend snapshot).
+    #[must_use]
+    pub fn from_image(block_words: usize, image: Vec<Vec<Box<[Word]>>>) -> Self {
+        debug_assert!(image
+            .iter()
+            .all(|d| d.iter().all(|b| b.len() == block_words)));
+        MemBackend {
+            block_words,
+            disks: image,
+        }
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+
+    fn disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    fn block_words(&self) -> usize {
+        self.block_words
+    }
+
+    fn blocks_on(&self, disk: usize) -> usize {
+        self.disks[disk].len()
+    }
+
+    fn grow(&mut self, blocks_per_disk: usize) {
+        for disk in &mut self.disks {
+            while disk.len() < blocks_per_disk {
+                disk.push(vec![0 as Word; self.block_words].into_boxed_slice());
+            }
+        }
+    }
+
+    fn submit(&mut self, batch: IoSubmission<'_>) -> CompletionSet {
+        let reads = self.submit_reads(batch.reads);
+        for &(a, data) in batch.writes {
+            self.disks[a.disk][a.block][..data.len()].copy_from_slice(data);
+        }
+        // sync_after: memory is trivially durable.
+        reads
+    }
+
+    fn submit_reads(&self, reads: &[BlockAddr]) -> CompletionSet {
+        CompletionSet {
+            reads: reads
+                .iter()
+                .map(|&a| self.disks[a.disk][a.block].to_vec())
+                .collect(),
+        }
+    }
+
+    fn peek(&self, addr: BlockAddr) -> Vec<Word> {
+        self.disks[addr.disk][addr.block].to_vec()
+    }
+
+    fn poke(&mut self, addr: BlockAddr, data: &[Word]) {
+        self.disks[addr.disk][addr.block][..data.len()].copy_from_slice(data);
+    }
+
+    fn snapshot(&self) -> Vec<Vec<Box<[Word]>>> {
+        self.disks.clone()
+    }
+
+    fn flush_begin(&mut self) -> FlushTicket {
+        FlushTicket { pending: 0 }
+    }
+
+    fn flush_join(&mut self, _ticket: FlushTicket) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_roundtrips_in_request_order() {
+        let mut b = MemBackend::new(3, 4, 2);
+        let w1 = [7 as Word; 4];
+        let w2 = [9 as Word; 4];
+        let writes: Vec<(BlockAddr, &[Word])> = vec![
+            (BlockAddr::new(2, 1), &w1[..]),
+            (BlockAddr::new(0, 0), &w2[..]),
+        ];
+        b.submit(IoSubmission::writes(&writes));
+        let got = b.submit(IoSubmission::reads(&[
+            BlockAddr::new(0, 0),
+            BlockAddr::new(2, 1),
+            BlockAddr::new(1, 0),
+        ]));
+        assert_eq!(got.reads[0], vec![9; 4]);
+        assert_eq!(got.reads[1], vec![7; 4]);
+        assert_eq!(got.reads[2], vec![0; 4]);
+    }
+
+    #[test]
+    fn mem_backend_partial_write_preserves_tail() {
+        let mut b = MemBackend::new(1, 4, 1);
+        b.poke(BlockAddr::new(0, 0), &[5; 4]);
+        let w = [1 as Word, 2];
+        let writes: Vec<(BlockAddr, &[Word])> = vec![(BlockAddr::new(0, 0), &w[..])];
+        b.submit(IoSubmission::writes(&writes));
+        assert_eq!(b.peek(BlockAddr::new(0, 0)), vec![1, 2, 5, 5]);
+    }
+
+    #[test]
+    fn mem_backend_reads_observe_same_submission_writes_afterward() {
+        // Contract: within one submission, reads execute BEFORE writes.
+        let mut b = MemBackend::new(1, 2, 1);
+        b.poke(BlockAddr::new(0, 0), &[3; 2]);
+        let w = [8 as Word; 2];
+        let writes: Vec<(BlockAddr, &[Word])> = vec![(BlockAddr::new(0, 0), &w[..])];
+        let got = b.submit(IoSubmission {
+            reads: &[BlockAddr::new(0, 0)],
+            writes: &writes,
+            sync_after: false,
+        });
+        assert_eq!(got.reads[0], vec![3; 2], "reads precede writes");
+        assert_eq!(b.peek(BlockAddr::new(0, 0)), vec![8; 2]);
+    }
+
+    #[test]
+    fn mem_backend_grow_and_snapshot() {
+        let mut b = MemBackend::new(2, 2, 1);
+        b.poke(BlockAddr::new(1, 0), &[4; 2]);
+        b.grow(3);
+        assert_eq!(b.blocks_on(0), 3);
+        assert_eq!(b.blocks_on(1), 3);
+        let snap = b.snapshot();
+        assert_eq!(snap[1][0].as_ref(), &[4, 4]);
+        assert_eq!(snap[0][2].as_ref(), &[0, 0]);
+        let b2 = MemBackend::from_image(2, snap);
+        assert_eq!(b2.peek(BlockAddr::new(1, 0)), vec![4; 2]);
+    }
+
+    #[test]
+    fn mem_backend_sync_is_a_noop_barrier() {
+        let mut b = MemBackend::new(1, 2, 1);
+        let t = b.flush_begin();
+        b.flush_join(t);
+        b.sync();
+    }
+
+    #[test]
+    fn backend_error_displays_typed_detail() {
+        let e = BackendError::misconfigured(3, "block size changed");
+        assert_eq!(e.kind, IoFaultKind::Misconfigured);
+        let msg = e.to_string();
+        assert!(msg.contains("disk 3"), "{msg}");
+        assert!(msg.contains("block size changed"), "{msg}");
+    }
+}

@@ -29,7 +29,7 @@
 //! cost per lookup drops toward the paper's `⌈m·d'/D⌉ / m` as batches
 //! share buckets.
 
-use crate::disk::{BlockAddr, DiskArray};
+use crate::disk::{BlockAddr, DiskArray, ReadOptions, WriteOptions};
 use crate::integrity::BlockHealth;
 use crate::metrics::IoEvent;
 use crate::stats::OpCost;
@@ -162,9 +162,10 @@ impl BatchPlan {
     /// [`execute_read`](BatchPlan::execute_read) with per-block
     /// [`BlockHealth`] recorded in the returned [`BatchReads`] (see
     /// [`BatchReads::health`]). Failed blocks are sanitized to zeros, as
-    /// in [`DiskArray::read_batch_verified`].
+    /// in a verified [`DiskArray::read`].
     pub fn execute_read_verified(&self, disks: &mut DiskArray) -> BatchReads {
-        let (blocks, healths) = disks.read_batch_verified(&self.unique);
+        let out = disks.read(&self.unique, ReadOptions::verified());
+        let (blocks, healths) = (out.blocks, out.healths);
         disks.record_rounds(self.num_rounds() as u64);
         for round in &self.rounds {
             disks.emit_io_event(IoEvent::RoundScheduled {
@@ -180,21 +181,21 @@ impl BatchPlan {
 
     /// Execute the plan through a **shared** reference: returns the reads
     /// plus the cost the batch would be charged, without touching the
-    /// global counters (see [`DiskArray::read_batch_shared`]).
+    /// global counters (see [`DiskArray::read_shared`]).
     ///
     /// Callers that want the cost recorded pass the returned [`OpCost`]
     /// to [`DiskArray::charge_cost`] and the round count to
     /// [`DiskArray::record_rounds`].
     #[must_use]
     pub fn execute_read_shared(&self, disks: &DiskArray) -> (BatchReads, OpCost) {
-        let (blocks, healths, cost) = disks.read_batch_shared_verified(&self.unique);
+        let out = disks.read_shared(&self.unique, ReadOptions::verified());
         (
             BatchReads {
-                blocks,
-                healths,
+                blocks: out.blocks,
+                healths: out.healths,
                 slot: self.slot.clone(),
             },
-            cost,
+            out.cost,
         )
     }
 }
@@ -502,7 +503,7 @@ impl<'a> BatchExecutor<'a> {
             let healths = if self.disks.journal_enabled() {
                 self.disks.journaled_write_batch_checked(&writes, meta)
             } else {
-                self.disks.write_batch_checked(&writes)
+                self.disks.write(&writes, WriteOptions::checked()).healths
             };
             self.disks.record_rounds(plan.num_rounds() as u64);
             for r in 0..plan.num_rounds() {

@@ -1,6 +1,13 @@
-//! The simulated disk array: `D` disks of `B`-word blocks with exact
-//! parallel-I/O accounting.
+//! The disk array: `D` disks of `B`-word blocks with exact parallel-I/O
+//! accounting, on top of a pluggable [`StorageBackend`].
+//!
+//! The array owns the *model*: cost charging, fault injection, integrity
+//! checksums, sanitization, and the journal hook. Physical bytes live in
+//! a [`StorageBackend`] — [`MemBackend`] by default (bit-compatible with
+//! the original in-memory simulator), or a file-per-disk backend with
+//! real overlapped I/O (`pdm::file_backend`).
 
+use crate::backend::{BackendError, FlushTicket, IoSubmission, MemBackend, StorageBackend};
 use crate::config::PdmConfig;
 use crate::fault::{Fault, FaultPlan, FaultState};
 use crate::integrity::{BlockCodec, BlockHealth, MixCodec, ScrubReport};
@@ -26,10 +33,101 @@ impl BlockAddr {
     }
 }
 
-/// `D` simulated disks, each an array of `B`-word blocks.
+/// Options for [`DiskArray::read`] / [`DiskArray::read_shared`].
 ///
-/// All access goes through the batched [`read_batch`](DiskArray::read_batch)
-/// / [`write_batch`](DiskArray::write_batch) calls (or their single-block
+/// Marked `#[non_exhaustive]`: build with [`ReadOptions::default`] or a
+/// named constructor and adjust fields.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// Populate [`IoOutcome::healths`] with one [`BlockHealth`] per
+    /// requested block. Sanitization (failed blocks read as zeros)
+    /// happens regardless; this only controls whether the per-block
+    /// classification is reported back.
+    pub verify: bool,
+}
+
+impl ReadOptions {
+    /// Read with per-block health reporting.
+    #[must_use]
+    pub fn verified() -> Self {
+        ReadOptions { verify: true }
+    }
+}
+
+/// Options for [`DiskArray::write`].
+///
+/// Marked `#[non_exhaustive]`: build with [`WriteOptions::default`] or a
+/// named constructor and adjust fields.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteOptions {
+    /// Populate [`IoOutcome::healths`] with one [`BlockHealth`] per
+    /// write (`Ok`, dropped on a dead disk, or torn).
+    pub verify: bool,
+    /// Request a durability barrier after the batch: when the call
+    /// returns, the writes are durable on the backend's medium. A no-op
+    /// on [`MemBackend`]; `fdatasync` per touched disk on the file
+    /// backend.
+    pub sync: bool,
+}
+
+impl WriteOptions {
+    /// Write with per-write health reporting.
+    #[must_use]
+    pub fn checked() -> Self {
+        WriteOptions {
+            verify: true,
+            sync: false,
+        }
+    }
+
+    /// Request (or clear) a post-batch durability barrier.
+    #[must_use]
+    pub fn with_sync(mut self, sync: bool) -> Self {
+        self.sync = sync;
+        self
+    }
+}
+
+/// The result of one [`DiskArray::read`] / [`DiskArray::write`] /
+/// [`DiskArray::read_shared`] batch.
+#[derive(Debug, Clone, Default)]
+pub struct IoOutcome {
+    /// For reads: one block image per requested address, request order,
+    /// failed blocks sanitized to zeros. Empty for writes.
+    pub blocks: Vec<Vec<Word>>,
+    /// Per-block health, request order. Populated only when the options
+    /// asked for verification (`verify: true`); empty means "not
+    /// requested", which callers may treat as all-`Ok` only if they
+    /// didn't need the distinction in the first place.
+    pub healths: Vec<BlockHealth>,
+    /// The model cost of this batch. Charged calls ([`DiskArray::read`],
+    /// [`DiskArray::write`]) have already added it to the global
+    /// [`IoStats`]; [`DiskArray::read_shared`] has not (pass it to
+    /// [`DiskArray::charge_cost`] to record it).
+    pub cost: OpCost,
+}
+
+impl IoOutcome {
+    /// Whether every reported health is `Ok` (vacuously true when
+    /// verification was not requested).
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.healths.iter().all(|h| h.is_ok())
+    }
+
+    /// Consume the outcome, keeping only the block images.
+    #[must_use]
+    pub fn into_blocks(self) -> Vec<Vec<Word>> {
+        self.blocks
+    }
+}
+
+/// `D` disks, each an array of `B`-word blocks.
+///
+/// All access goes through the batched [`read`](DiskArray::read) /
+/// [`write`](DiskArray::write) calls (or their single-block
 /// conveniences), which charge the exact model cost: in the parallel disk
 /// model a batch costs the *maximum* number of blocks it touches on any one
 /// disk; in the parallel disk head model it costs `ceil(touched / D)`.
@@ -46,13 +144,19 @@ impl BlockAddr {
 /// either active, reads **sanitize**: a block that is dead, inside a
 /// transient-error window, or fails checksum verification is returned as
 /// all zeros — which every decoder in this workspace interprets as
-/// "unoccupied" — and its [`BlockHealth`] is reported by the `_verified`
-/// read variants. With neither active the fault machinery costs one
-/// branch per batch.
-#[derive(Clone)]
+/// "unoccupied" — and its [`BlockHealth`] is reported when the options
+/// ask for verification. With neither active the fault machinery costs
+/// one branch per batch.
+///
+/// ## Cloning
+///
+/// `Clone` snapshots the current disk image into a fresh
+/// [`MemBackend`]-backed array (whatever backend the original uses), so
+/// tests can fork an image at a crash point regardless of where the
+/// bytes live.
 pub struct DiskArray {
     cfg: PdmConfig,
-    disks: Vec<Vec<Box<[Word]>>>,
+    backend: Box<dyn StorageBackend>,
     stats: IoStats,
     // Scratch reused by batch cost computation to avoid per-call allocation.
     per_disk_scratch: Vec<usize>,
@@ -81,8 +185,9 @@ impl std::fmt::Debug for DiskArray {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DiskArray")
             .field("cfg", &self.cfg)
+            .field("backend", &self.backend.kind())
             .field("stats", &self.stats)
-            .field("blocks_per_disk", &self.disks.first().map_or(0, Vec::len))
+            .field("blocks_per_disk", &self.backend.blocks_on(0))
             .field("sink", &self.sink.as_ref().map(|_| "Arc<dyn IoEventSink>"))
             .field("fault", &self.fault)
             .field("integrity", &self.checksums.is_some())
@@ -90,21 +195,70 @@ impl std::fmt::Debug for DiskArray {
     }
 }
 
+impl Clone for DiskArray {
+    fn clone(&self) -> Self {
+        DiskArray {
+            cfg: self.cfg,
+            backend: Box::new(MemBackend::from_image(
+                self.cfg.block_words,
+                self.backend.snapshot(),
+            )),
+            stats: self.stats,
+            per_disk_scratch: self.per_disk_scratch.clone(),
+            sink: self.sink.clone(),
+            fault: self.fault.clone(),
+            checksums: self.checksums.clone(),
+            verified_clean: self.verified_clean.clone(),
+            codec: Arc::clone(&self.codec),
+            journal: self.journal.clone(),
+        }
+    }
+}
+
 impl DiskArray {
     /// Create a disk array with `blocks_per_disk` zeroed blocks on each of
-    /// the `cfg.disks` disks.
+    /// the `cfg.disks` disks, backed by an in-memory [`MemBackend`].
     #[must_use]
     pub fn new(cfg: PdmConfig, blocks_per_disk: usize) -> Self {
-        let disks = (0..cfg.disks)
-            .map(|_| {
-                (0..blocks_per_disk)
-                    .map(|_| vec![0 as Word; cfg.block_words].into_boxed_slice())
-                    .collect()
-            })
-            .collect();
-        DiskArray {
+        Self::with_backend(
             cfg,
-            disks,
+            Box::new(MemBackend::new(cfg.disks, cfg.block_words, blocks_per_disk)),
+        )
+        .expect("a freshly built MemBackend always matches its config")
+    }
+
+    /// Create a disk array over an existing backend.
+    ///
+    /// # Errors
+    /// Returns a typed [`BackendError`] if the backend's geometry does not
+    /// match `cfg` (wrong disk count or block size).
+    pub fn with_backend(
+        cfg: PdmConfig,
+        backend: Box<dyn StorageBackend>,
+    ) -> Result<Self, BackendError> {
+        if backend.disks() != cfg.disks {
+            return Err(BackendError::misconfigured(
+                0,
+                format!(
+                    "backend has {} disks but the config needs D = {}",
+                    backend.disks(),
+                    cfg.disks
+                ),
+            ));
+        }
+        if backend.block_words() != cfg.block_words {
+            return Err(BackendError::misconfigured(
+                0,
+                format!(
+                    "backend block size is {} words but the config needs B = {}",
+                    backend.block_words(),
+                    cfg.block_words
+                ),
+            ));
+        }
+        Ok(DiskArray {
+            cfg,
+            backend,
             stats: IoStats::default(),
             per_disk_scratch: vec![0; cfg.disks],
             sink: None,
@@ -113,7 +267,31 @@ impl DiskArray {
             verified_clean: Vec::new(),
             codec: Arc::new(MixCodec),
             journal: None,
-        }
+        })
+    }
+
+    /// The backend's stable tag (`"mem"`, `"file"`).
+    #[must_use]
+    pub fn backend_kind(&self) -> &'static str {
+        self.backend.kind()
+    }
+
+    /// Durability barrier: block until every write issued so far is
+    /// durable on every disk of the backend (no-op on [`MemBackend`]).
+    pub fn sync(&mut self) {
+        self.backend.sync();
+    }
+
+    /// Start an asynchronous durability barrier covering every write
+    /// issued so far; see [`StorageBackend::flush_begin`]. Work submitted
+    /// after this call queues behind the barrier per disk.
+    pub fn flush_begin(&mut self) -> FlushTicket {
+        self.backend.flush_begin()
+    }
+
+    /// Wait for a barrier started with [`flush_begin`](DiskArray::flush_begin).
+    pub fn flush_join(&mut self, ticket: FlushTicket) {
+        self.backend.flush_join(ticket);
     }
 
     /// Install (or with `None` remove) an I/O event sink. Every charged
@@ -163,13 +341,21 @@ impl DiskArray {
     /// Panics if `disk >= D`.
     #[must_use]
     pub fn blocks_on(&self, disk: usize) -> usize {
-        self.disks[disk].len()
+        assert!(
+            disk < self.cfg.disks,
+            "disk index {disk} out of range (D = {})",
+            self.cfg.disks
+        );
+        self.backend.blocks_on(disk)
     }
 
     /// Total space in words across all disks.
     #[must_use]
     pub fn total_words(&self) -> usize {
-        self.disks.iter().map(Vec::len).sum::<usize>() * self.cfg.block_words
+        (0..self.cfg.disks)
+            .map(|d| self.backend.blocks_on(d))
+            .sum::<usize>()
+            * self.cfg.block_words
     }
 
     /// Grow every disk to at least `blocks_per_disk` blocks (no I/O charged).
@@ -177,17 +363,14 @@ impl DiskArray {
     /// With integrity enabled the new (zeroed) blocks arrive sealed, like
     /// a freshly formatted extension.
     pub fn grow(&mut self, blocks_per_disk: usize) {
-        for disk in &mut self.disks {
-            while disk.len() < blocks_per_disk {
-                disk.push(vec![0 as Word; self.cfg.block_words].into_boxed_slice());
-            }
-        }
+        self.backend.grow(blocks_per_disk);
         if let Some(sums) = &mut self.checksums {
+            let zeros = vec![0 as Word; self.cfg.block_words];
             for (d, disk_sums) in sums.iter_mut().enumerate() {
-                while disk_sums.len() < self.disks[d].len() {
+                while disk_sums.len() < self.backend.blocks_on(d) {
                     let b = disk_sums.len();
-                    let sum = self.codec.checksum(BlockAddr::new(d, b), &self.disks[d][b]);
-                    disk_sums.push(sum);
+                    // New blocks are zeroed by the backend contract.
+                    disk_sums.push(self.codec.checksum(BlockAddr::new(d, b), &zeros));
                     self.verified_clean[d].push(true);
                 }
             }
@@ -198,6 +381,15 @@ impl DiskArray {
     #[must_use]
     pub fn stats(&self) -> IoStats {
         self.stats
+    }
+
+    /// A full copy of the backend's current disk image (outer index =
+    /// disk, inner = block). Uncharged and fault-free — this is the
+    /// *physical* medium, for differential tests and offline inspection;
+    /// it bypasses checksums, fault plans, and the journal alike.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Vec<Box<[Word]>>> {
+        self.backend.snapshot()
     }
 
     /// Begin a per-operation cost scope.
@@ -220,11 +412,11 @@ impl DiskArray {
             self.cfg.disks
         );
         assert!(
-            addr.block < self.disks[addr.disk].len(),
+            addr.block < self.backend.blocks_on(addr.disk),
             "block {} out of range on disk {} ({} blocks)",
             addr.block,
             addr.disk,
-            self.disks[addr.disk].len()
+            self.backend.blocks_on(addr.disk)
         );
     }
 
@@ -250,10 +442,11 @@ impl DiskArray {
         self.fault.is_some() || self.checksums.is_some()
     }
 
-    /// Health of `addr` against the current fault state and checksums.
-    /// `read_index`, when given, is the per-disk read-batch index to test
-    /// transient windows against; `None` uses the disk's current clock.
-    fn health_at(&self, addr: BlockAddr, read_index: Option<u64>) -> BlockHealth {
+    /// Health of `addr` (whose current content is `content`) against the
+    /// fault state and checksums. `read_index`, when given, is the
+    /// per-disk read-batch index to test transient windows against;
+    /// `None` uses the disk's current clock.
+    fn health_of(&self, addr: BlockAddr, content: &[Word], read_index: Option<u64>) -> BlockHealth {
         if let Some(fs) = &self.fault {
             if fs.is_dead(addr.disk) {
                 return BlockHealth::DiskDead;
@@ -265,8 +458,7 @@ impl DiskArray {
         }
         if let Some(sums) = &self.checksums {
             if !self.verified_clean[addr.disk][addr.block]
-                && self.codec.checksum(addr, &self.disks[addr.disk][addr.block])
-                    != sums[addr.disk][addr.block]
+                && self.codec.checksum(addr, content) != sums[addr.disk][addr.block]
             {
                 return BlockHealth::ChecksumMismatch;
             }
@@ -274,12 +466,12 @@ impl DiskArray {
         BlockHealth::Ok
     }
 
-    /// Reseal the checksum of `addr` over its current content.
-    fn reseal(&mut self, addr: BlockAddr) {
-        let sum = match &self.checksums {
-            Some(_) => self.codec.checksum(addr, &self.disks[addr.disk][addr.block]),
-            None => return,
-        };
+    /// Reseal the checksum of `addr` over `content` (its current bytes).
+    fn reseal_content(&mut self, addr: BlockAddr, content: &[Word]) {
+        if self.checksums.is_none() {
+            return;
+        }
+        let sum = self.codec.checksum(addr, content);
         if let Some(sums) = &mut self.checksums {
             sums[addr.disk][addr.block] = sum;
             self.verified_clean[addr.disk][addr.block] = true;
@@ -342,16 +534,20 @@ impl DiskArray {
                         "dead disk {disk} out of range (D = {})",
                         self.cfg.disks
                     );
-                    for b in 0..self.disks[disk].len() {
-                        self.disks[disk][b].fill(0);
-                        self.reseal(BlockAddr::new(disk, b));
+                    let zeros = vec![0 as Word; self.cfg.block_words];
+                    for b in 0..self.backend.blocks_on(disk) {
+                        let addr = BlockAddr::new(disk, b);
+                        self.backend.poke(addr, &zeros);
+                        self.reseal_content(addr, &zeros);
                     }
                 }
                 Fault::BitRot { disk, block, bit } => {
                     let addr = BlockAddr::new(disk, block);
                     self.check(addr);
                     let bit = (bit as usize) % (self.cfg.block_words * WORD_BITS);
-                    self.disks[disk][block][bit / WORD_BITS] ^= 1 << (bit % WORD_BITS);
+                    let mut content = self.backend.peek(addr);
+                    content[bit / WORD_BITS] ^= 1 << (bit % WORD_BITS);
+                    self.backend.poke(addr, &content);
                     // Checksum deliberately left stale: silent corruption.
                 }
                 _ => {}
@@ -380,19 +576,19 @@ impl DiskArray {
     /// on every subsequent read. Call after construction (or any trusted
     /// state); blocks damaged later fail verification and sanitize.
     pub fn enable_integrity(&mut self) {
-        let sums: Vec<Vec<Word>> = self
-            .disks
-            .iter()
-            .enumerate()
-            .map(|(d, blocks)| {
-                blocks
-                    .iter()
-                    .enumerate()
-                    .map(|(b, data)| self.codec.checksum(BlockAddr::new(d, b), data))
+        let sums: Vec<Vec<Word>> = (0..self.cfg.disks)
+            .map(|d| {
+                (0..self.backend.blocks_on(d))
+                    .map(|b| {
+                        let addr = BlockAddr::new(d, b);
+                        self.codec.checksum(addr, &self.backend.peek(addr))
+                    })
                     .collect()
             })
             .collect();
-        self.verified_clean = self.disks.iter().map(|d| vec![true; d.len()]).collect();
+        self.verified_clean = (0..self.cfg.disks)
+            .map(|d| vec![true; self.backend.blocks_on(d)])
+            .collect();
         self.checksums = Some(sums);
     }
 
@@ -424,24 +620,42 @@ impl DiskArray {
         if !self.hazards_active() {
             return BlockHealth::Ok;
         }
-        self.health_at(addr, None)
+        if let Some(fs) = &self.fault {
+            if fs.is_dead(addr.disk) {
+                return BlockHealth::DiskDead;
+            }
+            if fs.transient_at(addr.disk, fs.read_clock(addr.disk)) {
+                return BlockHealth::TransientError;
+            }
+        }
+        if let Some(sums) = &self.checksums {
+            if !self.verified_clean[addr.disk][addr.block]
+                && self.codec.checksum(addr, &self.backend.peek(addr))
+                    != sums[addr.disk][addr.block]
+            {
+                return BlockHealth::ChecksumMismatch;
+            }
+        }
+        BlockHealth::Ok
     }
 
-    /// Read a batch of blocks and report each block's [`BlockHealth`].
-    /// Failed blocks are **sanitized** (returned as all zeros). Charges
-    /// the model cost of the batch and advances the per-disk read clocks
-    /// that transient-fault windows are measured in — so retrying a
-    /// transient failure with a second call can succeed.
+    /// Read a batch of blocks, charging the model cost.
+    ///
+    /// Returns an [`IoOutcome`] with the block images in request order,
+    /// **sanitized** under any active fault plan or integrity failure
+    /// (failed blocks read as all zeros); with
+    /// [`ReadOptions::verified`] the per-block [`BlockHealth`] is
+    /// reported too. Advances the per-disk read clocks that
+    /// transient-fault windows are measured in — so retrying a transient
+    /// failure with a second call can succeed.
     ///
     /// # Panics
     /// Panics on any out-of-range address.
-    pub fn read_batch_verified(
-        &mut self,
-        addrs: &[BlockAddr],
-    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>) {
+    pub fn read(&mut self, addrs: &[BlockAddr], opts: ReadOptions) -> IoOutcome {
         for &a in addrs {
             self.check(a);
         }
+        let before = self.stats;
         let cost = self.charge(addrs.iter().copied());
         self.stats.block_reads += addrs.len() as u64;
         if !addrs.is_empty() {
@@ -451,16 +665,25 @@ impl DiskArray {
                 parallel_ios: cost,
             });
         }
+        let mut blocks = self.backend.submit(IoSubmission::reads(addrs)).reads;
         if !self.hazards_active() {
-            let blocks = addrs
-                .iter()
-                .map(|&a| self.disks[a.disk][a.block].to_vec())
-                .collect();
-            return (blocks, vec![BlockHealth::Ok; addrs.len()]);
+            return IoOutcome {
+                blocks,
+                healths: if opts.verify {
+                    vec![BlockHealth::Ok; addrs.len()]
+                } else {
+                    Vec::new()
+                },
+                cost: self.stats.since(&before),
+            };
         }
         // Every address in the batch shares its disk's current (not yet
         // advanced) read index, then the clocks of all touched disks tick.
-        let healths: Vec<BlockHealth> = addrs.iter().map(|&a| self.health_at(a, None)).collect();
+        let healths: Vec<BlockHealth> = addrs
+            .iter()
+            .zip(&blocks)
+            .map(|(&a, content)| self.health_of(a, content, None))
+            .collect();
         if self.checksums.is_some() {
             // A block that read clean stays clean until the medium can be
             // damaged again; skip re-verifying it on later reads.
@@ -475,45 +698,38 @@ impl DiskArray {
                 fs.tick_reads(&self.per_disk_scratch);
             }
         }
-        let blocks = addrs
-            .iter()
-            .zip(&healths)
-            .map(|(&a, h)| {
-                if h.is_ok() {
-                    self.disks[a.disk][a.block].to_vec()
-                } else {
-                    vec![0 as Word; self.cfg.block_words]
-                }
-            })
-            .collect();
-        (blocks, healths)
+        for (block, h) in blocks.iter_mut().zip(&healths) {
+            if !h.is_ok() {
+                block.clear();
+                block.resize(self.cfg.block_words, 0);
+            }
+        }
+        IoOutcome {
+            blocks,
+            healths: if opts.verify { healths } else { Vec::new() },
+            cost: self.stats.since(&before),
+        }
     }
 
-    /// Read a batch of blocks. Returns copies of the blocks' contents in the
-    /// order of `addrs`, **sanitized** under any active fault plan or
-    /// integrity failure (failed blocks read as all zeros; use
-    /// [`read_batch_verified`](DiskArray::read_batch_verified) to observe
-    /// the per-block health). Charges the model cost of the batch.
-    ///
-    /// # Panics
-    /// Panics on any out-of-range address.
-    pub fn read_batch(&mut self, addrs: &[BlockAddr]) -> Vec<Vec<Word>> {
-        self.read_batch_verified(addrs).0
-    }
-
-    /// Write a batch of blocks and report each write's [`BlockHealth`]:
-    /// `Ok` when the payload landed fully, [`BlockHealth::DiskDead`] when
-    /// it was dropped on a dead disk, [`BlockHealth::TornWrite`] when a
-    /// torn-write fault cut it short. With integrity enabled, landed
-    /// writes are resealed; a torn write seals the checksum over the
-    /// *intended* content, so the damage is caught at next read.
+    /// Write a batch of blocks, charging the model cost.
     ///
     /// Each payload must be at most `B` words; a shorter payload leaves
-    /// the block's tail untouched. Charges the model cost of the batch.
+    /// the block's tail untouched (the model reads a block before
+    /// partially writing it, so partial writes are only issued by callers
+    /// that already hold the block — all code in this workspace writes
+    /// full blocks).
+    ///
+    /// Under an active fault plan, writes to dead disks are silently
+    /// dropped and torn writes land a prefix; with
+    /// [`WriteOptions::checked`] each write's [`BlockHealth`] is reported
+    /// (`Ok` when the payload landed fully). With integrity enabled,
+    /// landed writes are resealed; a torn write seals the checksum over
+    /// the *intended* content, so the damage is caught at next read.
+    /// [`WriteOptions::sync`] adds a durability barrier after the batch.
     ///
     /// # Panics
     /// Panics on any out-of-range address or an over-long payload.
-    pub fn write_batch_checked(&mut self, writes: &[(BlockAddr, &[Word])]) -> Vec<BlockHealth> {
+    pub fn write(&mut self, writes: &[(BlockAddr, &[Word])], opts: WriteOptions) -> IoOutcome {
         for &(a, data) in writes {
             self.check(a);
             assert!(
@@ -523,6 +739,7 @@ impl DiskArray {
                 self.cfg.block_words
             );
         }
+        let before = self.stats;
         let cost = self.charge(writes.iter().map(|&(a, _)| a));
         self.stats.block_writes += writes.len() as u64;
         if !writes.is_empty() {
@@ -533,10 +750,17 @@ impl DiskArray {
             });
         }
         if !self.hazards_active() {
-            for &(a, data) in writes {
-                self.disks[a.disk][a.block][..data.len()].copy_from_slice(data);
-            }
-            return vec![BlockHealth::Ok; writes.len()];
+            self.backend
+                .submit(IoSubmission::writes(writes).with_sync(opts.sync));
+            return IoOutcome {
+                blocks: Vec::new(),
+                healths: if opts.verify {
+                    vec![BlockHealth::Ok; writes.len()]
+                } else {
+                    Vec::new()
+                },
+                cost: self.stats.since(&before),
+            };
         }
         // Advance the per-disk write clocks (torn-write faults key on the
         // write-batch index of their disk).
@@ -549,8 +773,23 @@ impl DiskArray {
             self.per_disk_scratch = scratch;
             indexes
         };
+        // Decide each write's physical fate BEFORE anything reaches the
+        // backend: crash points and dead disks drop writes here, so crash
+        // semantics are identical on every backend.
+        #[derive(Clone, Copy)]
+        enum Fate {
+            /// Dropped: crash point fired or the disk is dead.
+            Skip,
+            /// Lands fully; reseal over the payload afterwards.
+            Full,
+            /// A prefix lands; the sealed checksum covers the *intended*
+            /// content (computed before the damage is applied).
+            Torn(Option<Word>),
+        }
         let mut healths = vec![BlockHealth::Ok; writes.len()];
         let mut first_on_disk = vec![true; self.cfg.disks];
+        let mut fates = Vec::with_capacity(writes.len());
+        let mut effective: Vec<(BlockAddr, &[Word])> = Vec::with_capacity(writes.len());
         for (i, &(a, data)) in writes.iter().enumerate() {
             if let Some(fs) = self.fault.as_mut() {
                 // Crash point: physical writes are counted globally in
@@ -560,6 +799,7 @@ impl DiskArray {
                 // delivers a failure acknowledgement). No reseal either:
                 // the old content keeps its old (consistent) checksum.
                 if fs.note_physical_write() {
+                    fates.push(Fate::Skip);
                     continue;
                 }
             }
@@ -568,72 +808,71 @@ impl DiskArray {
             if let Some(fs) = self.fault.as_mut() {
                 if fs.is_dead(a.disk) {
                     healths[i] = BlockHealth::DiskDead;
+                    fates.push(Fate::Skip);
                     continue; // dropped
                 }
                 torn = is_first && fs.consume_torn(a.disk, write_indexes[a.disk]);
             }
             if torn {
-                // Only a prefix lands; the checksum seals the INTENDED
-                // content so unchecked writers' damage is detectable.
                 let intended_sum = self.checksums.as_ref().map(|_| {
-                    let mut intended = self.disks[a.disk][a.block].to_vec();
+                    let mut intended = self.backend.peek(a);
                     intended[..data.len()].copy_from_slice(data);
                     self.codec.checksum(a, &intended)
                 });
-                let torn_len = data.len() / 2;
-                self.disks[a.disk][a.block][..torn_len].copy_from_slice(&data[..torn_len]);
-                if let Some(sum) = intended_sum {
-                    self.checksums.as_mut().expect("integrity enabled")[a.disk][a.block] = sum;
-                    self.verified_clean[a.disk][a.block] = false;
-                }
+                effective.push((a, &data[..data.len() / 2]));
+                fates.push(Fate::Torn(intended_sum));
                 healths[i] = BlockHealth::TornWrite;
             } else {
-                self.disks[a.disk][a.block][..data.len()].copy_from_slice(data);
-                self.reseal(a);
+                effective.push((a, data));
+                fates.push(Fate::Full);
             }
         }
-        healths
+        self.backend
+            .submit(IoSubmission::writes(&effective).with_sync(opts.sync));
+        for (&(a, data), fate) in writes.iter().zip(&fates) {
+            match *fate {
+                Fate::Skip => {}
+                Fate::Full => {
+                    if self.checksums.is_some() {
+                        if data.len() == self.cfg.block_words {
+                            // Full-block write: the payload IS the content.
+                            let sum = self.codec.checksum(a, data);
+                            self.checksums.as_mut().expect("integrity enabled")[a.disk]
+                                [a.block] = sum;
+                            self.verified_clean[a.disk][a.block] = true;
+                        } else {
+                            let content = self.backend.peek(a);
+                            self.reseal_content(a, &content);
+                        }
+                    }
+                }
+                Fate::Torn(intended_sum) => {
+                    if let Some(sum) = intended_sum {
+                        self.checksums.as_mut().expect("integrity enabled")[a.disk][a.block] =
+                            sum;
+                        self.verified_clean[a.disk][a.block] = false;
+                    }
+                }
+            }
+        }
+        IoOutcome {
+            blocks: Vec::new(),
+            healths: if opts.verify { healths } else { Vec::new() },
+            cost: self.stats.since(&before),
+        }
     }
 
-    /// Write a batch of blocks. Each payload must be at most `B` words; a
-    /// shorter payload leaves the block's tail untouched (the model reads a
-    /// block before partially writing it, so partial writes are only issued
-    /// by callers that already hold the block — all code in this workspace
-    /// writes full blocks). Charges the model cost of the batch.
-    ///
-    /// Under an active fault plan, writes to dead disks are silently
-    /// dropped and torn writes land partially; use
-    /// [`write_batch_checked`](DiskArray::write_batch_checked) to observe
-    /// per-write health.
-    ///
-    /// # Panics
-    /// Panics on any out-of-range address or an over-long payload.
-    pub fn write_batch(&mut self, writes: &[(BlockAddr, &[Word])]) {
-        let _ = self.write_batch_checked(writes);
-    }
-
-    /// Read a batch through a **shared** reference: returns the blocks and
-    /// the parallel-I/O cost the batch *would* be charged, without touching
-    /// the global counters.
+    /// Read a batch through a **shared** reference: the outcome carries
+    /// the blocks and the parallel-I/O cost the batch *would* be charged,
+    /// without touching the global counters.
     ///
     /// This is what makes the paper's concurrency argument concrete: the
     /// dictionaries never move data once written and probe addresses are
     /// pure functions of the key, so any number of readers can probe the
     /// same array simultaneously — see `pdm-dict`'s
     /// `OneProbeStatic::lookup_shared` and the `concurrent_reads` example.
-    /// Callers that want the cost recorded can add the returned [`OpCost`]
-    /// to their own accounting.
-    ///
-    /// # Panics
-    /// Panics on any out-of-range address.
-    #[must_use]
-    pub fn read_batch_shared(&self, addrs: &[BlockAddr]) -> (Vec<Vec<Word>>, OpCost) {
-        let (blocks, _, cost) = self.read_batch_shared_verified(addrs);
-        (blocks, cost)
-    }
-
-    /// [`read_batch_shared`](DiskArray::read_batch_shared) with per-block
-    /// [`BlockHealth`] reported and failed blocks sanitized to zeros.
+    /// Callers that want the cost recorded pass [`IoOutcome::cost`] to
+    /// [`charge_cost`](DiskArray::charge_cost).
     ///
     /// Shared reads cannot advance the per-disk read clocks (they hold no
     /// exclusive reference), so transient-fault windows are evaluated
@@ -644,10 +883,7 @@ impl DiskArray {
     /// # Panics
     /// Panics on any out-of-range address.
     #[must_use]
-    pub fn read_batch_shared_verified(
-        &self,
-        addrs: &[BlockAddr],
-    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>, OpCost) {
+    pub fn read_shared(&self, addrs: &[BlockAddr], opts: ReadOptions) -> IoOutcome {
         let mut per_disk = vec![0usize; self.cfg.disks];
         for &a in addrs {
             self.check(a);
@@ -660,26 +896,81 @@ impl DiskArray {
             block_writes: 0,
             sequential_ios: parallel_ios,
         };
+        let mut blocks = self.backend.submit_reads(addrs).reads;
         if !self.hazards_active() {
-            let blocks = addrs
-                .iter()
-                .map(|&a| self.disks[a.disk][a.block].to_vec())
-                .collect();
-            return (blocks, vec![BlockHealth::Ok; addrs.len()], cost);
-        }
-        let healths: Vec<BlockHealth> = addrs.iter().map(|&a| self.health_at(a, None)).collect();
-        let blocks = addrs
-            .iter()
-            .zip(&healths)
-            .map(|(&a, h)| {
-                if h.is_ok() {
-                    self.disks[a.disk][a.block].to_vec()
+            return IoOutcome {
+                blocks,
+                healths: if opts.verify {
+                    vec![BlockHealth::Ok; addrs.len()]
                 } else {
-                    vec![0 as Word; self.cfg.block_words]
-                }
-            })
+                    Vec::new()
+                },
+                cost,
+            };
+        }
+        let healths: Vec<BlockHealth> = addrs
+            .iter()
+            .zip(&blocks)
+            .map(|(&a, content)| self.health_of(a, content, None))
             .collect();
-        (blocks, healths, cost)
+        for (block, h) in blocks.iter_mut().zip(&healths) {
+            if !h.is_ok() {
+                block.clear();
+                block.resize(self.cfg.block_words, 0);
+            }
+        }
+        IoOutcome {
+            blocks,
+            healths: if opts.verify { healths } else { Vec::new() },
+            cost,
+        }
+    }
+
+    /// Read a batch of blocks, discarding per-block health.
+    #[deprecated(note = "use read with options")]
+    pub fn read_batch(&mut self, addrs: &[BlockAddr]) -> Vec<Vec<Word>> {
+        self.read(addrs, ReadOptions::default()).blocks
+    }
+
+    /// Read a batch of blocks, reporting per-block health.
+    #[deprecated(note = "use read with options")]
+    pub fn read_batch_verified(
+        &mut self,
+        addrs: &[BlockAddr],
+    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>) {
+        let out = self.read(addrs, ReadOptions::verified());
+        (out.blocks, out.healths)
+    }
+
+    /// Shared read, discarding per-block health.
+    #[deprecated(note = "use read_shared with options")]
+    #[must_use]
+    pub fn read_batch_shared(&self, addrs: &[BlockAddr]) -> (Vec<Vec<Word>>, OpCost) {
+        let out = self.read_shared(addrs, ReadOptions::default());
+        (out.blocks, out.cost)
+    }
+
+    /// Shared read, reporting per-block health.
+    #[deprecated(note = "use read_shared with options")]
+    #[must_use]
+    pub fn read_batch_shared_verified(
+        &self,
+        addrs: &[BlockAddr],
+    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>, OpCost) {
+        let out = self.read_shared(addrs, ReadOptions::verified());
+        (out.blocks, out.healths, out.cost)
+    }
+
+    /// Write a batch of blocks, discarding per-write health.
+    #[deprecated(note = "use write with options")]
+    pub fn write_batch(&mut self, writes: &[(BlockAddr, &[Word])]) {
+        let _ = self.write(writes, WriteOptions::default());
+    }
+
+    /// Write a batch of blocks, reporting per-write health.
+    #[deprecated(note = "use write with options")]
+    pub fn write_batch_checked(&mut self, writes: &[(BlockAddr, &[Word])]) -> Vec<BlockHealth> {
+        self.write(writes, WriteOptions::checked()).healths
     }
 
     /// Walk every block in striped (row-major) order as charged, verified
@@ -693,17 +984,18 @@ impl DiskArray {
         self.invalidate_verified();
         let mut report = ScrubReport::default();
         let rows = (0..self.cfg.disks)
-            .map(|d| self.disks[d].len())
+            .map(|d| self.backend.blocks_on(d))
             .max()
             .unwrap_or(0);
         for row in 0..rows {
             let addrs: Vec<BlockAddr> = (0..self.cfg.disks)
-                .filter(|&d| row < self.disks[d].len())
+                .filter(|&d| row < self.backend.blocks_on(d))
                 .map(|d| BlockAddr::new(d, row))
                 .collect();
-            let (_, healths) = self.read_batch_verified(&addrs);
+            let out = self.read(&addrs, ReadOptions::verified());
             report.blocks_scanned += addrs.len() as u64;
-            report.checksum_failures += healths
+            report.checksum_failures += out
+                .healths
                 .iter()
                 .filter(|h| **h == BlockHealth::ChecksumMismatch)
                 .count() as u64;
@@ -757,12 +1049,15 @@ impl DiskArray {
 
     /// Read one block (one parallel I/O).
     pub fn read_block(&mut self, addr: BlockAddr) -> Vec<Word> {
-        self.read_batch(&[addr]).pop().expect("one block requested")
+        self.read(&[addr], ReadOptions::default())
+            .blocks
+            .pop()
+            .expect("one block requested")
     }
 
     /// Write one block (one parallel I/O).
     pub fn write_block(&mut self, addr: BlockAddr, data: &[Word]) {
-        self.write_batch(&[(addr, data)]);
+        let _ = self.write(&[(addr, data)], WriteOptions::default());
     }
 
     /// Inspect a block **without** charging I/O. For tests, debugging, and
@@ -772,9 +1067,9 @@ impl DiskArray {
     /// # Panics
     /// Panics on an out-of-range address.
     #[must_use]
-    pub fn peek(&self, addr: BlockAddr) -> &[Word] {
+    pub fn peek(&self, addr: BlockAddr) -> Vec<Word> {
         self.check(addr);
-        &self.disks[addr.disk][addr.block]
+        self.backend.peek(addr)
     }
 
     /// Mutate a block **without** charging I/O. Counterpart of
@@ -786,7 +1081,7 @@ impl DiskArray {
     pub fn poke(&mut self, addr: BlockAddr, data: &[Word]) {
         self.check(addr);
         assert!(data.len() <= self.cfg.block_words);
-        self.disks[addr.disk][addr.block][..data.len()].copy_from_slice(data);
+        self.backend.poke(addr, data);
         if !self.verified_clean.is_empty() {
             self.verified_clean[addr.disk][addr.block] = false;
         }
@@ -820,7 +1115,7 @@ mod tests {
     fn one_block_per_disk_is_one_parallel_io() {
         let mut disks = small();
         let addrs: Vec<_> = (0..4).map(|d| BlockAddr::new(d, 0)).collect();
-        disks.read_batch(&addrs);
+        disks.read(&addrs, ReadOptions::default());
         assert_eq!(disks.stats().parallel_ios, 1);
         assert_eq!(disks.stats().block_reads, 4);
     }
@@ -829,7 +1124,7 @@ mod tests {
     fn same_disk_blocks_serialize() {
         let mut disks = small();
         let addrs: Vec<_> = (0..3).map(|b| BlockAddr::new(2, b)).collect();
-        disks.read_batch(&addrs);
+        disks.read(&addrs, ReadOptions::default());
         assert_eq!(disks.stats().parallel_ios, 3);
     }
 
@@ -838,15 +1133,15 @@ mod tests {
         let cfg = PdmConfig::new(4, 8).with_model(Model::ParallelDiskHead);
         let mut disks = DiskArray::new(cfg, 4);
         let addrs: Vec<_> = (0..3).map(|b| BlockAddr::new(2, b)).collect();
-        disks.read_batch(&addrs);
+        disks.read(&addrs, ReadOptions::default());
         assert_eq!(disks.stats().parallel_ios, 1);
     }
 
     #[test]
     fn empty_batch_costs_nothing() {
         let mut disks = small();
-        disks.read_batch(&[]);
-        disks.write_batch(&[]);
+        disks.read(&[], ReadOptions::default());
+        disks.write(&[], WriteOptions::default());
         assert_eq!(disks.stats().parallel_ios, 0);
         assert_eq!(disks.stats().batches, 0);
     }
@@ -902,12 +1197,16 @@ mod tests {
         let mut disks = small();
         disks.write_block(BlockAddr::new(1, 2), &[5; 8]);
         let before = disks.stats();
-        let (blocks, cost) = disks.read_batch_shared(&[
-            BlockAddr::new(1, 2),
-            BlockAddr::new(1, 3),
-            BlockAddr::new(2, 0),
-        ]);
-        assert_eq!(blocks[0], vec![5; 8]);
+        let out = disks.read_shared(
+            &[
+                BlockAddr::new(1, 2),
+                BlockAddr::new(1, 3),
+                BlockAddr::new(2, 0),
+            ],
+            ReadOptions::default(),
+        );
+        assert_eq!(out.blocks[0], vec![5; 8]);
+        let cost = out.cost;
         assert_eq!(cost.parallel_ios, 2); // two blocks on disk 1
         assert_eq!(cost.block_reads, 3);
         assert_eq!(disks.stats(), before, "shared reads must not charge");
@@ -921,11 +1220,12 @@ mod tests {
         let mut disks = small();
         disks.write_block(BlockAddr::new(0, 1), &[7; 8]);
         let addrs = [BlockAddr::new(0, 1), BlockAddr::new(3, 0)];
-        let (shared, cost) = disks.read_batch_shared(&addrs);
+        let shared = disks.read_shared(&addrs, ReadOptions::default());
         let scope = disks.begin_op();
-        let counted = disks.read_batch(&addrs);
-        assert_eq!(shared, counted);
-        assert_eq!(cost, disks.end_op(scope));
+        let counted = disks.read(&addrs, ReadOptions::default());
+        assert_eq!(shared.blocks, counted.blocks);
+        assert_eq!(shared.cost, disks.end_op(scope));
+        assert_eq!(shared.cost, counted.cost);
     }
 
     #[test]
@@ -933,7 +1233,7 @@ mod tests {
         let mut disks = small();
         disks.read_block(BlockAddr::new(0, 0));
         let scope = disks.begin_op();
-        disks.read_batch(&[BlockAddr::new(0, 1), BlockAddr::new(1, 1)]);
+        disks.read(&[BlockAddr::new(0, 1), BlockAddr::new(1, 1)], ReadOptions::default());
         disks.write_block(BlockAddr::new(2, 0), &[1]);
         let cost = disks.end_op(scope);
         assert_eq!(cost.parallel_ios, 2);
@@ -955,11 +1255,13 @@ mod tests {
         disks.write_block(dead, &[7; 8]);
         disks.write_block(live, &[9; 8]);
         disks.set_fault_plan(FaultPlan::new().dead_disk(2));
-        let (blocks, healths) = disks.read_batch_verified(&[dead, live]);
-        assert_eq!(blocks[0], vec![0; 8], "dead-disk read sanitizes to zeros");
-        assert_eq!(blocks[1], vec![9; 8]);
-        assert_eq!(healths, vec![BlockHealth::DiskDead, BlockHealth::Ok]);
-        let wh = disks.write_batch_checked(&[(dead, &[3; 8][..]), (live, &[4; 8][..])]);
+        let out = disks.read(&[dead, live], ReadOptions::verified());
+        assert_eq!(out.blocks[0], vec![0; 8], "dead-disk read sanitizes to zeros");
+        assert_eq!(out.blocks[1], vec![9; 8]);
+        assert_eq!(out.healths, vec![BlockHealth::DiskDead, BlockHealth::Ok]);
+        let wh = disks
+            .write(&[(dead, &[3; 8][..]), (live, &[4; 8][..])], WriteOptions::checked())
+            .healths;
         assert_eq!(wh, vec![BlockHealth::DiskDead, BlockHealth::Ok]);
         // Replacement disk: accesses recover, data stays lost.
         disks.clear_fault_plan();
@@ -975,12 +1277,12 @@ mod tests {
         disks.write_block(a, &[5; 8]);
         // First read batch touching disk 1 fails; the next succeeds.
         disks.set_fault_plan(FaultPlan::new().transient_read(1, 0, 1));
-        let (blocks, healths) = disks.read_batch_verified(&[a]);
-        assert_eq!(healths[0], BlockHealth::TransientError);
-        assert_eq!(blocks[0], vec![0; 8]);
-        let (blocks, healths) = disks.read_batch_verified(&[a]);
-        assert_eq!(healths[0], BlockHealth::Ok, "data was intact underneath");
-        assert_eq!(blocks[0], vec![5; 8]);
+        let out = disks.read(&[a], ReadOptions::verified());
+        assert_eq!(out.healths[0], BlockHealth::TransientError);
+        assert_eq!(out.blocks[0], vec![0; 8]);
+        let out = disks.read(&[a], ReadOptions::verified());
+        assert_eq!(out.healths[0], BlockHealth::Ok, "data was intact underneath");
+        assert_eq!(out.blocks[0], vec![5; 8]);
     }
 
     #[test]
@@ -993,7 +1295,8 @@ mod tests {
                 disks.enable_integrity();
             }
             disks.set_fault_plan(FaultPlan::new().bit_rot(0, 2, 3));
-            disks.read_batch_verified(&[a])
+            let out = disks.read(&[a], ReadOptions::verified());
+            (out.blocks, out.healths)
         };
         let (blocks, healths) = run(false);
         assert_eq!(healths[0], BlockHealth::Ok, "no integrity: rot is silent");
@@ -1010,22 +1313,22 @@ mod tests {
         disks.write_block(a, &[9; 8]);
         disks.enable_integrity();
         disks.set_fault_plan(FaultPlan::new().torn_write(3, 0));
-        let wh = disks.write_batch_checked(&[(a, &[2; 8][..])]);
+        let wh = disks.write(&[(a, &[2; 8][..])], WriteOptions::checked()).healths;
         assert_eq!(wh, vec![BlockHealth::TornWrite]);
         assert_eq!(
             disks.peek(a),
             &[2, 2, 2, 2, 9, 9, 9, 9],
             "only the prefix landed"
         );
-        let (blocks, healths) = disks.read_batch_verified(&[a]);
-        assert_eq!(healths[0], BlockHealth::ChecksumMismatch);
-        assert_eq!(blocks[0], vec![0; 8]);
+        let out = disks.read(&[a], ReadOptions::verified());
+        assert_eq!(out.healths[0], BlockHealth::ChecksumMismatch);
+        assert_eq!(out.blocks[0], vec![0; 8]);
         // Torn writes are one-shot: the retry lands fully and reseals.
-        let wh = disks.write_batch_checked(&[(a, &[2; 8][..])]);
+        let wh = disks.write(&[(a, &[2; 8][..])], WriteOptions::checked()).healths;
         assert_eq!(wh, vec![BlockHealth::Ok]);
-        let (blocks, healths) = disks.read_batch_verified(&[a]);
-        assert_eq!(healths[0], BlockHealth::Ok);
-        assert_eq!(blocks[0], vec![2; 8]);
+        let out = disks.read(&[a], ReadOptions::verified());
+        assert_eq!(out.healths[0], BlockHealth::Ok);
+        assert_eq!(out.blocks[0], vec![2; 8]);
     }
 
     #[test]
@@ -1052,11 +1355,11 @@ mod tests {
         disks.write_block(bad, &[8; 8]);
         disks.enable_integrity();
         disks.poke(bad, &[1; 8]);
-        let (shared, shealths, cost) = disks.read_batch_shared_verified(&[good, bad]);
-        let (excl, ehealths) = disks.read_batch_verified(&[good, bad]);
-        assert_eq!(shared, excl);
-        assert_eq!(shealths, ehealths);
-        assert_eq!(cost.parallel_ios, 1);
+        let shared = disks.read_shared(&[good, bad], ReadOptions::verified());
+        let excl = disks.read(&[good, bad], ReadOptions::verified());
+        assert_eq!(shared.blocks, excl.blocks);
+        assert_eq!(shared.healths, excl.healths);
+        assert_eq!(shared.cost.parallel_ios, 1);
     }
 
     #[test]
@@ -1089,10 +1392,95 @@ mod tests {
         // touching any fault machinery.
         let mut disks = small();
         disks.write_block(BlockAddr::new(0, 0), &[1; 8]);
-        let (blocks, healths) = disks.read_batch_verified(&[BlockAddr::new(0, 0)]);
-        assert_eq!(blocks[0], vec![1; 8]);
-        assert_eq!(healths, vec![BlockHealth::Ok]);
+        let out = disks.read(&[BlockAddr::new(0, 0)], ReadOptions::verified());
+        assert_eq!(out.blocks[0], vec![1; 8]);
+        assert_eq!(out.healths, vec![BlockHealth::Ok]);
         assert_eq!(disks.fault_plan(), None);
         assert!(!disks.integrity_enabled());
+    }
+
+    #[test]
+    fn outcome_carries_cost_and_skips_healths_unless_asked() {
+        let mut disks = small();
+        let out = disks.read(
+            &[BlockAddr::new(0, 0), BlockAddr::new(1, 0)],
+            ReadOptions::default(),
+        );
+        assert!(out.healths.is_empty(), "healths only on request");
+        assert_eq!(out.cost.parallel_ios, 1);
+        assert_eq!(out.cost.block_reads, 2);
+        let out = disks.write(&[(BlockAddr::new(0, 0), &[1; 8][..])], WriteOptions::default());
+        assert!(out.blocks.is_empty());
+        assert!(out.healths.is_empty());
+        assert_eq!(out.cost.parallel_ios, 1);
+        assert_eq!(out.cost.block_writes, 1);
+        assert!(out.all_ok());
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_work() {
+        #![allow(deprecated)]
+        let mut disks = small();
+        disks.write_batch(&[(BlockAddr::new(0, 1), &[3; 8][..])]);
+        assert_eq!(disks.read_batch(&[BlockAddr::new(0, 1)])[0], vec![3; 8]);
+        let (blocks, healths) = disks.read_batch_verified(&[BlockAddr::new(0, 1)]);
+        assert_eq!(blocks[0], vec![3; 8]);
+        assert_eq!(healths, vec![BlockHealth::Ok]);
+        let (blocks, cost) = disks.read_batch_shared(&[BlockAddr::new(0, 1)]);
+        assert_eq!(blocks[0], vec![3; 8]);
+        assert_eq!(cost.parallel_ios, 1);
+        let (_, healths, _) = disks.read_batch_shared_verified(&[BlockAddr::new(0, 1)]);
+        assert_eq!(healths, vec![BlockHealth::Ok]);
+        let wh = disks.write_batch_checked(&[(BlockAddr::new(1, 0), &[4; 8][..])]);
+        assert_eq!(wh, vec![BlockHealth::Ok]);
+    }
+
+    #[test]
+    fn clone_snapshots_into_a_mem_backend() {
+        let mut disks = small();
+        disks.write_block(BlockAddr::new(2, 1), &[6; 8]);
+        let snap = disks.clone();
+        assert_eq!(snap.backend_kind(), "mem");
+        assert_eq!(snap.peek(BlockAddr::new(2, 1)), vec![6; 8]);
+        assert_eq!(snap.stats(), disks.stats());
+        // The snapshot is independent storage.
+        disks.write_block(BlockAddr::new(2, 1), &[7; 8]);
+        assert_eq!(snap.peek(BlockAddr::new(2, 1)), vec![6; 8]);
+    }
+
+    #[test]
+    fn with_backend_rejects_mismatched_geometry() {
+        use crate::backend::MemBackend;
+        let cfg = PdmConfig::new(4, 8);
+        let wrong_d = MemBackend::new(3, 8, 4);
+        let err = DiskArray::with_backend(cfg, Box::new(wrong_d)).unwrap_err();
+        assert_eq!(err.kind, crate::IoFaultKind::Misconfigured);
+        assert!(err.message.contains("disks"), "{}", err.message);
+        let wrong_b = MemBackend::new(4, 16, 4);
+        let err = DiskArray::with_backend(cfg, Box::new(wrong_b)).unwrap_err();
+        assert_eq!(err.kind, crate::IoFaultKind::Misconfigured);
+        assert!(err.message.contains("block size"), "{}", err.message);
+    }
+
+    #[test]
+    fn sync_and_flush_are_noops_on_mem() {
+        let mut disks = small();
+        disks.write_block(BlockAddr::new(0, 0), &[2; 8]);
+        disks.sync();
+        let t = disks.flush_begin();
+        disks.write_block(BlockAddr::new(0, 1), &[3; 8]);
+        disks.flush_join(t);
+        assert_eq!(disks.backend_kind(), "mem");
+    }
+
+    #[test]
+    fn synced_write_options_round_trip() {
+        let mut disks = small();
+        let out = disks.write(
+            &[(BlockAddr::new(1, 1), &[8; 8][..])],
+            WriteOptions::checked().with_sync(true),
+        );
+        assert_eq!(out.healths, vec![BlockHealth::Ok]);
+        assert_eq!(disks.read_block(BlockAddr::new(1, 1)), vec![8; 8]);
     }
 }

@@ -17,6 +17,7 @@
 
 use crate::disk::DiskArray;
 use crate::record::{KeyedRecord, RecordLayout};
+use crate::stats::OpCost;
 use crate::stripe::StripedView;
 use crate::Word;
 
@@ -111,12 +112,50 @@ impl RecordFile {
         }
     }
 
-    /// Read the whole file (streamed).
-    pub fn read_all(&self, disks: &mut DiskArray) -> Vec<KeyedRecord> {
-        self.read_range(disks, 0, self.len_records)
+    /// Read the whole file (streamed, **shared**): any number of readers
+    /// can scan concurrently holding only `&DiskArray`. The scan's cost
+    /// is *not* charged to the array; callers that account I/O use
+    /// [`read_range_shared`](RecordFile::read_range_shared) (or a
+    /// [`reader`](RecordFile::reader)) and pass the returned cost to
+    /// [`DiskArray::charge_cost`].
+    #[must_use]
+    pub fn read_all(&self, disks: &DiskArray) -> Vec<KeyedRecord> {
+        self.read_range_shared(disks, 0, self.len_records).0
     }
 
-    /// Read `count` records starting at index `start` (streamed, batched).
+    /// Read `count` records starting at index `start` through a shared
+    /// reference, returning the records plus the parallel-I/O cost the
+    /// scan would be charged.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn read_range_shared(
+        &self,
+        disks: &DiskArray,
+        start: usize,
+        count: usize,
+    ) -> (Vec<KeyedRecord>, OpCost) {
+        assert!(
+            start + count <= self.len_records,
+            "range {}..{} out of bounds (len {})",
+            start,
+            start + count,
+            self.len_records
+        );
+        if count == 0 {
+            return (Vec::new(), OpCost::default());
+        }
+        let w = self.layout.width_words;
+        let (words, cost) = StripedView::read_words_shared(disks, self.word_of(start), count * w);
+        (
+            words.chunks_exact(w).map(KeyedRecord::decode).collect(),
+            cost,
+        )
+    }
+
+    /// Read `count` records starting at index `start`, charging the scan
+    /// to the array (streamed, batched).
     ///
     /// # Panics
     /// Panics if the range is out of bounds.
@@ -126,19 +165,11 @@ impl RecordFile {
         start: usize,
         count: usize,
     ) -> Vec<KeyedRecord> {
-        assert!(
-            start + count <= self.len_records,
-            "range {}..{} out of bounds (len {})",
-            start,
-            start + count,
-            self.len_records
-        );
-        if count == 0 {
-            return Vec::new();
+        let (records, cost) = self.read_range_shared(disks, start, count);
+        if count > 0 {
+            disks.charge_cost(cost);
         }
-        let w = self.layout.width_words;
-        let words = StripedView::new(disks).read_words(self.word_of(start), count * w);
-        words.chunks_exact(w).map(KeyedRecord::decode).collect()
+        records
     }
 
     /// Open a streaming reader over the whole file.
@@ -149,6 +180,7 @@ impl RecordFile {
             next_record: 0,
             buf: Vec::new(),
             buf_first_record: 0,
+            pending_cost: OpCost::default(),
         }
     }
 
@@ -161,17 +193,24 @@ impl RecordFile {
 
 /// Streaming reader: buffers one stripe's worth of records at a time, so a
 /// full scan costs `⌈len·width / (B·D)⌉` parallel I/Os.
+///
+/// Reads go through the **shared** path, so any number of readers can
+/// stream the same array concurrently holding only `&DiskArray`. The
+/// scan's cost accumulates inside the reader; an owner that accounts
+/// I/O drains it with [`take_cost`](RecordFileReader::take_cost) (or
+/// [`charge_to`](RecordFileReader::charge_to)) once it regains `&mut`.
 #[derive(Debug)]
 pub struct RecordFileReader {
     file: RecordFile,
     next_record: usize,
     buf: Vec<KeyedRecord>,
     buf_first_record: usize,
+    pending_cost: OpCost,
 }
 
 impl RecordFileReader {
     /// Next record, or `None` at end of file.
-    pub fn next(&mut self, disks: &mut DiskArray) -> Option<KeyedRecord> {
+    pub fn next(&mut self, disks: &DiskArray) -> Option<KeyedRecord> {
         if self.next_record >= self.file.len_records {
             return None;
         }
@@ -181,7 +220,9 @@ impl RecordFileReader {
             let sw = disks.config().stripe_words();
             let per_stripe = (sw / self.file.layout.width_words).max(1);
             let count = per_stripe.min(self.file.len_records - idx);
-            self.buf = self.file.read_range(disks, idx, count);
+            let (buf, cost) = self.file.read_range_shared(disks, idx, count);
+            self.buf = buf;
+            self.pending_cost = self.pending_cost.plus(cost);
             self.buf_first_record = idx;
         }
         self.next_record += 1;
@@ -192,6 +233,21 @@ impl RecordFileReader {
     #[must_use]
     pub fn remaining(&self) -> usize {
         self.file.len_records - self.next_record
+    }
+
+    /// Drain the cost accumulated by refills since the last drain.
+    #[must_use]
+    pub fn take_cost(&mut self) -> OpCost {
+        std::mem::take(&mut self.pending_cost)
+    }
+
+    /// Charge the accumulated cost to `disks` (no-op when nothing is
+    /// pending, so it is safe to call after every scan loop).
+    pub fn charge_to(&mut self, disks: &mut DiskArray) {
+        let cost = self.take_cost();
+        if cost != OpCost::default() {
+            disks.charge_cost(cost);
+        }
     }
 }
 
@@ -267,7 +323,7 @@ mod tests {
         let mut f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(2), 50);
         let rs = recs(50, 2);
         f.write_all(&mut disks, &rs);
-        assert_eq!(f.read_all(&mut disks), rs);
+        assert_eq!(f.read_all(&disks), rs);
         assert_eq!(f.len(), 50);
     }
 
@@ -279,7 +335,15 @@ mod tests {
         f.write_all(&mut disks, &recs(64, 3));
         let written = disks.stats().parallel_ios;
         assert_eq!(written, 8); // 64 records * 4 words / 32 per stripe
-        let _ = f.read_all(&mut disks);
+        let (records, cost) = f.read_range_shared(&disks, 0, f.len());
+        assert_eq!(records.len(), 64);
+        assert_eq!(cost.parallel_ios, 8);
+        assert_eq!(
+            disks.stats().parallel_ios,
+            written,
+            "shared scans charge nothing until the owner does"
+        );
+        disks.charge_cost(cost);
         assert_eq!(disks.stats().parallel_ios - written, 8);
     }
 
@@ -291,11 +355,18 @@ mod tests {
         f.write_all(&mut disks, &rs);
         let mut reader = f.reader();
         let mut got = Vec::new();
-        while let Some(r) = reader.next(&mut disks) {
+        while let Some(r) = reader.next(&disks) {
             got.push(r);
         }
         assert_eq!(got, rs);
         assert_eq!(reader.remaining(), 0);
+        let scanned = disks.stats().parallel_ios;
+        let pending = reader.take_cost();
+        assert!(pending.parallel_ios > 0, "refills accumulate cost");
+        disks.charge_cost(pending);
+        assert!(disks.stats().parallel_ios > scanned);
+        reader.charge_to(&mut disks); // drained: charging again is a no-op
+        assert_eq!(reader.take_cost(), OpCost::default());
     }
 
     #[test]
@@ -308,7 +379,7 @@ mod tests {
             w.push(&mut disks, r);
         }
         let f = w.finish(&mut disks);
-        assert_eq!(f.read_all(&mut disks), rs);
+        assert_eq!(f.read_all(&disks), rs);
     }
 
     #[test]
@@ -320,8 +391,8 @@ mod tests {
         let r2: Vec<KeyedRecord> = (100..116).map(|k| KeyedRecord::new(k, vec![])).collect();
         f1.write_all(&mut disks, &r1);
         f2.write_all(&mut disks, &r2);
-        assert_eq!(f1.read_all(&mut disks), r1);
-        assert_eq!(f2.read_all(&mut disks), r2);
+        assert_eq!(f1.read_all(&disks), r1);
+        assert_eq!(f2.read_all(&disks), r2);
     }
 
     #[test]
@@ -346,7 +417,7 @@ mod tests {
         let mut disks = DiskArray::new(PdmConfig::new(2, 4), 0);
         let f = RecordFile::allocate_at_end(&mut disks, RecordLayout::keyed(0), 4);
         assert!(f.is_empty());
-        assert!(f.read_all(&mut disks).is_empty());
+        assert!(f.read_all(&disks).is_empty());
         assert_eq!(disks.stats().parallel_ios, 0);
     }
 }

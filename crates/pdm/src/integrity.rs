@@ -43,6 +43,10 @@ pub enum IoFaultKind {
     /// Reported on the **write** path; later reads of the block surface
     /// [`IoFaultKind::ChecksumMismatch`] instead.
     TornWrite,
+    /// The storage backend rejected its configuration (e.g. a block-size
+    /// change on reopen, or a missing disk file). Carried by
+    /// [`crate::backend::BackendError`]; never reported per-block.
+    Misconfigured,
 }
 
 impl IoFaultKind {
@@ -54,6 +58,7 @@ impl IoFaultKind {
             IoFaultKind::TransientError => "transient",
             IoFaultKind::ChecksumMismatch => "checksum_mismatch",
             IoFaultKind::TornWrite => "torn_write",
+            IoFaultKind::Misconfigured => "misconfigured",
         }
     }
 }

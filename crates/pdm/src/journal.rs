@@ -50,7 +50,7 @@
 //! images over any unjournaled in-place change, so mixing the two on the
 //! same blocks would let recovery undo an acknowledged op.
 
-use crate::disk::{BlockAddr, DiskArray};
+use crate::disk::{BlockAddr, DiskArray, ReadOptions, WriteOptions};
 use crate::integrity::BlockHealth;
 use crate::metrics::IoEvent;
 use crate::stats::OpCost;
@@ -295,7 +295,11 @@ impl DiskArray {
     pub fn reopen_journal(&mut self, region: JournalRegion) {
         let d = self.disks();
         let addr = region.slot_addr(0, d);
-        let block = self.read_batch(&[addr]).pop().expect("one block");
+        let block = self
+            .read(&[addr], ReadOptions::default())
+            .into_blocks()
+            .pop()
+            .expect("one block");
         assert!(
             block[0] == SUPER_MAGIC && block[1] == VERSION,
             "no journal superblock at {addr:?}"
@@ -402,7 +406,7 @@ impl DiskArray {
         let mut words = vec![SUPER_MAGIC, VERSION, j.applied, j.meta.len() as Word];
         words.extend_from_slice(&j.meta);
         let image = seal(self, addr, words);
-        self.write_batch_checked(&[(addr, &image)]);
+        self.write(&[(addr, &image)], WriteOptions::checked());
         j.persisted = j.applied;
         while j.live.front().is_some_and(|&(seq, _)| seq <= j.persisted) {
             j.live.pop_front();
@@ -411,7 +415,7 @@ impl DiskArray {
         self.journal = Some(j);
     }
 
-    /// [`write_batch_checked`](DiskArray::write_batch_checked) with
+    /// A checked [`write`](DiskArray::write) with
     /// crash protection: the batch is recorded in the journal as one
     /// intent entry (images + checksummed descriptor, descriptor last),
     /// then applied in place, making the whole multi-block group atomic
@@ -436,7 +440,7 @@ impl DiskArray {
         meta: &[Word],
     ) -> Vec<BlockHealth> {
         if self.journal.is_none() {
-            return self.write_batch_checked(writes);
+            return self.write(writes, WriteOptions::checked()).healths;
         }
         let b = self.block_words();
         let d = self.disks();
@@ -468,7 +472,7 @@ impl DiskArray {
         if n_slots > data_slots {
             let j = self.journal.as_mut().expect("journal enabled");
             j.bypassed += 1;
-            return self.write_batch_checked(writes);
+            return self.write(writes, WriteOptions::checked()).healths;
         }
         // Group commit: persist the (stale-by-design) truncation point
         // BEFORE this op when the schedule or ring pressure calls for
@@ -520,10 +524,10 @@ impl DiskArray {
         images.push((head_addr, seal(self, head_addr, head)));
         let refs: Vec<(BlockAddr, &[Word])> =
             images.iter().map(|(a, v)| (*a, v.as_slice())).collect();
-        self.write_batch_checked(&refs);
+        self.write(&refs, WriteOptions::checked());
         // In-place apply. The intent exists on disk first, so a crash
         // anywhere in here rolls the whole group forward at recovery.
-        let healths = self.write_batch_checked(writes);
+        let healths = self.write(writes, WriteOptions::checked()).healths;
         j.next_seq += 1;
         j.next_slot = (j.next_slot + n_slots) % data_slots;
         j.applied = seq;
@@ -563,7 +567,7 @@ impl DiskArray {
         let addrs: Vec<BlockAddr> = (0..data_slots)
             .map(|s| j.region.slot_addr(s + 1, d))
             .collect();
-        let slots = self.read_batch(&addrs);
+        let slots = self.read(&addrs, ReadOptions::default()).into_blocks();
         let mut report = RecoveryReport {
             scanned_slots: data_slots as u64 + 1,
             ..RecoveryReport::default()
@@ -657,7 +661,7 @@ impl DiskArray {
         for (seq, _, writes, meta, n_slots) in entries {
             let refs: Vec<(BlockAddr, &[Word])> =
                 writes.iter().map(|(a, v)| (*a, v.as_slice())).collect();
-            let healths = self.write_batch_checked(&refs);
+            let healths = self.write(&refs, WriteOptions::checked()).healths;
             let landed = healths.iter().all(|h| h.is_ok());
             if landed {
                 report.blocks_rewritten += writes.len() as u64;
@@ -944,7 +948,7 @@ mod tests {
         let a = BlockAddr::new(1, 4);
         disks.write_block(a, &img(3));
         disks.enable_integrity();
-        let _ = disks.read_batch_verified(&[a, BlockAddr::new(0, 0)]);
+        let _ = disks.read(&[a, BlockAddr::new(0, 0)], ReadOptions::verified());
         assert!(disks.verified_clean_blocks() > 0);
         let _ = disks.recover();
         assert_eq!(
@@ -966,7 +970,7 @@ mod tests {
                 .collect();
             let refs: Vec<(BlockAddr, &[Word])> =
                 writes.iter().map(|(a, v)| (*a, v.as_slice())).collect();
-            plain.write_batch_checked(&refs);
+            plain.write(&refs, WriteOptions::checked());
             journaled.journaled_write_batch_checked(&refs, &[]);
         }
         let plain_ios = plain.stats().parallel_ios;

@@ -37,7 +37,7 @@
 //! ## Quick example
 //!
 //! ```
-//! use pdm::{DiskArray, PdmConfig, BlockAddr};
+//! use pdm::{DiskArray, PdmConfig, BlockAddr, ReadOptions, WriteOptions};
 //!
 //! let cfg = PdmConfig::new(4, 16); // D = 4 disks, B = 16 words per block
 //! let mut disks = DiskArray::new(cfg, 8); // 8 blocks per disk
@@ -45,24 +45,26 @@
 //! // Writing one block on each of two different disks is ONE parallel I/O.
 //! let a = BlockAddr::new(0, 3);
 //! let b = BlockAddr::new(1, 5);
-//! disks.write_batch(&[(a, &vec![7; 16]), (b, &vec![9; 16])]);
+//! disks.write(&[(a, &vec![7; 16]), (b, &vec![9; 16])], WriteOptions::default());
 //! assert_eq!(disks.stats().parallel_ios, 1);
 //!
 //! // Reading two blocks from the SAME disk costs two parallel I/Os.
-//! let out = disks.read_batch(&[BlockAddr::new(2, 0), BlockAddr::new(2, 1)]);
-//! assert_eq!(out.len(), 2);
+//! let out = disks.read(&[BlockAddr::new(2, 0), BlockAddr::new(2, 1)], ReadOptions::default());
+//! assert_eq!(out.blocks.len(), 2);
 //! assert_eq!(disks.stats().parallel_ios, 3);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod batch;
 pub mod bits;
 pub mod config;
 pub mod disk;
 pub mod fault;
 pub mod file;
+pub mod file_backend;
 pub mod integrity;
 pub mod journal;
 pub mod memory;
@@ -72,9 +74,11 @@ pub mod sort;
 pub mod stats;
 pub mod stripe;
 
+pub use backend::{BackendError, CompletionSet, FlushTicket, IoSubmission, MemBackend, StorageBackend};
 pub use batch::{BatchExecutor, BatchPlan, BatchReads, CommitReport};
 pub use config::{Model, PdmConfig};
-pub use disk::{BlockAddr, DiskArray};
+pub use disk::{BlockAddr, DiskArray, IoOutcome, ReadOptions, WriteOptions};
+pub use file_backend::{FileBackend, FileBackendOptions};
 pub use fault::{Fault, FaultPlan};
 pub use file::RecordFile;
 pub use integrity::{BlockCodec, BlockHealth, IoFaultKind, MixCodec, ScrubReport};

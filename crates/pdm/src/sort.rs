@@ -73,6 +73,8 @@ where
         run.write_all(disks, &chunk);
         runs.push(run);
     }
+    // Reads went through the shared path; charge the scan to the array.
+    reader.charge_to(disks);
     if runs.is_empty() {
         // Empty input: produce an empty output file.
         let output = RecordFile::allocate_at_end(disks, input.layout(), 0);
@@ -143,6 +145,9 @@ where
         writer.push(disks, &rec);
         heads[b] = readers[b].next(disks);
     }
+    for r in &mut readers {
+        r.charge_to(disks);
+    }
     writer.finish(disks)
 }
 
@@ -192,7 +197,7 @@ mod tests {
         let out = external_sort(&mut disks, &input);
         let keys: Vec<u64> = out
             .output
-            .read_all(&mut disks)
+            .read_all(&disks)
             .iter()
             .map(|r| r.key)
             .collect();
@@ -210,7 +215,7 @@ mod tests {
         assert!(out.merge_passes >= 1, "must have merged multiple runs");
         let got: Vec<u64> = out
             .output
-            .read_all(&mut disks)
+            .read_all(&disks)
             .iter()
             .map(|r| r.key)
             .collect();
@@ -224,7 +229,7 @@ mod tests {
         let mut disks = DiskArray::new(PdmConfig::new(2, 4), 0);
         let input = make_input(&mut disks, &[9, 2, 5], 1);
         let out = external_sort(&mut disks, &input);
-        for r in out.output.read_all(&mut disks) {
+        for r in out.output.read_all(&disks) {
             assert_eq!(r.satellite[0], r.key.wrapping_mul(3));
         }
     }

@@ -92,10 +92,10 @@ impl OpCost {
 /// Snapshot of counters at the start of a logical operation.
 ///
 /// ```
-/// use pdm::{DiskArray, PdmConfig, BlockAddr};
+/// use pdm::{DiskArray, PdmConfig, BlockAddr, ReadOptions};
 /// let mut disks = DiskArray::new(PdmConfig::new(2, 4), 4);
 /// let scope = disks.begin_op();
-/// disks.read_batch(&[BlockAddr::new(0, 0), BlockAddr::new(1, 0)]);
+/// disks.read(&[BlockAddr::new(0, 0), BlockAddr::new(1, 0)], ReadOptions::default());
 /// let cost = disks.end_op(scope);
 /// assert_eq!(cost.parallel_ios, 1);
 /// assert_eq!(cost.block_reads, 2);

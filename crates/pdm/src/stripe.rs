@@ -6,7 +6,7 @@
 //! or writing one full stripe is exactly one parallel I/O — the classic
 //! "striping" speedup the paper's introduction discusses.
 
-use crate::disk::{BlockAddr, DiskArray};
+use crate::disk::{BlockAddr, DiskArray, ReadOptions, WriteOptions};
 use crate::Word;
 
 /// A mutable striped view over a [`DiskArray`].
@@ -46,7 +46,7 @@ impl<'a> StripedView<'a> {
     pub fn read_stripe(&mut self, s: usize) -> Vec<Word> {
         let d = self.disks.disks();
         let addrs: Vec<BlockAddr> = (0..d).map(|disk| BlockAddr::new(disk, s)).collect();
-        let blocks = self.disks.read_batch(&addrs);
+        let blocks = self.disks.read(&addrs, ReadOptions::default()).into_blocks();
         let mut out = Vec::with_capacity(self.stripe_words());
         for b in blocks {
             out.extend_from_slice(&b);
@@ -71,7 +71,7 @@ impl<'a> StripedView<'a> {
         let writes: Vec<(BlockAddr, &[Word])> = (0..d)
             .map(|disk| (BlockAddr::new(disk, s), &data[disk * b..(disk + 1) * b]))
             .collect();
-        self.disks.write_batch(&writes);
+        self.disks.write(&writes, WriteOptions::default());
     }
 
     /// Read `len` words starting at global (striped) word offset `start`.
@@ -95,7 +95,7 @@ impl<'a> StripedView<'a> {
             let disk = gb % self.disks.disks();
             addrs.push(BlockAddr::new(disk, stripe));
         }
-        let blocks = self.disks.read_batch(&addrs);
+        let blocks = self.disks.read(&addrs, ReadOptions::default()).into_blocks();
         let mut out = Vec::with_capacity(len);
         for (i, block) in blocks.iter().enumerate() {
             let gb = first_block + i;
@@ -107,6 +107,43 @@ impl<'a> StripedView<'a> {
         debug_assert_eq!(out.len(), len);
         debug_assert_eq!(sw % b, 0);
         out
+    }
+
+    /// [`read_words`](StripedView::read_words) through a **shared**
+    /// reference: returns the words plus the cost the batch would be
+    /// charged, without touching the global counters (the shared-read
+    /// contract of [`DiskArray::read_shared`]). Concurrent scanners
+    /// (e.g. [`crate::file::RecordFileReader`]) use this and let their
+    /// owner charge the accumulated cost.
+    #[must_use]
+    pub fn read_words_shared(
+        disks: &DiskArray,
+        start: usize,
+        len: usize,
+    ) -> (Vec<Word>, crate::stats::OpCost) {
+        if len == 0 {
+            return (Vec::new(), crate::stats::OpCost::default());
+        }
+        let b = disks.block_words();
+        let end = start + len;
+        let mut addrs = Vec::new();
+        let first_block = start / b;
+        let last_block = (end - 1) / b;
+        for gb in first_block..=last_block {
+            addrs.push(BlockAddr::new(gb % disks.disks(), gb / disks.disks()));
+        }
+        let out = disks.read_shared(&addrs, ReadOptions::default());
+        let cost = out.cost;
+        let blocks = out.into_blocks();
+        let mut words = Vec::with_capacity(len);
+        for (i, block) in blocks.iter().enumerate() {
+            let block_start = (first_block + i) * b;
+            let from = start.max(block_start) - block_start;
+            let to = end.min(block_start + b) - block_start;
+            words.extend_from_slice(&block[from..to]);
+        }
+        debug_assert_eq!(words.len(), len);
+        (words, cost)
     }
 
     /// Write `data` starting at global (striped) word offset `start`.
@@ -136,7 +173,7 @@ impl<'a> StripedView<'a> {
             .iter()
             .map(|&gb| BlockAddr::new(gb % d, gb / d))
             .collect();
-        let bblocks = self.disks.read_batch(&baddrs);
+        let bblocks = self.disks.read(&baddrs, ReadOptions::default()).into_blocks();
 
         // Assemble full images for every block in range.
         let mut images: Vec<(BlockAddr, Vec<Word>)> = Vec::new();
@@ -156,7 +193,7 @@ impl<'a> StripedView<'a> {
         }
         let writes: Vec<(BlockAddr, &[Word])> =
             images.iter().map(|(a, v)| (*a, v.as_slice())).collect();
-        self.disks.write_batch(&writes);
+        self.disks.write(&writes, WriteOptions::default());
     }
 }
 

@@ -453,6 +453,7 @@ fn decode_dict_error(c: &mut Cursor<'_>) -> Result<DictError, ServeError> {
                 "transient" => IoFaultKind::TransientError,
                 "checksum_mismatch" => IoFaultKind::ChecksumMismatch,
                 "torn_write" => IoFaultKind::TornWrite,
+                "misconfigured" => IoFaultKind::Misconfigured,
                 other => {
                     return Err(ServeError::Protocol(format!("unknown fault label {other:?}")))
                 }

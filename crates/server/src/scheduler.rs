@@ -99,6 +99,16 @@ pub struct EngineConfig {
     /// Seed of the key → shard route (any fixed value works; it only
     /// needs to spread keys evenly).
     pub route_seed: u64,
+    /// Make every *acknowledged* mutating window durable on the shard's
+    /// storage backend before its replies are released, using the
+    /// pipelined barrier ([`pdm::DiskArray::flush_begin`] /
+    /// [`pdm::DiskArray::flush_join`]): window `N`'s barrier is started
+    /// when `N` finishes executing and joined only after window `N+1`'s
+    /// dictionary calls have been issued, so the device-level syncs
+    /// overlap the next window's reads instead of serializing with them.
+    /// Off by default — the in-memory backend needs no barrier, and
+    /// checkpoint-at-shutdown already covers the graceful path.
+    pub durable_acks: bool,
 }
 
 impl Default for EngineConfig {
@@ -108,6 +118,7 @@ impl Default for EngineConfig {
             max_coalesce: 64,
             deadline: Duration::from_secs(2),
             route_seed: 0x5EED_CAFE,
+            durable_acks: false,
         }
     }
 }
@@ -146,6 +157,14 @@ impl EngineConfig {
     #[must_use]
     pub fn with_route_seed(mut self, seed: u64) -> Self {
         self.route_seed = seed;
+        self
+    }
+
+    /// Toggle pipelined fsync-before-ack for mutating windows (see
+    /// [`EngineConfig::durable_acks`]).
+    #[must_use]
+    pub fn with_durable_acks(mut self, durable: bool) -> Self {
+        self.durable_acks = durable;
         self
     }
 }
@@ -521,14 +540,24 @@ impl ServeEngine {
     }
 }
 
+/// A mutating window parked behind its in-flight durability barrier:
+/// the ticket plus the staged replies it will release once joined.
+type ParkedWindow = (pdm::FlushTicket, Vec<Request>, Vec<Option<OpResult>>);
+
 /// The per-shard worker loop. Returns the dictionary on exit so
 /// [`ServeEngine::shutdown`] can hand it back.
 fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<dyn Dict + Send> {
     let queue = &shared.queues[id];
     let stats = &shared.stats;
     let metrics = shared.metrics.as_deref();
+    // With `durable_acks`, a mutating window whose durability barrier is
+    // still in flight parks here (ticket + staged replies) while the next
+    // window's dictionary calls overlap the syncs; it settles as soon as
+    // the barrier joins.
+    let mut pending: Option<ParkedWindow> = None;
     while let Some(batch) = queue.drain(shared.cfg.max_coalesce) {
         if batch.is_empty() {
+            settle_pending(&mut pending, &mut dict, stats, metrics);
             continue;
         }
         if let Some(m) = metrics {
@@ -620,12 +649,26 @@ fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<
         stats.exec_calls.fetch_add(calls, Ordering::Relaxed);
         stats.exec_ops.fetch_add(ops, Ordering::Relaxed);
 
+        // This window's dictionary calls are issued: the previous
+        // window's barrier has had a full window of reads to overlap
+        // with. Join and release it before judging the current window.
+        let crashed_now = dict.disks().is_some_and(pdm::DiskArray::crash_fired);
+        if crashed_now {
+            // A killed process acknowledges nothing — not even the
+            // previous window, whose replies it never got to send.
+            if let Some((_, pbatch, _)) = pending.take() {
+                settle_disconnect(&pbatch, stats, metrics);
+            }
+        } else {
+            settle_pending(&mut pending, &mut dict, stats, metrics);
+        }
+
         // Crash fidelity: if the shard's crash point fired inside this
         // window, the "process" died mid-write — acknowledge nothing,
         // disconnect everyone still queued, and stop serving. (Writes
         // after the crash point were physically dropped by the fault
         // layer; recovery decides their fate from the journal alone.)
-        if dict.disks().is_some_and(pdm::DiskArray::crash_fired) {
+        if crashed_now {
             shared.crashed[id].store(true, Ordering::Release);
             queue.close();
             let disconnected = batch.len() as u64
@@ -635,42 +678,87 @@ fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<
             return dict;
         }
 
-        // Settle: every request of the window gets exactly one reply.
-        let done = Instant::now();
-        for (request, reply) in batch.iter().zip(replies) {
-            let reply = reply.expect("every request partitioned and answered");
-            let op_idx = ServeMetrics::op_index(&request.op);
-            match &reply {
-                Ok(_) => {
-                    stats.acked.fetch_add(1, Ordering::Relaxed);
-                    if let Some(m) = metrics {
-                        m.ops_ok[op_idx].inc();
-                    }
+        // Durable acks: start the barrier for this window's writes now,
+        // and park the staged replies while the next window overlaps the
+        // syncs — unless the queue is idle, in which case nothing would
+        // overlap (and a lone synchronous client is *waiting* on these
+        // replies before it submits again), so join immediately.
+        let mutated = inserts.iter().any(|&i| replies[i].as_ref().is_some_and(Result::is_ok))
+            || deletes.iter().any(|&i| replies[i].as_ref().is_some_and(Result::is_ok));
+        if shared.cfg.durable_acks && mutated {
+            if let Some(disks) = dict.disks_mut() {
+                let ticket = disks.flush_begin();
+                if queue.depth() == 0 {
+                    disks.flush_join(ticket);
+                    settle_window(&batch, replies, stats, metrics);
+                } else {
+                    pending = Some((ticket, batch, replies));
                 }
-                Err(ServeError::TimedOut) => {
-                    stats.rejected_timedout.fetch_add(1, Ordering::Relaxed);
-                    if let Some(m) = metrics {
-                        m.rejected[1].inc();
-                    }
-                }
-                Err(_) => {
-                    stats.dict_errors.fetch_add(1, Ordering::Relaxed);
-                    if let Some(m) = metrics {
-                        m.ops_err[op_idx].inc();
-                    }
-                }
+                continue;
             }
-            if let Some(m) = metrics {
-                let us = done.duration_since(request.submitted).as_micros() as u64;
-                m.latency_us[op_idx].observe(us);
-            }
-            request.slot.put(reply);
         }
+        settle_window(&batch, replies, stats, metrics);
     }
-    // Graceful exit: the queue was closed and drained dry. Make the
-    // image durable before handing the shard back.
+    // Graceful exit: the queue was closed and drained dry. Release any
+    // parked window, then make the image durable before handing the
+    // shard back.
+    settle_pending(&mut pending, &mut dict, stats, metrics);
     dict.checkpoint();
     dict
+}
+
+/// Join a parked window's durability barrier and release its replies.
+fn settle_pending(
+    pending: &mut Option<ParkedWindow>,
+    dict: &mut Box<dyn Dict + Send>,
+    stats: &AtomicStats,
+    metrics: Option<&ServeMetrics>,
+) {
+    if let Some((ticket, batch, replies)) = pending.take() {
+        if let Some(disks) = dict.disks_mut() {
+            disks.flush_join(ticket);
+        }
+        settle_window(&batch, replies, stats, metrics);
+    }
+}
+
+/// Settle: every request of the window gets exactly one reply.
+fn settle_window(
+    batch: &[Request],
+    replies: Vec<Option<OpResult>>,
+    stats: &AtomicStats,
+    metrics: Option<&ServeMetrics>,
+) {
+    let done = Instant::now();
+    for (request, reply) in batch.iter().zip(replies) {
+        let reply = reply.expect("every request partitioned and answered");
+        let op_idx = ServeMetrics::op_index(&request.op);
+        match &reply {
+            Ok(_) => {
+                stats.acked.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics {
+                    m.ops_ok[op_idx].inc();
+                }
+            }
+            Err(ServeError::TimedOut) => {
+                stats.rejected_timedout.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics {
+                    m.rejected[1].inc();
+                }
+            }
+            Err(_) => {
+                stats.dict_errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = metrics {
+                    m.ops_err[op_idx].inc();
+                }
+            }
+        }
+        if let Some(m) = metrics {
+            let us = done.duration_since(request.submitted).as_micros() as u64;
+            m.latency_us[op_idx].observe(us);
+        }
+        request.slot.put(reply);
+    }
 }
 
 /// Disconnect everything still queued after a crash (never silently
@@ -965,6 +1053,72 @@ mod tests {
         );
         assert_eq!(engine.stats().dict_errors, 1);
         drop(engine.shutdown());
+    }
+
+    /// `durable_acks` with a lone synchronous client: every window finds
+    /// the queue idle, so the barrier joins immediately — the replies a
+    /// sync client is blocked on are never parked behind a drain that
+    /// can only progress once it gets them (the deadlock the
+    /// queue-depth check exists to prevent).
+    #[test]
+    fn durable_acks_sync_client_never_deadlocks() {
+        let params = DictParams::new(64, 1 << 40, 1)
+            .with_degree(16)
+            .with_epsilon(1.0)
+            .with_seed(12);
+        let dict = Dictionary::new(params, 128).unwrap();
+        let engine = ServeEngine::new(
+            vec![Box::new(dict) as Box<dyn Dict + Send>],
+            EngineConfig::default().with_durable_acks(true),
+        );
+        let client = engine.client();
+        for key in 0..8u64 {
+            assert_eq!(client.insert(key, &[key]), Ok(()));
+        }
+        assert_eq!(client.lookup(3), Ok(Some(vec![3])));
+        assert_eq!(client.delete(3), Ok(true));
+        assert_eq!(client.lookup(3), Ok(None));
+        let stats = engine.stats();
+        assert_eq!(stats.acked, 11);
+        drop(engine.shutdown());
+    }
+
+    /// `durable_acks` under concurrent load: windows whose barrier is
+    /// parked while the next window executes must still release exactly
+    /// one reply per request, and a window parked when the queue closes
+    /// settles on the graceful-exit path.
+    #[test]
+    fn durable_acks_pipelined_windows_ack_everything() {
+        let params = DictParams::new(256, 1 << 40, 1)
+            .with_degree(16)
+            .with_epsilon(1.0)
+            .with_seed(13);
+        let dict = Dictionary::new(params, 128).unwrap();
+        let engine = ServeEngine::new(
+            vec![Box::new(dict) as Box<dyn Dict + Send>],
+            EngineConfig::default()
+                .with_durable_acks(true)
+                .with_max_coalesce(4)
+                .with_queue_bound(1024)
+                .with_deadline(Duration::from_secs(60)),
+        );
+        let client = engine.client();
+        // Burst-submit so the worker routinely finds the queue non-empty
+        // at barrier time and parks windows behind in-flight syncs.
+        let mut pendings = Vec::new();
+        for key in 0..120u64 {
+            pendings.push(client.submit(Op::Insert(key, vec![key])).expect("admit"));
+        }
+        for p in pendings {
+            assert_eq!(p.wait(), Ok(Reply::Inserted));
+        }
+        let mut dicts = engine.shutdown();
+        assert_eq!(dicts.len(), 1);
+        let shard = &mut dicts[0];
+        assert_eq!(shard.len(), 120);
+        for key in 0..120u64 {
+            assert_eq!(shard.lookup(key).satellite, Some(vec![key]));
+        }
     }
 
     /// A crash point firing mid-service must disconnect (not ack) the

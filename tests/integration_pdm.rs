@@ -2,8 +2,8 @@
 //! files, external sorting, and model-variant accounting working together.
 
 use pdm::{
-    external_sort, sort_io_bound, BlockAddr, DiskArray, KeyedRecord, Model, PdmConfig, RecordFile,
-    RecordLayout, StripedView,
+    external_sort, sort_io_bound, BlockAddr, DiskArray, KeyedRecord, Model, PdmConfig, ReadOptions,
+    RecordFile, RecordLayout, StripedView,
 };
 use proptest::prelude::*;
 
@@ -20,7 +20,7 @@ fn sort_of_file_written_via_striping_is_correct_and_accounted() {
 
     let before = disks.stats().parallel_ios;
     let out = external_sort(&mut disks, &file);
-    let sorted = out.output.read_all(&mut disks);
+    let sorted = out.output.read_all(&disks);
     assert_eq!(sorted.len(), n);
     assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
     // Satellite integrity through the sort.
@@ -49,7 +49,7 @@ fn head_model_never_costs_more_than_parallel_disk_model() {
             BlockAddr::new(0, 4),
             BlockAddr::new(1, 0),
         ];
-        disks.read_batch(&addrs);
+        let _ = disks.read(&addrs, ReadOptions::default()).into_blocks();
         disks.stats().parallel_ios
     };
     let pd = mk(Model::ParallelDisk);
@@ -89,7 +89,7 @@ proptest! {
             .collect();
         file.write_all(&mut disks, &recs);
         let out = external_sort(&mut disks, &file);
-        let sorted = out.output.read_all(&mut disks);
+        let sorted = out.output.read_all(&disks);
         let mut expect = keys.clone();
         expect.sort_unstable();
         let got: Vec<u64> = sorted.iter().map(|r| r.key).collect();
