@@ -1,0 +1,233 @@
+//! Per-node health machinery: typed retry policies and a circuit
+//! breaker.
+//!
+//! The router treats a remote node as a fallible component with two
+//! failure speeds: *transient* (a dropped connection, one missed
+//! deadline) and *systemic* (the node is gone). [`RetryPolicy`] absorbs
+//! the first with bounded, exponentially backed-off attempts;
+//! [`Breaker`] detects the second by counting consecutive failures and
+//! — once open — keeps traffic away from the node until a cooldown
+//! passes, after which a single half-open probe decides between closing
+//! the breaker and re-opening it. A node whose breaker opened is not
+//! trusted with reads again until it has been re-replicated (see the
+//! router's durability invariant).
+
+use std::time::{Duration, Instant};
+
+/// Bounded retry schedule with exponential backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). `1` means no retries.
+    pub attempts: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retries, no waiting.
+    #[must_use]
+    pub const fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The delay to sleep before retry number `retry` (1-based: after
+    /// the first failed attempt pass 1). Exponential in the retry
+    /// number, capped at [`max_delay`](Self::max_delay).
+    #[must_use]
+    pub fn delay(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (retry - 1).min(16);
+        self.base_delay
+            .saturating_mul(factor)
+            .min(self.max_delay)
+    }
+}
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are refused until the cooldown passes.
+    Open,
+    /// Cooldown passed: exactly one probe request is allowed through;
+    /// its outcome closes or re-opens the breaker.
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker.
+///
+/// Not thread-safe by itself — the router keeps one per node behind its
+/// node lock.
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+impl Breaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// allows a half-open probe `cooldown` after opening.
+    ///
+    /// # Panics
+    /// Panics if `threshold == 0`.
+    #[must_use]
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        assert!(threshold >= 1, "breaker threshold must be at least 1");
+        Breaker {
+            threshold,
+            cooldown,
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+            probe_in_flight: false,
+        }
+    }
+
+    /// Current state, with the open → half-open transition applied if
+    /// the cooldown has passed.
+    pub fn state(&mut self) -> BreakerState {
+        if self.state == BreakerState::Open {
+            if let Some(at) = self.opened_at {
+                if at.elapsed() >= self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = false;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// Whether a request may go to the node now. Closed: always.
+    /// Open: no. Half-open: only the first caller (the probe).
+    pub fn allow(&mut self) -> bool {
+        match self.state() {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful request: closes the breaker and resets the
+    /// failure count.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+        self.opened_at = None;
+        self.probe_in_flight = false;
+    }
+
+    /// Record a failed request. From half-open this re-opens
+    /// immediately; from closed it opens once the consecutive-failure
+    /// threshold is reached.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.state == BreakerState::HalfOpen || self.consecutive_failures >= self.threshold {
+            self.state = BreakerState::Open;
+            self.opened_at = Some(Instant::now());
+            self.probe_in_flight = false;
+        }
+    }
+
+    /// Force the breaker open (the router does this when it declares a
+    /// node dead, so no traffic races the re-replication).
+    pub fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(Instant::now());
+        self.probe_in_flight = false;
+        self.consecutive_failures = self.consecutive_failures.max(self.threshold);
+    }
+
+    /// Reset to closed (after a node has been restored and
+    /// re-replicated).
+    pub fn reset(&mut self) {
+        self.record_success();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delays_back_off_and_cap() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay(0), Duration::ZERO);
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(2), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(40));
+        assert_eq!(p.delay(10), Duration::from_millis(200), "capped");
+        assert_eq!(RetryPolicy::none().attempts, 1);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let mut b = Breaker::new(3, Duration::from_millis(5));
+        assert!(b.allow());
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        std::thread::sleep(Duration::from_millis(6));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(), "one probe goes through");
+        assert!(!b.allow(), "but only one");
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed, "good probe closes");
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = Breaker::new(2, Duration::from_secs(1));
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trip_forces_open() {
+        let mut b = Breaker::new(5, Duration::from_secs(10));
+        b.trip();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        b.reset();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

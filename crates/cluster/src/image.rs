@@ -1,0 +1,165 @@
+//! Shard-image serialization: a frozen [`DiskArray`] as a flat byte
+//! string, chunked over the wire by the migration opcodes.
+//!
+//! The image is the *whole physical medium* of a shard — dictionary
+//! regions **and** the journal ring (the superblock checkpoint and any
+//! in-flight intents). That is what makes re-replication "journaled
+//! catch-up": the receiver pokes the blocks back verbatim and runs the
+//! ordinary crash-recovery path ([`pdm_dict::DynamicDict::reopen`]),
+//! which replays the ring exactly as a restart on the source would —
+//! no bespoke migration protocol to trust, only the one recovery code
+//! path that is already differentially tested.
+
+use pdm::{BlockAddr, DiskArray, PdmConfig, Word};
+
+/// Wire chunk size for migrating images: half the protocol's
+/// [`pdm_server::protocol::MAX_FRAME`], leaving generous room for the
+/// chunk header.
+pub const CHUNK_BYTES: usize = 1 << 19;
+
+/// Number of chunks a `len`-byte image travels as (at least 1, so an
+/// empty image still completes the install handshake).
+#[must_use]
+pub fn chunks_of(len: usize) -> u32 {
+    (len.div_ceil(CHUNK_BYTES)).max(1) as u32
+}
+
+/// The `chunk`-th slice of `bytes` (empty for the trailing chunk of an
+/// empty image).
+#[must_use]
+pub fn chunk_slice(bytes: &[u8], chunk: u32) -> &[u8] {
+    let start = (chunk as usize * CHUNK_BYTES).min(bytes.len());
+    let end = (start + CHUNK_BYTES).min(bytes.len());
+    &bytes[start..end]
+}
+
+/// Serialize a frozen disk array: `disks u32, block_words u32,
+/// blocks_per_disk u32`, then every block's words in
+/// `(disk, block)`-major order, little-endian.
+///
+/// # Panics
+/// Panics if the disks are ragged (unequal block counts) — cluster
+/// shards allocate full stripes only, so a ragged image indicates the
+/// array is not a shard front.
+#[must_use]
+pub fn serialize_image(disks: &DiskArray) -> Vec<u8> {
+    let snapshot = disks.snapshot();
+    let d = snapshot.len();
+    let blocks = snapshot.first().map_or(0, Vec::len);
+    for (i, disk) in snapshot.iter().enumerate() {
+        assert_eq!(
+            disk.len(),
+            blocks,
+            "disk {i} has {} blocks, disk 0 has {blocks}: not a shard image",
+            disk.len()
+        );
+    }
+    let bw = disks.block_words();
+    let mut out = Vec::with_capacity(12 + d * blocks * bw * 8);
+    out.extend_from_slice(&(d as u32).to_le_bytes());
+    out.extend_from_slice(&(bw as u32).to_le_bytes());
+    out.extend_from_slice(&(blocks as u32).to_le_bytes());
+    for disk in &snapshot {
+        for block in disk {
+            assert_eq!(block.len(), bw);
+            for w in block.iter() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Rebuild a disk array from [`serialize_image`] bytes.
+///
+/// # Errors
+/// A human-readable description of any truncation or geometry
+/// inconsistency (surfaced on the wire as a protocol error).
+pub fn deserialize_image(bytes: &[u8]) -> Result<DiskArray, String> {
+    let header = |at: usize| -> Result<u32, String> {
+        bytes
+            .get(at..at + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+            .ok_or_else(|| "image truncated in header".to_string())
+    };
+    let d = header(0)? as usize;
+    let bw = header(4)? as usize;
+    let blocks = header(8)? as usize;
+    if d == 0 || bw == 0 {
+        return Err(format!("degenerate image geometry: {d} disks × {bw} words"));
+    }
+    let body = &bytes[12..];
+    let expect = d * blocks * bw * 8;
+    if body.len() != expect {
+        return Err(format!(
+            "image body is {} bytes, geometry {d}×{blocks}×{bw} words needs {expect}",
+            body.len()
+        ));
+    }
+    let mut disks = DiskArray::new(PdmConfig::new(d, bw), blocks);
+    let mut at = 0;
+    let mut words = vec![0 as Word; bw];
+    for disk in 0..d {
+        for block in 0..blocks {
+            for w in words.iter_mut() {
+                *w = Word::from_le_bytes(body[at..at + 8].try_into().unwrap());
+                at += 8;
+            }
+            disks.poke(BlockAddr::new(disk, block), &words);
+        }
+    }
+    Ok(disks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrips_byte_identically() {
+        let mut disks = DiskArray::new(PdmConfig::new(3, 8), 4);
+        for d in 0..3 {
+            for b in 0..4 {
+                let words: Vec<Word> = (0..8).map(|w| (d * 100 + b * 10 + w) as Word).collect();
+                disks.poke(BlockAddr::new(d, b), &words);
+            }
+        }
+        let image = serialize_image(&disks);
+        let back = deserialize_image(&image).unwrap();
+        assert_eq!(disks.snapshot(), back.snapshot());
+        assert_eq!(image, serialize_image(&back), "re-serialization identical");
+    }
+
+    #[test]
+    fn empty_array_is_one_chunk() {
+        let disks = DiskArray::new(PdmConfig::new(2, 8), 0);
+        let image = serialize_image(&disks);
+        assert_eq!(chunks_of(image.len()), 1);
+        assert_eq!(chunk_slice(&image, 0), &image[..]);
+        let back = deserialize_image(&image).unwrap();
+        assert_eq!(back.snapshot(), disks.snapshot());
+    }
+
+    #[test]
+    fn chunking_covers_the_image_exactly() {
+        let bytes: Vec<u8> = (0..(CHUNK_BYTES * 2 + 37)).map(|i| i as u8).collect();
+        let total = chunks_of(bytes.len());
+        assert_eq!(total, 3);
+        let mut rebuilt = Vec::new();
+        for c in 0..total {
+            rebuilt.extend_from_slice(chunk_slice(&bytes, c));
+        }
+        assert_eq!(rebuilt, bytes);
+    }
+
+    #[test]
+    fn corrupt_images_are_typed_errors() {
+        assert!(deserialize_image(&[1, 2, 3]).is_err());
+        let mut disks = DiskArray::new(PdmConfig::new(2, 8), 1);
+        disks.poke(BlockAddr::new(0, 0), &[7; 8]);
+        let mut image = serialize_image(&disks);
+        image.truncate(image.len() - 1);
+        assert!(deserialize_image(&image).is_err());
+        assert!(deserialize_image(&[0u8; 12]).is_err(), "zero disks");
+    }
+}

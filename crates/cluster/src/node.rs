@@ -1,0 +1,664 @@
+//! A cluster node: several single-shard serving engines behind one TCP
+//! listener speaking the shard-addressed wire protocol.
+//!
+//! Each hosted global shard gets its **own** [`ServeEngine`] (one
+//! internal shard each). That keeps migration surgical: freezing a
+//! shard for export quiesces exactly that engine, while every other
+//! shard on the node keeps serving. The node constructs each shard's
+//! dictionary deterministically from the shared [`ClusterConfig`] —
+//! there is no provisioning step and no directory, in the paper's
+//! spirit: any node can (re)build or adopt any shard from the config
+//! plus, for adoption, a migrated image.
+//!
+//! Epoch discipline: the node remembers the highest cluster-map epoch
+//! it has seen (learned from [`WireRequest::EpochSet`] or piggybacked
+//! on any shard-addressed request) and refuses older routing with
+//! [`ServeError::StaleEpoch`]. Requests for shards it does not host
+//! answer [`ServeError::WrongShard`].
+
+use crate::image::{chunk_slice, chunks_of, deserialize_image, serialize_image};
+use crate::map::ClusterConfig;
+use pdm::{DiskArray, JournalRegion, PdmConfig};
+use pdm_dict::layout::DiskAllocator;
+use pdm_dict::{Dict, DictHandle, DynamicDict};
+use pdm_server::protocol::{
+    decode_request, encode_response, read_frame_poll, write_frame, FrameRead, WireRequest,
+    WireResponse,
+};
+use pdm_server::server::DEFAULT_READ_POLL;
+use pdm_server::{DictClient, EngineConfig, Op, ServeEngine, ServeError};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning of one cluster node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Engine tuning applied to every hosted shard's engine.
+    pub engine: EngineConfig,
+    /// Connection read-poll (bounds node shutdown latency).
+    pub read_poll: Duration,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            engine: EngineConfig::default(),
+            read_poll: DEFAULT_READ_POLL,
+        }
+    }
+}
+
+struct ShardHost {
+    engine: ServeEngine,
+    client: DictClient,
+}
+
+struct ExportStage {
+    bytes: Vec<u8>,
+    total: u32,
+}
+
+struct InstallStage {
+    total: u32,
+    received: u32,
+    bytes: Vec<u8>,
+}
+
+struct NodeInner {
+    cluster: ClusterConfig,
+    cfg: NodeConfig,
+    epoch: AtomicU64,
+    stop: AtomicBool,
+    shards: Mutex<HashMap<u32, ShardHost>>,
+    exports: Mutex<HashMap<u32, ExportStage>>,
+    installs: Mutex<HashMap<u32, InstallStage>>,
+}
+
+/// Build one global shard's dictionary front from nothing but the
+/// shared config — deterministic, so every party agrees on the layout.
+///
+/// # Panics
+/// Panics if the config's dictionary parameters are rejected (they are
+/// validated identically on every node, so this is a config bug, not a
+/// runtime condition).
+#[must_use]
+pub fn build_shard(cluster: &ClusterConfig, shard: u32) -> Box<dyn Dict + Send> {
+    let params = cluster.shard_params(shard);
+    let nd = 2 * params.degree;
+    let mut disks = DiskArray::new(PdmConfig::new(nd, 64), 0);
+    let mut alloc = DiskAllocator::new(nd);
+    let dict = DynamicDict::create(&mut disks, &mut alloc, 0, params)
+        .unwrap_or_else(|e| panic!("shard {shard}: config yields invalid dictionary: {e}"));
+    Box::new(DictHandle::new(dict, disks))
+}
+
+/// Adopt a migrated shard image: poke the blocks back and run the
+/// ordinary crash-recovery reopen (journaled catch-up — the ring
+/// travels inside the image).
+///
+/// # Errors
+/// [`ServeError::Protocol`] on a malformed image,
+/// [`ServeError::Dict`] when recovery rejects it.
+pub fn install_shard(
+    cluster: &ClusterConfig,
+    shard: u32,
+    image: &[u8],
+) -> Result<Box<dyn Dict + Send>, ServeError> {
+    let mut disks = deserialize_image(image)
+        .map_err(|e| ServeError::Protocol(format!("shard {shard} image: {e}")))?;
+    let mut alloc = DiskAllocator::new(disks.disks());
+    // The journal ring is allocated first on every shard front, so it
+    // deterministically sits at block 0 of every disk.
+    let region = JournalRegion {
+        first_block: 0,
+        rows: cluster.journal_rows,
+    };
+    let (dict, _report) = DynamicDict::reopen(
+        &mut disks,
+        &mut alloc,
+        0,
+        cluster.shard_params(shard),
+        region,
+    )
+    .map_err(ServeError::Dict)?;
+    Ok(Box::new(DictHandle::new(dict, disks)))
+}
+
+/// A running cluster node.
+pub struct ClusterNode {
+    local_addr: SocketAddr,
+    inner: Arc<NodeInner>,
+    acceptor: JoinHandle<()>,
+}
+
+impl std::fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterNode")
+            .field("addr", &self.local_addr)
+            .field("epoch", &self.inner.epoch.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterNode {
+    /// Start a node hosting `shards` (each built empty from the
+    /// config), listening on `addr` (`"127.0.0.1:0"` for an OS port).
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start<A: ToSocketAddrs>(
+        addr: A,
+        cluster: ClusterConfig,
+        shards: &[u32],
+        cfg: NodeConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let mut hosted = HashMap::new();
+        for &s in shards {
+            let dict = build_shard(&cluster, s);
+            let engine = ServeEngine::new(vec![dict], cfg.engine);
+            let client = engine.client();
+            hosted.insert(s, ShardHost { engine, client });
+        }
+        let inner = Arc::new(NodeInner {
+            cluster,
+            cfg,
+            epoch: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            shards: Mutex::new(hosted),
+            exports: Mutex::new(HashMap::new()),
+            installs: Mutex::new(HashMap::new()),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("pdm-cluster-node-{}", local_addr.port()))
+                .spawn(move || accept_loop(&listener, &inner))?
+        };
+        Ok(ClusterNode {
+            local_addr,
+            inner,
+            acceptor,
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The highest cluster-map epoch the node has seen.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Global shards currently hosted.
+    #[must_use]
+    pub fn hosted(&self) -> Vec<u32> {
+        let mut shards: Vec<u32> = lock(&self.inner.shards).keys().copied().collect();
+        shards.sort_unstable();
+        shards
+    }
+
+    /// Kill the node as a failure drill: connections drop, the
+    /// listener closes, and **all shard state is discarded** — exactly
+    /// what a machine death looks like to the rest of the cluster. The
+    /// node can only come back empty, via re-replication.
+    pub fn kill(self) {
+        self.teardown();
+    }
+
+    /// Graceful stop. Over the in-memory backend this equals
+    /// [`kill`](Self::kill) (state is process-local either way); the
+    /// distinct name keeps call sites honest about intent.
+    pub fn shutdown(self) {
+        self.teardown();
+    }
+
+    fn teardown(self) {
+        self.inner.stop.store(true, Ordering::Release);
+        // Unblock accept; if the connect fails the listener is gone.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.acceptor.join();
+        // Drain engines so their worker threads exit; the returned
+        // dictionaries are dropped — node state does not survive.
+        let hosts = std::mem::take(&mut *lock(&self.inner.shards));
+        for (_, host) in hosts {
+            drop(host.engine.shutdown());
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<NodeInner>) {
+    let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    let mut next_id = 0u64;
+    for stream in listener.incoming() {
+        if inner.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = Arc::clone(inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("pdm-cluster-conn-{next_id}"))
+            .spawn(move || {
+                let _ = serve_connection(stream, &inner);
+            });
+        next_id += 1;
+        if let Ok(handle) = handle {
+            let mut conns = lock(&connections);
+            conns.retain(|h| !h.is_finished());
+            conns.push(handle);
+        }
+    }
+    for handle in std::mem::take(&mut *lock(&connections)) {
+        let _ = handle.join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, inner: &Arc<NodeInner>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(inner.cfg.read_poll))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if inner.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let payload =
+            match read_frame_poll(&mut reader, || inner.stop.load(Ordering::Acquire)) {
+                Ok(FrameRead::Frame(payload)) => payload,
+                Ok(FrameRead::Eof | FrameRead::Stopped) => return Ok(()),
+                Ok(FrameRead::Idle) => continue,
+                Err(e) => return Err(e),
+            };
+        let (response, drop_after) = match decode_request(&payload) {
+            Ok(req) => (dispatch(inner, req), false),
+            // After a framing error the stream position is
+            // untrustworthy: answer, then drop.
+            Err(malformed) => (WireResponse::Err(malformed), true),
+        };
+        write_frame(&mut writer, &encode_response(&response))?;
+        if drop_after {
+            return Ok(());
+        }
+    }
+}
+
+fn dispatch(inner: &Arc<NodeInner>, req: WireRequest) -> WireResponse {
+    match req {
+        WireRequest::Ping => WireResponse::Pong,
+        WireRequest::Status => WireResponse::NodeStatus {
+            epoch: inner.epoch.load(Ordering::Acquire),
+            shards: {
+                let mut s: Vec<u32> = lock(&inner.shards).keys().copied().collect();
+                s.sort_unstable();
+                s
+            },
+        },
+        WireRequest::EpochSet { epoch } => {
+            inner.epoch.fetch_max(epoch, Ordering::AcqRel);
+            WireResponse::EpochOk
+        }
+        WireRequest::ShardOp { shard, epoch, op } => shard_op(inner, shard, epoch, op),
+        WireRequest::MigrateExport { shard, chunk } => export_chunk(inner, shard, chunk),
+        WireRequest::MigrateInstall {
+            shard,
+            total,
+            chunk,
+            bytes,
+        } => install_chunk(inner, shard, total, chunk, &bytes),
+        // A bare (unaddressed) dictionary op is a routing bug on a
+        // multi-tenant node: refuse typed rather than guess a shard.
+        WireRequest::Op(_) => WireResponse::Err(ServeError::Protocol(
+            "cluster nodes require shard-addressed operations".into(),
+        )),
+    }
+}
+
+fn shard_op(inner: &Arc<NodeInner>, shard: u32, epoch: u64, op: Op) -> WireResponse {
+    // Piggybacked epoch: learn newer, refuse older.
+    let node_epoch = inner.epoch.fetch_max(epoch, Ordering::AcqRel);
+    if epoch < node_epoch {
+        return WireResponse::Err(ServeError::StaleEpoch {
+            request: epoch,
+            node: node_epoch,
+        });
+    }
+    // Reject out-of-universe keys here with a typed error: the
+    // dictionary treats them as a caller contract violation (panic),
+    // and a panicking shard worker would leave the reply slot forever
+    // empty.
+    let key = op.key();
+    if key >= inner.cluster.universe {
+        return WireResponse::Err(ServeError::Dict(pdm_dict::DictError::UnsupportedParams(
+            format!(
+                "key {key} outside the cluster universe of size {}",
+                inner.cluster.universe
+            ),
+        )));
+    }
+    let Some(client) = lock(&inner.shards).get(&shard).map(|h| h.client.clone()) else {
+        return WireResponse::Err(ServeError::WrongShard { shard });
+    };
+    // Bounded wait (engine deadline + slack): a healthy engine always
+    // answers within its deadline, so hitting the bound means the shard
+    // worker died — degrade to a typed timeout instead of wedging this
+    // connection (and with it node teardown) forever.
+    let bound = inner.cfg.engine.deadline + Duration::from_secs(1);
+    match client.submit(op).map(|p| p.wait_timeout(bound)) {
+        Ok(Some(Ok(reply))) => WireResponse::Reply(reply),
+        Ok(Some(Err(e))) => WireResponse::Err(e),
+        Ok(None) => WireResponse::Err(ServeError::TimedOut),
+        Err(e) => WireResponse::Err(e),
+    }
+}
+
+fn export_chunk(inner: &Arc<NodeInner>, shard: u32, chunk: u32) -> WireResponse {
+    let mut exports = lock(&inner.exports);
+    if chunk == 0 {
+        // (Re-)freeze: quiesce exactly this shard's engine — drain,
+        // checkpoint, snapshot — then put it back in service on the
+        // same dictionary.
+        let Some(host) = lock(&inner.shards).remove(&shard) else {
+            return WireResponse::Err(ServeError::WrongShard { shard });
+        };
+        let mut dicts = host.engine.shutdown();
+        let dict = dicts.pop().expect("single-shard engine returns its dict");
+        let image = serialize_image(dict.disks().expect("shard fronts own their disks"));
+        let engine = ServeEngine::new(vec![dict], inner.cfg.engine);
+        let client = engine.client();
+        lock(&inner.shards).insert(shard, ShardHost { engine, client });
+        let total = chunks_of(image.len());
+        exports.insert(shard, ExportStage { bytes: image, total });
+    }
+    let Some(stage) = exports.get(&shard) else {
+        return WireResponse::Err(ServeError::Protocol(format!(
+            "no staged export for shard {shard} (start at chunk 0)"
+        )));
+    };
+    if chunk >= stage.total {
+        return WireResponse::Err(ServeError::Protocol(format!(
+            "chunk {chunk} out of range (total {})",
+            stage.total
+        )));
+    }
+    let resp = WireResponse::ExportChunk {
+        total: stage.total,
+        chunk,
+        bytes: chunk_slice(&stage.bytes, chunk).to_vec(),
+    };
+    if chunk + 1 == stage.total {
+        exports.remove(&shard);
+    }
+    resp
+}
+
+fn install_chunk(
+    inner: &Arc<NodeInner>,
+    shard: u32,
+    total: u32,
+    chunk: u32,
+    bytes: &[u8],
+) -> WireResponse {
+    let image = {
+        let mut installs = lock(&inner.installs);
+        if chunk == 0 {
+            installs.insert(
+                shard,
+                InstallStage {
+                    total,
+                    received: 0,
+                    bytes: Vec::new(),
+                },
+            );
+        }
+        let Some(stage) = installs.get_mut(&shard) else {
+            return WireResponse::Err(ServeError::Protocol(format!(
+                "no staged install for shard {shard} (start at chunk 0)"
+            )));
+        };
+        if total != stage.total || chunk != stage.received {
+            let err = format!(
+                "install chunk {chunk}/{total} does not continue {}/{}",
+                stage.received, stage.total
+            );
+            installs.remove(&shard);
+            return WireResponse::Err(ServeError::Protocol(err));
+        }
+        stage.bytes.extend_from_slice(bytes);
+        stage.received += 1;
+        if stage.received < stage.total {
+            return WireResponse::InstallOk { installed: false };
+        }
+        installs.remove(&shard).expect("just present").bytes
+    };
+    match install_shard(&inner.cluster, shard, &image) {
+        Ok(dict) => {
+            let engine = ServeEngine::new(vec![dict], inner.cfg.engine);
+            let client = engine.client();
+            // Replace any previous incarnation of the shard; drain its
+            // engine so worker threads exit.
+            if let Some(old) = lock(&inner.shards).insert(shard, ShardHost { engine, client }) {
+                drop(old.engine.shutdown());
+            }
+            WireResponse::InstallOk { installed: true }
+        }
+        Err(e) => WireResponse::Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdm_server::protocol::{read_frame, WireRequest, WireResponse};
+    use pdm_server::{Reply, TcpClient};
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig {
+            shards: 4,
+            shard_capacity: 256,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn fast_node() -> NodeConfig {
+        NodeConfig {
+            read_poll: Duration::from_millis(5),
+            ..NodeConfig::default()
+        }
+    }
+
+    #[test]
+    fn shard_ops_roundtrip_with_epoch_and_shard_typing() {
+        let cluster = small_cluster();
+        let node = ClusterNode::start("127.0.0.1:0", cluster, &[0, 2], fast_node()).unwrap();
+        let mut c = TcpClient::connect(node.local_addr()).unwrap();
+
+        // Status reflects hosting.
+        match c.request(&WireRequest::Status).unwrap() {
+            WireResponse::NodeStatus { epoch, shards } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(shards, vec![0, 2]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A hosted shard serves.
+        let req = WireRequest::ShardOp {
+            shard: 2,
+            epoch: 0,
+            op: Op::Insert(7, vec![42]),
+        };
+        assert_eq!(
+            c.request(&req).unwrap(),
+            WireResponse::Reply(Reply::Inserted)
+        );
+
+        // An unhosted shard is a typed refusal.
+        let req = WireRequest::ShardOp {
+            shard: 1,
+            epoch: 0,
+            op: Op::Lookup(7),
+        };
+        assert_eq!(
+            c.request(&req).unwrap(),
+            WireResponse::Err(ServeError::WrongShard { shard: 1 })
+        );
+
+        // Raising the epoch makes old routing stale.
+        assert_eq!(
+            c.request(&WireRequest::EpochSet { epoch: 3 }).unwrap(),
+            WireResponse::EpochOk
+        );
+        assert_eq!(node.epoch(), 3);
+        let req = WireRequest::ShardOp {
+            shard: 2,
+            epoch: 1,
+            op: Op::Lookup(7),
+        };
+        assert_eq!(
+            c.request(&req).unwrap(),
+            WireResponse::Err(ServeError::StaleEpoch { request: 1, node: 3 })
+        );
+
+        // Current-epoch requests still serve, and piggybacked newer
+        // epochs are learned.
+        let req = WireRequest::ShardOp {
+            shard: 2,
+            epoch: 5,
+            op: Op::Lookup(7),
+        };
+        assert_eq!(
+            c.request(&req).unwrap(),
+            WireResponse::Reply(Reply::Lookup(Some(vec![42])))
+        );
+        assert_eq!(node.epoch(), 5);
+
+        node.shutdown();
+    }
+
+    #[test]
+    fn export_install_replicates_byte_identically() {
+        let cluster = small_cluster();
+        let source =
+            ClusterNode::start("127.0.0.1:0", cluster, &[1], fast_node()).unwrap();
+        let target = ClusterNode::start("127.0.0.1:0", cluster, &[], fast_node()).unwrap();
+        let mut sc = TcpClient::connect(source.local_addr()).unwrap();
+        let mut tc = TcpClient::connect(target.local_addr()).unwrap();
+
+        for key in 0..50u64 {
+            let req = WireRequest::ShardOp {
+                shard: 1,
+                epoch: 0,
+                op: Op::Insert(key, vec![key ^ 0xA5]),
+            };
+            assert_eq!(
+                sc.request(&req).unwrap(),
+                WireResponse::Reply(Reply::Inserted)
+            );
+        }
+
+        // Pull the frozen image chunk by chunk.
+        let mut image = Vec::new();
+        let mut chunk = 0u32;
+        loop {
+            let req = WireRequest::MigrateExport { shard: 1, chunk };
+            let (total, bytes) = match sc.request(&req).unwrap() {
+                WireResponse::ExportChunk { total, chunk: c, bytes } => {
+                    assert_eq!(c, chunk);
+                    (total, bytes)
+                }
+                other => panic!("unexpected {other:?}"),
+            };
+            image.extend_from_slice(&bytes);
+            chunk += 1;
+            if chunk == total {
+                break;
+            }
+        }
+
+        // Push it into the target.
+        let total = chunks_of(image.len());
+        for c in 0..total {
+            let req = WireRequest::MigrateInstall {
+                shard: 1,
+                total,
+                chunk: c,
+                bytes: chunk_slice(&image, c).to_vec(),
+            };
+            let installed = match tc.request(&req).unwrap() {
+                WireResponse::InstallOk { installed } => installed,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(installed, c + 1 == total);
+        }
+        assert_eq!(target.hosted(), vec![1]);
+
+        // The replica answers exactly.
+        for key in 0..50u64 {
+            let req = WireRequest::ShardOp {
+                shard: 1,
+                epoch: 0,
+                op: Op::Lookup(key),
+            };
+            assert_eq!(
+                tc.request(&req).unwrap(),
+                WireResponse::Reply(Reply::Lookup(Some(vec![key ^ 0xA5])))
+            );
+        }
+
+        // Byte identity: both replicas export the same frozen image.
+        let re_export = |c: &mut TcpClient| {
+            let mut img = Vec::new();
+            let mut chunk = 0u32;
+            loop {
+                let req = WireRequest::MigrateExport { shard: 1, chunk };
+                match c.request(&req).unwrap() {
+                    WireResponse::ExportChunk { total, bytes, .. } => {
+                        img.extend_from_slice(&bytes);
+                        chunk += 1;
+                        if chunk == total {
+                            return img;
+                        }
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        };
+        assert_eq!(
+            re_export(&mut sc),
+            re_export(&mut tc),
+            "replica images diverge"
+        );
+
+        source.shutdown();
+        target.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_answer_typed_then_drop() {
+        let cluster = small_cluster();
+        let node = ClusterNode::start("127.0.0.1:0", cluster, &[0], fast_node()).unwrap();
+        let mut stream = TcpStream::connect(node.local_addr()).unwrap();
+        write_frame(&mut stream, &[0xEE, 1, 2]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().expect("typed answer");
+        assert!(matches!(
+            pdm_server::protocol::decode_response(&payload).unwrap(),
+            WireResponse::Err(ServeError::Protocol(_))
+        ));
+        assert!(read_frame(&mut stream).unwrap().is_none(), "then dropped");
+        node.shutdown();
+    }
+}

@@ -1,0 +1,700 @@
+//! The client-side cluster router: quorum writes, failover reads,
+//! health tracking, and the journaled re-replication driver.
+//!
+//! ## Durability invariant
+//!
+//! A write is acknowledged iff it was applied on **every replica the
+//! router currently trusts** (map-up, breaker not open) — at least
+//! [`RouterConfig::write_quorum`] of them. A replica that fails its
+//! retries is marked suspect (breaker) and stops being trusted; a
+//! suspect node is never read from and must pass through
+//! [`fail_node`](ClusterRouter::fail_node) +
+//! [`restore_node`](ClusterRouter::restore_node) — which re-images it
+//! from a trusted survivor — before it serves again. Together: every
+//! acknowledged write lives on every replica that can ever serve a
+//! read, so killing any single node (with `k ≥ 2`) loses nothing
+//! acknowledged.
+//!
+//! ## Epoch discipline
+//!
+//! Requests carry the router's map epoch; a node that has seen a newer
+//! epoch refuses with [`ServeError::StaleEpoch`], and the router
+//! re-reads its map and retries. Combined with the per-shard fence
+//! (ops share it, migration takes it exclusively), a write either
+//! lands before a shard's image is frozen for re-replication (and so
+//! travels inside the image) or routes under the new epoch to the new
+//! replica set — never in between. This router assumes it is the only
+//! epoch driver of its cluster.
+
+use crate::health::{Breaker, BreakerState, RetryPolicy};
+use crate::map::{ClusterConfig, ClusterMap, MapDelta};
+use pdm::Word;
+use pdm_server::protocol::{WireRequest, WireResponse};
+use pdm_server::{Op, Reply, ServeError, TcpClient};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Router tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Retry schedule per node per request.
+    pub retry: RetryPolicy,
+    /// Consecutive transport failures that open a node's breaker.
+    pub breaker_threshold: u32,
+    /// Cooldown before a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Bound on each TCP connection attempt.
+    pub connect_timeout: Duration,
+    /// Per-request response deadline (a dead peer surfaces as
+    /// [`ServeError::TimedOut`], never a hang).
+    pub request_deadline: Duration,
+    /// Minimum trusted-replica acks for a write to be acknowledged.
+    pub write_quorum: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(500),
+            request_deadline: Duration::from_secs(5),
+            write_quorum: 1,
+        }
+    }
+}
+
+/// Cluster-level operation errors. Transport-level details stay inside
+/// (the breaker consumed them); these are the outcomes a caller acts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Fewer trusted replicas acked than the write quorum requires.
+    /// The write is **not** acknowledged (it may be partially applied;
+    /// retrying is safe — a duplicate insert on a replica that did
+    /// apply counts as applied).
+    NoQuorum {
+        /// The shard addressed.
+        shard: u32,
+        /// Trusted replicas that acked.
+        acked: usize,
+        /// The configured quorum.
+        needed: usize,
+    },
+    /// No trusted replica could serve the read.
+    AllReplicasDown {
+        /// The shard addressed.
+        shard: u32,
+    },
+    /// A server-side typed error (dictionary errors pass through here).
+    Serve(ServeError),
+    /// Re-replication failed (source export or target install).
+    Replication {
+        /// The shard being re-replicated.
+        shard: u32,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoQuorum {
+                shard,
+                acked,
+                needed,
+            } => write!(
+                f,
+                "shard {shard}: {acked} trusted replicas acked, quorum needs {needed}"
+            ),
+            ClusterError::AllReplicasDown { shard } => {
+                write!(f, "shard {shard}: no trusted replica reachable")
+            }
+            ClusterError::Serve(e) => write!(f, "server error: {e}"),
+            ClusterError::Replication { shard, detail } => {
+                write!(f, "re-replication of shard {shard} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for ClusterError {
+    fn from(e: ServeError) -> Self {
+        ClusterError::Serve(e)
+    }
+}
+
+/// Counters the chaos drills and benches read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Writes acknowledged under the durability invariant.
+    pub writes_acked: u64,
+    /// Writes refused (no quorum or typed server error).
+    pub writes_refused: u64,
+    /// Reads answered by the primary replica.
+    pub reads_primary: u64,
+    /// Reads answered by a non-primary replica after failover.
+    pub reads_failover: u64,
+    /// Transport-level failures absorbed (retries, breakers).
+    pub transport_failures: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    writes_acked: AtomicU64,
+    writes_refused: AtomicU64,
+    reads_primary: AtomicU64,
+    reads_failover: AtomicU64,
+    transport_failures: AtomicU64,
+}
+
+struct NodeSlot {
+    addr: SocketAddr,
+    conn: Option<TcpClient>,
+    breaker: Breaker,
+}
+
+/// The outcome of one node-level request attempt series.
+enum NodeOutcome {
+    /// A response crossed the wire (possibly a typed server error).
+    Answered {
+        resp: WireResponse,
+        /// Whether an earlier attempt failed after the request may have
+        /// reached the server (retry ambiguity — used to treat a
+        /// duplicate-key refusal of a retried insert as applied).
+        retried: bool,
+    },
+    /// No response: breaker open, connect/request failures exhausted.
+    Unreachable,
+}
+
+/// The report of one [`fail_node`](ClusterRouter::fail_node) /
+/// [`restore_node`](ClusterRouter::restore_node) transition.
+#[derive(Debug, Clone)]
+pub struct ReplicationReport {
+    /// The map transition driven.
+    pub delta: MapDelta,
+    /// Shards successfully re-replicated to their new replica.
+    pub replicated: Vec<u32>,
+    /// Shards whose re-replication failed, with details.
+    pub failed: Vec<(u32, String)>,
+}
+
+/// The client-side router over a set of cluster nodes.
+pub struct ClusterRouter {
+    cluster: ClusterConfig,
+    cfg: RouterConfig,
+    map: Mutex<ClusterMap>,
+    nodes: Vec<Mutex<NodeSlot>>,
+    /// Per-shard fence: ops take it shared, migration exclusively.
+    fences: Vec<RwLock<()>>,
+    /// Serializes map transitions (fail/restore/repair).
+    admin: Mutex<()>,
+    stats: StatCells,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ClusterRouter {
+    /// A router over nodes at `addrs` with capacity `weights`
+    /// (`weights[i]` belongs to `addrs[i]`), building the epoch-0 map.
+    ///
+    /// # Panics
+    /// Panics on the [`ClusterMap::build`] parameter violations, on
+    /// `addrs.len() != weights.len()`, or a zero write quorum.
+    #[must_use]
+    pub fn new(
+        cluster: ClusterConfig,
+        addrs: &[SocketAddr],
+        weights: &[u32],
+        cfg: RouterConfig,
+    ) -> Self {
+        assert_eq!(addrs.len(), weights.len());
+        assert!(cfg.write_quorum >= 1, "write quorum must be at least 1");
+        let map = ClusterMap::build(cluster, weights);
+        let nodes = addrs
+            .iter()
+            .map(|&addr| {
+                Mutex::new(NodeSlot {
+                    addr,
+                    conn: None,
+                    breaker: Breaker::new(cfg.breaker_threshold, cfg.breaker_cooldown),
+                })
+            })
+            .collect();
+        let fences = (0..cluster.shards).map(|_| RwLock::new(())).collect();
+        ClusterRouter {
+            cluster,
+            cfg,
+            map: Mutex::new(map),
+            nodes,
+            fences,
+            admin: Mutex::new(()),
+            stats: StatCells::default(),
+        }
+    }
+
+    /// The shared cluster config.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// The router's current map epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        lock(&self.map).epoch()
+    }
+
+    /// A snapshot of the current cluster map.
+    #[must_use]
+    pub fn map_snapshot(&self) -> ClusterMap {
+        lock(&self.map).clone()
+    }
+
+    /// Current breaker state of `node`.
+    #[must_use]
+    pub fn node_health(&self, node: usize) -> BreakerState {
+        lock(&self.nodes[node]).breaker.state()
+    }
+
+    /// Point `node` at a new address (a restarted process rarely comes
+    /// back on the same port). Drops any cached connection; call before
+    /// [`restore_node`](Self::restore_node).
+    pub fn set_node_addr(&self, node: usize, addr: SocketAddr) {
+        let mut slot = lock(&self.nodes[node]);
+        slot.addr = addr;
+        slot.conn = None;
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            writes_acked: self.stats.writes_acked.load(Ordering::Relaxed),
+            writes_refused: self.stats.writes_refused.load(Ordering::Relaxed),
+            reads_primary: self.stats.reads_primary.load(Ordering::Relaxed),
+            reads_failover: self.stats.reads_failover.load(Ordering::Relaxed),
+            transport_failures: self.stats.transport_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    // ------------------------------------------------------------- ops
+
+    /// Insert `key` with satellite words; acknowledged under the
+    /// durability invariant.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoQuorum`] when too few trusted replicas acked;
+    /// [`ClusterError::Serve`] for typed server refusals.
+    pub fn insert(&self, key: u64, satellite: &[Word]) -> Result<(), ClusterError> {
+        match self.write(key, Op::Insert(key, satellite.to_vec()))? {
+            Reply::Inserted => Ok(()),
+            other => Err(ClusterError::Serve(ServeError::Protocol(format!(
+                "insert answered {other:?}"
+            )))),
+        }
+    }
+
+    /// Delete `key`; returns whether it had been present. Acknowledged
+    /// under the durability invariant.
+    ///
+    /// # Errors
+    /// As [`insert`](Self::insert).
+    pub fn delete(&self, key: u64) -> Result<bool, ClusterError> {
+        match self.write(key, Op::Delete(key))? {
+            Reply::Deleted(was) => Ok(was),
+            other => Err(ClusterError::Serve(ServeError::Protocol(format!(
+                "delete answered {other:?}"
+            )))),
+        }
+    }
+
+    /// Look up `key`: primary replica first, automatic failover to the
+    /// remaining replicas (degraded but exact — every trusted replica
+    /// holds every acknowledged write).
+    ///
+    /// # Errors
+    /// [`ClusterError::AllReplicasDown`] when no trusted replica
+    /// answers; [`ClusterError::Serve`] for typed server errors.
+    pub fn lookup(&self, key: u64) -> Result<Option<Vec<Word>>, ClusterError> {
+        let shard = self.cluster.shard_of(key);
+        let fence = self.fences[shard as usize]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut refreshes = 0;
+        'epoch: loop {
+            let (epoch, replicas) = self.route(shard);
+            for (i, &node) in replicas.iter().enumerate() {
+                let req = WireRequest::ShardOp {
+                    shard,
+                    epoch,
+                    op: Op::Lookup(key),
+                };
+                match self.request_on_node(node, &req) {
+                    NodeOutcome::Answered { resp, .. } => match resp {
+                        WireResponse::Reply(Reply::Lookup(sat)) => {
+                            if i == 0 {
+                                self.stats.reads_primary.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                self.stats.reads_failover.fetch_add(1, Ordering::Relaxed);
+                            }
+                            return Ok(sat);
+                        }
+                        WireResponse::Err(ServeError::StaleEpoch { .. }) if refreshes < 3 => {
+                            refreshes += 1;
+                            continue 'epoch;
+                        }
+                        // A replica the node does not (yet) host: fail
+                        // over like an unreachable one.
+                        WireResponse::Err(ServeError::WrongShard { .. }) => {}
+                        WireResponse::Err(e) => return Err(ClusterError::Serve(e)),
+                        other => {
+                            return Err(ClusterError::Serve(ServeError::Protocol(format!(
+                                "lookup answered {other:?}"
+                            ))))
+                        }
+                    },
+                    NodeOutcome::Unreachable => {}
+                }
+            }
+            drop(fence);
+            return Err(ClusterError::AllReplicasDown { shard });
+        }
+    }
+
+    /// The mutating-op common path (see the module docs for the
+    /// durability invariant).
+    fn write(&self, key: u64, op: Op) -> Result<Reply, ClusterError> {
+        let shard = self.cluster.shard_of(key);
+        let fence = self.fences[shard as usize]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut refreshes = 0;
+        let reply = 'epoch: loop {
+            let (epoch, replicas) = self.route(shard);
+            let mut acked = 0usize;
+            let mut reply: Option<Reply> = None;
+            for &node in &replicas {
+                let req = WireRequest::ShardOp {
+                    shard,
+                    epoch,
+                    op: op.clone(),
+                };
+                match self.request_on_node(node, &req) {
+                    NodeOutcome::Answered { resp, retried } => match resp {
+                        WireResponse::Reply(r) => {
+                            acked += 1;
+                            reply.get_or_insert(r);
+                        }
+                        // Retry ambiguity: the earlier attempt's insert
+                        // may have applied before the transport failed;
+                        // the duplicate refusal then *is* the ack.
+                        WireResponse::Err(ServeError::Dict(
+                            pdm_dict::DictError::DuplicateKey(_),
+                        )) if retried && matches!(op, Op::Insert(..)) => {
+                            acked += 1;
+                            reply.get_or_insert(Reply::Inserted);
+                        }
+                        WireResponse::Err(ServeError::StaleEpoch { .. }) if refreshes < 3 => {
+                            refreshes += 1;
+                            continue 'epoch;
+                        }
+                        WireResponse::Err(e) => {
+                            self.stats.writes_refused.fetch_add(1, Ordering::Relaxed);
+                            return Err(ClusterError::Serve(e));
+                        }
+                        other => {
+                            self.stats.writes_refused.fetch_add(1, Ordering::Relaxed);
+                            return Err(ClusterError::Serve(ServeError::Protocol(format!(
+                                "write answered {other:?}"
+                            ))));
+                        }
+                    },
+                    // An unreachable replica is no longer trusted (its
+                    // breaker saw to that); the ack proceeds without it
+                    // and the node re-images before it serves again.
+                    NodeOutcome::Unreachable => {}
+                }
+            }
+            if acked < self.cfg.write_quorum {
+                self.stats.writes_refused.fetch_add(1, Ordering::Relaxed);
+                drop(fence);
+                return Err(ClusterError::NoQuorum {
+                    shard,
+                    acked,
+                    needed: self.cfg.write_quorum,
+                });
+            }
+            break reply.expect("acked >= 1 implies a reply");
+        };
+        self.stats.writes_acked.fetch_add(1, Ordering::Relaxed);
+        Ok(reply)
+    }
+
+    /// Map snapshot for one shard: (epoch, up-replicas in failover
+    /// order).
+    fn route(&self, shard: u32) -> (u64, Vec<usize>) {
+        let map = lock(&self.map);
+        let replicas = map
+            .replicas(shard)
+            .iter()
+            .copied()
+            .filter(|&n| map.nodes()[n].up)
+            .collect();
+        (map.epoch(), replicas)
+    }
+
+    /// One request against one node with retries, breaker accounting,
+    /// and lazy (re)connection.
+    fn request_on_node(&self, node: usize, req: &WireRequest) -> NodeOutcome {
+        let mut slot = lock(&self.nodes[node]);
+        if !slot.breaker.allow() {
+            return NodeOutcome::Unreachable;
+        }
+        let mut retried = false;
+        for attempt in 0..self.cfg.retry.attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.cfg.retry.delay(attempt));
+            }
+            if slot.conn.as_ref().is_none_or(TcpClient::is_poisoned) {
+                match TcpClient::connect_timeout(slot.addr, self.cfg.connect_timeout) {
+                    Ok(mut c) => {
+                        if c.set_deadline(Some(self.cfg.request_deadline)).is_err() {
+                            slot.conn = None;
+                            self.note_transport_failure(&mut slot);
+                            retried = true;
+                            continue;
+                        }
+                        slot.conn = Some(c);
+                    }
+                    Err(_) => {
+                        self.note_transport_failure(&mut slot);
+                        retried = true;
+                        continue;
+                    }
+                }
+            }
+            let conn = slot.conn.as_mut().expect("just ensured");
+            match conn.request(req) {
+                Ok(resp) => {
+                    slot.breaker.record_success();
+                    return NodeOutcome::Answered { resp, retried };
+                }
+                // Transport-level failures: the connection is useless
+                // (timed out → poisoned, or the stream broke).
+                Err(
+                    ServeError::TimedOut
+                    | ServeError::Disconnected
+                    | ServeError::Protocol(_),
+                ) => {
+                    slot.conn = None;
+                    self.note_transport_failure(&mut slot);
+                    retried = true;
+                }
+                // Typed server errors never surface from
+                // `TcpClient::request` itself (they come wrapped in
+                // `WireResponse::Err`), but stay conservative.
+                Err(_) => {
+                    self.note_transport_failure(&mut slot);
+                    retried = true;
+                }
+            }
+        }
+        NodeOutcome::Unreachable
+    }
+
+    fn note_transport_failure(&self, slot: &mut NodeSlot) {
+        slot.breaker.record_failure();
+        self.stats.transport_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------- map transitions
+
+    /// Declare `node` dead: trip its breaker, bump the map epoch
+    /// (moving only the dead node's replicas — the Lemma 3 bounded
+    /// movement), broadcast the new epoch, and re-replicate every moved
+    /// shard from its surviving primary onto its new replica.
+    ///
+    /// # Errors
+    /// Never fails as a whole; per-shard re-replication failures are
+    /// reported in [`ReplicationReport::failed`].
+    #[allow(clippy::missing_panics_doc)] // map invariants, not runtime conditions
+    pub fn fail_node(&self, node: usize) -> Result<ReplicationReport, ClusterError> {
+        let _admin = lock(&self.admin);
+        {
+            let mut slot = lock(&self.nodes[node]);
+            slot.breaker.trip();
+            slot.conn = None;
+        }
+        let delta = lock(&self.map).mark_down(node);
+        self.broadcast_epoch(delta.epoch);
+        self.drive_moves(delta)
+    }
+
+    /// Bring a restarted (empty) `node` back: bump the epoch, hand the
+    /// node back only its fair share of replica slots, re-replicate
+    /// them onto it from their current primaries, and reset its
+    /// breaker.
+    ///
+    /// # Errors
+    /// As [`fail_node`](Self::fail_node).
+    #[allow(clippy::missing_panics_doc)]
+    pub fn restore_node(&self, node: usize) -> Result<ReplicationReport, ClusterError> {
+        let _admin = lock(&self.admin);
+        let delta = lock(&self.map).mark_up(node);
+        self.broadcast_epoch(delta.epoch);
+        {
+            let mut slot = lock(&self.nodes[node]);
+            slot.breaker.reset();
+            slot.conn = None;
+        }
+        self.drive_moves(delta)
+    }
+
+    /// Declare dead every map-up node whose breaker is open (the
+    /// request path marked it suspect) and drive the repairs. Returns
+    /// one report per node declared dead.
+    ///
+    /// # Errors
+    /// Per-shard failures are inside the reports; the call itself does
+    /// not fail.
+    pub fn repair(&self) -> Result<Vec<ReplicationReport>, ClusterError> {
+        let suspects: Vec<usize> = {
+            let map = lock(&self.map);
+            (0..self.nodes.len())
+                .filter(|&n| {
+                    map.nodes()[n].up
+                        && lock(&self.nodes[n]).breaker.state() == BreakerState::Open
+                })
+                .collect()
+        };
+        suspects.into_iter().map(|n| self.fail_node(n)).collect()
+    }
+
+    /// Best-effort epoch broadcast to every up node (a node that misses
+    /// it learns the epoch piggybacked on the next request).
+    fn broadcast_epoch(&self, epoch: u64) {
+        let up: Vec<usize> = {
+            let map = lock(&self.map);
+            (0..self.nodes.len()).filter(|&n| map.nodes()[n].up).collect()
+        };
+        for node in up {
+            let _ = self.request_on_node(node, &WireRequest::EpochSet { epoch });
+        }
+    }
+
+    fn drive_moves(&self, delta: MapDelta) -> Result<ReplicationReport, ClusterError> {
+        let mut replicated = Vec::new();
+        let mut failed = Vec::new();
+        for mv in &delta.moves {
+            match self.re_replicate(mv.shard, mv.to) {
+                Ok(()) => replicated.push(mv.shard),
+                Err(e) => failed.push((mv.shard, e.to_string())),
+            }
+        }
+        Ok(ReplicationReport {
+            delta,
+            replicated,
+            failed,
+        })
+    }
+
+    /// Copy `shard`'s frozen image from its current primary (a data
+    /// holder — new replicas are appended behind the survivors) onto
+    /// `target`, under the shard's exclusive fence.
+    fn re_replicate(&self, shard: u32, target: usize) -> Result<(), ClusterError> {
+        let _fence = self.fences[shard as usize]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let source = {
+            let map = lock(&self.map);
+            let primary = map.primary(shard);
+            if primary == target {
+                return Err(ClusterError::Replication {
+                    shard,
+                    detail: "no surviving data holder (k = 1 cannot re-replicate)".into(),
+                });
+            }
+            primary
+        };
+        let fail = |detail: String| ClusterError::Replication { shard, detail };
+
+        // Pull the frozen image from the source, chunk by chunk.
+        let mut image = Vec::new();
+        let mut chunk = 0u32;
+        loop {
+            let req = WireRequest::MigrateExport { shard, chunk };
+            let NodeOutcome::Answered { resp, .. } = self.request_on_node(source, &req) else {
+                return Err(fail(format!("source node {source} unreachable")));
+            };
+            match resp {
+                WireResponse::ExportChunk {
+                    total,
+                    chunk: c,
+                    bytes,
+                } => {
+                    if c != chunk {
+                        return Err(fail(format!("export answered chunk {c}, wanted {chunk}")));
+                    }
+                    image.extend_from_slice(&bytes);
+                    chunk += 1;
+                    if chunk == total {
+                        break;
+                    }
+                }
+                WireResponse::Err(e) => return Err(fail(format!("export: {e}"))),
+                other => return Err(fail(format!("export answered {other:?}"))),
+            }
+        }
+
+        // Push it into the target.
+        let total = crate::image::chunks_of(image.len());
+        for c in 0..total {
+            let req = WireRequest::MigrateInstall {
+                shard,
+                total,
+                chunk: c,
+                bytes: crate::image::chunk_slice(&image, c).to_vec(),
+            };
+            let NodeOutcome::Answered { resp, .. } = self.request_on_node(target, &req) else {
+                return Err(fail(format!("target node {target} unreachable")));
+            };
+            match resp {
+                WireResponse::InstallOk { installed } => {
+                    if (c + 1 == total) != installed {
+                        return Err(fail(format!(
+                            "install chunk {c}/{total} answered installed={installed}"
+                        )));
+                    }
+                }
+                WireResponse::Err(e) => return Err(fail(format!("install: {e}"))),
+                other => return Err(fail(format!("install answered {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ClusterRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterRouter")
+            .field("epoch", &self.epoch())
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -28,10 +28,12 @@ pub mod analysis;
 pub mod baselines;
 pub mod greedy;
 pub mod recursive;
+pub mod weighted;
 
 pub use analysis::LoadStats;
 pub use greedy::{GreedyBalancer, TieBreak};
 pub use recursive::{Placement, RecursiveBalancer};
+pub use weighted::{choose_replicas, place_all, rendezvous_rank, WeightedNode};
 
 // The Lemma 3 bound calculators live next to the other parameter
 // arithmetic; re-export them here so load-balancing callers have one stop.

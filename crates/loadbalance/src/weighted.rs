@@ -1,0 +1,316 @@
+//! Deterministic d-choice placement over **weighted** nodes — the
+//! Section 3 balancer lifted from "items into buckets" to "shards onto
+//! storage nodes".
+//!
+//! The cluster tier asks a slightly different question than
+//! [`GreedyBalancer`](crate::GreedyBalancer): place each of `S` shards
+//! on `k` **distinct** nodes out of `N`, where nodes have integer
+//! capacity weights, such that
+//!
+//! * placement is a pure function of `(seed, shard, weights)` — any
+//!   party with the cluster config computes the same map, so there is
+//!   no central directory to consult (the paper's guiding discipline);
+//! * load is balanced in proportion to weight, with the greedy
+//!   least-loaded choice among each shard's `d` candidates keeping the
+//!   deviation small exactly as Lemma 3 bounds it for `d`-choice
+//!   placement;
+//! * the candidate list of a shard is a *ranking* of all nodes, so when
+//!   a node dies its shards fail over to the next-ranked candidates and
+//!   nothing else moves (bounded movement).
+//!
+//! Candidates come from **integer rendezvous hashing**: node `i` with
+//! weight `w_i` scores a shard by the maximum of `w_i` mixed values
+//! (one per "virtual instance" of the node), and nodes are ranked by
+//! descending score. The max-of-`w` form makes a node's share of
+//! top-ranks proportional to its weight without any floating-point
+//! (`-w/ln u`) scoring, whose platform-dependent rounding would break
+//! cross-machine determinism.
+
+use expander::mix::mix64;
+
+/// A storage node as the placement function sees it: an opaque stable
+/// id (hashed into every score, so renumbering nodes reshuffles
+/// nothing) and an integer capacity weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedNode {
+    /// Stable node identity; must be unique within one placement.
+    pub id: u64,
+    /// Relative capacity, ≥ 1. A weight-2 node receives ~2× the shards
+    /// of a weight-1 node.
+    pub weight: u32,
+}
+
+impl WeightedNode {
+    /// A node with the given id and weight.
+    ///
+    /// # Panics
+    /// Panics if `weight == 0` — a zero-weight node can never win a
+    /// rank and would silently shrink the candidate pool.
+    #[must_use]
+    pub fn new(id: u64, weight: u32) -> Self {
+        assert!(weight >= 1, "node weight must be at least 1");
+        WeightedNode { id, weight }
+    }
+}
+
+/// Rendezvous score of one node for one shard: the maximum over the
+/// node's `weight` virtual instances of a mixed 64-bit value. Pure
+/// integer arithmetic — identical on every platform.
+#[must_use]
+pub fn node_score(seed: u64, shard: u64, node: WeightedNode) -> u64 {
+    (0..u64::from(node.weight))
+        .map(|virt| mix64(seed ^ mix64(shard ^ mix64(node.id ^ (virt << 32)))))
+        .max()
+        .expect("weight >= 1")
+}
+
+/// Rank all nodes for `shard` by descending rendezvous score (ties —
+/// astronomically unlikely with 64-bit scores — break by id for a total
+/// order). `ranking[0]` is the shard's first-choice node; a failed
+/// node's replicas fail over down this list.
+#[must_use]
+pub fn rendezvous_rank(seed: u64, shard: u64, nodes: &[WeightedNode]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by_key(|&i| {
+        let n = nodes[i];
+        (std::cmp::Reverse(node_score(seed, shard, n)), n.id)
+    });
+    order
+}
+
+/// Greedily pick `k` **distinct** nodes for one shard from its top-`d`
+/// rendezvous candidates: each replica goes to the eligible candidate
+/// with the least load *per unit weight* (Section 3's greedy rule,
+/// normalized so a weight-`w` node absorbs `w×` the replicas before it
+/// counts as equally full), ties breaking by rendezvous rank. `loads`
+/// is indexed like `nodes` and is updated in place, so calling this
+/// shard-by-shard reproduces the on-line greedy placement.
+///
+/// `eligible` masks nodes that may receive replicas (down nodes are
+/// ineligible). Returns `None` when fewer than `k` eligible candidates
+/// exist among the top `d` — the caller must widen `d` or accept
+/// degraded replication.
+///
+/// # Panics
+/// Panics if `k == 0`, `k > d`, or the slice lengths disagree.
+pub fn choose_replicas(
+    seed: u64,
+    shard: u64,
+    nodes: &[WeightedNode],
+    eligible: &[bool],
+    loads: &mut [u64],
+    k: usize,
+    d: usize,
+) -> Option<Vec<usize>> {
+    assert!(k >= 1, "placement needs at least one replica");
+    assert!(k <= d, "k = {k} replicas exceed d = {d} candidates");
+    assert_eq!(nodes.len(), eligible.len());
+    assert_eq!(nodes.len(), loads.len());
+    let ranking = rendezvous_rank(seed, shard, nodes);
+    let candidates: Vec<usize> = ranking
+        .into_iter()
+        .filter(|&i| eligible[i])
+        .take(d)
+        .collect();
+    if candidates.len() < k {
+        return None;
+    }
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for _ in 0..k {
+        // Least load per unit weight among candidates not yet chosen,
+        // by exact cross-multiplication (no float division); ties break
+        // by rendezvous rank (`min_by` keeps the first minimum and
+        // candidates is already rank-ordered).
+        let best = candidates
+            .iter()
+            .copied()
+            .filter(|i| !chosen.contains(i))
+            .min_by(|&a, &b| {
+                let wa = u128::from(nodes[a].weight);
+                let wb = u128::from(nodes[b].weight);
+                (u128::from(loads[a]) * wb).cmp(&(u128::from(loads[b]) * wa))
+            })?;
+        loads[best] += 1;
+        chosen.push(best);
+    }
+    Some(chosen)
+}
+
+/// Build a full placement: for each shard in `0..shards`, its `k`
+/// distinct replica nodes. A pure function of its arguments — every
+/// caller computes the identical map.
+///
+/// # Panics
+/// Panics if any shard cannot get `k` distinct nodes among its top-`d`
+/// candidates (i.e. fewer than `k` nodes exist), or on the
+/// [`choose_replicas`] parameter violations.
+#[must_use]
+pub fn place_all(
+    seed: u64,
+    shards: u32,
+    nodes: &[WeightedNode],
+    k: usize,
+    d: usize,
+) -> Vec<Vec<usize>> {
+    let eligible = vec![true; nodes.len()];
+    let mut loads = vec![0u64; nodes.len()];
+    (0..shards)
+        .map(|s| {
+            choose_replicas(seed, u64::from(s), nodes, &eligible, &mut loads, k, d)
+                .unwrap_or_else(|| {
+                    panic!("shard {s}: fewer than {k} eligible nodes among top {d}")
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Vec<WeightedNode> {
+        (0..n as u64).map(|id| WeightedNode::new(id, 1)).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_distinct() {
+        let nodes = uniform(5);
+        let a = place_all(42, 64, &nodes, 2, 4);
+        let b = place_all(42, 64, &nodes, 2, 4);
+        assert_eq!(a, b);
+        for replicas in &a {
+            assert_eq!(replicas.len(), 2);
+            assert_ne!(replicas[0], replicas[1], "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_map() {
+        let nodes = uniform(5);
+        assert_ne!(
+            place_all(1, 64, &nodes, 2, 4),
+            place_all(2, 64, &nodes, 2, 4)
+        );
+    }
+
+    #[test]
+    fn load_is_balanced_on_uniform_weights() {
+        let nodes = uniform(4);
+        let map = place_all(7, 128, &nodes, 2, 4);
+        let mut loads = [0u64; 4];
+        for replicas in &map {
+            for &n in replicas {
+                loads[n] += 1;
+            }
+        }
+        // 256 replicas over 4 nodes: greedy d-choice with d = N keeps
+        // everyone at exactly the mean.
+        assert_eq!(loads, [64; 4]);
+    }
+
+    #[test]
+    fn weight_scales_the_share_of_first_choices() {
+        // Rendezvous ranks (pre-greedy) should favor the heavy node
+        // roughly in proportion to weight.
+        let nodes = vec![
+            WeightedNode::new(0, 3),
+            WeightedNode::new(1, 1),
+            WeightedNode::new(2, 1),
+        ];
+        let shards = 4000u64;
+        let heavy_first = (0..shards)
+            .filter(|&s| rendezvous_rank(9, s, &nodes)[0] == 0)
+            .count() as f64;
+        let share = heavy_first / shards as f64;
+        // Expected 3/5 = 0.6; allow generous slack for a hash test.
+        assert!((0.5..0.7).contains(&share), "heavy share {share}");
+    }
+
+    #[test]
+    fn weighted_greedy_splits_load_proportionally() {
+        // weight 3 : 1 : 1 : 1 over 240 replica slots → expect shares
+        // near 120 : 40 : 40 : 40.
+        let nodes = vec![
+            WeightedNode::new(0, 3),
+            WeightedNode::new(1, 1),
+            WeightedNode::new(2, 1),
+            WeightedNode::new(3, 1),
+        ];
+        let map = place_all(11, 120, &nodes, 2, 4);
+        let mut loads = [0u64; 4];
+        for replicas in &map {
+            for &n in replicas {
+                loads[n] += 1;
+            }
+        }
+        assert!(
+            (100..=140).contains(&loads[0]),
+            "heavy node load {loads:?} not ~3× a light node's"
+        );
+        for &l in &loads[1..] {
+            assert!((28..=52).contains(&l), "light node loads {loads:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_replicas() {
+        // The failover property the cluster map relies on: keep every
+        // replica not on the dead node, re-place only the lost ones.
+        let nodes = uniform(6);
+        let k = 2;
+        let map = place_all(3, 90, &nodes, k, 4);
+        let dead = 2usize;
+        let mut eligible = vec![true; nodes.len()];
+        eligible[dead] = false;
+        let mut loads = vec![0u64; nodes.len()];
+        for replicas in &map {
+            for &n in replicas {
+                if n != dead {
+                    loads[n] += 1;
+                }
+            }
+        }
+        let mut moved = 0usize;
+        for (s, replicas) in map.iter().enumerate() {
+            if replicas.contains(&dead) {
+                moved += 1;
+                // The lost replica re-places on an eligible candidate
+                // distinct from the survivor.
+                let survivor: Vec<usize> =
+                    replicas.iter().copied().filter(|&n| n != dead).collect();
+                let mut elig = eligible.clone();
+                for &n in &survivor {
+                    elig[n] = false;
+                }
+                let repl = choose_replicas(3, s as u64, &nodes, &elig, &mut loads, 1, 4)
+                    .expect("enough nodes");
+                assert_ne!(repl[0], dead);
+                assert!(!survivor.contains(&repl[0]));
+            }
+        }
+        // Expected replicas on the dead node ≈ shards·k/N = 30; only
+        // those shards move.
+        let total_replicas = 90 * k;
+        assert!(
+            moved * nodes.len() <= total_replicas * 2,
+            "movement {moved} far above the 1/N share"
+        );
+    }
+
+    #[test]
+    fn too_few_nodes_is_a_typed_refusal() {
+        let nodes = uniform(2);
+        let mut loads = vec![0u64; 2];
+        let eligible = vec![true, false];
+        assert_eq!(
+            choose_replicas(1, 0, &nodes, &eligible, &mut loads, 2, 3),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be at least 1")]
+    fn zero_weight_refused() {
+        let _ = WeightedNode::new(1, 0);
+    }
+}

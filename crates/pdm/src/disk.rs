@@ -926,53 +926,6 @@ impl DiskArray {
         }
     }
 
-    /// Read a batch of blocks, discarding per-block health.
-    #[deprecated(note = "use read with options")]
-    pub fn read_batch(&mut self, addrs: &[BlockAddr]) -> Vec<Vec<Word>> {
-        self.read(addrs, ReadOptions::default()).blocks
-    }
-
-    /// Read a batch of blocks, reporting per-block health.
-    #[deprecated(note = "use read with options")]
-    pub fn read_batch_verified(
-        &mut self,
-        addrs: &[BlockAddr],
-    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>) {
-        let out = self.read(addrs, ReadOptions::verified());
-        (out.blocks, out.healths)
-    }
-
-    /// Shared read, discarding per-block health.
-    #[deprecated(note = "use read_shared with options")]
-    #[must_use]
-    pub fn read_batch_shared(&self, addrs: &[BlockAddr]) -> (Vec<Vec<Word>>, OpCost) {
-        let out = self.read_shared(addrs, ReadOptions::default());
-        (out.blocks, out.cost)
-    }
-
-    /// Shared read, reporting per-block health.
-    #[deprecated(note = "use read_shared with options")]
-    #[must_use]
-    pub fn read_batch_shared_verified(
-        &self,
-        addrs: &[BlockAddr],
-    ) -> (Vec<Vec<Word>>, Vec<BlockHealth>, OpCost) {
-        let out = self.read_shared(addrs, ReadOptions::verified());
-        (out.blocks, out.healths, out.cost)
-    }
-
-    /// Write a batch of blocks, discarding per-write health.
-    #[deprecated(note = "use write with options")]
-    pub fn write_batch(&mut self, writes: &[(BlockAddr, &[Word])]) {
-        let _ = self.write(writes, WriteOptions::default());
-    }
-
-    /// Write a batch of blocks, reporting per-write health.
-    #[deprecated(note = "use write with options")]
-    pub fn write_batch_checked(&mut self, writes: &[(BlockAddr, &[Word])]) -> Vec<BlockHealth> {
-        self.write(writes, WriteOptions::checked()).healths
-    }
-
     /// Walk every block in striped (row-major) order as charged, verified
     /// read batches, counting checksum failures. This is the base-layer
     /// scrub: it detects damage but repairs nothing — front-ends with
@@ -1005,8 +958,8 @@ impl DiskArray {
     }
 
     /// Record a cost computed elsewhere (e.g. by
-    /// [`read_batch_shared`](DiskArray::read_batch_shared)) into the
-    /// global counters.
+    /// [`read_shared`](DiskArray::read_shared)) into the global
+    /// counters.
     pub fn charge_cost(&mut self, cost: OpCost) {
         self.stats.parallel_ios += cost.parallel_ios;
         self.stats.block_reads += cost.block_reads;
@@ -1415,24 +1368,6 @@ mod tests {
         assert_eq!(out.cost.parallel_ios, 1);
         assert_eq!(out.cost.block_writes, 1);
         assert!(out.all_ok());
-    }
-
-    #[test]
-    fn deprecated_wrappers_still_work() {
-        #![allow(deprecated)]
-        let mut disks = small();
-        disks.write_batch(&[(BlockAddr::new(0, 1), &[3; 8][..])]);
-        assert_eq!(disks.read_batch(&[BlockAddr::new(0, 1)])[0], vec![3; 8]);
-        let (blocks, healths) = disks.read_batch_verified(&[BlockAddr::new(0, 1)]);
-        assert_eq!(blocks[0], vec![3; 8]);
-        assert_eq!(healths, vec![BlockHealth::Ok]);
-        let (blocks, cost) = disks.read_batch_shared(&[BlockAddr::new(0, 1)]);
-        assert_eq!(blocks[0], vec![3; 8]);
-        assert_eq!(cost.parallel_ios, 1);
-        let (_, healths, _) = disks.read_batch_shared_verified(&[BlockAddr::new(0, 1)]);
-        assert_eq!(healths, vec![BlockHealth::Ok]);
-        let wh = disks.write_batch_checked(&[(BlockAddr::new(1, 0), &[4; 8][..])]);
-        assert_eq!(wh, vec![BlockHealth::Ok]);
     }
 
     #[test]

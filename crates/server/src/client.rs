@@ -52,6 +52,15 @@ impl Pending {
     pub fn wait(self) -> OpResult {
         self.slot.wait()
     }
+
+    /// Block until the engine replies or `timeout` passes (`None`). A
+    /// healthy engine always answers within its configured deadline;
+    /// `None` therefore means the worker is gone (e.g. it panicked) —
+    /// callers use this to degrade with a typed error instead of
+    /// hanging forever on a reply that will never come.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<OpResult> {
+        self.slot.wait_deadline(std::time::Instant::now() + timeout)
+    }
 }
 
 impl DictClient {
@@ -141,10 +150,20 @@ impl DictClient {
 /// A blocking wire-protocol client over one TCP connection
 /// (one-request-one-response; open several connections for pipelining —
 /// the server coalesces across connections anyway).
+///
+/// With a deadline installed ([`set_deadline`](Self::set_deadline) or
+/// [`connect_timeout`](Self::connect_timeout)), every request's read
+/// waits at most that long before surfacing [`ServeError::TimedOut`]
+/// instead of hanging on a dead peer. A timed-out connection is
+/// **poisoned** — the late response may still be in flight, so the
+/// stream position is untrustworthy and every later request answers
+/// [`ServeError::Disconnected`]; reconnect to continue.
 #[derive(Debug)]
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    deadline: Option<Duration>,
+    poisoned: bool,
 }
 
 impl TcpClient {
@@ -153,25 +172,93 @@ impl TcpClient {
     /// # Errors
     /// Propagates connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?, None)
+    }
+
+    /// Connect with a bound on the connection attempt **and** install the
+    /// same bound as the per-request deadline. A dead or unreachable peer
+    /// surfaces as a typed error within `timeout`, never as a hang.
+    ///
+    /// # Errors
+    /// Propagates connection failures, including
+    /// [`io::ErrorKind::TimedOut`] when the attempt exceeds `timeout`.
+    pub fn connect_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Self> {
+        let mut last = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => return Self::from_stream(stream, Some(timeout)),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "no socket addresses resolved")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream, deadline: Option<Duration>) -> io::Result<Self> {
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(deadline)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(TcpClient {
             reader,
             writer: BufWriter::new(stream),
+            deadline,
+            poisoned: false,
         })
+    }
+
+    /// Install (or with `None` remove) the per-request deadline: the
+    /// longest any single [`request`](Self::request) blocks waiting for
+    /// the response before answering [`ServeError::TimedOut`].
+    ///
+    /// # Errors
+    /// Propagates the socket-option failure.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(deadline)?;
+        self.deadline = deadline;
+        Ok(())
+    }
+
+    /// The installed per-request deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Whether a previous timeout poisoned this connection (the stream
+    /// position is untrustworthy; reconnect to continue).
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// One request/response exchange.
     ///
     /// # Errors
-    /// [`ServeError::Protocol`] on wire failures or malformed frames.
+    /// [`ServeError::Protocol`] on wire failures or malformed frames,
+    /// [`ServeError::TimedOut`] when the installed deadline expires
+    /// before the response arrives (poisons the connection),
+    /// [`ServeError::Disconnected`] on a closed or poisoned connection.
     pub fn request(&mut self, req: &WireRequest) -> Result<WireResponse, ServeError> {
+        if self.poisoned {
+            return Err(ServeError::Disconnected);
+        }
         let wire = |e: io::Error| ServeError::Protocol(format!("wire: {e}"));
         write_frame(&mut self.writer, &encode_request(req)).map_err(wire)?;
-        let payload = read_frame(&mut self.reader)
-            .map_err(wire)?
-            .ok_or(ServeError::Disconnected)?;
+        let payload = match read_frame(&mut self.reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Err(ServeError::Disconnected),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // The response may still arrive later; never try to
+                // resynchronize a half-read stream.
+                self.poisoned = true;
+                return Err(ServeError::TimedOut);
+            }
+            Err(e) => return Err(wire(e)),
+        };
         decode_response(&payload)
     }
 
@@ -179,9 +266,9 @@ impl TcpClient {
         match self.request(&WireRequest::Op(op))? {
             WireResponse::Reply(reply) => Ok(reply),
             WireResponse::Err(e) => Err(e),
-            WireResponse::Pong => {
-                Err(ServeError::Protocol("server answered op with pong".into()))
-            }
+            other => Err(ServeError::Protocol(format!(
+                "server answered op with {other:?}"
+            ))),
         }
     }
 

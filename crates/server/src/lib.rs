@@ -92,6 +92,22 @@ pub enum ServeError {
     /// A malformed frame, an unknown opcode, or an I/O failure on the
     /// wire.
     Protocol(String),
+    /// A shard-addressed request reached a node that does not host that
+    /// shard (the client's cluster map is wrong or mid-update). Refresh
+    /// the map and retry on the right node.
+    WrongShard {
+        /// The global shard the request addressed.
+        shard: u32,
+    },
+    /// A shard-addressed request carried a cluster-map epoch older than
+    /// the node's. The client must refresh its map before retrying —
+    /// acting on a stale map could read a moved shard's leftovers.
+    StaleEpoch {
+        /// The epoch the request carried.
+        request: u64,
+        /// The epoch the node is at.
+        node: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -107,6 +123,15 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Dict(e) => write!(f, "dictionary error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::WrongShard { shard } => {
+                write!(f, "node does not host shard {shard}")
+            }
+            ServeError::StaleEpoch { request, node } => {
+                write!(
+                    f,
+                    "request epoch {request} is stale (node is at epoch {node})"
+                )
+            }
         }
     }
 }
@@ -140,5 +165,10 @@ mod tests {
         let d: ServeError = DictError::DuplicateKey(9).into();
         assert!(d.to_string().contains('9'));
         assert!(std::error::Error::source(&d).is_some());
+        let w = ServeError::WrongShard { shard: 11 };
+        assert!(w.to_string().contains("shard 11"));
+        let s = ServeError::StaleEpoch { request: 2, node: 5 };
+        assert!(s.to_string().contains("epoch 2"));
+        assert!(s.to_string().contains("epoch 5"));
     }
 }

@@ -18,11 +18,27 @@
 //! ## Request payloads
 //!
 //! ```text
-//! LOOKUP (0x01): key u64
-//! INSERT (0x02): key u64, sat_len u32, sat_len × word u64
-//! DELETE (0x03): key u64
-//! PING   (0x04): (empty)
+//! LOOKUP          (0x01): key u64
+//! INSERT          (0x02): key u64, sat_len u32, sat_len × word u64
+//! DELETE          (0x03): key u64
+//! PING            (0x04): (empty)
+//! SHARD_OP        (0x05): shard u32, epoch u64, then one of
+//!                         LOOKUP/INSERT/DELETE encodings above
+//! STATUS          (0x06): (empty)
+//! EPOCH_SET       (0x07): epoch u64
+//! MIGRATE_EXPORT  (0x08): shard u32, chunk u32
+//! MIGRATE_INSTALL (0x09): shard u32, total u32, chunk u32,
+//!                         byte_len u32, byte_len × u8
 //! ```
+//!
+//! The cluster opcodes (`SHARD_OP` and up) address a *global* shard on a
+//! multi-tenant node and carry the sender's cluster-map epoch; a
+//! single-engine [`TcpServer`](crate::TcpServer) answers them with
+//! [`ServeError::Protocol`]. Shard images larger than [`MAX_FRAME`]
+//! migrate as numbered chunks: the receiver pulls `MIGRATE_EXPORT`
+//! chunk-by-chunk (the source snapshots on chunk 0 and serves the rest
+//! from that staging image) and pushes `MIGRATE_INSTALL` chunks, with
+//! the install taking effect when the last chunk lands.
 //!
 //! ## Response payloads
 //!
@@ -33,13 +49,18 @@
 //! DELETE_FOUND (0x04): (empty)
 //! DELETE_MISS  (0x05): (empty)
 //! PONG         (0x06): (empty)
+//! NODE_STATUS  (0x07): epoch u64, n u32, n × shard u32
+//! EPOCH_OK     (0x08): (empty)
+//! EXPORT_CHUNK (0x09): total u32, chunk u32, byte_len u32, byte_len × u8
+//! INSTALL_OK   (0x0A): installed u8 (1 once the last chunk landed)
 //! ERROR        (0xFF): code u8, code-specific payload (see
 //!                      [`ServeError`] encoding below)
 //! ```
 //!
 //! Error codes: `OVERLOADED=1` (shard u32, depth u32), `TIMED_OUT=2`,
 //! `SHUTTING_DOWN=3`, `DISCONNECTED=4`, `DICT=5` (tag u8 + payload),
-//! `PROTOCOL=6` (string). Dictionary tags mirror
+//! `PROTOCOL=6` (string), `WRONG_SHARD=7` (shard u32), `STALE_EPOCH=8`
+//! (request u64, node u64). Dictionary tags mirror
 //! [`pdm_dict::DictError`]; strings are `len u32` + UTF-8 bytes, and
 //! I/O faults carry their stable [`pdm::IoFaultKind::label`].
 
@@ -64,6 +85,16 @@ pub mod opcode {
     pub const DELETE: u8 = 0x03;
     /// Liveness probe.
     pub const PING: u8 = 0x04;
+    /// A shard-addressed operation on a multi-tenant cluster node.
+    pub const SHARD_OP: u8 = 0x05;
+    /// Ask a node for its epoch and hosted shards.
+    pub const STATUS: u8 = 0x06;
+    /// Raise a node's cluster-map epoch.
+    pub const EPOCH_SET: u8 = 0x07;
+    /// Pull one chunk of a shard's frozen image.
+    pub const MIGRATE_EXPORT: u8 = 0x08;
+    /// Push one chunk of a shard image to install.
+    pub const MIGRATE_INSTALL: u8 = 0x09;
 }
 
 /// Response status bytes.
@@ -80,6 +111,14 @@ pub mod status {
     pub const DELETE_MISS: u8 = 0x05;
     /// Reply to [`super::opcode::PING`].
     pub const PONG: u8 = 0x06;
+    /// Reply to [`super::opcode::STATUS`]: epoch + hosted shards.
+    pub const NODE_STATUS: u8 = 0x07;
+    /// Reply to [`super::opcode::EPOCH_SET`].
+    pub const EPOCH_OK: u8 = 0x08;
+    /// Reply to [`super::opcode::MIGRATE_EXPORT`]: one image chunk.
+    pub const EXPORT_CHUNK: u8 = 0x09;
+    /// Reply to [`super::opcode::MIGRATE_INSTALL`].
+    pub const INSTALL_OK: u8 = 0x0A;
     /// A [`super::ServeError`] follows.
     pub const ERROR: u8 = 0xFF;
 }
@@ -91,6 +130,8 @@ mod errcode {
     pub const DISCONNECTED: u8 = 4;
     pub const DICT: u8 = 5;
     pub const PROTOCOL: u8 = 6;
+    pub const WRONG_SHARD: u8 = 7;
+    pub const STALE_EPOCH: u8 = 8;
 }
 
 mod dicttag {
@@ -111,6 +152,43 @@ pub enum WireRequest {
     Op(Op),
     /// A liveness probe.
     Ping,
+    /// A dictionary operation addressed to a global shard on a
+    /// multi-tenant cluster node, carrying the sender's map epoch.
+    ShardOp {
+        /// Global shard index.
+        shard: u32,
+        /// The cluster-map epoch the sender routed under.
+        epoch: u64,
+        /// The operation itself.
+        op: Op,
+    },
+    /// Ask the node for its epoch and hosted shards.
+    Status,
+    /// Raise the node's cluster-map epoch (idempotent; never lowers).
+    EpochSet {
+        /// The epoch to raise to.
+        epoch: u64,
+    },
+    /// Pull chunk `chunk` of `shard`'s frozen image. Chunk 0 freezes
+    /// the snapshot; later chunks read from the same staging image.
+    MigrateExport {
+        /// Global shard index.
+        shard: u32,
+        /// Zero-based chunk index.
+        chunk: u32,
+    },
+    /// Push chunk `chunk` of `total` of a shard image; the install
+    /// takes effect when the last chunk lands.
+    MigrateInstall {
+        /// Global shard index.
+        shard: u32,
+        /// Total number of chunks in this image.
+        total: u32,
+        /// Zero-based chunk index.
+        chunk: u32,
+        /// This chunk's bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 /// A decoded response frame.
@@ -120,6 +198,29 @@ pub enum WireResponse {
     Reply(Reply),
     /// Answer to [`WireRequest::Ping`].
     Pong,
+    /// Answer to [`WireRequest::Status`].
+    NodeStatus {
+        /// The node's cluster-map epoch.
+        epoch: u64,
+        /// Global shard indices the node currently hosts.
+        shards: Vec<u32>,
+    },
+    /// Answer to [`WireRequest::EpochSet`].
+    EpochOk,
+    /// Answer to [`WireRequest::MigrateExport`]: one image chunk.
+    ExportChunk {
+        /// Total number of chunks in the frozen image.
+        total: u32,
+        /// The chunk index this answers.
+        chunk: u32,
+        /// The chunk's bytes.
+        bytes: Vec<u8>,
+    },
+    /// Answer to [`WireRequest::MigrateInstall`].
+    InstallOk {
+        /// True once the final chunk landed and the shard is live.
+        installed: bool,
+    },
     /// The operation failed.
     Err(ServeError),
 }
@@ -178,6 +279,96 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// What one polling read attempt produced (see [`read_frame_poll`]).
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The read timeout expired with **no** frame bytes consumed — the
+    /// connection is idle; re-check the stop condition and poll again.
+    Idle,
+    /// Clean EOF between frames.
+    Eof,
+    /// `should_stop` returned true while a frame was only partially read.
+    Stopped,
+}
+
+/// Read one frame from a stream with a read timeout installed, without
+/// ever desynchronizing on a timeout that lands *mid-frame*: a
+/// `WouldBlock`/`TimedOut` before the first byte of a frame returns
+/// [`FrameRead::Idle`] (the caller re-checks its stop flag and calls
+/// again), while a timeout after a frame has started keeps accumulating
+/// the partial bytes — consulting `should_stop` between attempts so a
+/// peer that dies mid-frame cannot wedge shutdown.
+///
+/// # Errors
+/// Propagates stream errors other than the timeout kinds; rejects
+/// oversized length prefixes with [`io::ErrorKind::InvalidData`] and
+/// EOF inside a frame with [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame_poll<R: Read>(
+    r: &mut R,
+    should_stop: impl Fn() -> bool,
+) -> io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 {
+                    return Ok(FrameRead::Idle);
+                }
+                if should_stop() {
+                    return Ok(FrameRead::Stopped);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame payload",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if should_stop() {
+                    return Ok(FrameRead::Stopped);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameRead::Frame(payload))
+}
+
 // ------------------------------------------------------------- primitives
 
 struct Cursor<'a> {
@@ -227,6 +418,11 @@ impl<'a> Cursor<'a> {
         (0..n).map(|_| self.u64()).collect()
     }
 
+    fn bytes(&mut self) -> Result<Vec<u8>, ServeError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
     fn string(&mut self) -> Result<String, ServeError> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
@@ -258,6 +454,46 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_op(out: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::Lookup(key) => {
+            out.push(opcode::LOOKUP);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        Op::Insert(key, sat) => {
+            out.push(opcode::INSERT);
+            out.extend_from_slice(&key.to_le_bytes());
+            put_words(out, sat);
+        }
+        Op::Delete(key) => {
+            out.push(opcode::DELETE);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+    }
+}
+
+fn take_op(c: &mut Cursor<'_>) -> Result<Op, ServeError> {
+    Ok(match c.u8()? {
+        opcode::LOOKUP => Op::Lookup(c.u64()?),
+        opcode::INSERT => {
+            let key = c.u64()?;
+            let sat = c.words()?;
+            Op::Insert(key, sat)
+        }
+        opcode::DELETE => Op::Delete(c.u64()?),
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "unknown inner opcode {other:#04x}"
+            )))
+        }
+    })
+}
+
 // --------------------------------------------------------------- requests
 
 /// Encode a request payload.
@@ -265,20 +501,36 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
 pub fn encode_request(req: &WireRequest) -> Vec<u8> {
     let mut out = Vec::new();
     match req {
-        WireRequest::Op(Op::Lookup(key)) => {
-            out.push(opcode::LOOKUP);
-            out.extend_from_slice(&key.to_le_bytes());
-        }
-        WireRequest::Op(Op::Insert(key, sat)) => {
-            out.push(opcode::INSERT);
-            out.extend_from_slice(&key.to_le_bytes());
-            put_words(&mut out, sat);
-        }
-        WireRequest::Op(Op::Delete(key)) => {
-            out.push(opcode::DELETE);
-            out.extend_from_slice(&key.to_le_bytes());
-        }
+        WireRequest::Op(op) => put_op(&mut out, op),
         WireRequest::Ping => out.push(opcode::PING),
+        WireRequest::ShardOp { shard, epoch, op } => {
+            out.push(opcode::SHARD_OP);
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&epoch.to_le_bytes());
+            put_op(&mut out, op);
+        }
+        WireRequest::Status => out.push(opcode::STATUS),
+        WireRequest::EpochSet { epoch } => {
+            out.push(opcode::EPOCH_SET);
+            out.extend_from_slice(&epoch.to_le_bytes());
+        }
+        WireRequest::MigrateExport { shard, chunk } => {
+            out.push(opcode::MIGRATE_EXPORT);
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&chunk.to_le_bytes());
+        }
+        WireRequest::MigrateInstall {
+            shard,
+            total,
+            chunk,
+            bytes,
+        } => {
+            out.push(opcode::MIGRATE_INSTALL);
+            out.extend_from_slice(&shard.to_le_bytes());
+            out.extend_from_slice(&total.to_le_bytes());
+            out.extend_from_slice(&chunk.to_le_bytes());
+            put_bytes(&mut out, bytes);
+        }
     }
     out
 }
@@ -299,6 +551,30 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, ServeError> {
         }
         opcode::DELETE => WireRequest::Op(Op::Delete(c.u64()?)),
         opcode::PING => WireRequest::Ping,
+        opcode::SHARD_OP => {
+            let shard = c.u32()?;
+            let epoch = c.u64()?;
+            let op = take_op(&mut c)?;
+            WireRequest::ShardOp { shard, epoch, op }
+        }
+        opcode::STATUS => WireRequest::Status,
+        opcode::EPOCH_SET => WireRequest::EpochSet { epoch: c.u64()? },
+        opcode::MIGRATE_EXPORT => WireRequest::MigrateExport {
+            shard: c.u32()?,
+            chunk: c.u32()?,
+        },
+        opcode::MIGRATE_INSTALL => {
+            let shard = c.u32()?;
+            let total = c.u32()?;
+            let chunk = c.u32()?;
+            let bytes = c.bytes()?;
+            WireRequest::MigrateInstall {
+                shard,
+                total,
+                chunk,
+                bytes,
+            }
+        }
         other => return Err(ServeError::Protocol(format!("unknown opcode {other:#04x}"))),
     };
     c.done()?;
@@ -321,6 +597,29 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
         WireResponse::Reply(Reply::Deleted(true)) => out.push(status::DELETE_FOUND),
         WireResponse::Reply(Reply::Deleted(false)) => out.push(status::DELETE_MISS),
         WireResponse::Pong => out.push(status::PONG),
+        WireResponse::NodeStatus { epoch, shards } => {
+            out.push(status::NODE_STATUS);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+            for s in shards {
+                out.extend_from_slice(&s.to_le_bytes());
+            }
+        }
+        WireResponse::EpochOk => out.push(status::EPOCH_OK),
+        WireResponse::ExportChunk {
+            total,
+            chunk,
+            bytes,
+        } => {
+            out.push(status::EXPORT_CHUNK);
+            out.extend_from_slice(&total.to_le_bytes());
+            out.extend_from_slice(&chunk.to_le_bytes());
+            put_bytes(&mut out, bytes);
+        }
+        WireResponse::InstallOk { installed } => {
+            out.push(status::INSTALL_OK);
+            out.push(u8::from(*installed));
+        }
         WireResponse::Err(e) => {
             out.push(status::ERROR);
             encode_error(&mut out, e);
@@ -346,6 +645,15 @@ fn encode_error(out: &mut Vec<u8>, e: &ServeError) {
         ServeError::Protocol(msg) => {
             out.push(errcode::PROTOCOL);
             put_string(out, msg);
+        }
+        ServeError::WrongShard { shard } => {
+            out.push(errcode::WRONG_SHARD);
+            out.extend_from_slice(&shard.to_le_bytes());
+        }
+        ServeError::StaleEpoch { request, node } => {
+            out.push(errcode::STALE_EPOCH);
+            out.extend_from_slice(&request.to_le_bytes());
+            out.extend_from_slice(&node.to_le_bytes());
         }
     }
 }
@@ -410,6 +718,31 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, ServeError> {
         status::DELETE_FOUND => WireResponse::Reply(Reply::Deleted(true)),
         status::DELETE_MISS => WireResponse::Reply(Reply::Deleted(false)),
         status::PONG => WireResponse::Pong,
+        status::NODE_STATUS => {
+            let epoch = c.u64()?;
+            let n = c.u32()? as usize;
+            if n > (payload.len()) / 4 {
+                return Err(ServeError::Protocol(format!(
+                    "shard count {n} exceeds frame remainder"
+                )));
+            }
+            let shards = (0..n).map(|_| c.u32()).collect::<Result<_, _>>()?;
+            WireResponse::NodeStatus { epoch, shards }
+        }
+        status::EPOCH_OK => WireResponse::EpochOk,
+        status::EXPORT_CHUNK => {
+            let total = c.u32()?;
+            let chunk = c.u32()?;
+            let bytes = c.bytes()?;
+            WireResponse::ExportChunk {
+                total,
+                chunk,
+                bytes,
+            }
+        }
+        status::INSTALL_OK => WireResponse::InstallOk {
+            installed: c.u8()? != 0,
+        },
         status::ERROR => WireResponse::Err(decode_error(&mut c)?),
         other => return Err(ServeError::Protocol(format!("unknown status {other:#04x}"))),
     };
@@ -428,6 +761,11 @@ fn decode_error(c: &mut Cursor<'_>) -> Result<ServeError, ServeError> {
         errcode::DISCONNECTED => ServeError::Disconnected,
         errcode::DICT => ServeError::Dict(decode_dict_error(c)?),
         errcode::PROTOCOL => ServeError::Protocol(c.string()?),
+        errcode::WRONG_SHARD => ServeError::WrongShard { shard: c.u32()? },
+        errcode::STALE_EPOCH => ServeError::StaleEpoch {
+            request: c.u64()?,
+            node: c.u64()?,
+        },
         other => return Err(ServeError::Protocol(format!("unknown error code {other}"))),
     })
 }
@@ -489,6 +827,85 @@ mod tests {
         roundtrip_req(WireRequest::Op(Op::Insert(7, vec![1, 2, u64::MAX])));
         roundtrip_req(WireRequest::Op(Op::Delete(0)));
         roundtrip_req(WireRequest::Ping);
+    }
+
+    #[test]
+    fn cluster_requests_roundtrip() {
+        for op in [Op::Lookup(9), Op::Insert(3, vec![1, 2]), Op::Delete(u64::MAX)] {
+            roundtrip_req(WireRequest::ShardOp {
+                shard: 17,
+                epoch: 3,
+                op,
+            });
+        }
+        roundtrip_req(WireRequest::Status);
+        roundtrip_req(WireRequest::EpochSet { epoch: u64::MAX });
+        roundtrip_req(WireRequest::MigrateExport { shard: 0, chunk: 7 });
+        roundtrip_req(WireRequest::MigrateInstall {
+            shard: 2,
+            total: 3,
+            chunk: 1,
+            bytes: vec![0xAB; 100],
+        });
+        roundtrip_req(WireRequest::MigrateInstall {
+            shard: 2,
+            total: 1,
+            chunk: 0,
+            bytes: vec![],
+        });
+    }
+
+    #[test]
+    fn cluster_responses_roundtrip() {
+        roundtrip_resp(WireResponse::NodeStatus {
+            epoch: 5,
+            shards: vec![0, 7, 31],
+        });
+        roundtrip_resp(WireResponse::NodeStatus {
+            epoch: 0,
+            shards: vec![],
+        });
+        roundtrip_resp(WireResponse::EpochOk);
+        roundtrip_resp(WireResponse::ExportChunk {
+            total: 4,
+            chunk: 3,
+            bytes: vec![1, 2, 3],
+        });
+        roundtrip_resp(WireResponse::InstallOk { installed: true });
+        roundtrip_resp(WireResponse::InstallOk { installed: false });
+        roundtrip_resp(WireResponse::Err(ServeError::WrongShard { shard: 8 }));
+        roundtrip_resp(WireResponse::Err(ServeError::StaleEpoch {
+            request: 1,
+            node: 2,
+        }));
+    }
+
+    #[test]
+    fn malformed_cluster_frames_are_typed_errors() {
+        // ShardOp with an unknown inner opcode.
+        let mut bad = vec![opcode::SHARD_OP];
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&1u64.to_le_bytes());
+        bad.push(opcode::PING); // ping is not a valid inner op
+        assert!(matches!(decode_request(&bad), Err(ServeError::Protocol(_))));
+        // Install whose byte count exceeds the frame.
+        let mut lying = vec![opcode::MIGRATE_INSTALL];
+        lying.extend_from_slice(&0u32.to_le_bytes());
+        lying.extend_from_slice(&1u32.to_le_bytes());
+        lying.extend_from_slice(&0u32.to_le_bytes());
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&lying),
+            Err(ServeError::Protocol(_))
+        ));
+        // NodeStatus whose shard count exceeds the frame.
+        let mut lying = vec![status::NODE_STATUS];
+        lying.extend_from_slice(&0u64.to_le_bytes());
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_response(&lying),
+            Err(ServeError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -17,7 +17,8 @@
 
 use crate::client::DictClient;
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, WireRequest, WireResponse,
+    decode_request, encode_response, read_frame_poll, write_frame, FrameRead, WireRequest,
+    WireResponse,
 };
 use crate::scheduler::Op;
 use crate::ServeError;
@@ -28,9 +29,39 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long a connection thread blocks in `read` before re-checking the
-/// stop flag. Bounds shutdown latency, invisible to clients.
-const READ_POLL: Duration = Duration::from_millis(50);
+/// Default for [`ServerConfig::read_poll`].
+pub const DEFAULT_READ_POLL: Duration = Duration::from_millis(50);
+
+/// Tuning knobs of the TCP front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// How long a connection thread blocks in `read` before re-checking
+    /// the stop flag. Bounds shutdown latency, invisible to clients;
+    /// lower it when a test or drill needs fast server teardown.
+    pub read_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_poll: DEFAULT_READ_POLL,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Set the stop-flag re-check interval for connection reads.
+    ///
+    /// # Panics
+    /// Panics if `poll` is zero (a zero read timeout would mean
+    /// "no timeout" to the OS and connections would never observe stop).
+    #[must_use]
+    pub fn with_read_poll(mut self, poll: Duration) -> Self {
+        assert!(!poll.is_zero(), "read poll must be positive");
+        self.read_poll = poll;
+        self
+    }
+}
 
 /// A wire-protocol server in front of a [`ServeEngine`]
 /// (via its [`DictClient`]).
@@ -63,6 +94,18 @@ impl TcpServer {
     /// # Errors
     /// Propagates bind failures.
     pub fn bind<A: ToSocketAddrs>(addr: A, client: DictClient) -> io::Result<Self> {
+        Self::bind_with(addr, client, ServerConfig::default())
+    }
+
+    /// Like [`bind`](Self::bind) with explicit [`ServerConfig`] tuning.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        client: DictClient,
+        cfg: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -70,7 +113,7 @@ impl TcpServer {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("pdm-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &client, &stop))?
+                .spawn(move || accept_loop(&listener, &client, &stop, cfg))?
         };
         Ok(TcpServer {
             local_addr,
@@ -99,7 +142,12 @@ impl TcpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, client: &DictClient, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    client: &DictClient,
+    stop: &Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
     let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
     let mut next_id = 0u64;
     for stream in listener.incoming() {
@@ -113,7 +161,7 @@ fn accept_loop(listener: &TcpListener, client: &DictClient, stop: &Arc<AtomicBoo
             .name(format!("pdm-serve-conn-{next_id}"))
             .spawn(move || {
                 // A failing connection takes only itself down.
-                let _ = serve_connection(stream, &client, &stop);
+                let _ = serve_connection(stream, &client, &stop, cfg);
             });
         next_id += 1;
         if let Ok(handle) = handle {
@@ -138,24 +186,23 @@ fn serve_connection(
     stream: TcpStream,
     client: &DictClient,
     stop: &AtomicBool,
+    cfg: ServerConfig,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_read_timeout(Some(cfg.read_poll))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }
-        let payload = match read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return Ok(()), // peer closed cleanly
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue; // read poll expired; re-check stop
-            }
+        // Mid-frame read polls keep accumulating (a slow writer must not
+        // desynchronize the stream); idle polls re-check the stop flag.
+        let payload = match read_frame_poll(&mut reader, || stop.load(Ordering::Acquire)) {
+            Ok(FrameRead::Frame(payload)) => payload,
+            Ok(FrameRead::Eof) => return Ok(()), // peer closed cleanly
+            Ok(FrameRead::Idle) => continue,     // read poll expired; re-check stop
+            Ok(FrameRead::Stopped) => return Ok(()),
             Err(e) => return Err(e),
         };
         let response = match decode_request(&payload) {
@@ -164,6 +211,11 @@ fn serve_connection(
                 Ok(reply) => WireResponse::Reply(reply),
                 Err(e) => WireResponse::Err(e),
             },
+            // Cluster opcodes only make sense on a multi-tenant cluster
+            // node; a single-engine server answers them typed.
+            Ok(_) => WireResponse::Err(ServeError::Protocol(
+                "cluster request on a single-engine server".into(),
+            )),
             Err(malformed) => {
                 // Answer, then drop: after a framing error the stream
                 // position is untrustworthy.
