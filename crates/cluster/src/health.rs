@@ -8,9 +8,12 @@
 //! [`Breaker`] detects the second by counting consecutive failures and
 //! — once open — keeps traffic away from the node until a cooldown
 //! passes, after which a single half-open probe decides between closing
-//! the breaker and re-opening it. A node whose breaker opened is not
-//! trusted with reads again until it has been re-replicated (see the
-//! router's durability invariant).
+//! the breaker and re-opening it. The breaker is purely a *transport*
+//! gate: a closed breaker says the node answers, not that it is
+//! current. Durability trust is the router's separate sticky suspect
+//! latch — a node whose breaker opened is latched and serves no reads
+//! until it has been re-replicated, even after a probe closes the
+//! breaker (see the router's durability invariant).
 
 use std::time::{Duration, Instant};
 

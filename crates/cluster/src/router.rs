@@ -4,16 +4,19 @@
 //! ## Durability invariant
 //!
 //! A write is acknowledged iff it was applied on **every replica the
-//! router currently trusts** (map-up, breaker not open) — at least
-//! [`RouterConfig::write_quorum`] of them. A replica that fails its
-//! retries is marked suspect (breaker) and stops being trusted; a
-//! suspect node is never read from and must pass through
-//! [`fail_node`](ClusterRouter::fail_node) +
-//! [`restore_node`](ClusterRouter::restore_node) — which re-images it
-//! from a trusted survivor — before it serves again. Together: every
-//! acknowledged write lives on every replica that can ever serve a
-//! read, so killing any single node (with `k ≥ 2`) loses nothing
-//! acknowledged.
+//! router currently trusts** (map-up, not latched suspect) — at least
+//! [`RouterConfig::write_quorum`] of them. Trust is **sticky**: the
+//! moment a write proceeds without one of its routed replicas, or a
+//! node's breaker crosses its failure threshold, that node is latched
+//! *suspect* — it may have missed an acknowledged write, so it drops
+//! out of both the read set and the write/ack set. The latch outlives
+//! the breaker: a half-open probe may close the breaker for transport
+//! purposes, but only [`fail_node`](ClusterRouter::fail_node) +
+//! [`restore_node`](ClusterRouter::restore_node) (or
+//! [`repair`](ClusterRouter::repair)) — which re-image the node from a
+//! trusted survivor — clear it. Together: every acknowledged write
+//! lives on every replica that can ever serve a read, so killing any
+//! single node (with `k ≥ 2`) loses nothing acknowledged.
 //!
 //! ## Epoch discipline
 //!
@@ -32,7 +35,7 @@ use pdm::Word;
 use pdm_server::protocol::{WireRequest, WireResponse};
 use pdm_server::{Op, Reply, ServeError, TcpClient};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::Duration;
 
@@ -73,8 +76,9 @@ impl Default for RouterConfig {
 pub enum ClusterError {
     /// Fewer trusted replicas acked than the write quorum requires.
     /// The write is **not** acknowledged (it may be partially applied;
-    /// retrying is safe — a duplicate insert on a replica that did
-    /// apply counts as applied).
+    /// retrying is safe — a replica that did apply the insert answers
+    /// the retry with a duplicate-key refusal, which the router counts
+    /// as that replica's ack).
     NoQuorum {
         /// The shard addressed.
         shard: u32,
@@ -169,13 +173,7 @@ struct NodeSlot {
 /// The outcome of one node-level request attempt series.
 enum NodeOutcome {
     /// A response crossed the wire (possibly a typed server error).
-    Answered {
-        resp: WireResponse,
-        /// Whether an earlier attempt failed after the request may have
-        /// reached the server (retry ambiguity — used to treat a
-        /// duplicate-key refusal of a retried insert as applied).
-        retried: bool,
-    },
+    Answered { resp: WireResponse },
     /// No response: breaker open, connect/request failures exhausted.
     Unreachable,
 }
@@ -198,6 +196,11 @@ pub struct ClusterRouter {
     cfg: RouterConfig,
     map: Mutex<ClusterMap>,
     nodes: Vec<Mutex<NodeSlot>>,
+    /// Sticky needs-re-replication latch, one per node (see the module
+    /// docs): set when a write proceeds without a routed replica or a
+    /// breaker opens, cleared only by a re-imaging
+    /// [`restore_node`](Self::restore_node).
+    suspects: Vec<AtomicBool>,
     /// Per-shard fence: ops take it shared, migration exclusively.
     fences: Vec<RwLock<()>>,
     /// Serializes map transitions (fail/restore/repair).
@@ -237,11 +240,13 @@ impl ClusterRouter {
             })
             .collect();
         let fences = (0..cluster.shards).map(|_| RwLock::new(())).collect();
+        let suspects = (0..addrs.len()).map(|_| AtomicBool::new(false)).collect();
         ClusterRouter {
             cluster,
             cfg,
             map: Mutex::new(map),
             nodes,
+            suspects,
             fences,
             admin: Mutex::new(()),
             stats: StatCells::default(),
@@ -272,6 +277,15 @@ impl ClusterRouter {
         lock(&self.nodes[node]).breaker.state()
     }
 
+    /// Whether `node` is latched suspect: it may have missed an
+    /// acknowledged write, so it serves no reads and counts toward no
+    /// write quorum — whatever its breaker says — until
+    /// [`restore_node`](Self::restore_node) re-images it.
+    #[must_use]
+    pub fn node_suspect(&self, node: usize) -> bool {
+        self.suspects[node].load(Ordering::Acquire)
+    }
+
     /// Point `node` at a new address (a restarted process rarely comes
     /// back on the same port). Drops any cached connection; call before
     /// [`restore_node`](Self::restore_node).
@@ -297,6 +311,13 @@ impl ClusterRouter {
 
     /// Insert `key` with satellite words; acknowledged under the
     /// durability invariant.
+    ///
+    /// Inserts are **idempotent**: a replica's duplicate-key refusal
+    /// certifies the key is already durably present there and counts as
+    /// that replica's ack, so retrying after a [`ClusterError::NoQuorum`]
+    /// (or re-inserting an existing key) acknowledges cleanly. The
+    /// stored satellite is whatever the first successful insert wrote —
+    /// a duplicate ack does not overwrite it.
     ///
     /// # Errors
     /// [`ClusterError::NoQuorum`] when too few trusted replicas acked;
@@ -346,7 +367,7 @@ impl ClusterRouter {
                     op: Op::Lookup(key),
                 };
                 match self.request_on_node(node, &req) {
-                    NodeOutcome::Answered { resp, .. } => match resp {
+                    NodeOutcome::Answered { resp } => match resp {
                         WireResponse::Reply(Reply::Lookup(sat)) => {
                             if i == 0 {
                                 self.stats.reads_primary.fetch_add(1, Ordering::Relaxed);
@@ -396,17 +417,19 @@ impl ClusterRouter {
                     op: op.clone(),
                 };
                 match self.request_on_node(node, &req) {
-                    NodeOutcome::Answered { resp, retried } => match resp {
+                    NodeOutcome::Answered { resp } => match resp {
                         WireResponse::Reply(r) => {
                             acked += 1;
                             reply.get_or_insert(r);
                         }
-                        // Retry ambiguity: the earlier attempt's insert
-                        // may have applied before the transport failed;
-                        // the duplicate refusal then *is* the ack.
+                        // A duplicate-key refusal certifies the key is
+                        // already durably present on this replica — the
+                        // ack of an idempotent insert (a caller retry
+                        // after NoQuorum, a transport or stale-epoch
+                        // retry, or a plain re-insert).
                         WireResponse::Err(ServeError::Dict(
                             pdm_dict::DictError::DuplicateKey(_),
-                        )) if retried && matches!(op, Op::Insert(..)) => {
+                        )) if matches!(op, Op::Insert(..)) => {
                             acked += 1;
                             reply.get_or_insert(Reply::Inserted);
                         }
@@ -414,6 +437,13 @@ impl ClusterRouter {
                             refreshes += 1;
                             continue 'epoch;
                         }
+                        // A replica the node does not (yet) host — the
+                        // re-replication window. Not an ack, but not
+                        // fatal either: the shard fence guarantees the
+                        // pending image (frozen only after this write
+                        // applied on the survivors) carries the write
+                        // to it, so the quorum check decides.
+                        WireResponse::Err(ServeError::WrongShard { .. }) => {}
                         WireResponse::Err(e) => {
                             self.stats.writes_refused.fetch_add(1, Ordering::Relaxed);
                             return Err(ClusterError::Serve(e));
@@ -425,10 +455,11 @@ impl ClusterRouter {
                             ))));
                         }
                     },
-                    // An unreachable replica is no longer trusted (its
-                    // breaker saw to that); the ack proceeds without it
-                    // and the node re-images before it serves again.
-                    NodeOutcome::Unreachable => {}
+                    // The write proceeds without this routed replica: it
+                    // is missing acknowledged writes from here on, so
+                    // latch it out of the read/ack sets until
+                    // re-imaged (the durability invariant).
+                    NodeOutcome::Unreachable => self.mark_suspect(node),
                 }
             }
             if acked < self.cfg.write_quorum {
@@ -446,80 +477,94 @@ impl ClusterRouter {
         Ok(reply)
     }
 
-    /// Map snapshot for one shard: (epoch, up-replicas in failover
-    /// order).
+    /// Map snapshot for one shard: (epoch, trusted replicas — map-up
+    /// and not latched suspect — in failover order).
     fn route(&self, shard: u32) -> (u64, Vec<usize>) {
         let map = lock(&self.map);
         let replicas = map
             .replicas(shard)
             .iter()
             .copied()
-            .filter(|&n| map.nodes()[n].up)
+            .filter(|&n| map.nodes()[n].up && !self.suspects[n].load(Ordering::Acquire))
             .collect();
         (map.epoch(), replicas)
     }
 
+    /// Latch `node` suspect: it stops serving reads and counting toward
+    /// write quorums until a re-imaging restore clears it.
+    fn mark_suspect(&self, node: usize) {
+        self.suspects[node].store(true, Ordering::Release);
+    }
+
     /// One request against one node with retries, breaker accounting,
     /// and lazy (re)connection.
+    ///
+    /// The node's slot lock is held only to consult the breaker and to
+    /// take or return the cached connection — never across connects,
+    /// request deadlines, or backoff sleeps — so a slow node delays
+    /// only its own request series, not every concurrent router op
+    /// that targets it.
     fn request_on_node(&self, node: usize, req: &WireRequest) -> NodeOutcome {
-        let mut slot = lock(&self.nodes[node]);
-        if !slot.breaker.allow() {
-            return NodeOutcome::Unreachable;
-        }
-        let mut retried = false;
         for attempt in 0..self.cfg.retry.attempts {
             if attempt > 0 {
                 std::thread::sleep(self.cfg.retry.delay(attempt));
             }
-            if slot.conn.as_ref().is_none_or(TcpClient::is_poisoned) {
-                match TcpClient::connect_timeout(slot.addr, self.cfg.connect_timeout) {
-                    Ok(mut c) => {
-                        if c.set_deadline(Some(self.cfg.request_deadline)).is_err() {
-                            slot.conn = None;
-                            self.note_transport_failure(&mut slot);
-                            retried = true;
+            // Lease: breaker check + connection grab under a brief lock.
+            let (addr, leased) = {
+                let mut slot = lock(&self.nodes[node]);
+                if !slot.breaker.allow() {
+                    return NodeOutcome::Unreachable;
+                }
+                (slot.addr, slot.conn.take())
+            };
+            let mut conn = match leased.filter(|c| !c.is_poisoned()) {
+                Some(c) => c,
+                None => {
+                    let fresh = TcpClient::connect_timeout(addr, self.cfg.connect_timeout)
+                        .and_then(|mut c| {
+                            c.set_deadline(Some(self.cfg.request_deadline))?;
+                            Ok(c)
+                        });
+                    match fresh {
+                        Ok(c) => c,
+                        Err(_) => {
+                            self.note_transport_failure(node);
                             continue;
                         }
-                        slot.conn = Some(c);
-                    }
-                    Err(_) => {
-                        self.note_transport_failure(&mut slot);
-                        retried = true;
-                        continue;
                     }
                 }
-            }
-            let conn = slot.conn.as_mut().expect("just ensured");
+            };
             match conn.request(req) {
                 Ok(resp) => {
+                    let mut slot = lock(&self.nodes[node]);
                     slot.breaker.record_success();
-                    return NodeOutcome::Answered { resp, retried };
+                    // Return the lease — unless the node was re-addressed
+                    // meanwhile or a concurrent series already parked a
+                    // connection.
+                    if slot.addr == addr && slot.conn.is_none() {
+                        slot.conn = Some(conn);
+                    }
+                    return NodeOutcome::Answered { resp };
                 }
-                // Transport-level failures: the connection is useless
-                // (timed out → poisoned, or the stream broke).
-                Err(
-                    ServeError::TimedOut
-                    | ServeError::Disconnected
-                    | ServeError::Protocol(_),
-                ) => {
-                    slot.conn = None;
-                    self.note_transport_failure(&mut slot);
-                    retried = true;
-                }
-                // Typed server errors never surface from
-                // `TcpClient::request` itself (they come wrapped in
-                // `WireResponse::Err`), but stay conservative.
-                Err(_) => {
-                    self.note_transport_failure(&mut slot);
-                    retried = true;
-                }
+                // Transport-level failure: the leased connection is
+                // useless (timed out → poisoned, or the stream broke);
+                // drop it and let the next attempt reconnect.
+                Err(_) => self.note_transport_failure(node),
             }
         }
         NodeOutcome::Unreachable
     }
 
-    fn note_transport_failure(&self, slot: &mut NodeSlot) {
+    fn note_transport_failure(&self, node: usize) {
+        let mut slot = lock(&self.nodes[node]);
         slot.breaker.record_failure();
+        // A node that just crossed its failure threshold may already
+        // have missed writes it was routed for; latch it out of the
+        // read/ack sets until it is re-imaged.
+        if slot.breaker.state() == BreakerState::Open {
+            self.mark_suspect(node);
+        }
+        drop(slot);
         self.stats.transport_failures.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -541,6 +586,7 @@ impl ClusterRouter {
             slot.breaker.trip();
             slot.conn = None;
         }
+        self.mark_suspect(node);
         let delta = lock(&self.map).mark_down(node);
         self.broadcast_epoch(delta.epoch);
         self.drive_moves(delta)
@@ -549,7 +595,13 @@ impl ClusterRouter {
     /// Bring a restarted (empty) `node` back: bump the epoch, hand the
     /// node back only its fair share of replica slots, re-replicate
     /// them onto it from their current primaries, and reset its
-    /// breaker.
+    /// breaker and suspect latch.
+    ///
+    /// Clearing the latch before the images install is safe: until a
+    /// shard's image lands, the node answers its operations with
+    /// `WrongShard`, which reads fail over past and writes skip — and
+    /// the shard fence guarantees any write skipped this way is frozen
+    /// into the image that follows it.
     ///
     /// # Errors
     /// As [`fail_node`](Self::fail_node).
@@ -557,18 +609,24 @@ impl ClusterRouter {
     pub fn restore_node(&self, node: usize) -> Result<ReplicationReport, ClusterError> {
         let _admin = lock(&self.admin);
         let delta = lock(&self.map).mark_up(node);
-        self.broadcast_epoch(delta.epoch);
         {
             let mut slot = lock(&self.nodes[node]);
             slot.breaker.reset();
             slot.conn = None;
         }
+        self.suspects[node].store(false, Ordering::Release);
+        self.broadcast_epoch(delta.epoch);
         self.drive_moves(delta)
     }
 
-    /// Declare dead every map-up node whose breaker is open (the
-    /// request path marked it suspect) and drive the repairs. Returns
-    /// one report per node declared dead.
+    /// Declare dead every map-up node the request path latched suspect
+    /// and drive the repairs. Returns one report per node declared
+    /// dead.
+    ///
+    /// Selection is on the **sticky** latch, not the breaker's
+    /// transient state: a breaker half-opens once its cooldown passes,
+    /// but a node that missed writes stays suspect until re-imaged, so
+    /// `repair` finds it no matter when it is called.
     ///
     /// # Errors
     /// Per-shard failures are inside the reports; the call itself does
@@ -577,10 +635,7 @@ impl ClusterRouter {
         let suspects: Vec<usize> = {
             let map = lock(&self.map);
             (0..self.nodes.len())
-                .filter(|&n| {
-                    map.nodes()[n].up
-                        && lock(&self.nodes[n]).breaker.state() == BreakerState::Open
-                })
+                .filter(|&n| map.nodes()[n].up && self.suspects[n].load(Ordering::Acquire))
                 .collect()
         };
         suspects.into_iter().map(|n| self.fail_node(n)).collect()
@@ -614,23 +669,29 @@ impl ClusterRouter {
         })
     }
 
-    /// Copy `shard`'s frozen image from its current primary (a data
-    /// holder — new replicas are appended behind the survivors) onto
-    /// `target`, under the shard's exclusive fence.
+    /// Copy `shard`'s frozen image from its first trusted replica (a
+    /// data holder — new replicas are appended behind the survivors,
+    /// and a suspect holder may be missing acknowledged writes, so it
+    /// is never a source) onto `target`, under the shard's exclusive
+    /// fence.
     fn re_replicate(&self, shard: u32, target: usize) -> Result<(), ClusterError> {
         let _fence = self.fences[shard as usize]
             .write()
             .unwrap_or_else(PoisonError::into_inner);
         let source = {
             let map = lock(&self.map);
-            let primary = map.primary(shard);
-            if primary == target {
-                return Err(ClusterError::Replication {
-                    shard,
-                    detail: "no surviving data holder (k = 1 cannot re-replicate)".into(),
-                });
-            }
-            primary
+            map.replicas(shard)
+                .iter()
+                .copied()
+                .find(|&n| n != target && !self.suspects[n].load(Ordering::Acquire))
+        };
+        let Some(source) = source else {
+            return Err(ClusterError::Replication {
+                shard,
+                detail: "no trusted surviving data holder \
+                         (k = 1 cannot re-replicate; suspect replicas are not trusted sources)"
+                    .into(),
+            });
         };
         let fail = |detail: String| ClusterError::Replication { shard, detail };
 
@@ -639,7 +700,7 @@ impl ClusterRouter {
         let mut chunk = 0u32;
         loop {
             let req = WireRequest::MigrateExport { shard, chunk };
-            let NodeOutcome::Answered { resp, .. } = self.request_on_node(source, &req) else {
+            let NodeOutcome::Answered { resp } = self.request_on_node(source, &req) else {
                 return Err(fail(format!("source node {source} unreachable")));
             };
             match resp {
@@ -671,7 +732,7 @@ impl ClusterRouter {
                 chunk: c,
                 bytes: crate::image::chunk_slice(&image, c).to_vec(),
             };
-            let NodeOutcome::Answered { resp, .. } = self.request_on_node(target, &req) else {
+            let NodeOutcome::Answered { resp } = self.request_on_node(target, &req) else {
                 return Err(fail(format!("target node {target} unreachable")));
             };
             match resp {

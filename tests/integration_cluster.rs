@@ -35,9 +35,11 @@ fn drill_router_config() -> RouterConfig {
             max_delay: Duration::from_millis(20),
         },
         breaker_threshold: 2,
-        // Long cooldown: a node declared suspect stays untrusted for
-        // the whole drill (no half-open probe resurrects it).
-        breaker_cooldown: Duration::from_secs(120),
+        // Deliberately short cooldown: the breaker half-opens almost
+        // immediately, so the drills prove the *sticky suspect latch*
+        // (not breaker timing) is what keeps a node that missed writes
+        // out of the read and ack sets until it is re-imaged.
+        breaker_cooldown: Duration::from_millis(20),
         connect_timeout: Duration::from_secs(1),
         request_deadline: Duration::from_secs(30),
         write_quorum: 1,
@@ -268,6 +270,174 @@ fn restarted_node_rereplicates_byte_identically() {
     }
 
     reborn.shutdown();
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+}
+
+/// The durability latch is sticky across breaker cooldowns: a node
+/// that missed writes stays out of the read set even after its breaker
+/// half-opens and a live process answers at its address. Without the
+/// latch, the half-open probe would re-trust the stale node and serve
+/// `None` for acknowledged keys.
+#[test]
+fn suspect_latch_outlives_breaker_cooldown() {
+    const NODES: usize = 3;
+    const VICTIM: usize = 1;
+
+    let cfg = ClusterConfig {
+        shards: 8,
+        replication: 2,
+        shard_capacity: 512,
+        ..ClusterConfig::default()
+    };
+    let weights = [1u32; NODES];
+    let (mut nodes, addrs) = start_cluster(cfg, &weights);
+    let router = ClusterRouter::new(cfg, &addrs, &weights, drill_router_config());
+
+    let seed = suite_seed().wrapping_add(2);
+    let mut acked: Vec<u64> = Vec::new();
+    for i in 0..150u64 {
+        let key = mix64(seed ^ i) % (1 << 21);
+        if router.insert(key, &[mix64(key)]).is_ok() {
+            acked.push(key);
+        }
+    }
+
+    // Kill the victim; the next writes routed to its shards proceed
+    // without it, which must latch it suspect.
+    nodes[VICTIM].take().unwrap().kill();
+    for i in 150..300u64 {
+        let key = mix64(seed ^ i) % (1 << 21);
+        if router.insert(key, &[mix64(key)]).is_ok() {
+            acked.push(key);
+        }
+    }
+    assert!(
+        router.node_suspect(VICTIM),
+        "a write proceeded without the dead victim; it must be latched"
+    );
+
+    // A stale impostor comes alive at the victim's slot: it hosts the
+    // victim's shards but holds none of the acknowledged data. Pointing
+    // the slot at it makes any breaker probe *succeed* — the exact
+    // hazard the latch exists for.
+    let map = ClusterMap::build(cfg, &weights);
+    let stale =
+        ClusterNode::start("127.0.0.1:0", cfg, &map.shards_on(VICTIM), NodeConfig::default())
+            .expect("stale twin start");
+    router.set_node_addr(VICTIM, stale.local_addr());
+
+    // Let the (short) cooldown pass so the breaker would half-open.
+    std::thread::sleep(Duration::from_millis(60));
+
+    // Every acknowledged write still reads back exactly: the latched
+    // node serves nothing, regardless of breaker state.
+    for &key in &acked {
+        assert_eq!(
+            router.lookup(key).unwrap_or_else(|e| panic!("latched lookup of {key}: {e}")),
+            Some(vec![mix64(key)]),
+            "acked write {key} lost to a half-open probe of a stale node"
+        );
+    }
+
+    // repair() selects on the sticky latch, not the transient breaker
+    // state — called long after the cooldown, it must still find the
+    // victim and drive the epoch bump + re-replication.
+    let reports = router.repair().expect("repair");
+    assert_eq!(reports.len(), 1, "repair must declare exactly the victim dead");
+    assert!(reports[0].failed.is_empty(), "failures: {:?}", reports[0].failed);
+    for &key in &acked {
+        assert_eq!(
+            router.lookup(key).unwrap_or_else(|e| panic!("post-repair lookup of {key}: {e}")),
+            Some(vec![mix64(key)]),
+            "acked write {key} lost after repair"
+        );
+    }
+
+    stale.shutdown();
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+}
+
+/// A replica answering `WrongShard` (the re-replication window: it is
+/// mapped but its image has not installed) must not fail the write —
+/// the router skips it like an unreachable one and lets the quorum
+/// check decide, without latching it suspect.
+#[test]
+fn write_skips_wrong_shard_replicas_instead_of_failing() {
+    let cfg = ClusterConfig {
+        shards: 8,
+        replication: 2,
+        shard_capacity: 256,
+        ..ClusterConfig::default()
+    };
+    let weights = [1u32, 1];
+    let map = ClusterMap::build(cfg, &weights);
+    // Node 0 hosts everything; node 1 is mapped as a replica of every
+    // shard but hosts nothing yet — every operation sent to it answers
+    // WrongShard.
+    let full = ClusterNode::start("127.0.0.1:0", cfg, &map.shards_on(0), NodeConfig::default())
+        .expect("full node start");
+    let empty =
+        ClusterNode::start("127.0.0.1:0", cfg, &[], NodeConfig::default()).expect("empty node");
+    let router = ClusterRouter::new(
+        cfg,
+        &[full.local_addr(), empty.local_addr()],
+        &weights,
+        drill_router_config(),
+    );
+
+    let keys: Vec<u64> = (0..60u64).map(|i| mix64(0xBADD ^ i) % (1 << 21)).collect();
+    for &key in &keys {
+        router
+            .insert(key, &[mix64(key)])
+            .unwrap_or_else(|e| panic!("insert of {key} must ack on the data holder: {e}"));
+    }
+    for &key in &keys {
+        assert_eq!(
+            router.lookup(key).unwrap_or_else(|e| panic!("lookup of {key}: {e}")),
+            Some(vec![mix64(key)]),
+            "write {key} must be served past the WrongShard replica"
+        );
+    }
+    assert!(
+        !router.node_suspect(1),
+        "a WrongShard answer is not unreachability; the replica stays trusted"
+    );
+    assert_eq!(router.stats().writes_acked, keys.len() as u64);
+
+    full.shutdown();
+    empty.shutdown();
+}
+
+/// Inserts are idempotent at the cluster level: a duplicate-key refusal
+/// certifies the key is durably present on that replica and counts as
+/// its ack, so a caller retry of a partially applied insert (and a
+/// plain re-insert) acknowledges instead of hard-failing.
+#[test]
+fn duplicate_insert_acks_idempotently() {
+    let cfg = ClusterConfig {
+        shards: 4,
+        replication: 2,
+        shard_capacity: 128,
+        ..ClusterConfig::default()
+    };
+    let weights = [1u32, 1];
+    let (nodes, addrs) = start_cluster(cfg, &weights);
+    let router = ClusterRouter::new(cfg, &addrs, &weights, drill_router_config());
+
+    router.insert(42, &[7]).expect("first insert");
+    router
+        .insert(42, &[7])
+        .expect("re-inserting an existing key must ack, not refuse");
+    // A duplicate ack never overwrites: the first write's satellite wins.
+    router.insert(42, &[9]).expect("duplicate with different satellite still acks");
+    assert_eq!(router.lookup(42).expect("lookup"), Some(vec![7]));
+    assert_eq!(router.stats().writes_acked, 3);
+    assert_eq!(router.stats().writes_refused, 0);
+
     for node in nodes.into_iter().flatten() {
         node.shutdown();
     }
