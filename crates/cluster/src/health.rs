@@ -1,5 +1,5 @@
-//! Per-node health machinery: typed retry policies and a circuit
-//! breaker.
+//! Per-node health machinery: typed retry policies, a circuit breaker,
+//! and the heartbeat failure detector.
 //!
 //! The router treats a remote node as a fallible component with two
 //! failure speeds: *transient* (a dropped connection, one missed
@@ -14,6 +14,19 @@
 //! latch — a node whose breaker opened is latched and serves no reads
 //! until it has been re-replicated, even after a probe closes the
 //! breaker (see the router's durability invariant).
+//!
+//! Both of those are **reactive**: a node is only distrusted after a
+//! client request fails into it. [`FailureDetector`] is the proactive
+//! third leg, fed by the heartbeater's periodic probes (see
+//! `crate::heartbeat`): consecutive missed probes raise a node's
+//! suspicion level, and crossing the configured threshold flips it
+//! [`Liveness::Alive`] → [`Liveness::Suspected`] — at which point the
+//! heartbeater latches the router's sticky suspect *before* any client
+//! write has to fail. The transition is one-way from the detector's
+//! point of view (a node that answers probes again may still have
+//! missed acknowledged writes while it was dark); only an explicit
+//! [`clear`](FailureDetector::clear) — issued when the router re-images
+//! the node — re-arms it.
 
 use std::time::{Duration, Instant};
 
@@ -177,9 +190,125 @@ impl Breaker {
     }
 }
 
+/// A node's liveness as judged by the [`FailureDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Answering probes (or not yet probed).
+    Alive,
+    /// Crossed the consecutive-miss threshold; stays suspected until an
+    /// explicit [`FailureDetector::clear`].
+    Suspected,
+}
+
+/// Consecutive-miss heartbeat failure detector.
+///
+/// Deterministic in its inputs: feed it the same sequence of probe
+/// outcomes and it makes the same judgements — no wall clock inside.
+/// Time lives in the *prober* (which decides when a probe is a miss);
+/// the detector only counts. Not thread-safe by itself — the
+/// heartbeater owns one.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    suspect_after: u32,
+    misses: Vec<u32>,
+    states: Vec<Liveness>,
+}
+
+impl FailureDetector {
+    /// A detector over `nodes` nodes that suspects a node after
+    /// `suspect_after` consecutive missed probes.
+    ///
+    /// # Panics
+    /// Panics if `suspect_after == 0`.
+    #[must_use]
+    pub fn new(nodes: usize, suspect_after: u32) -> Self {
+        assert!(suspect_after >= 1, "suspect_after must be at least 1");
+        FailureDetector {
+            suspect_after,
+            misses: vec![0; nodes],
+            states: vec![Liveness::Alive; nodes],
+        }
+    }
+
+    /// Record an answered probe. Resets the miss streak of an alive
+    /// node; a suspected node **stays suspected** (it may have missed
+    /// writes while dark — see the module docs).
+    pub fn record_success(&mut self, node: usize) {
+        if self.states[node] == Liveness::Alive {
+            self.misses[node] = 0;
+        }
+    }
+
+    /// Record a missed probe. Returns `true` exactly on the
+    /// [`Liveness::Alive`] → [`Liveness::Suspected`] transition.
+    pub fn record_miss(&mut self, node: usize) -> bool {
+        if self.states[node] == Liveness::Suspected {
+            return false;
+        }
+        self.misses[node] = self.misses[node].saturating_add(1);
+        if self.misses[node] >= self.suspect_after {
+            self.states[node] = Liveness::Suspected;
+            return true;
+        }
+        false
+    }
+
+    /// The node's current judgement.
+    #[must_use]
+    pub fn liveness(&self, node: usize) -> Liveness {
+        self.states[node]
+    }
+
+    /// The node's suspicion level: consecutive missed probes so far.
+    #[must_use]
+    pub fn suspicion(&self, node: usize) -> u32 {
+        self.misses[node]
+    }
+
+    /// Re-arm `node` as alive with a clean slate (issued after the
+    /// router re-images it via `restore_node`).
+    pub fn clear(&mut self, node: usize) {
+        self.misses[node] = 0;
+        self.states[node] = Liveness::Alive;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn detector_suspects_after_consecutive_misses_only() {
+        let mut d = FailureDetector::new(2, 3);
+        assert_eq!(d.liveness(0), Liveness::Alive);
+        assert!(!d.record_miss(0));
+        assert!(!d.record_miss(0));
+        assert_eq!(d.suspicion(0), 2);
+        d.record_success(0);
+        assert_eq!(d.suspicion(0), 0, "a success resets an alive streak");
+        assert!(!d.record_miss(0));
+        assert!(!d.record_miss(0));
+        assert!(d.record_miss(0), "third consecutive miss transitions");
+        assert_eq!(d.liveness(0), Liveness::Suspected);
+        assert_eq!(d.liveness(1), Liveness::Alive, "per-node state");
+    }
+
+    #[test]
+    fn detector_suspicion_is_sticky_until_cleared() {
+        let mut d = FailureDetector::new(1, 1);
+        assert!(d.record_miss(0));
+        assert!(!d.record_miss(0), "transition reported once");
+        d.record_success(0);
+        assert_eq!(
+            d.liveness(0),
+            Liveness::Suspected,
+            "an answering probe does not clear suspicion"
+        );
+        d.clear(0);
+        assert_eq!(d.liveness(0), Liveness::Alive);
+        assert_eq!(d.suspicion(0), 0);
+        assert!(d.record_miss(0), "re-armed after clear");
+    }
 
     #[test]
     fn retry_delays_back_off_and_cap() {

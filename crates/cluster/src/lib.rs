@@ -19,8 +19,11 @@
 //!   serving engine per hosted shard, shard-addressed and
 //!   epoch-checked operations, and the migration opcodes that export /
 //!   install frozen shard images.
-//! - [`health`] — typed [`RetryPolicy`] and per-node circuit
-//!   [`Breaker`].
+//! - [`health`] — typed [`RetryPolicy`], per-node circuit [`Breaker`],
+//!   and the consecutive-miss [`FailureDetector`].
+//! - [`heartbeat`] — the proactive [`Heartbeater`]: periodic health
+//!   probes feed the failure detector and latch the router's sticky
+//!   suspect *before* any client write fails.
 //! - [`image`] — whole-medium shard-image serialization (journal ring
 //!   included), so a migrated shard is recovered on the target by the
 //!   ordinary crash-recovery path.
@@ -46,12 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod health;
+pub mod heartbeat;
 pub mod image;
 pub mod map;
 pub mod node;
 pub mod router;
 
-pub use health::{Breaker, BreakerState, RetryPolicy};
+pub use health::{Breaker, BreakerState, FailureDetector, Liveness, RetryPolicy};
+pub use heartbeat::{HeartbeatConfig, Heartbeater, HeartbeatStats};
 pub use image::{deserialize_image, serialize_image, CHUNK_BYTES};
 pub use map::{ClusterConfig, ClusterMap, MapDelta, NodeState, ShardMove};
 pub use node::{ClusterNode, NodeConfig};

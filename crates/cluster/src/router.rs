@@ -31,13 +31,21 @@
 
 use crate::health::{Breaker, BreakerState, RetryPolicy};
 use crate::map::{ClusterConfig, ClusterMap, MapDelta};
+use pdm::metrics::{Counter, MetricsRegistry};
 use pdm::Word;
 use pdm_server::protocol::{WireRequest, WireResponse};
 use pdm_server::{Op, Reply, ServeError, TcpClient};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::time::Duration;
+
+/// Upper bound on threads driving independent shard re-replications in
+/// parallel (see [`ClusterRouter::fail_node`]): every move in a map
+/// delta touches a distinct shard, and the per-shard fences already
+/// serialize each migration against that shard's operations, so the
+/// moves are independent — the pool just bounds connection fan-out.
+const MIGRATION_THREADS: usize = 4;
 
 /// Router tuning.
 #[derive(Debug, Clone, Copy)]
@@ -153,6 +161,16 @@ pub struct RouterStats {
     pub reads_failover: u64,
     /// Transport-level failures absorbed (retries, breakers).
     pub transport_failures: u64,
+    /// Suspect-latch transitions (false → true), however triggered:
+    /// write-path misses, opened breakers, admin `fail_node`, or
+    /// proactive heartbeat detection.
+    pub suspects_latched: u64,
+    /// Latches raised **proactively** by the heartbeat failure detector
+    /// (before any client write failed into the node).
+    pub heartbeat_detections: u64,
+    /// Worst heartbeat detection latency observed, in milliseconds:
+    /// first missed probe → suspect latch. Zero until a detection fires.
+    pub detection_latency_ms_max: u64,
 }
 
 #[derive(Default)]
@@ -162,6 +180,22 @@ struct StatCells {
     reads_primary: AtomicU64,
     reads_failover: AtomicU64,
     transport_failures: AtomicU64,
+    suspects_latched: AtomicU64,
+    heartbeat_detections: AtomicU64,
+    detection_latency_ms_max: AtomicU64,
+}
+
+/// Pre-resolved registry handles mirroring [`RouterStats`], so the
+/// Prometheus snapshot and the stats struct always agree (resolved once
+/// in [`ClusterRouter::set_metrics`], updated lock-free on the paths).
+struct RouterMetrics {
+    writes_acked: Arc<Counter>,
+    writes_refused: Arc<Counter>,
+    reads_primary: Arc<Counter>,
+    reads_failover: Arc<Counter>,
+    transport_failures: Arc<Counter>,
+    suspect_transitions: Arc<Counter>,
+    heartbeat_detections: Arc<Counter>,
 }
 
 struct NodeSlot {
@@ -206,6 +240,7 @@ pub struct ClusterRouter {
     /// Serializes map transitions (fail/restore/repair).
     admin: Mutex<()>,
     stats: StatCells,
+    metrics: OnceLock<RouterMetrics>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -250,6 +285,32 @@ impl ClusterRouter {
             fences,
             admin: Mutex::new(()),
             stats: StatCells::default(),
+            metrics: OnceLock::new(),
+        }
+    }
+
+    /// Mirror this router's counters into `registry` (names prefixed
+    /// `cluster_router_`), so a Prometheus / JSON snapshot agrees with
+    /// [`stats`](Self::stats). Resolves the handles once; a second call
+    /// is a no-op.
+    pub fn set_metrics(&self, registry: &MetricsRegistry) {
+        let _ = self.metrics.set(RouterMetrics {
+            writes_acked: registry.counter("cluster_router_writes_acked", &[]),
+            writes_refused: registry.counter("cluster_router_writes_refused", &[]),
+            reads_primary: registry.counter("cluster_router_reads", &[("path", "primary")]),
+            reads_failover: registry.counter("cluster_router_reads", &[("path", "failover")]),
+            transport_failures: registry.counter("cluster_router_transport_failures", &[]),
+            suspect_transitions: registry.counter("cluster_router_suspect_transitions", &[]),
+            heartbeat_detections: registry.counter("cluster_router_heartbeat_detections", &[]),
+        });
+    }
+
+    /// Bump one stats cell and its mirrored registry counter (if
+    /// [`set_metrics`](Self::set_metrics) installed one).
+    fn bump(&self, cell: &AtomicU64, pick: fn(&RouterMetrics) -> &Counter) {
+        cell.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            pick(m).inc();
         }
     }
 
@@ -287,12 +348,26 @@ impl ClusterRouter {
     }
 
     /// Point `node` at a new address (a restarted process rarely comes
-    /// back on the same port). Drops any cached connection; call before
-    /// [`restore_node`](Self::restore_node).
+    /// back on the same port). Drops any cached connection. Callers
+    /// restoring a node should prefer
+    /// [`restore_node`](Self::restore_node), which folds the re-address
+    /// in.
     pub fn set_node_addr(&self, node: usize, addr: SocketAddr) {
         let mut slot = lock(&self.nodes[node]);
         slot.addr = addr;
         slot.conn = None;
+    }
+
+    /// The address the router currently dials for `node`.
+    #[must_use]
+    pub fn node_addr(&self, node: usize) -> SocketAddr {
+        lock(&self.nodes[node]).addr
+    }
+
+    /// Number of nodes this router was built over.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Counter snapshot.
@@ -304,6 +379,9 @@ impl ClusterRouter {
             reads_primary: self.stats.reads_primary.load(Ordering::Relaxed),
             reads_failover: self.stats.reads_failover.load(Ordering::Relaxed),
             transport_failures: self.stats.transport_failures.load(Ordering::Relaxed),
+            suspects_latched: self.stats.suspects_latched.load(Ordering::Relaxed),
+            heartbeat_detections: self.stats.heartbeat_detections.load(Ordering::Relaxed),
+            detection_latency_ms_max: self.stats.detection_latency_ms_max.load(Ordering::Relaxed),
         }
     }
 
@@ -370,9 +448,9 @@ impl ClusterRouter {
                     NodeOutcome::Answered { resp } => match resp {
                         WireResponse::Reply(Reply::Lookup(sat)) => {
                             if i == 0 {
-                                self.stats.reads_primary.fetch_add(1, Ordering::Relaxed);
+                                self.bump(&self.stats.reads_primary, |m| &m.reads_primary);
                             } else {
-                                self.stats.reads_failover.fetch_add(1, Ordering::Relaxed);
+                                self.bump(&self.stats.reads_failover, |m| &m.reads_failover);
                             }
                             return Ok(sat);
                         }
@@ -445,11 +523,11 @@ impl ClusterRouter {
                         // to it, so the quorum check decides.
                         WireResponse::Err(ServeError::WrongShard { .. }) => {}
                         WireResponse::Err(e) => {
-                            self.stats.writes_refused.fetch_add(1, Ordering::Relaxed);
+                            self.bump(&self.stats.writes_refused, |m| &m.writes_refused);
                             return Err(ClusterError::Serve(e));
                         }
                         other => {
-                            self.stats.writes_refused.fetch_add(1, Ordering::Relaxed);
+                            self.bump(&self.stats.writes_refused, |m| &m.writes_refused);
                             return Err(ClusterError::Serve(ServeError::Protocol(format!(
                                 "write answered {other:?}"
                             ))));
@@ -463,7 +541,7 @@ impl ClusterRouter {
                 }
             }
             if acked < self.cfg.write_quorum {
-                self.stats.writes_refused.fetch_add(1, Ordering::Relaxed);
+                self.bump(&self.stats.writes_refused, |m| &m.writes_refused);
                 drop(fence);
                 return Err(ClusterError::NoQuorum {
                     shard,
@@ -473,7 +551,7 @@ impl ClusterRouter {
             }
             break reply.expect("acked >= 1 implies a reply");
         };
-        self.stats.writes_acked.fetch_add(1, Ordering::Relaxed);
+        self.bump(&self.stats.writes_acked, |m| &m.writes_acked);
         Ok(reply)
     }
 
@@ -493,7 +571,30 @@ impl ClusterRouter {
     /// Latch `node` suspect: it stops serving reads and counting toward
     /// write quorums until a re-imaging restore clears it.
     fn mark_suspect(&self, node: usize) {
-        self.suspects[node].store(true, Ordering::Release);
+        if !self.suspects[node].swap(true, Ordering::AcqRel) {
+            self.bump(&self.stats.suspects_latched, |m| &m.suspect_transitions);
+        }
+    }
+
+    /// Proactively latch `node` suspect — the heartbeat failure
+    /// detector's entry point (see `crate::heartbeat`), fired *before*
+    /// any client write has to fail into the node. Latch-only by
+    /// design: the breaker stays untouched (transport state and
+    /// durability trust are separate), but routing
+    /// excludes the node immediately, so no further write is ever
+    /// acknowledged through it. Cleared like every latch, by a
+    /// re-imaging [`restore_node`](Self::restore_node).
+    pub fn suspect_node(&self, node: usize) {
+        self.mark_suspect(node);
+    }
+
+    /// Record a completed proactive detection (heartbeat internal):
+    /// `latency_ms` is first missed probe → suspect latch.
+    pub(crate) fn note_detection(&self, latency_ms: u64) {
+        self.bump(&self.stats.heartbeat_detections, |m| &m.heartbeat_detections);
+        self.stats
+            .detection_latency_ms_max
+            .fetch_max(latency_ms, Ordering::Relaxed);
     }
 
     /// One request against one node with retries, breaker accounting,
@@ -565,7 +666,7 @@ impl ClusterRouter {
             self.mark_suspect(node);
         }
         drop(slot);
-        self.stats.transport_failures.fetch_add(1, Ordering::Relaxed);
+        self.bump(&self.stats.transport_failures, |m| &m.transport_failures);
     }
 
     // ------------------------------------------------- map transitions
@@ -592,10 +693,13 @@ impl ClusterRouter {
         self.drive_moves(delta)
     }
 
-    /// Bring a restarted (empty) `node` back: bump the epoch, hand the
-    /// node back only its fair share of replica slots, re-replicate
-    /// them onto it from their current primaries, and reset its
-    /// breaker and suspect latch.
+    /// Bring a restarted (empty) `node` back at `addr`: re-point the
+    /// router at the reborn process (folding in
+    /// [`set_node_addr`](Self::set_node_addr), which callers used to
+    /// have to remember separately), bump the epoch, hand the node back
+    /// only its fair share of replica slots, re-replicate them onto it
+    /// from their current primaries, and reset its breaker and suspect
+    /// latch.
     ///
     /// Clearing the latch before the images install is safe: until a
     /// shard's image lands, the node answers its operations with
@@ -605,8 +709,23 @@ impl ClusterRouter {
     ///
     /// # Errors
     /// As [`fail_node`](Self::fail_node).
+    pub fn restore_node(
+        &self,
+        node: usize,
+        addr: SocketAddr,
+    ) -> Result<ReplicationReport, ClusterError> {
+        self.set_node_addr(node, addr);
+        self.restore_node_in_place(node)
+    }
+
+    /// [`restore_node`](Self::restore_node) for a node that came back
+    /// on its **existing** address (a healed partition rather than a
+    /// restarted process).
+    ///
+    /// # Errors
+    /// As [`fail_node`](Self::fail_node).
     #[allow(clippy::missing_panics_doc)]
-    pub fn restore_node(&self, node: usize) -> Result<ReplicationReport, ClusterError> {
+    pub fn restore_node_in_place(&self, node: usize) -> Result<ReplicationReport, ClusterError> {
         let _admin = lock(&self.admin);
         let delta = lock(&self.map).mark_up(node);
         {
@@ -653,13 +772,36 @@ impl ClusterRouter {
         }
     }
 
+    /// Drive every move of a map delta. Each move targets a distinct
+    /// shard (a delta moves at most one replica per shard) and
+    /// [`re_replicate`](Self::re_replicate) runs under that shard's
+    /// exclusive fence, so the moves are independent: they run on a
+    /// small thread pool ([`MIGRATION_THREADS`]) instead of serially.
+    /// The report lists shards in ascending order regardless of
+    /// completion order.
     fn drive_moves(&self, delta: MapDelta) -> Result<ReplicationReport, ClusterError> {
+        let results: Mutex<Vec<(u32, Result<(), ClusterError>)>> =
+            Mutex::new(Vec::with_capacity(delta.moves.len()));
+        let next = AtomicUsize::new(0);
+        let workers = MIGRATION_THREADS.min(delta.moves.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(mv) = delta.moves.get(i) else { break };
+                    let outcome = self.re_replicate(mv.shard, mv.to);
+                    lock(&results).push((mv.shard, outcome));
+                });
+            }
+        });
+        let mut results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+        results.sort_by_key(|&(shard, _)| shard);
         let mut replicated = Vec::new();
         let mut failed = Vec::new();
-        for mv in &delta.moves {
-            match self.re_replicate(mv.shard, mv.to) {
-                Ok(()) => replicated.push(mv.shard),
-                Err(e) => failed.push((mv.shard, e.to_string())),
+        for (shard, outcome) in results {
+            match outcome {
+                Ok(()) => replicated.push(shard),
+                Err(e) => failed.push((shard, e.to_string())),
             }
         }
         Ok(ReplicationReport {

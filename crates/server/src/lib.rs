@@ -48,12 +48,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod netfault;
 pub mod protocol;
 pub mod queue;
 pub mod scheduler;
 pub mod server;
 
 pub use client::{DictClient, Pending, TcpClient};
+pub use netfault::{ChaosNet, Dir, FrameAction, LinkStats, NetFault, NetFaultPlan};
 pub use scheduler::{EngineConfig, EngineStats, Op, Reply, ServeEngine, ServeMetrics};
 pub use server::TcpServer;
 

@@ -230,8 +230,9 @@ fn restarted_node_rereplicates_byte_identically() {
 
     // The node comes back empty on a fresh port.
     let reborn = ClusterNode::start("127.0.0.1:0", cfg, &[], NodeConfig::default()).unwrap();
-    router.set_node_addr(VICTIM, reborn.local_addr());
-    let up = router.restore_node(VICTIM).expect("restore_node");
+    let up = router
+        .restore_node(VICTIM, reborn.local_addr())
+        .expect("restore_node");
     assert!(up.failed.is_empty(), "failures: {:?}", up.failed);
     assert_eq!(up.delta.epoch, 2);
     assert!(
