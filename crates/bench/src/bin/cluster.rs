@@ -91,6 +91,7 @@ fn main() {
             connect_timeout: Duration::from_secs(1),
             request_deadline: Duration::from_secs(30),
             write_quorum: 1,
+            read_cache: None,
         },
     );
 

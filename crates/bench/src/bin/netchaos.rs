@@ -135,6 +135,7 @@ fn minority_phase(smoke: bool) -> (u64, u64, u64) {
             connect_timeout: Duration::from_secs(1),
             request_deadline: Duration::from_millis(250),
             write_quorum: 2,
+            read_cache: None,
         },
     );
 
@@ -208,6 +209,7 @@ fn heal_phase(smoke: bool) -> (u64, u64, bool) {
             connect_timeout: Duration::from_secs(1),
             request_deadline: Duration::from_millis(250),
             write_quorum: 1,
+            read_cache: None,
         },
     );
 
@@ -358,6 +360,7 @@ fn replay_run(keys: u64) -> ReplayRun {
             connect_timeout: Duration::from_secs(1),
             request_deadline: Duration::from_millis(250),
             write_quorum: 2,
+            read_cache: None,
         },
     );
 

@@ -4,8 +4,9 @@
 //! Three experiments against two-shard engines:
 //!
 //! 1. **Coalescing vs one-op-per-lock.** 32 concurrent clients pipeline
-//!    a skewed serving workload (90% of requests to a 16-key hot set —
-//!    the shape real request streams have) through the engine; per-shard
+//!    a skewed serving workload (a seeded Zipf(θ = 1.8) stream putting
+//!    ~90% of requests on a 16-key hot set — the shape real request
+//!    streams have) through the engine; per-shard
 //!    workers coalesce queued requests into `lookup_batch` calls whose
 //!    planner reads each *unique* block once per window and shares
 //!    parallel rounds across keys, so every repeat of a hot key inside a
@@ -35,6 +36,7 @@
 //! Run: `cargo run -p bench --release --bin serve`
 //! Smoke: `cargo run -p bench --release --bin serve -- --smoke`
 
+use bench::workloads::ZipfStream;
 use bench::write_json;
 use expander::mix::mix64;
 use pdm::{DiskArray, FaultPlan, PdmConfig, Word};
@@ -95,20 +97,11 @@ fn dense_keys(n: usize) -> Vec<u64> {
         .collect()
 }
 
-/// Hot-set fraction and size of the skewed serving stream.
-const HOT_KEYS: usize = 16;
-const HOT_PCT: u64 = 90;
-
-/// One draw from the skewed stream: `HOT_PCT`% of requests hit the first
-/// [`HOT_KEYS`] keys of the corpus, the rest are uniform over all of it.
-fn skewed_key(keys: &[u64], state: u64) -> u64 {
-    let (sel, idx) = (mix64(state ^ 0x51), mix64(state ^ 0x1D));
-    if sel % 100 < HOT_PCT {
-        keys[(idx as usize) % HOT_KEYS.min(keys.len())]
-    } else {
-        keys[(idx as usize) % keys.len()]
-    }
-}
+/// Exponent of the Zipf(θ) serving stream (the shared
+/// [`ZipfStream`] generator): θ = 1.8 concentrates ~90% of requests on
+/// a hot set of a few dozen keys over this corpus size — the shape the
+/// old hand-rolled 90%/16-key sampler approximated.
+const ZIPF_THETA: f64 = 1.8;
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     if sorted_us.is_empty() {
@@ -142,8 +135,9 @@ fn latency_row(mut samples_us: Vec<u64>, wall: Duration) -> LatencyRow {
 struct CoalescingReport {
     clients: usize,
     lookups: usize,
-    hot_keys: usize,
-    hot_pct: u64,
+    zipf_theta: f64,
+    /// Analytic fraction of draws in the 16 hottest keys.
+    hot16_mass: f64,
     mean_batch: f64,
     rounds_per_op_coalesced: f64,
     rounds_per_op_single: f64,
@@ -218,10 +212,9 @@ fn coalescing(keys: &[u64], per_client: usize, failures: &mut Vec<String>) -> Co
             s.spawn(move || {
                 let mut local = Vec::with_capacity(per_client);
                 let mut pending = Vec::with_capacity(128);
-                let mut state = mix64(0xC0A1 ^ c);
+                let mut stream = ZipfStream::new(keys, ZIPF_THETA, 0xC0A1).with_draws(mix64(c));
                 for i in 0..per_client {
-                    state = mix64(state.wrapping_add(1));
-                    let key = skewed_key(keys, state);
+                    let key = stream.next_key();
                     let at = Instant::now();
                     let p = client.submit(Op::Lookup(key)).unwrap();
                     pending.push((at, p, key));
@@ -255,10 +248,9 @@ fn coalescing(keys: &[u64], per_client: usize, failures: &mut Vec<String>) -> Co
     }
     let mut single_ios = 0u64;
     let mut single_ops = 0u64;
-    let mut state = mix64(0xBA5E);
+    let mut stream = ZipfStream::new(keys, ZIPF_THETA, 0xC0A1).with_draws(0xBA5E);
     for _ in 0..stats.exec_ops.min(20_000) {
-        state = mix64(state.wrapping_add(1));
-        let key = skewed_key(keys, state);
+        let key = stream.next_key();
         let out = twins[shard_of(key)].lookup(key);
         assert!(out.satellite.is_some());
         single_ios += out.cost.parallel_ios;
@@ -268,8 +260,8 @@ fn coalescing(keys: &[u64], per_client: usize, failures: &mut Vec<String>) -> Co
     let row = CoalescingReport {
         clients: CLIENTS,
         lookups: stats.exec_ops as usize,
-        hot_keys: HOT_KEYS,
-        hot_pct: HOT_PCT,
+        zipf_theta: ZIPF_THETA,
+        hot16_mass: ZipfStream::new(keys, ZIPF_THETA, 0).head_mass(16),
         mean_batch: stats.mean_batch(),
         rounds_per_op_coalesced: stats.ios_per_op(),
         rounds_per_op_single: single_ios as f64 / single_ops as f64,
@@ -277,11 +269,14 @@ fn coalescing(keys: &[u64], per_client: usize, failures: &mut Vec<String>) -> Co
         pipelined_latency: latency_row(samples.into_inner().unwrap(), wall),
     };
     println!(
-        "coalescing: {} lookups from {} clients — {:.1} ops per batched call, \
+        "coalescing: {} lookups from {} clients (Zipf θ={:.1}, hot-16 mass {:.0}%) — \
+         {:.1} ops per batched call, \
          {:.3} rounds/op vs {:.3} one-op-per-lock ({:.1}× fewer), {:.0} ops/s, \
          p50 {}µs p99 {}µs",
         row.lookups,
         row.clients,
+        row.zipf_theta,
+        100.0 * row.hot16_mass,
         row.mean_batch,
         row.rounds_per_op_coalesced,
         row.rounds_per_op_single,
@@ -325,10 +320,9 @@ fn uncontended(keys: &[u64]) -> LatencyRow {
             let keys = &keys;
             s.spawn(move || {
                 let mut local = Vec::with_capacity(500);
-                let mut state = mix64(0x57A7 ^ c);
+                let mut stream = ZipfStream::new(keys, ZIPF_THETA, 0x57A7).with_draws(mix64(c));
                 for _ in 0..500 {
-                    state = mix64(state.wrapping_add(1));
-                    let key = skewed_key(keys, state);
+                    let key = stream.next_key();
                     let at = Instant::now();
                     assert!(client.lookup(key).unwrap().is_some());
                     local.push(at.elapsed().as_micros() as u64);

@@ -114,11 +114,96 @@ impl Zipf {
         Zipf { cdf, state: seed }
     }
 
+    /// Replace the draw-sequence state without touching the law.
+    pub fn reseed(&mut self, seed: u64) {
+        self.state = seed;
+    }
+
     /// Draw one index in `0..n`.
     pub fn sample(&mut self) -> usize {
         self.state = mix64(self.state.wrapping_add(0x2545_F491_4F6C_DD1D));
         let u = (self.state >> 11) as f64 / (1u64 << 53) as f64;
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Analytic probability mass of the `head` hottest ranks — the
+    /// fraction of draws that will land there in expectation.
+    #[must_use]
+    pub fn head_mass(&self, head: usize) -> f64 {
+        if head == 0 {
+            0.0
+        } else if head >= self.cdf.len() {
+            1.0
+        } else {
+            self.cdf[head - 1]
+        }
+    }
+}
+
+/// A seeded Zipf(θ) **key** stream over a fixed key set: the rank-`i`
+/// key of a seed-shuffled ordering is drawn with probability
+/// ∝ `1/(i+1)^θ`. This is the skewed access shape the cache tier is
+/// built for; the shuffle makes the hot set seed-dependent rather than
+/// positional, so rotated CI seeds exercise different hot keys.
+#[derive(Debug, Clone)]
+pub struct ZipfStream {
+    keys: Vec<u64>,
+    zipf: Zipf,
+}
+
+impl ZipfStream {
+    /// Stream over `keys` with exponent `theta` (0 = uniform), fully
+    /// determined by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty.
+    #[must_use]
+    pub fn new(keys: &[u64], theta: f64, seed: u64) -> Self {
+        assert!(!keys.is_empty(), "a key stream needs keys");
+        let mut keys = keys.to_vec();
+        // Seeded Fisher–Yates: rank order is a pure function of the seed.
+        let mut state = seed ^ 0x0517_F1E5;
+        for i in (1..keys.len()).rev() {
+            state = mix64(state.wrapping_add(0x9E37_79B9_7F4A_7C15));
+            let j = (state % (i as u64 + 1)) as usize;
+            keys.swap(i, j);
+        }
+        let zipf = Zipf::new(keys.len(), theta, mix64(seed ^ 0x21BF));
+        ZipfStream { keys, zipf }
+    }
+
+    /// Reseed the draw sequence while keeping the rank order (which key
+    /// is hot) fixed. This is how concurrent clients share one hot set:
+    /// construct every stream with the same seed, then give each client
+    /// its own draw seed — without this, each seed shuffles the corpus
+    /// and `n` clients aggregate to a much flatter mixture of `n`
+    /// disjoint hot sets.
+    #[must_use]
+    pub fn with_draws(mut self, seed: u64) -> Self {
+        self.zipf.reseed(seed);
+        self
+    }
+
+    /// Draw the next key.
+    pub fn next_key(&mut self) -> u64 {
+        self.keys[self.zipf.sample()]
+    }
+
+    /// Draw `n` keys.
+    pub fn take(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+
+    /// The `head` hottest keys, hottest first.
+    #[must_use]
+    pub fn hot_keys(&self, head: usize) -> &[u64] {
+        &self.keys[..head.min(self.keys.len())]
+    }
+
+    /// Analytic fraction of draws landing in the `head` hottest keys.
+    #[must_use]
+    pub fn head_mass(&self, head: usize) -> f64 {
+        self.zipf.head_mass(head)
     }
 }
 
@@ -208,6 +293,43 @@ mod tests {
         }
         // Top 10% of a Zipf(1) gets far more than 10% of the mass.
         assert!(head > 4000, "head hits {head}");
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_skewed() {
+        let keys = uniform_keys(2000, 1 << 30, 11);
+        let mut a = ZipfStream::new(&keys, 1.1, 42);
+        let mut b = ZipfStream::new(&keys, 1.1, 42);
+        assert_eq!(a.take(500), b.take(500), "same seed, same stream");
+        assert_ne!(
+            ZipfStream::new(&keys, 1.1, 42).take(500),
+            ZipfStream::new(&keys, 1.1, 43).take(500),
+            "seed rotates the stream"
+        );
+
+        // Empirical head mass tracks the analytic CDF.
+        let mut s = ZipfStream::new(&keys, 1.1, 7);
+        let hot: HashSet<u64> = s.hot_keys(100).iter().copied().collect();
+        let expected = s.head_mass(100);
+        let draws = 20_000;
+        let hits = s.take(draws).iter().filter(|k| hot.contains(k)).count();
+        let got = hits as f64 / draws as f64;
+        assert!(
+            (got - expected).abs() < 0.05,
+            "head mass: analytic {expected:.3}, empirical {got:.3}"
+        );
+        assert!(expected > 0.5, "Zipf(1.1) concentrates over half its mass");
+    }
+
+    #[test]
+    fn with_draws_keeps_rank_order_but_rotates_draws() {
+        let keys = uniform_keys(500, 1 << 30, 3);
+        let base = ZipfStream::new(&keys, 1.5, 21);
+        let mut a = ZipfStream::new(&keys, 1.5, 21).with_draws(1);
+        let mut b = ZipfStream::new(&keys, 1.5, 21).with_draws(2);
+        assert_eq!(base.hot_keys(10), a.hot_keys(10), "same hot set");
+        assert_eq!(a.hot_keys(10), b.hot_keys(10), "same hot set");
+        assert_ne!(a.take(300), b.take(300), "different draw sequences");
     }
 
     #[test]

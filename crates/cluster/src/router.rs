@@ -33,6 +33,7 @@ use crate::health::{Breaker, BreakerState, RetryPolicy};
 use crate::map::{ClusterConfig, ClusterMap, MapDelta};
 use pdm::metrics::{Counter, MetricsRegistry};
 use pdm::Word;
+use pdm_cache::{CacheAnswer, CacheConfig, CacheCounters, HotCache};
 use pdm_server::protocol::{WireRequest, WireResponse};
 use pdm_server::{Op, Reply, ServeError, TcpClient};
 use std::net::SocketAddr;
@@ -63,6 +64,18 @@ pub struct RouterConfig {
     pub request_deadline: Duration,
     /// Minimum trusted-replica acks for a write to be acknowledged.
     pub write_quorum: usize,
+    /// Optional client-side read-through cache (`None` disables it).
+    ///
+    /// Hits skip the network entirely. Soundness rests on two rules:
+    /// entries are tagged with the map epoch they were filled under and
+    /// the **whole cache is dropped the moment the router observes a
+    /// newer epoch** (a failover or restore changed who holds the data,
+    /// so nothing cached before the transition may be served after it),
+    /// and every *attempted* write — acked or refused — invalidates its
+    /// key before the caller sees the outcome. Misses are never cached
+    /// here: the wire reply carries no degraded-read provenance, so the
+    /// router has no absence certificate (see `pdm-cache`).
+    pub read_cache: Option<CacheConfig>,
 }
 
 impl Default for RouterConfig {
@@ -74,6 +87,7 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_millis(500),
             request_deadline: Duration::from_secs(5),
             write_quorum: 1,
+            read_cache: None,
         }
     }
 }
@@ -159,6 +173,8 @@ pub struct RouterStats {
     pub reads_primary: u64,
     /// Reads answered by a non-primary replica after failover.
     pub reads_failover: u64,
+    /// Reads answered from the client-side read cache (no network).
+    pub reads_cached: u64,
     /// Transport-level failures absorbed (retries, breakers).
     pub transport_failures: u64,
     /// Suspect-latch transitions (false → true), however triggered:
@@ -179,6 +195,7 @@ struct StatCells {
     writes_refused: AtomicU64,
     reads_primary: AtomicU64,
     reads_failover: AtomicU64,
+    reads_cached: AtomicU64,
     transport_failures: AtomicU64,
     suspects_latched: AtomicU64,
     heartbeat_detections: AtomicU64,
@@ -193,6 +210,7 @@ struct RouterMetrics {
     writes_refused: Arc<Counter>,
     reads_primary: Arc<Counter>,
     reads_failover: Arc<Counter>,
+    reads_cached: Arc<Counter>,
     transport_failures: Arc<Counter>,
     suspect_transitions: Arc<Counter>,
     heartbeat_detections: Arc<Counter>,
@@ -224,11 +242,20 @@ pub struct ReplicationReport {
     pub failed: Vec<(u32, String)>,
 }
 
+/// The client-side read cache plus the map epoch its entries were
+/// filled under (see [`RouterConfig::read_cache`] for the soundness
+/// rules).
+struct ReadCache {
+    epoch: u64,
+    cache: HotCache,
+}
+
 /// The client-side router over a set of cluster nodes.
 pub struct ClusterRouter {
     cluster: ClusterConfig,
     cfg: RouterConfig,
     map: Mutex<ClusterMap>,
+    read_cache: Option<Mutex<ReadCache>>,
     nodes: Vec<Mutex<NodeSlot>>,
     /// Sticky needs-re-replication latch, one per node (see the module
     /// docs): set when a write proceeds without a routed replica or a
@@ -276,10 +303,17 @@ impl ClusterRouter {
             .collect();
         let fences = (0..cluster.shards).map(|_| RwLock::new(())).collect();
         let suspects = (0..addrs.len()).map(|_| AtomicBool::new(false)).collect();
+        let read_cache = cfg.read_cache.map(|c| {
+            Mutex::new(ReadCache {
+                epoch: map.epoch(),
+                cache: HotCache::new(c),
+            })
+        });
         ClusterRouter {
             cluster,
             cfg,
             map: Mutex::new(map),
+            read_cache,
             nodes,
             suspects,
             fences,
@@ -299,6 +333,7 @@ impl ClusterRouter {
             writes_refused: registry.counter("cluster_router_writes_refused", &[]),
             reads_primary: registry.counter("cluster_router_reads", &[("path", "primary")]),
             reads_failover: registry.counter("cluster_router_reads", &[("path", "failover")]),
+            reads_cached: registry.counter("cluster_router_reads", &[("path", "cached")]),
             transport_failures: registry.counter("cluster_router_transport_failures", &[]),
             suspect_transitions: registry.counter("cluster_router_suspect_transitions", &[]),
             heartbeat_detections: registry.counter("cluster_router_heartbeat_detections", &[]),
@@ -378,6 +413,7 @@ impl ClusterRouter {
             writes_refused: self.stats.writes_refused.load(Ordering::Relaxed),
             reads_primary: self.stats.reads_primary.load(Ordering::Relaxed),
             reads_failover: self.stats.reads_failover.load(Ordering::Relaxed),
+            reads_cached: self.stats.reads_cached.load(Ordering::Relaxed),
             transport_failures: self.stats.transport_failures.load(Ordering::Relaxed),
             suspects_latched: self.stats.suspects_latched.load(Ordering::Relaxed),
             heartbeat_detections: self.stats.heartbeat_detections.load(Ordering::Relaxed),
@@ -431,6 +467,10 @@ impl ClusterRouter {
     /// [`ClusterError::AllReplicasDown`] when no trusted replica
     /// answers; [`ClusterError::Serve`] for typed server errors.
     pub fn lookup(&self, key: u64) -> Result<Option<Vec<Word>>, ClusterError> {
+        if let Some(hit) = self.probe_cached(key) {
+            self.bump(&self.stats.reads_cached, |m| &m.reads_cached);
+            return Ok(hit);
+        }
         let shard = self.cluster.shard_of(key);
         let fence = self.fences[shard as usize]
             .read()
@@ -452,6 +492,7 @@ impl ClusterRouter {
                             } else {
                                 self.bump(&self.stats.reads_failover, |m| &m.reads_failover);
                             }
+                            self.fill_cached(key, sat.as_deref(), epoch);
                             return Ok(sat);
                         }
                         WireResponse::Err(ServeError::StaleEpoch { .. }) if refreshes < 3 => {
@@ -476,9 +517,69 @@ impl ClusterRouter {
         }
     }
 
+    /// Consult the read cache. `Some(answer)` is a hit served without
+    /// touching the network; `None` means go to the replicas. Observing
+    /// a map epoch newer than the cache's tag drops every entry first —
+    /// a failover or restore changed who holds the data, so nothing
+    /// cached before the transition survives it.
+    fn probe_cached(&self, key: u64) -> Option<Option<Vec<Word>>> {
+        let rc = self.read_cache.as_ref()?;
+        let current = self.epoch();
+        let mut rc = lock(rc);
+        if rc.epoch != current {
+            rc.cache.clear();
+            rc.epoch = current;
+        }
+        match rc.cache.probe(key) {
+            CacheAnswer::Hit(sat) => Some(Some(sat)),
+            CacheAnswer::NegativeHit => Some(None),
+            CacheAnswer::Miss => None,
+        }
+    }
+
+    /// Offer a routed lookup's answer to the read cache, tagged with the
+    /// `epoch` it was routed under. Refused unless that epoch is still
+    /// the one the cache is synced to (epochs are monotone, so a stale
+    /// tag can never come back). Misses pass `certified_absent = false`:
+    /// the wire reply carries no provenance, so absence is never cached
+    /// at this tier.
+    fn fill_cached(&self, key: u64, satellite: Option<&[Word]>, epoch: u64) {
+        let Some(rc) = &self.read_cache else { return };
+        if self.epoch() != epoch {
+            return;
+        }
+        let mut rc = lock(rc);
+        if rc.epoch == epoch {
+            rc.cache.fill(key, satellite, false);
+        }
+    }
+
+    /// Drop whatever the read cache holds for `key` — called for every
+    /// *attempted* write before its outcome reaches the caller (a
+    /// refused write may still have applied on some replica).
+    fn invalidate_cached(&self, key: u64) {
+        if let Some(rc) = &self.read_cache {
+            lock(rc).cache.invalidate(key);
+        }
+    }
+
+    /// Read-cache counter snapshot, `None` when the cache is disabled.
+    #[must_use]
+    pub fn read_cache_counters(&self) -> Option<CacheCounters> {
+        self.read_cache.as_ref().map(|rc| lock(rc).cache.counters())
+    }
+
     /// The mutating-op common path (see the module docs for the
-    /// durability invariant).
+    /// durability invariant): route the op, then drop the key from the
+    /// read cache before the caller sees any outcome — acked or refused,
+    /// the write may have physically applied somewhere.
     fn write(&self, key: u64, op: Op) -> Result<Reply, ClusterError> {
+        let result = self.write_routed(key, op);
+        self.invalidate_cached(key);
+        result
+    }
+
+    fn write_routed(&self, key: u64, op: Op) -> Result<Reply, ClusterError> {
         let shard = self.cluster.shard_of(key);
         let fence = self.fences[shard as usize]
             .read()

@@ -64,6 +64,22 @@ impl LookupOutcome {
     pub fn is_exact(&self) -> bool {
         self.provenance == Provenance::Exact
     }
+
+    /// Whether this outcome is a **certified absence**: an unsuccessful
+    /// search backed by fully healthy reads. The paper's one-probe
+    /// dictionary (Theorem 6) pays its single parallel I/O on
+    /// unsuccessful searches too, and its case-(b) identifier-tagged
+    /// fields make the miss a positive statement — "no field of this
+    /// key's block carries its identifier" — rather than mere failure to
+    /// find. Every front-end in this workspace inherits the same shape:
+    /// a miss read all the blocks the key could live in and saw it in
+    /// none of them. A `Degraded` miss certifies nothing (a sanitized
+    /// block might have held the key), so only `Exact` misses are safe
+    /// to cache negatively.
+    #[must_use]
+    pub fn certifies_absence(&self) -> bool {
+        self.satellite.is_none() && self.provenance == Provenance::Exact
+    }
 }
 
 /// Errors the dictionaries can report.
@@ -547,6 +563,14 @@ mod tests {
         assert!(!out.is_exact());
         assert_eq!(out.provenance, Provenance::Degraded);
         assert_eq!(Provenance::default(), Provenance::Exact);
+    }
+
+    #[test]
+    fn absence_certification_requires_exact_miss() {
+        assert!(LookupOutcome::new(None, OpCost::default()).certifies_absence());
+        assert!(!LookupOutcome::new(Some(vec![1]), OpCost::default()).certifies_absence());
+        assert!(!LookupOutcome::degraded(None, OpCost::default()).certifies_absence());
+        assert!(!LookupOutcome::degraded(Some(vec![1]), OpCost::default()).certifies_absence());
     }
 
     #[test]

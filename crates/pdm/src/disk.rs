@@ -14,6 +14,7 @@ use crate::integrity::{BlockCodec, BlockHealth, MixCodec, ScrubReport};
 use crate::metrics::{IoEvent, IoEventSink};
 use crate::stats::{IoStats, OpCost, OpScope};
 use crate::{Word, WORD_BITS};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Address of one block: `(disk, block index within the disk)`.
@@ -179,6 +180,13 @@ pub struct DiskArray {
     // Write-ahead intent journal state; `None` until
     // `enable_journal` / `reopen_journal` (see `crate::journal`).
     pub(crate) journal: Option<crate::journal::JournalState>,
+    // Monotone count of blocks a read returned in less-than-healthy
+    // state (dead disk, transient window, checksum mismatch — i.e. the
+    // block was sanitized). Atomic so `read_shared` can count through a
+    // shared reference. A batch across which this counter did not move
+    // was answered entirely from clean reads — the batch-level witness
+    // behind `pdm-dict`'s `Provenance::Exact` / absence certification.
+    degraded_reads: AtomicU64,
 }
 
 impl std::fmt::Debug for DiskArray {
@@ -211,6 +219,7 @@ impl Clone for DiskArray {
             verified_clean: self.verified_clean.clone(),
             codec: Arc::clone(&self.codec),
             journal: self.journal.clone(),
+            degraded_reads: AtomicU64::new(self.degraded_reads.load(Ordering::Relaxed)),
         }
     }
 }
@@ -267,7 +276,20 @@ impl DiskArray {
             verified_clean: Vec::new(),
             codec: Arc::new(MixCodec),
             journal: None,
+            degraded_reads: AtomicU64::new(0),
         })
+    }
+
+    /// Monotone count of sanitized (unhealthy) blocks returned by reads
+    /// since this array was created. A caller that snapshots this before
+    /// and after a batch and sees no movement knows every block of the
+    /// batch read cleanly — each miss inside it is a *certified* absence
+    /// (the one-probe unsuccessful-search guarantee), safe to cache
+    /// negatively. Shared reads ([`read_shared`](DiskArray::read_shared))
+    /// count too.
+    #[must_use]
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads.load(Ordering::Relaxed)
     }
 
     /// The backend's stable tag (`"mem"`, `"file"`).
@@ -684,6 +706,10 @@ impl DiskArray {
             .zip(&blocks)
             .map(|(&a, content)| self.health_of(a, content, None))
             .collect();
+        let bad = healths.iter().filter(|h| !h.is_ok()).count() as u64;
+        if bad > 0 {
+            self.degraded_reads.fetch_add(bad, Ordering::Relaxed);
+        }
         if self.checksums.is_some() {
             // A block that read clean stays clean until the medium can be
             // damaged again; skip re-verifying it on later reads.
@@ -913,6 +939,10 @@ impl DiskArray {
             .zip(&blocks)
             .map(|(&a, content)| self.health_of(a, content, None))
             .collect();
+        let bad = healths.iter().filter(|h| !h.is_ok()).count() as u64;
+        if bad > 0 {
+            self.degraded_reads.fetch_add(bad, Ordering::Relaxed);
+        }
         for (block, h) in blocks.iter_mut().zip(&healths) {
             if !h.is_ok() {
                 block.clear();

@@ -56,7 +56,9 @@ pub mod server;
 
 pub use client::{DictClient, Pending, TcpClient};
 pub use netfault::{ChaosNet, Dir, FrameAction, LinkStats, NetFault, NetFaultPlan};
-pub use scheduler::{EngineConfig, EngineStats, Op, Reply, ServeEngine, ServeMetrics};
+pub use scheduler::{
+    EngineConfig, EngineStats, Op, Reply, ServeEngine, ServeMetrics, SERVE_LOOKUP_CENTI_IOS,
+};
 pub use server::TcpServer;
 
 use pdm_dict::DictError;

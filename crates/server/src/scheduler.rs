@@ -34,9 +34,10 @@ use crate::ServeError;
 use expander::mix::mix64;
 use pdm::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use pdm::Word;
+use pdm_cache::{CacheAnswer, CacheConfig, CacheCounters, HotCache};
 use pdm_dict::Dict;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -109,6 +110,22 @@ pub struct EngineConfig {
     /// Off by default — the in-memory backend needs no barrier, and
     /// checkpoint-at-shutdown already covers the graceful path.
     pub durable_acks: bool,
+    /// Per-shard hot-key cache ([`pdm_cache::HotCache`]). `Some` puts a
+    /// frequency-gated, byte-budgeted cache in front of every shard:
+    /// lookups probe it at **submission** time, and a resident key is
+    /// answered immediately — no queue wait, no batch window, no I/O
+    /// round. Workers invalidate mutated keys *before* their window's
+    /// replies are released (so an acked mutation is never shadowed by a
+    /// stale entry) and fill the cache from executed lookup windows —
+    /// misses negatively only when the window's reads were certifiably
+    /// clean (see [`pdm::DiskArray::degraded_reads`]). Off by default.
+    ///
+    /// Ordering note: a cache hit answers ahead of operations already
+    /// queued by *other* clients — the same reordering window that
+    /// pipelined [`DictClient::submit`] traffic already has. A client
+    /// that waits for each reply still observes program order, because
+    /// invalidation precedes every mutation ack.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for EngineConfig {
@@ -119,6 +136,7 @@ impl Default for EngineConfig {
             deadline: Duration::from_secs(2),
             route_seed: 0x5EED_CAFE,
             durable_acks: false,
+            cache: None,
         }
     }
 }
@@ -167,6 +185,15 @@ impl EngineConfig {
         self.durable_acks = durable;
         self
     }
+
+    /// Put a hot-key cache in front of every shard (see
+    /// [`EngineConfig::cache`]). Each shard gets its own cache under
+    /// `cfg` (budget and sketch are per shard).
+    #[must_use]
+    pub fn with_cache(mut self, cfg: CacheConfig) -> Self {
+        self.cache = Some(cfg);
+        self
+    }
 }
 
 /// Monotone engine counters (always on — plain atomics, no registry
@@ -191,6 +218,10 @@ pub(crate) struct AtomicStats {
     pub(crate) parallel_ios: AtomicU64,
     /// The one-group-at-a-time measure ([`pdm::OpCost::sequential_ios`]).
     pub(crate) sequential_ios: AtomicU64,
+    /// Lookups answered at submission time from a resident cache entry.
+    pub(crate) cache_hits: AtomicU64,
+    /// Lookups answered at submission time from a negative entry.
+    pub(crate) cache_negative_hits: AtomicU64,
 }
 
 /// A point-in-time copy of the engine counters.
@@ -219,6 +250,12 @@ pub struct EngineStats {
     /// The one-shard-at-a-time I/O measure (see
     /// [`pdm::OpCost::sequential_ios`]).
     pub sequential_ios: u64,
+    /// Lookups answered from the hot-key cache without entering a queue
+    /// (0 when no cache is configured).
+    pub cache_hits: u64,
+    /// Lookups answered from a negative cache entry (certified-absent
+    /// keys; these cost 0 I/Os).
+    pub cache_negative_hits: u64,
 }
 
 impl EngineStats {
@@ -242,6 +279,19 @@ impl EngineStats {
             self.parallel_ios as f64 / self.exec_ops as f64
         }
     }
+
+    /// Parallel I/O rounds per *acknowledged* operation, cache hits
+    /// included — the number the hot-key tier drives below 1 on skewed
+    /// streams ([`ios_per_op`](EngineStats::ios_per_op) only counts
+    /// operations that reached a dictionary).
+    #[must_use]
+    pub fn ios_per_acked_op(&self) -> f64 {
+        if self.acked == 0 {
+            0.0
+        } else {
+            self.parallel_ios as f64 / self.acked as f64
+        }
+    }
 }
 
 /// Pre-resolved registry handles for the serving layer (`serve_*`
@@ -257,6 +307,14 @@ pub struct ServeMetrics {
     rejected: [Arc<Counter>; 3],
     disconnected: Arc<Counter>,
     rounds: Arc<Counter>,
+    /// Cache events, `pdm_cache`'s family with `dict = "serve"` (order:
+    /// hit, negative_hit, miss, admit, reject, evict, invalidate).
+    cache_events: [Arc<Counter>; 7],
+    /// Per-lookup parallel I/Os in **centi-I/Os** (×100, so the
+    /// integer histogram resolves fractional amortized costs: a cache
+    /// hit observes 0, a window of 8 lookups sharing 2 rounds observes
+    /// 25 each). `p99 < 30` ⇔ "p99 lookup cost < 0.3 I/Os".
+    lookup_centi_ios: Arc<Histogram>,
 }
 
 /// Gauge of queued requests per shard, label `shard`.
@@ -276,6 +334,10 @@ pub const SERVE_REJECTED_TOTAL: &str = "serve_rejected_total";
 pub const SERVE_DISCONNECTED_TOTAL: &str = "serve_disconnected_total";
 /// Counter of coalesced execution windows, no label.
 pub const SERVE_ROUNDS_TOTAL: &str = "serve_rounds_total";
+/// Histogram of per-lookup parallel I/Os in centi-I/Os (×100; cache
+/// hits observe 0, executed lookups observe their window-amortized
+/// cost), no label.
+pub const SERVE_LOOKUP_CENTI_IOS: &str = "serve_lookup_centi_ios";
 
 const OPS: [&str; 3] = ["lookup", "insert", "delete"];
 
@@ -307,7 +369,43 @@ impl ServeMetrics {
             ],
             disconnected: registry.counter(SERVE_DISCONNECTED_TOTAL, &[]),
             rounds: registry.counter(SERVE_ROUNDS_TOTAL, &[]),
+            cache_events: [
+                "hit",
+                "negative_hit",
+                "miss",
+                "admit",
+                "reject",
+                "evict",
+                "invalidate",
+            ]
+            .map(|event| {
+                registry.counter(
+                    pdm_cache::CACHE_EVENTS_TOTAL,
+                    &[("dict", "serve"), ("event", event)],
+                )
+            }),
+            lookup_centi_ios: registry.histogram(SERVE_LOOKUP_CENTI_IOS, &[]),
         }
+    }
+
+    /// Push the delta between `now` and the already-exported `synced`
+    /// snapshot into the cache-event counters.
+    fn sync_cache(&self, synced: &mut CacheCounters, now: CacheCounters) {
+        let deltas = [
+            now.hits - synced.hits,
+            now.negative_hits - synced.negative_hits,
+            now.misses - synced.misses,
+            now.admitted - synced.admitted,
+            now.rejected - synced.rejected,
+            now.evicted - synced.evicted,
+            now.invalidated - synced.invalidated,
+        ];
+        for (handle, delta) in self.cache_events.iter().zip(deltas) {
+            if delta > 0 {
+                handle.add(delta);
+            }
+        }
+        *synced = now;
     }
 
     fn op_index(op: &Op) -> usize {
@@ -329,6 +427,10 @@ pub(crate) struct Shared {
     pub(crate) cfg: EngineConfig,
     pub(crate) stats: Arc<AtomicStats>,
     pub(crate) metrics: Option<Arc<ServeMetrics>>,
+    /// One hot-key cache per shard when [`EngineConfig::cache`] is set.
+    /// Client threads probe under the mutex at submission; the shard
+    /// worker is the only filler/invalidator.
+    pub(crate) caches: Option<Vec<Mutex<HotCache>>>,
 }
 
 impl Shared {
@@ -336,7 +438,9 @@ impl Shared {
         (mix64(self.cfg.route_seed ^ key) % self.queues.len() as u64) as usize
     }
 
-    /// Admission control: route, check the bound, enqueue. Refusals are
+    /// Admission control: route, probe the shard's cache (lookups only —
+    /// a resident key is answered right here, consuming no queue slot
+    /// and no I/O round), then check the bound and enqueue. Refusals are
     /// immediate and typed; nothing blocks.
     pub(crate) fn submit(
         &self,
@@ -344,6 +448,38 @@ impl Shared {
         deadline: Duration,
     ) -> Result<Arc<OneShot<OpResult>>, ServeError> {
         let shard = self.shard_of(op.key());
+        if let (Op::Lookup(key), Some(caches)) = (&op, &self.caches) {
+            // Skip the fast path once the shard stopped serving: a
+            // crashed or closing shard must answer Disconnected /
+            // ShuttingDown, not a cached value (the queue push below
+            // produces the typed refusal).
+            if !self.crashed[shard].load(Ordering::Acquire) && !self.queues[shard].is_closed() {
+                let answer = caches[shard].lock().expect("cache lock").probe(*key);
+                let reply = match answer {
+                    CacheAnswer::Hit(v) => {
+                        self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        Some(Some(v))
+                    }
+                    CacheAnswer::NegativeHit => {
+                        self.stats.cache_negative_hits.fetch_add(1, Ordering::Relaxed);
+                        Some(None)
+                    }
+                    CacheAnswer::Miss => None,
+                };
+                if let Some(satellite) = reply {
+                    self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                    self.stats.acked.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metrics {
+                        m.ops_ok[0].inc();
+                        m.latency_us[0].observe(0);
+                        m.lookup_centi_ios.observe(0);
+                    }
+                    let slot = Arc::new(OneShot::new());
+                    slot.put(Ok(Reply::Lookup(satellite)));
+                    return Ok(slot);
+                }
+            }
+        }
         let slot = Arc::new(OneShot::new());
         let now = Instant::now();
         let request = Request {
@@ -466,9 +602,12 @@ impl ServeEngine {
                 .map(|_| Arc::new(BoundedQueue::new(cfg.queue_bound)))
                 .collect(),
             crashed: (0..shards.len()).map(|_| AtomicBool::new(false)).collect(),
-            cfg,
             stats: Arc::new(AtomicStats::default()),
             metrics,
+            caches: cfg
+                .cache
+                .map(|c| (0..shards.len()).map(|_| Mutex::new(HotCache::new(c))).collect()),
+            cfg,
         });
         let workers = shards
             .into_iter()
@@ -512,7 +651,28 @@ impl ServeEngine {
             exec_ops: s.exec_ops.load(Ordering::Relaxed),
             parallel_ios: s.parallel_ios.load(Ordering::Relaxed),
             sequential_ios: s.sequential_ios.load(Ordering::Relaxed),
+            cache_hits: s.cache_hits.load(Ordering::Relaxed),
+            cache_negative_hits: s.cache_negative_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Aggregate event counters of the per-shard hot-key caches; `None`
+    /// when no cache is configured.
+    #[must_use]
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        let caches = self.shared.caches.as_ref()?;
+        let mut total = CacheCounters::default();
+        for cache in caches {
+            let c = cache.lock().expect("cache lock").counters();
+            total.hits += c.hits;
+            total.negative_hits += c.negative_hits;
+            total.misses += c.misses;
+            total.admitted += c.admitted;
+            total.rejected += c.rejected;
+            total.evicted += c.evicted;
+            total.invalidated += c.invalidated;
+        }
+        Some(total)
     }
 
     /// Whether any shard worker stopped after observing a crash point.
@@ -550,6 +710,9 @@ fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<
     let queue = &shared.queues[id];
     let stats = &shared.stats;
     let metrics = shared.metrics.as_deref();
+    let cache = shared.caches.as_ref().map(|c| &c[id]);
+    // Cache counter values already exported to the registry (deltas only).
+    let mut cache_synced = CacheCounters::default();
     // With `durable_acks`, a mutating window whose durability barrier is
     // still in flight parks here (ticket + staged replies) while the next
     // window's dictionary calls overlap the syncs; it settles as soon as
@@ -632,6 +795,21 @@ fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<
                 }
             }
         }
+        // Invalidate mutated keys before anything is acknowledged.
+        // Attempted mutations count too: an `Io`-failed insert may have
+        // had a partial physical effect, and invalidating is always
+        // sound. This is the engine half of the "no stale hit shadows an
+        // acked mutation" contract (the settle below releases replies
+        // only after this ran).
+        if let Some(cache) = cache {
+            if !inserts.is_empty() || !deletes.is_empty() {
+                let mut c = cache.lock().expect("cache lock");
+                for &i in inserts.iter().chain(deletes.iter()) {
+                    c.invalidate(batch[i].op.key());
+                }
+            }
+        }
+        let mut lookup_clean = false;
         if !lookups.is_empty() {
             let keys: Vec<u64> = lookups
                 .iter()
@@ -640,8 +818,25 @@ fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<
                     _ => unreachable!("partitioned as lookup"),
                 })
                 .collect();
+            // Certify the batch at the disk layer: if no read came back
+            // degraded, every miss in it is a proven absence (safe to
+            // cache negatively).
+            let before = dict.disks().map(pdm::DiskArray::degraded_reads);
             let (results, cost) = dict.lookup_batch(&keys);
+            lookup_clean = matches!(
+                (before, dict.disks().map(pdm::DiskArray::degraded_reads)),
+                (Some(a), Some(b)) if a == b
+            );
             record(cost, lookups.len(), 0);
+            if let Some(m) = metrics {
+                // Window-amortized per-lookup cost in centi-I/Os; cache
+                // hits observed 0 at submission, so the histogram is the
+                // full per-op distribution the p99 gate reads.
+                let centi = cost.parallel_ios * 100 / lookups.len() as u64;
+                for _ in 0..lookups.len() {
+                    m.lookup_centi_ios.observe(centi);
+                }
+            }
             for (&i, satellite) in lookups.iter().zip(results) {
                 replies[i] = Some(Ok(Reply::Lookup(satellite)));
             }
@@ -669,6 +864,12 @@ fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<
         // after the crash point were physically dropped by the fault
         // layer; recovery decides their fate from the journal alone.)
         if crashed_now {
+            // The "process" died: its in-memory cache dies with it. The
+            // replacement shard must start cold so nothing written after
+            // the crash point can be shadowed by a pre-crash entry.
+            if let Some(cache) = cache {
+                cache.lock().expect("cache lock").clear();
+            }
             shared.crashed[id].store(true, Ordering::Release);
             queue.close();
             let disconnected = batch.len() as u64
@@ -676,6 +877,22 @@ fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<
                 + settle_disconnect(&batch, stats, metrics);
             let _ = disconnected;
             return dict;
+        }
+
+        // Fill the shard cache from this window's executed lookups: the
+        // reads ran after this window's mutations, so they are the
+        // freshest answers. Misses become negative entries only when the
+        // whole batch read cleanly. Then export counter deltas.
+        if let Some(cache) = cache {
+            let mut c = cache.lock().expect("cache lock");
+            for &i in &lookups {
+                if let Some(Ok(Reply::Lookup(satellite))) = &replies[i] {
+                    c.fill(batch[i].op.key(), satellite.as_deref(), lookup_clean);
+                }
+            }
+            if let Some(m) = metrics {
+                m.sync_cache(&mut cache_synced, c.counters());
+            }
         }
 
         // Durable acks: start the barrier for this window's writes now,
@@ -703,6 +920,11 @@ fn run_shard(id: usize, mut dict: Box<dyn Dict + Send>, shared: &Shared) -> Box<
     // parked window, then make the image durable before handing the
     // shard back.
     settle_pending(&mut pending, &mut dict, stats, metrics);
+    if let (Some(cache), Some(m)) = (cache, metrics) {
+        // Submit-side probe events since the last window would otherwise
+        // be lost from the registry.
+        m.sync_cache(&mut cache_synced, cache.lock().expect("cache lock").counters());
+    }
     dict.checkpoint();
     dict
 }
@@ -868,6 +1090,91 @@ mod tests {
         let pending = client.submit(Op::Lookup(u64::MAX)).expect("admit parker");
         std::thread::sleep(Duration::from_millis(50));
         pending
+    }
+
+    /// HashMap-backed dictionary that counts how many lookups actually
+    /// execute — the cache tier is supposed to keep hot keys from ever
+    /// reaching it.
+    struct CountingDict {
+        map: HashMap<u64, Vec<Word>>,
+        executed_lookups: Arc<AtomicU64>,
+    }
+
+    impl Dict for CountingDict {
+        fn kind(&self) -> &'static str {
+            "counting"
+        }
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+        fn capacity(&self) -> usize {
+            usize::MAX
+        }
+        fn lookup(&mut self, key: u64) -> LookupOutcome {
+            self.executed_lookups.fetch_add(1, Ordering::SeqCst);
+            LookupOutcome::new(self.map.get(&key).cloned(), pdm::OpCost::default())
+        }
+        fn insert(&mut self, key: u64, satellite: &[Word]) -> Result<pdm::OpCost, DictError> {
+            if self.map.contains_key(&key) {
+                return Err(DictError::DuplicateKey(key));
+            }
+            self.map.insert(key, satellite.to_vec());
+            Ok(pdm::OpCost::default())
+        }
+        fn delete(&mut self, key: u64) -> Result<(bool, pdm::OpCost), DictError> {
+            Ok((self.map.remove(&key).is_some(), pdm::OpCost::default()))
+        }
+        fn set_metrics(&mut self, _registry: Option<Arc<MetricsRegistry>>) {}
+    }
+
+    #[test]
+    fn cache_tier_answers_hot_lookups_without_execution() {
+        let executed = Arc::new(AtomicU64::new(0));
+        let engine = ServeEngine::new(
+            vec![Box::new(CountingDict {
+                map: HashMap::new(),
+                executed_lookups: Arc::clone(&executed),
+            })],
+            EngineConfig::default().with_cache(pdm_cache::CacheConfig::default()),
+        );
+        let client = engine.client();
+        let lookup = |key: u64| match client.submit(Op::Lookup(key)).unwrap().wait().unwrap() {
+            Reply::Lookup(satellite) => satellite,
+            other => panic!("unexpected reply {other:?}"),
+        };
+
+        client
+            .submit(Op::Insert(7, vec![7; 4]))
+            .unwrap()
+            .wait()
+            .unwrap();
+
+        // Admission wants an observed access count of 2, so the first two
+        // lookups execute; the third is answered from the cache without
+        // the dictionary ever seeing it.
+        assert_eq!(lookup(7).as_deref(), Some(&[7u64; 4][..]));
+        assert_eq!(lookup(7).as_deref(), Some(&[7u64; 4][..]));
+        let before = executed.load(Ordering::SeqCst);
+        assert_eq!(lookup(7).as_deref(), Some(&[7u64; 4][..]));
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            before,
+            "cache hit consumed no dictionary execution"
+        );
+
+        // A mutation invalidates before it is acknowledged: the next
+        // lookup goes back to the dictionary and observes the delete.
+        match client.submit(Op::Delete(7)).unwrap().wait().unwrap() {
+            Reply::Deleted(true) => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(lookup(7), None, "no stale hit after delete");
+        assert!(executed.load(Ordering::SeqCst) > before);
+
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.acked, 6);
+        drop(engine.shutdown());
     }
 
     #[test]

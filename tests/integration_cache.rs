@@ -1,0 +1,328 @@
+//! The hot-key cache tier must be **invisible**: layering [`CachedDict`]
+//! over any front-end may change costs, never answers. Three angles:
+//!
+//! 1. **Differential, every front-end** (proptest): the cached wrapper
+//!    and a plain twin built from the same entries and seed run the same
+//!    generated mixed stream (repeated lookups so hits and negative hits
+//!    actually occur, inserts, deletes, batch sweeps). Every answer and
+//!    every error must match, under an aggressive config (admit on first
+//!    touch, tiny budget, so admission *and* eviction churn) and under
+//!    the default config.
+//! 2. **Crash points**: a warmed cache over the journaled dynamic front
+//!    is cut at *every* physical write of a mutation workload. After the
+//!    reboot (journal superblock re-read from the image alone) and
+//!    [`Dict::recover`] — which drops the cache whenever replay touched
+//!    the image — every lookup must agree with a cache-less reopen of
+//!    the same image, twice (the second pass reads through the refilled
+//!    cache). No crash point may yield a stale hit: not the pre-crash
+//!    value of a cut mutation, not a negatively-cached absence for a key
+//!    whose insert landed.
+//! 3. **Engine level**: a [`ServeEngine`] with the cache tier enabled
+//!    answers a deterministic client stream reply-for-reply identically
+//!    to a cache-off engine, while actually serving from the cache
+//!    (hits > 0).
+
+mod harness;
+
+use harness::{dense_keys, frontend, frontends, sat, KEY_SPACE};
+use pdm::{FaultPlan, Word};
+use pdm_cache::{CacheConfig, CachedDict};
+use pdm_dict::{Dict, DictError};
+use pdm_server::{EngineConfig, ServeEngine, ServeError};
+use proptest::prelude::*;
+
+/// Aggressive cache shape: first-touch admission, a budget small enough
+/// that the generated key sets overflow it (evictions), tiny sketch
+/// (aging kicks in). Maximizes cache state churn per test case.
+fn churn_config() -> CacheConfig {
+    CacheConfig::default()
+        .with_admit_threshold(1)
+        .with_budget_bytes(2_048)
+        .with_sketch_keys(64)
+}
+
+/// Strip costs: answers and errors are the contract, I/O counts are not.
+fn flat<T>(r: Result<T, DictError>) -> Result<(), DictError> {
+    r.map(|_| ())
+}
+
+/// One generated step over the key pool (index is resolved mod pool).
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Look the key up twice — the repeat is what cache hits are made of.
+    Lookup(usize),
+    Insert(usize),
+    Delete(usize),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0usize..64).prop_map(Step::Lookup),
+            1 => (0usize..64).prop_map(Step::Insert),
+            1 => (0usize..64).prop_map(Step::Delete),
+        ],
+        30..90,
+    )
+}
+
+fn key_set() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::hash_set(0u64..KEY_SPACE, 8..24).prop_map(|s| {
+        let mut v: Vec<u64> = s.into_iter().collect();
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Run `steps` against the cached wrapper and its plain twin; every
+/// answer must match. `keys` are preloaded; half the pool is fresh keys
+/// (insert targets / certified misses).
+fn differential(
+    f: &harness::Frontend,
+    cfg: CacheConfig,
+    keys: &[u64],
+    steps: &[Step],
+) -> Result<(), TestCaseError> {
+    let entries = harness::padded_entries(f, keys);
+    let cap = entries.len() + 48;
+    let seed = 0xD1FF ^ keys.len() as u64;
+    let mut plain = (f.build)(cap, &entries, seed);
+    let mut cached = CachedDict::new((f.build)(cap, &entries, seed), cfg);
+
+    let mut pool: Vec<u64> = keys.to_vec();
+    pool.extend((0..keys.len().max(8) as u64).map(|i| KEY_SPACE + 10_000 + i));
+
+    let sweep = |plain: &mut Box<dyn Dict + Send>,
+                 cached: &mut CachedDict,
+                 pool: &[u64]|
+     -> Result<(), TestCaseError> {
+        for &k in pool {
+            prop_assert_eq!(
+                cached.lookup(k).satellite,
+                plain.lookup(k).satellite,
+                "sweep diverged at key {} on {}",
+                k,
+                f.name
+            );
+        }
+        let (a, _) = cached.lookup_batch(pool);
+        let (b, _) = plain.lookup_batch(pool);
+        prop_assert_eq!(a, b, "batch sweep diverged on {}", f.name);
+        Ok(())
+    };
+
+    for (i, step) in steps.iter().enumerate() {
+        match *step {
+            Step::Lookup(i) => {
+                let k = pool[i % pool.len()];
+                for pass in 0..2 {
+                    prop_assert_eq!(
+                        cached.lookup(k).satellite,
+                        plain.lookup(k).satellite,
+                        "lookup({}) pass {} diverged on {}",
+                        k,
+                        pass,
+                        f.name
+                    );
+                }
+            }
+            Step::Insert(i) => {
+                let k = pool[i % pool.len()];
+                let s = sat(k, f.sigma);
+                prop_assert_eq!(
+                    flat(cached.insert(k, &s)),
+                    flat(plain.insert(k, &s)),
+                    "insert({}) diverged on {}",
+                    k,
+                    f.name
+                );
+            }
+            Step::Delete(i) => {
+                let k = pool[i % pool.len()];
+                prop_assert_eq!(
+                    cached.delete(k).map(|(was, _)| was),
+                    plain.delete(k).map(|(was, _)| was),
+                    "delete({}) diverged on {}",
+                    k,
+                    f.name
+                );
+            }
+        }
+        if i % 24 == 23 {
+            sweep(&mut plain, &mut cached, &pool)?;
+        }
+    }
+    sweep(&mut plain, &mut cached, &pool)?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Cache on ≡ cache off, for every front-end, under the churn config
+    /// and the default config.
+    #[test]
+    fn cached_wrapper_is_invisible_on_every_frontend(
+        keys in key_set(),
+        steps in steps(),
+    ) {
+        for f in frontends() {
+            differential(&f, churn_config(), &keys, &steps)?;
+            differential(&f, CacheConfig::default(), &keys, &steps)?;
+        }
+    }
+}
+
+/// One crash cycle at `crash_at` physical writes into the mutation
+/// workload. Returns whether the crash fired (the caller's loop drains
+/// the whole write range).
+fn crash_cycle(crash_at: u64) -> bool {
+    let mut f = frontend("dynamic_journaled");
+    let reopen = f.reopen.take().expect("journaled front declares reopen");
+    let keys = dense_keys(24);
+    let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, sat(k, f.sigma))).collect();
+    let cap = entries.len() + 32;
+    let seed = 0xCAC4E;
+    let mut cached = CachedDict::new(
+        (f.build)(cap, &entries, seed),
+        CacheConfig::default().with_admit_threshold(1),
+    );
+
+    // Warm the cache: every present key resident, and the keys about to
+    // be inserted negatively cached — the exact entries a buggy
+    // invalidation path would serve stale.
+    let fresh: Vec<u64> = (0..6).map(|i| KEY_SPACE + 5_000 + i).collect();
+    for &k in keys.iter().chain(&fresh) {
+        let _ = cached.lookup(k);
+        let _ = cached.lookup(k);
+    }
+    let warm = cached.cache_counters();
+    assert!(warm.admitted > 0, "present keys must be resident pre-crash");
+
+    // The mutation workload the crash cuts: inserts of the negatively
+    // cached keys, deletes of resident ones.
+    cached
+        .disks_mut()
+        .unwrap()
+        .set_fault_plan(FaultPlan::new().crash_after(crash_at));
+    for (i, &k) in fresh.iter().enumerate() {
+        let _ = cached.insert(k, &sat(k, f.sigma));
+        if i < 3 {
+            let _ = cached.delete(keys[(i * 7) % keys.len()]);
+        }
+    }
+    let fired = cached.disks().unwrap().crash_fired();
+
+    // Reboot: dropped writes stay dropped; only the image survives.
+    let image = {
+        let disks = cached.disks_mut().unwrap();
+        disks.clear_fault_plan();
+        disks.clone()
+    };
+    // Ground truth: a cache-less reopen of the same image.
+    let mut truth = reopen(cap, seed, image.clone());
+
+    // The warm wrapper recovers in place: adopt the on-disk superblock
+    // (not the dead process's cursors), replay, and — whenever replay
+    // touched the image — drop the cache wholesale.
+    {
+        let disks = cached.disks_mut().unwrap();
+        let region = disks.journal_region().expect("journaled image");
+        disks.reopen_journal(region);
+    }
+    let report = cached.recover();
+    if !report.is_clean() {
+        assert!(
+            cached.cache().is_empty(),
+            "replay touched the image but the cache survived (crash at {crash_at})"
+        );
+    }
+
+    // No stale hit at any key, twice: the first pass compares against
+    // truth (and refills), the second reads through the refilled cache.
+    for pass in 0..2 {
+        for &k in keys.iter().chain(&fresh) {
+            let want = truth.lookup(k).satellite;
+            if let Some(s) = &want {
+                assert_eq!(s, &sat(k, f.sigma), "torn satellite for {k} at {crash_at}");
+            }
+            assert_eq!(
+                cached.lookup(k).satellite,
+                want,
+                "stale answer for key {k} on pass {pass} after crash at write {crash_at}"
+            );
+        }
+    }
+    fired
+}
+
+/// Every crash point of the mutation workload, exhaustively: stop only
+/// when a cycle completes without the crash firing (the write range is
+/// drained).
+#[test]
+fn recovered_cache_serves_no_stale_hit_at_any_crash_point() {
+    let mut crash_at = 0u64;
+    loop {
+        if !crash_cycle(crash_at) {
+            break;
+        }
+        crash_at += 1;
+        assert!(crash_at < 2_000, "crash point never drained");
+    }
+    assert!(crash_at > 0, "workload must cross at least one crash point");
+}
+
+/// Engine-level differential: cache-on and cache-off engines answer a
+/// deterministic mixed stream identically, and the cached engine really
+/// does serve from RAM.
+#[test]
+fn engine_replies_match_with_and_without_cache() {
+    let build = || {
+        let f = frontend("dynamic");
+        let keys = dense_keys(32);
+        let entries: Vec<(u64, Vec<Word>)> = keys.iter().map(|&k| (k, sat(k, f.sigma))).collect();
+        (f.sigma, (f.build)(128, &entries, 0xE46))
+    };
+    let (sigma, shard) = build();
+    let on = ServeEngine::new(
+        vec![shard],
+        EngineConfig::default().with_cache(CacheConfig::default().with_admit_threshold(1)),
+    );
+    let (_, shard) = build();
+    let off = ServeEngine::new(vec![shard], EngineConfig::default());
+
+    let keys = dense_keys(32);
+    let mut state = 0x5EED_u64;
+    for i in 0..400u64 {
+        state = expander::mix::mix64(state.wrapping_add(1));
+        let k = keys[(state % keys.len() as u64) as usize];
+        let absent = KEY_SPACE + 20_000 + (state % 8);
+        type OpResult = Result<Option<Vec<Word>>, ServeError>;
+        let (a, b): (OpResult, OpResult) = match i % 5 {
+            0..=2 => (on.client().lookup(k), off.client().lookup(k)),
+            3 => (on.client().lookup(absent), off.client().lookup(absent)),
+            _ => {
+                if state & 1 == 0 {
+                    let s = sat(absent, sigma);
+                    (
+                        on.client().insert(absent, &s).map(|()| None),
+                        off.client().insert(absent, &s).map(|()| None),
+                    )
+                } else {
+                    (
+                        on.client().delete(absent).map(|was| Some(vec![was as Word])),
+                        off.client().delete(absent).map(|was| Some(vec![was as Word])),
+                    )
+                }
+            }
+        };
+        assert_eq!(a, b, "engines diverged at op {i}");
+    }
+    let stats = on.stats();
+    assert!(
+        stats.cache_hits > 0,
+        "the cached engine never actually served from RAM: {stats:?}"
+    );
+    drop(on.shutdown());
+    drop(off.shutdown());
+}

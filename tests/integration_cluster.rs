@@ -10,7 +10,7 @@
 use expander::mix::mix64;
 use pdm_cluster::{ClusterConfig, ClusterMap, ClusterNode, ClusterRouter, NodeConfig, RetryPolicy, RouterConfig};
 use pdm_server::protocol::{WireRequest, WireResponse};
-use pdm_server::TcpClient;
+use pdm_server::{Op, Reply, TcpClient};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -43,6 +43,7 @@ fn drill_router_config() -> RouterConfig {
         connect_timeout: Duration::from_secs(1),
         request_deadline: Duration::from_secs(30),
         write_quorum: 1,
+        read_cache: None,
     }
 }
 
@@ -482,6 +483,98 @@ fn weighted_cluster_survives_losing_its_heaviest_node() {
             "write {key} lost with the heavy node down"
         );
     }
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+}
+
+/// Client-side read cache vs failover: a value cached under epoch 0
+/// must never be served once the map moves to epoch 1 — even when the
+/// cluster's truth changed behind the router's back during the
+/// transition. A stale cache would answer the old satellite below; the
+/// epoch bump has to drop it.
+#[test]
+fn read_cache_never_serves_pre_failover_value_after_epoch_bump() {
+    const NODES: usize = 3;
+    let cfg = ClusterConfig {
+        shards: 8,
+        replication: 2,
+        shard_capacity: 256,
+        ..ClusterConfig::default()
+    };
+    let weights = [1u32; NODES];
+    let (mut nodes, addrs) = start_cluster(cfg, &weights);
+    let router = ClusterRouter::new(
+        cfg,
+        &addrs,
+        &weights,
+        RouterConfig {
+            read_cache: Some(pdm_cache::CacheConfig::default()),
+            ..drill_router_config()
+        },
+    );
+
+    let key = 0xC0FFEE % (1 << 21);
+    let shard = cfg.shard_of(key);
+    router.insert(key, &[0xAA]).expect("insert");
+
+    // Two lookups feed the admission sketch (promote on observed count,
+    // not first touch); the third is served from the cache.
+    for _ in 0..2 {
+        assert_eq!(router.lookup(key).expect("warm lookup"), Some(vec![0xAA]));
+    }
+    assert_eq!(router.lookup(key).expect("cached lookup"), Some(vec![0xAA]));
+    assert_eq!(
+        router.stats().reads_cached,
+        1,
+        "third lookup must be a cache hit"
+    );
+
+    // Kill the shard's primary mid-life and drive the failover.
+    let victim = {
+        let map = router.map_snapshot();
+        map.replicas(shard)[0]
+    };
+    nodes[victim].take().unwrap().kill();
+    let report = router.fail_node(victim).expect("fail_node");
+    assert!(report.failed.is_empty(), "failures: {:?}", report.failed);
+    assert_eq!(report.delta.epoch, 1, "failover bumps to epoch 1");
+
+    // The truth changes under the new epoch behind the router's back —
+    // another client of the same cluster deletes the key.
+    let epoch = router.epoch();
+    let mut deleted = 0;
+    for node in nodes.iter().flatten() {
+        let mut client = TcpClient::connect(node.local_addr()).expect("connect");
+        match client
+            .request(&WireRequest::ShardOp {
+                shard,
+                epoch,
+                op: Op::Delete(key),
+            })
+            .expect("out-of-band delete")
+        {
+            WireResponse::Reply(Reply::Deleted(was)) => deleted += u32::from(was),
+            // Nodes not hosting the shard refuse; that is fine.
+            WireResponse::Err(_) => {}
+            other => panic!("delete answered {other:?}"),
+        }
+    }
+    assert!(deleted >= 1, "some replica must have held the key");
+
+    // The cached pre-failover value must be gone: the router re-reads
+    // the (new) replica set and observes the delete.
+    assert_eq!(
+        router.lookup(key).expect("post-failover lookup"),
+        None,
+        "pre-failover cached value served after the epoch bump"
+    );
+    assert_eq!(
+        router.stats().reads_cached,
+        1,
+        "the post-failover lookup must not have been a cache hit"
+    );
+
     for node in nodes.into_iter().flatten() {
         node.shutdown();
     }

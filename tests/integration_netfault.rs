@@ -140,6 +140,7 @@ fn minority_partition_never_acks_below_write_quorum() {
             connect_timeout: Duration::from_secs(1),
             request_deadline: Duration::from_millis(250),
             write_quorum: 2,
+            read_cache: None,
         },
     );
 
@@ -250,6 +251,7 @@ fn partition_heal_loses_nothing_and_fences_stale_epochs() {
             connect_timeout: Duration::from_secs(1),
             request_deadline: Duration::from_millis(250),
             write_quorum: 1,
+            read_cache: None,
         },
     );
 
@@ -358,6 +360,7 @@ fn run_flaky_drill(seed: u64) -> FlakyRun {
             connect_timeout: Duration::from_secs(1),
             request_deadline: Duration::from_millis(250),
             write_quorum: 2,
+            read_cache: None,
         },
     );
 
@@ -476,6 +479,7 @@ fn heartbeat_detects_partitioned_node_within_three_intervals() {
             connect_timeout: Duration::from_secs(1),
             request_deadline: Duration::from_secs(5),
             write_quorum: 1,
+            read_cache: None,
         },
     ));
     let heartbeater = Heartbeater::start(
@@ -648,6 +652,7 @@ fn router_stats_and_metrics_registry_agree() {
             connect_timeout: Duration::from_millis(250),
             request_deadline: Duration::from_secs(5),
             write_quorum: 1,
+            read_cache: None,
         },
     ));
     router.set_metrics(&registry);
@@ -763,6 +768,7 @@ proptest! {
                 connect_timeout: Duration::from_secs(1),
                 request_deadline: Duration::from_secs(30),
                 write_quorum: 1,
+                read_cache: None,
             },
         );
 
