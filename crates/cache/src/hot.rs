@@ -282,6 +282,16 @@ impl HotCache {
             return false;
         }
         let charge = charge_of(value);
+        // A payload wider than the whole budget can never be resident:
+        // refuse it outright, and drop any entry it would have refreshed
+        // (the old payload went stale the moment the dictionary answered
+        // with the new one). Letting the refresh path below handle it
+        // would shed every *other* entry and still end over budget.
+        if charge > self.cfg.budget_bytes {
+            self.invalidate(key);
+            self.counters.rejected += 1;
+            return false;
+        }
         if let Some(entry) = self.entries.get(&key) {
             // Already resident: refresh the payload in place (the
             // dictionary's answer is fresher than ours by construction —
@@ -300,10 +310,6 @@ impl HotCache {
             // key — it was just touched, so it is the newest).
             self.shed_to_budget(key);
             return true;
-        }
-        if charge > self.cfg.budget_bytes {
-            self.counters.rejected += 1;
-            return false;
         }
         let estimate = self.sketch.estimate(key);
         if estimate < self.cfg.admit_threshold {
@@ -417,6 +423,30 @@ mod tests {
         assert_eq!(c.probe(7), CacheAnswer::Hit(vec![1]));
         assert_eq!(c.counters().rejected, 1);
         assert_eq!(c.counters().admitted, 1);
+    }
+
+    #[test]
+    fn oversized_refresh_invalidates_instead_of_shedding() {
+        let mut c = HotCache::new(cfg());
+        for key in 0..4 {
+            warm_fill(&mut c, key, &[key]);
+        }
+        assert_eq!(c.len(), 4);
+        // Refresh key 0 with a payload wider than the entire budget: the
+        // fill is refused and key 0 (whose old payload is now stale) is
+        // dropped — the other residents survive and the budget holds.
+        let huge = vec![0 as Word; 1024];
+        assert!(!c.fill(0, Some(&huge), false));
+        assert_eq!(c.probe(0), CacheAnswer::Miss, "stale entry invalidated");
+        for key in 1..4 {
+            assert_eq!(
+                c.probe(key),
+                CacheAnswer::Hit(vec![key]),
+                "other residents must not be shed for an unadmittable payload"
+            );
+        }
+        assert!(c.used_bytes() <= c.config().budget_bytes);
+        assert_eq!(c.counters().invalidated, 1);
     }
 
     #[test]

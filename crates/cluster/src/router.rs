@@ -66,15 +66,20 @@ pub struct RouterConfig {
     pub write_quorum: usize,
     /// Optional client-side read-through cache (`None` disables it).
     ///
-    /// Hits skip the network entirely. Soundness rests on two rules:
+    /// Hits skip the network entirely. Soundness rests on three rules:
     /// entries are tagged with the map epoch they were filled under and
     /// the **whole cache is dropped the moment the router observes a
     /// newer epoch** (a failover or restore changed who holds the data,
-    /// so nothing cached before the transition may be served after it),
-    /// and every *attempted* write — acked or refused — invalidates its
-    /// key before the caller sees the outcome. Misses are never cached
-    /// here: the wire reply carries no degraded-read provenance, so the
-    /// router has no absence certificate (see `pdm-cache`).
+    /// so nothing cached before the transition may be served after it);
+    /// every *attempted* write — acked or refused — invalidates its
+    /// key before the caller sees the outcome; and a routed read may
+    /// fill the cache only if **no invalidation happened while it was
+    /// on the wire** (a monotonic invalidation generation is
+    /// snapshotted at probe time and re-checked at fill time, so a
+    /// read that raced a concurrent write can never re-install the
+    /// pre-write value it fetched). Misses are never cached here: the
+    /// wire reply carries no degraded-read provenance, so the router
+    /// has no absence certificate (see `pdm-cache`).
     pub read_cache: Option<CacheConfig>,
 }
 
@@ -247,7 +252,24 @@ pub struct ReplicationReport {
 /// rules).
 struct ReadCache {
     epoch: u64,
+    /// Monotonic invalidation generation: bumped by every attempted
+    /// write's invalidation and every epoch clear. A cache-missing
+    /// lookup snapshots it before routing the read; the fill is refused
+    /// if it moved meanwhile, because the fetched value may predate a
+    /// write that already invalidated the key.
+    inval_gen: u64,
     cache: HotCache,
+}
+
+/// The outcome of a read-cache probe: a hit to serve without touching
+/// the network, or a miss carrying the invalidation-generation snapshot
+/// the routed read must present back to
+/// [`fill_cached`](ClusterRouter::fill_cached).
+enum CacheProbe {
+    /// Cached answer (`Some(sat)` present, `None` absent).
+    Hit(Option<Vec<Word>>),
+    /// Not cached; `gen` gates the eventual fill.
+    Miss { gen: u64 },
 }
 
 /// The client-side router over a set of cluster nodes.
@@ -306,6 +328,7 @@ impl ClusterRouter {
         let read_cache = cfg.read_cache.map(|c| {
             Mutex::new(ReadCache {
                 epoch: map.epoch(),
+                inval_gen: 0,
                 cache: HotCache::new(c),
             })
         });
@@ -467,10 +490,13 @@ impl ClusterRouter {
     /// [`ClusterError::AllReplicasDown`] when no trusted replica
     /// answers; [`ClusterError::Serve`] for typed server errors.
     pub fn lookup(&self, key: u64) -> Result<Option<Vec<Word>>, ClusterError> {
-        if let Some(hit) = self.probe_cached(key) {
-            self.bump(&self.stats.reads_cached, |m| &m.reads_cached);
-            return Ok(hit);
-        }
+        let fill_gen = match self.probe_cached(key) {
+            CacheProbe::Hit(hit) => {
+                self.bump(&self.stats.reads_cached, |m| &m.reads_cached);
+                return Ok(hit);
+            }
+            CacheProbe::Miss { gen } => gen,
+        };
         let shard = self.cluster.shard_of(key);
         let fence = self.fences[shard as usize]
             .read()
@@ -492,7 +518,7 @@ impl ClusterRouter {
                             } else {
                                 self.bump(&self.stats.reads_failover, |m| &m.reads_failover);
                             }
-                            self.fill_cached(key, sat.as_deref(), epoch);
+                            self.fill_cached(key, sat.as_deref(), epoch, fill_gen);
                             return Ok(sat);
                         }
                         WireResponse::Err(ServeError::StaleEpoch { .. }) if refreshes < 3 => {
@@ -517,49 +543,66 @@ impl ClusterRouter {
         }
     }
 
-    /// Consult the read cache. `Some(answer)` is a hit served without
-    /// touching the network; `None` means go to the replicas. Observing
-    /// a map epoch newer than the cache's tag drops every entry first —
-    /// a failover or restore changed who holds the data, so nothing
-    /// cached before the transition survives it.
-    fn probe_cached(&self, key: u64) -> Option<Option<Vec<Word>>> {
-        let rc = self.read_cache.as_ref()?;
+    /// Consult the read cache. A hit is served without touching the
+    /// network; a miss carries the invalidation-generation snapshot
+    /// gating the eventual fill. Observing a map epoch newer than the
+    /// cache's tag drops every entry first — a failover or restore
+    /// changed who holds the data, so nothing cached before the
+    /// transition survives it. With the cache disabled the probe is a
+    /// plain miss (the fill is a no-op, so the token is moot).
+    fn probe_cached(&self, key: u64) -> CacheProbe {
+        let Some(rc) = &self.read_cache else {
+            return CacheProbe::Miss { gen: 0 };
+        };
         let current = self.epoch();
         let mut rc = lock(rc);
         if rc.epoch != current {
             rc.cache.clear();
             rc.epoch = current;
+            rc.inval_gen += 1;
         }
         match rc.cache.probe(key) {
-            CacheAnswer::Hit(sat) => Some(Some(sat)),
-            CacheAnswer::NegativeHit => Some(None),
-            CacheAnswer::Miss => None,
+            CacheAnswer::Hit(sat) => CacheProbe::Hit(Some(sat)),
+            CacheAnswer::NegativeHit => CacheProbe::Hit(None),
+            CacheAnswer::Miss => CacheProbe::Miss { gen: rc.inval_gen },
         }
     }
 
     /// Offer a routed lookup's answer to the read cache, tagged with the
-    /// `epoch` it was routed under. Refused unless that epoch is still
-    /// the one the cache is synced to (epochs are monotone, so a stale
-    /// tag can never come back). Misses pass `certified_absent = false`:
-    /// the wire reply carries no provenance, so absence is never cached
-    /// at this tier.
-    fn fill_cached(&self, key: u64, satellite: Option<&[Word]>, epoch: u64) {
+    /// `epoch` it was routed under and the invalidation generation `gen`
+    /// its probe snapshotted. Refused unless that epoch is still the one
+    /// the cache is synced to (epochs are monotone, so a stale tag can
+    /// never come back) **and** no invalidation ran since the probe — a
+    /// concurrent write may have applied on the replicas and invalidated
+    /// the key while this read was on the wire, in which case the value
+    /// it fetched predates the write and caching it would serve the
+    /// stale answer until the next write or epoch bump. Misses pass
+    /// `certified_absent = false`: the wire reply carries no provenance,
+    /// so absence is never cached at this tier.
+    fn fill_cached(&self, key: u64, satellite: Option<&[Word]>, epoch: u64, gen: u64) {
         let Some(rc) = &self.read_cache else { return };
         if self.epoch() != epoch {
             return;
         }
         let mut rc = lock(rc);
-        if rc.epoch == epoch {
+        if rc.epoch == epoch && rc.inval_gen == gen {
             rc.cache.fill(key, satellite, false);
         }
     }
 
     /// Drop whatever the read cache holds for `key` — called for every
     /// *attempted* write before its outcome reaches the caller (a
-    /// refused write may still have applied on some replica).
+    /// refused write may still have applied on some replica). Bumps the
+    /// invalidation generation so every read that left for the network
+    /// before this point is refused its fill (see
+    /// [`fill_cached`](Self::fill_cached)) — the bump is unconditional
+    /// because the attempted write, not the entry's residency, is what
+    /// makes in-flight reads untrustworthy.
     fn invalidate_cached(&self, key: u64) {
         if let Some(rc) = &self.read_cache {
-            lock(rc).cache.invalidate(key);
+            let mut rc = lock(rc);
+            rc.inval_gen += 1;
+            rc.cache.invalidate(key);
         }
     }
 
@@ -1000,5 +1043,76 @@ impl std::fmt::Debug for ClusterRouter {
             .field("epoch", &self.epoch())
             .field("nodes", &self.nodes.len())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A router whose read cache admits on first fill; the addresses are
+    /// never dialed (these tests drive the cache helpers directly).
+    fn cached_router() -> ClusterRouter {
+        let cfg = RouterConfig {
+            read_cache: Some(CacheConfig::default().with_admit_threshold(1)),
+            ..RouterConfig::default()
+        };
+        let addrs: Vec<SocketAddr> = vec![
+            "127.0.0.1:1".parse().unwrap(),
+            "127.0.0.1:2".parse().unwrap(),
+        ];
+        ClusterRouter::new(ClusterConfig::default(), &addrs, &[1, 1], cfg)
+    }
+
+    /// The fill/invalidate race: a lookup misses the cache and routes to
+    /// the replicas; while it is on the wire a write applies and
+    /// invalidates the key; the value the lookup fetched (pre-write)
+    /// must not enter the cache, or every later lookup — including the
+    /// writer's own — would serve it under an unchanged epoch.
+    #[test]
+    fn racing_fill_after_invalidation_is_refused() {
+        let router = cached_router();
+        let epoch = router.epoch();
+
+        // Reader probes: miss, snapshotting the invalidation generation.
+        let CacheProbe::Miss { gen } = router.probe_cached(7) else {
+            panic!("empty cache must miss");
+        };
+        // A concurrent write lands on the replicas in the window.
+        router.invalidate_cached(7);
+        // The reader returns with the pre-write value: refused.
+        router.fill_cached(7, Some(&[0xDEAD]), epoch, gen);
+        assert!(
+            matches!(router.probe_cached(7), CacheProbe::Miss { .. }),
+            "stale pre-write value must not become a cache hit"
+        );
+
+        // Without a racing invalidation the same sequence fills fine.
+        let CacheProbe::Miss { gen } = router.probe_cached(7) else {
+            panic!("refused fill must leave the key non-resident");
+        };
+        router.fill_cached(7, Some(&[0xBEEF]), epoch, gen);
+        match router.probe_cached(7) {
+            CacheProbe::Hit(Some(sat)) => assert_eq!(sat, vec![0xBEEF]),
+            _ => panic!("un-raced fill must become a hit"),
+        }
+    }
+
+    /// The generation bump is keyed to the *attempted* write, not to the
+    /// key's residency: invalidating a key that was never cached still
+    /// refuses every in-flight fill (of any key) snapshotted before it.
+    #[test]
+    fn invalidation_of_absent_key_still_fences_fills() {
+        let router = cached_router();
+        let epoch = router.epoch();
+        let CacheProbe::Miss { gen } = router.probe_cached(1) else {
+            panic!("empty cache must miss");
+        };
+        router.invalidate_cached(2);
+        router.fill_cached(1, Some(&[11]), epoch, gen);
+        assert!(
+            matches!(router.probe_cached(1), CacheProbe::Miss { .. }),
+            "per-cache generation is conservative across keys"
+        );
     }
 }

@@ -22,7 +22,10 @@
 //! reply before submitting the next operation (the sync [`DictClient`]
 //! calls) therefore observes program order. Operations pipelined through
 //! [`DictClient::submit`] without waiting may be reordered *within* a
-//! window and must not be order-dependent (same as issuing them from
+//! window — and, when the hot-key cache is enabled, a pipelined lookup
+//! may additionally be answered at submission time ahead of the client's
+//! own queued mutations (see [`EngineConfig::cache`]) — so pipelined
+//! operations must not be order-dependent (same as issuing them from
 //! different connections).
 //!
 //! [`DictClient`]: crate::client::DictClient
@@ -120,11 +123,19 @@ pub struct EngineConfig {
     /// misses negatively only when the window's reads were certifiably
     /// clean (see [`pdm::DiskArray::degraded_reads`]). Off by default.
     ///
-    /// Ordering note: a cache hit answers ahead of operations already
-    /// queued by *other* clients — the same reordering window that
-    /// pipelined [`DictClient::submit`] traffic already has. A client
-    /// that waits for each reply still observes program order, because
-    /// invalidation precedes every mutation ack.
+    /// Ordering note: a submit-time hit bypasses the shard queue, so it
+    /// answers ahead of everything still queued — including **this
+    /// client's own earlier pipelined mutations**. That is a real
+    /// weakening for pipelined [`DictClient::submit`] traffic: the FIFO
+    /// shard queue used to give even pipelined clients per-key program
+    /// order (a mutate-then-lookup of one key always saw the mutation),
+    /// but with the cache on, the lookup can be answered from a resident
+    /// entry before the queued mutation executes and invalidates it. A
+    /// client that waits for each reply before submitting the next
+    /// operation still observes program order, because a mutation's
+    /// invalidation precedes its ack; pipelined same-key sequences must
+    /// be order-independent with the cache enabled, as cross-connection
+    /// sequences always had to be.
     pub cache: Option<CacheConfig>,
 }
 
